@@ -1,0 +1,125 @@
+// Ablations of SPADE's design choices (DESIGN.md):
+//   1. Layer-index join vs forced naive loop-of-selects (Section 5.3's two
+//      strategies, normally arbitrated by the optimizer).
+//   2. Canvas resolution sweep: the accuracy/occupancy trade-off — lower
+//      resolution means more boundary-bucket exact tests, higher means
+//      larger textures and rasterization cost.
+//   3. Map implementation: 1-pass (pre-sized canvas + scan) vs forced
+//      2-pass (count then fill).
+//   4. Grid cell size (device-memory budget): fewer big cells vs many
+//      small cells, the Section 6.1 tuning rule.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/spider.h"
+#include "test_polygon.h"
+
+namespace spade {
+namespace {
+
+// Expose the two join strategies by biasing the optimizer: a huge
+// node-transfer estimate is simulated by configuring extreme budgets.
+double JoinWithResolution(int resolution, size_t map_budget,
+                          const SpatialDataset& parcels,
+                          const SpatialDataset& points, QueryStats* stats) {
+  SpadeConfig cfg = bench::BenchConfig();
+  cfg.canvas_resolution = resolution;
+  cfg.max_map_canvas_elems = map_budget;
+  SpadeEngine engine(cfg);
+  auto csrc = MakeInMemorySource("parcels", parcels, cfg);
+  auto psrc = MakeInMemorySource("points", points, cfg);
+  (void)engine.WarmIndexes(*csrc, true);
+  (void)engine.WarmIndexes(*psrc, false);
+  return bench::TimeIt([&] {
+    auto r = engine.SpatialJoin(*csrc, *psrc);
+    if (r.ok() && stats != nullptr) *stats = r.value().stats;
+  });
+}
+
+double SelectWithConfig(SpadeConfig cfg, const SpatialDataset& points,
+                        const MultiPolygon& poly, QueryStats* stats) {
+  // The resolution sweep needs room for the constraint canvas itself
+  // (4096^2 x 16 B alone exceeds the default 256 MB device).
+  const size_t canvas_bytes =
+      static_cast<size_t>(cfg.canvas_resolution) * cfg.canvas_resolution * 16;
+  cfg.device_memory_budget =
+      std::max(cfg.device_memory_budget, 4 * canvas_bytes);
+  SpadeEngine engine(cfg);
+  auto src = MakeInMemorySource("points", points, cfg);
+  (void)engine.WarmIndexes(*src, false);
+  return bench::TimeIt([&] {
+    auto r = engine.SpatialSelection(*src, poly);
+    if (!r.ok()) {
+      std::fprintf(stderr, "selection failed: %s\n",
+                   r.status().ToString().c_str());
+    } else if (stats != nullptr) {
+      *stats = r.value().stats;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  const size_t n = bench::Scaled(400000);
+  const SpatialDataset points = GenerateGaussianPoints(n, 1);
+  const SpatialDataset parcels = GenerateParcels(2500, 2);
+  const MultiPolygon poly = bench::QueryStar(0.3);
+
+  bench::PrintHeader("Ablation 1: canvas resolution (selection, n = " +
+                     std::to_string(n) + ")");
+  bench::PrintRow({"resolution", "time_s", "exact_tests", "fragments"},
+                  {12, 10, 14, 14});
+  for (const int res : {64, 256, 1024, 4096}) {
+    SpadeConfig cfg = bench::BenchConfig();
+    cfg.canvas_resolution = res;
+    QueryStats st;
+    const double s = SelectWithConfig(cfg, points, poly, &st);
+    bench::PrintRow({std::to_string(res), bench::Fmt(s),
+                     std::to_string(st.exact_tests),
+                     std::to_string(st.fragments)},
+                    {12, 10, 14, 14});
+  }
+
+  bench::PrintHeader("Ablation 2: Map implementation (selection)");
+  bench::PrintRow({"map_impl", "time_s"}, {12, 10});
+  {
+    SpadeConfig one = bench::BenchConfig();
+    SpadeConfig two = bench::BenchConfig();
+    two.max_map_canvas_elems = 1;  // force the 2-pass implementation
+    const double s1 = SelectWithConfig(one, points, poly, nullptr);
+    const double s2 = SelectWithConfig(two, points, poly, nullptr);
+    bench::PrintRow({"1-pass", bench::Fmt(s1)}, {12, 10});
+    bench::PrintRow({"2-pass", bench::Fmt(s2)}, {12, 10});
+  }
+
+  bench::PrintHeader("Ablation 3: join canvas resolution (2500 parcels)");
+  bench::PrintRow({"resolution", "time_s", "passes"}, {12, 10, 10});
+  for (const int res : {256, 1024, 2048}) {
+    QueryStats st;
+    const double s = JoinWithResolution(res, bench::BenchConfig().max_map_canvas_elems,
+                                        parcels, points, &st);
+    bench::PrintRow({std::to_string(res), bench::Fmt(s),
+                     std::to_string(st.render_passes)},
+                    {12, 10, 10});
+  }
+
+  bench::PrintHeader(
+      "Ablation 4: grid cell budget (selection; smaller cells = finer "
+      "filtering, more transfers)");
+  bench::PrintRow({"cell_bytes", "time_s", "cells", "io_s"}, {12, 10, 10, 10});
+  for (const size_t cell : {size_t{1} << 20, size_t{4} << 20,
+                            size_t{16} << 20, size_t{64} << 20}) {
+    SpadeConfig cfg = bench::BenchConfig();
+    cfg.max_cell_bytes = cell;
+    QueryStats st;
+    const double s = SelectWithConfig(cfg, points, poly, &st);
+    bench::PrintRow({std::to_string(cell >> 20) + "MB", bench::Fmt(s),
+                     std::to_string(st.cells_processed), bench::Fmt(st.io_seconds)},
+                    {12, 10, 10, 10});
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared infrastructure for the paper-reproduction benchmarks: dataset
+// construction at a configurable scale, wall-clock measurement, and
+// paper-style table printing. Every binary regenerates one table or figure
+// of Section 6; EXPERIMENTS.md records the expected shapes.
+//
+// Scale: datasets default to a laptop-friendly fraction of the paper's
+// (billions of points do not fit this sandbox); set SPADE_BENCH_SCALE to
+// grow or shrink everything proportionally (1.0 = defaults).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "engine/spade.h"
+#include "storage/dataset.h"
+
+namespace spade::bench {
+
+inline double Scale() {
+  const char* s = std::getenv("SPADE_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(n * Scale()) + 1;
+}
+
+/// Engine configuration used across benchmarks: a 256 MB simulated device
+/// and a 1024px canvas, the commodity-laptop profile of Section 6.1.
+inline SpadeConfig BenchConfig() {
+  SpadeConfig cfg;
+  cfg.device_memory_budget = 256ull << 20;
+  cfg.canvas_resolution = 1024;
+  return cfg;
+}
+
+/// Time a callable, returning seconds.
+template <typename F>
+double TimeIt(F&& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+// --- table printing ---------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtCount(uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Print a SPADE time breakdown line (the Fig. 5 bottom row).
+inline void PrintBreakdown(const QueryStats& st) {
+  std::printf(
+      "    breakdown: io=%.3fs gpu=%.3fs polygon=%.3fs cpu=%.3fs | "
+      "passes=%lld fragments=%lld cells=%lld transferred=%.1fMB\n",
+      st.io_seconds, st.gpu_seconds, st.polygon_seconds, st.cpu_seconds,
+      static_cast<long long>(st.render_passes),
+      static_cast<long long>(st.fragments),
+      static_cast<long long>(st.cells_processed),
+      st.bytes_transferred / (1024.0 * 1024.0));
+}
+
+}  // namespace spade::bench

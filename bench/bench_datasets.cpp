@@ -1,0 +1,53 @@
+// Tables 1 & 4 — dataset inventories. Prints the analog datasets with
+// their object counts, vertex counts, and byte sizes, mirroring the
+// columns of the paper's Table 1, and the synthetic matrix of Table 4.
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+
+namespace spade {
+namespace {
+
+void Describe(const SpatialDataset& ds, const std::string& kind,
+              const std::string& extent) {
+  size_t verts = 0;
+  for (const auto& g : ds.geoms) verts += g.NumVertices();
+  bench::PrintRow(
+      {ds.name, kind, extent, std::to_string(ds.size()),
+       std::to_string(verts),
+       bench::Fmt(ds.TotalBytes() / (1024.0 * 1024.0), 1) + " MB"},
+      {26, 10, 8, 12, 12, 12});
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  bench::PrintHeader(
+      "Table 1 analogs: real-shaped datasets (scaled; see DESIGN.md)");
+  bench::PrintRow({"name", "type", "extent", "objects", "points", "size"},
+                  {26, 10, 8, 12, 12, 12});
+  Describe(TaxiLikePoints(bench::Scaled(1000000), 1), "points", "NYC");
+  Describe(TweetLikePoints(bench::Scaled(1000000), 2), "points", "USA");
+  Describe(NeighborhoodLikePolygons(3), "polygons", "NYC");
+  Describe(CensusLikePolygons(4), "polygons", "NYC");
+  Describe(CountyLikePolygons(5, 24, 24), "polygons", "USA");
+  Describe(ZipcodeLikePolygons(6, 64, 64), "polygons", "USA");
+  Describe(BuildingLikePolygons(bench::Scaled(60000), 7), "polygons", "World");
+  Describe(CountryLikePolygons(8, 10, 8), "polygons", "World");
+
+  bench::PrintHeader("Table 4 analogs: synthetic datasets (unit square)");
+  bench::PrintRow({"name", "type", "extent", "objects", "points", "size"},
+                  {26, 10, 8, 12, 12, 12});
+  for (const size_t n : {bench::Scaled(400000), bench::Scaled(800000)}) {
+    Describe(GenerateUniformPoints(n, 9), "points", "unit");
+    Describe(GenerateGaussianPoints(n, 10), "points", "unit");
+  }
+  for (const size_t n : {bench::Scaled(100000), bench::Scaled(200000)}) {
+    Describe(GenerateUniformBoxes(n, 11), "boxes", "unit");
+    Describe(GenerateGaussianBoxes(n, 12), "boxes", "unit");
+  }
+  Describe(GenerateParcels(5000, 13), "parcels", "unit");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fig. 7 — distance-based joins over taxi-like data (meters, EPSG:3857):
+//   (a) vary the number of random probe points (100 .. 100K), r = 20m
+//   (b) vary the query distance (5m .. 100m) with 100K probes
+// Systems: SPADE, GeoSpark-like cluster, S2-like library. Coordinates are
+// pre-projected for the baselines, as the paper did for GeoSpark.
+#include <random>
+
+#include "baselines/cluster.h"
+#include "baselines/s2like.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "geom/projection.h"
+
+namespace spade {
+namespace {
+
+std::vector<Vec2> RandomProbes(size_t n, const Box& extent, uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> ux(extent.min.x, extent.max.x);
+  std::uniform_real_distribution<double> uy(extent.min.y, extent.max.y);
+  std::vector<Vec2> probes(n);
+  for (auto& p : probes) p = {ux(gen), uy(gen)};
+  return probes;
+}
+
+struct Workload {
+  SpatialDataset taxi;                  // lon/lat for SPADE
+  SpatialDataset taxi_mercator;         // pre-projected for baselines
+  std::unique_ptr<InMemorySource> src;  // SPADE cell source
+  std::unique_ptr<S2LikePointIndex> s2;
+  std::unique_ptr<ClusterDataset> cluster_data;
+  ClusterConfig ccfg;
+};
+
+Workload MakeWorkload(size_t n, SpadeEngine* engine) {
+  Workload w;
+  w.taxi = TaxiLikePoints(n, 41);
+  w.taxi_mercator.name = "taxi_m";
+  std::vector<Vec2> merc;
+  merc.reserve(n);
+  for (const auto& g : w.taxi.geoms) {
+    const Vec2 m = LonLatToWebMercator(g.point());
+    w.taxi_mercator.geoms.emplace_back(m);
+    merc.push_back(m);
+  }
+  w.src = MakeInMemorySource("taxi", w.taxi, engine->config());
+  (void)engine->WarmIndexes(*w.src, false);
+  w.s2 = std::make_unique<S2LikePointIndex>(merc);
+  w.cluster_data = std::make_unique<ClusterDataset>(&w.taxi_mercator, w.ccfg);
+  return w;
+}
+
+void RunRow(SpadeEngine* engine, Workload* w, size_t num_probes, double r) {
+  const auto probes_ll = RandomProbes(num_probes, NycExtent(), 77);
+  std::vector<Vec2> probes_m(probes_ll.size());
+  for (size_t i = 0; i < probes_ll.size(); ++i) {
+    probes_m[i] = LonLatToWebMercator(probes_ll[i]);
+  }
+
+  // SPADE: probes as a dataset, type-1 distance join in mercator space.
+  SpatialDataset probe_ds;
+  probe_ds.name = "probes";
+  for (const auto& p : probes_ll) probe_ds.geoms.emplace_back(p);
+  auto probe_src = MakeInMemorySource("probes", probe_ds, engine->config());
+  QueryOptions opts;
+  opts.mercator = true;
+  size_t result = 0;
+  const double spade_s = bench::TimeIt([&] {
+    auto res = engine->DistanceJoin(*probe_src, *w->src, r, opts);
+    if (res.ok()) result = res.value().pairs.size();
+  });
+
+  const ClusterEngine cluster(w->ccfg);
+  const double cluster_s = bench::TimeIt(
+      [&] { cluster.DistanceJoinPoints(probes_m, *w->cluster_data, r); });
+
+  const double s2_s = bench::TimeIt([&] {
+    size_t total = 0;
+    for (const auto& p : probes_m) total += w->s2->WithinDistance(p, r).size();
+    (void)total;
+  });
+
+  bench::PrintRow({std::to_string(num_probes), bench::Fmt(r, 0),
+                   std::to_string(result), bench::Fmt(spade_s),
+                   bench::Fmt(cluster_s), bench::Fmt(s2_s)},
+                  {10, 8, 12, 10, 10, 10});
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  SpadeEngine engine(bench::BenchConfig());
+  const size_t n = bench::Scaled(800000);
+  Workload w = MakeWorkload(n, &engine);
+
+  bench::PrintHeader("Fig 7(a): distance join, varying #points, r = 20m (" +
+                     std::to_string(n) + " taxi-like points)");
+  bench::PrintRow({"probes", "r(m)", "|result|", "SPADE", "GeoSpark", "S2"},
+                  {10, 8, 12, 10, 10, 10});
+  for (const size_t probes : {100u, 1000u, 10000u, 100000u}) {
+    RunRow(&engine, &w, probes, 20.0);
+  }
+
+  bench::PrintHeader("Fig 7(b): distance join, 100K probes, varying r");
+  bench::PrintRow({"probes", "r(m)", "|result|", "SPADE", "GeoSpark", "S2"},
+                  {10, 8, 12, 10, 10, 10});
+  for (const double r : {5.0, 20.0, 50.0, 100.0}) {
+    RunRow(&engine, &w, 100000, r);
+  }
+  return 0;
+}

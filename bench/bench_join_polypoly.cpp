@@ -1,0 +1,64 @@
+// Table 3 — polygon-polygon joins:
+//   neighborhoods x census, zipcodes x counties, buildings x counties,
+//   buildings x zipcodes, buildings x countries
+// Systems: SPADE vs the GeoSpark-like cluster.
+#include "baselines/cluster.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+
+namespace spade {
+namespace {
+
+void RunJoin(const std::string& name, const SpatialDataset& a,
+             const SpatialDataset& b) {
+  SpadeEngine engine(bench::BenchConfig());
+  auto asrc = MakeInMemorySource(a.name, a, engine.config());
+  auto bsrc = MakeInMemorySource(b.name, b, engine.config());
+  (void)engine.WarmIndexes(*asrc, true);
+  (void)engine.WarmIndexes(*bsrc, false);
+
+  size_t join_size = 0;
+  QueryStats stats;
+  const double spade_s = bench::TimeIt([&] {
+    auto r = engine.SpatialJoin(*asrc, *bsrc);
+    if (r.ok()) {
+      join_size = r.value().pairs.size();
+      stats = r.value().stats;
+    }
+  });
+
+  ClusterConfig ccfg;
+  const ClusterDataset ca(&a, ccfg);
+  const ClusterDataset cb(&b, ccfg);
+  const ClusterEngine cluster(ccfg);
+  const double cluster_s = bench::TimeIt([&] { cluster.JoinPolyPoly(ca, cb); });
+
+  bench::PrintRow({name, std::to_string(join_size), bench::Fmt(spade_s),
+                   bench::Fmt(cluster_s)},
+                  {34, 12, 10, 10});
+  bench::PrintBreakdown(stats);
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  bench::PrintHeader("Table 3: polygon-polygon joins (seconds)");
+  bench::PrintRow({"join", "|result|", "SPADE", "GeoSpark"}, {34, 12, 10, 10});
+
+  const size_t building_n = bench::Scaled(40000);
+  const SpatialDataset hoods = NeighborhoodLikePolygons(21);
+  const SpatialDataset census = CensusLikePolygons(22);
+  const SpatialDataset counties = CountyLikePolygons(23, 24, 24);
+  const SpatialDataset zips = ZipcodeLikePolygons(24, 64, 64);
+  const SpatialDataset buildings = BuildingLikePolygons(building_n, 25);
+  const SpatialDataset countries = CountryLikePolygons(26, 10, 8);
+
+  RunJoin("neighborhoods x census", hoods, census);
+  RunJoin("zipcodes x counties", zips, counties);
+  RunJoin("buildings x counties", buildings, counties);
+  RunJoin("buildings x zipcodes", buildings, zips);
+  RunJoin("buildings x countries", buildings, countries);
+  return 0;
+}

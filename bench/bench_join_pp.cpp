@@ -1,0 +1,69 @@
+// Table 2 — point-polygon joins:
+//   taxi x neighborhoods, taxi x census, tweets x counties, tweets x zipcodes
+// Systems: SPADE, GeoSpark-like cluster, S2-like library.
+#include "baselines/cluster.h"
+#include "baselines/s2like.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+
+namespace spade {
+namespace {
+
+void RunJoin(const std::string& name, const SpatialDataset& points,
+             const SpatialDataset& polys) {
+  SpadeEngine engine(bench::BenchConfig());
+  auto psrc = MakeInMemorySource(points.name, points, engine.config());
+  auto csrc = MakeInMemorySource(polys.name, polys, engine.config());
+  (void)engine.WarmIndexes(*psrc, false);
+  (void)engine.WarmIndexes(*csrc, true);
+
+  size_t join_size = 0;
+  QueryStats stats;
+  const double spade_s = bench::TimeIt([&] {
+    auto r = engine.SpatialJoin(*csrc, *psrc);
+    if (r.ok()) {
+      join_size = r.value().pairs.size();
+      stats = r.value().stats;
+    }
+  });
+
+  ClusterConfig ccfg;
+  const ClusterDataset cpoints(&points, ccfg);
+  const ClusterDataset cpolys(&polys, ccfg);
+  const ClusterEngine cluster(ccfg);
+  const double cluster_s =
+      bench::TimeIt([&] { cluster.JoinPolyPoint(cpolys, cpoints); });
+
+  std::vector<Vec2> pts;
+  pts.reserve(points.size());
+  for (const auto& g : points.geoms) pts.push_back(g.point());
+  const S2LikePointIndex s2p(pts);
+  const S2LikeShapeIndex s2s(&polys.geoms);
+  const double s2_s = bench::TimeIt([&] { s2s.JoinPoints(s2p); });
+
+  bench::PrintRow({name, std::to_string(join_size), bench::Fmt(spade_s),
+                   bench::Fmt(cluster_s), bench::Fmt(s2_s)},
+                  {34, 12, 10, 10, 10});
+  bench::PrintBreakdown(stats);
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  bench::PrintHeader("Table 2: point-polygon joins (seconds)");
+  bench::PrintRow({"join", "|result|", "SPADE", "GeoSpark", "S2"},
+                  {34, 12, 10, 10, 10});
+
+  const size_t taxi_n = bench::Scaled(800000);
+  const size_t tweet_n = bench::Scaled(800000);
+  const SpatialDataset taxi = TaxiLikePoints(taxi_n, 11);
+  const SpatialDataset tweets = TweetLikePoints(tweet_n, 12);
+
+  RunJoin("taxi x neighborhoods", taxi, NeighborhoodLikePolygons(13));
+  RunJoin("taxi x census", taxi, CensusLikePolygons(14));
+  RunJoin("tweets x counties", tweets, CountyLikePolygons(15, 24, 24));
+  RunJoin("tweets x zipcodes", tweets, ZipcodeLikePolygons(16, 64, 64));
+  return 0;
+}

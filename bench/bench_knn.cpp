@@ -1,0 +1,70 @@
+// Fig. 8 — kNN selection: average time of a batch of kNN queries over
+// taxi-like points for varying k. Systems: SPADE (circle-probing plan),
+// GeoSpark-like cluster, S2-like library (whose point index is optimized
+// for exactly this query class and should win, as in the paper).
+#include <random>
+
+#include "baselines/cluster.h"
+#include "baselines/s2like.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "geom/projection.h"
+
+int main() {
+  using namespace spade;
+  const size_t n = bench::Scaled(500000);
+  const size_t queries = std::max<size_t>(2, bench::Scaled(20));
+
+  SpadeEngine engine(bench::BenchConfig());
+  const SpatialDataset taxi = TaxiLikePoints(n, 51);
+  auto src = MakeInMemorySource("taxi", taxi, engine.config());
+  (void)engine.WarmIndexes(*src, false);
+
+  SpatialDataset taxi_m;
+  taxi_m.name = "taxi_m";
+  std::vector<Vec2> merc;
+  merc.reserve(n);
+  for (const auto& g : taxi.geoms) {
+    const Vec2 m = LonLatToWebMercator(g.point());
+    taxi_m.geoms.emplace_back(m);
+    merc.push_back(m);
+  }
+  const S2LikePointIndex s2(merc);
+  ClusterConfig ccfg;
+  const ClusterDataset cdata(&taxi_m, ccfg);
+  const ClusterEngine cluster(ccfg);
+
+  std::mt19937_64 gen(99);
+  const Box ext = NycExtent();
+  std::vector<Vec2> probes(queries);
+  for (auto& p : probes) {
+    p = {ext.min.x + (ext.Width() * (gen() % 1000)) / 1000.0,
+         ext.min.y + (ext.Height() * (gen() % 1000)) / 1000.0};
+  }
+
+  bench::PrintHeader("Fig 8: kNN selection, avg seconds per query (" +
+                     std::to_string(queries) + " queries, " +
+                     std::to_string(n) + " taxi-like points)");
+  bench::PrintRow({"k", "SPADE", "GeoSpark", "S2"}, {8, 12, 12, 12});
+
+  QueryOptions opts;
+  opts.mercator = true;
+  for (const size_t k : {1u, 10u, 20u, 30u, 40u, 50u}) {
+    const double spade_s = bench::TimeIt([&] {
+      for (const auto& p : probes) (void)engine.KnnSelection(*src, p, k, opts);
+    });
+    const double cluster_s = bench::TimeIt([&] {
+      for (const auto& p : probes) {
+        cluster.KnnSelect(cdata, LonLatToWebMercator(p), k);
+      }
+    });
+    const double s2_s = bench::TimeIt([&] {
+      for (const auto& p : probes) s2.KNearest(LonLatToWebMercator(p), k);
+    });
+    bench::PrintRow({std::to_string(k), bench::Fmt(spade_s / queries, 4),
+                     bench::Fmt(cluster_s / queries, 4),
+                     bench::Fmt(s2_s / queries, 6)},
+                    {8, 12, 12, 12});
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 9 — kNN joins over taxi-like points:
+//   (a) vary k with a fixed probe set
+//   (b) vary the probe-set size with k = 10
+// Systems: SPADE vs S2-like (GeoSpark does not support kNN joins, as the
+// paper notes).
+#include <random>
+
+#include "baselines/s2like.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "geom/projection.h"
+
+namespace spade {
+namespace {
+
+std::vector<Vec2> RandomProbes(size_t n, uint64_t seed) {
+  const Box ext = NycExtent();
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> ux(ext.min.x, ext.max.x);
+  std::uniform_real_distribution<double> uy(ext.min.y, ext.max.y);
+  std::vector<Vec2> probes(n);
+  for (auto& p : probes) p = {ux(gen), uy(gen)};
+  return probes;
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  const size_t n = bench::Scaled(500000);
+
+  SpadeEngine engine(bench::BenchConfig());
+  const SpatialDataset taxi = TaxiLikePoints(n, 61);
+  auto src = MakeInMemorySource("taxi", taxi, engine.config());
+  (void)engine.WarmIndexes(*src, false);
+
+  std::vector<Vec2> merc;
+  merc.reserve(n);
+  for (const auto& g : taxi.geoms) merc.push_back(LonLatToWebMercator(g.point()));
+  const S2LikePointIndex s2(merc);
+
+  QueryOptions opts;
+  opts.mercator = true;
+
+  bench::PrintHeader("Fig 9(a): kNN join, varying k (probes = " +
+                     std::to_string(bench::Scaled(50000)) + ", " +
+                     std::to_string(n) + " points)");
+  bench::PrintRow({"k", "SPADE", "S2"}, {8, 12, 12});
+  const auto probes_a = RandomProbes(bench::Scaled(50000), 7);
+  for (const size_t k : {1u, 10u, 30u, 50u}) {
+    const double spade_s =
+        bench::TimeIt([&] { (void)engine.KnnJoin(probes_a, *src, k, opts); });
+    const double s2_s = bench::TimeIt([&] {
+      for (const auto& p : probes_a) s2.KNearest(LonLatToWebMercator(p), k);
+    });
+    bench::PrintRow({std::to_string(k), bench::Fmt(spade_s), bench::Fmt(s2_s)},
+                    {8, 12, 12});
+  }
+
+  bench::PrintHeader("Fig 9(b): kNN join, varying probe count (k = 10)");
+  bench::PrintRow({"probes", "SPADE", "S2"}, {10, 12, 12});
+  for (const size_t m : {bench::Scaled(100), bench::Scaled(1000),
+                         bench::Scaled(10000), bench::Scaled(50000)}) {
+    const auto probes = RandomProbes(m, 8);
+    const double spade_s =
+        bench::TimeIt([&] { (void)engine.KnnJoin(probes, *src, 10, opts); });
+    const double s2_s = bench::TimeIt([&] {
+      for (const auto& p : probes) s2.KNearest(LonLatToWebMercator(p), 10);
+    });
+    bench::PrintRow({std::to_string(m), bench::Fmt(spade_s), bench::Fmt(s2_s)},
+                    {10, 12, 12});
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Section 6.1's claim: "the performance of queries over polygonal data
+// sets can be used as a worst case upper bound for (poly)line data sets —
+// drawing lines and performing line-intersection tests is cheaper than
+// drawing polygons and performing triangle-intersection tests." This bench
+// validates the claim: selections and joins over polyline datasets vs
+// polygon datasets with the same vertex count.
+#include <random>
+
+#include "bench_common.h"
+#include "datagen/spider.h"
+#include "test_polygon.h"
+
+namespace spade {
+namespace {
+
+/// Random polylines with `verts` vertices each (same vertex budget as the
+/// box polygons they are compared against).
+SpatialDataset RandomLines(size_t n, int verts, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "lines_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_real_distribution<double> step(-0.01, 0.01);
+  for (size_t i = 0; i < n; ++i) {
+    LineString l;
+    Vec2 p{u(gen), u(gen)};
+    l.points.push_back(p);
+    for (int v = 1; v < verts; ++v) {
+      p.x = std::clamp(p.x + step(gen), 0.0, 1.0);
+      p.y = std::clamp(p.y + step(gen), 0.0, 1.0);
+      l.points.push_back(p);
+    }
+    ds.geoms.emplace_back(std::move(l));
+  }
+  return ds;
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  const size_t n = bench::Scaled(100000);
+
+  SpadeEngine engine(bench::BenchConfig());
+  // Boxes have 4 vertices; lines get 4 vertices too.
+  const SpatialDataset lines = RandomLines(n, 4, 71);
+  const SpatialDataset boxes = GenerateUniformBoxes(n, 72, 0.02);
+  auto lsrc = MakeInMemorySource("lines", lines, engine.config());
+  auto bsrc = MakeInMemorySource("boxes", boxes, engine.config());
+  (void)engine.WarmIndexes(*lsrc, false);
+  (void)engine.WarmIndexes(*bsrc, false);
+
+  bench::PrintHeader(
+      "Section 6.1 claim: line queries bounded by polygon queries (n = " +
+      std::to_string(n) + ", equal vertex budgets)");
+  bench::PrintRow({"extent", "lines_s", "boxes_s", "ratio"}, {10, 12, 12, 10});
+  for (const double extent : {0.1, 0.3, 0.5}) {
+    const MultiPolygon poly = bench::QueryStar(extent);
+    const double ls =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*lsrc, poly); });
+    const double bs =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*bsrc, poly); });
+    bench::PrintRow({bench::Fmt(extent, 1), bench::Fmt(ls), bench::Fmt(bs),
+                     bench::Fmt(ls / bs, 2)},
+                    {10, 12, 12, 10});
+  }
+
+  bench::PrintHeader("joins against 2500 parcels");
+  bench::PrintRow({"data", "time_s"}, {10, 12});
+  const SpatialDataset parcels = GenerateParcels(2500, 73);
+  auto csrc = MakeInMemorySource("parcels", parcels, engine.config());
+  (void)engine.WarmIndexes(*csrc, true);
+  const double lj =
+      bench::TimeIt([&] { (void)engine.SpatialJoin(*csrc, *lsrc); });
+  const double bj =
+      bench::TimeIt([&] { (void)engine.SpatialJoin(*csrc, *bsrc); });
+  bench::PrintRow({"lines", bench::Fmt(lj)}, {10, 12});
+  bench::PrintRow({"boxes", bench::Fmt(bj)}, {10, 12});
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) of the core primitives: exact
+// predicates, rasterization, canvas construction, boundary-index tests,
+// scan/compaction, and triangulation. These quantify the constants behind
+// the query-level numbers of the paper-reproduction benches.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "canvas/canvas_builder.h"
+#include "geom/predicates.h"
+#include "geom/projection.h"
+#include "geom/triangulate.h"
+#include "gfx/rasterizer.h"
+#include "gfx/scan.h"
+
+namespace spade {
+namespace {
+
+std::mt19937_64 g_gen(12345);
+
+double U(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(g_gen);
+}
+
+Polygon MakeStar(int verts) {
+  Polygon p;
+  for (int i = 0; i < verts; ++i) {
+    const double t = 2 * M_PI * i / verts;
+    const double r = (i % 2 == 0) ? 4.0 : 2.5;
+    p.outer.push_back({5 + r * std::cos(t), 5 + r * std::sin(t)});
+  }
+  return p;
+}
+
+void BM_Orient2D(benchmark::State& state) {
+  const Vec2 a{U(0, 1), U(0, 1)}, b{U(0, 1), U(0, 1)}, c{U(0, 1), U(0, 1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Orient2D(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2D);
+
+void BM_PointInPolygon(benchmark::State& state) {
+  const Polygon p = MakeStar(static_cast<int>(state.range(0)));
+  const Vec2 q{5, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointInPolygon(p, q));
+  }
+}
+BENCHMARK(BM_PointInPolygon)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PointInTriangle(benchmark::State& state) {
+  const Vec2 a{0, 0}, b{4, 0}, c{0, 4}, q{1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointInTriangle(a, b, c, q));
+  }
+}
+BENCHMARK(BM_PointInTriangle);
+
+void BM_Triangulate(benchmark::State& state) {
+  const Polygon p = MakeStar(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Triangulate(p));
+  }
+}
+BENCHMARK(BM_Triangulate)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_RasterizeTriangleConservative(benchmark::State& state) {
+  const Viewport vp(Box(0, 0, 10, 10), static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)));
+  size_t sink = 0;
+  for (auto _ : state) {
+    sink += RasterizeTriangle(vp, {1, 1}, {9, 2}, {4, 9}, true,
+                              [&](int x, int y) { benchmark::DoNotOptimize(x + y); });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RasterizeTriangleConservative)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RasterizeSegmentConservative(benchmark::State& state) {
+  const Viewport vp(Box(0, 0, 10, 10), 1024, 1024);
+  for (auto _ : state) {
+    RasterizeSegmentConservative(vp, {0.5, 0.5}, {9.5, 8.2},
+                                 [&](int x, int y) { benchmark::DoNotOptimize(x + y); });
+  }
+}
+BENCHMARK(BM_RasterizeSegmentConservative);
+
+void BM_BuildPolygonCanvas(benchmark::State& state) {
+  GfxDevice device(4);
+  const Viewport vp(Box(0, 0, 10, 10), static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)));
+  MultiPolygon mp;
+  mp.parts.push_back(MakeStar(64));
+  const Triangulation tri = Triangulate(mp);
+  CanvasBuilder builder(&device, vp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.BuildPolygonCanvas({0}, {&mp}, {&tri}));
+  }
+}
+BENCHMARK(BM_BuildPolygonCanvas)->Arg(256)->Arg(1024);
+
+void BM_CanvasTestPoint(benchmark::State& state) {
+  GfxDevice device(4);
+  const Viewport vp(Box(0, 0, 10, 10), 1024, 1024);
+  MultiPolygon mp;
+  mp.parts.push_back(MakeStar(64));
+  const Triangulation tri = Triangulate(mp);
+  CanvasBuilder builder(&device, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&mp}, {&tri});
+  std::vector<GeomId> owners;
+  for (auto _ : state) {
+    owners.clear();
+    canvas.TestPoint({U(0, 10), U(0, 10)}, &owners);
+    benchmark::DoNotOptimize(owners.size());
+  }
+}
+BENCHMARK(BM_CanvasTestPoint);
+
+void BM_CompactNonNull(benchmark::State& state) {
+  ThreadPool pool(4);
+  std::vector<uint32_t> in(static_cast<size_t>(state.range(0)), kTexNull);
+  for (size_t i = 0; i < in.size(); i += 3) in[i] = static_cast<uint32_t>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompactNonNull(in, &pool));
+  }
+}
+BENCHMARK(BM_CompactNonNull)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Mercator(benchmark::State& state) {
+  const Vec2 p{U(-180, 180), U(-80, 80)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LonLatToWebMercator(p));
+  }
+}
+BENCHMARK(BM_Mercator);
+
+}  // namespace
+}  // namespace spade
+
+BENCHMARK_MAIN();

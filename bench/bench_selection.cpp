@@ -1,0 +1,133 @@
+// Fig. 5 — spatial selection queries with polygonal constraints.
+//   (a) taxi-like points, NYC neighborhood constraints
+//   (b) tweet-like points, county constraints
+//   (c) building-like polygons, country constraints
+// Systems: SPADE, STIG (points only), GeoSpark-like cluster, S2-like
+// in-memory library, plus a full-scan baseline standing in for the RDBMS
+// data point of Section 6.2. The bottom rows print SPADE's time breakdown
+// (I/O / GPU / polygon processing / CPU), as in Fig. 5 bottom.
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/cluster.h"
+#include "baselines/s2like.h"
+#include "baselines/stig.h"
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "geom/predicates.h"
+
+namespace spade {
+namespace {
+
+using bench::Fmt;
+
+struct QueryRow {
+  size_t constraint_id;
+  double spade_s = 0, stig_s = 0, cluster_s = 0, s2_s = 0, scan_s = 0;
+  size_t result = 0;
+  QueryStats stats;
+};
+
+void RunScenario(const std::string& title, const SpatialDataset& data,
+                 const SpatialDataset& constraints, size_t num_queries,
+                 bool points) {
+  bench::PrintHeader(title);
+  SpadeEngine engine(bench::BenchConfig());
+  auto src = MakeInMemorySource(data.name, data, engine.config());
+  (void)engine.WarmIndexes(*src, /*need_layers=*/false);
+
+  // Baselines.
+  std::vector<Vec2> pts;
+  if (points) {
+    pts.reserve(data.size());
+    for (const auto& g : data.geoms) pts.push_back(g.point());
+  }
+  ThreadPool pool;
+  std::unique_ptr<StigIndex> stig;
+  std::unique_ptr<S2LikePointIndex> s2_points;
+  std::unique_ptr<S2LikeShapeIndex> s2_shapes;
+  if (points) {
+    stig = std::make_unique<StigIndex>(pts, &pool);
+    s2_points = std::make_unique<S2LikePointIndex>(pts);
+  } else {
+    s2_shapes = std::make_unique<S2LikeShapeIndex>(&data.geoms);
+  }
+  ClusterConfig ccfg;
+  const ClusterDataset cluster_data(&data, ccfg);
+  const ClusterEngine cluster(ccfg);
+
+  // Sample constraint polygons spread across the dataset.
+  std::vector<QueryRow> rows;
+  const size_t step = std::max<size_t>(1, constraints.size() / num_queries);
+  for (size_t q = 0; q < constraints.size() && rows.size() < num_queries;
+       q += step) {
+    QueryRow row;
+    row.constraint_id = q;
+    const MultiPolygon& poly = constraints.geoms[q].polygon();
+
+    row.spade_s = bench::TimeIt([&] {
+      auto r = engine.SpatialSelection(*src, poly);
+      row.result = r.ok() ? r.value().ids.size() : 0;
+      if (r.ok()) row.stats = r.value().stats;
+    });
+    if (points) {
+      row.stig_s = bench::TimeIt([&] { stig->PolygonSelect(poly); });
+      row.s2_s = bench::TimeIt([&] { s2_points->SelectInPolygon(poly); });
+    } else {
+      row.s2_s = bench::TimeIt([&] { s2_shapes->SelectIntersecting(poly); });
+    }
+    row.cluster_s = bench::TimeIt([&] { cluster.Select(cluster_data, poly); });
+    row.scan_s = bench::TimeIt([&] {
+      size_t count = 0;
+      for (const auto& g : data.geoms) {
+        count += GeometryIntersectsPolygon(g, poly);
+      }
+      (void)count;
+    });
+    rows.push_back(row);
+  }
+
+  // Order by SPADE time, as in the figure.
+  std::sort(rows.begin(), rows.end(),
+            [](const QueryRow& a, const QueryRow& b) {
+              return a.spade_s < b.spade_s;
+            });
+
+  const std::vector<int> widths = {8, 10, 10, 10, 10, 10, 10};
+  bench::PrintRow({"query", "|result|", "SPADE", "STIG", "GeoSpark",
+                   "S2", "Scan"},
+                  widths);
+  for (const auto& row : rows) {
+    bench::PrintRow({std::to_string(row.constraint_id),
+                     std::to_string(row.result), Fmt(row.spade_s),
+                     points ? Fmt(row.stig_s) : "-", Fmt(row.cluster_s),
+                     Fmt(row.s2_s), Fmt(row.scan_s)},
+                    widths);
+    bench::PrintBreakdown(row.stats);
+  }
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  const size_t taxi_n = bench::Scaled(1000000);
+  const size_t tweet_n = bench::Scaled(1000000);
+  const size_t building_n = bench::Scaled(60000);
+
+  RunScenario("Fig 5(a): selection over taxi-like points (n=" +
+                  std::to_string(taxi_n) + "), neighborhood constraints",
+              TaxiLikePoints(taxi_n, 1), NeighborhoodLikePolygons(2), 10,
+              /*points=*/true);
+  RunScenario("Fig 5(b): selection over tweet-like points (n=" +
+                  std::to_string(tweet_n) + "), county constraints",
+              TweetLikePoints(tweet_n, 3), CountyLikePolygons(4, 24, 24), 10,
+              /*points=*/true);
+  RunScenario("Fig 5(c): selection over building-like polygons (n=" +
+                  std::to_string(building_n) + "), country constraints",
+              BuildingLikePolygons(building_n, 5),
+              CountryLikePolygons(6, 10, 8), 10,
+              /*points=*/false);
+  return 0;
+}

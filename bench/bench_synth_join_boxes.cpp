@@ -1,0 +1,60 @@
+// Fig. 13 — synthetic polygon-polygon joins (uniform vs gaussian boxes,
+// parcel constraints):
+//   (left)  vary the number of parcels with a fixed box dataset
+//   (right) vary the box-set size with 5000 parcels
+#include "bench_common.h"
+#include "datagen/spider.h"
+
+namespace spade {
+namespace {
+
+double JoinTime(SpadeEngine* engine, const SpatialDataset& parcels,
+                const SpatialDataset& boxes) {
+  auto csrc = MakeInMemorySource("parcels", parcels, engine->config());
+  auto bsrc = MakeInMemorySource("boxes", boxes, engine->config());
+  (void)engine->WarmIndexes(*csrc, true);
+  (void)engine->WarmIndexes(*bsrc, false);
+  return bench::TimeIt([&] { (void)engine->SpatialJoin(*csrc, *bsrc); });
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  SpadeEngine engine(bench::BenchConfig());
+  const size_t base_n = bench::Scaled(100000);
+
+  bench::PrintHeader(
+      "Fig 13(left): box-polygon join, varying parcels (boxes = " +
+      std::to_string(base_n) + ")");
+  bench::PrintRow({"parcels", "uniform_s", "gauss_s"}, {10, 12, 12});
+  {
+    const SpatialDataset uni = GenerateUniformBoxes(base_n, 15);
+    const SpatialDataset gau = GenerateGaussianBoxes(base_n, 16);
+    for (const size_t parcels : {1000u, 2500u, 5000u, 7500u, 10000u}) {
+      const SpatialDataset par = GenerateParcels(parcels, 17);
+      const double us = JoinTime(&engine, par, uni);
+      const double gs = JoinTime(&engine, par, gau);
+      bench::PrintRow(
+          {std::to_string(parcels), bench::Fmt(us), bench::Fmt(gs)},
+          {10, 12, 12});
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig 13(right): box-polygon join, varying boxes (5000 parcels)");
+  bench::PrintRow({"boxes", "uniform_s", "gauss_s"}, {10, 12, 12});
+  const SpatialDataset par = GenerateParcels(5000, 18);
+  for (const size_t n : {bench::Scaled(50000), bench::Scaled(100000),
+                         bench::Scaled(150000), bench::Scaled(200000),
+                         bench::Scaled(250000)}) {
+    const SpatialDataset uni = GenerateUniformBoxes(n, 19);
+    const SpatialDataset gau = GenerateGaussianBoxes(n, 20);
+    const double us = JoinTime(&engine, par, uni);
+    const double gs = JoinTime(&engine, par, gau);
+    bench::PrintRow({std::to_string(n), bench::Fmt(us), bench::Fmt(gs)},
+                    {10, 12, 12});
+  }
+  return 0;
+}

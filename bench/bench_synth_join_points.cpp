@@ -1,0 +1,60 @@
+// Fig. 12 — synthetic point-polygon joins (uniform vs gaussian points,
+// parcel constraints):
+//   (left)  vary the number of parcels with a fixed point dataset
+//   (right) vary the point-set size with 5000 parcels
+#include "bench_common.h"
+#include "datagen/spider.h"
+
+namespace spade {
+namespace {
+
+double JoinTime(SpadeEngine* engine, const SpatialDataset& parcels,
+                const SpatialDataset& points) {
+  auto csrc = MakeInMemorySource("parcels", parcels, engine->config());
+  auto psrc = MakeInMemorySource("points", points, engine->config());
+  (void)engine->WarmIndexes(*csrc, true);
+  (void)engine->WarmIndexes(*psrc, false);
+  return bench::TimeIt([&] { (void)engine->SpatialJoin(*csrc, *psrc); });
+}
+
+}  // namespace
+}  // namespace spade
+
+int main() {
+  using namespace spade;
+  SpadeEngine engine(bench::BenchConfig());
+  const size_t base_n = bench::Scaled(400000);
+
+  bench::PrintHeader(
+      "Fig 12(left): point-polygon join, varying parcels (points = " +
+      std::to_string(base_n) + ")");
+  bench::PrintRow({"parcels", "uniform_s", "gauss_s"}, {10, 12, 12});
+  {
+    const SpatialDataset uni = GenerateUniformPoints(base_n, 9);
+    const SpatialDataset gau = GenerateGaussianPoints(base_n, 10);
+    for (const size_t parcels : {1000u, 2500u, 5000u, 7500u, 10000u}) {
+      const SpatialDataset par = GenerateParcels(parcels, 11);
+      const double us = JoinTime(&engine, par, uni);
+      const double gs = JoinTime(&engine, par, gau);
+      bench::PrintRow(
+          {std::to_string(parcels), bench::Fmt(us), bench::Fmt(gs)},
+          {10, 12, 12});
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig 12(right): point-polygon join, varying points (5000 parcels)");
+  bench::PrintRow({"points", "uniform_s", "gauss_s"}, {10, 12, 12});
+  const SpatialDataset par = GenerateParcels(5000, 12);
+  for (const size_t n : {bench::Scaled(200000), bench::Scaled(400000),
+                         bench::Scaled(600000), bench::Scaled(800000),
+                         bench::Scaled(1000000)}) {
+    const SpatialDataset uni = GenerateUniformPoints(n, 13);
+    const SpatialDataset gau = GenerateGaussianPoints(n, 14);
+    const double us = JoinTime(&engine, par, uni);
+    const double gs = JoinTime(&engine, par, gau);
+    bench::PrintRow({std::to_string(n), bench::Fmt(us), bench::Fmt(gs)},
+                    {10, 12, 12});
+  }
+  return 0;
+}

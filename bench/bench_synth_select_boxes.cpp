@@ -1,0 +1,56 @@
+// Fig. 11 — synthetic box (polygon) selections, uniform vs gaussian:
+//   (left)  vary the query polygon extent 0.1 .. 0.5
+//   (right) vary the input size with extent fixed at 0.3
+#include "bench_common.h"
+#include "datagen/spider.h"
+#include "test_polygon.h"
+
+int main() {
+  using namespace spade;
+  SpadeEngine engine(bench::BenchConfig());
+  const size_t base_n = bench::Scaled(100000);
+
+  bench::PrintHeader(
+      "Fig 11(left): box selection, varying polygon extent (n = " +
+      std::to_string(base_n) + ")");
+  bench::PrintRow({"extent", "uniform_s", "gauss_s"}, {10, 12, 12});
+  {
+    const SpatialDataset uni = GenerateUniformBoxes(base_n, 5);
+    const SpatialDataset gau = GenerateGaussianBoxes(base_n, 6);
+    auto usrc = MakeInMemorySource("u", uni, engine.config());
+    auto gsrc = MakeInMemorySource("g", gau, engine.config());
+    (void)engine.WarmIndexes(*usrc, false);
+    (void)engine.WarmIndexes(*gsrc, false);
+    for (const double extent : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const MultiPolygon poly = bench::QueryStar(extent);
+      const double us =
+          bench::TimeIt([&] { (void)engine.SpatialSelection(*usrc, poly); });
+      const double gs =
+          bench::TimeIt([&] { (void)engine.SpatialSelection(*gsrc, poly); });
+      bench::PrintRow({bench::Fmt(extent, 1), bench::Fmt(us), bench::Fmt(gs)},
+                      {10, 12, 12});
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig 11(right): box selection, varying input size (extent = 0.3)");
+  bench::PrintRow({"boxes", "uniform_s", "gauss_s"}, {10, 12, 12});
+  const MultiPolygon poly = bench::QueryStar(0.3);
+  for (const size_t n : {bench::Scaled(50000), bench::Scaled(100000),
+                         bench::Scaled(150000), bench::Scaled(200000),
+                         bench::Scaled(250000)}) {
+    const SpatialDataset uni = GenerateUniformBoxes(n, 7);
+    const SpatialDataset gau = GenerateGaussianBoxes(n, 8);
+    auto usrc = MakeInMemorySource("u", uni, engine.config());
+    auto gsrc = MakeInMemorySource("g", gau, engine.config());
+    (void)engine.WarmIndexes(*usrc, false);
+    (void)engine.WarmIndexes(*gsrc, false);
+    const double us =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*usrc, poly); });
+    const double gs =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*gsrc, poly); });
+    bench::PrintRow({std::to_string(n), bench::Fmt(us), bench::Fmt(gs)},
+                    {10, 12, 12});
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 10 — synthetic point selections (uniform vs gaussian):
+//   (left)  vary the query polygon extent 0.1 .. 0.5 on a fixed dataset
+//   (right) vary the input size with the extent fixed at 0.3
+//   (bottom) the selectivity of each query
+// The query polygon is a star-shaped constraint centered on the unit
+// square, scaled like the paper scales an NYC neighborhood polygon.
+#include "bench_common.h"
+#include "datagen/spider.h"
+#include "test_polygon.h"
+
+int main() {
+  using namespace spade;
+  SpadeEngine engine(bench::BenchConfig());
+  const size_t base_n = bench::Scaled(400000);
+
+  bench::PrintHeader(
+      "Fig 10(left+bottom): point selection, varying polygon extent (n = " +
+      std::to_string(base_n) + ")");
+  bench::PrintRow({"extent", "uniform_s", "gauss_s", "uniform_sel",
+                   "gauss_sel"},
+                  {10, 12, 12, 14, 14});
+  {
+    const SpatialDataset uni = GenerateUniformPoints(base_n, 1);
+    const SpatialDataset gau = GenerateGaussianPoints(base_n, 2);
+    auto usrc = MakeInMemorySource("u", uni, engine.config());
+    auto gsrc = MakeInMemorySource("g", gau, engine.config());
+    (void)engine.WarmIndexes(*usrc, false);
+    (void)engine.WarmIndexes(*gsrc, false);
+    for (const double extent : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const MultiPolygon poly = bench::QueryStar(extent);
+      size_t ures = 0, gres = 0;
+      const double us = bench::TimeIt([&] {
+        auto r = engine.SpatialSelection(*usrc, poly);
+        if (r.ok()) ures = r.value().ids.size();
+      });
+      const double gs = bench::TimeIt([&] {
+        auto r = engine.SpatialSelection(*gsrc, poly);
+        if (r.ok()) gres = r.value().ids.size();
+      });
+      bench::PrintRow({bench::Fmt(extent, 1), bench::Fmt(us), bench::Fmt(gs),
+                       bench::Fmt(100.0 * ures / base_n, 2) + "%",
+                       bench::Fmt(100.0 * gres / base_n, 2) + "%"},
+                      {10, 12, 12, 14, 14});
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig 10(right): point selection, varying input size (extent = 0.3)");
+  bench::PrintRow({"points", "uniform_s", "gauss_s"}, {10, 12, 12});
+  const MultiPolygon poly = bench::QueryStar(0.3);
+  for (const size_t n : {bench::Scaled(200000), bench::Scaled(400000),
+                         bench::Scaled(600000), bench::Scaled(800000),
+                         bench::Scaled(1000000)}) {
+    const SpatialDataset uni = GenerateUniformPoints(n, 3);
+    const SpatialDataset gau = GenerateGaussianPoints(n, 4);
+    auto usrc = MakeInMemorySource("u", uni, engine.config());
+    auto gsrc = MakeInMemorySource("g", gau, engine.config());
+    (void)engine.WarmIndexes(*usrc, false);
+    (void)engine.WarmIndexes(*gsrc, false);
+    const double us =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*usrc, poly); });
+    const double gs =
+        bench::TimeIt([&] { (void)engine.SpatialSelection(*gsrc, poly); });
+    bench::PrintRow({std::to_string(n), bench::Fmt(us), bench::Fmt(gs)},
+                    {10, 12, 12});
+  }
+  return 0;
+}

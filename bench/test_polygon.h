@@ -1,0 +1,28 @@
+// The synthetic-workload query polygon (Section 6.6): a fixed star-shaped
+// polygon (standing in for the NYC neighborhood boundary the paper scales)
+// centered on the unit square, scaled so its bounding box has the given
+// width/height "extent".
+#pragma once
+
+#include <cmath>
+
+#include "geom/geometry.h"
+
+namespace spade::bench {
+
+inline MultiPolygon QueryStar(double extent) {
+  // A 16-vertex star with alternating radii — non-convex, fixed shape.
+  Polygon p;
+  const int verts = 16;
+  for (int i = 0; i < verts; ++i) {
+    const double angle = 2.0 * M_PI * i / verts;
+    const double radius = (i % 2 == 0) ? 0.5 : 0.28;
+    p.outer.push_back({0.5 + radius * extent * std::cos(angle),
+                       0.5 + radius * extent * std::sin(angle)});
+  }
+  MultiPolygon mp;
+  mp.parts.push_back(std::move(p));
+  return mp;
+}
+
+}  // namespace spade::bench

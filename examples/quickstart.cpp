@@ -1,0 +1,74 @@
+// Quickstart: build a small spatial dataset, register it with the engine,
+// and run one of each query type.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "geom/wkt.h"
+
+using namespace spade;
+
+int main() {
+  // 1. An engine with default (commodity-laptop) configuration.
+  SpadeEngine engine;
+
+  // 2. A dataset: 100K random points on the unit square, grid-indexed.
+  SpatialDataset points = GenerateUniformPoints(100000, /*seed=*/7);
+  auto src = MakeInMemorySource("points", points, engine.config());
+  std::printf("dataset: %zu points, %zu grid cells\n", points.size(),
+              src->index().num_cells());
+
+  // 3. Spatial selection with a polygonal constraint (WKT input).
+  auto constraint = ParseWkt(
+      "POLYGON ((0.2 0.2, 0.8 0.25, 0.7 0.8, 0.4 0.9, 0.15 0.6, 0.2 0.2))");
+  if (!constraint.ok()) {
+    std::printf("WKT error: %s\n", constraint.status().ToString().c_str());
+    return 1;
+  }
+  auto sel = engine.SpatialSelection(*src, constraint.value().polygon());
+  if (!sel.ok()) {
+    std::printf("selection failed: %s\n", sel.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("selection: %zu points intersect the constraint "
+              "(%.1f ms, %lld rendering passes)\n",
+              sel.value().ids.size(), sel.value().stats.TotalSeconds() * 1e3,
+              static_cast<long long>(sel.value().stats.render_passes));
+
+  // 4. Distance selection: everything within 0.05 of a probe point.
+  auto near = engine.DistanceSelection(*src, Geometry(Vec2{0.5, 0.5}), 0.05);
+  std::printf("distance:  %zu points within 0.05 of (0.5, 0.5)\n",
+              near.ok() ? near.value().ids.size() : 0);
+
+  // 5. k nearest neighbours.
+  auto knn = engine.KnnSelection(*src, {0.5, 0.5}, 5);
+  if (knn.ok()) {
+    std::printf("knn:       5 nearest to (0.5, 0.5):\n");
+    for (const auto& [id, dist] : knn.value().neighbors) {
+      std::printf("           id=%u dist=%.5f\n", id, dist);
+    }
+  }
+
+  // 6. A join against parcel polygons, plus the per-parcel aggregation.
+  SpatialDataset parcels = GenerateParcels(16, /*seed=*/9);
+  auto parcel_src = MakeInMemorySource("parcels", parcels, engine.config());
+  auto join = engine.SpatialJoin(*parcel_src, *src);
+  std::printf("join:      %zu (parcel, point) pairs\n",
+              join.ok() ? join.value().pairs.size() : 0);
+  auto agg = engine.SpatialAggregation(*src, *parcel_src);
+  if (agg.ok()) {
+    uint64_t best = 0, best_id = 0;
+    for (size_t i = 0; i < agg.value().counts.size(); ++i) {
+      if (agg.value().counts[i] > best) {
+        best = agg.value().counts[i];
+        best_id = i;
+      }
+    }
+    std::printf("aggregate: densest parcel is #%llu with %llu points\n",
+                static_cast<unsigned long long>(best_id),
+                static_cast<unsigned long long>(best));
+  }
+  return 0;
+}

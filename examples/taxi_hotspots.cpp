@@ -1,0 +1,75 @@
+// Urban analytics scenario (the paper's motivating workload): taxi-pickup
+// analysis over NYC-like data.
+//   * aggregate pickups per neighborhood and rank the hotspots,
+//   * select the pickups inside the busiest neighborhood,
+//   * run a meter-accurate distance query around a "subway station",
+//   * find the k nearest pickups to a point of interest.
+//
+//   $ ./build/examples/taxi_hotspots [num_points]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/realdata.h"
+#include "engine/spade.h"
+
+using namespace spade;
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
+
+  SpadeEngine engine;
+  std::printf("generating %zu taxi-like pickups over NYC...\n", n);
+  SpatialDataset taxi = TaxiLikePoints(n, /*seed=*/2026);
+  SpatialDataset hoods = NeighborhoodLikePolygons(/*seed=*/7);
+  auto taxi_src = MakeInMemorySource("taxi", taxi, engine.config());
+  auto hood_src = MakeInMemorySource("hoods", hoods, engine.config());
+
+  // 1. Pickups per neighborhood (spatial aggregation, point-optimized plan).
+  auto agg = engine.SpatialAggregation(*taxi_src, *hood_src);
+  if (!agg.ok()) {
+    std::printf("aggregation failed: %s\n", agg.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::pair<uint64_t, GeomId>> ranked;
+  for (size_t i = 0; i < agg.value().counts.size(); ++i) {
+    ranked.emplace_back(agg.value().counts[i], static_cast<GeomId>(i));
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("top-5 hotspot neighborhoods (%.2f s):\n",
+              agg.value().stats.TotalSeconds());
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  neighborhood %3u: %8llu pickups\n", ranked[i].second,
+                static_cast<unsigned long long>(ranked[i].first));
+  }
+
+  // 2. All pickups inside the busiest neighborhood.
+  const MultiPolygon& busiest = hoods.geoms[ranked[0].second].polygon();
+  auto sel = engine.SpatialSelection(*taxi_src, busiest);
+  if (sel.ok()) {
+    std::printf("selection inside hotspot: %zu pickups (%.2f s; io %.2fs, "
+                "gpu %.2fs)\n",
+                sel.value().ids.size(), sel.value().stats.TotalSeconds(),
+                sel.value().stats.io_seconds, sel.value().stats.gpu_seconds);
+  }
+
+  // 3. Meter-accurate distance query: pickups within 250 m of a station.
+  QueryOptions meters;
+  meters.mercator = true;
+  const Vec2 station = taxi.geoms[0].point();  // a busy spot
+  auto near = engine.DistanceSelection(*taxi_src, Geometry(station), 250.0,
+                                       meters);
+  if (near.ok()) {
+    std::printf("pickups within 250 m of (%.4f, %.4f): %zu\n", station.x,
+                station.y, near.value().ids.size());
+  }
+
+  // 4. The 10 nearest pickups to the station.
+  auto knn = engine.KnnSelection(*taxi_src, station, 10, meters);
+  if (knn.ok() && !knn.value().neighbors.empty()) {
+    std::printf("10 nearest pickups: closest at %.1f m, furthest at %.1f m\n",
+                knn.value().neighbors.front().second,
+                knn.value().neighbors.back().second);
+  }
+  return 0;
+}

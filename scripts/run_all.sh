@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+#   scripts/run_all.sh [bench_scale]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "=== benches at SPADE_BENCH_SCALE=${SCALE} ==="
+for b in build/bench/*; do
+  echo "##### $(basename "$b") #####"
+  SPADE_BENCH_SCALE="${SCALE}" "$b"
+done

@@ -1,0 +1,344 @@
+#include "baselines/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+#include <random>
+
+#include "geom/predicates.h"
+
+namespace spade {
+
+namespace {
+
+// Recursive space partitioning over a coordinate sample: KDB (binary median
+// splits, widest axis) or quadtree (4-way splits of the fullest region).
+std::vector<Box> BuildPartitionBoxes(const Box& extent,
+                                     std::vector<Vec2> sample,
+                                     const ClusterConfig& config) {
+  struct Region {
+    Box box;
+    std::vector<Vec2> sample;
+  };
+  std::vector<Region> regions;
+  regions.push_back({extent, std::move(sample)});
+
+  auto largest = [&]() -> size_t {
+    size_t best = 0;
+    for (size_t i = 1; i < regions.size(); ++i) {
+      if (regions[i].sample.size() > regions[best].sample.size()) best = i;
+    }
+    return best;
+  };
+
+  const size_t target = static_cast<size_t>(config.num_partitions);
+  while (regions.size() < target) {
+    const size_t idx = largest();
+    Region region = std::move(regions[idx]);
+    regions.erase(regions.begin() + idx);
+    if (region.sample.size() < 2) {
+      regions.push_back(std::move(region));
+      break;  // cannot split further
+    }
+    if (config.partitioning == ClusterConfig::Partitioning::kKdb) {
+      const bool split_x = region.box.Width() >= region.box.Height();
+      auto mid = region.sample.begin() + region.sample.size() / 2;
+      std::nth_element(region.sample.begin(), mid, region.sample.end(),
+                       [&](const Vec2& a, const Vec2& b) {
+                         return split_x ? a.x < b.x : a.y < b.y;
+                       });
+      const double cut = split_x ? mid->x : mid->y;
+      Region lo, hi;
+      lo.box = region.box;
+      hi.box = region.box;
+      if (split_x) {
+        lo.box.max.x = cut;
+        hi.box.min.x = cut;
+      } else {
+        lo.box.max.y = cut;
+        hi.box.min.y = cut;
+      }
+      for (const Vec2& p : region.sample) {
+        ((split_x ? p.x : p.y) < cut ? lo : hi).sample.push_back(p);
+      }
+      regions.push_back(std::move(lo));
+      regions.push_back(std::move(hi));
+    } else {  // quadtree split
+      const Vec2 c = region.box.Center();
+      Region quads[4];
+      quads[0].box = Box(region.box.min.x, region.box.min.y, c.x, c.y);
+      quads[1].box = Box(c.x, region.box.min.y, region.box.max.x, c.y);
+      quads[2].box = Box(region.box.min.x, c.y, c.x, region.box.max.y);
+      quads[3].box = Box(c.x, c.y, region.box.max.x, region.box.max.y);
+      for (const Vec2& p : region.sample) {
+        const int qi = (p.x >= c.x ? 1 : 0) + (p.y >= c.y ? 2 : 0);
+        quads[qi].sample.push_back(p);
+      }
+      for (auto& q : quads) regions.push_back(std::move(q));
+    }
+  }
+  std::vector<Box> boxes;
+  boxes.reserve(regions.size());
+  for (const auto& r : regions) boxes.push_back(r.box);
+  return boxes;
+}
+
+}  // namespace
+
+ClusterDataset::ClusterDataset(const SpatialDataset* dataset,
+                               const ClusterConfig& config)
+    : dataset_(dataset) {
+  const Box extent = dataset->Bounds();
+
+  // Sample centroids for the partitioner.
+  std::mt19937_64 gen(config.seed);
+  std::vector<Vec2> sample;
+  const size_t n = dataset->size();
+  const size_t want = std::min(config.sample_size, n);
+  sample.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    sample.push_back(dataset->geoms[gen() % n].Centroid());
+  }
+  const std::vector<Box> boxes = BuildPartitionBoxes(extent, sample, config);
+
+  partitions_.resize(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) partitions_[i].bounds = boxes[i];
+
+  // Assign each object to every partition its bounds intersect (GeoSpark
+  // duplicates boundary-crossing objects; results are deduplicated at the
+  // merge). Points land in exactly one partition.
+  RTree part_tree = RTree::Build(boxes);
+  for (size_t i = 0; i < n; ++i) {
+    const Box b = dataset->geoms[i].Bounds();
+    bool assigned = false;
+    part_tree.Query(b, [&](uint32_t pi) {
+      if (dataset->geoms[i].is_point() && assigned) return;
+      partitions_[pi].ids.push_back(static_cast<GeomId>(i));
+      partitions_[pi].boxes.push_back(b);
+      partitions_[pi].bytes += dataset->geoms[i].ByteSize();
+      assigned = true;
+    });
+    if (!assigned) {
+      // Degenerate: outside every region (shouldn't happen); put in 0.
+      partitions_[0].ids.push_back(static_cast<GeomId>(i));
+      partitions_[0].boxes.push_back(b);
+      partitions_[0].bytes += dataset->geoms[i].ByteSize();
+    }
+  }
+  for (auto& part : partitions_) {
+    part.rtree = RTree::Build(part.boxes);
+  }
+}
+
+ClusterEngine::ClusterEngine(const ClusterConfig& config)
+    : config_(config), pool_(static_cast<size_t>(config.num_nodes)) {}
+
+namespace {
+
+/// Executor-memory model: invoke fn(local_index) for every member of the
+/// partition. A partition larger than the node budget is processed in
+/// budget-sized chunks, each preceded by a re-materialization (copy) of
+/// that chunk's geometry — the spill penalty.
+void ForEachMemberWithSpill(const ClusterDataset::Partition& part,
+                            const SpatialDataset& dataset, size_t budget,
+                            const std::function<void(size_t)>& fn) {
+  if (part.bytes <= budget || part.ids.empty()) {
+    for (size_t i = 0; i < part.ids.size(); ++i) fn(i);
+    return;
+  }
+  // Spill path: chunk and re-materialize.
+  size_t chunk_begin = 0;
+  while (chunk_begin < part.ids.size()) {
+    size_t bytes = 0;
+    size_t chunk_end = chunk_begin;
+    while (chunk_end < part.ids.size() && bytes < budget) {
+      bytes += dataset.geoms[part.ids[chunk_end]].ByteSize();
+      ++chunk_end;
+    }
+    // Re-materialization: copy the chunk's geometry (spilled block re-read).
+    std::vector<Geometry> scratch;
+    scratch.reserve(chunk_end - chunk_begin);
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      scratch.push_back(dataset.geoms[part.ids[i]]);
+    }
+    for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+    chunk_begin = chunk_end;
+  }
+}
+
+}  // namespace
+
+std::vector<GeomId> ClusterEngine::Select(const ClusterDataset& data,
+                                          const MultiPolygon& constraint) const {
+  const Box bounds = constraint.Bounds();
+  const auto& parts = data.partitions();
+  std::mutex mu;
+  std::vector<GeomId> result;
+  pool_.ParallelFor(parts.size(), [&](size_t lo, size_t hi) {
+    std::vector<GeomId> local;
+    for (size_t p = lo; p < hi; ++p) {
+      const auto& part = parts[p];
+      if (!part.bounds.Intersects(bounds)) continue;
+      part.rtree.Query(bounds, [&](uint32_t li) {
+        const GeomId id = part.ids[li];
+        if (GeometryIntersectsPolygon(data.dataset().geoms[id], constraint)) {
+          local.push_back(id);
+        }
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<std::pair<GeomId, GeomId>> ClusterEngine::JoinPolyPoint(
+    const ClusterDataset& polys, const ClusterDataset& points) const {
+  const auto& parts = points.partitions();
+  const auto& poly_ds = polys.dataset();
+
+  // Candidate polygons per point-partition via an index over poly bounds.
+  std::vector<Box> poly_boxes;
+  poly_boxes.reserve(poly_ds.size());
+  for (const auto& g : poly_ds.geoms) poly_boxes.push_back(g.Bounds());
+  RTree poly_tree = RTree::Build(poly_boxes);
+
+  std::mutex mu;
+  std::vector<std::pair<GeomId, GeomId>> result;
+  pool_.ParallelFor(parts.size(), [&](size_t lo, size_t hi) {
+    std::vector<std::pair<GeomId, GeomId>> local;
+    for (size_t p = lo; p < hi; ++p) {
+      const auto& part = parts[p];
+      if (part.ids.empty()) continue;
+      std::vector<uint32_t> candidates;
+      poly_tree.Query(part.bounds, [&](uint32_t pid) {
+        candidates.push_back(pid);
+      });
+      if (candidates.empty()) continue;
+      ForEachMemberWithSpill(
+          part, points.dataset(), config_.node_memory_budget, [&](size_t li) {
+            const GeomId pt_id = part.ids[li];
+            const Vec2& pt = points.dataset().geoms[pt_id].point();
+            for (uint32_t pid : candidates) {
+              if (!poly_boxes[pid].Contains(pt)) continue;
+              if (PointInMultiPolygon(poly_ds.geoms[pid].polygon(), pt)) {
+                local.emplace_back(pid, pt_id);
+              }
+            }
+          });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  return result;
+}
+
+std::vector<std::pair<GeomId, GeomId>> ClusterEngine::JoinPolyPoly(
+    const ClusterDataset& a, const ClusterDataset& b) const {
+  const auto& parts = a.partitions();
+  const auto& b_ds = b.dataset();
+  std::vector<Box> b_boxes;
+  b_boxes.reserve(b_ds.size());
+  for (const auto& g : b_ds.geoms) b_boxes.push_back(g.Bounds());
+  RTree b_tree = RTree::Build(b_boxes);
+
+  std::mutex mu;
+  std::vector<std::pair<GeomId, GeomId>> result;
+  pool_.ParallelFor(parts.size(), [&](size_t lo, size_t hi) {
+    std::vector<std::pair<GeomId, GeomId>> local;
+    for (size_t p = lo; p < hi; ++p) {
+      const auto& part = parts[p];
+      ForEachMemberWithSpill(
+          part, a.dataset(), config_.node_memory_budget, [&](size_t li) {
+            const GeomId aid = part.ids[li];
+            const Geometry& ag = a.dataset().geoms[aid];
+            // Each duplicated copy reports only matches whose intersection
+            // could lie in this partition; global dedup below.
+            b_tree.Query(part.boxes[li], [&](uint32_t bid) {
+              if (MultiPolygonsIntersect(ag.polygon(),
+                                         b_ds.geoms[bid].polygon())) {
+                local.emplace_back(aid, static_cast<GeomId>(bid));
+              }
+            });
+          });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<std::pair<GeomId, GeomId>> ClusterEngine::DistanceJoinPoints(
+    const std::vector<Vec2>& probes, const ClusterDataset& points,
+    double r) const {
+  const auto& parts = points.partitions();
+  std::mutex mu;
+  std::vector<std::pair<GeomId, GeomId>> result;
+  pool_.ParallelFor(probes.size(), [&](size_t lo, size_t hi) {
+    std::vector<std::pair<GeomId, GeomId>> local;
+    for (size_t q = lo; q < hi; ++q) {
+      const Vec2& probe = probes[q];
+      const Box query(probe.x - r, probe.y - r, probe.x + r, probe.y + r);
+      const double r2 = r * r;
+      for (const auto& part : parts) {
+        if (!part.bounds.Intersects(query)) continue;
+        part.rtree.Query(query, [&](uint32_t li) {
+          const GeomId id = part.ids[li];
+          if (probe.Distance2To(points.dataset().geoms[id].point()) <= r2) {
+            local.emplace_back(static_cast<GeomId>(q), id);
+          }
+        });
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  return result;
+}
+
+std::vector<std::pair<GeomId, double>> ClusterEngine::KnnSelect(
+    const ClusterDataset& points, const Vec2& query, size_t k) const {
+  // Visit partitions in order of distance; stop when the kth best beats
+  // the next partition's lower bound.
+  const auto& parts = points.partitions();
+  std::vector<size_t> order(parts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return parts[a].bounds.DistanceTo(query) < parts[b].bounds.DistanceTo(query);
+  });
+
+  std::priority_queue<std::pair<double, GeomId>> best;  // max-heap
+  for (size_t pi : order) {
+    const auto& part = parts[pi];
+    if (best.size() == k &&
+        part.bounds.DistanceTo(query) > best.top().first) {
+      break;
+    }
+    part.rtree.VisitNearest(query, [&](uint32_t li, double dist) {
+      if (best.size() == k && dist > best.top().first) return false;
+      const GeomId id = part.ids[li];
+      const double d =
+          query.DistanceTo(points.dataset().geoms[id].point());
+      if (best.size() < k) {
+        best.emplace(d, id);
+      } else if (d < best.top().first) {
+        best.pop();
+        best.emplace(d, id);
+      }
+      return true;
+    });
+  }
+  std::vector<std::pair<GeomId, double>> result;
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace spade

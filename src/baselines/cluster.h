@@ -1,0 +1,97 @@
+// GeoSpark-like cluster engine: the map-reduce baseline of the paper's
+// evaluation (Section 6.1, group 4). A dataset becomes a partitioned
+// "SpatialRDD": a KDB-tree or quadtree spatial partitioning built from a
+// sample, objects duplicated into every partition they overlap, and an
+// R-tree per partition. Queries run partition-parallel on `num_nodes`
+// worker threads (the cluster's compute nodes) with filter + exact-refine
+// per partition and a result merge (the shuffle).
+//
+// Spill modelling: GeoSpark's join throughput degrades once partitions
+// outgrow executor memory (the paper's Fig. 6 slope change past ~1B
+// points). We model executor memory with `node_memory_budget`: a partition
+// larger than the budget is processed in chunks, each of which must be
+// re-materialized (copied) first, exactly like spilled blocks re-read
+// during the probe phase.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/rtree.h"
+#include "common/thread_pool.h"
+#include "geom/geometry.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// \brief Tuning knobs of the simulated cluster (see Section 6.1's
+/// "Database Setup and Tuning" — partition count and strategy are the
+/// parameters the paper sweeps to tune GeoSpark).
+struct ClusterConfig {
+  enum class Partitioning { kKdb, kQuad };
+
+  int num_nodes = 8;            ///< worker threads = cluster nodes
+  int num_partitions = 64;      ///< target SpatialRDD partition count
+  Partitioning partitioning = Partitioning::kKdb;
+  size_t node_memory_budget = 64ull << 20;  ///< bytes per partition in memory
+  size_t sample_size = 4096;    ///< sample used to build the partitioning
+  uint64_t seed = 1;
+};
+
+/// \brief A partitioned, per-partition-indexed dataset (a "SpatialRDD").
+class ClusterDataset {
+ public:
+  /// Partition `dataset` (which must outlive this object).
+  ClusterDataset(const SpatialDataset* dataset, const ClusterConfig& config);
+
+  struct Partition {
+    Box bounds;                  ///< partition region
+    std::vector<GeomId> ids;     ///< members (boundary objects duplicated)
+    std::vector<Box> boxes;      ///< member bounds, parallel to ids
+    RTree rtree;                 ///< local index
+    size_t bytes = 0;            ///< payload size for spill modelling
+  };
+
+  const SpatialDataset& dataset() const { return *dataset_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+ private:
+  const SpatialDataset* dataset_;
+  std::vector<Partition> partitions_;
+};
+
+/// \brief Partition-parallel query execution over ClusterDatasets.
+class ClusterEngine {
+ public:
+  explicit ClusterEngine(const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Spatial selection: ids of objects intersecting the polygon.
+  std::vector<GeomId> Select(const ClusterDataset& data,
+                             const MultiPolygon& constraint) const;
+
+  /// Polygon x point join: (polygon id, point id) pairs.
+  std::vector<std::pair<GeomId, GeomId>> JoinPolyPoint(
+      const ClusterDataset& polys, const ClusterDataset& points) const;
+
+  /// Polygon x polygon join.
+  std::vector<std::pair<GeomId, GeomId>> JoinPolyPoly(
+      const ClusterDataset& a, const ClusterDataset& b) const;
+
+  /// Distance join between a small probe point set and a point dataset:
+  /// (probe index, point id) pairs with distance <= r.
+  std::vector<std::pair<GeomId, GeomId>> DistanceJoinPoints(
+      const std::vector<Vec2>& probes, const ClusterDataset& points,
+      double r) const;
+
+  /// kNN selection over a point dataset.
+  std::vector<std::pair<GeomId, double>> KnnSelect(
+      const ClusterDataset& points, const Vec2& query, size_t k) const;
+
+ private:
+  ClusterConfig config_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace spade

@@ -1,0 +1,147 @@
+#include "baselines/kdtree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace spade {
+
+BlockKdTree BlockKdTree::Build(const std::vector<Vec2>& points,
+                               int leaf_size) {
+  BlockKdTree tree;
+  if (points.empty()) return tree;
+  std::vector<uint32_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  tree.points_.reserve(points.size());
+  tree.ids_.reserve(points.size());
+  tree.root_ = tree.BuildRec(order, 0, static_cast<uint32_t>(order.size()),
+                             points, leaf_size);
+  return tree;
+}
+
+int32_t BlockKdTree::BuildRec(std::vector<uint32_t>& order, uint32_t lo,
+                              uint32_t hi, const std::vector<Vec2>& pts,
+                              int leaf_size) {
+  Box box;
+  for (uint32_t i = lo; i < hi; ++i) box.Extend(pts[order[i]]);
+
+  if (hi - lo <= static_cast<uint32_t>(leaf_size)) {
+    Leaf leaf;
+    leaf.box = box;
+    leaf.begin = static_cast<uint32_t>(points_.size());
+    for (uint32_t i = lo; i < hi; ++i) {
+      points_.push_back(pts[order[i]]);
+      ids_.push_back(order[i]);
+    }
+    leaf.end = static_cast<uint32_t>(points_.size());
+    const int32_t leaf_idx = static_cast<int32_t>(leaves_.size());
+    leaves_.push_back(leaf);
+    Node node;
+    node.box = box;
+    node.leaf = leaf_idx;
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  const bool split_x = box.Width() >= box.Height();
+  const uint32_t mid = lo + (hi - lo) / 2;
+  std::nth_element(order.begin() + lo, order.begin() + mid,
+                   order.begin() + hi, [&](uint32_t a, uint32_t b) {
+                     return split_x ? pts[a].x < pts[b].x : pts[a].y < pts[b].y;
+                   });
+  const int32_t left = BuildRec(order, lo, mid, pts, leaf_size);
+  const int32_t right = BuildRec(order, mid, hi, pts, leaf_size);
+  Node node;
+  node.box = box;
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void BlockKdTree::CollectLeaves(
+    const Box& query, const std::function<void(const Leaf&)>& fn) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf >= 0) {
+      fn(leaves_[node.leaf]);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+void BlockKdTree::RangeQuery(
+    const Box& query,
+    const std::function<void(uint32_t, const Vec2&)>& fn) const {
+  CollectLeaves(query, [&](const Leaf& leaf) {
+    for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      if (query.Contains(points_[i])) fn(ids_[i], points_[i]);
+    }
+  });
+}
+
+void BlockKdTree::RadiusQuery(
+    const Vec2& p, double r,
+    const std::function<void(uint32_t, const Vec2&)>& fn) const {
+  const Box query(p.x - r, p.y - r, p.x + r, p.y + r);
+  const double r2 = r * r;
+  CollectLeaves(query, [&](const Leaf& leaf) {
+    for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      if (p.Distance2To(points_[i]) <= r2) fn(ids_[i], points_[i]);
+    }
+  });
+}
+
+std::vector<std::pair<uint32_t, double>> BlockKdTree::KNearest(
+    const Vec2& p, size_t k) const {
+  std::vector<std::pair<uint32_t, double>> result;
+  if (root_ < 0 || k == 0) return result;
+
+  struct Item {
+    double dist;
+    int32_t node;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  // Max-heap of current best (distance, id).
+  std::priority_queue<std::pair<double, uint32_t>> best;
+
+  heap.push({nodes_[root_].box.DistanceTo(p), root_});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (best.size() == k && item.dist > best.top().first) break;
+    const Node& node = nodes_[item.node];
+    if (node.leaf >= 0) {
+      const Leaf& leaf = leaves_[node.leaf];
+      for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
+        const double d = p.DistanceTo(points_[i]);
+        if (best.size() < k) {
+          best.emplace(d, ids_[i]);
+        } else if (d < best.top().first) {
+          best.pop();
+          best.emplace(d, ids_[i]);
+        }
+      }
+    } else {
+      heap.push({nodes_[node.left].box.DistanceTo(p), node.left});
+      heap.push({nodes_[node.right].box.DistanceTo(p), node.right});
+    }
+  }
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace spade

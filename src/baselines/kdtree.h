@@ -1,0 +1,72 @@
+// A block kd-tree over points: internal nodes split on the median of the
+// wider axis, leaves hold up to `leaf_size` points stored contiguously.
+// With leaf_size=4096 this is the STIG index layout [12] (leaf blocks are
+// scanned in parallel on the device); with small leaves it doubles as the
+// point index of the S2-like in-memory baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// \brief Static block kd-tree over 2-D points.
+class BlockKdTree {
+ public:
+  BlockKdTree() = default;
+
+  /// Bulk-build over `points`; point i keeps id i.
+  static BlockKdTree Build(const std::vector<Vec2>& points, int leaf_size);
+
+  size_t size() const { return points_.size(); }
+
+  struct Leaf {
+    Box box;
+    uint32_t begin;  ///< index into the reordered point array
+    uint32_t end;
+  };
+
+  /// All leaves whose box intersects `query` (the filter phase).
+  void CollectLeaves(const Box& query,
+                     const std::function<void(const Leaf&)>& fn) const;
+
+  /// Reordered points and their original ids (for leaf scans).
+  const std::vector<Vec2>& points() const { return points_; }
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+  /// fn(id, point) for every point in `query`.
+  void RangeQuery(const Box& query,
+                  const std::function<void(uint32_t, const Vec2&)>& fn) const;
+
+  /// fn(id, point) for every point within distance r of p.
+  void RadiusQuery(const Vec2& p, double r,
+                   const std::function<void(uint32_t, const Vec2&)>& fn) const;
+
+  /// The k nearest neighbours of p as (id, distance), sorted by distance.
+  std::vector<std::pair<uint32_t, double>> KNearest(const Vec2& p,
+                                                    size_t k) const;
+
+  size_t num_leaves() const { return leaves_.size(); }
+
+ private:
+  struct Node {
+    Box box;
+    int32_t left = -1;    ///< node index; -1 for leaf
+    int32_t right = -1;
+    int32_t leaf = -1;    ///< leaf index when leaf node
+  };
+
+  int32_t BuildRec(std::vector<uint32_t>& order, uint32_t lo, uint32_t hi,
+                   const std::vector<Vec2>& pts, int leaf_size);
+
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+  std::vector<Vec2> points_;   // reordered
+  std::vector<uint32_t> ids_;  // original ids, parallel to points_
+  int32_t root_ = -1;
+};
+
+}  // namespace spade

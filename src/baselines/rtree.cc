@@ -1,0 +1,121 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spade {
+
+RTree RTree::Build(const std::vector<Box>& boxes) {
+  RTree tree;
+  tree.entry_boxes_ = boxes;
+  tree.num_entries_ = boxes.size();
+  if (boxes.empty()) return tree;
+
+  // STR: sort by x, slice, sort each slice by y, pack leaves.
+  std::vector<uint32_t> order(boxes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return boxes[a].Center().x < boxes[b].Center().x;
+  });
+  const size_t n = boxes.size();
+  const size_t num_leaves = (n + kLeafCapacity - 1) / kLeafCapacity;
+  const size_t slices =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                              static_cast<double>(num_leaves)))));
+  const size_t per_slice = (n + slices - 1) / slices;
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t lo = s * per_slice;
+    const size_t hi = std::min(n, lo + per_slice);
+    if (lo >= hi) break;
+    std::sort(order.begin() + lo, order.begin() + hi,
+              [&](uint32_t a, uint32_t b) {
+                return boxes[a].Center().y < boxes[b].Center().y;
+              });
+  }
+
+  // Pack leaves.
+  std::vector<uint32_t> level;
+  for (size_t i = 0; i < n; i += kLeafCapacity) {
+    Node leaf;
+    leaf.leaf = true;
+    for (size_t j = i; j < std::min(n, i + kLeafCapacity); ++j) {
+      leaf.children.push_back(order[j]);
+      leaf.box.Extend(boxes[order[j]]);
+    }
+    level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(std::move(leaf));
+  }
+
+  // Pack upper levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < level.size(); i += kFanout) {
+      Node node;
+      node.leaf = false;
+      for (size_t j = i; j < std::min(level.size(), i + kFanout); ++j) {
+        node.children.push_back(level[j]);
+        node.box.Extend(tree.nodes_[level[j]].box);
+      }
+      next.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(node));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = static_cast<int32_t>(level[0]);
+  return tree;
+}
+
+void RTree::Query(const Box& query,
+                  const std::function<void(uint32_t)>& fn) const {
+  if (root_ < 0) return;
+  std::vector<uint32_t> stack = {static_cast<uint32_t>(root_)};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (uint32_t id : node.children) {
+        if (entry_boxes_[id].Intersects(query)) fn(id);
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        if (nodes_[child].box.Intersects(query)) stack.push_back(child);
+      }
+    }
+  }
+}
+
+void RTree::VisitNearest(
+    const Vec2& p, const std::function<bool(uint32_t, double)>& fn) const {
+  if (root_ < 0) return;
+  // Heap over (distance, is_entry, index).
+  struct Item {
+    double dist;
+    bool entry;
+    uint32_t index;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({nodes_[root_].box.DistanceTo(p), false,
+             static_cast<uint32_t>(root_)});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.entry) {
+      if (!fn(item.index, item.dist)) return;
+      continue;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.leaf) {
+      for (uint32_t id : node.children) {
+        heap.push({entry_boxes_[id].DistanceTo(p), true, id});
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        heap.push({nodes_[child].box.DistanceTo(p), false, child});
+      }
+    }
+  }
+}
+
+}  // namespace spade

@@ -1,0 +1,54 @@
+// An STR (sort-tile-recursive) bulk-loaded R-tree over bounding boxes.
+// Backbone of the S2-like shape index and of the per-partition indexes of
+// the cluster baseline (GeoSpark builds an R-tree per RDD partition).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// \brief Static R-tree over (box, id) entries, STR bulk load.
+class RTree {
+ public:
+  static constexpr int kLeafCapacity = 16;
+  static constexpr int kFanout = 16;
+
+  RTree() = default;
+
+  /// Bulk-load from boxes; entry i gets id i.
+  static RTree Build(const std::vector<Box>& boxes);
+
+  size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Invoke fn(id) for every entry whose box intersects `query`.
+  void Query(const Box& query, const std::function<void(uint32_t)>& fn) const;
+
+  /// Invoke fn(id, box) in non-decreasing order of box distance to `p`
+  /// until fn returns false (best-first incremental nearest neighbours).
+  void VisitNearest(const Vec2& p,
+                    const std::function<bool(uint32_t, double)>& fn) const;
+
+  /// Number of nodes (for tests / introspection).
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Box box;
+    bool leaf = true;
+    // Children: node indices for internal nodes, entry ids for leaves.
+    std::vector<uint32_t> children;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Box> entry_boxes_;
+  int32_t root_ = -1;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace spade

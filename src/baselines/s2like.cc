@@ -1,0 +1,94 @@
+#include "baselines/s2like.h"
+
+#include "geom/predicates.h"
+
+namespace spade {
+
+S2LikePointIndex::S2LikePointIndex(std::vector<Vec2> points)
+    : points_(std::move(points)) {
+  tree_ = BlockKdTree::Build(points_, /*leaf_size=*/64);
+}
+
+std::vector<uint32_t> S2LikePointIndex::SelectInPolygon(
+    const MultiPolygon& poly) const {
+  std::vector<uint32_t> result;
+  tree_.RangeQuery(poly.Bounds(), [&](uint32_t id, const Vec2& p) {
+    if (PointInMultiPolygon(poly, p)) result.push_back(id);
+  });
+  return result;
+}
+
+std::vector<uint32_t> S2LikePointIndex::WithinDistance(const Vec2& p,
+                                                       double r) const {
+  std::vector<uint32_t> result;
+  tree_.RadiusQuery(p, r, [&](uint32_t id, const Vec2&) {
+    result.push_back(id);
+  });
+  return result;
+}
+
+std::vector<uint32_t> S2LikePointIndex::WithinDistanceOfGeometry(
+    const Geometry& g, double r) const {
+  std::vector<uint32_t> result;
+  const Box query = g.Bounds().Expanded(r);
+  tree_.RangeQuery(query, [&](uint32_t id, const Vec2& p) {
+    if (PointGeometryDistance(g, p) <= r) result.push_back(id);
+  });
+  return result;
+}
+
+std::vector<std::pair<uint32_t, double>> S2LikePointIndex::KNearest(
+    const Vec2& p, size_t k) const {
+  return tree_.KNearest(p, k);
+}
+
+S2LikeShapeIndex::S2LikeShapeIndex(const std::vector<Geometry>* shapes)
+    : shapes_(shapes) {
+  std::vector<Box> boxes;
+  boxes.reserve(shapes->size());
+  for (const auto& g : *shapes) boxes.push_back(g.Bounds());
+  rtree_ = RTree::Build(boxes);
+}
+
+std::vector<uint32_t> S2LikeShapeIndex::SelectIntersecting(
+    const MultiPolygon& poly) const {
+  std::vector<uint32_t> result;
+  rtree_.Query(poly.Bounds(), [&](uint32_t id) {
+    if (GeometryIntersectsPolygon((*shapes_)[id], poly)) {
+      result.push_back(id);
+    }
+  });
+  return result;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> S2LikeShapeIndex::JoinPoints(
+    const S2LikePointIndex& points) const {
+  std::vector<std::pair<uint32_t, uint32_t>> result;
+  // For each shape, range-query the point tree on its bounds and refine.
+  for (uint32_t sid = 0; sid < shapes_->size(); ++sid) {
+    const Geometry& shape = (*shapes_)[sid];
+    if (!shape.is_polygon()) continue;
+    const auto ids = points.SelectInPolygon(shape.polygon());
+    for (uint32_t pid : ids) result.emplace_back(sid, pid);
+  }
+  return result;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> S2LikeShapeIndex::JoinShapes(
+    const S2LikeShapeIndex& other) const {
+  std::vector<std::pair<uint32_t, uint32_t>> result;
+  for (uint32_t sid = 0; sid < shapes_->size(); ++sid) {
+    const Geometry& shape = (*shapes_)[sid];
+    if (!shape.is_polygon()) continue;
+    other.rtree_.Query(shape.Bounds(), [&](uint32_t oid) {
+      const Geometry& og = (*other.shapes_)[oid];
+      if (og.is_polygon() &&
+          MultiPolygonsIntersect(shape.polygon(), og.polygon())) {
+        result.emplace_back(sid, oid);
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace spade

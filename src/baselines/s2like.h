@@ -1,0 +1,73 @@
+// "S2-like" in-memory spatial library: the large-main-memory-server
+// baseline of the paper's evaluation (Section 6.1, group 1). Mirrors the
+// parts of Google S2 the paper exercises: a point index optimized for
+// distance/kNN queries (S2PointIndex) and a shape index for polygonal data
+// (S2ShapeIndex), both with exact geometric refinement. The whole dataset
+// must be resident in memory — exactly the constraint that makes this
+// baseline unusable on commodity hardware for big data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/kdtree.h"
+#include "baselines/rtree.h"
+#include "geom/geometry.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// \brief In-memory point index (kd-tree with small leaves), optimized for
+/// distance and kNN queries like S2PointIndex.
+class S2LikePointIndex {
+ public:
+  explicit S2LikePointIndex(std::vector<Vec2> points);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Vec2>& points() const { return points_; }
+
+  /// Ids of points intersecting the polygon (filter + exact refine).
+  std::vector<uint32_t> SelectInPolygon(const MultiPolygon& poly) const;
+
+  /// Ids of points within distance r of p.
+  std::vector<uint32_t> WithinDistance(const Vec2& p, double r) const;
+
+  /// Ids of points within distance r of an arbitrary geometry (exact).
+  std::vector<uint32_t> WithinDistanceOfGeometry(const Geometry& g,
+                                                 double r) const;
+
+  /// The k nearest points to p, sorted by distance.
+  std::vector<std::pair<uint32_t, double>> KNearest(const Vec2& p,
+                                                    size_t k) const;
+
+ private:
+  std::vector<Vec2> points_;
+  BlockKdTree tree_;
+};
+
+/// \brief In-memory shape index (STR R-tree over shape bounds) with exact
+/// refinement, like S2ShapeIndex.
+class S2LikeShapeIndex {
+ public:
+  /// The index references `shapes` (must outlive the index).
+  explicit S2LikeShapeIndex(const std::vector<Geometry>* shapes);
+
+  size_t size() const { return shapes_->size(); }
+
+  /// Ids of shapes intersecting the polygonal constraint.
+  std::vector<uint32_t> SelectIntersecting(const MultiPolygon& poly) const;
+
+  /// Join with a point index: (shape id, point id) pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> JoinPoints(
+      const S2LikePointIndex& points) const;
+
+  /// Join with another shape index: intersecting (id, id) pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> JoinShapes(
+      const S2LikeShapeIndex& other) const;
+
+ private:
+  const std::vector<Geometry>* shapes_;
+  RTree rtree_;
+};
+
+}  // namespace spade

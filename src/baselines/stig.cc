@@ -1,0 +1,63 @@
+#include "baselines/stig.h"
+
+#include <mutex>
+
+#include "geom/predicates.h"
+
+namespace spade {
+
+StigIndex::StigIndex(std::vector<Vec2> points, ThreadPool* pool,
+                     int leaf_size)
+    : points_(std::move(points)), pool_(pool) {
+  tree_ = BlockKdTree::Build(points_, leaf_size);
+}
+
+std::vector<uint32_t> StigIndex::PolygonSelect(const MultiPolygon& poly) const {
+  // Filter: collect candidate leaf blocks.
+  std::vector<BlockKdTree::Leaf> blocks;
+  tree_.CollectLeaves(poly.Bounds(),
+                      [&](const BlockKdTree::Leaf& l) { blocks.push_back(l); });
+
+  // Refine: scan blocks in parallel (the CUDA kernel in real STIG).
+  const auto& pts = tree_.points();
+  const auto& ids = tree_.ids();
+  const Box bounds = poly.Bounds();
+  std::mutex mu;
+  std::vector<uint32_t> result;
+  pool_->ParallelFor(blocks.size(), [&](size_t lo, size_t hi) {
+    std::vector<uint32_t> local;
+    for (size_t b = lo; b < hi; ++b) {
+      for (uint32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+        if (bounds.Contains(pts[i]) && PointInMultiPolygon(poly, pts[i])) {
+          local.push_back(ids[i]);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  return result;
+}
+
+std::vector<uint32_t> StigIndex::RangeSelect(const Box& box) const {
+  std::vector<BlockKdTree::Leaf> blocks;
+  tree_.CollectLeaves(box,
+                      [&](const BlockKdTree::Leaf& l) { blocks.push_back(l); });
+  const auto& pts = tree_.points();
+  const auto& ids = tree_.ids();
+  std::mutex mu;
+  std::vector<uint32_t> result;
+  pool_->ParallelFor(blocks.size(), [&](size_t lo, size_t hi) {
+    std::vector<uint32_t> local;
+    for (size_t b = lo; b < hi; ++b) {
+      for (uint32_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+        if (box.Contains(pts[i])) local.push_back(ids[i]);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    result.insert(result.end(), local.begin(), local.end());
+  });
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,38 @@
+// STIG-like index [12]: the specialized-GPU-baseline of the paper's
+// evaluation. A kd-tree whose leaves are large blocks (default 4096
+// points, the paper's tuned value); a polygonal selection filters leaf
+// blocks through the tree and then scans the surviving blocks in parallel
+// with exact point-in-polygon tests — the block scan is the part STIG runs
+// as a CUDA kernel, emulated here by the worker pool. Point data only.
+#pragma once
+
+#include <vector>
+
+#include "baselines/kdtree.h"
+#include "common/thread_pool.h"
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// \brief STIG-style block kd-tree over points.
+class StigIndex {
+ public:
+  StigIndex(std::vector<Vec2> points, ThreadPool* pool, int leaf_size = 4096);
+
+  size_t size() const { return points_.size(); }
+  size_t num_leaf_blocks() const { return tree_.num_leaves(); }
+
+  /// Ids of points intersecting the polygon. Filter: tree traversal over
+  /// the polygon's bounds; refine: parallel block scans with exact tests.
+  std::vector<uint32_t> PolygonSelect(const MultiPolygon& poly) const;
+
+  /// Rectangular range variant.
+  std::vector<uint32_t> RangeSelect(const Box& box) const;
+
+ private:
+  std::vector<Vec2> points_;
+  BlockKdTree tree_;
+  ThreadPool* pool_;
+};
+
+}  // namespace spade

@@ -1,0 +1,90 @@
+#include "canvas/boundary_index.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace spade {
+
+std::pair<uint32_t, uint32_t> BoundaryIndex::AddPolygon(
+    GeomId owner, const Triangulation& tri) {
+  const uint32_t first = static_cast<uint32_t>(tris_.size());
+  // No exact reserve here: geometric growth matters when thousands of
+  // polygons are registered one by one (layer canvases).
+  for (const auto& t : tri.triangles) tris_.push_back({t, owner});
+  return {first, static_cast<uint32_t>(tri.triangles.size())};
+}
+
+std::pair<uint32_t, uint32_t> BoundaryIndex::AddLine(GeomId owner,
+                                                     const LineString& line) {
+  const uint32_t first = static_cast<uint32_t>(segs_.size());
+  const auto& pts = line.points;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    segs_.push_back({pts[i - 1], pts[i], owner});
+  }
+  return {first, static_cast<uint32_t>(segs_.size() - first)};
+}
+
+uint32_t BoundaryIndex::NewBucket() {
+  bucket_tris_.emplace_back();
+  bucket_segs_.emplace_back();
+  return static_cast<uint32_t>(bucket_tris_.size() - 1);
+}
+
+void BoundaryIndex::MatchPoint(uint32_t bucket, const Vec2& p,
+                               std::vector<GeomId>* owners) const {
+  const auto& ids = bucket_tris_[bucket];
+  CountTests(static_cast<int64_t>(ids.size()));
+  for (uint32_t ti : ids) {
+    const TriEntry& e = tris_[ti];
+    if (PointInTriangle(e.tri.a, e.tri.b, e.tri.c, p)) {
+      owners->push_back(e.owner);
+    }
+  }
+}
+
+void BoundaryIndex::MatchSegment(uint32_t bucket, const Vec2& a,
+                                 const Vec2& b,
+                                 std::vector<GeomId>* owners) const {
+  const auto& ids = bucket_tris_[bucket];
+  CountTests(static_cast<int64_t>(ids.size()));
+  for (uint32_t ti : ids) {
+    const TriEntry& e = tris_[ti];
+    if (SegmentIntersectsTriangle(a, b, e.tri.a, e.tri.b, e.tri.c)) {
+      owners->push_back(e.owner);
+    }
+  }
+}
+
+void BoundaryIndex::MatchTriangle(uint32_t bucket, const Triangle& t,
+                                  std::vector<GeomId>* owners) const {
+  const auto& ids = bucket_tris_[bucket];
+  CountTests(static_cast<int64_t>(ids.size()));
+  for (uint32_t ti : ids) {
+    const TriEntry& e = tris_[ti];
+    if (TrianglesIntersect(t.a, t.b, t.c, e.tri.a, e.tri.b, e.tri.c)) {
+      owners->push_back(e.owner);
+    }
+  }
+}
+
+void BoundaryIndex::MatchSegmentAgainstSegments(
+    uint32_t bucket, const Vec2& a, const Vec2& b,
+    std::vector<GeomId>* owners) const {
+  const auto& ids = bucket_segs_[bucket];
+  CountTests(static_cast<int64_t>(ids.size()));
+  for (uint32_t si : ids) {
+    const SegEntry& e = segs_[si];
+    if (SegmentsIntersect(a, b, e.a, e.b)) owners->push_back(e.owner);
+  }
+}
+
+size_t BoundaryIndex::ByteSize() const {
+  size_t total = tris_.size() * sizeof(TriEntry) +
+                 segs_.size() * sizeof(SegEntry);
+  for (const auto& b : bucket_tris_) total += b.size() * sizeof(uint32_t) + 16;
+  for (const auto& b : bucket_segs_) total += b.size() * sizeof(uint32_t);
+  return total;
+}
+
+}  // namespace spade

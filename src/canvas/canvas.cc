@@ -1,0 +1,89 @@
+#include "canvas/canvas.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+#include "gfx/rasterizer.h"
+
+namespace spade {
+
+Canvas::Canvas(const Viewport& vp, GeomType plane)
+    : vp_(vp),
+      plane_(plane),
+      tex_(std::make_shared<Texture>(vp.width(), vp.height())) {}
+
+void Canvas::DedupOwners(std::vector<GeomId>* owners, size_t from) const {
+  if (owners->size() - from <= 1) return;
+  std::sort(owners->begin() + from, owners->end());
+  owners->erase(std::unique(owners->begin() + from, owners->end()),
+                owners->end());
+}
+
+void Canvas::TestPoint(const Vec2& p, std::vector<GeomId>* owners) const {
+  if (!vp_.Contains(p)) return;
+  auto [x, y] = vp_.ToPixel(p);
+  if (!tex_->InBounds(x, y)) return;
+  const size_t from = owners->size();
+  const uint32_t bucket = tex_->Get(x, y, kVb);
+  if (bucket != kTexNull) bindex_.MatchPoint(bucket, p, owners);
+  const GeomId owner = tex_->Get(x, y, kV0);
+  if (owner != kTexNull) owners->push_back(owner);
+  DedupOwners(owners, from);
+}
+
+void Canvas::TestSegment(const Vec2& a, const Vec2& b,
+                         std::vector<GeomId>* owners) const {
+  const size_t from = owners->size();
+  RasterizeSegmentConservative(vp_, a, b, [&](int x, int y) {
+    const uint32_t bucket = tex_->Get(x, y, kVb);
+    if (bucket != kTexNull) bindex_.MatchSegment(bucket, a, b, owners);
+    const GeomId owner = tex_->Get(x, y, kV0);
+    // The pixel square is entirely inside `owner`, and the (clipped)
+    // segment touches the square, so the segment intersects the owner.
+    if (owner != kTexNull) owners->push_back(owner);
+  });
+  DedupOwners(owners, from);
+}
+
+void Canvas::TestPolygon(const Triangulation& tri,
+                         std::vector<GeomId>* owners) const {
+  const size_t from = owners->size();
+  for (const Triangle& t : tri.triangles) {
+    RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/true,
+                      [&](int x, int y) {
+                        const uint32_t bucket = tex_->Get(x, y, kVb);
+                        if (bucket != kTexNull) {
+                          bindex_.MatchTriangle(bucket, t, owners);
+                        }
+                        const GeomId owner = tex_->Get(x, y, kV0);
+                        if (owner != kTexNull) owners->push_back(owner);
+                      });
+  }
+  DedupOwners(owners, from);
+}
+
+void Canvas::TestPointDistance(const Vec2& p,
+                               std::vector<GeomId>* owners) const {
+  if (!vp_.Contains(p)) return;
+  auto [x, y] = vp_.ToPixel(p);
+  if (!tex_->InBounds(x, y)) return;
+  const size_t from = owners->size();
+  const uint32_t bucket = tex_->Get(x, y, kVb);
+  if (bucket != kTexNull) {
+    const auto& segs = bindex_.bucket_segments(bucket);
+    bindex_.CountTests(static_cast<int64_t>(segs.size()));
+    for (uint32_t si : segs) {
+      const auto& e = bindex_.segment(si);
+      const double r =
+          e.owner < owner_radius_.size() ? owner_radius_[e.owner] : 0.0;
+      if (PointSegmentDistance(p, e.a, e.b) <= r) owners->push_back(e.owner);
+    }
+    // Triangles of buffered polygons: containment means distance zero.
+    bindex_.MatchPoint(bucket, p, owners);
+  }
+  const GeomId owner = tex_->Get(x, y, kV0);
+  if (owner != kTexNull) owners->push_back(owner);
+  DedupOwners(owners, from);
+}
+
+}  // namespace spade

@@ -1,0 +1,96 @@
+// The discrete canvas (Section 4.1): a rasterized representation of
+// geometry where each pixel carries the metadata needed for exact query
+// evaluation. A pixel's 4-tuple (v0, v1, v2, vb) maps onto texture
+// channels; v0 holds the owning object's identifier and vb points into the
+// boundary index. A canvas holds one texture per primitive class (point,
+// line, polygon), of which the populated ones depend on the data.
+//
+// Build-time invariant relied on by the exact tests:
+//   * the interior channel (kV0) of a pixel is set only when the *entire*
+//     pixel square lies inside the owner's region;
+//   * every pixel partially covered by any object has a boundary bucket
+//     (vb channel) containing every primitive entry touching the pixel.
+// Together these make raster-side query evaluation exact despite
+// discretization — the property Section 4 establishes for SPADE.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "canvas/boundary_index.h"
+#include "geom/triangulate.h"
+#include "gfx/texture.h"
+#include "gfx/viewport.h"
+
+namespace spade {
+
+/// \brief A discrete canvas over a viewport.
+class Canvas {
+ public:
+  /// Raster classification of a pixel with respect to the canvas content.
+  enum class PixelClass { kOutside, kInterior, kBoundary };
+
+  Canvas() = default;
+  Canvas(const Viewport& vp, GeomType plane);
+
+  const Viewport& viewport() const { return vp_; }
+  GeomType plane() const { return plane_; }
+
+  Texture& texture() { return *tex_; }
+  const Texture& texture() const { return *tex_; }
+
+  BoundaryIndex& boundary_index() { return bindex_; }
+  const BoundaryIndex& boundary_index() const { return bindex_; }
+
+  /// Per-owner distance radii for distance-constraint canvases (empty for
+  /// plain canvases). Indexed by owner GeomId.
+  std::vector<double>& owner_radius() { return owner_radius_; }
+  const std::vector<double>& owner_radius() const { return owner_radius_; }
+
+  PixelClass Classify(int x, int y) const {
+    if (!tex_->InBounds(x, y)) return PixelClass::kOutside;
+    if (tex_->Get(x, y, kVb) != kTexNull) return PixelClass::kBoundary;
+    if (tex_->Get(x, y, kV0) != kTexNull) return PixelClass::kInterior;
+    return PixelClass::kOutside;
+  }
+
+  GeomId InteriorOwner(int x, int y) const { return tex_->Get(x, y, kV0); }
+  uint32_t Bucket(int x, int y) const { return tex_->Get(x, y, kVb); }
+
+  // --- exact tests (canvas as a query constraint) --------------------------
+  // Each appends the ids of all constraint objects the probe intersects.
+  // Thread-safe for concurrent readers.
+
+  /// Does point p intersect any constraint object?
+  void TestPoint(const Vec2& p, std::vector<GeomId>* owners) const;
+
+  /// Does segment [a, b] intersect any constraint object? The segment must
+  /// already be clipped to the viewport for the raster walk to be cheap.
+  void TestSegment(const Vec2& a, const Vec2& b,
+                   std::vector<GeomId>* owners) const;
+
+  /// Does the triangulated polygon (triangles + boundary edges) intersect
+  /// any constraint object?
+  void TestPolygon(const Triangulation& tri, std::vector<GeomId>* owners) const;
+
+  /// Distance-canvas variant of TestPoint: p matches owner o when
+  /// dist(p, source(o)) <= radius(o). Only valid on distance canvases.
+  void TestPointDistance(const Vec2& p, std::vector<GeomId>* owners) const;
+
+  /// Device-memory footprint (texture + boundary index), in bytes.
+  size_t ByteSize() const {
+    return (tex_ ? tex_->ByteSize() : 0) + bindex_.ByteSize();
+  }
+
+ private:
+  void DedupOwners(std::vector<GeomId>* owners, size_t from) const;
+
+  Viewport vp_;
+  GeomType plane_ = GeomType::kPolygon;
+  std::shared_ptr<Texture> tex_;
+  BoundaryIndex bindex_;
+  std::vector<double> owner_radius_;
+};
+
+}  // namespace spade

@@ -1,0 +1,449 @@
+#include "canvas/canvas_builder.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "geom/predicates.h"
+#include "gfx/rasterizer.h"
+
+namespace spade {
+
+namespace {
+
+uint64_t PixelKey(int x, int y) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(y)) << 32) |
+         static_cast<uint32_t>(x);
+}
+int KeyX(uint64_t k) { return static_cast<int>(k & 0xFFFFFFFFu); }
+int KeyY(uint64_t k) { return static_cast<int>(k >> 32); }
+
+/// Thread-safe accumulation of (pixel, payload) pairs emitted by parallel
+/// rasterization chunks; merged and grouped serially afterwards (this is
+/// the CPU-side consolidation the GPU driver would do between passes).
+class PairCollector {
+ public:
+  void Append(std::vector<std::pair<uint64_t, uint32_t>>&& local) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pairs_.insert(pairs_.end(), local.begin(), local.end());
+  }
+
+  /// Sort by pixel key, deduplicate identical (pixel, payload) pairs.
+  std::vector<std::pair<uint64_t, uint32_t>> Take() {
+    std::sort(pairs_.begin(), pairs_.end());
+    pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+    return std::move(pairs_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<uint64_t, uint32_t>> pairs_;
+};
+
+/// Create a bucket for every distinct pixel key and write the vb channel.
+/// Returns pixel -> bucket id pairs sorted by pixel key.
+std::vector<std::pair<uint64_t, uint32_t>> CreateBuckets(
+    const std::vector<uint64_t>& pixels, Texture* tex, BoundaryIndex* bi) {
+  std::vector<std::pair<uint64_t, uint32_t>> buckets;
+  buckets.reserve(pixels.size());
+  for (uint64_t key : pixels) {
+    uint32_t existing = tex->Get(KeyX(key), KeyY(key), kVb);
+    if (existing == kTexNull) {
+      existing = bi->NewBucket();
+      tex->Set(KeyX(key), KeyY(key), kVb, existing);
+    }
+    buckets.emplace_back(key, existing);
+  }
+  return buckets;
+}
+
+size_t ApproxVertexBytes(const std::vector<const MultiPolygon*>& polys) {
+  size_t n = 0;
+  for (const auto* p : polys) n += p->NumVertices();
+  return 16 + n * sizeof(Vec2);
+}
+
+}  // namespace
+
+Canvas CanvasBuilder::BuildPolygonCanvas(
+    const std::vector<GeomId>& ids,
+    const std::vector<const MultiPolygon*>& polys,
+    const std::vector<const Triangulation*>& tris) {
+  Canvas canvas(vp_, GeomType::kPolygon);
+  Texture& tex = canvas.texture();
+  BoundaryIndex& bi = canvas.boundary_index();
+  const size_t n = ids.size();
+  device_->Upload(ApproxVertexBytes(polys));
+
+  // Register triangles; remember each object's range for the bucket pass.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(n);
+  for (size_t i = 0; i < n; ++i) ranges[i] = bi.AddPolygon(ids[i], *tris[i]);
+
+  // Pass 1: interior fill (default rasterization of the triangles).
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      for (const Triangle& t : tris[i]->triangles) {
+        frags += RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/false,
+                                   [&](int x, int y) {
+                                     tex.AtomicStore(x, y, kV0, ids[i]);
+                                   });
+      }
+    }
+    return frags;
+  });
+
+  // Pass 2: conservative boundary-edge rasterization. Pixels touched by an
+  // edge are only partially covered, so they lose their interior flag and
+  // get a boundary bucket instead.
+  PairCollector boundary;
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> local;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      for (const auto& edge : tris[i]->edges) {
+        frags += RasterizeSegmentConservative(
+            vp_, edge[0], edge[1],
+            [&](int x, int y) { local.emplace_back(PixelKey(x, y), 0); });
+      }
+    }
+    boundary.Append(std::move(local));
+    return frags;
+  });
+  std::vector<uint64_t> boundary_pixels;
+  for (const auto& [key, unused] : boundary.Take()) {
+    (void)unused;
+    if (boundary_pixels.empty() || boundary_pixels.back() != key) {
+      boundary_pixels.push_back(key);
+    }
+  }
+  for (uint64_t key : boundary_pixels) {
+    tex.Set(KeyX(key), KeyY(key), kV0, kTexNull);
+  }
+  CreateBuckets(boundary_pixels, &tex, &bi);
+
+  // Pass 3: conservative triangle rasterization fills the buckets with
+  // every triangle touching each boundary pixel.
+  PairCollector tri_pairs;
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> local;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      const uint32_t first = ranges[i].first;
+      const auto& tlist = tris[i]->triangles;
+      for (size_t t = 0; t < tlist.size(); ++t) {
+        frags += RasterizeTriangle(
+            vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
+            [&](int x, int y) {
+              if (tex.Get(x, y, kVb) != kTexNull) {
+                local.emplace_back(PixelKey(x, y),
+                                   first + static_cast<uint32_t>(t));
+              }
+            });
+      }
+    }
+    tri_pairs.Append(std::move(local));
+    return frags;
+  });
+  for (const auto& [key, tri_idx] : tri_pairs.Take()) {
+    bi.BucketAddTriangle(tex.Get(KeyX(key), KeyY(key), kVb), tri_idx);
+  }
+  return canvas;
+}
+
+Canvas CanvasBuilder::BuildBoxCanvas(GeomId id, const Box& range) {
+  Canvas canvas(vp_, GeomType::kPolygon);
+  Texture& tex = canvas.texture();
+  BoundaryIndex& bi = canvas.boundary_index();
+  device_->Upload(16 + 2 * sizeof(Vec2));  // two corners suffice
+
+  // Geometry-shader expansion: two triangles covering the rectangle.
+  Triangulation tri;
+  tri.triangles.push_back(
+      {{range.min.x, range.min.y}, {range.max.x, range.min.y},
+       {range.max.x, range.max.y}});
+  tri.triangles.push_back(
+      {{range.min.x, range.min.y}, {range.max.x, range.max.y},
+       {range.min.x, range.max.y}});
+  const auto tri_range = bi.AddPolygon(id, tri);
+
+  device_->BeginPass();
+  size_t frags = 0;
+  std::vector<uint64_t> boundary_pixels;
+  frags += RasterizeBox(vp_, range, /*conservative=*/true, [&](int x, int y) {
+    if (range.Contains(vp_.PixelBox(x, y))) {
+      tex.Set(x, y, kV0, id);
+    } else {
+      boundary_pixels.push_back(PixelKey(x, y));
+    }
+  });
+  device_->AddFragments(frags);
+  for (const auto& [key, bucket] : CreateBuckets(boundary_pixels, &tex, &bi)) {
+    (void)key;
+    bi.BucketAddTriangle(bucket, tri_range.first);
+    bi.BucketAddTriangle(bucket, tri_range.first + 1);
+  }
+  return canvas;
+}
+
+Canvas CanvasBuilder::BuildLineCanvas(
+    const std::vector<GeomId>& ids,
+    const std::vector<const LineString*>& lines) {
+  Canvas canvas(vp_, GeomType::kLine);
+  Texture& tex = canvas.texture();
+  BoundaryIndex& bi = canvas.boundary_index();
+  const size_t n = ids.size();
+
+  size_t bytes = 16;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(n);
+  for (size_t i = 0; i < n; ++i) {
+    ranges[i] = bi.AddLine(ids[i], *lines[i]);
+    bytes += lines[i]->points.size() * sizeof(Vec2);
+  }
+  device_->Upload(bytes);
+
+  PairCollector seg_pairs;
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> local;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      const auto& pts = lines[i]->points;
+      for (size_t s = 1; s < pts.size(); ++s) {
+        const uint32_t seg_idx = ranges[i].first + static_cast<uint32_t>(s - 1);
+        frags += RasterizeSegmentConservative(
+            vp_, pts[s - 1], pts[s],
+            [&](int x, int y) { local.emplace_back(PixelKey(x, y), seg_idx); });
+      }
+    }
+    seg_pairs.Append(std::move(local));
+    return frags;
+  });
+
+  auto pairs = seg_pairs.Take();
+  std::vector<uint64_t> pixels;
+  for (const auto& [key, unused] : pairs) {
+    (void)unused;
+    if (pixels.empty() || pixels.back() != key) pixels.push_back(key);
+  }
+  CreateBuckets(pixels, &tex, &bi);
+  for (const auto& [key, seg_idx] : pairs) {
+    bi.BucketAddSegment(tex.Get(KeyX(key), KeyY(key), kVb), seg_idx);
+  }
+  return canvas;
+}
+
+Canvas CanvasBuilder::BuildPointCanvas(const std::vector<GeomId>& ids,
+                                       const std::vector<Vec2>& points) {
+  Canvas canvas(vp_, GeomType::kPoint);
+  Texture& tex = canvas.texture();
+  BoundaryIndex& bi = canvas.boundary_index();
+  const size_t n = ids.size();
+  device_->Upload(16 + n * sizeof(Vec2));
+
+  std::vector<uint32_t> entry(n);
+  for (size_t i = 0; i < n; ++i) entry[i] = bi.AddPoint(ids[i], points[i]);
+
+  PairCollector pt_pairs;
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> local;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      frags += RasterizePoint(vp_, points[i], [&](int x, int y) {
+        local.emplace_back(PixelKey(x, y), entry[i]);
+      });
+    }
+    pt_pairs.Append(std::move(local));
+    return frags;
+  });
+
+  auto pairs = pt_pairs.Take();
+  std::vector<uint64_t> pixels;
+  for (const auto& [key, unused] : pairs) {
+    (void)unused;
+    if (pixels.empty() || pixels.back() != key) pixels.push_back(key);
+  }
+  CreateBuckets(pixels, &tex, &bi);
+  for (const auto& [key, idx] : pairs) {
+    bi.BucketAddSegment(tex.Get(KeyX(key), KeyY(key), kVb), idx);
+  }
+  return canvas;
+}
+
+Canvas CanvasBuilder::BuildDistanceCanvasPoints(
+    const std::vector<GeomId>& ids, const std::vector<Vec2>& points,
+    const std::vector<double>& radii) {
+  std::vector<const Geometry*> geoms;
+  std::vector<Geometry> storage;
+  storage.reserve(points.size());
+  for (const auto& p : points) storage.emplace_back(p);
+  geoms.reserve(points.size());
+  for (const auto& g : storage) geoms.push_back(&g);
+  return BuildDistanceCanvasGeometries(ids, geoms, radii);
+}
+
+Canvas CanvasBuilder::BuildDistanceCanvasGeometries(
+    const std::vector<GeomId>& ids, const std::vector<const Geometry*>& geoms,
+    const std::vector<double>& radii) {
+  Canvas canvas(vp_, GeomType::kPolygon);
+  Texture& tex = canvas.texture();
+  BoundaryIndex& bi = canvas.boundary_index();
+  const size_t n = ids.size();
+
+  GeomId max_id = 0;
+  size_t bytes = 16;
+  for (size_t i = 0; i < n; ++i) {
+    max_id = std::max(max_id, ids[i]);
+    bytes += geoms[i]->ByteSize();
+  }
+  device_->Upload(bytes);
+  canvas.owner_radius().assign(max_id + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) canvas.owner_radius()[ids[i]] = radii[i];
+
+  // Register boundary-index entries and triangulate polygon sources.
+  // seg_entries[i] lists the segment-entry indices of object i's source
+  // segments (or its single degenerate point entry).
+  std::vector<std::vector<uint32_t>> seg_entries(n);
+  std::vector<Triangulation> tri_storage(n);
+  std::vector<std::pair<uint32_t, uint32_t>> tri_ranges(n, {0, 0});
+  for (size_t i = 0; i < n; ++i) {
+    const Geometry& g = *geoms[i];
+    switch (g.type()) {
+      case GeomType::kPoint:
+        seg_entries[i].push_back(bi.AddPoint(ids[i], g.point()));
+        break;
+      case GeomType::kLine: {
+        const auto& pts = g.line().points;
+        for (size_t s = 1; s < pts.size(); ++s) {
+          seg_entries[i].push_back(bi.AddSegment(ids[i], pts[s - 1], pts[s]));
+        }
+        break;
+      }
+      case GeomType::kPolygon: {
+        tri_storage[i] = Triangulate(g.polygon());
+        tri_ranges[i] = bi.AddPolygon(ids[i], tri_storage[i]);
+        for (const auto& edge : tri_storage[i].edges) {
+          seg_entries[i].push_back(bi.AddSegment(ids[i], edge[0], edge[1]));
+        }
+        break;
+      }
+    }
+  }
+
+  // Pass 1: polygon interiors (default rasterization).
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      for (const Triangle& t : tri_storage[i].triangles) {
+        frags += RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/false,
+                                   [&](int x, int y) {
+                                     tex.AtomicStore(x, y, kV0, ids[i]);
+                                   });
+      }
+    }
+    return frags;
+  });
+
+  // Pass 2: geometry-shader expansion. For every source segment (or point)
+  // classify the pixels of its radius-expanded bounding box:
+  //   whole pixel within r  -> interior claim,
+  //   partially within r    -> boundary claim carrying the segment entry.
+  // Polygon boundary edges additionally demote the pixels they touch.
+  PairCollector interior_claims;   // (pixel, owner id)
+  PairCollector partial_claims;    // (pixel, segment entry)
+  PairCollector demote_claims;     // (pixel, 0) — polygon-edge-touched
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> loc_int, loc_part, loc_dem;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      const double r = radii[i];
+      const bool is_polygon = geoms[i]->is_polygon();
+      for (uint32_t entry_idx : seg_entries[i]) {
+        const auto& entry = bi.segment(entry_idx);
+        Box cap;
+        cap.Extend(entry.a);
+        cap.Extend(entry.b);
+        cap = cap.Expanded(r);
+        const auto rect = vp_.ClippedPixelRect(cap);
+        if (rect.empty()) continue;
+        for (int y = rect.y0; y <= rect.y1; ++y) {
+          for (int x = rect.x0; x <= rect.x1; ++x) {
+            const Box pix = vp_.PixelBox(x, y);
+            const double dmin = BoxSegmentDistance(pix, entry.a, entry.b);
+            if (dmin > r) continue;
+            ++frags;
+            const double dmax = BoxSegmentMaxDistance(pix, entry.a, entry.b);
+            if (dmax <= r) {
+              loc_int.emplace_back(PixelKey(x, y), ids[i]);
+            } else {
+              loc_part.emplace_back(PixelKey(x, y), entry_idx);
+            }
+            if (is_polygon && dmin == 0) {
+              loc_dem.emplace_back(PixelKey(x, y), 0);
+            }
+          }
+        }
+      }
+    }
+    interior_claims.Append(std::move(loc_int));
+    partial_claims.Append(std::move(loc_part));
+    demote_claims.Append(std::move(loc_dem));
+    return frags;
+  });
+
+  // Serial consolidation: demote polygon-edge pixels, then re-assert
+  // interiors fully covered by a capsule, then build buckets.
+  auto demotes = demote_claims.Take();
+  for (const auto& [key, unused] : demotes) {
+    (void)unused;
+    tex.Set(KeyX(key), KeyY(key), kV0, kTexNull);
+  }
+  for (const auto& [key, owner] : interior_claims.Take()) {
+    tex.Set(KeyX(key), KeyY(key), kV0, owner);
+  }
+  auto partials = partial_claims.Take();
+  std::vector<uint64_t> bucket_pixels;
+  bucket_pixels.reserve(partials.size() + demotes.size());
+  for (const auto& [key, unused] : partials) {
+    (void)unused;
+    bucket_pixels.push_back(key);
+  }
+  for (const auto& [key, unused] : demotes) {
+    (void)unused;
+    bucket_pixels.push_back(key);
+  }
+  std::sort(bucket_pixels.begin(), bucket_pixels.end());
+  bucket_pixels.erase(std::unique(bucket_pixels.begin(), bucket_pixels.end()),
+                      bucket_pixels.end());
+  CreateBuckets(bucket_pixels, &tex, &bi);
+  for (const auto& [key, entry_idx] : partials) {
+    bi.BucketAddSegment(tex.Get(KeyX(key), KeyY(key), kVb), entry_idx);
+  }
+
+  // Pass 3: fill buckets with the polygon triangles touching them, so
+  // containment (distance 0) stays exact inside demoted pixels.
+  PairCollector tri_pairs;
+  device_->DrawParallel(n, [&](size_t b, size_t e) {
+    std::vector<std::pair<uint64_t, uint32_t>> local;
+    size_t frags = 0;
+    for (size_t i = b; i < e; ++i) {
+      const auto& tlist = tri_storage[i].triangles;
+      for (size_t t = 0; t < tlist.size(); ++t) {
+        frags += RasterizeTriangle(
+            vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
+            [&](int x, int y) {
+              if (tex.Get(x, y, kVb) != kTexNull) {
+                local.emplace_back(PixelKey(x, y),
+                                   tri_ranges[i].first + static_cast<uint32_t>(t));
+              }
+            });
+      }
+    }
+    tri_pairs.Append(std::move(local));
+    return frags;
+  });
+  for (const auto& [key, tri_idx] : tri_pairs.Take()) {
+    bi.BucketAddTriangle(tex.Get(KeyX(key), KeyY(key), kVb), tri_idx);
+  }
+  return canvas;
+}
+
+}  // namespace spade

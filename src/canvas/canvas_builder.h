@@ -1,0 +1,74 @@
+// Canvas creation (Section 4.2): renders geometry into discrete canvases
+// using the software graphics pipeline. Polygons are triangulated and drawn
+// in two passes (interior triangles, then conservative boundary lines);
+// distance constraints are expanded geometry-shader-style into circles,
+// "rounded rectangles" (capsules), and polygon buffers whose fragments are
+// classified exactly.
+#pragma once
+
+#include <vector>
+
+#include "canvas/canvas.h"
+#include "geom/geometry.h"
+#include "geom/triangulate.h"
+#include "gfx/device.h"
+#include "gfx/framebuffer.h"
+
+namespace spade {
+
+/// \brief Builds discrete canvases on a GfxDevice.
+///
+/// All Build* methods require the input objects to be pairwise
+/// non-intersecting (one layer of a layer index); the engine guarantees
+/// this by construction.
+class CanvasBuilder {
+ public:
+  CanvasBuilder(GfxDevice* device, const Viewport& viewport)
+      : device_(device), vp_(viewport) {}
+
+  /// Polygon canvas for a layer of multipolygons. `tris[i]` must be the
+  /// triangulation of `polys[i]`. Pass structure: (1) interior triangles
+  /// with default rasterization, (2) conservative boundary-edge pass that
+  /// demotes partially-covered pixels, (3) conservative triangle pass that
+  /// fills the per-pixel boundary buckets.
+  Canvas BuildPolygonCanvas(const std::vector<GeomId>& ids,
+                            const std::vector<const MultiPolygon*>& polys,
+                            const std::vector<const Triangulation*>& tris);
+
+  /// Rectangular-range canvas (Section 4.2's optimization): the rectangle
+  /// is expanded into two triangles geometry-shader-style; pixels fully
+  /// covered become interior, touched pixels get boundary buckets with the
+  /// two triangles. No ear clipping or edge pass is needed.
+  Canvas BuildBoxCanvas(GeomId id, const Box& range);
+
+  /// Line canvas: every touched pixel is a boundary pixel whose bucket
+  /// holds the touching segments (the data is its own boundary index).
+  Canvas BuildLineCanvas(const std::vector<GeomId>& ids,
+                         const std::vector<const LineString*>& lines);
+
+  /// Point canvas: each point is registered in the bucket of its pixel as
+  /// a degenerate segment.
+  Canvas BuildPointCanvas(const std::vector<GeomId>& ids,
+                          const std::vector<Vec2>& points);
+
+  /// Distance canvas over point sources: the constraint region of owner i
+  /// is the disc of radius radii[i] around points[i] (Section 4.2's circle
+  /// construction).
+  Canvas BuildDistanceCanvasPoints(const std::vector<GeomId>& ids,
+                                   const std::vector<Vec2>& points,
+                                   const std::vector<double>& radii);
+
+  /// Distance canvas over arbitrary geometries: circle for points, capsule
+  /// ("rounded rectangle") per segment for lines, polygon interior plus
+  /// boundary capsules for polygons.
+  Canvas BuildDistanceCanvasGeometries(
+      const std::vector<GeomId>& ids,
+      const std::vector<const Geometry*>& geoms,
+      const std::vector<double>& radii);
+
+ private:
+  GfxDevice* device_;
+  Viewport vp_;
+};
+
+}  // namespace spade

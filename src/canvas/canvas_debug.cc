@@ -1,0 +1,84 @@
+#include "canvas/canvas_debug.h"
+
+#include <cstdio>
+#include <string>
+
+namespace spade {
+
+namespace {
+
+// Stable pseudo-color per owner id.
+void OwnerColor(uint32_t id, uint8_t* rgb) {
+  uint32_t h = id * 2654435761u;
+  rgb[0] = static_cast<uint8_t>(64 + (h & 0x7F));
+  rgb[1] = static_cast<uint8_t>(64 + ((h >> 7) & 0x7F));
+  rgb[2] = static_cast<uint8_t>(64 + ((h >> 14) & 0x7F));
+}
+
+}  // namespace
+
+Status WriteCanvasPpm(const Canvas& canvas, const std::string& path) {
+  const Texture& tex = canvas.texture();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("fopen " + path);
+  std::fprintf(f, "P6\n%d %d\n255\n", tex.width(), tex.height());
+  std::string row(static_cast<size_t>(tex.width()) * 3, '\0');
+  for (int y = tex.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < tex.width(); ++x) {
+      uint8_t* rgb = reinterpret_cast<uint8_t*>(&row[3 * x]);
+      switch (canvas.Classify(x, y)) {
+        case Canvas::PixelClass::kBoundary:
+          rgb[0] = 220;
+          rgb[1] = 40;
+          rgb[2] = 40;
+          break;
+        case Canvas::PixelClass::kInterior:
+          OwnerColor(canvas.InteriorOwner(x, y), rgb);
+          break;
+        case Canvas::PixelClass::kOutside:
+          rgb[0] = rgb[1] = rgb[2] = 16;
+          break;
+      }
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f) != row.size()) {
+      std::fclose(f);
+      return Status::IOError("fwrite " + path);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IOError("fclose " + path);
+  return Status::OK();
+}
+
+std::string CanvasToAscii(const Canvas& canvas, int max_dim) {
+  const Texture& tex = canvas.texture();
+  const int step_x = std::max(1, tex.width() / max_dim);
+  const int step_y = std::max(1, tex.height() / max_dim);
+  std::string out;
+  for (int y = tex.height() - 1; y >= 0; y -= step_y) {
+    for (int x = 0; x < tex.width(); x += step_x) {
+      // A sampled block renders its "strongest" class: boundary beats
+      // interior beats empty.
+      char c = '.';
+      for (int dy = 0; dy < step_y && c != 'B'; ++dy) {
+        for (int dx = 0; dx < step_x && c != 'B'; ++dx) {
+          if (!tex.InBounds(x + dx, y + dy)) continue;
+          switch (canvas.Classify(x + dx, y + dy)) {
+            case Canvas::PixelClass::kBoundary:
+              c = 'B';
+              break;
+            case Canvas::PixelClass::kInterior:
+              if (c == '.') c = '#';
+              break;
+            case Canvas::PixelClass::kOutside:
+              break;
+          }
+        }
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spade

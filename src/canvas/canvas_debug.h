@@ -1,0 +1,22 @@
+// Canvas visualization: render a discrete canvas to a PPM image so the
+// interior / boundary / owner structure can be inspected (the canvas *is*
+// an image, Section 2.1 — this writes it out).
+#pragma once
+
+#include <string>
+
+#include "canvas/canvas.h"
+#include "common/status.h"
+
+namespace spade {
+
+/// Write the canvas as a binary PPM (P6): interior pixels are colored by
+/// owner id, boundary pixels red, empty pixels near-black. Row 0 of the
+/// canvas is written at the bottom (world orientation).
+Status WriteCanvasPpm(const Canvas& canvas, const std::string& path);
+
+/// ASCII rendering for tests and terminals: '.' empty, '#' interior,
+/// 'B' boundary. Row-major, top row = max y.
+std::string CanvasToAscii(const Canvas& canvas, int max_dim = 64);
+
+}  // namespace spade

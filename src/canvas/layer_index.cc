@@ -1,0 +1,255 @@
+#include "canvas/layer_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "geom/predicates.h"
+#include "gfx/rasterizer.h"
+#include "gfx/texture.h"
+
+namespace spade {
+
+namespace {
+
+/// Rasterize object i's full conservative footprint (triangles + edges).
+template <typename Emit>
+size_t RasterizeFootprint(const Viewport& vp, const Triangulation& tri,
+                          Emit&& emit) {
+  size_t frags = 0;
+  for (const Triangle& t : tri.triangles) {
+    frags += RasterizeTriangle(vp, t.a, t.b, t.c, /*conservative=*/true, emit);
+  }
+  for (const auto& edge : tri.edges) {
+    frags += RasterizeSegmentConservative(vp, edge[0], edge[1], emit);
+  }
+  return frags;
+}
+
+}  // namespace
+
+LayerIndex BuildLayerIndexCanvas(
+    GfxDevice* device, const Viewport& vp, const std::vector<GeomId>& ids,
+    const std::vector<const MultiPolygon*>& polys,
+    const std::vector<const Triangulation*>& tris) {
+  (void)polys;
+  LayerIndex index;
+  std::vector<size_t> rem(ids.size());
+  std::iota(rem.begin(), rem.end(), 0);
+
+  Texture tex(vp.width(), vp.height());
+  while (!rem.empty()) {
+    tex.Clear();
+
+    // Pass 1: multiway blend — the blend function keeps the object with
+    // the higher identifier wherever two objects overlap.
+    device->DrawParallel(rem.size(), [&](size_t b, size_t e) {
+      size_t frags = 0;
+      for (size_t k = b; k < e; ++k) {
+        const size_t i = rem[k];
+        frags += RasterizeFootprint(vp, *tris[i], [&](int x, int y) {
+          tex.AtomicMax(x, y, kV0, ids[i]);
+        });
+      }
+      return frags;
+    });
+
+    // Pass 2: blend + mask — an object that lost any fragment in pass 1
+    // was cropped, i.e. it overlaps a higher-id object, and stays for the
+    // next iteration; uncropped objects form this layer.
+    std::vector<uint8_t> cropped(rem.size(), 0);
+    device->DrawParallel(rem.size(), [&](size_t b, size_t e) {
+      size_t frags = 0;
+      for (size_t k = b; k < e; ++k) {
+        const size_t i = rem[k];
+        frags += RasterizeFootprint(vp, *tris[i], [&](int x, int y) {
+          if (tex.Get(x, y, kV0) != ids[i]) cropped[k] = 1;
+        });
+      }
+      return frags;
+    });
+
+    std::vector<GeomId> layer;
+    std::vector<size_t> next;
+    for (size_t k = 0; k < rem.size(); ++k) {
+      if (cropped[k]) {
+        next.push_back(rem[k]);
+      } else {
+        layer.push_back(ids[rem[k]]);
+      }
+    }
+    // Degenerate safety: objects with no fragments are never cropped, so
+    // the layer can only be empty if every remaining object was cropped,
+    // which cannot happen (the max-id object always survives). Guard
+    // against pathological float behaviour anyway.
+    if (layer.empty()) {
+      layer.push_back(ids[next.back()]);
+      next.pop_back();
+    }
+    index.layers.push_back(std::move(layer));
+    rem = std::move(next);
+  }
+  return index;
+}
+
+// (BuildLayerIndexGreedy is defined below, after BoxHashLayer.)
+
+namespace {
+
+/// Spatial hash over boxes for fast first-fit conflict checks: buckets a
+/// box into coarse grid cells; a conflict exists iff some bucketed member
+/// in an overlapped grid cell has an intersecting box.
+class BoxHashLayer {
+ public:
+  BoxHashLayer(const Box& extent, double cell) : extent_(extent), cell_(cell) {}
+
+  bool Conflicts(const Box& b, const std::vector<Box>& boxes) const {
+    bool conflict = false;
+    VisitCells(b, [&](uint64_t key) {
+      auto it = buckets_.find(key);
+      if (it == buckets_.end()) return;
+      for (size_t m : it->second) {
+        if (b.Intersects(boxes[m])) {
+          conflict = true;
+          return;
+        }
+      }
+    });
+    return conflict;
+  }
+
+  void Insert(size_t idx, const Box& b) {
+    members_.push_back(idx);
+    VisitCells(b, [&](uint64_t key) { buckets_[key].push_back(idx); });
+  }
+
+  /// Invoke fn(member) for every stored member whose box intersects b
+  /// (members spanning several grid cells may be visited more than once).
+  template <typename F>
+  void VisitCandidates(const Box& b, const std::vector<Box>& boxes,
+                       F&& fn) const {
+    VisitCells(b, [&](uint64_t key) {
+      auto it = buckets_.find(key);
+      if (it == buckets_.end()) return;
+      for (size_t m : it->second) {
+        if (b.Intersects(boxes[m])) fn(m);
+      }
+    });
+  }
+
+  const std::vector<size_t>& members() const { return members_; }
+
+ private:
+  template <typename F>
+  void VisitCells(const Box& b, F&& fn) const {
+    const int x0 = static_cast<int>((b.min.x - extent_.min.x) / cell_);
+    const int x1 = static_cast<int>((b.max.x - extent_.min.x) / cell_);
+    const int y0 = static_cast<int>((b.min.y - extent_.min.y) / cell_);
+    const int y1 = static_cast<int>((b.max.y - extent_.min.y) / cell_);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        fn((static_cast<uint64_t>(static_cast<uint32_t>(y)) << 32) |
+           static_cast<uint32_t>(x));
+      }
+    }
+  }
+
+  Box extent_;
+  double cell_;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+  std::vector<size_t> members_;
+};
+
+}  // namespace
+
+LayerIndex BuildLayerIndexBoxes(const std::vector<GeomId>& ids,
+                                const std::vector<Box>& boxes) {
+  LayerIndex index;
+  if (ids.empty()) return index;
+  Box extent;
+  double avg_side = 0;
+  for (const Box& b : boxes) {
+    extent.Extend(b);
+    avg_side += b.Width() + b.Height();
+  }
+  avg_side = std::max(1e-12, avg_side / (2 * boxes.size()));
+
+  std::vector<BoxHashLayer> layers;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    bool placed = false;
+    for (auto& layer : layers) {
+      if (!layer.Conflicts(boxes[i], boxes)) {
+        layer.Insert(i, boxes[i]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      layers.emplace_back(extent, avg_side * 4);
+      layers.back().Insert(i, boxes[i]);
+    }
+  }
+  for (const auto& layer : layers) {
+    std::vector<GeomId> l;
+    l.reserve(layer.members().size());
+    for (size_t m : layer.members()) l.push_back(ids[m]);
+    index.layers.push_back(std::move(l));
+  }
+  return index;
+}
+
+
+LayerIndex BuildLayerIndexGreedy(
+    const std::vector<GeomId>& ids,
+    const std::vector<const MultiPolygon*>& polys) {
+  LayerIndex index;
+  if (ids.empty()) return index;
+
+  std::vector<Box> boxes(ids.size());
+  Box extent;
+  double avg_side = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    boxes[i] = polys[i]->Bounds();
+    extent.Extend(boxes[i]);
+    avg_side += boxes[i].Width() + boxes[i].Height();
+  }
+  avg_side = std::max(1e-12, avg_side / (2 * boxes.size()));
+
+  // First-fit by ascending id for deterministic output. The spatial hash
+  // prefilters bbox conflicts; the exact polygon-polygon test arbitrates.
+  std::vector<size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+
+  std::vector<BoxHashLayer> layers;
+  for (size_t i : order) {
+    bool placed = false;
+    for (auto& layer : layers) {
+      bool conflict = false;
+      layer.VisitCandidates(boxes[i], boxes, [&](size_t m) {
+        if (!conflict && MultiPolygonsIntersect(*polys[i], *polys[m])) {
+          conflict = true;
+        }
+      });
+      if (!conflict) {
+        layer.Insert(i, boxes[i]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      layers.emplace_back(extent, avg_side * 4);
+      layers.back().Insert(i, boxes[i]);
+    }
+  }
+  for (const auto& layer : layers) {
+    std::vector<GeomId> l;
+    l.reserve(layer.members().size());
+    for (size_t m : layer.members()) l.push_back(ids[m]);
+    index.layers.push_back(std::move(l));
+  }
+  return index;
+}
+
+}  // namespace spade

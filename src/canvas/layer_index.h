@@ -1,0 +1,56 @@
+// The layer index (Section 4.3): partitions a polygonal (or line) dataset
+// into layers of pairwise non-intersecting objects, so each layer can be
+// packed into a single canvas, reducing the number of canvases/rendering
+// passes and raising GPU occupancy.
+//
+// Two constructions are provided:
+//   * BuildLayerIndexCanvas — the paper's construction (Section 5.5): per
+//     iteration, a multiway blend keeps the highest object id per pixel,
+//     then a blend+mask pass discards objects that were cropped; the
+//     uncropped objects form the layer. Raster overlap is conservative, so
+//     truly intersecting objects never share a layer.
+//   * BuildLayerIndexGreedy — an exact greedy reference using geometric
+//     intersection tests, used by tests to validate the canvas-based build
+//     and by the engine when no device is available.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/triangulate.h"
+#include "gfx/device.h"
+#include "gfx/viewport.h"
+
+namespace spade {
+
+/// \brief A partition of object ids into non-intersecting layers.
+struct LayerIndex {
+  std::vector<std::vector<GeomId>> layers;
+
+  size_t num_layers() const { return layers.size(); }
+  size_t num_objects() const {
+    size_t n = 0;
+    for (const auto& l : layers) n += l.size();
+    return n;
+  }
+};
+
+/// Paper construction on the software pipeline. `tris[i]` must be the
+/// triangulation of `polys[i]`; `ids[i]` its object id.
+LayerIndex BuildLayerIndexCanvas(GfxDevice* device, const Viewport& vp,
+                                 const std::vector<GeomId>& ids,
+                                 const std::vector<const MultiPolygon*>& polys,
+                                 const std::vector<const Triangulation*>& tris);
+
+/// Exact greedy reference: first-fit by ascending id with geometric
+/// intersection tests (bbox prefilter + exact polygon-polygon test).
+LayerIndex BuildLayerIndexGreedy(const std::vector<GeomId>& ids,
+                                 const std::vector<const MultiPolygon*>& polys);
+
+/// Greedy layering for generic bounding boxes expanded by per-object radii
+/// (used to layer distance-join constraints on the fly, where regions must
+/// be provably disjoint). Conservative: uses box disjointness.
+LayerIndex BuildLayerIndexBoxes(const std::vector<GeomId>& ids,
+                                const std::vector<Box>& boxes);
+
+}  // namespace spade

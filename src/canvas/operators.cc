@@ -1,0 +1,40 @@
+#include "canvas/operators.h"
+
+namespace spade {
+
+void ValueTransform(Texture* tex, int channel,
+                    const std::function<uint32_t(uint32_t)>& fn,
+                    ThreadPool* pool) {
+  const size_t pixels = static_cast<size_t>(tex->width()) * tex->height();
+  pool->ParallelFor(pixels, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const int x = static_cast<int>(i % tex->width());
+      const int y = static_cast<int>(i / tex->width());
+      tex->Set(x, y, channel, fn(tex->Get(x, y, channel)));
+    }
+  });
+}
+
+std::vector<uint32_t> RunTwoPassMap(
+    const std::function<void(TwoPassMapSink*)>& pass) {
+  TwoPassMapSink counter;
+  pass(&counter);
+  std::vector<uint32_t> buffer(counter.count(), kTexNull);
+  TwoPassMapSink filler(&buffer);
+  pass(&filler);
+  buffer.resize(std::min(buffer.size(), filler.count()));
+  return buffer;
+}
+
+std::vector<uint64_t> RunTwoPassMap64(
+    const std::function<void(TwoPassMapSink64*)>& pass) {
+  TwoPassMapSink64 counter;
+  pass(&counter);
+  std::vector<uint64_t> buffer(counter.count(), kTexNull64);
+  TwoPassMapSink64 filler(&buffer);
+  pass(&filler);
+  buffer.resize(std::min(buffer.size(), filler.count()));
+  return buffer;
+}
+
+}  // namespace spade

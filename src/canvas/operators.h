@@ -1,0 +1,215 @@
+// The GPU-friendly algebra operators (Section 5.1) as implemented on the
+// software pipeline:
+//
+//   * Geometric Transform — vertex-stage coordinate transform
+//     (affine screen-space mapping and/or EPSG:4326 -> EPSG:3857).
+//   * Value Transform — per-pixel channel rewrite.
+//   * Mask — fragment-stage test against a constraint canvas; fused with
+//     Blend inside the engine's fragment shaders as the paper prescribes.
+//   * Multiway Blend — N-way per-pixel combination (add/max/min/replace);
+//     the additive form implements aggregation via "alpha blending".
+//   * Map (Dissect + Geometric Transform) — consolidates non-null
+//     fragments into a dense list: a 1-pass variant writing into a
+//     pre-sized output canvas compacted by parallel scan, and a 2-pass
+//     variant that first counts and then fills exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "geom/projection.h"
+#include "geom/vec2.h"
+#include "gfx/scan.h"
+#include "gfx/texture.h"
+
+namespace spade {
+
+// --- Geometric Transform -----------------------------------------------
+
+/// \brief Vertex-stage geometric transform: optional web-mercator
+/// projection followed by an affine map (scale + translate).
+struct GeometricTransform {
+  bool project_mercator = false;
+  double sx = 1, sy = 1;
+  double tx = 0, ty = 0;
+
+  Vec2 Apply(const Vec2& p) const {
+    const Vec2 q = project_mercator ? LonLatToWebMercator(p) : p;
+    return {q.x * sx + tx, q.y * sy + ty};
+  }
+
+  /// Identity transform.
+  static GeometricTransform Identity() { return {}; }
+
+  /// Affine map taking box `from` onto box `to`.
+  static GeometricTransform BoxToBox(const Box& from, const Box& to) {
+    GeometricTransform t;
+    t.sx = to.Width() / (from.Width() > 0 ? from.Width() : 1);
+    t.sy = to.Height() / (from.Height() > 0 ? from.Height() : 1);
+    t.tx = to.min.x - from.min.x * t.sx;
+    t.ty = to.min.y - from.min.y * t.sy;
+    return t;
+  }
+};
+
+// --- Value Transform -----------------------------------------------------
+
+/// Rewrite one channel of a texture through `fn`, in parallel.
+void ValueTransform(Texture* tex, int channel,
+                    const std::function<uint32_t(uint32_t)>& fn,
+                    ThreadPool* pool);
+
+// --- Multiway Blend -------------------------------------------------------
+
+/// Per-pixel blend functions available to the blending stage.
+enum class BlendFunc { kAdd, kMax, kMin, kReplace };
+
+/// Apply one blended fragment write (thread-safe).
+inline void ApplyBlend(Texture* tex, int x, int y, int c, uint32_t v,
+                       BlendFunc f) {
+  switch (f) {
+    case BlendFunc::kAdd:
+      tex->AtomicAdd(x, y, c, v);
+      break;
+    case BlendFunc::kMax:
+      tex->AtomicMax(x, y, c, v);
+      break;
+    case BlendFunc::kMin:
+      tex->AtomicMin(x, y, c, v);
+      break;
+    case BlendFunc::kReplace:
+      tex->AtomicStore(x, y, c, v);
+      break;
+  }
+}
+
+// --- Map -------------------------------------------------------------------
+
+/// \brief One-pass Map output: a canvas treated as a list of size
+/// `capacity` with null holes, compacted by GPU-style parallel scan.
+///
+/// The fragment shader stores each produced point at a unique slot (for
+/// selections: the object id; for joins: constraint * n + object). If a
+/// store lands beyond capacity the output flags overflow so the optimizer
+/// can fall back to the 2-pass implementation.
+class MapOutput {
+ public:
+  explicit MapOutput(size_t capacity)
+      : slots_(capacity, kTexNull), overflow_(false) {}
+
+  size_t capacity() const { return slots_.size(); }
+  bool overflowed() const { return overflow_.load(std::memory_order_relaxed); }
+
+  /// Store a value at a unique slot. Thread-safe across distinct slots;
+  /// concurrent writers to the same slot must write the same value.
+  void Store(size_t slot, uint32_t value) {
+    if (slot >= slots_.size()) {
+      overflow_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::atomic_ref<uint32_t>(slots_[slot]).store(value,
+                                                  std::memory_order_relaxed);
+  }
+
+  /// Compact the non-null slots (ascending slot order) via parallel scan.
+  std::vector<uint32_t> Collect(ThreadPool* pool) const {
+    return CompactNonNull(slots_, pool);
+  }
+
+  const std::vector<uint32_t>& raw() const { return slots_; }
+
+ private:
+  std::vector<uint32_t> slots_;
+  std::atomic<bool> overflow_;
+};
+
+/// \brief Two-pass Map (Section 5.1, impl. 2): the pass body is invoked
+/// twice — a simulated pass that only counts the produced points, then an
+/// actual pass into an exactly sized output buffer.
+class TwoPassMapSink {
+ public:
+  /// Counting sink.
+  TwoPassMapSink() : buffer_(nullptr) {}
+  /// Filling sink over a pre-sized buffer.
+  explicit TwoPassMapSink(std::vector<uint32_t>* buffer) : buffer_(buffer) {}
+
+  bool counting() const { return buffer_ == nullptr; }
+
+  /// Produce one point. Thread-safe.
+  void Emit(uint32_t value) {
+    const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (buffer_ != nullptr && i < buffer_->size()) {
+      std::atomic_ref<uint32_t>((*buffer_)[i])
+          .store(value, std::memory_order_relaxed);
+    }
+  }
+
+  size_t count() const { return cursor_.load(); }
+
+ private:
+  std::vector<uint32_t>* buffer_;
+  std::atomic<size_t> cursor_{0};
+};
+
+/// Run the two-pass Map: `pass` must emit every produced point into the
+/// sink it is given; it runs once to count and once to fill.
+std::vector<uint32_t> RunTwoPassMap(
+    const std::function<void(TwoPassMapSink*)>& pass);
+
+/// \brief 64-bit variants of the Map machinery, used for join results
+/// where a produced point encodes a (constraint id, object id) pair.
+class MapOutput64 {
+ public:
+  explicit MapOutput64(size_t capacity)
+      : slots_(capacity, kTexNull64), overflow_(false) {}
+
+  size_t capacity() const { return slots_.size(); }
+  bool overflowed() const { return overflow_.load(std::memory_order_relaxed); }
+
+  void Store(size_t slot, uint64_t value) {
+    if (slot >= slots_.size()) {
+      overflow_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::atomic_ref<uint64_t>(slots_[slot]).store(value,
+                                                  std::memory_order_relaxed);
+  }
+
+  std::vector<uint64_t> Collect(ThreadPool* pool) const {
+    return CompactNonNull64(slots_, pool);
+  }
+
+ private:
+  std::vector<uint64_t> slots_;
+  std::atomic<bool> overflow_;
+};
+
+class TwoPassMapSink64 {
+ public:
+  TwoPassMapSink64() : buffer_(nullptr) {}
+  explicit TwoPassMapSink64(std::vector<uint64_t>* buffer) : buffer_(buffer) {}
+
+  bool counting() const { return buffer_ == nullptr; }
+
+  void Emit(uint64_t value) {
+    const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (buffer_ != nullptr && i < buffer_->size()) {
+      std::atomic_ref<uint64_t>((*buffer_)[i])
+          .store(value, std::memory_order_relaxed);
+    }
+  }
+
+  size_t count() const { return cursor_.load(); }
+
+ private:
+  std::vector<uint64_t>* buffer_;
+  std::atomic<size_t> cursor_{0};
+};
+
+std::vector<uint64_t> RunTwoPassMap64(
+    const std::function<void(TwoPassMapSink64*)>& pass);
+
+}  // namespace spade

@@ -1,0 +1,393 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "engine/tuning.h"
+#include "geom/wkt.h"
+#include "storage/geo_table.h"
+#include "storage/io.h"
+#include "storage/sql.h"
+
+namespace spade {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  gen <kind> <n> as <name>     generate data; kinds: uniform-points,
+                               gaussian-points, uniform-boxes, gaussian-boxes,
+                               parcels, taxi, tweets, neighborhoods, census,
+                               counties, zipcodes, buildings, countries
+  load csv|wkt <path> as <name>
+  save csv|wkt <name> <path>
+  store <name> <dir>           write <name> as on-disk grid blocks
+  open <dir> as <name>         open a stored dataset
+  list                         list datasets (objects, cells, zoom)
+  select <name> <WKT>          spatial selection (polygon constraint)
+  contains <name> <WKT>        containment selection
+  range <name> x0 y0 x1 y1     rectangular range selection
+  join <polys> <other>         spatial join
+  distance <name> x y r [m]    distance selection ('m' = meters/mercator)
+  djoin <left> <right> r [m]   distance join
+  agg <data> <constraints>     aggregation (top-5 counts)
+  knn <name> x y k [m]         k nearest neighbours
+  register <name>              store dataset as a SQL (id, wkt) table
+  sql <statement>              run SQL against the catalog
+  stats                        breakdown of the last query
+  help                         this text)";
+
+std::vector<std::string> Words(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+/// Rest of the line after the first `n` whitespace-separated words.
+std::string Rest(const std::string& line, size_t n) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    while (pos < line.size() && !std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  }
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  return line.substr(pos);
+}
+
+Result<double> ToDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number, got '" + s + "'");
+  }
+  return v;
+}
+
+Result<size_t> ToCount(const std::string& s) {
+  SPADE_ASSIGN_OR_RETURN(double v, ToDouble(s));
+  if (v < 0) return Status::InvalidArgument("expected a non-negative count");
+  return static_cast<size_t>(v);
+}
+
+std::string DescribeSelection(const SelectionResult& r) {
+  std::ostringstream os;
+  os << r.ids.size() << " objects";
+  if (!r.ids.empty()) {
+    os << " (ids:";
+    for (size_t i = 0; i < std::min<size_t>(8, r.ids.size()); ++i) {
+      os << ' ' << r.ids[i];
+    }
+    if (r.ids.size() > 8) os << " ...";
+    os << ')';
+  }
+  os << " in " << r.stats.TotalSeconds() << "s";
+  return os.str();
+}
+
+Result<MultiPolygon> ParseConstraint(const std::string& wkt) {
+  SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(wkt));
+  if (!g.is_polygon()) {
+    return Status::InvalidArgument("constraint must be POLYGON/MULTIPOLYGON");
+  }
+  return g.polygon();
+}
+
+}  // namespace
+
+CliSession::CliSession(SpadeConfig config) : engine_(config) {}
+
+Result<CellSource*> CliSession::FindSource(const std::string& name) {
+  auto it = sources_.find(name);
+  if (it == sources_.end()) {
+    return Status::NotFound("no dataset named '" + name +
+                            "' (see `list`, `gen`, `load`)");
+  }
+  return it->second.source.get();
+}
+
+Result<std::string> CliSession::AddDataset(const std::string& name,
+                                           SpatialDataset dataset) {
+  if (sources_.count(name) > 0) {
+    return Status::InvalidArgument("dataset '" + name + "' already exists");
+  }
+  const size_t n = dataset.size();
+  NamedSource ns;
+  ns.dataset = dataset;
+  ns.has_dataset = true;
+  ns.source = MakeTunedInMemorySource(name, std::move(dataset),
+                                      engine_.config());
+  const size_t cells = ns.source->index().num_cells();
+  sources_[name] = std::move(ns);
+  std::ostringstream os;
+  os << name << ": " << n << " objects, " << cells << " grid cells";
+  return os.str();
+}
+
+Result<std::string> CliSession::Execute(const std::string& line) {
+  const auto words = Words(line);
+  if (words.empty()) return std::string();
+  const std::string& cmd = words[0];
+
+  if (cmd == "help") return std::string(kHelp);
+
+  if (cmd == "gen") {
+    if (words.size() != 5 || words[3] != "as") {
+      return Status::InvalidArgument("usage: gen <kind> <n> as <name>");
+    }
+    SPADE_ASSIGN_OR_RETURN(size_t n, ToCount(words[2]));
+    const std::string& kind = words[1];
+    SpatialDataset ds;
+    const uint64_t seed = 42;
+    if (kind == "uniform-points") ds = GenerateUniformPoints(n, seed);
+    else if (kind == "gaussian-points") ds = GenerateGaussianPoints(n, seed);
+    else if (kind == "uniform-boxes") ds = GenerateUniformBoxes(n, seed);
+    else if (kind == "gaussian-boxes") ds = GenerateGaussianBoxes(n, seed);
+    else if (kind == "parcels") ds = GenerateParcels(n, seed);
+    else if (kind == "taxi") ds = TaxiLikePoints(n, seed);
+    else if (kind == "tweets") ds = TweetLikePoints(n, seed);
+    else if (kind == "neighborhoods") ds = NeighborhoodLikePolygons(seed);
+    else if (kind == "census") ds = CensusLikePolygons(seed);
+    else if (kind == "counties") ds = CountyLikePolygons(seed);
+    else if (kind == "zipcodes") ds = ZipcodeLikePolygons(seed);
+    else if (kind == "buildings") ds = BuildingLikePolygons(n, seed);
+    else if (kind == "countries") ds = CountryLikePolygons(seed);
+    else return Status::InvalidArgument("unknown kind '" + kind + "'");
+    ds.name = words[4];
+    return AddDataset(words[4], std::move(ds));
+  }
+
+  if (cmd == "load") {
+    if (words.size() != 5 || words[3] != "as") {
+      return Status::InvalidArgument("usage: load csv|wkt <path> as <name>");
+    }
+    SpatialDataset ds;
+    if (words[1] == "csv") {
+      SPADE_ASSIGN_OR_RETURN(ds, LoadPointsCsv(words[2], words[4]));
+    } else if (words[1] == "wkt") {
+      SPADE_ASSIGN_OR_RETURN(ds, LoadWktFile(words[2], words[4]));
+    } else {
+      return Status::InvalidArgument("load format must be csv or wkt");
+    }
+    return AddDataset(words[4], std::move(ds));
+  }
+
+  if (cmd == "save") {
+    if (words.size() != 4) {
+      return Status::InvalidArgument("usage: save csv|wkt <name> <path>");
+    }
+    auto it = sources_.find(words[2]);
+    if (it == sources_.end() || !it->second.has_dataset) {
+      return Status::NotFound("no in-memory dataset '" + words[2] + "'");
+    }
+    if (words[1] == "csv") {
+      SPADE_RETURN_NOT_OK(SavePointsCsv(it->second.dataset, words[3]));
+    } else if (words[1] == "wkt") {
+      SPADE_RETURN_NOT_OK(SaveWktFile(it->second.dataset, words[3]));
+    } else {
+      return Status::InvalidArgument("save format must be csv or wkt");
+    }
+    return "saved " + words[2] + " to " + words[3];
+  }
+
+  if (cmd == "store") {
+    if (words.size() != 3) {
+      return Status::InvalidArgument("usage: store <name> <dir>");
+    }
+    auto it = sources_.find(words[1]);
+    if (it == sources_.end() || !it->second.has_dataset) {
+      return Status::NotFound("no in-memory dataset '" + words[1] + "'");
+    }
+    auto disk = DiskSource::Create(words[2], it->second.dataset,
+                                   engine_.config().EffectiveCellBytes(),
+                                   engine_.config().device_memory_budget);
+    SPADE_RETURN_NOT_OK(disk.status());
+    return "stored " + words[1] + " at " + words[2] + " (" +
+           std::to_string(disk.value()->index().num_cells()) + " blocks)";
+  }
+
+  if (cmd == "open") {
+    if (words.size() != 4 || words[2] != "as") {
+      return Status::InvalidArgument("usage: open <dir> as <name>");
+    }
+    if (sources_.count(words[3]) > 0) {
+      return Status::InvalidArgument("dataset '" + words[3] + "' exists");
+    }
+    auto disk =
+        DiskSource::Open(words[1], engine_.config().device_memory_budget);
+    SPADE_RETURN_NOT_OK(disk.status());
+    NamedSource ns;
+    const size_t n = disk.value()->num_objects();
+    ns.source = std::move(disk).value();
+    sources_[words[3]] = std::move(ns);
+    return words[3] + ": " + std::to_string(n) + " objects (disk)";
+  }
+
+  if (cmd == "list") {
+    std::ostringstream os;
+    for (const auto& [name, ns] : sources_) {
+      os << name << ": " << ns.source->num_objects() << " objects, "
+         << ns.source->index().num_cells() << " cells, zoom "
+         << ns.source->index().zoom
+         << (ns.has_dataset ? " (memory)" : " (disk)") << '\n';
+    }
+    if (sources_.empty()) return std::string("(no datasets)");
+    std::string out = os.str();
+    out.pop_back();
+    return out;
+  }
+
+  if (cmd == "select" || cmd == "contains") {
+    if (words.size() < 3) {
+      return Status::InvalidArgument("usage: " + cmd + " <name> <WKT>");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * src, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(MultiPolygon poly, ParseConstraint(Rest(line, 2)));
+    SPADE_ASSIGN_OR_RETURN(
+        SelectionResult r,
+        cmd == "select" ? engine_.SpatialSelection(*src, poly)
+                        : engine_.ContainsSelection(*src, poly));
+    last_stats_ = r.stats;
+    return DescribeSelection(r);
+  }
+
+  if (cmd == "range") {
+    if (words.size() != 6) {
+      return Status::InvalidArgument("usage: range <name> x0 y0 x1 y1");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * src, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(double x0, ToDouble(words[2]));
+    SPADE_ASSIGN_OR_RETURN(double y0, ToDouble(words[3]));
+    SPADE_ASSIGN_OR_RETURN(double x1, ToDouble(words[4]));
+    SPADE_ASSIGN_OR_RETURN(double y1, ToDouble(words[5]));
+    SPADE_ASSIGN_OR_RETURN(SelectionResult r,
+                           engine_.RangeSelection(*src, Box(x0, y0, x1, y1)));
+    last_stats_ = r.stats;
+    return DescribeSelection(r);
+  }
+
+  if (cmd == "join") {
+    if (words.size() != 3) {
+      return Status::InvalidArgument("usage: join <polys> <other>");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * a, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(CellSource * b, FindSource(words[2]));
+    SPADE_ASSIGN_OR_RETURN(JoinResult r, engine_.SpatialJoin(*a, *b));
+    last_stats_ = r.stats;
+    std::ostringstream os;
+    os << r.pairs.size() << " pairs in " << r.stats.TotalSeconds() << "s";
+    return os.str();
+  }
+
+  if (cmd == "distance" || cmd == "knn") {
+    const bool knn = cmd == "knn";
+    if (words.size() < 5) {
+      return Status::InvalidArgument("usage: " + cmd + " <name> x y " +
+                                     (knn ? "k" : "r") + " [m]");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * src, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(double x, ToDouble(words[2]));
+    SPADE_ASSIGN_OR_RETURN(double y, ToDouble(words[3]));
+    QueryOptions opts;
+    opts.mercator = words.size() > 5 && words[5] == "m";
+    if (knn) {
+      SPADE_ASSIGN_OR_RETURN(size_t k, ToCount(words[4]));
+      SPADE_ASSIGN_OR_RETURN(KnnResult r,
+                             engine_.KnnSelection(*src, {x, y}, k, opts));
+      last_stats_ = r.stats;
+      std::ostringstream os;
+      os << r.neighbors.size() << " neighbours";
+      if (!r.neighbors.empty()) {
+        os << ", nearest id " << r.neighbors.front().first << " at "
+           << r.neighbors.front().second
+           << ", furthest at " << r.neighbors.back().second;
+      }
+      return os.str();
+    }
+    SPADE_ASSIGN_OR_RETURN(double r, ToDouble(words[4]));
+    SPADE_ASSIGN_OR_RETURN(
+        SelectionResult res,
+        engine_.DistanceSelection(*src, Geometry(Vec2{x, y}), r, opts));
+    last_stats_ = res.stats;
+    return DescribeSelection(res);
+  }
+
+  if (cmd == "djoin") {
+    if (words.size() < 4) {
+      return Status::InvalidArgument("usage: djoin <left> <right> r [m]");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * a, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(CellSource * b, FindSource(words[2]));
+    SPADE_ASSIGN_OR_RETURN(double r, ToDouble(words[3]));
+    QueryOptions opts;
+    opts.mercator = words.size() > 4 && words[4] == "m";
+    SPADE_ASSIGN_OR_RETURN(JoinResult res,
+                           engine_.DistanceJoin(*a, *b, r, opts));
+    last_stats_ = res.stats;
+    std::ostringstream os;
+    os << res.pairs.size() << " pairs in " << res.stats.TotalSeconds() << "s";
+    return os.str();
+  }
+
+  if (cmd == "agg") {
+    if (words.size() != 3) {
+      return Status::InvalidArgument("usage: agg <data> <constraints>");
+    }
+    SPADE_ASSIGN_OR_RETURN(CellSource * data, FindSource(words[1]));
+    SPADE_ASSIGN_OR_RETURN(CellSource * cons, FindSource(words[2]));
+    SPADE_ASSIGN_OR_RETURN(AggregationResult r,
+                           engine_.SpatialAggregation(*data, *cons));
+    last_stats_ = r.stats;
+    std::vector<std::pair<uint64_t, size_t>> top;
+    for (size_t i = 0; i < r.counts.size(); ++i) {
+      top.emplace_back(r.counts[i], i);
+    }
+    std::sort(top.rbegin(), top.rend());
+    std::ostringstream os;
+    os << "top constraints by count:";
+    for (size_t i = 0; i < std::min<size_t>(5, top.size()); ++i) {
+      os << ' ' << top[i].second << '=' << top[i].first;
+    }
+    return os.str();
+  }
+
+  if (cmd == "register") {
+    if (words.size() != 2) {
+      return Status::InvalidArgument("usage: register <name>");
+    }
+    auto it = sources_.find(words[1]);
+    if (it == sources_.end() || !it->second.has_dataset) {
+      return Status::NotFound("no in-memory dataset '" + words[1] + "'");
+    }
+    SPADE_RETURN_NOT_OK(RegisterDataset(&engine_.catalog(),
+                                        it->second.dataset));
+    return "registered table " + words[1];
+  }
+
+  if (cmd == "sql") {
+    const std::string stmt = Rest(line, 1);
+    if (stmt.empty()) return Status::InvalidArgument("usage: sql <statement>");
+    SPADE_ASSIGN_OR_RETURN(Table t, ExecuteSql(&engine_.catalog(), stmt));
+    return t.num_columns() == 0 ? std::string("ok") : t.ToString(20);
+  }
+
+  if (cmd == "stats") {
+    std::ostringstream os;
+    os << "io=" << last_stats_.io_seconds << "s gpu=" << last_stats_.gpu_seconds
+       << "s polygon=" << last_stats_.polygon_seconds
+       << "s cpu=" << last_stats_.cpu_seconds
+       << "s | passes=" << last_stats_.render_passes
+       << " fragments=" << last_stats_.fragments
+       << " cells=" << last_stats_.cells_processed
+       << " transferred=" << last_stats_.bytes_transferred << "B"
+       << " exact_tests=" << last_stats_.exact_tests;
+    return os.str();
+  }
+
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (try `help`)");
+}
+
+}  // namespace spade

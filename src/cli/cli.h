@@ -1,0 +1,46 @@
+// The spade command-line session: a small command language over the
+// engine — generate/load/save datasets, build disk indexes, run every
+// query type, inspect stats, and execute SQL. The processor is a library
+// (tested directly); tools/spade_cli.cpp wraps it in a REPL.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/spade.h"
+
+namespace spade {
+
+/// \brief An interactive session holding named datasets and an engine.
+class CliSession {
+ public:
+  explicit CliSession(SpadeConfig config = {});
+
+  /// Execute one command line; returns the printable result.
+  /// See `Execute("help")` for the command list.
+  Result<std::string> Execute(const std::string& line);
+
+  /// Stats of the last executed query (zeroed when none ran yet).
+  const QueryStats& last_stats() const { return last_stats_; }
+
+  SpadeEngine& engine() { return engine_; }
+
+ private:
+  struct NamedSource {
+    std::unique_ptr<CellSource> source;
+    // Kept when created in-process so datasets can be saved back out.
+    SpatialDataset dataset;
+    bool has_dataset = false;
+  };
+
+  Result<CellSource*> FindSource(const std::string& name);
+  Result<std::string> AddDataset(const std::string& name,
+                                 SpatialDataset dataset);
+
+  SpadeEngine engine_;
+  std::map<std::string, NamedSource> sources_;
+  QueryStats last_stats_;
+};
+
+}  // namespace spade

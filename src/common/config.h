@@ -1,0 +1,81 @@
+// Engine-wide configuration. Mirrors the tuning knobs described in the
+// paper's experimental setup (Section 6.1): device-memory budget drives the
+// clustered-grid-index cell size, canvas resolution bounds the rasterized
+// query region, etc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spade {
+
+/// \brief Configuration for a Spade engine instance.
+struct SpadeConfig {
+  /// Simulated GPU memory budget in bytes. Grid-index blocks are sized so a
+  /// single cell is at most device_memory_budget/4: the GPU then holds two
+  /// cells (one per join side) and keeps half its memory for intermediate
+  /// buffers and results, exactly the rule of Section 6.1.
+  size_t device_memory_budget = 256ull << 20;
+
+  /// Maximum bytes of data per grid-index cell (derived when zero).
+  size_t max_cell_bytes = 0;
+
+  /// Canvas resolution (width == height, in pixels) used when rasterizing a
+  /// query region. The paper uses FBOs up to 32K x 32K; the software
+  /// pipeline defaults to 1024 which keeps per-pass cost proportional.
+  int canvas_resolution = 1024;
+
+  /// Number of worker threads emulating the GPU's parallel shader cores.
+  /// Zero means hardware concurrency.
+  size_t gpu_threads = 0;
+
+  /// kNN circle-probe shrink factor alpha (> 1), Section 5.2. sqrt(2)
+  /// halves the circle area per step: a good balance between the number
+  /// of circles (logarithmic) and how much the chosen radius over-covers.
+  double knn_alpha = 1.4142135623730951;
+
+  /// Maximum number of circle probes for a kNN query.
+  int knn_max_circles = 96;
+
+  /// Maximum element capacity of a single Map-operator output canvas; above
+  /// this the optimizer switches from the 1-pass to the 2-pass Map
+  /// implementation (Section 5.4).
+  size_t max_map_canvas_elems = 1ull << 22;
+
+  /// Derived: effective per-cell byte bound.
+  size_t EffectiveCellBytes() const {
+    return max_cell_bytes != 0 ? max_cell_bytes : device_memory_budget / 4;
+  }
+};
+
+/// \brief Per-query execution statistics, matching the four components of
+/// the paper's time breakdown (Fig. 5 bottom) plus operational counters.
+struct QueryStats {
+  double io_seconds = 0;        ///< disk->CPU and CPU->GPU transfer time
+  double gpu_seconds = 0;       ///< time spent in the (software) pipeline
+  double polygon_seconds = 0;   ///< triangulation + boundary-index creation
+  double cpu_seconds = 0;       ///< remaining CPU-side work
+  int64_t render_passes = 0;    ///< number of pipeline draw passes
+  int64_t fragments = 0;        ///< fragments processed by fragment stage
+  int64_t bytes_transferred = 0;///< simulated CPU->GPU transfer volume
+  int64_t cells_processed = 0;  ///< grid-index cells touched
+  int64_t exact_tests = 0;      ///< boundary-index exact geometry tests
+
+  double TotalSeconds() const {
+    return io_seconds + gpu_seconds + polygon_seconds + cpu_seconds;
+  }
+
+  void Merge(const QueryStats& other) {
+    io_seconds += other.io_seconds;
+    gpu_seconds += other.gpu_seconds;
+    polygon_seconds += other.polygon_seconds;
+    cpu_seconds += other.cpu_seconds;
+    render_passes += other.render_passes;
+    fragments += other.fragments;
+    bytes_transferred += other.bytes_transferred;
+    cells_processed += other.cells_processed;
+    exact_tests += other.exact_tests;
+  }
+};
+
+}  // namespace spade

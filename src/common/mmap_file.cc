@@ -1,0 +1,74 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace spade {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+  }
+  MmapFile f;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("mmap " + path + ": " + std::strerror(errno));
+    }
+    f.data_ = static_cast<uint8_t*>(p);
+  }
+  ::close(fd);
+  return f;
+}
+
+Status WriteFile(const std::string& path, const void* data, size_t size) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("fopen " + path + ": " + std::strerror(errno));
+  }
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    std::fclose(f);
+    return Status::IOError("fwrite " + path);
+  }
+  if (std::fclose(f) != 0) return Status::IOError("fclose " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  SPADE_ASSIGN_OR_RETURN(MmapFile f, MmapFile::Open(path));
+  return std::string(reinterpret_cast<const char*>(f.data()), f.size());
+}
+
+}  // namespace spade

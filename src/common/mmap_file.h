@@ -1,0 +1,42 @@
+// Memory-mapped file wrapper used by the out-of-core storage layer: grid
+// index cells are mmapped and paged into CPU memory on demand (Section 5.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace spade {
+
+/// \brief Read-only memory mapping of a file.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Map the whole file read-only.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Write a whole buffer to a file atomically enough for our purposes.
+Status WriteFile(const std::string& path, const void* data, size_t size);
+
+/// Read a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace spade

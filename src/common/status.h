@@ -1,0 +1,135 @@
+// Status / Result error-handling primitives, following the RocksDB/Arrow
+// idiom: fallible functions return Status (or Result<T>) instead of throwing.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spade {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK or carries an error code and a human-readable
+/// message. Use the SPADE_RETURN_NOT_OK macro to propagate errors.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kOutOfMemory,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(Code::kOutOfMemory, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Render as "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kIOError: return "IOError";
+      case Code::kOutOfMemory: return "OutOfMemory";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}             // NOLINT: implicit
+  Result(Status status) : v_(std::move(status)) {       // NOLINT: implicit
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define SPADE_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::spade::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define SPADE_CONCAT_INNER(a, b) a##b
+#define SPADE_CONCAT(a, b) SPADE_CONCAT_INNER(a, b)
+
+#define SPADE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SPADE_ASSIGN_OR_RETURN(lhs, expr) \
+  SPADE_ASSIGN_OR_RETURN_IMPL(SPADE_CONCAT(_spade_res_, __LINE__), lhs, expr)
+
+}  // namespace spade

@@ -1,0 +1,58 @@
+// Wall-clock timing helpers used by the query-time breakdown instrumentation
+// (Fig. 5 bottom: I/O / GPU / polygon processing / CPU).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spade {
+
+/// \brief Monotonic wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed time across multiple timed sections.
+class TimeAccumulator {
+ public:
+  void Add(double seconds) { total_ += seconds; }
+  double total_seconds() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  double total_ = 0;
+};
+
+/// \brief RAII section timer: adds the section's duration to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) : acc_(acc) {}
+  ~ScopedTimer() { acc_->Add(sw_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* acc_;
+  Stopwatch sw_;
+};
+
+}  // namespace spade

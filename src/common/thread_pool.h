@@ -1,0 +1,56 @@
+// Fixed-size thread pool used to model the data-parallel execution of the
+// GPU's shader cores in the software graphics pipeline, and for the
+// node-parallelism of the cluster baseline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spade {
+
+/// \brief A simple fixed-size work-queue thread pool.
+///
+/// Submit() enqueues a task; ParallelFor() block-partitions an index range
+/// across the workers and blocks until every chunk has completed.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void Wait();
+
+  /// Run fn(begin, end) over [0, n) split into roughly even contiguous
+  /// chunks, one chunk per worker; blocks until all chunks are done.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide shared pool (hardware_concurrency threads).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace spade

@@ -1,0 +1,267 @@
+#include "datagen/realdata.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace spade {
+
+namespace {
+
+// SplitMix64: stable per-coordinate hashing so that grid corners and shared
+// edges are jittered identically for both adjacent polygons.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double HashUnit(uint64_t a, uint64_t b, uint64_t c, uint64_t seed) {
+  const uint64_t h = Mix(a * 0x100000001B3ull ^ Mix(b ^ Mix(c ^ seed)));
+  return (h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+}
+
+}  // namespace
+
+Box NycExtent() { return Box(-74.28, 40.48, -73.65, 40.93); }
+Box UsaExtent() { return Box(-124.8, 24.5, -66.9, 49.4); }
+Box WorldExtent() { return Box(-180.0, -60.0, 180.0, 75.0); }
+
+SpatialDataset TaxiLikePoints(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "taxi_like_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  const Box ext = NycExtent();
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  // Dense pickup hotspots (midtown-like cores get the highest weight).
+  struct Hotspot {
+    Vec2 center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Hotspot> hotspots;
+  double total_w = 0;
+  for (int i = 0; i < 12; ++i) {
+    Hotspot h;
+    h.center = {ext.min.x + u(gen) * ext.Width(),
+                ext.min.y + u(gen) * ext.Height()};
+    h.sigma = 0.004 + 0.02 * u(gen);
+    h.weight = 1.0 / (i + 1);
+    total_w += h.weight;
+    hotspots.push_back(h);
+  }
+  std::normal_distribution<double> norm(0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (u(gen) < 0.1) {  // uniform background traffic
+      ds.geoms.emplace_back(Vec2{ext.min.x + u(gen) * ext.Width(),
+                                 ext.min.y + u(gen) * ext.Height()});
+      continue;
+    }
+    double pick = u(gen) * total_w;
+    const Hotspot* h = &hotspots.back();
+    for (const auto& cand : hotspots) {
+      if (pick < cand.weight) {
+        h = &cand;
+        break;
+      }
+      pick -= cand.weight;
+    }
+    Vec2 p{h->center.x + norm(gen) * h->sigma,
+           h->center.y + norm(gen) * h->sigma};
+    p.x = std::clamp(p.x, ext.min.x, ext.max.x);
+    p.y = std::clamp(p.y, ext.min.y, ext.max.y);
+    ds.geoms.emplace_back(p);
+  }
+  return ds;
+}
+
+SpatialDataset TweetLikePoints(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "tweet_like_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  const Box ext = UsaExtent();
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> norm(0.0, 1.0);
+
+  struct City {
+    Vec2 center;
+    double sigma;
+    double weight;
+  };
+  std::vector<City> cities;
+  double total_w = 0;
+  for (int i = 0; i < 60; ++i) {
+    City c;
+    c.center = {ext.min.x + u(gen) * ext.Width(),
+                ext.min.y + u(gen) * ext.Height()};
+    c.sigma = 0.08 + 0.4 * u(gen);
+    c.weight = 1.0 / (i + 1);  // power-law city sizes
+    total_w += c.weight;
+    cities.push_back(c);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (u(gen) < 0.15) {
+      ds.geoms.emplace_back(Vec2{ext.min.x + u(gen) * ext.Width(),
+                                 ext.min.y + u(gen) * ext.Height()});
+      continue;
+    }
+    double pick = u(gen) * total_w;
+    const City* c = &cities.back();
+    for (const auto& cand : cities) {
+      if (pick < cand.weight) {
+        c = &cand;
+        break;
+      }
+      pick -= cand.weight;
+    }
+    Vec2 p{c->center.x + norm(gen) * c->sigma,
+           c->center.y + norm(gen) * c->sigma};
+    p.x = std::clamp(p.x, ext.min.x, ext.max.x);
+    p.y = std::clamp(p.y, ext.min.y, ext.max.y);
+    ds.geoms.emplace_back(p);
+  }
+  return ds;
+}
+
+SpatialDataset JitteredGridPolygons(const Box& extent, int nx, int ny,
+                                    uint64_t seed, int verts_per_edge,
+                                    const std::string& name) {
+  SpatialDataset ds;
+  ds.name = name;
+  ds.geoms.reserve(static_cast<size_t>(nx) * ny);
+  const double cw = extent.Width() / nx;
+  const double ch = extent.Height() / ny;
+
+  // Jittered grid corner: interior corners are displaced by up to 30% of a
+  // cell; border corners stay pinned so the tiling covers the extent.
+  auto corner = [&](int i, int j) -> Vec2 {
+    double x = extent.min.x + i * cw;
+    double y = extent.min.y + j * ch;
+    if (i > 0 && i < nx) {
+      x += (HashUnit(i, j, 1, seed) - 0.5) * 0.6 * cw;
+    }
+    if (j > 0 && j < ny) {
+      y += (HashUnit(i, j, 2, seed) - 0.5) * 0.6 * ch;
+    }
+    return {x, y};
+  };
+
+  // Densify the edge between grid corners a=(ai,aj) and b=(bi,bj) with
+  // `verts_per_edge` intermediate vertices displaced perpendicular to the
+  // edge. The displacement depends only on the undirected edge, so both
+  // adjacent polygons generate identical boundaries.
+  auto edge_points = [&](int ai, int aj, int bi, int bj) {
+    std::vector<Vec2> pts;
+    bool flip = false;
+    if (std::make_pair(ai, aj) > std::make_pair(bi, bj)) {
+      std::swap(ai, bi);
+      std::swap(aj, bj);
+      flip = true;
+    }
+    const Vec2 a = corner(ai, aj);
+    const Vec2 b = corner(bi, bj);
+    const Vec2 d = b - a;
+    const double len = d.Norm();
+    const Vec2 n = len > 0 ? Vec2{-d.y / len, d.x / len} : Vec2{0, 0};
+    // Border edges stay straight: displacing them would push the boundary
+    // outside the extent on one side and open a gap on the other.
+    const bool border = (ai == 0 && bi == 0) || (ai == nx && bi == nx) ||
+                        (aj == 0 && bj == 0) || (aj == ny && bj == ny);
+    const double amp = border ? 0.0 : 0.08 * std::min(cw, ch);
+    const uint64_t ekey =
+        Mix((static_cast<uint64_t>(ai) << 40) ^ (static_cast<uint64_t>(aj) << 20) ^
+            (static_cast<uint64_t>(bi) << 10) ^ static_cast<uint64_t>(bj));
+    pts.push_back(a);
+    for (int k = 1; k <= verts_per_edge; ++k) {
+      const double t = static_cast<double>(k) / (verts_per_edge + 1);
+      const double disp = (HashUnit(ekey, k, 3, seed) - 0.5) * 2.0 * amp *
+                          std::sin(M_PI * t);  // pinched at corners
+      pts.push_back(a + d * t + n * disp);
+    }
+    pts.push_back(b);
+    if (flip) std::reverse(pts.begin(), pts.end());
+    pts.pop_back();  // next edge re-adds the shared corner
+    return pts;
+  };
+
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      Polygon poly;
+      auto append = [&](std::vector<Vec2> pts) {
+        poly.outer.insert(poly.outer.end(), pts.begin(), pts.end());
+      };
+      append(edge_points(i, j, i + 1, j));
+      append(edge_points(i + 1, j, i + 1, j + 1));
+      append(edge_points(i + 1, j + 1, i, j + 1));
+      append(edge_points(i, j + 1, i, j));
+      poly.Normalize();
+      ds.geoms.emplace_back(std::move(poly));
+    }
+  }
+  return ds;
+}
+
+SpatialDataset NeighborhoodLikePolygons(uint64_t seed, int nx, int ny) {
+  return JitteredGridPolygons(NycExtent(), nx, ny, seed, 12,
+                              "neighborhood_like");
+}
+
+SpatialDataset CensusLikePolygons(uint64_t seed, int nx, int ny) {
+  return JitteredGridPolygons(NycExtent(), nx, ny, seed + 1, 8, "census_like");
+}
+
+SpatialDataset CountyLikePolygons(uint64_t seed, int nx, int ny) {
+  return JitteredGridPolygons(UsaExtent(), nx, ny, seed + 2, 28,
+                              "county_like");
+}
+
+SpatialDataset ZipcodeLikePolygons(uint64_t seed, int nx, int ny) {
+  return JitteredGridPolygons(UsaExtent(), nx, ny, seed + 3, 8,
+                              "zipcode_like");
+}
+
+SpatialDataset BuildingLikePolygons(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "building_like_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  const Box ext = WorldExtent();
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> norm(0.0, 1.0);
+
+  // Urban clusters; buildings are tiny rotated quads around them.
+  const int kClusters = 200;
+  std::vector<Vec2> centers;
+  centers.reserve(kClusters);
+  for (int i = 0; i < kClusters; ++i) {
+    centers.push_back({ext.min.x + u(gen) * ext.Width(),
+                       ext.min.y + u(gen) * ext.Height()});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& c = centers[gen() % kClusters];
+    const Vec2 pos{c.x + norm(gen) * 0.25, c.y + norm(gen) * 0.25};
+    const double w = 0.0002 + 0.0004 * u(gen);
+    const double h = 0.0002 + 0.0004 * u(gen);
+    const double ang = u(gen) * M_PI;
+    const double ca = std::cos(ang), sa = std::sin(ang);
+    Polygon poly;
+    for (const auto& [dx, dy] : {std::pair{-w, -h}, std::pair{w, -h},
+                                 std::pair{w, h}, std::pair{-w, h}}) {
+      poly.outer.push_back({pos.x + dx * ca - dy * sa, pos.y + dx * sa + dy * ca});
+    }
+    poly.Normalize();
+    ds.geoms.emplace_back(std::move(poly));
+  }
+  return ds;
+}
+
+SpatialDataset CountryLikePolygons(uint64_t seed, int nx, int ny) {
+  return JitteredGridPolygons(WorldExtent(), nx, ny, seed + 4, 36,
+                              "country_like");
+}
+
+}  // namespace spade

@@ -1,0 +1,57 @@
+// Synthetic analogs of the paper's real datasets (Table 1). The sandbox has
+// no NYC taxi / Twitter / OSM dumps, so these generators reproduce each
+// dataset's *shape* — spatial extent, skew, polygon complexity ratios, and
+// tiling structure — at configurable scale. See DESIGN.md for the
+// substitution rationale.
+//
+// All coordinates are EPSG:4326 (lon, lat degrees), like the originals.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// Spatial extents of the analog datasets.
+Box NycExtent();    ///< roughly the five boroughs
+Box UsaExtent();    ///< contiguous US
+Box WorldExtent();  ///< inhabited latitudes
+
+/// Taxi-like points: heavily skewed pickup locations over the NYC extent
+/// (a mixture of dense gaussian hotspots plus a uniform background).
+SpatialDataset TaxiLikePoints(size_t n, uint64_t seed);
+
+/// Tweet-like points over the US: power-law weighted "city" clusters plus
+/// background noise.
+SpatialDataset TweetLikePoints(size_t n, uint64_t seed);
+
+/// A tiling of `extent` into nx * ny jittered-grid polygons that share
+/// edges exactly (like administrative boundaries). `verts_per_edge`
+/// controls polygon complexity (the paper's counties/zipcodes have far
+/// more vertices than neighborhoods).
+SpatialDataset JitteredGridPolygons(const Box& extent, int nx, int ny,
+                                    uint64_t seed, int verts_per_edge,
+                                    const std::string& name);
+
+/// Neighborhood-like polygons over NYC (coarse tiling, simple shapes).
+SpatialDataset NeighborhoodLikePolygons(uint64_t seed, int nx = 14,
+                                        int ny = 14);
+
+/// Census-tract-like polygons over NYC (finer tiling).
+SpatialDataset CensusLikePolygons(uint64_t seed, int nx = 46, int ny = 46);
+
+/// County-like polygons over the US (coarse tiling, complex boundaries).
+SpatialDataset CountyLikePolygons(uint64_t seed, int nx = 56, int ny = 56);
+
+/// Zipcode-like polygons over the US (fine tiling).
+SpatialDataset ZipcodeLikePolygons(uint64_t seed, int nx = 180, int ny = 180);
+
+/// Building-like polygons: many tiny disjoint quads scattered world-wide
+/// in urban clusters (the paper's worst case: sub-pixel polygons).
+SpatialDataset BuildingLikePolygons(size_t n, uint64_t seed);
+
+/// Country-like polygons: few, large, complex boundaries tiling the world.
+SpatialDataset CountryLikePolygons(uint64_t seed, int nx = 18, int ny = 14);
+
+}  // namespace spade

@@ -1,0 +1,94 @@
+#include "datagen/spider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace spade {
+
+namespace {
+
+double ClampUnit(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+SpatialDataset GenerateUniformPoints(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "uniform_points_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    ds.geoms.emplace_back(Vec2{u(gen), u(gen)});
+  }
+  return ds;
+}
+
+SpatialDataset GenerateGaussianPoints(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "gaussian_points_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<double> g(0.5, 0.15);
+  for (size_t i = 0; i < n; ++i) {
+    ds.geoms.emplace_back(Vec2{ClampUnit(g(gen)), ClampUnit(g(gen))});
+  }
+  return ds;
+}
+
+namespace {
+
+SpatialDataset GenerateBoxes(size_t n, uint64_t seed, double max_size,
+                             bool gaussian, const std::string& name) {
+  SpatialDataset ds;
+  ds.name = name + "_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> g(0.5, 0.15);
+  std::uniform_real_distribution<double> size(max_size * 0.1, max_size);
+  for (size_t i = 0; i < n; ++i) {
+    const double cx = gaussian ? ClampUnit(g(gen)) : u(gen);
+    const double cy = gaussian ? ClampUnit(g(gen)) : u(gen);
+    const double w = size(gen), h = size(gen);
+    const Box b(ClampUnit(cx - w / 2), ClampUnit(cy - h / 2),
+                ClampUnit(cx + w / 2), ClampUnit(cy + h / 2));
+    ds.geoms.emplace_back(Polygon::FromBox(b));
+  }
+  return ds;
+}
+
+}  // namespace
+
+SpatialDataset GenerateUniformBoxes(size_t n, uint64_t seed, double max_size) {
+  return GenerateBoxes(n, seed, max_size, /*gaussian=*/false, "uniform_boxes");
+}
+
+SpatialDataset GenerateGaussianBoxes(size_t n, uint64_t seed,
+                                     double max_size) {
+  return GenerateBoxes(n, seed, max_size, /*gaussian=*/true, "gaussian_boxes");
+}
+
+SpatialDataset GenerateParcels(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "parcels_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.05, 0.45);
+  const size_t grid = static_cast<size_t>(std::ceil(std::sqrt(n)));
+  const double cell = 1.0 / grid;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t gx = i % grid;
+    const size_t gy = i / grid;
+    // A random sub-rectangle strictly inside the cell: parcels never touch.
+    const double mx = u(gen) * cell, my = u(gen) * cell;
+    const double wx = u(gen) * cell, wy = u(gen) * cell;
+    const Box b(gx * cell + mx, gy * cell + my,
+                gx * cell + std::min(cell - 0.01 * cell, mx + wx),
+                gy * cell + std::min(cell - 0.01 * cell, my + wy));
+    ds.geoms.emplace_back(Polygon::FromBox(b));
+  }
+  return ds;
+}
+
+}  // namespace spade

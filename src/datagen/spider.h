@@ -1,0 +1,33 @@
+// Spider-style synthetic data generation (the paper's Table 4 workloads,
+// generated with [19]): uniform and gaussian points and boxes over the unit
+// square, plus "parcel" sets of non-intersecting rectangles used as join
+// constraints (Section 6.6).
+#pragma once
+
+#include <cstdint>
+
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// Points uniformly distributed over the unit square.
+SpatialDataset GenerateUniformPoints(size_t n, uint64_t seed);
+
+/// Points normally distributed (mean 0.5, sigma 0.15 per axis, clamped)
+/// over the unit square.
+SpatialDataset GenerateGaussianPoints(size_t n, uint64_t seed);
+
+/// Axis-parallel rectangles of varying sizes, centers uniform over the
+/// unit square. `max_size` bounds each rectangle's side length.
+SpatialDataset GenerateUniformBoxes(size_t n, uint64_t seed,
+                                    double max_size = 0.005);
+
+/// Axis-parallel rectangles with gaussian-distributed centers.
+SpatialDataset GenerateGaussianBoxes(size_t n, uint64_t seed,
+                                     double max_size = 0.005);
+
+/// `n` non-intersecting rectangles ("parcels") of varying sizes tiling the
+/// unit square: one shrunken rectangle per cell of a ceil(sqrt(n)) grid.
+SpatialDataset GenerateParcels(size_t n, uint64_t seed);
+
+}  // namespace spade

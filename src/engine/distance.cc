@@ -1,0 +1,227 @@
+// Distance-based queries (Sections 4.2, 5.2): constraint regions are
+// expanded geometry-shader-style (circle / capsule / polygon buffer) into
+// distance canvases; data points are tested against them in the fused
+// fragment pass. Both join types are supported: one global radius, or one
+// radius per constraint object. When opts.mercator is set, constraints and
+// data are projected to EPSG:3857 in the vertex stage so radii are meters.
+#include <algorithm>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "engine/optimizer.h"
+#include "engine/spade.h"
+#include "geom/projection.h"
+
+namespace spade {
+
+namespace {
+
+struct ConstraintSet {
+  std::vector<GeomId> ids;         // global ids
+  std::vector<Geometry> geoms;     // projected when mercator
+  std::vector<double> radii;       // parallel to ids
+  std::vector<Box> expanded;       // region bounds (projected)
+};
+
+}  // namespace
+
+struct EngineOps {
+  /// Load every object of `source` as a distance-join constraint.
+  static Result<ConstraintSet> LoadConstraints(SpadeEngine* eng,
+                                               CellSource& source,
+                                               const std::vector<double>& radii,
+                                               double global_r, bool mercator,
+                                               QueryStats* stats) {
+    ConstraintSet cs;
+    for (size_t c = 0; c < source.index().cells.size(); ++c) {
+      SPADE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const CellData> data,
+          source.LoadCell(c, stats));
+      for (size_t i = 0; i < data->geoms.size(); ++i) {
+        const GeomId id = data->ids[i];
+        const double r = radii.empty() ? global_r : radii[id];
+        Geometry g = mercator ? ProjectToWebMercator(data->geoms[i])
+                              : data->geoms[i];
+        cs.expanded.push_back(g.Bounds().Expanded(r));
+        cs.ids.push_back(id);
+        cs.geoms.push_back(std::move(g));
+        cs.radii.push_back(r);
+      }
+    }
+    return cs;
+  }
+
+  /// Core distance join: layered distance canvases over the constraints,
+  /// right point cells streamed against each layer.
+  /// emit(left global id, right global id) must be thread-safe.
+  static Status RunDistanceJoin(
+      SpadeEngine* eng, const ConstraintSet& cs, CellSource& right,
+      bool mercator, QueryStats* stats,
+      const std::function<void(GeomId, GeomId)>& emit) {
+    if (right.primary_type() != GeomType::kPoint) {
+      return Status::NotSupported(
+          "distance joins are supported over point data");
+    }
+    if (cs.ids.empty()) return Status::OK();
+
+    // Layer the constraints so regions within a canvas are disjoint
+    // (conservative: by expanded bounding boxes). Built on the fly since
+    // radii arrive with the query (Section 5.2).
+    std::vector<GeomId> seq(cs.ids.size());
+    for (size_t i = 0; i < seq.size(); ++i) seq[i] = static_cast<GeomId>(i);
+    const LayerIndex layers = BuildLayerIndexBoxes(seq, cs.expanded);
+
+    const GeometricTransform transform{mercator, 1, 1, 0, 0};
+
+    for (const auto& layer : layers.layers) {
+      // Viewport over this layer's combined region.
+      Box layer_box;
+      for (GeomId li : layer) layer_box.Extend(cs.expanded[li]);
+      const Viewport vp = eng->MakeViewport(layer_box);
+
+      Stopwatch canvas_sw;
+      std::vector<GeomId> lids;
+      std::vector<const Geometry*> lgeoms;
+      std::vector<double> lradii;
+      GeomId max_local = 0;
+      for (GeomId li : layer) {
+        lids.push_back(li);
+        lgeoms.push_back(&cs.geoms[li]);
+        lradii.push_back(cs.radii[li]);
+        max_local = std::max(max_local, li);
+      }
+      CanvasBuilder builder(&eng->device_, vp);
+      const Canvas canvas =
+          builder.BuildDistanceCanvasGeometries(lids, lgeoms, lradii);
+      stats->gpu_seconds += canvas_sw.ElapsedSeconds();
+      SPADE_ASSIGN_OR_RETURN(
+          DeviceAllocation canvas_mem,
+          DeviceAllocation::Make(&eng->device_, canvas.ByteSize()));
+
+      // Stream right cells touching the layer region.
+      for (size_t dc = 0; dc < right.index().cells.size(); ++dc) {
+        const Box cell_box =
+            mercator ? exec::TransformBox(right.index().cells[dc].box,
+                                          transform)
+                     : right.index().cells[dc].box;
+        if (!cell_box.Intersects(layer_box)) continue;
+        SPADE_ASSIGN_OR_RETURN(
+            std::shared_ptr<const PreparedCell> prep,
+            eng->preparer_.Get(right, dc, /*need_layers=*/false, stats));
+        SPADE_ASSIGN_OR_RETURN(
+            DeviceAllocation cell_mem,
+            DeviceAllocation::Make(&eng->device_,
+                                   prep->data->bytes + prep->index_bytes));
+        stats->cells_processed++;
+
+        Stopwatch gpu_sw;
+        exec::TestObjectsAgainstCanvas(
+            &eng->device_, *prep, canvas, transform,
+            /*identity_transform=*/!mercator, /*distance_mode=*/true,
+            [&](GeomId owner_local, uint32_t local2) {
+              emit(cs.ids[owner_local], prep->global_id(local2));
+            });
+        stats->gpu_seconds += gpu_sw.ElapsedSeconds();
+      }
+      stats->exact_tests += canvas.boundary_index().exact_tests();
+    }
+    return Status::OK();
+  }
+};
+
+Result<SelectionResult> SpadeEngine::DistanceSelection(
+    CellSource& data, const Geometry& probe, double r,
+    const QueryOptions& opts) {
+  SelectionResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+
+  Stopwatch poly_sw;
+  ConstraintSet cs;
+  Geometry g = opts.mercator ? ProjectToWebMercator(probe) : probe;
+  cs.expanded.push_back(g.Bounds().Expanded(r));
+  cs.ids.push_back(0);
+  cs.geoms.push_back(std::move(g));
+  cs.radii.push_back(r);
+  stats.polygon_seconds += poly_sw.ElapsedSeconds();
+
+  std::mutex mu;
+  SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
+      this, cs, data, opts.mercator, &stats, [&](GeomId, GeomId right_id) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.ids.push_back(right_id);
+      }));
+
+  std::sort(result.ids.begin(), result.ids.end());
+  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                   result.ids.end());
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  return result;
+}
+
+Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
+                                             CellSource& right, double r,
+                                             const QueryOptions& opts) {
+  JoinResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+
+  // The side with fewer elements provides the constraint canvases
+  // (Section 5.2, type-1 join).
+  const bool swap = left.num_objects() > right.num_objects();
+  CellSource& cons = swap ? right : left;
+  CellSource& other = swap ? left : right;
+
+  SPADE_ASSIGN_OR_RETURN(
+      ConstraintSet cs,
+      EngineOps::LoadConstraints(this, cons, {}, r, opts.mercator, &stats));
+
+  std::mutex mu;
+  SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
+      this, cs, other, opts.mercator, &stats,
+      [&](GeomId left_id, GeomId right_id) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.pairs.emplace_back(swap ? right_id : left_id,
+                                  swap ? left_id : right_id);
+      }));
+
+  std::sort(result.pairs.begin(), result.pairs.end());
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  return result;
+}
+
+Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
+    CellSource& left, CellSource& right, const std::vector<double>& radii,
+    const QueryOptions& opts) {
+  JoinResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+  if (radii.size() < left.num_objects()) {
+    return Status::InvalidArgument("radii must cover every left object");
+  }
+
+  SPADE_ASSIGN_OR_RETURN(
+      ConstraintSet cs,
+      EngineOps::LoadConstraints(this, left, radii, 0, opts.mercator, &stats));
+
+  std::mutex mu;
+  SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
+      this, cs, right, opts.mercator, &stats,
+      [&](GeomId left_id, GeomId right_id) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.pairs.emplace_back(left_id, right_id);
+      }));
+
+  std::sort(result.pairs.begin(), result.pairs.end());
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,123 @@
+// Internal execution helpers shared by the query implementations: the
+// fused blend+mask+map fragment loop (Section 5.2, step 2 — object
+// canvases are never materialized; each object's fragments are tested
+// against the constraint canvas and immediately discarded).
+#pragma once
+
+#include <vector>
+
+#include "canvas/canvas.h"
+#include "canvas/canvas_builder.h"
+#include "canvas/operators.h"
+#include "engine/prepared.h"
+#include "gfx/device.h"
+
+namespace spade {
+namespace exec {
+
+/// Transform every coordinate of a triangulation (vertex stage).
+inline Triangulation TransformTriangulation(const Triangulation& tri,
+                                            const GeometricTransform& t) {
+  Triangulation out;
+  out.triangles.reserve(tri.triangles.size());
+  for (const auto& tr : tri.triangles) {
+    out.triangles.push_back({t.Apply(tr.a), t.Apply(tr.b), t.Apply(tr.c)});
+  }
+  out.edges.reserve(tri.edges.size());
+  for (const auto& e : tri.edges) {
+    out.edges.push_back({t.Apply(e[0]), t.Apply(e[1])});
+  }
+  out.edge_triangle = tri.edge_triangle;
+  return out;
+}
+
+/// Transformed bounding box (exact for the monotone transforms we use).
+inline Box TransformBox(const Box& b, const GeometricTransform& t) {
+  Box out;
+  out.Extend(t.Apply(b.min));
+  out.Extend(t.Apply(b.max));
+  return out;
+}
+
+/// The fused fragment loop: every object of `prep` is rendered against
+/// `canvas` (one rendering pass for the whole cell), applying the vertex
+/// transform, viewport clipping, and the blend+mask test per fragment.
+/// `emit(owner, local_index)` is invoked for every (constraint object,
+/// data object) match; it must be thread-safe. `distance_mode` switches
+/// the mask test to the distance-canvas semantics (point data only).
+template <typename Emit>
+void TestObjectsAgainstCanvas(GfxDevice* device, const PreparedCell& prep,
+                              const Canvas& canvas,
+                              const GeometricTransform& transform,
+                              bool identity_transform, bool distance_mode,
+                              Emit&& emit) {
+  const Box view = canvas.viewport().world();
+  device->DrawParallel(prep.size(), [&](size_t lo, size_t hi) {
+    size_t frags = 0;
+    std::vector<GeomId> owners;
+    for (size_t i = lo; i < hi; ++i) {
+      const Geometry& g = prep.geom(i);
+      owners.clear();
+      switch (g.type()) {
+        case GeomType::kPoint: {
+          const Vec2 q =
+              identity_transform ? g.point() : transform.Apply(g.point());
+          if (!view.Contains(q)) break;  // clipped
+          ++frags;
+          if (distance_mode) {
+            canvas.TestPointDistance(q, &owners);
+          } else {
+            canvas.TestPoint(q, &owners);
+          }
+          break;
+        }
+        case GeomType::kLine: {
+          const Box b = identity_transform
+                            ? g.Bounds()
+                            : TransformBox(g.Bounds(), transform);
+          if (!b.Intersects(view)) break;
+          const auto& pts = g.line().points;
+          for (size_t s = 1; s < pts.size(); ++s) {
+            const Vec2 a =
+                identity_transform ? pts[s - 1] : transform.Apply(pts[s - 1]);
+            const Vec2 c = identity_transform ? pts[s] : transform.Apply(pts[s]);
+            ++frags;
+            canvas.TestSegment(a, c, &owners);
+          }
+          // Dedup across segments.
+          std::sort(owners.begin(), owners.end());
+          owners.erase(std::unique(owners.begin(), owners.end()),
+                       owners.end());
+          break;
+        }
+        case GeomType::kPolygon: {
+          const Box b = identity_transform
+                            ? g.Bounds()
+                            : TransformBox(g.Bounds(), transform);
+          if (!b.Intersects(view)) break;
+          if (identity_transform) {
+            canvas.TestPolygon(prep.tris[i], &owners);
+          } else {
+            const Triangulation tri =
+                TransformTriangulation(prep.tris[i], transform);
+            canvas.TestPolygon(tri, &owners);
+          }
+          frags += prep.tris[i].triangles.size();
+          break;
+        }
+      }
+      for (GeomId owner : owners) {
+        emit(owner, static_cast<uint32_t>(i));
+      }
+    }
+    return frags;
+  });
+}
+
+/// Build one polygon canvas per layer of a prepared (polygonal) cell.
+/// Owner ids in the canvases are *local* member indices within the cell.
+std::vector<Canvas> BuildLayerCanvases(GfxDevice* device, const Viewport& vp,
+                                       const PreparedCell& prep);
+
+}  // namespace exec
+}  // namespace spade

@@ -1,0 +1,255 @@
+// Spatial joins (Sections 5.2, 5.3, 5.4): polygon x point and polygon x
+// polygon joins executed as collections of layer-canvas selections, with
+// the optimizer choosing between the layer-index strategy and the naive
+// loop-of-selects per left-cell group, and ordering cell pairs to share
+// transfers.
+#include <algorithm>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "engine/optimizer.h"
+#include "engine/spade.h"
+#include "geom/predicates.h"
+
+namespace spade {
+
+namespace {
+
+/// Filter phase: pairs of (left cell, right cell) whose bounding polygons
+/// intersect, computed as a GPU join over the hull polygons (the reuse of
+/// GPU selections for index filtering that Section 5.3 describes).
+std::vector<std::pair<size_t, size_t>> FilterCellPairs(GfxDevice* device,
+                                                       const Viewport& vp,
+                                                       const GridIndex& left,
+                                                       const GridIndex& right) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (left.cells.empty() || right.cells.empty()) return pairs;
+
+  // Build a canvas over the right cells' hulls (layered so overlapping
+  // hulls never share a canvas).
+  std::vector<GeomId> ids(right.cells.size());
+  std::vector<Box> boxes(right.cells.size());
+  std::vector<MultiPolygon> hulls(right.cells.size());
+  std::vector<Triangulation> tris(right.cells.size());
+  for (size_t i = 0; i < right.cells.size(); ++i) {
+    ids[i] = static_cast<GeomId>(i);
+    boxes[i] = right.cells[i].box;
+    hulls[i].parts.push_back(right.cells[i].bounding_poly);
+    tris[i] = Triangulate(hulls[i]);
+  }
+  const LayerIndex layers = BuildLayerIndexBoxes(ids, boxes);
+
+  CanvasBuilder builder(device, vp);
+  std::vector<Canvas> canvases;
+  for (const auto& layer : layers.layers) {
+    std::vector<GeomId> lids;
+    std::vector<const MultiPolygon*> lpolys;
+    std::vector<const Triangulation*> ltris;
+    for (GeomId id : layer) {
+      if (tris[id].triangles.empty()) continue;
+      lids.push_back(id);
+      lpolys.push_back(&hulls[id]);
+      ltris.push_back(&tris[id]);
+    }
+    if (!lids.empty()) canvases.push_back(builder.BuildPolygonCanvas(lids, lpolys, ltris));
+  }
+
+  for (size_t l = 0; l < left.cells.size(); ++l) {
+    const Triangulation ltri =
+        Triangulate(MultiPolygon{{left.cells[l].bounding_poly}});
+    std::vector<GeomId> owners;
+    for (const Canvas& canvas : canvases) {
+      canvas.TestPolygon(ltri, &owners);
+    }
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    for (GeomId r : owners) pairs.emplace_back(l, r);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
+                                            CellSource& other,
+                                            const QueryOptions& opts) {
+  (void)opts;
+  JoinResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+  // A point intersects at most one constraint polygon per layer, so a
+  // point gets a dedicated output slot; lines/polygons can match several
+  // constraints per layer and need the cross-product slot space.
+  const bool right_is_point = other.primary_type() == GeomType::kPoint;
+
+  // Filter phase over the two grid indexes' bounding polygons.
+  Stopwatch filter_sw;
+  Box both = polygons.index().extent;
+  both.Extend(other.index().extent);
+  const Viewport filter_vp = MakeViewport(both);
+  std::vector<std::pair<size_t, size_t>> pairs = FilterCellPairs(
+      &device_, filter_vp, polygons.index(), other.index());
+  stats.gpu_seconds += filter_sw.ElapsedSeconds();
+
+  // Join order (optimizer decision 3).
+  pairs = OrderCellPairs(std::move(pairs));
+
+  int64_t exact_tests = 0;
+  size_t group_begin = 0;
+  while (group_begin < pairs.size()) {
+    size_t group_end = group_begin;
+    while (group_end < pairs.size() &&
+           pairs[group_end].first == pairs[group_begin].first) {
+      ++group_end;
+    }
+    const size_t c1 = pairs[group_begin].first;
+    SPADE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedCell> prep1,
+        preparer_.Get(polygons, c1, /*need_layers=*/true, &stats));
+    stats.cells_processed++;
+
+    // Optimizer decision 2: estimated transfer volume of each strategy for
+    // this left-cell group.
+    size_t layer_bytes = polygons.index().cells[c1].bytes;
+    for (size_t g = group_begin; g < group_end; ++g) {
+      layer_bytes += other.index().cells[pairs[g].second].bytes;
+    }
+    size_t naive_bytes = 0;
+    for (size_t i = 0; i < prep1->size(); ++i) {
+      if (!prep1->geom(i).is_polygon()) continue;
+      const Box pb = prep1->geom(i).Bounds();
+      for (size_t g = group_begin; g < group_end; ++g) {
+        const auto& c2cell = other.index().cells[pairs[g].second];
+        if (c2cell.box.Intersects(pb)) naive_bytes += c2cell.bytes;
+      }
+    }
+    const JoinStrategy strategy = ChooseJoinStrategy(layer_bytes, naive_bytes);
+
+    if (strategy == JoinStrategy::kLayerIndex) {
+      // One canvas per layer of the left cell, shared by every paired
+      // right cell.
+      Stopwatch canvas_sw;
+      const Viewport vp = MakeViewport(polygons.index().cells[c1].box);
+      const std::vector<Canvas> canvases =
+          exec::BuildLayerCanvases(&device_, vp, *prep1);
+      stats.gpu_seconds += canvas_sw.ElapsedSeconds();
+      size_t group_bytes = prep1->data->bytes + prep1->index_bytes;
+      for (const Canvas& c : canvases) group_bytes += c.ByteSize();
+      SPADE_ASSIGN_OR_RETURN(DeviceAllocation group_mem,
+                             DeviceAllocation::Make(&device_, group_bytes));
+
+      for (size_t g = group_begin; g < group_end; ++g) {
+        const size_t c2 = pairs[g].second;
+        SPADE_ASSIGN_OR_RETURN(
+            std::shared_ptr<const PreparedCell> prep2,
+            preparer_.Get(other, c2, /*need_layers=*/false, &stats));
+        SPADE_ASSIGN_OR_RETURN(
+            DeviceAllocation cell_mem,
+            DeviceAllocation::Make(&device_,
+                                   prep2->data->bytes + prep2->index_bytes));
+        stats.cells_processed++;
+
+        Stopwatch gpu_sw;
+        for (size_t ci = 0; ci < canvases.size(); ++ci) {
+          const Canvas& canvas = canvases[ci];
+          const size_t n2 = prep2->size();
+          const size_t layer_size = prep1->layers.layers[ci].size();
+          const size_t n_max =
+              right_is_point ? EstimatePolyPointJoinOutput(n2)
+                             : EstimatePolyPolyJoinOutput(layer_size, n2);
+
+          if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
+            // Owner rank within the layer gives the unique output slot.
+            std::vector<uint32_t> rank(prep1->size(), 0);
+            for (size_t r = 0; r < prep1->layers.layers[ci].size(); ++r) {
+              rank[prep1->layers.layers[ci][r]] = static_cast<uint32_t>(r);
+            }
+            MapOutput64 out(n_max);
+            exec::TestObjectsAgainstCanvas(
+                &device_, *prep2, canvas, GeometricTransform::Identity(),
+                true, false, [&](GeomId owner_local, uint32_t local2) {
+                  const size_t slot =
+                      right_is_point
+                          ? local2
+                          : static_cast<size_t>(rank[owner_local]) * n2 + local2;
+                  out.Store(slot, EncodePair(prep1->global_id(owner_local),
+                                             prep2->global_id(local2)));
+                });
+            for (uint64_t v : out.Collect(&device_.pool())) {
+              result.pairs.push_back(DecodePair(v));
+            }
+          } else {
+            for (uint64_t v : RunTwoPassMap64([&](TwoPassMapSink64* sink) {
+                   exec::TestObjectsAgainstCanvas(
+                       &device_, *prep2, canvas,
+                       GeometricTransform::Identity(), true, false,
+                       [&](GeomId owner_local, uint32_t local2) {
+                         sink->Emit(EncodePair(prep1->global_id(owner_local),
+                                               prep2->global_id(local2)));
+                       });
+                 })) {
+              result.pairs.push_back(DecodePair(v));
+            }
+          }
+        }
+        stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+      }
+      for (const Canvas& canvas : canvases) {
+        exact_tests += canvas.boundary_index().exact_tests();
+      }
+    } else {
+      // Naive strategy: a selection per left polygon, loading only the
+      // right cells its bounds touch.
+      for (size_t i = 0; i < prep1->size(); ++i) {
+        if (!prep1->geom(i).is_polygon()) continue;
+        const Box pb = prep1->geom(i).Bounds();
+
+        Stopwatch canvas_sw;
+        const Viewport vp = MakeViewport(pb);
+        CanvasBuilder builder(&device_, vp);
+        const Canvas canvas = builder.BuildPolygonCanvas(
+            {static_cast<GeomId>(i)}, {&prep1->geom(i).polygon()},
+            {&prep1->tris[i]});
+        stats.gpu_seconds += canvas_sw.ElapsedSeconds();
+
+        for (size_t g = group_begin; g < group_end; ++g) {
+          const size_t c2 = pairs[g].second;
+          if (!other.index().cells[c2].box.Intersects(pb)) continue;
+          SPADE_ASSIGN_OR_RETURN(
+              std::shared_ptr<const PreparedCell> prep2,
+              preparer_.Get(other, c2, /*need_layers=*/false, &stats));
+
+          Stopwatch gpu_sw;
+          const size_t n_max = EstimateSelectionOutput(prep2->size());
+          MapOutput64 out(n_max);
+          exec::TestObjectsAgainstCanvas(
+              &device_, *prep2, canvas, GeometricTransform::Identity(), true,
+              false, [&](GeomId, uint32_t local2) {
+                out.Store(local2, EncodePair(prep1->global_id(i),
+                                             prep2->global_id(local2)));
+              });
+          for (uint64_t v : out.Collect(&device_.pool())) {
+            result.pairs.push_back(DecodePair(v));
+          }
+          stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+        }
+        exact_tests += canvas.boundary_index().exact_tests();
+      }
+    }
+    group_begin = group_end;
+  }
+
+  Stopwatch cpu_sw;
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.pairs.erase(std::unique(result.pairs.begin(), result.pairs.end()),
+                     result.pairs.end());
+  stats.cpu_seconds += cpu_sw.ElapsedSeconds();
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  stats.exact_tests += exact_tests;
+  return result;
+}
+
+}  // namespace spade

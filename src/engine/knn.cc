@@ -1,0 +1,302 @@
+// kNN queries (Section 5.2): the circle-probing plan. Step 1 runs a
+// spatial aggregation over concentric circle constraints with radii
+// r_i = r_max / alpha^i — realized as one multiway-blend density pass over
+// the data plus constant-time circle-count probes (summed-area table).
+// Step 2 runs an exact distance selection with the chosen radius; step 3
+// sorts the matches by distance and keeps the k nearest. The aggregation
+// only needs to be *conservative* (it picks a radius guaranteed to contain
+// at least k points); exactness comes from step 2.
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "engine/spade.h"
+#include "geom/projection.h"
+#include "gfx/rasterizer.h"
+
+namespace spade {
+
+namespace {
+
+/// Density raster + summed-area table over a point dataset.
+struct DensityMap {
+  Viewport vp;
+  std::vector<uint64_t> sat;  // (w+1) x (h+1) summed-area table
+
+  uint64_t BoxSum(int x0, int y0, int x1, int y1) const {
+    // Inclusive pixel rect [x0,x1] x [y0,y1], clamped.
+    x0 = std::max(x0, 0);
+    y0 = std::max(y0, 0);
+    x1 = std::min(x1, vp.width() - 1);
+    y1 = std::min(y1, vp.height() - 1);
+    if (x0 > x1 || y0 > y1) return 0;
+    const size_t w = vp.width() + 1;
+    auto at = [&](int x, int y) { return sat[static_cast<size_t>(y) * w + x]; };
+    return at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0);
+  }
+
+  /// Count of points in pixels FULLY inside the square of half-side `h`
+  /// centered at p (an under-count of the disc of radius h*sqrt(2) and an
+  /// under-count of any disc of radius >= h*sqrt(2)).
+  uint64_t InscribedSquareCount(const Vec2& p, double h) const {
+    const Vec2 lo = vp.ToPixelF({p.x - h, p.y - h});
+    const Vec2 hi = vp.ToPixelF({p.x + h, p.y + h});
+    // Pixels fully inside: ceil on the low edge, floor-1 on the high edge.
+    const int x0 = static_cast<int>(std::ceil(lo.x));
+    const int y0 = static_cast<int>(std::ceil(lo.y));
+    const int x1 = static_cast<int>(std::floor(hi.x)) - 1;
+    const int y1 = static_cast<int>(std::floor(hi.y)) - 1;
+    return BoxSum(x0, y0, x1, y1);
+  }
+};
+
+}  // namespace
+
+struct EngineKnnOps {
+  /// One multiway-blend pass over all data points, producing the density
+  /// raster and its summed-area table.
+  static Result<DensityMap> BuildDensity(SpadeEngine* eng, CellSource& data,
+                                         bool mercator, QueryStats* stats) {
+    const GeometricTransform transform{mercator, 1, 1, 0, 0};
+    Box extent = data.index().extent;
+    if (mercator) extent = exec::TransformBox(extent, transform);
+    DensityMap dm;
+    dm.vp = eng->MakeViewport(extent);
+
+    const int w = dm.vp.width(), h = dm.vp.height();
+    std::vector<uint32_t> density(static_cast<size_t>(w) * h, 0);
+    SPADE_ASSIGN_OR_RETURN(
+        DeviceAllocation density_mem,
+        DeviceAllocation::Make(&eng->device_,
+                               density.size() * sizeof(uint32_t)));
+
+    for (size_t c = 0; c < data.index().cells.size(); ++c) {
+      SPADE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const PreparedCell> prep,
+          eng->preparer_.Get(data, c, /*need_layers=*/false, stats));
+      SPADE_ASSIGN_OR_RETURN(
+          DeviceAllocation cell_mem,
+          DeviceAllocation::Make(&eng->device_,
+                                 prep->data->bytes + prep->index_bytes));
+      Stopwatch gpu_sw;
+      eng->device_.DrawParallel(prep->size(), [&](size_t lo, size_t hi) {
+        size_t frags = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          if (!prep->geom(i).is_point()) continue;
+          const Vec2 q = mercator ? transform.Apply(prep->geom(i).point())
+                                  : prep->geom(i).point();
+          frags += RasterizePoint(dm.vp, q, [&](int x, int y) {
+            std::atomic_ref<uint32_t>(density[static_cast<size_t>(y) * w + x])
+                .fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        return frags;
+      });
+      stats->gpu_seconds += gpu_sw.ElapsedSeconds();
+    }
+
+    // Summed-area table (the scan step).
+    Stopwatch sat_sw;
+    dm.sat.assign(static_cast<size_t>(w + 1) * (h + 1), 0);
+    for (int y = 0; y < h; ++y) {
+      uint64_t row = 0;
+      for (int x = 0; x < w; ++x) {
+        row += density[static_cast<size_t>(y) * w + x];
+        dm.sat[static_cast<size_t>(y + 1) * (w + 1) + (x + 1)] =
+            dm.sat[static_cast<size_t>(y) * (w + 1) + (x + 1)] + row;
+      }
+    }
+    stats->gpu_seconds += sat_sw.ElapsedSeconds();
+    return dm;
+  }
+
+  /// Circle-probe radius selection: smallest r_i = r_max / alpha^i whose
+  /// aggregated (conservative) count reaches k.
+  static double PickRadius(const DensityMap& dm, const Vec2& p, double r_max,
+                           size_t k, double alpha, int max_circles) {
+    double chosen = r_max;
+    double r = r_max;
+    for (int i = 0; i < max_circles; ++i) {
+      // Points within the square of half-side r/sqrt(2) are within r of p.
+      const uint64_t count = dm.InscribedSquareCount(p, r / std::sqrt(2.0));
+      if (count < k) break;
+      chosen = r;
+      r /= alpha;
+      if (r < dm.vp.pixel_width() && r < dm.vp.pixel_height()) break;
+    }
+    return chosen;
+  }
+};
+
+Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
+                                            size_t k,
+                                            const QueryOptions& opts) {
+  KnnResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+  if (k == 0 || data.num_objects() == 0) return result;
+  if (data.primary_type() != GeomType::kPoint) {
+    return Status::NotSupported("kNN queries are supported over point data");
+  }
+
+  const GeometricTransform transform{opts.mercator, 1, 1, 0, 0};
+  const Vec2 probe = opts.mercator ? transform.Apply(p) : p;
+
+  // Step 1: aggregation over the concentric circles.
+  SPADE_ASSIGN_OR_RETURN(DensityMap dm,
+                         EngineKnnOps::BuildDensity(this, data, opts.mercator,
+                                                    &stats));
+  const double r_max = dm.vp.world().MaxCornerDistanceTo(probe);
+  const double r = EngineKnnOps::PickRadius(dm, probe, r_max, k,
+                                            config_.knn_alpha,
+                                            config_.knn_max_circles);
+
+  // Step 2: distance selection with the chosen radius (exact, canvas
+  // path), collecting distances for the final sort.
+  SPADE_ASSIGN_OR_RETURN(
+      SelectionResult sel,
+      DistanceSelection(data, Geometry(p), r, opts));
+  stats.Merge(sel.stats);
+
+  // Step 3: sort by distance, keep the k closest. Distances are computed
+  // from the projected coordinates (meters under mercator).
+  Stopwatch cpu_sw;
+  std::vector<std::pair<GeomId, double>> matches;
+  matches.reserve(sel.ids.size());
+  // Re-load matching geometries cell by cell to fetch coordinates.
+  std::vector<bool> selected(data.num_objects(), false);
+  for (GeomId id : sel.ids) selected[id] = true;
+  for (size_t c = 0; c < data.index().cells.size(); ++c) {
+    bool any = false;
+    for (GeomId id : data.index().cells[c].ids) {
+      if (selected[id]) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
+                           data.LoadCell(c, &stats));
+    for (size_t i = 0; i < cd->ids.size(); ++i) {
+      if (!selected[cd->ids[i]]) continue;
+      const Vec2 q = opts.mercator ? transform.Apply(cd->geoms[i].point())
+                                   : cd->geoms[i].point();
+      matches.emplace_back(cd->ids[i], probe.DistanceTo(q));
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (matches.size() > k) matches.resize(k);
+  result.neighbors = std::move(matches);
+  stats.cpu_seconds += cpu_sw.ElapsedSeconds();
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  return result;
+}
+
+Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
+                                        CellSource& data, size_t k,
+                                        const QueryOptions& opts) {
+  JoinResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+  if (k == 0 || probes.empty()) return result;
+
+  const GeometricTransform transform{opts.mercator, 1, 1, 0, 0};
+
+  // Step 1: shared density aggregation; per-probe circle probing picks
+  // each probe's radius.
+  SPADE_ASSIGN_OR_RETURN(DensityMap dm,
+                         EngineKnnOps::BuildDensity(this, data, opts.mercator,
+                                                    &stats));
+  std::vector<Vec2> projected(probes.size());
+  std::vector<double> radii(probes.size());
+  Stopwatch probe_sw;
+  device_.pool().ParallelFor(probes.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      projected[i] = opts.mercator ? transform.Apply(probes[i]) : probes[i];
+      const double r_max = dm.vp.world().MaxCornerDistanceTo(projected[i]);
+      radii[i] = EngineKnnOps::PickRadius(dm, projected[i], r_max, k,
+                                          config_.knn_alpha,
+                                          config_.knn_max_circles);
+    }
+  });
+  stats.gpu_seconds += probe_sw.ElapsedSeconds();
+
+  // Step 2: type-2 distance join with the computed radii. The probes form
+  // an in-memory constraint set directly (they are query inputs).
+  // We inline the join to also capture distances for step 3.
+  SpatialDataset probe_ds;
+  probe_ds.name = "knn_probes";
+  probe_ds.geoms.reserve(probes.size());
+  for (const Vec2& q : probes) probe_ds.geoms.emplace_back(q);
+  InMemorySource probe_src("knn_probes", std::move(probe_ds),
+                           config_.EffectiveCellBytes());
+
+  SPADE_ASSIGN_OR_RETURN(JoinResult join,
+                         DistanceJoinPerObject(probe_src, data, radii, opts));
+  stats.Merge(join.stats);
+
+  // Step 3: per probe, sort matches by distance and keep the k nearest.
+  Stopwatch cpu_sw;
+  // Fetch point coordinates for all matched data ids.
+  std::vector<GeomId> matched;
+  matched.reserve(join.pairs.size());
+  for (const auto& pr : join.pairs) matched.push_back(pr.second);
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+  std::vector<Vec2> coords(data.num_objects());
+  std::vector<bool> want(data.num_objects(), false);
+  for (GeomId id : matched) want[id] = true;
+  for (size_t c = 0; c < data.index().cells.size(); ++c) {
+    bool any = false;
+    for (GeomId id : data.index().cells[c].ids) {
+      if (want[id]) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
+                           data.LoadCell(c, &stats));
+    for (size_t i = 0; i < cd->ids.size(); ++i) {
+      if (want[cd->ids[i]]) {
+        coords[cd->ids[i]] = opts.mercator
+                                 ? transform.Apply(cd->geoms[i].point())
+                                 : cd->geoms[i].point();
+      }
+    }
+  }
+
+  // Group pairs by probe (pairs are sorted by left id already).
+  size_t begin = 0;
+  std::vector<std::pair<double, GeomId>> scratch;
+  while (begin < join.pairs.size()) {
+    size_t end = begin;
+    const GeomId probe_id = join.pairs[begin].first;
+    while (end < join.pairs.size() && join.pairs[end].first == probe_id) {
+      ++end;
+    }
+    scratch.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const GeomId did = join.pairs[i].second;
+      scratch.emplace_back(projected[probe_id].DistanceTo(coords[did]), did);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    const size_t keep = std::min(k, scratch.size());
+    for (size_t i = 0; i < keep; ++i) {
+      result.pairs.emplace_back(probe_id, scratch[i].second);
+    }
+    begin = end;
+  }
+  stats.cpu_seconds += cpu_sw.ElapsedSeconds();
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,33 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+
+namespace spade {
+
+std::vector<std::pair<size_t, size_t>> OrderCellPairs(
+    std::vector<std::pair<size_t, size_t>> pairs) {
+  // Group by left cell; within a group sort right cells. Then order the
+  // groups greedily so each group starts with a right cell shared with the
+  // previous group's end when possible (snake over the right-cell space).
+  std::sort(pairs.begin(), pairs.end());
+  // Snake: reverse the right-cell order of every other left group, so the
+  // last right cell of one group often equals the first of the next.
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(pairs.size());
+  size_t group_start = 0;
+  bool reverse = false;
+  for (size_t i = 1; i <= pairs.size(); ++i) {
+    if (i == pairs.size() || pairs[i].first != pairs[group_start].first) {
+      if (reverse) {
+        for (size_t j = i; j-- > group_start;) out.push_back(pairs[j]);
+      } else {
+        for (size_t j = group_start; j < i; ++j) out.push_back(pairs[j]);
+      }
+      reverse = !reverse;
+      group_start = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace spade

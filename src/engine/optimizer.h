@@ -1,0 +1,61 @@
+// The query optimizer (Section 5.4). Three decisions:
+//   1. Map implementation: 1-pass (pre-sized output canvas + scan) when the
+//      result estimate fits the canvas budget, else 2-pass (count, then
+//      materialize).
+//   2. Join strategy: layer-index join vs the naive loop-of-selects, chosen
+//      by estimated CPU->GPU transfer volume — transfer dominates query
+//      time, so it is the cost measure.
+//   3. Join order: cell pairs are ordered so consecutive selects share at
+//      least one loaded cell, amortizing transfers.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+
+namespace spade {
+
+enum class MapImpl { kOnePass, kTwoPass };
+enum class JoinStrategy { kLayerIndex, kNaive };
+
+/// Decision 1: pick the Map implementation for an output estimate n_max.
+inline MapImpl ChooseMapImpl(size_t n_max, const SpadeConfig& config) {
+  return n_max <= config.max_map_canvas_elems ? MapImpl::kOnePass
+                                              : MapImpl::kTwoPass;
+}
+
+/// Result-size estimates (Section 5.4):
+/// selection: every object may match.
+inline size_t EstimateSelectionOutput(size_t num_objects) {
+  return num_objects;
+}
+/// polygon x point join, per layer: a point can intersect at most one
+/// polygon of a layer.
+inline size_t EstimatePolyPointJoinOutput(size_t num_points) {
+  return num_points;
+}
+/// polygon x polygon join, per layer: every (layer polygon, data polygon)
+/// pair may match.
+inline size_t EstimatePolyPolyJoinOutput(size_t layer_polys,
+                                         size_t data_polys) {
+  return layer_polys * data_polys;
+}
+
+/// Decision 2: strategy with the smaller estimated transfer volume wins;
+/// ties go to the layer index (fewer rendering passes).
+inline JoinStrategy ChooseJoinStrategy(size_t layer_bytes,
+                                       size_t naive_bytes) {
+  return naive_bytes < layer_bytes ? JoinStrategy::kNaive
+                                   : JoinStrategy::kLayerIndex;
+}
+
+/// Decision 3: order (left cell, right cell) pairs so consecutive pairs
+/// share a cell where possible. Grouping by left cell and sorting right
+/// cells within a group achieves the paper's "at least one grid cell or
+/// layer is common between consecutive selects".
+std::vector<std::pair<size_t, size_t>> OrderCellPairs(
+    std::vector<std::pair<size_t, size_t>> pairs);
+
+}  // namespace spade

@@ -1,0 +1,87 @@
+#include "engine/prepared.h"
+
+namespace spade {
+
+namespace {
+
+/// Cached index structures for a cell (triangulations + layer index).
+/// The raw cell payload is NOT cached here: every query re-loads it
+/// through the source, paying the disk and CPU->GPU transfer each time,
+/// exactly like the paper's execution model.
+struct CellIndexes {
+  std::vector<Triangulation> tris;
+  LayerIndex layers;
+  bool has_layers = false;
+  size_t index_bytes = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
+    CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {
+  const auto key = std::make_pair(source.uid(), cell);
+  // Always pay the data transfer.
+  SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> data,
+                         source.LoadCell(cell, stats));
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto prep = std::make_shared<PreparedCell>();
+    prep->tris.resize(data->geoms.size());
+    for (size_t i = 0; i < data->geoms.size(); ++i) {
+      const Geometry& g = data->geoms[i];
+      if (g.is_polygon()) {
+        prep->tris[i] = Triangulate(g.polygon());
+        prep->index_bytes += prep->tris[i].triangles.size() * sizeof(Triangle);
+        prep->index_bytes +=
+            prep->tris[i].edges.size() * (sizeof(std::array<Vec2, 2>) + 4);
+      }
+    }
+    cached_bytes_ += prep->index_bytes;
+    fifo_.push_back(key);
+    it = cache_.emplace(key, std::move(prep)).first;
+    // FIFO eviction keeps the cached index structures within budget.
+    size_t evict_at = 0;
+    while (cached_bytes_ > budget_bytes_ && evict_at < fifo_.size()) {
+      const auto victim = fifo_[evict_at++];
+      if (victim == key) continue;  // never evict the entry just built
+      auto vit = cache_.find(victim);
+      if (vit != cache_.end()) {
+        cached_bytes_ -= vit->second->index_bytes;
+        cache_.erase(vit);
+      }
+    }
+    if (evict_at > 0) {
+      fifo_.erase(fifo_.begin(), fifo_.begin() + evict_at);
+      fifo_.push_back(key);  // keep the fresh key tracked
+    }
+  }
+
+  PreparedCell* prep = it->second.get();
+  prep->data = data;
+  if (need_layers && !prep->has_layers) {
+    std::vector<GeomId> local_ids;
+    std::vector<const MultiPolygon*> polys;
+    for (size_t i = 0; i < data->geoms.size(); ++i) {
+      if (data->geoms[i].is_polygon()) {
+        local_ids.push_back(static_cast<GeomId>(i));
+        polys.push_back(&data->geoms[i].polygon());
+      }
+    }
+    // First-fit greedy layering, ordered by id (the offline construction;
+    // tests validate it against the canvas-based build of Section 5.5).
+    prep->layers = BuildLayerIndexGreedy(local_ids, polys);
+    prep->has_layers = true;
+    prep->index_bytes += prep->layers.num_objects() * sizeof(GeomId);
+  }
+
+  if (stats != nullptr) {
+    // The canvas indexes travel with the cell (Section 6.3's observation
+    // that SPADE also transfers boundary and layer indexes).
+    stats->bytes_transferred += static_cast<int64_t>(prep->index_bytes);
+  }
+  return std::const_pointer_cast<const PreparedCell>(it->second);
+}
+
+}  // namespace spade

@@ -1,0 +1,73 @@
+// Per-cell prepared state: triangulations, layer index, and canvas-index
+// sizes for a loaded grid cell. In the paper these structures are part of
+// the stored dataset (the boundary and layer indexes are "also transferred"
+// to the GPU during joins, Section 6.3); here they are computed once per
+// cell and cached, while their byte volume is charged to every transfer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "canvas/layer_index.h"
+#include "common/config.h"
+#include "geom/triangulate.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// \brief A grid cell plus its precomputed canvas-index structures.
+struct PreparedCell {
+  std::shared_ptr<const CellData> data;
+
+  /// Triangulation per polygon member (empty entries for non-polygons).
+  std::vector<Triangulation> tris;
+
+  /// Layer index over the cell's polygonal members (ids are positions in
+  /// data->ids, not global ids). Only built when requested.
+  LayerIndex layers;
+  bool has_layers = false;
+
+  /// Byte volume of the triangulations + layer index shipped with the cell.
+  size_t index_bytes = 0;
+
+  const Geometry& geom(size_t local) const { return data->geoms[local]; }
+  GeomId global_id(size_t local) const { return data->ids[local]; }
+  size_t size() const { return data->geoms.size(); }
+};
+
+/// \brief Cache of PreparedCells keyed by (source, cell index).
+class CellPreparer {
+ public:
+  /// Load (through the source, which accounts I/O) and prepare a cell.
+  /// When `need_layers` is set a layer index over polygonal members is
+  /// built (greedy construction — the offline build of Section 5.5).
+  /// Index bytes are charged to stats->bytes_transferred on every call
+  /// (the indexes travel with the cell); construction time itself is
+  /// charged only on the first touch and is index-build work the paper
+  /// excludes from query time, so callers typically warm the cache first.
+  Result<std::shared_ptr<const PreparedCell>> Get(CellSource& source,
+                                                  size_t cell,
+                                                  bool need_layers,
+                                                  QueryStats* stats);
+
+  void Clear() {
+    cache_.clear();
+    fifo_.clear();
+    cached_bytes_ = 0;
+  }
+  size_t size() const { return cache_.size(); }
+
+  /// Bound on cached index bytes; oldest entries are evicted past it
+  /// (rebuilding them later is correct, just slower).
+  void set_budget_bytes(size_t bytes) { budget_bytes_ = bytes; }
+
+ private:
+  std::mutex mu_;  // Get() may be called from concurrent queries
+  std::map<std::pair<uint64_t, size_t>, std::shared_ptr<PreparedCell>> cache_;
+  std::vector<std::pair<uint64_t, size_t>> fifo_;
+  size_t cached_bytes_ = 0;
+  size_t budget_bytes_ = 512ull << 20;
+};
+
+}  // namespace spade

@@ -1,0 +1,62 @@
+// Query descriptors and result types of the SPADE spatial query engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// \brief Per-query options.
+struct QueryOptions {
+  /// Interpret coordinates as EPSG:4326 and evaluate distances in meters
+  /// by projecting to EPSG:3857 in the vertex stage (Section 5.1's
+  /// geometric transform). Distance and kNN queries over GIS data set
+  /// this; synthetic unit-square data leaves it off.
+  bool mercator = false;
+
+  /// Optional relational predicate (Section 3's linkage to relational
+  /// data): only objects whose id passes the filter are reported. The
+  /// filter typically comes from a SQL query over the object's attribute
+  /// table. Applied in the fragment stage, so filtered objects still cost
+  /// their rasterization (like a fused relational+spatial plan would).
+  std::function<bool(GeomId)> id_filter;
+};
+
+/// \brief Result of a spatial or distance selection.
+struct SelectionResult {
+  std::vector<GeomId> ids;  ///< matching object ids, sorted
+  QueryStats stats;
+};
+
+/// \brief Result of a join: (left id, right id) pairs.
+struct JoinResult {
+  std::vector<std::pair<GeomId, GeomId>> pairs;
+  QueryStats stats;
+};
+
+/// \brief Result of a spatial aggregation: count per constraint object.
+struct AggregationResult {
+  std::vector<uint64_t> counts;  ///< indexed by constraint object id
+  QueryStats stats;
+};
+
+/// \brief Result of a kNN selection: (id, distance), ascending distance.
+struct KnnResult {
+  std::vector<std::pair<GeomId, double>> neighbors;
+  QueryStats stats;
+};
+
+/// Encode / decode a join pair into a Map-operator point value.
+inline uint64_t EncodePair(GeomId left, GeomId right) {
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+inline std::pair<GeomId, GeomId> DecodePair(uint64_t v) {
+  return {static_cast<GeomId>(v >> 32), static_cast<GeomId>(v & 0xFFFFFFFFu)};
+}
+
+}  // namespace spade

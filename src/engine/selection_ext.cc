@@ -1,0 +1,148 @@
+// Extended selection queries: the rectangular-range fast path (Section
+// 4.2) and containment selection (Section 7).
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "engine/optimizer.h"
+#include "engine/spade.h"
+
+namespace spade {
+
+Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
+                                                    const Box& range,
+                                                    const QueryOptions& opts) {
+  (void)opts;
+  SelectionResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+
+  // No triangulation, no edge pass: the rectangle's canvas is produced in
+  // one geometry-shader-style pass.
+  Stopwatch poly_sw;
+  const Viewport vp = MakeViewport(range);
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildBoxCanvas(0, range);
+  stats.polygon_seconds += poly_sw.ElapsedSeconds();
+  SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
+                         DeviceAllocation::Make(&device_, canvas.ByteSize()));
+
+  const std::vector<size_t> cells = FilterCells(data, canvas, range, &stats);
+  stats.cells_processed += static_cast<int64_t>(cells.size());
+
+  for (size_t c : cells) {
+    SPADE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedCell> prep,
+        preparer_.Get(data, c, /*need_layers=*/false, &stats));
+    SPADE_ASSIGN_OR_RETURN(
+        DeviceAllocation cell_mem,
+        DeviceAllocation::Make(&device_,
+                               prep->data->bytes + prep->index_bytes));
+    Stopwatch gpu_sw;
+    MapOutput out(EstimateSelectionOutput(prep->size()));
+    exec::TestObjectsAgainstCanvas(
+        &device_, *prep, canvas, GeometricTransform::Identity(), true, false,
+        [&](GeomId, uint32_t local) {
+          out.Store(local, prep->global_id(local));
+        });
+    for (uint32_t id : out.Collect(&device_.pool())) {
+      result.ids.push_back(id);
+    }
+    stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+  }
+  std::sort(result.ids.begin(), result.ids.end());
+  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                   result.ids.end());
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  stats.exact_tests += canvas.boundary_index().exact_tests();
+  return result;
+}
+
+Result<SelectionResult> SpadeEngine::ContainsSelection(
+    CellSource& data, const MultiPolygon& constraint,
+    const QueryOptions& opts) {
+  (void)opts;
+  SelectionResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+
+  Stopwatch poly_sw;
+  const Triangulation tri = Triangulate(constraint);
+  const Box cbounds = constraint.Bounds();
+  const Viewport vp = MakeViewport(cbounds);
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  stats.polygon_seconds += poly_sw.ElapsedSeconds();
+  SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
+                         DeviceAllocation::Make(&device_, canvas.ByteSize()));
+
+  const std::vector<size_t> cells = FilterCells(data, canvas, cbounds, &stats);
+  stats.cells_processed += static_cast<int64_t>(cells.size());
+
+  for (size_t c : cells) {
+    SPADE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedCell> prep,
+        preparer_.Get(data, c, /*need_layers=*/false, &stats));
+    SPADE_ASSIGN_OR_RETURN(
+        DeviceAllocation cell_mem,
+        DeviceAllocation::Make(&device_,
+                               prep->data->bytes + prep->index_bytes));
+
+    Stopwatch gpu_sw;
+    MapOutput out(prep->size());
+    // Containment as vertex containment (the paper's Section 7 plan):
+    // every vertex of the object must test positive against the canvas.
+    device_.DrawParallel(prep->size(), [&](size_t lo, size_t hi) {
+      size_t frags = 0;
+      std::vector<GeomId> owners;
+      for (size_t i = lo; i < hi; ++i) {
+        const Geometry& g = prep->geom(i);
+        if (!g.Bounds().Intersects(cbounds)) continue;
+        bool all_inside = true;
+        bool any_vertex = false;
+        auto test_vertex = [&](const Vec2& v) {
+          if (!all_inside) return;
+          any_vertex = true;
+          ++frags;
+          owners.clear();
+          canvas.TestPoint(v, &owners);
+          all_inside = !owners.empty();
+        };
+        switch (g.type()) {
+          case GeomType::kPoint:
+            test_vertex(g.point());
+            break;
+          case GeomType::kLine:
+            for (const auto& v : g.line().points) test_vertex(v);
+            break;
+          case GeomType::kPolygon:
+            for (const auto& part : g.polygon().parts) {
+              for (const auto& v : part.outer) test_vertex(v);
+              for (const auto& h : part.holes) {
+                for (const auto& v : h) test_vertex(v);
+              }
+            }
+            break;
+        }
+        if (all_inside && any_vertex) out.Store(i, prep->global_id(i));
+      }
+      return frags;
+    });
+    for (uint32_t id : out.Collect(&device_.pool())) {
+      result.ids.push_back(id);
+    }
+    stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+  }
+  std::sort(result.ids.begin(), result.ids.end());
+  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                   result.ids.end());
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  stats.exact_tests += canvas.boundary_index().exact_tests();
+  return result;
+}
+
+}  // namespace spade

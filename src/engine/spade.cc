@@ -1,0 +1,257 @@
+#include "engine/spade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "engine/optimizer.h"
+#include "geom/predicates.h"
+#include "geom/projection.h"
+
+namespace spade {
+
+namespace exec {
+
+std::vector<Canvas> BuildLayerCanvases(GfxDevice* device, const Viewport& vp,
+                                       const PreparedCell& prep) {
+  std::vector<Canvas> canvases;
+  CanvasBuilder builder(device, vp);
+  for (const auto& layer : prep.layers.layers) {
+    std::vector<GeomId> ids;
+    std::vector<const MultiPolygon*> polys;
+    std::vector<const Triangulation*> tris;
+    ids.reserve(layer.size());
+    for (GeomId local : layer) {
+      if (!prep.geom(local).is_polygon()) continue;
+      if (!prep.geom(local).Bounds().Intersects(vp.world())) continue;
+      ids.push_back(local);
+      polys.push_back(&prep.geom(local).polygon());
+      tris.push_back(&prep.tris[local]);
+    }
+    // One canvas per layer, even when empty, so canvas index == layer index.
+    canvases.push_back(builder.BuildPolygonCanvas(ids, polys, tris));
+  }
+  return canvases;
+}
+
+}  // namespace exec
+
+SpadeEngine::SpadeEngine(SpadeConfig config)
+    : config_(config), device_(config.gpu_threads) {
+  device_.set_memory_budget(config.device_memory_budget);
+}
+
+Viewport SpadeEngine::MakeViewport(const Box& box) const {
+  const int res = config_.canvas_resolution;
+  Box b = box;
+  if (b.Empty()) b = Box(0, 0, 1, 1);  // degenerate input (empty dataset)
+  if (b.Width() <= 0 || b.Height() <= 0) b = b.Expanded(1e-9);
+  int w = res, h = res;
+  if (b.Width() > b.Height()) {
+    h = std::max(1, static_cast<int>(std::lround(res * b.Height() / b.Width())));
+  } else {
+    w = std::max(1, static_cast<int>(std::lround(res * b.Width() / b.Height())));
+  }
+  return Viewport(b, w, h);
+}
+
+Status SpadeEngine::WarmIndexes(CellSource& source, bool need_layers) {
+  for (size_t c = 0; c < source.index().cells.size(); ++c) {
+    auto prep = preparer_.Get(source, c, need_layers, nullptr);
+    SPADE_RETURN_NOT_OK(prep.status());
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> SpadeEngine::FilterCells(CellSource& source,
+                                             const Canvas& canvas,
+                                             const Box& constraint_bounds,
+                                             QueryStats* stats) {
+  // The index-filtering phase (Section 5.3): a GPU selection over the grid
+  // cells' bounding polygons. Each hull is triangulated (hulls are convex,
+  // so this is a fan) and tested against the constraint canvas.
+  Stopwatch sw;
+  std::vector<size_t> selected;
+  const auto& cells = source.index().cells;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (!cells[c].box.Intersects(constraint_bounds)) continue;  // clipped
+    const Polygon& hull = cells[c].bounding_poly;
+    if (hull.outer.size() < 3) {
+      selected.push_back(c);
+      continue;
+    }
+    const Triangulation tri = Triangulate(hull);
+    std::vector<GeomId> owners;
+    canvas.TestPolygon(tri, &owners);
+    if (!owners.empty()) selected.push_back(c);
+  }
+  if (stats != nullptr) stats->gpu_seconds += sw.ElapsedSeconds();
+  return selected;
+}
+
+Result<SelectionResult> SpadeEngine::SpatialSelection(
+    CellSource& data, const MultiPolygon& constraint,
+    const QueryOptions& opts) {
+  // Relational linkage: the optional id filter runs in the fragment stage.
+  const auto& keep = opts.id_filter;
+  SelectionResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+
+  // Step 1: polygon processing — triangulate the constraint and build its
+  // canvas + boundary index (one rendering pass each).
+  Stopwatch poly_sw;
+  const Triangulation tri = Triangulate(constraint);
+  const Box cbounds = constraint.Bounds();
+  const Viewport vp = MakeViewport(cbounds);
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas =
+      builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  stats.polygon_seconds += poly_sw.ElapsedSeconds();
+  SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
+                         DeviceAllocation::Make(&device_, canvas.ByteSize()));
+
+  // Step 2: index filtering on the grid cells' bounding polygons.
+  const std::vector<size_t> cells = FilterCells(data, canvas, cbounds, &stats);
+  stats.cells_processed += static_cast<int64_t>(cells.size());
+
+  // Step 3: refinement — one fused blend+mask+map pass per cell. The cell
+  // occupies device memory only for the duration of its pass.
+  for (size_t c : cells) {
+    SPADE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedCell> prep,
+        preparer_.Get(data, c, /*need_layers=*/false, &stats));
+    SPADE_ASSIGN_OR_RETURN(
+        DeviceAllocation cell_mem,
+        DeviceAllocation::Make(&device_,
+                               prep->data->bytes + prep->index_bytes));
+
+    const size_t n_max = EstimateSelectionOutput(prep->size());
+    Stopwatch gpu_sw;
+    if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
+      MapOutput out(n_max);
+      exec::TestObjectsAgainstCanvas(
+          &device_, *prep, canvas, GeometricTransform::Identity(),
+          /*identity_transform=*/true, /*distance_mode=*/false,
+          [&](GeomId, uint32_t local) {
+            const GeomId id = prep->global_id(local);
+            if (keep && !keep(id)) return;
+            out.Store(local, id);
+          });
+      // Scan extracts the result list from the output canvas.
+      for (uint32_t id : out.Collect(&device_.pool())) {
+        result.ids.push_back(id);
+      }
+    } else {
+      for (uint32_t id : RunTwoPassMap([&](TwoPassMapSink* sink) {
+             exec::TestObjectsAgainstCanvas(
+                 &device_, *prep, canvas, GeometricTransform::Identity(),
+                 true, false, [&](GeomId, uint32_t local) {
+                   const GeomId id = prep->global_id(local);
+                   if (keep && !keep(id)) return;
+                   sink->Emit(id);
+                 });
+           })) {
+        result.ids.push_back(id);
+      }
+    }
+    stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+  }
+
+  Stopwatch cpu_sw;
+  std::sort(result.ids.begin(), result.ids.end());
+  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                   result.ids.end());
+  stats.cpu_seconds += cpu_sw.ElapsedSeconds();
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  stats.exact_tests += canvas.boundary_index().exact_tests();
+  return result;
+}
+
+Result<AggregationResult> SpadeEngine::SpatialAggregation(
+    CellSource& data, CellSource& constraints, const QueryOptions& opts) {
+  AggregationResult result;
+  QueryStats& stats = result.stats;
+  const int64_t base_passes = device_.render_passes();
+  const int64_t base_frags = device_.fragments();
+  result.counts.assign(constraints.num_objects(), 0);
+
+  // Plan choice (Section 5.2): the point-optimized multiway-blend plan is
+  // only valid for point data (a point occupies at most one canvas pixel,
+  // so partial aggregates lose nothing); for lines/polygons the optimizer
+  // falls back to join-then-count.
+  if (data.primary_type() != GeomType::kPoint) {
+    SPADE_ASSIGN_OR_RETURN(JoinResult join,
+                           SpatialJoin(constraints, data, opts));
+    Stopwatch count_sw;
+    for (const auto& [constraint_id, object_id] : join.pairs) {
+      (void)object_id;
+      if (constraint_id < result.counts.size()) {
+        result.counts[constraint_id]++;
+      }
+    }
+    join.stats.cpu_seconds += count_sw.ElapsedSeconds();
+    result.stats = join.stats;
+    return result;
+  }
+
+  // The point-optimized plan (Section 5.2): constraint layers become
+  // canvases; data points are blended against them and counts accumulate
+  // at each constraint's unique location (its id) — no join materialized.
+  const auto& ccells = constraints.index().cells;
+  for (size_t cc = 0; cc < ccells.size(); ++cc) {
+    SPADE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedCell> cprep,
+        preparer_.Get(constraints, cc, /*need_layers=*/true, &stats));
+
+    Stopwatch gpu_sw;
+    const Box cbox = ccells[cc].box;
+    const Viewport vp = MakeViewport(cbox);
+    const std::vector<Canvas> canvases =
+        exec::BuildLayerCanvases(&device_, vp, *cprep);
+    stats.gpu_seconds += gpu_sw.ElapsedSeconds();
+    size_t canvas_bytes = cprep->data->bytes + cprep->index_bytes;
+    for (const Canvas& c : canvases) canvas_bytes += c.ByteSize();
+    SPADE_ASSIGN_OR_RETURN(DeviceAllocation group_mem,
+                           DeviceAllocation::Make(&device_, canvas_bytes));
+
+    // Cells of the data intersecting this constraint cell.
+    for (size_t dc = 0; dc < data.index().cells.size(); ++dc) {
+      if (!data.index().cells[dc].box.Intersects(cbox)) continue;
+      SPADE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const PreparedCell> dprep,
+          preparer_.Get(data, dc, /*need_layers=*/false, &stats));
+      SPADE_ASSIGN_OR_RETURN(
+          DeviceAllocation cell_mem,
+          DeviceAllocation::Make(&device_,
+                                 dprep->data->bytes + dprep->index_bytes));
+      stats.cells_processed++;
+
+      Stopwatch pass_sw;
+      for (const Canvas& canvas : canvases) {
+        exec::TestObjectsAgainstCanvas(
+            &device_, *dprep, canvas, GeometricTransform::Identity(), true,
+            false, [&](GeomId owner_local, uint32_t) {
+              // Multiway blend with the add function at the constraint's
+              // unique location.
+              const GeomId global = cprep->global_id(owner_local);
+              std::atomic_ref<uint64_t>(result.counts[global])
+                  .fetch_add(1, std::memory_order_relaxed);
+            });
+      }
+      stats.gpu_seconds += pass_sw.ElapsedSeconds();
+    }
+    for (const Canvas& canvas : canvases) {
+      stats.exact_tests += canvas.boundary_index().exact_tests();
+    }
+  }
+  stats.render_passes = device_.render_passes() - base_passes;
+  stats.fragments = device_.fragments() - base_frags;
+  (void)opts;
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,127 @@
+// The SPADE engine facade: plans, optimizes, and executes spatial queries
+// over grid-indexed datasets using the canvas model on the (software) GPU.
+//
+// Supported queries (Section 5.2):
+//   * spatial selection (point / line / polygon data, polygonal constraint)
+//   * spatial joins: polygon x point and polygon x polygon
+//   * distance selection and both distance-join types
+//   * spatial aggregation (two plans; the point-optimized plan avoids
+//     materializing the join)
+//   * kNN selection and kNN join over point data
+//
+// All queries stream grid cells (out-of-core, Section 5.3) and return
+// exact results together with the per-query time breakdown of Fig. 5.
+#pragma once
+
+#include <memory>
+
+#include "canvas/canvas_builder.h"
+#include "common/config.h"
+#include "common/status.h"
+#include "engine/prepared.h"
+#include "engine/query.h"
+#include "gfx/device.h"
+#include "storage/catalog.h"
+
+namespace spade {
+
+/// \brief The SPADE spatial query engine.
+class SpadeEngine {
+ public:
+  explicit SpadeEngine(SpadeConfig config = {});
+
+  const SpadeConfig& config() const { return config_; }
+  GfxDevice& device() { return device_; }
+
+  /// The embedded relational store backing the engine (datasets, indexes
+  /// and metadata can be registered / inspected through SQL).
+  Catalog& catalog() { return catalog_; }
+
+  /// Pre-build the canvas index structures (triangulations, layer index)
+  /// of every cell so queries measure execution, not index construction —
+  /// the paper's setup also excludes indexing time.
+  Status WarmIndexes(CellSource& source, bool need_layers);
+
+  // --- queries -------------------------------------------------------------
+
+  /// Objects of `data` intersecting the polygonal constraint.
+  Result<SelectionResult> SpatialSelection(CellSource& data,
+                                           const MultiPolygon& constraint,
+                                           const QueryOptions& opts = {});
+
+  /// Rectangular range selection (Section 4.2's optimized path: the
+  /// rectangle is expanded into two triangles geometry-shader-style, with
+  /// no triangulation or boundary-index build needed).
+  Result<SelectionResult> RangeSelection(CellSource& data, const Box& range,
+                                         const QueryOptions& opts = {});
+
+  /// Containment selection (Section 7): objects whose every vertex lies
+  /// inside the constraint, implemented by reusing the point-containment
+  /// machinery exactly as the paper proposes. For point data this equals
+  /// intersection; for lines/polygons it is the paper's vertex-containment
+  /// criterion (exact for convex constraints).
+  Result<SelectionResult> ContainsSelection(CellSource& data,
+                                            const MultiPolygon& constraint,
+                                            const QueryOptions& opts = {});
+
+  /// Polygon x (point | polygon) join: pairs (polygon id, object id).
+  Result<JoinResult> SpatialJoin(CellSource& polygons, CellSource& other,
+                                 const QueryOptions& opts = {});
+
+  /// Objects of `data` within distance r of `probe` (meters when
+  /// opts.mercator, else native units).
+  Result<SelectionResult> DistanceSelection(CellSource& data,
+                                            const Geometry& probe, double r,
+                                            const QueryOptions& opts = {});
+
+  /// Type-1 distance join: all (x in left, y in right) with
+  /// dist(x, y) <= r. Constraint canvases are built from the smaller side.
+  Result<JoinResult> DistanceJoin(CellSource& left, CellSource& right,
+                                  double r, const QueryOptions& opts = {});
+
+  /// Type-2 distance join: per-left-object radii.
+  Result<JoinResult> DistanceJoinPerObject(CellSource& left,
+                                           CellSource& right,
+                                           const std::vector<double>& radii,
+                                           const QueryOptions& opts = {});
+
+  /// Count of `data` objects intersecting each constraint polygon.
+  /// Point data uses the multiway-blend plan that skips materializing the
+  /// join (Section 5.2, chosen automatically by the optimizer).
+  Result<AggregationResult> SpatialAggregation(CellSource& data,
+                                               CellSource& constraints,
+                                               const QueryOptions& opts = {});
+
+  /// The k nearest points of `data` to p (circle-probing plan, Section 5.2).
+  Result<KnnResult> KnnSelection(CellSource& data, const Vec2& p, size_t k,
+                                 const QueryOptions& opts = {});
+
+  /// kNN join: for every probe, its k nearest points of `data`.
+  /// Pairs are (probe index, data id), grouped by probe, nearest first.
+  Result<JoinResult> KnnJoin(const std::vector<Vec2>& probes,
+                             CellSource& data, size_t k,
+                             const QueryOptions& opts = {});
+
+  // --- exposed for tests and benchmarks ------------------------------------
+
+  /// Aspect-corrected viewport over `box` with max dimension equal to the
+  /// configured canvas resolution.
+  Viewport MakeViewport(const Box& box) const;
+
+  /// GPU-side index filtering (Section 5.3): cells of `source` whose
+  /// bounding polygon intersects the constraint canvas.
+  std::vector<size_t> FilterCells(CellSource& source, const Canvas& canvas,
+                                  const Box& constraint_bounds,
+                                  QueryStats* stats);
+
+ private:
+  friend struct EngineOps;
+  friend struct EngineKnnOps;
+
+  SpadeConfig config_;
+  GfxDevice device_;
+  CellPreparer preparer_;
+  Catalog catalog_;
+};
+
+}  // namespace spade

@@ -1,0 +1,53 @@
+#include "engine/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace spade {
+
+IndexTuning TuneIndex(const SpatialDataset& dataset, const SpadeConfig& config,
+                      double min_pixels) {
+  IndexTuning tuning;
+  tuning.max_cell_bytes = config.EffectiveCellBytes();
+  if (dataset.geoms.empty() ||
+      dataset.primary_type() != GeomType::kPolygon) {
+    return tuning;
+  }
+
+  // Median polygon extent (sampled for large datasets).
+  const size_t stride = std::max<size_t>(1, dataset.size() / 4096);
+  std::vector<double> sizes;
+  for (size_t i = 0; i < dataset.size(); i += stride) {
+    const Box b = dataset.geoms[i].Bounds();
+    sizes.push_back(std::max(b.Width(), b.Height()));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  if (median <= 0) return tuning;
+
+  // At zoom z, a cell spans extent/2^z; a canvas over it has
+  // canvas_resolution pixels, so one pixel covers extent/(2^z * res).
+  // Require median >= min_pixels * pixel_size.
+  const Box extent = dataset.Bounds();
+  const double span = std::max(extent.Width(), extent.Height());
+  if (span <= 0) return tuning;
+  const double needed_pixel = median / min_pixels;
+  const double cells_needed = span / (needed_pixel * config.canvas_resolution);
+  if (cells_needed > 1) {
+    tuning.min_zoom = static_cast<int>(std::ceil(std::log2(cells_needed)));
+    tuning.min_zoom = std::clamp(tuning.min_zoom, 0, 10);
+  }
+  return tuning;
+}
+
+std::unique_ptr<InMemorySource> MakeTunedInMemorySource(
+    std::string name, SpatialDataset dataset, const SpadeConfig& config) {
+  const IndexTuning tuning = TuneIndex(dataset, config);
+  return std::make_unique<InMemorySource>(std::move(name), std::move(dataset),
+                                          tuning.max_cell_bytes,
+                                          tuning.min_zoom,
+                                          std::max(10, tuning.min_zoom));
+}
+
+}  // namespace spade

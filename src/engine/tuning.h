@@ -1,0 +1,34 @@
+// Index tuning helpers (Sections 6.1, 6.3, 7): translate the paper's
+// rules of thumb into computed settings.
+//
+//   * Cell sizing: a grid cell's block must be at most a quarter of the
+//     device memory (the GPU holds two cells plus working buffers).
+//   * Polygon zoom rule: for polygonal data the zoom must also be high
+//     enough that a typical polygon spans at least ~2 pixels of a
+//     per-cell canvas, or boundary-index tests devolve to checking every
+//     incident triangle (the paper's Buildings discussion, Section 6.2).
+#pragma once
+
+#include "common/config.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// \brief Computed grid-index settings for a dataset under a config.
+struct IndexTuning {
+  size_t max_cell_bytes = 0;  ///< from the device-memory rule
+  int min_zoom = 0;           ///< from the polygon-size rule (0 for points)
+};
+
+/// Compute tuned index settings. For polygon datasets, min_zoom is raised
+/// until the median polygon width/height covers at least `min_pixels`
+/// pixels of a canvas_resolution-wide canvas over a single cell.
+IndexTuning TuneIndex(const SpatialDataset& dataset, const SpadeConfig& config,
+                      double min_pixels = 2.0);
+
+/// Build an InMemorySource using TuneIndex (the tuned counterpart of
+/// MakeInMemorySource).
+std::unique_ptr<InMemorySource> MakeTunedInMemorySource(
+    std::string name, SpatialDataset dataset, const SpadeConfig& config);
+
+}  // namespace spade

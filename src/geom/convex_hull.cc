@@ -1,0 +1,77 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace spade {
+
+std::vector<Vec2> ConvexHull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Vec2& a, const Vec2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).Cross(pts[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower &&
+           (hull[k - 1] - hull[k - 2]).Cross(pts[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+Polygon ConvexHullPolygon(const std::vector<Geometry>& geoms) {
+  std::vector<const Geometry*> ptrs;
+  ptrs.reserve(geoms.size());
+  for (const auto& g : geoms) ptrs.push_back(&g);
+  return ConvexHullPolygon(ptrs);
+}
+
+Polygon ConvexHullPolygon(const std::vector<const Geometry*>& geoms) {
+  std::vector<Vec2> pts;
+  for (const Geometry* gp : geoms) {
+    const Geometry& g = *gp;
+    switch (g.type()) {
+      case GeomType::kPoint:
+        pts.push_back(g.point());
+        break;
+      case GeomType::kLine:
+        pts.insert(pts.end(), g.line().points.begin(), g.line().points.end());
+        break;
+      case GeomType::kPolygon:
+        for (const auto& part : g.polygon().parts) {
+          pts.insert(pts.end(), part.outer.begin(), part.outer.end());
+        }
+        break;
+    }
+  }
+  Polygon p;
+  p.outer = ConvexHull(std::move(pts));
+  // Degenerate hulls (point / segment) are inflated to a tiny box so they
+  // remain valid polygonal constraints for the GPU filter step.
+  if (p.outer.size() < 3) {
+    Box b;
+    for (const auto& v : p.outer) b.Extend(v);
+    if (p.outer.empty()) return p;
+    const double eps = 1e-9 + 1e-12 * (std::abs(b.min.x) + std::abs(b.max.y));
+    p = Polygon::FromBox(b.Expanded(eps));
+  }
+  return p;
+}
+
+}  // namespace spade

@@ -1,0 +1,21 @@
+// Convex hull (Andrew's monotone chain). The clustered grid index stores
+// the convex hull of each cell's contents as its bounding polygon
+// (Section 5.3), which is what makes GPU-based index filtering effective.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// Convex hull of a point set, counter-clockwise, no repeated last vertex.
+/// Returns the input (deduplicated) when fewer than 3 distinct points.
+std::vector<Vec2> ConvexHull(std::vector<Vec2> points);
+
+/// Convex hull over all the vertices of a set of geometries, as a Polygon.
+Polygon ConvexHullPolygon(const std::vector<Geometry>& geoms);
+Polygon ConvexHullPolygon(const std::vector<const Geometry*>& geoms);
+
+}  // namespace spade

@@ -1,0 +1,120 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spade {
+
+double Polygon::RingSignedArea(const std::vector<Vec2>& ring) {
+  double a = 0;
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& p = ring[i];
+    const Vec2& q = ring[(i + 1) % n];
+    a += p.Cross(q);
+  }
+  return a * 0.5;
+}
+
+double Polygon::Area() const {
+  double a = std::abs(RingSignedArea(outer));
+  for (const auto& h : holes) a -= std::abs(RingSignedArea(h));
+  return a;
+}
+
+Vec2 Polygon::Centroid() const {
+  Vec2 c;
+  if (outer.empty()) return c;
+  for (const auto& p : outer) c = c + p;
+  return c / static_cast<double>(outer.size());
+}
+
+void Polygon::Normalize() {
+  if (RingSignedArea(outer) < 0) std::reverse(outer.begin(), outer.end());
+  for (auto& h : holes) {
+    if (RingSignedArea(h) > 0) std::reverse(h.begin(), h.end());
+  }
+}
+
+Polygon Polygon::FromBox(const Box& b) {
+  Polygon p;
+  p.outer = {{b.min.x, b.min.y},
+             {b.max.x, b.min.y},
+             {b.max.x, b.max.y},
+             {b.min.x, b.max.y}};
+  return p;
+}
+
+Polygon Polygon::Circle(Vec2 center, double radius, int segments) {
+  Polygon p;
+  p.outer.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double t = 2.0 * M_PI * i / segments;
+    p.outer.push_back(
+        {center.x + radius * std::cos(t), center.y + radius * std::sin(t)});
+  }
+  return p;
+}
+
+Box Geometry::Bounds() const {
+  switch (type()) {
+    case GeomType::kPoint: {
+      Box b;
+      b.Extend(point());
+      return b;
+    }
+    case GeomType::kLine:
+      return line().Bounds();
+    case GeomType::kPolygon:
+      return polygon().Bounds();
+  }
+  return Box();
+}
+
+Vec2 Geometry::Centroid() const {
+  switch (type()) {
+    case GeomType::kPoint:
+      return point();
+    case GeomType::kLine: {
+      Vec2 c;
+      const auto& pts = line().points;
+      if (pts.empty()) return c;
+      for (const auto& p : pts) c = c + p;
+      return c / static_cast<double>(pts.size());
+    }
+    case GeomType::kPolygon: {
+      const auto& mp = polygon();
+      Vec2 c;
+      size_t n = 0;
+      for (const auto& part : mp.parts) {
+        for (const auto& p : part.outer) {
+          c = c + p;
+          ++n;
+        }
+      }
+      if (n == 0) return c;
+      return c / static_cast<double>(n);
+    }
+  }
+  return Vec2();
+}
+
+size_t Geometry::NumVertices() const {
+  switch (type()) {
+    case GeomType::kPoint:
+      return 1;
+    case GeomType::kLine:
+      return line().points.size();
+    case GeomType::kPolygon:
+      return polygon().NumVertices();
+  }
+  return 0;
+}
+
+size_t Geometry::ByteSize() const {
+  // Two doubles per vertex plus a small fixed header; this feeds the
+  // simulated CPU->GPU transfer accounting.
+  return 16 + NumVertices() * sizeof(Vec2);
+}
+
+}  // namespace spade

@@ -1,0 +1,131 @@
+// Vector geometry types: point, polyline, polygon (with holes),
+// multi-polygon, and a tagged-union Geometry value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// Identifier of a geometric object within a dataset.
+using GeomId = uint32_t;
+inline constexpr GeomId kInvalidGeomId = 0xFFFFFFFFu;
+
+/// \brief An open polyline (the paper's "line" primitive).
+struct LineString {
+  std::vector<Vec2> points;
+
+  Box Bounds() const {
+    Box b;
+    for (const auto& p : points) b.Extend(p);
+    return b;
+  }
+  double Length() const {
+    double len = 0;
+    for (size_t i = 1; i < points.size(); ++i) {
+      len += points[i - 1].DistanceTo(points[i]);
+    }
+    return len;
+  }
+};
+
+/// \brief A simple polygon with optional holes.
+///
+/// The outer ring is in counter-clockwise order, holes clockwise; rings are
+/// stored without a closing duplicate vertex.
+struct Polygon {
+  std::vector<Vec2> outer;
+  std::vector<std::vector<Vec2>> holes;
+
+  Box Bounds() const {
+    Box b;
+    for (const auto& p : outer) b.Extend(p);
+    return b;
+  }
+
+  /// Signed area of a ring (positive if counter-clockwise).
+  static double RingSignedArea(const std::vector<Vec2>& ring);
+
+  /// Total area (outer minus holes).
+  double Area() const;
+
+  /// Arithmetic mean of the outer-ring vertices (used for grid assignment).
+  Vec2 Centroid() const;
+
+  /// Total vertex count across all rings.
+  size_t NumVertices() const {
+    size_t n = outer.size();
+    for (const auto& h : holes) n += h.size();
+    return n;
+  }
+
+  /// Put rings into canonical orientation (outer CCW, holes CW).
+  void Normalize();
+
+  /// Convenience: axis-aligned rectangle polygon.
+  static Polygon FromBox(const Box& b);
+
+  /// Convenience: regular n-gon approximating a circle.
+  static Polygon Circle(Vec2 center, double radius, int segments = 32);
+};
+
+/// \brief A collection of polygons treated as a single object.
+struct MultiPolygon {
+  std::vector<Polygon> parts;
+
+  Box Bounds() const {
+    Box b;
+    for (const auto& p : parts) b.Extend(p.Bounds());
+    return b;
+  }
+  double Area() const {
+    double a = 0;
+    for (const auto& p : parts) a += p.Area();
+    return a;
+  }
+  size_t NumVertices() const {
+    size_t n = 0;
+    for (const auto& p : parts) n += p.NumVertices();
+    return n;
+  }
+};
+
+/// Primitive class of a geometry; indexes the three canvas planes.
+enum class GeomType : uint8_t { kPoint = 0, kLine = 1, kPolygon = 2 };
+
+/// \brief A geometric object: point, polyline, or (multi)polygon.
+class Geometry {
+ public:
+  Geometry() : v_(Vec2{}) {}
+  explicit Geometry(Vec2 p) : v_(p) {}
+  explicit Geometry(LineString l) : v_(std::move(l)) {}
+  explicit Geometry(Polygon p) : v_(MultiPolygon{{std::move(p)}}) {}
+  explicit Geometry(MultiPolygon mp) : v_(std::move(mp)) {}
+
+  GeomType type() const {
+    return static_cast<GeomType>(v_.index());
+  }
+  bool is_point() const { return type() == GeomType::kPoint; }
+  bool is_line() const { return type() == GeomType::kLine; }
+  bool is_polygon() const { return type() == GeomType::kPolygon; }
+
+  const Vec2& point() const { return std::get<Vec2>(v_); }
+  const LineString& line() const { return std::get<LineString>(v_); }
+  const MultiPolygon& polygon() const { return std::get<MultiPolygon>(v_); }
+  MultiPolygon& polygon() { return std::get<MultiPolygon>(v_); }
+
+  Box Bounds() const;
+  Vec2 Centroid() const;
+  size_t NumVertices() const;
+  /// Approximate in-memory footprint in bytes (used for I/O accounting).
+  size_t ByteSize() const;
+
+ private:
+  std::variant<Vec2, LineString, MultiPolygon> v_;
+};
+
+}  // namespace spade

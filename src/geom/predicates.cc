@@ -1,0 +1,285 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spade {
+
+double Orient2D(const Vec2& a, const Vec2& b, const Vec2& c) {
+  // Evaluated in long double to tame cancellation on near-collinear input;
+  // for the coordinate magnitudes used by the engine (unit square or web-
+  // mercator meters) this is effectively exact.
+  const long double acx = static_cast<long double>(a.x) - c.x;
+  const long double bcx = static_cast<long double>(b.x) - c.x;
+  const long double acy = static_cast<long double>(a.y) - c.y;
+  const long double bcy = static_cast<long double>(b.y) - c.y;
+  const long double det = acx * bcy - acy * bcx;
+  return static_cast<double>(det);
+}
+
+bool OnSegment(const Vec2& a, const Vec2& b, const Vec2& p) {
+  if (Orient2D(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+bool SegmentsIntersect(const Vec2& p1, const Vec2& p2, const Vec2& q1,
+                       const Vec2& q2) {
+  const double d1 = Orient2D(q1, q2, p1);
+  const double d2 = Orient2D(q1, q2, p2);
+  const double d3 = Orient2D(p1, p2, q1);
+  const double d4 = Orient2D(p1, p2, q2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(q1, q2, p1)) return true;
+  if (d2 == 0 && OnSegment(q1, q2, p2)) return true;
+  if (d3 == 0 && OnSegment(p1, p2, q1)) return true;
+  if (d4 == 0 && OnSegment(p1, p2, q2)) return true;
+  return false;
+}
+
+bool PointInTriangle(const Vec2& a, const Vec2& b, const Vec2& c,
+                     const Vec2& p) {
+  const double d1 = Orient2D(a, b, p);
+  const double d2 = Orient2D(b, c, p);
+  const double d3 = Orient2D(c, a, p);
+  const bool has_neg = (d1 < 0) || (d2 < 0) || (d3 < 0);
+  const bool has_pos = (d1 > 0) || (d2 > 0) || (d3 > 0);
+  return !(has_neg && has_pos);
+}
+
+bool SegmentIntersectsTriangle(const Vec2& p, const Vec2& q, const Vec2& a,
+                               const Vec2& b, const Vec2& c) {
+  if (PointInTriangle(a, b, c, p) || PointInTriangle(a, b, c, q)) return true;
+  return SegmentsIntersect(p, q, a, b) || SegmentsIntersect(p, q, b, c) ||
+         SegmentsIntersect(p, q, c, a);
+}
+
+bool TrianglesIntersect(const Vec2& a1, const Vec2& b1, const Vec2& c1,
+                        const Vec2& a2, const Vec2& b2, const Vec2& c2) {
+  // Any edge of one crossing any edge of the other, or full containment.
+  const Vec2 t1[3] = {a1, b1, c1};
+  const Vec2 t2[3] = {a2, b2, c2};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (SegmentsIntersect(t1[i], t1[(i + 1) % 3], t2[j], t2[(j + 1) % 3])) {
+        return true;
+      }
+    }
+  }
+  return PointInTriangle(a2, b2, c2, a1) || PointInTriangle(a1, b1, c1, a2);
+}
+
+bool PointInRing(const std::vector<Vec2>& ring, const Vec2& p) {
+  const size_t n = ring.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& a = ring[j];
+    const Vec2& b = ring[i];
+    if (OnSegment(a, b, p)) return true;  // boundary counts as inside
+    if ((b.y > p.y) != (a.y > p.y)) {
+      const double t = (p.y - b.y) / (a.y - b.y);
+      const double xint = b.x + t * (a.x - b.x);
+      if (p.x < xint) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PointInPolygon(const Polygon& poly, const Vec2& p) {
+  if (!PointInRing(poly.outer, p)) return false;
+  for (const auto& h : poly.holes) {
+    // Strictly inside a hole -> outside. Hole boundary belongs to polygon.
+    if (PointInRing(h, p)) {
+      bool on_hole_boundary = false;
+      const size_t n = h.size();
+      for (size_t i = 0, j = n - 1; i < n && !on_hole_boundary; j = i++) {
+        on_hole_boundary = OnSegment(h[j], h[i], p);
+      }
+      if (!on_hole_boundary) return false;
+    }
+  }
+  return true;
+}
+
+bool PointInMultiPolygon(const MultiPolygon& mp, const Vec2& p) {
+  for (const auto& part : mp.parts) {
+    if (PointInPolygon(part, p)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool SegmentIntersectsRing(const std::vector<Vec2>& ring, const Vec2& p,
+                           const Vec2& q) {
+  const size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (SegmentsIntersect(ring[j], ring[i], p, q)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SegmentIntersectsPolygon(const Polygon& poly, const Vec2& p,
+                              const Vec2& q) {
+  if (PointInPolygon(poly, p) || PointInPolygon(poly, q)) return true;
+  if (SegmentIntersectsRing(poly.outer, p, q)) return true;
+  for (const auto& h : poly.holes) {
+    if (SegmentIntersectsRing(h, p, q)) return true;
+  }
+  return false;
+}
+
+bool LineIntersectsPolygon(const Polygon& poly, const LineString& line) {
+  const auto& pts = line.points;
+  if (pts.size() == 1) return PointInPolygon(poly, pts[0]);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (SegmentIntersectsPolygon(poly, pts[i - 1], pts[i])) return true;
+  }
+  return false;
+}
+
+bool PolygonsIntersect(const Polygon& a, const Polygon& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  // Edge-edge crossings.
+  const size_t na = a.outer.size();
+  for (size_t i = 0, j = na - 1; i < na; j = i++) {
+    if (SegmentIntersectsPolygon(b, a.outer[j], a.outer[i])) return true;
+  }
+  for (const auto& h : a.holes) {
+    const size_t nh = h.size();
+    for (size_t i = 0, j = nh - 1; i < nh; j = i++) {
+      if (SegmentIntersectsPolygon(b, h[j], h[i])) return true;
+    }
+  }
+  // One fully containing the other (no edge crossings): a vertex test
+  // suffices.
+  if (!b.outer.empty() && PointInPolygon(a, b.outer[0])) return true;
+  if (!a.outer.empty() && PointInPolygon(b, a.outer[0])) return true;
+  return false;
+}
+
+bool MultiPolygonsIntersect(const MultiPolygon& a, const MultiPolygon& b) {
+  for (const auto& pa : a.parts) {
+    for (const auto& pb : b.parts) {
+      if (PolygonsIntersect(pa, pb)) return true;
+    }
+  }
+  return false;
+}
+
+bool GeometryIntersectsPolygon(const Geometry& g, const MultiPolygon& poly) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return PointInMultiPolygon(poly, g.point());
+    case GeomType::kLine:
+      for (const auto& part : poly.parts) {
+        if (LineIntersectsPolygon(part, g.line())) return true;
+      }
+      return false;
+    case GeomType::kPolygon:
+      return MultiPolygonsIntersect(g.polygon(), poly);
+  }
+  return false;
+}
+
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.Norm2();
+  if (len2 == 0) return p.DistanceTo(a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return p.DistanceTo(a + ab * t);
+}
+
+double SegmentSegmentDistance(const Vec2& p1, const Vec2& p2, const Vec2& q1,
+                              const Vec2& q2) {
+  if (SegmentsIntersect(p1, p2, q1, q2)) return 0;
+  return std::min(
+      std::min(PointSegmentDistance(p1, q1, q2), PointSegmentDistance(p2, q1, q2)),
+      std::min(PointSegmentDistance(q1, p1, p2), PointSegmentDistance(q2, p1, p2)));
+}
+
+double PointPolygonDistance(const Polygon& poly, const Vec2& p) {
+  if (PointInPolygon(poly, p)) return 0;
+  double d = std::numeric_limits<double>::max();
+  const size_t n = poly.outer.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    d = std::min(d, PointSegmentDistance(p, poly.outer[j], poly.outer[i]));
+  }
+  for (const auto& h : poly.holes) {
+    const size_t nh = h.size();
+    for (size_t i = 0, j = nh - 1; i < nh; j = i++) {
+      d = std::min(d, PointSegmentDistance(p, h[j], h[i]));
+    }
+  }
+  return d;
+}
+
+double PointMultiPolygonDistance(const MultiPolygon& mp, const Vec2& p) {
+  double d = std::numeric_limits<double>::max();
+  for (const auto& part : mp.parts) {
+    d = std::min(d, PointPolygonDistance(part, p));
+    if (d == 0) return 0;
+  }
+  return d;
+}
+
+double PointLineStringDistance(const LineString& line, const Vec2& p) {
+  const auto& pts = line.points;
+  if (pts.empty()) return std::numeric_limits<double>::max();
+  if (pts.size() == 1) return p.DistanceTo(pts[0]);
+  double d = std::numeric_limits<double>::max();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    d = std::min(d, PointSegmentDistance(p, pts[i - 1], pts[i]));
+  }
+  return d;
+}
+
+bool SegmentIntersectsBox(const Box& box, const Vec2& a, const Vec2& b) {
+  if (box.Contains(a) || box.Contains(b)) return true;
+  const Vec2 c0{box.min.x, box.min.y}, c1{box.max.x, box.min.y};
+  const Vec2 c2{box.max.x, box.max.y}, c3{box.min.x, box.max.y};
+  return SegmentsIntersect(a, b, c0, c1) || SegmentsIntersect(a, b, c1, c2) ||
+         SegmentsIntersect(a, b, c2, c3) || SegmentsIntersect(a, b, c3, c0);
+}
+
+double BoxSegmentDistance(const Box& box, const Vec2& a, const Vec2& b) {
+  if (SegmentIntersectsBox(box, a, b)) return 0;
+  const Vec2 c0{box.min.x, box.min.y}, c1{box.max.x, box.min.y};
+  const Vec2 c2{box.max.x, box.max.y}, c3{box.min.x, box.max.y};
+  double d = std::min(
+      std::min(SegmentSegmentDistance(a, b, c0, c1),
+               SegmentSegmentDistance(a, b, c1, c2)),
+      std::min(SegmentSegmentDistance(a, b, c2, c3),
+               SegmentSegmentDistance(a, b, c3, c0)));
+  return d;
+}
+
+double BoxSegmentMaxDistance(const Box& box, const Vec2& a, const Vec2& b) {
+  double d = 0;
+  for (const Vec2 c : {Vec2{box.min.x, box.min.y}, Vec2{box.max.x, box.min.y},
+                       Vec2{box.max.x, box.max.y}, Vec2{box.min.x, box.max.y}}) {
+    d = std::max(d, PointSegmentDistance(c, a, b));
+  }
+  return d;
+}
+
+double PointGeometryDistance(const Geometry& g, const Vec2& p) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return p.DistanceTo(g.point());
+    case GeomType::kLine:
+      return PointLineStringDistance(g.line(), p);
+    case GeomType::kPolygon:
+      return PointMultiPolygonDistance(g.polygon(), p);
+  }
+  return std::numeric_limits<double>::max();
+}
+
+}  // namespace spade

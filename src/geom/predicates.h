@@ -1,0 +1,86 @@
+// Exact 2-D geometric predicates. These are the "costly geometric tests"
+// that SPADE's boundary index reduces to constant-time triangle tests
+// (Section 4.3), and they also power the exact CPU baselines and the
+// correctness oracle used by the test suite.
+#pragma once
+
+#include "geom/geometry.h"
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// Sign of the orientation of the triangle (a, b, c):
+/// > 0 counter-clockwise, < 0 clockwise, == 0 collinear.
+double Orient2D(const Vec2& a, const Vec2& b, const Vec2& c);
+
+/// True if point p lies on the closed segment [a, b].
+bool OnSegment(const Vec2& a, const Vec2& b, const Vec2& p);
+
+/// True if closed segments [p1,p2] and [q1,q2] share at least one point.
+bool SegmentsIntersect(const Vec2& p1, const Vec2& p2, const Vec2& q1,
+                       const Vec2& q2);
+
+/// True if point p lies inside or on the triangle (a, b, c).
+bool PointInTriangle(const Vec2& a, const Vec2& b, const Vec2& c,
+                     const Vec2& p);
+
+/// True if segment [p, q] intersects triangle (a, b, c) (boundary counts).
+bool SegmentIntersectsTriangle(const Vec2& p, const Vec2& q, const Vec2& a,
+                               const Vec2& b, const Vec2& c);
+
+/// True if triangles (a1,b1,c1) and (a2,b2,c2) share at least one point.
+bool TrianglesIntersect(const Vec2& a1, const Vec2& b1, const Vec2& c1,
+                        const Vec2& a2, const Vec2& b2, const Vec2& c2);
+
+/// True if point p lies inside or on the ring (no closing duplicate vertex).
+bool PointInRing(const std::vector<Vec2>& ring, const Vec2& p);
+
+/// True if p lies inside the polygon (holes excluded, boundary counts).
+bool PointInPolygon(const Polygon& poly, const Vec2& p);
+bool PointInMultiPolygon(const MultiPolygon& mp, const Vec2& p);
+
+/// True if segment [p, q] intersects the polygon (interior or boundary).
+bool SegmentIntersectsPolygon(const Polygon& poly, const Vec2& p,
+                              const Vec2& q);
+
+/// True if the polyline intersects the polygon.
+bool LineIntersectsPolygon(const Polygon& poly, const LineString& line);
+
+/// True if the two polygons share at least one point (ST_INTERSECTS).
+bool PolygonsIntersect(const Polygon& a, const Polygon& b);
+bool MultiPolygonsIntersect(const MultiPolygon& a, const MultiPolygon& b);
+
+/// Exact geometry-vs-polygon intersection dispatching on geometry type.
+bool GeometryIntersectsPolygon(const Geometry& g, const MultiPolygon& poly);
+
+// --- Distances -------------------------------------------------------------
+
+/// Distance from point p to the closed segment [a, b].
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// Minimum distance between two closed segments.
+double SegmentSegmentDistance(const Vec2& p1, const Vec2& p2, const Vec2& q1,
+                              const Vec2& q2);
+
+/// Distance from p to the polygon (0 when p is inside or on the boundary).
+double PointPolygonDistance(const Polygon& poly, const Vec2& p);
+double PointMultiPolygonDistance(const MultiPolygon& mp, const Vec2& p);
+
+/// Distance from p to the polyline.
+double PointLineStringDistance(const LineString& line, const Vec2& p);
+
+/// Distance from p to an arbitrary geometry (exact; 0 inside polygons).
+double PointGeometryDistance(const Geometry& g, const Vec2& p);
+
+/// True if segment [a, b] touches the closed box.
+bool SegmentIntersectsBox(const Box& box, const Vec2& a, const Vec2& b);
+
+/// Minimum distance between the closed box and segment [a, b] (0 if they
+/// touch).
+double BoxSegmentDistance(const Box& box, const Vec2& a, const Vec2& b);
+
+/// Maximum over the box's corners of the distance to segment [a, b]; since
+/// distance-to-segment is convex this is the max over the whole box.
+double BoxSegmentMaxDistance(const Box& box, const Vec2& a, const Vec2& b);
+
+}  // namespace spade

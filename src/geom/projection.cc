@@ -1,0 +1,80 @@
+#include "geom/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spade {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+// Web mercator is undefined at the poles; clamp like standard tools do.
+constexpr double kMaxLat = 85.051128779806592;
+}  // namespace
+
+Vec2 LonLatToWebMercator(const Vec2& lonlat) {
+  const double lon = lonlat.x;
+  const double lat = std::clamp(lonlat.y, -kMaxLat, kMaxLat);
+  const double x = kEarthRadiusMeters * lon * kDegToRad;
+  const double y =
+      kEarthRadiusMeters * std::log(std::tan(M_PI / 4.0 + lat * kDegToRad / 2.0));
+  return {x, y};
+}
+
+Vec2 WebMercatorToLonLat(const Vec2& xy) {
+  const double lon = xy.x / kEarthRadiusMeters * kRadToDeg;
+  const double lat =
+      (2.0 * std::atan(std::exp(xy.y / kEarthRadiusMeters)) - M_PI / 2.0) *
+      kRadToDeg;
+  return {lon, lat};
+}
+
+Polygon ProjectToWebMercator(const Polygon& p) {
+  Polygon out;
+  out.outer.reserve(p.outer.size());
+  for (const auto& v : p.outer) out.outer.push_back(LonLatToWebMercator(v));
+  out.holes.reserve(p.holes.size());
+  for (const auto& h : p.holes) {
+    std::vector<Vec2> hole;
+    hole.reserve(h.size());
+    for (const auto& v : h) hole.push_back(LonLatToWebMercator(v));
+    out.holes.push_back(std::move(hole));
+  }
+  return out;
+}
+
+Geometry ProjectToWebMercator(const Geometry& g) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return Geometry(LonLatToWebMercator(g.point()));
+    case GeomType::kLine: {
+      LineString l;
+      l.points.reserve(g.line().points.size());
+      for (const auto& v : g.line().points) {
+        l.points.push_back(LonLatToWebMercator(v));
+      }
+      return Geometry(std::move(l));
+    }
+    case GeomType::kPolygon: {
+      MultiPolygon mp;
+      mp.parts.reserve(g.polygon().parts.size());
+      for (const auto& part : g.polygon().parts) {
+        mp.parts.push_back(ProjectToWebMercator(part));
+      }
+      return Geometry(std::move(mp));
+    }
+  }
+  return g;
+}
+
+double HaversineMeters(const Vec2& a, const Vec2& b) {
+  const double lat1 = a.y * kDegToRad, lat2 = b.y * kDegToRad;
+  const double dlat = lat2 - lat1;
+  const double dlon = (b.x - a.x) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+}  // namespace spade

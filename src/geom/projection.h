@@ -1,0 +1,27 @@
+// Coordinate-system projections. SPADE converts degree-based EPSG:4326
+// coordinates to meter-based EPSG:3857 (web mercator) in the vertex shader
+// for distance and kNN queries (Sections 4.2, 5.1).
+#pragma once
+
+#include "geom/geometry.h"
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// Earth radius used by EPSG:3857, in meters.
+inline constexpr double kEarthRadiusMeters = 6378137.0;
+
+/// EPSG:4326 (lon, lat in degrees) -> EPSG:3857 (x, y in meters).
+Vec2 LonLatToWebMercator(const Vec2& lonlat);
+
+/// EPSG:3857 (meters) -> EPSG:4326 (lon, lat in degrees).
+Vec2 WebMercatorToLonLat(const Vec2& xy);
+
+/// Project every vertex of a geometry to web mercator.
+Geometry ProjectToWebMercator(const Geometry& g);
+Polygon ProjectToWebMercator(const Polygon& p);
+
+/// Great-circle distance between two (lon, lat) points, in meters.
+double HaversineMeters(const Vec2& lonlat_a, const Vec2& lonlat_b);
+
+}  // namespace spade

@@ -1,0 +1,310 @@
+#include "geom/triangulate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "geom/predicates.h"
+
+namespace spade {
+
+namespace {
+
+// Doubly linked list node used by the ear-clipping loop.
+struct Node {
+  Vec2 p;
+  int prev = -1;
+  int next = -1;
+};
+
+double Cross(const Vec2& o, const Vec2& a, const Vec2& b) {
+  return (a - o).Cross(b - o);
+}
+
+bool PointInTriStrict(const Vec2& a, const Vec2& b, const Vec2& c,
+                      const Vec2& p) {
+  // Strict interior-or-edge test excluding the triangle's own vertices.
+  if (p == a || p == b || p == c) return false;
+  return PointInTriangle(a, b, c, p);
+}
+
+// Key for mapping an (unordered) coordinate edge to its triangle.
+struct EdgeKey {
+  uint64_t a_x, a_y, b_x, b_y;
+  bool operator==(const EdgeKey& o) const {
+    return a_x == o.a_x && a_y == o.a_y && b_x == o.b_x && b_y == o.b_y;
+  }
+};
+
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+EdgeKey MakeEdgeKey(const Vec2& a, const Vec2& b) {
+  uint64_t ax = BitsOf(a.x), ay = BitsOf(a.y);
+  uint64_t bx = BitsOf(b.x), by = BitsOf(b.y);
+  // Order endpoints canonically so (a,b) == (b,a).
+  if (ax > bx || (ax == bx && ay > by)) {
+    std::swap(ax, bx);
+    std::swap(ay, by);
+  }
+  return {ax, ay, bx, by};
+}
+
+struct EdgeKeyHash {
+  size_t operator()(const EdgeKey& k) const {
+    uint64_t h = k.a_x * 0x9E3779B97F4A7C15ull;
+    h ^= k.a_y + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= k.b_x + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= k.b_y + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+class EarClipper {
+ public:
+  explicit EarClipper(const Polygon& poly) {
+    // Normalize orientation locally (outer CCW, holes CW).
+    std::vector<Vec2> outer = poly.outer;
+    if (Polygon::RingSignedArea(outer) < 0) {
+      std::reverse(outer.begin(), outer.end());
+    }
+    std::vector<std::vector<Vec2>> holes = poly.holes;
+    for (auto& h : holes) {
+      if (Polygon::RingSignedArea(h) > 0) std::reverse(h.begin(), h.end());
+    }
+
+    int head = LinkRing(outer);
+    if (head < 0) return;
+
+    // Eliminate holes by splicing each into the outer loop, processed
+    // left-to-right by their leftmost vertex (mirror of earcut's approach).
+    std::vector<std::pair<double, std::vector<Vec2>*>> order;
+    for (auto& h : holes) {
+      if (h.size() < 3) continue;
+      double minx = h[0].x;
+      for (const auto& p : h) minx = std::min(minx, p.x);
+      order.emplace_back(minx, &h);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [minx, hole] : order) {
+      (void)minx;
+      head = SpliceHole(head, *hole);
+    }
+    head_ = head;
+  }
+
+  void Run(std::vector<Triangle>* out) {
+    if (head_ < 0) return;
+    int ear = head_;
+    int remaining = CountLoop(head_);
+    int stall = 0;
+    while (remaining > 3) {
+      const Node& n = nodes_[ear];
+      if (IsEar(ear)) {
+        out->push_back({nodes_[n.prev].p, n.p, nodes_[n.next].p});
+        // Unlink ear.
+        nodes_[n.prev].next = n.next;
+        nodes_[n.next].prev = n.prev;
+        ear = n.next;
+        --remaining;
+        stall = 0;
+        continue;
+      }
+      ear = n.next;
+      if (++stall > remaining) {
+        // Degenerate remainder (collinear chains, self-touching bridges):
+        // clip the least-bad vertex to guarantee progress.
+        int best = ear;
+        double best_area = -1;
+        int cur = ear;
+        for (int i = 0; i < remaining; ++i) {
+          const Node& c = nodes_[cur];
+          const double area =
+              std::abs(Cross(nodes_[c.prev].p, c.p, nodes_[c.next].p));
+          if (Cross(nodes_[c.prev].p, c.p, nodes_[c.next].p) >= 0 &&
+              area > best_area) {
+            best_area = area;
+            best = cur;
+          }
+          cur = c.next;
+        }
+        const Node& b = nodes_[best];
+        if (best_area > 0) {
+          out->push_back({nodes_[b.prev].p, b.p, nodes_[b.next].p});
+        }
+        nodes_[b.prev].next = b.next;
+        nodes_[b.next].prev = b.prev;
+        ear = b.next;
+        --remaining;
+        stall = 0;
+      }
+    }
+    if (remaining == 3) {
+      const Node& n = nodes_[ear];
+      const Vec2 a = nodes_[n.prev].p, b = n.p, c = nodes_[n.next].p;
+      if (std::abs(Cross(a, b, c)) > 0) out->push_back({a, b, c});
+    }
+  }
+
+ private:
+  int LinkRing(const std::vector<Vec2>& ring) {
+    if (ring.size() < 3) return -1;
+    const int base = static_cast<int>(nodes_.size());
+    const int n = static_cast<int>(ring.size());
+    for (int i = 0; i < n; ++i) {
+      Node node;
+      node.p = ring[i];
+      node.prev = base + (i + n - 1) % n;
+      node.next = base + (i + 1) % n;
+      nodes_.push_back(node);
+    }
+    return base;
+  }
+
+  int CountLoop(int head) const {
+    int count = 1;
+    for (int cur = nodes_[head].next; cur != head; cur = nodes_[cur].next) {
+      ++count;
+    }
+    return count;
+  }
+
+  // Splice a hole ring into the outer loop via a two-way bridge from the
+  // hole's leftmost vertex to a visible outer vertex.
+  int SpliceHole(int outer_head, const std::vector<Vec2>& hole) {
+    const int hole_head = LinkRing(hole);
+    if (hole_head < 0) return outer_head;
+
+    // Leftmost hole vertex.
+    int hv = hole_head;
+    for (int cur = nodes_[hole_head].next; cur != hole_head;
+         cur = nodes_[cur].next) {
+      if (nodes_[cur].p.x < nodes_[hv].p.x) hv = cur;
+    }
+    const Vec2 hp = nodes_[hv].p;
+
+    // Find the outer vertex to bridge to: the candidate whose segment to the
+    // hole vertex crosses no outer edge, preferring the closest such vertex.
+    int best = -1;
+    double best_d2 = std::numeric_limits<double>::max();
+    int cur = outer_head;
+    do {
+      const Vec2 op = nodes_[cur].p;
+      const double d2 = op.Distance2To(hp);
+      if (d2 < best_d2 && BridgeIsClear(outer_head, cur, hv)) {
+        best_d2 = d2;
+        best = cur;
+      }
+      cur = nodes_[cur].next;
+    } while (cur != outer_head);
+    if (best < 0) best = outer_head;  // fall back: still splice
+
+    // Duplicate the two bridge endpoints and rewire:
+    //   ... -> best -> hv -> (hole loop) -> hv' -> best' -> ...
+    const int best2 = static_cast<int>(nodes_.size());
+    nodes_.push_back(nodes_[best]);
+    const int hv2 = static_cast<int>(nodes_.size());
+    nodes_.push_back(nodes_[hv]);
+
+    nodes_[hv2].next = best2;
+    nodes_[hv2].prev = nodes_[hv].prev;
+    nodes_[nodes_[hv].prev].next = hv2;
+
+    nodes_[best2].prev = hv2;
+    nodes_[best2].next = nodes_[best].next;
+    nodes_[nodes_[best].next].prev = best2;
+
+    nodes_[best].next = hv;
+    nodes_[hv].prev = best;
+
+    return outer_head;
+  }
+
+  bool BridgeIsClear(int outer_head, int outer_v, int hole_v) const {
+    const Vec2 a = nodes_[outer_v].p;
+    const Vec2 b = nodes_[hole_v].p;
+    int cur = outer_head;
+    do {
+      const int nxt = nodes_[cur].next;
+      if (cur != outer_v && nxt != outer_v) {
+        if (SegmentsIntersect(a, b, nodes_[cur].p, nodes_[nxt].p)) {
+          return false;
+        }
+      }
+      cur = nxt;
+    } while (cur != outer_head);
+    return true;
+  }
+
+  bool IsEar(int i) const {
+    const Node& n = nodes_[i];
+    const Vec2 a = nodes_[n.prev].p, b = n.p, c = nodes_[n.next].p;
+    if (Cross(a, b, c) <= 0) return false;  // reflex or collinear
+    // No other vertex of the remaining loop inside the candidate ear.
+    int cur = nodes_[n.next].next;
+    while (cur != n.prev) {
+      if (PointInTriStrict(a, b, c, nodes_[cur].p)) return false;
+      cur = nodes_[cur].next;
+    }
+    return true;
+  }
+
+  std::vector<Node> nodes_;
+  int head_ = -1;
+};
+
+void MapEdgesToTriangles(const Polygon& poly,
+                         const std::vector<Triangle>& tris,
+                         size_t tri_offset, Triangulation* out) {
+  std::unordered_map<EdgeKey, int32_t, EdgeKeyHash> edge_map;
+  for (size_t t = 0; t < tris.size(); ++t) {
+    const Triangle& tri = tris[t];
+    edge_map[MakeEdgeKey(tri.a, tri.b)] = static_cast<int32_t>(tri_offset + t);
+    edge_map[MakeEdgeKey(tri.b, tri.c)] = static_cast<int32_t>(tri_offset + t);
+    edge_map[MakeEdgeKey(tri.c, tri.a)] = static_cast<int32_t>(tri_offset + t);
+  }
+  auto emit_ring = [&](const std::vector<Vec2>& ring) {
+    const size_t n = ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Vec2& a = ring[i];
+      const Vec2& b = ring[(i + 1) % n];
+      auto it = edge_map.find(MakeEdgeKey(a, b));
+      out->edges.push_back({a, b});
+      out->edge_triangle.push_back(it == edge_map.end() ? -1 : it->second);
+    }
+  };
+  emit_ring(poly.outer);
+  for (const auto& h : poly.holes) emit_ring(h);
+}
+
+}  // namespace
+
+Triangulation Triangulate(const Polygon& poly) {
+  Triangulation result;
+  if (poly.outer.size() < 3) return result;
+  EarClipper clipper(poly);
+  clipper.Run(&result.triangles);
+  MapEdgesToTriangles(poly, result.triangles, 0, &result);
+  return result;
+}
+
+Triangulation Triangulate(const MultiPolygon& mp) {
+  Triangulation result;
+  for (const auto& part : mp.parts) {
+    if (part.outer.size() < 3) continue;
+    std::vector<Triangle> tris;
+    EarClipper clipper(part);
+    clipper.Run(&tris);
+    const size_t offset = result.triangles.size();
+    result.triangles.insert(result.triangles.end(), tris.begin(), tris.end());
+    MapEdgesToTriangles(part, tris, offset, &result);
+  }
+  return result;
+}
+
+}  // namespace spade

@@ -1,0 +1,50 @@
+// Ear-clipping polygon triangulation (the role Earcut.hpp plays in the
+// paper). Polygons are decomposed into triangles before being drawn by the
+// pipeline, and the triangles also populate the boundary index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// \brief A triangle over explicit coordinates.
+struct Triangle {
+  Vec2 a, b, c;
+
+  Box Bounds() const {
+    Box box;
+    box.Extend(a);
+    box.Extend(b);
+    box.Extend(c);
+    return box;
+  }
+  double Area() const { return 0.5 * std::abs((b - a).Cross(c - a)); }
+};
+
+/// \brief Result of triangulating one polygon: the triangles plus, for each
+/// boundary edge of the polygon, the triangle incident on it (Section 4.3's
+/// edge->triangle mapping used by the boundary index).
+struct Triangulation {
+  std::vector<Triangle> triangles;
+
+  /// One entry per boundary edge (outer ring edges first, then hole edges,
+  /// ring by ring, in ring order): index into `triangles` of the triangle
+  /// incident on that edge, or -1 when the edge was a bridge artifact.
+  std::vector<int32_t> edge_triangle;
+
+  /// The boundary edges in the same order as edge_triangle.
+  std::vector<std::array<Vec2, 2>> edges;
+};
+
+/// Triangulate a polygon (holes supported) by ear clipping.
+/// Degenerate inputs (fewer than 3 outer vertices) yield no triangles.
+Triangulation Triangulate(const Polygon& poly);
+
+/// Triangulate every part of a multipolygon into one shared triangle list.
+Triangulation Triangulate(const MultiPolygon& mp);
+
+}  // namespace spade

@@ -1,0 +1,104 @@
+// 2-D point and axis-aligned box primitives used throughout the engine.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spade {
+
+/// \brief A 2-D point / vector with double-precision coordinates.
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  Vec2() = default;
+  Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Vec2& o) const { return !(*this == o); }
+
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// Z component of the 3-D cross product (signed parallelogram area).
+  double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm2() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(Norm2()); }
+
+  double DistanceTo(const Vec2& o) const { return (*this - o).Norm(); }
+  double Distance2To(const Vec2& o) const { return (*this - o).Norm2(); }
+};
+
+/// \brief An axis-aligned bounding box.
+struct Box {
+  Vec2 min{std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Vec2 max{std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  Box() = default;
+  Box(Vec2 min_, Vec2 max_) : min(min_), max(max_) {}
+  Box(double x0, double y0, double x1, double y1) : min(x0, y0), max(x1, y1) {}
+
+  bool Empty() const { return min.x > max.x || min.y > max.y; }
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return Empty() ? 0 : Width() * Height(); }
+  Vec2 Center() const { return (min + max) * 0.5; }
+
+  void Extend(const Vec2& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+  void Extend(const Box& b) {
+    if (b.Empty()) return;
+    Extend(b.min);
+    Extend(b.max);
+  }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  bool Contains(const Box& b) const {
+    return b.min.x >= min.x && b.max.x <= max.x && b.min.y >= min.y &&
+           b.max.y <= max.y;
+  }
+  bool Intersects(const Box& b) const {
+    return !(b.min.x > max.x || b.max.x < min.x || b.min.y > max.y ||
+             b.max.y < min.y);
+  }
+  Box Intersection(const Box& b) const {
+    Box r;
+    r.min = {std::max(min.x, b.min.x), std::max(min.y, b.min.y)};
+    r.max = {std::min(max.x, b.max.x), std::min(max.y, b.max.y)};
+    return r;
+  }
+  Box Expanded(double margin) const {
+    return Box(min.x - margin, min.y - margin, max.x + margin, max.y + margin);
+  }
+
+  /// Minimum squared distance from a point to this box (0 if inside).
+  double Distance2To(const Vec2& p) const {
+    const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return dx * dx + dy * dy;
+  }
+  double DistanceTo(const Vec2& p) const { return std::sqrt(Distance2To(p)); }
+
+  /// Maximum distance from a point to any corner of this box.
+  double MaxCornerDistanceTo(const Vec2& p) const {
+    double d2 = 0;
+    for (const Vec2 c : {Vec2{min.x, min.y}, Vec2{min.x, max.y},
+                         Vec2{max.x, min.y}, Vec2{max.x, max.y}}) {
+      d2 = std::max(d2, p.Distance2To(c));
+    }
+    return std::sqrt(d2);
+  }
+};
+
+}  // namespace spade

@@ -1,0 +1,212 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace spade {
+
+namespace {
+
+class WktParser {
+ public:
+  explicit WktParser(const std::string& text) : s_(text) {}
+
+  Result<Geometry> Parse() {
+    SkipSpace();
+    std::string tag = ReadWord();
+    for (auto& c : tag) c = static_cast<char>(std::toupper(c));
+    if (tag == "POINT") {
+      SPADE_RETURN_NOT_OK(Expect('('));
+      Vec2 p;
+      SPADE_RETURN_NOT_OK(ReadCoord(&p));
+      SPADE_RETURN_NOT_OK(Expect(')'));
+      return Geometry(p);
+    }
+    if (tag == "LINESTRING") {
+      LineString l;
+      SPADE_RETURN_NOT_OK(ReadCoordList(&l.points));
+      return Geometry(std::move(l));
+    }
+    if (tag == "POLYGON") {
+      Polygon poly;
+      SPADE_RETURN_NOT_OK(ReadPolygonBody(&poly));
+      return Geometry(std::move(poly));
+    }
+    if (tag == "MULTIPOLYGON") {
+      MultiPolygon mp;
+      SPADE_RETURN_NOT_OK(Expect('('));
+      for (;;) {
+        Polygon poly;
+        SPADE_RETURN_NOT_OK(ReadPolygonBody(&poly));
+        mp.parts.push_back(std::move(poly));
+        SkipSpace();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SPADE_RETURN_NOT_OK(Expect(')'));
+      return Geometry(std::move(mp));
+    }
+    return Status::InvalidArgument("unsupported WKT tag: " + tag);
+  }
+
+ private:
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < s_.size() && std::isalpha(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (Peek() != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ReadCoord(Vec2* out) {
+    SkipSpace();
+    char* end = nullptr;
+    out->x = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(pos_));
+    }
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    SkipSpace();
+    out->y = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(pos_));
+    }
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    return Status::OK();
+  }
+
+  Status ReadCoordList(std::vector<Vec2>* out) {
+    SPADE_RETURN_NOT_OK(Expect('('));
+    for (;;) {
+      Vec2 p;
+      SPADE_RETURN_NOT_OK(ReadCoord(&p));
+      out->push_back(p);
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Expect(')');
+  }
+
+  Status ReadPolygonBody(Polygon* poly) {
+    SPADE_RETURN_NOT_OK(Expect('('));
+    bool first = true;
+    for (;;) {
+      std::vector<Vec2> ring;
+      SPADE_RETURN_NOT_OK(ReadCoordList(&ring));
+      // WKT rings repeat the first vertex at the end; drop the duplicate.
+      if (ring.size() > 1 && ring.front() == ring.back()) ring.pop_back();
+      if (first) {
+        poly->outer = std::move(ring);
+        first = false;
+      } else {
+        poly->holes.push_back(std::move(ring));
+      }
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    SPADE_RETURN_NOT_OK(Expect(')'));
+    poly->Normalize();
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+void WriteRing(std::ostringstream& os, const std::vector<Vec2>& ring) {
+  os << '(';
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << ring[i].x << ' ' << ring[i].y;
+  }
+  if (!ring.empty()) os << ", " << ring[0].x << ' ' << ring[0].y;
+  os << ')';
+}
+
+void WritePolygonBody(std::ostringstream& os, const Polygon& p) {
+  os << '(';
+  WriteRing(os, p.outer);
+  for (const auto& h : p.holes) {
+    os << ", ";
+    WriteRing(os, h);
+  }
+  os << ')';
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(const std::string& text) {
+  WktParser parser(text);
+  return parser.Parse();
+}
+
+std::string ToWkt(const Geometry& g) {
+  std::ostringstream os;
+  os.precision(17);
+  switch (g.type()) {
+    case GeomType::kPoint:
+      os << "POINT (" << g.point().x << ' ' << g.point().y << ')';
+      break;
+    case GeomType::kLine: {
+      os << "LINESTRING (";
+      const auto& pts = g.line().points;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << pts[i].x << ' ' << pts[i].y;
+      }
+      os << ')';
+      break;
+    }
+    case GeomType::kPolygon: {
+      const auto& mp = g.polygon();
+      if (mp.parts.size() == 1) {
+        os << "POLYGON ";
+        WritePolygonBody(os, mp.parts[0]);
+      } else {
+        os << "MULTIPOLYGON (";
+        for (size_t i = 0; i < mp.parts.size(); ++i) {
+          if (i > 0) os << ", ";
+          WritePolygonBody(os, mp.parts[i]);
+        }
+        os << ')';
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace spade

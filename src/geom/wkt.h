@@ -1,0 +1,18 @@
+// Minimal WKT (well-known text) reader/writer covering the geometry types
+// the engine stores: POINT, LINESTRING, POLYGON, MULTIPOLYGON.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// Parse a WKT string into a Geometry.
+Result<Geometry> ParseWkt(const std::string& text);
+
+/// Serialize a Geometry to WKT.
+std::string ToWkt(const Geometry& g);
+
+}  // namespace spade

@@ -1,0 +1,151 @@
+// The "GPU device": owns the worker pool that stands in for the GPU's
+// parallel shader cores, tracks render passes / fragment counts, and
+// accounts simulated CPU->GPU transfer volume. Draw helpers fan primitives
+// out across the pool, exactly as the hardware rasterizer fans fragments
+// across shader units.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace spade {
+
+/// \brief Simulated GPU device handle.
+class GfxDevice {
+ public:
+  explicit GfxDevice(size_t num_threads = 0)
+      : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+  ThreadPool& pool() { return *pool_; }
+
+  /// Device memory budget in bytes (0 = unlimited). Allocations past the
+  /// budget fail, modelling the fixed GPU memory of Section 6.1 that the
+  /// grid-cell sizing rule must respect.
+  void set_memory_budget(size_t bytes) { memory_budget_ = bytes; }
+  size_t memory_budget() const { return memory_budget_; }
+  int64_t memory_in_use() const { return memory_in_use_.load(); }
+
+  /// Reserve device memory; fails with OutOfMemory past the budget.
+  Status AllocateMemory(size_t bytes) {
+    const int64_t now =
+        memory_in_use_.fetch_add(static_cast<int64_t>(bytes),
+                                 std::memory_order_relaxed) +
+        static_cast<int64_t>(bytes);
+    if (memory_budget_ != 0 && now > static_cast<int64_t>(memory_budget_)) {
+      memory_in_use_.fetch_sub(static_cast<int64_t>(bytes),
+                               std::memory_order_relaxed);
+      return Status::OutOfMemory(
+          "device memory budget exceeded: in use " + std::to_string(now) +
+          " of " + std::to_string(memory_budget_) +
+          " bytes — lower max_cell_bytes or raise device_memory_budget");
+    }
+    return Status::OK();
+  }
+
+  void FreeMemory(size_t bytes) {
+    memory_in_use_.fetch_sub(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed);
+  }
+
+  /// Record the start of a rendering pass (a draw call).
+  void BeginPass() { render_passes_.fetch_add(1, std::memory_order_relaxed); }
+
+  void AddFragments(size_t n) {
+    fragments_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  }
+
+  /// Account bytes shipped from host to device (vertex buffers, textures).
+  void Upload(size_t bytes) {
+    bytes_uploaded_.fetch_add(static_cast<int64_t>(bytes),
+                              std::memory_order_relaxed);
+  }
+
+  int64_t render_passes() const { return render_passes_.load(); }
+  int64_t fragments() const { return fragments_.load(); }
+  int64_t bytes_uploaded() const { return bytes_uploaded_.load(); }
+
+  void ResetCounters() {
+    render_passes_ = 0;
+    fragments_ = 0;
+    bytes_uploaded_ = 0;
+  }
+
+  /// Run `fn(begin, end)` over [0, n) primitives in parallel — one draw
+  /// call whose primitives are processed by all shader cores. The callback
+  /// returns the number of fragments it emitted.
+  void DrawParallel(size_t n,
+                    const std::function<size_t(size_t, size_t)>& fn) {
+    BeginPass();
+    if (n == 0) return;
+    std::atomic<int64_t> frag_total{0};
+    pool_->ParallelFor(n, [&](size_t begin, size_t end) {
+      frag_total.fetch_add(static_cast<int64_t>(fn(begin, end)),
+                           std::memory_order_relaxed);
+    });
+    fragments_.fetch_add(frag_total.load(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<int64_t> render_passes_{0};
+  std::atomic<int64_t> fragments_{0};
+  std::atomic<int64_t> bytes_uploaded_{0};
+  std::atomic<int64_t> memory_in_use_{0};
+  size_t memory_budget_ = 0;
+};
+
+/// \brief RAII device-memory reservation.
+class DeviceAllocation {
+ public:
+  DeviceAllocation() = default;
+  ~DeviceAllocation() { Release(); }
+
+  DeviceAllocation(DeviceAllocation&& o) noexcept
+      : device_(o.device_), bytes_(o.bytes_) {
+    o.device_ = nullptr;
+    o.bytes_ = 0;
+  }
+  DeviceAllocation& operator=(DeviceAllocation&& o) noexcept {
+    if (this != &o) {
+      Release();
+      device_ = o.device_;
+      bytes_ = o.bytes_;
+      o.device_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+
+  static Result<DeviceAllocation> Make(GfxDevice* device, size_t bytes) {
+    SPADE_RETURN_NOT_OK(device->AllocateMemory(bytes));
+    DeviceAllocation a;
+    a.device_ = device;
+    a.bytes_ = bytes;
+    return a;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+  void Release() {
+    if (device_ != nullptr) {
+      device_->FreeMemory(bytes_);
+      device_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  GfxDevice* device_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace spade

@@ -1,0 +1,54 @@
+// Framebuffer object (FBO) emulation: a render target with one or more
+// texture attachments, used as the "virtual screen" of Section 2.2.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "gfx/texture.h"
+#include "gfx/viewport.h"
+
+namespace spade {
+
+/// \brief A render target: N texture attachments sharing one resolution,
+/// bound to a world-space viewport.
+class Framebuffer {
+ public:
+  Framebuffer() = default;
+  Framebuffer(const Viewport& viewport, int num_attachments)
+      : viewport_(viewport) {
+    attachments_.reserve(num_attachments);
+    for (int i = 0; i < num_attachments; ++i) {
+      attachments_.emplace_back(viewport.width(), viewport.height());
+    }
+  }
+
+  const Viewport& viewport() const { return viewport_; }
+  int num_attachments() const { return static_cast<int>(attachments_.size()); }
+
+  Texture& attachment(int i) {
+    assert(i >= 0 && i < num_attachments());
+    return attachments_[i];
+  }
+  const Texture& attachment(int i) const {
+    assert(i >= 0 && i < num_attachments());
+    return attachments_[i];
+  }
+
+  void Clear(uint32_t value = kTexNull) {
+    for (auto& t : attachments_) t.Clear(value);
+  }
+
+  /// Total device-memory footprint of the attachments, in bytes.
+  size_t ByteSize() const {
+    size_t total = 0;
+    for (const auto& t : attachments_) total += t.ByteSize();
+    return total;
+  }
+
+ private:
+  Viewport viewport_;
+  std::vector<Texture> attachments_;
+};
+
+}  // namespace spade

@@ -1,0 +1,256 @@
+// Rasterization stage of the software graphics pipeline: converts points,
+// line segments, and triangles into fragments (pixels), with both default
+// (center-sample) and conservative modes. Conservative rasterization emits
+// every pixel *touched* by the primitive, which is what lets the discrete
+// canvas identify all boundary pixels exactly (Section 4.2).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+#include "geom/vec2.h"
+#include "gfx/viewport.h"
+
+namespace spade {
+
+namespace gfx_internal {
+
+/// Liang-Barsky clip of a parametric segment to [0,w]x[0,h] in continuous
+/// pixel coordinates. Returns false when fully outside.
+inline bool ClipSegment(double w, double h, Vec2* a, Vec2* b) {
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = b->x - a->x, dy = b->y - a->y;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a->x - 0.0, w - a->x, a->y - 0.0, h - a->y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0) {
+      if (q[i] < 0) return false;
+    } else {
+      const double r = q[i] / p[i];
+      if (p[i] < 0) {
+        if (r > t1) return false;
+        t0 = std::max(t0, r);
+      } else {
+        if (r < t0) return false;
+        t1 = std::min(t1, r);
+      }
+    }
+  }
+  const Vec2 na = {a->x + t0 * dx, a->y + t0 * dy};
+  const Vec2 nb = {a->x + t1 * dx, a->y + t1 * dy};
+  *a = na;
+  *b = nb;
+  return true;
+}
+
+/// Separating-axis test: does the triangle touch the axis-aligned box?
+/// Touching (shared boundary point) counts as intersection, so the result
+/// is suitable for conservative rasterization.
+inline bool TriangleTouchesBox(const Vec2& a, const Vec2& b, const Vec2& c,
+                               const Box& box) {
+  // Box axes.
+  const double tminx = std::min({a.x, b.x, c.x});
+  const double tmaxx = std::max({a.x, b.x, c.x});
+  if (tminx > box.max.x || tmaxx < box.min.x) return false;
+  const double tminy = std::min({a.y, b.y, c.y});
+  const double tmaxy = std::max({a.y, b.y, c.y});
+  if (tminy > box.max.y || tmaxy < box.min.y) return false;
+
+  // Triangle edge normals.
+  const Vec2 verts[3] = {a, b, c};
+  const Vec2 corners[4] = {{box.min.x, box.min.y},
+                           {box.max.x, box.min.y},
+                           {box.max.x, box.max.y},
+                           {box.min.x, box.max.y}};
+  for (int i = 0; i < 3; ++i) {
+    const Vec2 e = verts[(i + 1) % 3] - verts[i];
+    const Vec2 n{-e.y, e.x};
+    double tmin = n.Dot(verts[0]), tmax = tmin;
+    for (int k = 1; k < 3; ++k) {
+      const double d = n.Dot(verts[k]);
+      tmin = std::min(tmin, d);
+      tmax = std::max(tmax, d);
+    }
+    double bmin = n.Dot(corners[0]), bmax = bmin;
+    for (int k = 1; k < 4; ++k) {
+      const double d = n.Dot(corners[k]);
+      bmin = std::min(bmin, d);
+      bmax = std::max(bmax, d);
+    }
+    if (tmin > bmax || tmax < bmin) return false;
+  }
+  return true;
+}
+
+}  // namespace gfx_internal
+
+/// Rasterize a point: one fragment if inside the viewport (clipped
+/// otherwise). Returns the number of fragments emitted.
+template <typename Emit>
+size_t RasterizePoint(const Viewport& vp, const Vec2& p, Emit&& emit) {
+  if (!vp.Contains(p)) return 0;
+  auto [x, y] = vp.ToPixel(p);
+  if (x < 0 || x >= vp.width() || y < 0 || y >= vp.height()) return 0;
+  emit(x, y);
+  return 1;
+}
+
+/// Conservatively rasterize a segment: emits every pixel whose square is
+/// touched by the (clipped) segment. Returns fragments emitted.
+template <typename Emit>
+size_t RasterizeSegmentConservative(const Viewport& vp, const Vec2& wa,
+                                    const Vec2& wb, Emit&& emit) {
+  Vec2 a = vp.ToPixelF(wa);
+  Vec2 b = vp.ToPixelF(wb);
+  if (!gfx_internal::ClipSegment(vp.width(), vp.height(), &a, &b)) return 0;
+  if (a.x > b.x) std::swap(a, b);
+
+  size_t count = 0;
+  auto emit_clamped = [&](int x, int y) {
+    x = std::clamp(x, 0, vp.width() - 1);
+    y = std::clamp(y, 0, vp.height() - 1);
+    emit(x, y);
+    ++count;
+  };
+
+  const int x0 = std::clamp(static_cast<int>(std::floor(a.x)), 0, vp.width() - 1);
+  const int x1 = std::clamp(static_cast<int>(std::floor(b.x)), 0, vp.width() - 1);
+
+  if (a.x == b.x) {
+    // Vertical (or degenerate) segment: one column.
+    const double ylo = std::min(a.y, b.y), yhi = std::max(a.y, b.y);
+    const int r0 = std::clamp(static_cast<int>(std::floor(ylo)), 0, vp.height() - 1);
+    const int r1 = std::clamp(static_cast<int>(std::floor(yhi)), 0, vp.height() - 1);
+    for (int y = r0; y <= r1; ++y) emit_clamped(x0, y);
+    return count;
+  }
+
+  // Column-slab walk: for each pixel column the segment crosses, emit the
+  // rows spanned by the segment within that column. A pixel is emitted iff
+  // the segment touches its closed square, i.e. exactly conservative.
+  const double inv_dx = 1.0 / (b.x - a.x);
+  for (int cx = x0; cx <= x1; ++cx) {
+    const double sx0 = std::max(a.x, static_cast<double>(cx));
+    const double sx1 = std::min(b.x, static_cast<double>(cx + 1));
+    const double t0 = (sx0 - a.x) * inv_dx;
+    const double t1 = (sx1 - a.x) * inv_dx;
+    const double ya = a.y + t0 * (b.y - a.y);
+    const double yb = a.y + t1 * (b.y - a.y);
+    const double ylo = std::min(ya, yb), yhi = std::max(ya, yb);
+    const int r0 = std::clamp(static_cast<int>(std::floor(ylo)), 0, vp.height() - 1);
+    const int r1 = std::clamp(static_cast<int>(std::floor(yhi)), 0, vp.height() - 1);
+    for (int y = r0; y <= r1; ++y) emit_clamped(cx, y);
+  }
+  return count;
+}
+
+namespace gfx_internal {
+
+/// X-extent of the triangle clipped to the horizontal band
+/// [ylo, yhi] (closed). Returns false when the triangle misses the band.
+inline bool TriangleBandXRange(const Vec2& a, const Vec2& b, const Vec2& c,
+                               double ylo, double yhi, double* xmin,
+                               double* xmax) {
+  *xmin = std::numeric_limits<double>::max();
+  *xmax = std::numeric_limits<double>::lowest();
+  bool any = false;
+  auto add = [&](double x) {
+    *xmin = std::min(*xmin, x);
+    *xmax = std::max(*xmax, x);
+    any = true;
+  };
+  const Vec2 verts[3] = {a, b, c};
+  for (int i = 0; i < 3; ++i) {
+    const Vec2& p = verts[i];
+    const Vec2& q = verts[(i + 1) % 3];
+    // Vertices inside the band.
+    if (p.y >= ylo && p.y <= yhi) add(p.x);
+    // Edge crossings with the band's two horizontal lines.
+    const double dy = q.y - p.y;
+    if (dy != 0) {
+      for (const double yline : {ylo, yhi}) {
+        const double t = (yline - p.y) / dy;
+        if (t >= 0 && t <= 1) add(p.x + t * (q.x - p.x));
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace gfx_internal
+
+/// Rasterize a triangle. In default mode a fragment is emitted when the
+/// pixel center lies inside the triangle; in conservative mode when the
+/// pixel square is touched at all. Scanline implementation: per pixel row,
+/// the triangle's x-extent within the row (a band for conservative mode, a
+/// center line for default mode) is computed analytically, so the cost is
+/// O(rows + emitted fragments). Returns fragments emitted.
+template <typename Emit>
+size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
+                         const Vec2& wc, bool conservative, Emit&& emit) {
+  // Work in continuous pixel coordinates.
+  const Vec2 a = vp.ToPixelF(wa);
+  const Vec2 b = vp.ToPixelF(wb);
+  const Vec2 c = vp.ToPixelF(wc);
+  Box bbox;
+  bbox.Extend(a);
+  bbox.Extend(b);
+  bbox.Extend(c);
+  const int y0 = std::max(0, static_cast<int>(std::floor(bbox.min.y)));
+  const int y1 =
+      std::min(vp.height() - 1, static_cast<int>(std::floor(bbox.max.y)));
+  size_t count = 0;
+  for (int y = y0; y <= y1; ++y) {
+    double xmin, xmax;
+    int px0, px1;
+    if (conservative) {
+      if (!gfx_internal::TriangleBandXRange(a, b, c, y, y + 1.0, &xmin,
+                                            &xmax)) {
+        continue;
+      }
+      px0 = static_cast<int>(std::floor(xmin));
+      px1 = static_cast<int>(std::floor(xmax));
+    } else {
+      if (!gfx_internal::TriangleBandXRange(a, b, c, y + 0.5, y + 0.5, &xmin,
+                                            &xmax)) {
+        continue;
+      }
+      // Pixel centers x+0.5 within [xmin, xmax].
+      px0 = static_cast<int>(std::ceil(xmin - 0.5));
+      px1 = static_cast<int>(std::floor(xmax - 0.5));
+    }
+    px0 = std::max(px0, 0);
+    px1 = std::min(px1, vp.width() - 1);
+    for (int x = px0; x <= px1; ++x) {
+      emit(x, y);
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// Rasterize an axis-aligned world rectangle (used for rectangular range
+/// constraints, Section 4.2): default mode emits pixels whose center is
+/// covered, conservative mode every touched pixel.
+template <typename Emit>
+size_t RasterizeBox(const Viewport& vp, const Box& box, bool conservative,
+                    Emit&& emit) {
+  const auto rect = vp.ClippedPixelRect(box);
+  if (rect.empty()) return 0;
+  size_t count = 0;
+  for (int y = rect.y0; y <= rect.y1; ++y) {
+    for (int x = rect.x0; x <= rect.x1; ++x) {
+      const bool hit = conservative
+                           ? vp.PixelBox(x, y).Intersects(box)
+                           : box.Contains(vp.PixelCenter(x, y));
+      if (hit) {
+        emit(x, y);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace spade

@@ -1,0 +1,157 @@
+#include "gfx/scan.h"
+
+#include <algorithm>
+
+namespace spade {
+
+namespace {
+
+// Chunk the input so each worker scans a contiguous block; phase 1 computes
+// per-chunk sums, a serial pass scans the (tiny) chunk-sum array, phase 2
+// rewrites each chunk with its base offset — the classic work-efficient
+// GPU scan layout.
+struct ChunkPlan {
+  size_t chunk_size;
+  size_t num_chunks;
+};
+
+ChunkPlan PlanChunks(size_t n, size_t workers) {
+  ChunkPlan plan;
+  plan.chunk_size = std::max<size_t>(1024, (n + workers - 1) / workers);
+  plan.num_chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+}  // namespace
+
+std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
+                                            ThreadPool* pool) {
+  const size_t n = in.size();
+  std::vector<uint64_t> out(n + 1, 0);
+  if (n == 0) return out;
+  const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+
+  std::vector<uint64_t> chunk_sums(plan.num_chunks, 0);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      uint64_t sum = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        out[i] = sum;  // local exclusive prefix
+        sum += in[i];
+      }
+      chunk_sums[c] = sum;
+    }
+  });
+
+  // Serial scan over chunk sums.
+  uint64_t running = 0;
+  std::vector<uint64_t> chunk_base(plan.num_chunks, 0);
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    chunk_base[c] = running;
+    running += chunk_sums[c];
+  }
+  out[n] = running;
+
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      for (size_t i = lo; i < hi; ++i) out[i] += chunk_base[c];
+    }
+  });
+  return out;
+}
+
+std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
+                                     ThreadPool* pool) {
+  const size_t n = in.size();
+  if (n == 0) return {};
+  const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+
+  std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      uint64_t count = 0;
+      for (size_t i = lo; i < hi; ++i) count += (in[i] != kTexNull);
+      chunk_counts[c] = count;
+    }
+  });
+
+  uint64_t total = 0;
+  std::vector<uint64_t> chunk_base(plan.num_chunks, 0);
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    chunk_base[c] = total;
+    total += chunk_counts[c];
+  }
+
+  std::vector<uint32_t> out(total);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      size_t w = chunk_base[c];
+      for (size_t i = lo; i < hi; ++i) {
+        if (in[i] != kTexNull) out[w++] = in[i];
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
+                                       ThreadPool* pool) {
+  const size_t n = in.size();
+  if (n == 0) return {};
+  const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+
+  std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      uint64_t count = 0;
+      for (size_t i = lo; i < hi; ++i) count += (in[i] != kTexNull64);
+      chunk_counts[c] = count;
+    }
+  });
+
+  uint64_t total = 0;
+  std::vector<uint64_t> chunk_base(plan.num_chunks, 0);
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    chunk_base[c] = total;
+    total += chunk_counts[c];
+  }
+
+  std::vector<uint64_t> out(total);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      size_t w = chunk_base[c];
+      for (size_t i = lo; i < hi; ++i) {
+        if (in[i] != kTexNull64) out[w++] = in[i];
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<uint32_t> CompactTextureChannel(const Texture& tex, int channel,
+                                            ThreadPool* pool) {
+  const size_t pixels = static_cast<size_t>(tex.width()) * tex.height();
+  std::vector<uint32_t> values(pixels);
+  pool->ParallelFor(pixels, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const int x = static_cast<int>(i % tex.width());
+      const int y = static_cast<int>(i / tex.width());
+      values[i] = tex.Get(x, y, channel);
+    }
+  });
+  return CompactNonNull(values, pool);
+}
+
+}  // namespace spade

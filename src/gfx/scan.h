@@ -1,0 +1,34 @@
+// GPU-style parallel scan (prefix sum) and stream compaction, the
+// equivalent of the CUDA scan of [Harris et al.] the paper uses to strip
+// null entries out of a Map-operator output canvas (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gfx/texture.h"
+
+namespace spade {
+
+/// Exclusive prefix sum computed with a two-phase chunked parallel scan.
+std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
+                                            ThreadPool* pool);
+
+/// Compact the non-null (!= kTexNull) values of a buffer, preserving order,
+/// using count + scan + scatter (the GPU compaction idiom).
+std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
+                                     ThreadPool* pool);
+
+/// Compact one channel of a texture into a dense value list.
+std::vector<uint32_t> CompactTextureChannel(const Texture& tex, int channel,
+                                            ThreadPool* pool);
+
+/// Null sentinel for 64-bit compaction (used by join-pair Map outputs).
+inline constexpr uint64_t kTexNull64 = 0xFFFFFFFFFFFFFFFFull;
+
+/// 64-bit variant of CompactNonNull (values != kTexNull64 survive).
+std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
+                                       ThreadPool* pool);
+
+}  // namespace spade

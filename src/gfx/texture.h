@@ -1,0 +1,98 @@
+// GPU texture emulation: a W x H image with four 32-bit channels per pixel
+// (the [r,g,b,a] channels of Section 2.2), plus the atomic write operations
+// the fragment stage and blending units need.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace spade {
+
+/// Channel indices, named after their canvas roles (Section 4.1): a 4-tuple
+/// (v0, v1, v2, vb) per pixel, where vb points into the boundary index.
+enum TexChannel : int { kV0 = 0, kV1 = 1, kV2 = 2, kVb = 3 };
+
+/// Sentinel for "no data" in a canvas texture channel.
+inline constexpr uint32_t kTexNull = 0xFFFFFFFFu;
+
+/// \brief A 2-D texture with 4 x uint32 channels per pixel.
+///
+/// Concurrent fragment writes use the Atomic* operations, mirroring how GPU
+/// raster-order / atomic image operations arbitrate overlapping fragments.
+class Texture {
+ public:
+  Texture() = default;
+  Texture(int width, int height, uint32_t fill = kTexNull)
+      : width_(width), height_(height) {
+    data_.assign(static_cast<size_t>(width) * height * kChannels, fill);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  void Clear(uint32_t value = kTexNull) {
+    std::fill(data_.begin(), data_.end(), value);
+  }
+
+  uint32_t Get(int x, int y, int c) const { return data_[Index(x, y, c)]; }
+  void Set(int x, int y, int c, uint32_t v) { data_[Index(x, y, c)] = v; }
+
+  /// Unconditional racy store; safe when all writers write the same value
+  /// class and any winner is acceptable (e.g. object-id stamping).
+  void AtomicStore(int x, int y, int c, uint32_t v) {
+    AtomicRef(x, y, c).store(v, std::memory_order_relaxed);
+  }
+
+  uint32_t AtomicLoad(int x, int y, int c) const {
+    return const_cast<Texture*>(this)->AtomicRef(x, y, c).load(
+        std::memory_order_relaxed);
+  }
+
+  /// Additive blend (the alpha-blend "add" function used for aggregation).
+  void AtomicAdd(int x, int y, int c, uint32_t v) {
+    AtomicRef(x, y, c).fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Keep the maximum value; treats kTexNull as empty.
+  void AtomicMax(int x, int y, int c, uint32_t v) {
+    auto ref = AtomicRef(x, y, c);
+    uint32_t cur = ref.load(std::memory_order_relaxed);
+    while (cur == kTexNull || v > cur) {
+      if (ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) break;
+    }
+  }
+
+  /// Keep the minimum value; treats kTexNull as empty.
+  void AtomicMin(int x, int y, int c, uint32_t v) {
+    auto ref = AtomicRef(x, y, c);
+    uint32_t cur = ref.load(std::memory_order_relaxed);
+    while (cur == kTexNull || v < cur) {
+      if (ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) break;
+    }
+  }
+
+  const uint32_t* raw() const { return data_.data(); }
+  size_t size_values() const { return data_.size(); }
+  /// Device-memory footprint in bytes.
+  size_t ByteSize() const { return data_.size() * sizeof(uint32_t); }
+
+  static constexpr int kChannels = 4;
+
+ private:
+  size_t Index(int x, int y, int c) const {
+    return (static_cast<size_t>(y) * width_ + x) * kChannels + c;
+  }
+  std::atomic_ref<uint32_t> AtomicRef(int x, int y, int c) {
+    return std::atomic_ref<uint32_t>(data_[Index(x, y, c)]);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint32_t> data_;
+};
+
+}  // namespace spade

@@ -1,0 +1,89 @@
+// Viewport / screen-space mapping: the model-view-projection step of the
+// vertex stage (Section 2.2). Maps a world-space query region onto the
+// pixel grid of a framebuffer and back.
+#pragma once
+
+#include <cmath>
+#include <utility>
+
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// \brief Maps a rectangular world region onto a W x H pixel grid.
+///
+/// Pixel (x, y) covers the half-open world rectangle
+/// [min + x*sx, min + (x+1)*sx) x [min + y*sy, min + (y+1)*sy).
+class Viewport {
+ public:
+  Viewport() = default;
+  Viewport(const Box& world, int width, int height)
+      : world_(world), width_(width), height_(height) {
+    sx_ = world.Width() / width;
+    sy_ = world.Height() / height;
+    if (sx_ <= 0) sx_ = 1e-300;
+    if (sy_ <= 0) sy_ = 1e-300;
+  }
+
+  const Box& world() const { return world_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double pixel_width() const { return sx_; }
+  double pixel_height() const { return sy_; }
+
+  /// Continuous pixel coordinates of a world point.
+  Vec2 ToPixelF(const Vec2& p) const {
+    return {(p.x - world_.min.x) / sx_, (p.y - world_.min.y) / sy_};
+  }
+
+  /// Integer pixel containing a world point (may be out of bounds).
+  std::pair<int, int> ToPixel(const Vec2& p) const {
+    const Vec2 f = ToPixelF(p);
+    int x = static_cast<int>(std::floor(f.x));
+    int y = static_cast<int>(std::floor(f.y));
+    // Points exactly on the max edge belong to the last pixel.
+    if (x == width_ && p.x == world_.max.x) x = width_ - 1;
+    if (y == height_ && p.y == world_.max.y) y = height_ - 1;
+    return {x, y};
+  }
+
+  bool Contains(const Vec2& p) const { return world_.Contains(p); }
+
+  /// World-space rectangle covered by a pixel.
+  Box PixelBox(int x, int y) const {
+    return Box(world_.min.x + x * sx_, world_.min.y + y * sy_,
+               world_.min.x + (x + 1) * sx_, world_.min.y + (y + 1) * sy_);
+  }
+
+  /// World-space center of a pixel.
+  Vec2 PixelCenter(int x, int y) const {
+    return {world_.min.x + (x + 0.5) * sx_, world_.min.y + (y + 0.5) * sy_};
+  }
+
+  /// Inclusive pixel-index rectangle covering a world box, clipped to the
+  /// viewport; empty() (x0 > x1) when disjoint from the view.
+  struct PixelRect {
+    int x0, y0, x1, y1;
+    bool empty() const { return x0 > x1 || y0 > y1; }
+  };
+
+  PixelRect ClippedPixelRect(const Box& b) const {
+    PixelRect r;
+    r.x0 = std::max(0, static_cast<int>(std::floor((b.min.x - world_.min.x) / sx_)));
+    r.y0 = std::max(0, static_cast<int>(std::floor((b.min.y - world_.min.y) / sy_)));
+    r.x1 = std::min(width_ - 1,
+                    static_cast<int>(std::floor((b.max.x - world_.min.x) / sx_)));
+    r.y1 = std::min(height_ - 1,
+                    static_cast<int>(std::floor((b.max.y - world_.min.y) / sy_)));
+    return r;
+  }
+
+ private:
+  Box world_;
+  int width_ = 0;
+  int height_ = 0;
+  double sx_ = 1;
+  double sy_ = 1;
+};
+
+}  // namespace spade

@@ -1,0 +1,146 @@
+#include "storage/block.h"
+
+#include <cstring>
+
+namespace spade {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU8(std::string* out, uint8_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutVec2s(std::string* out, const std::vector<Vec2>& pts) {
+  PutU32(out, static_cast<uint32_t>(pts.size()));
+  out->append(reinterpret_cast<const char*>(pts.data()),
+              pts.size() * sizeof(Vec2));
+}
+
+class BlockReader {
+ public:
+  BlockReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + sizeof(uint32_t) > size_) return false;
+    std::memcpy(v, data_ + pos_, sizeof(uint32_t));
+    pos_ += sizeof(uint32_t);
+    return true;
+  }
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool One(Vec2* p) {
+    if (pos_ + sizeof(Vec2) > size_) return false;
+    std::memcpy(p, data_ + pos_, sizeof(Vec2));
+    pos_ += sizeof(Vec2);
+    return true;
+  }
+  bool Vec2s(std::vector<Vec2>* pts) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (pos_ + n * sizeof(Vec2) > size_) return false;
+    pts->resize(n);
+    std::memcpy(pts->data(), data_ + pos_, n * sizeof(Vec2));
+    pos_ += n * sizeof(Vec2);
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeBlock(const std::vector<GeomId>& ids,
+                           const std::vector<Geometry>& geoms) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(geoms.size()));
+  for (size_t i = 0; i < geoms.size(); ++i) {
+    PutU32(&out, ids[i]);
+    const Geometry& g = geoms[i];
+    PutU8(&out, static_cast<uint8_t>(g.type()));
+    switch (g.type()) {
+      case GeomType::kPoint: {
+        const Vec2& p = g.point();
+        out.append(reinterpret_cast<const char*>(&p), sizeof(Vec2));
+        break;
+      }
+      case GeomType::kLine:
+        PutVec2s(&out, g.line().points);
+        break;
+      case GeomType::kPolygon: {
+        const auto& mp = g.polygon();
+        PutU32(&out, static_cast<uint32_t>(mp.parts.size()));
+        for (const auto& part : mp.parts) {
+          PutVec2s(&out, part.outer);
+          PutU32(&out, static_cast<uint32_t>(part.holes.size()));
+          for (const auto& h : part.holes) PutVec2s(&out, h);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status DeserializeBlock(const uint8_t* data, size_t size,
+                        std::vector<GeomId>* ids,
+                        std::vector<Geometry>* geoms) {
+  BlockReader rd(data, size);
+  uint32_t count;
+  if (!rd.U32(&count)) return Status::IOError("block truncated (count)");
+  ids->clear();
+  geoms->clear();
+  ids->reserve(count);
+  geoms->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id;
+    uint8_t type;
+    if (!rd.U32(&id) || !rd.U8(&type)) {
+      return Status::IOError("block truncated (header)");
+    }
+    ids->push_back(id);
+    switch (static_cast<GeomType>(type)) {
+      case GeomType::kPoint: {
+        Vec2 p;
+        if (!rd.One(&p)) return Status::IOError("block truncated (point)");
+        geoms->emplace_back(p);
+        break;
+      }
+      case GeomType::kLine: {
+        LineString l;
+        if (!rd.Vec2s(&l.points)) return Status::IOError("block truncated");
+        geoms->emplace_back(std::move(l));
+        break;
+      }
+      case GeomType::kPolygon: {
+        uint32_t nparts;
+        if (!rd.U32(&nparts)) return Status::IOError("block truncated");
+        MultiPolygon mp;
+        mp.parts.resize(nparts);
+        for (auto& part : mp.parts) {
+          if (!rd.Vec2s(&part.outer)) return Status::IOError("block truncated");
+          uint32_t nholes;
+          if (!rd.U32(&nholes)) return Status::IOError("block truncated");
+          part.holes.resize(nholes);
+          for (auto& h : part.holes) {
+            if (!rd.Vec2s(&h)) return Status::IOError("block truncated");
+          }
+        }
+        geoms->emplace_back(std::move(mp));
+        break;
+      }
+      default:
+        return Status::IOError("bad geometry type in block");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spade

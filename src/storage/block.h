@@ -1,0 +1,23 @@
+// Binary serialization of geometry blocks. Each clustered-grid-index cell
+// is stored as one block; out-of-core queries mmap blocks and deserialize
+// them on demand (Section 5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// Serialize geometries and their ids into a compact binary block.
+std::string SerializeBlock(const std::vector<GeomId>& ids,
+                           const std::vector<Geometry>& geoms);
+
+/// Inverse of SerializeBlock.
+Status DeserializeBlock(const uint8_t* data, size_t size,
+                        std::vector<GeomId>* ids,
+                        std::vector<Geometry>* geoms);
+
+}  // namespace spade

@@ -1,0 +1,77 @@
+#include "storage/catalog.h"
+
+#include <filesystem>
+
+#include "common/mmap_file.h"
+
+namespace spade {
+
+namespace fs = std::filesystem;
+
+Status Catalog::CreateTable(const std::string& name,
+                            std::vector<std::string> column_names,
+                            std::vector<ColumnType> column_types) {
+  if (HasTable(name)) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  if (column_names.size() != column_types.size()) {
+    return Status::InvalidArgument("schema arity mismatch for " + name);
+  }
+  tables_[name] = std::make_unique<Table>(name, std::move(column_names),
+                                          std::move(column_types));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::SaveToDir(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("create_directories " + dir + ": " + ec.message());
+  for (const auto& [name, table] : tables_) {
+    const std::string bytes = table->Serialize();
+    SPADE_RETURN_NOT_OK(
+        WriteFile(dir + "/" + name + ".tbl", bytes.data(), bytes.size()));
+  }
+  return Status::OK();
+}
+
+Status Catalog::LoadFromDir(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".tbl") continue;
+    SPADE_ASSIGN_OR_RETURN(std::string bytes,
+                           ReadFileToString(entry.path().string()));
+    SPADE_ASSIGN_OR_RETURN(Table table, Table::Deserialize(bytes));
+    const std::string name = table.name();
+    tables_[name] = std::make_unique<Table>(std::move(table));
+  }
+  if (ec) return Status::IOError("directory_iterator " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace spade

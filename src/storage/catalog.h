@@ -1,0 +1,44 @@
+// The embedded relational store's catalog: a named collection of tables
+// with directory-based persistence. Plays the role MonetDBLite plays in
+// the paper — SPADE stores data, indexes, and metadata relationally, which
+// is what makes it easy to integrate with existing RDBMSs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace spade {
+
+/// \brief Named table registry with directory persistence.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name,
+                     std::vector<std::string> column_names,
+                     std::vector<ColumnType> column_types);
+
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Persist every table into `dir` (one file per table).
+  Status SaveToDir(const std::string& dir) const;
+
+  /// Load every table file found in `dir`.
+  Status LoadFromDir(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace spade

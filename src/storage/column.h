@@ -1,0 +1,93 @@
+// Typed columns for the embedded column store (the MonetDBLite role in the
+// paper's architecture: all data, indexes and metadata live in relational
+// tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spade {
+
+enum class ColumnType : uint8_t { kInt64 = 0, kDouble = 1, kText = 2 };
+
+inline const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+/// A single cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline ColumnType TypeOf(const Value& v) {
+  return static_cast<ColumnType>(v.index());
+}
+
+inline std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0: return std::to_string(std::get<int64_t>(v));
+    case 1: return std::to_string(std::get<double>(v));
+    default: return std::get<std::string>(v);
+  }
+}
+
+/// \brief A typed column: one of three value vectors is populated.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  size_t size() const {
+    switch (type_) {
+      case ColumnType::kInt64: return ints_.size();
+      case ColumnType::kDouble: return doubles_.size();
+      case ColumnType::kText: return texts_.size();
+    }
+    return 0;
+  }
+
+  Status Append(const Value& v) {
+    if (TypeOf(v) != type_) {
+      // Allow int -> double widening, the only implicit conversion.
+      if (type_ == ColumnType::kDouble && TypeOf(v) == ColumnType::kInt64) {
+        doubles_.push_back(static_cast<double>(std::get<int64_t>(v)));
+        return Status::OK();
+      }
+      return Status::InvalidArgument("type mismatch appending to column");
+    }
+    switch (type_) {
+      case ColumnType::kInt64: ints_.push_back(std::get<int64_t>(v)); break;
+      case ColumnType::kDouble: doubles_.push_back(std::get<double>(v)); break;
+      case ColumnType::kText: texts_.push_back(std::get<std::string>(v)); break;
+    }
+    return Status::OK();
+  }
+
+  Value Get(size_t row) const {
+    switch (type_) {
+      case ColumnType::kInt64: return ints_[row];
+      case ColumnType::kDouble: return doubles_[row];
+      case ColumnType::kText: return texts_[row];
+    }
+    return int64_t{0};
+  }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& texts() const { return texts_; }
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace spade

@@ -1,0 +1,42 @@
+#include "storage/geo_table.h"
+
+#include "geom/wkt.h"
+
+namespace spade {
+
+Status RegisterDataset(Catalog* catalog, const SpatialDataset& dataset) {
+  SPADE_RETURN_NOT_OK(catalog->CreateTable(
+      dataset.name, {"id", "wkt"}, {ColumnType::kInt64, ColumnType::kText}));
+  SPADE_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(dataset.name));
+  for (size_t i = 0; i < dataset.geoms.size(); ++i) {
+    SPADE_RETURN_NOT_OK(table->AppendRow(
+        {static_cast<int64_t>(i), ToWkt(dataset.geoms[i])}));
+  }
+  return Status::OK();
+}
+
+Result<SpatialDataset> LoadDataset(const Catalog& catalog,
+                                   const std::string& name) {
+  SPADE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+  const int id_col = table->ColumnIndex("id");
+  const int wkt_col = table->ColumnIndex("wkt");
+  if (id_col < 0 || wkt_col < 0) {
+    return Status::InvalidArgument("table " + name +
+                                   " is not a spatial dataset table");
+  }
+  SpatialDataset ds;
+  ds.name = name;
+  ds.geoms.resize(table->num_rows());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const int64_t id = std::get<int64_t>(table->Get(r, id_col));
+    if (id < 0 || static_cast<size_t>(id) >= ds.geoms.size()) {
+      return Status::InvalidArgument("dataset table has out-of-range id");
+    }
+    SPADE_ASSIGN_OR_RETURN(
+        Geometry g, ParseWkt(std::get<std::string>(table->Get(r, wkt_col))));
+    ds.geoms[id] = std::move(g);
+  }
+  return ds;
+}
+
+}  // namespace spade

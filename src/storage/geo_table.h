@@ -1,0 +1,21 @@
+// Relational storage of spatial datasets (Section 3: "All data, indexes,
+// and meta-data used by Spade are stored as relational tables"). A dataset
+// becomes a (id INT, wkt TEXT) table in the catalog, loadable back into a
+// SpatialDataset; integration with an external RDBMS only needs the same
+// two columns.
+#pragma once
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// Store `dataset` as a relational table named after the dataset.
+Status RegisterDataset(Catalog* catalog, const SpatialDataset& dataset);
+
+/// Load a previously registered dataset back from its table.
+Result<SpatialDataset> LoadDataset(const Catalog& catalog,
+                                   const std::string& name);
+
+}  // namespace spade

@@ -1,0 +1,76 @@
+#include "storage/grid_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "geom/convex_hull.h"
+
+namespace spade {
+
+namespace {
+
+struct CellKey {
+  int cx, cy;
+  bool operator<(const CellKey& o) const {
+    return cx < o.cx || (cx == o.cx && cy < o.cy);
+  }
+};
+
+}  // namespace
+
+GridIndex GridIndex::Build(const std::vector<Geometry>& geoms,
+                           size_t max_cell_bytes, int min_zoom, int max_zoom) {
+  GridIndex index;
+  for (const auto& g : geoms) index.extent.Extend(g.Bounds());
+  if (geoms.empty()) return index;
+  // Guard against degenerate extents.
+  if (index.extent.Width() <= 0 || index.extent.Height() <= 0) {
+    index.extent = index.extent.Expanded(1e-9);
+  }
+
+  std::vector<size_t> geom_bytes(geoms.size());
+  for (size_t i = 0; i < geoms.size(); ++i) geom_bytes[i] = geoms[i].ByteSize();
+
+  for (int zoom = min_zoom; zoom <= max_zoom; ++zoom) {
+    const int res = 1 << zoom;
+    const double cw = index.extent.Width() / res;
+    const double ch = index.extent.Height() / res;
+    std::map<CellKey, std::vector<GeomId>> assignment;
+    std::map<CellKey, size_t> cell_bytes;
+    size_t worst = 0;
+    for (size_t i = 0; i < geoms.size(); ++i) {
+      const Vec2 c = geoms[i].Centroid();
+      CellKey key{
+          std::clamp(static_cast<int>((c.x - index.extent.min.x) / cw), 0,
+                     res - 1),
+          std::clamp(static_cast<int>((c.y - index.extent.min.y) / ch), 0,
+                     res - 1)};
+      assignment[key].push_back(static_cast<GeomId>(i));
+      worst = std::max(worst, cell_bytes[key] += geom_bytes[i]);
+    }
+    if (worst > max_cell_bytes && zoom < max_zoom) continue;
+
+    index.zoom = zoom;
+    index.cells.clear();
+    index.cells.reserve(assignment.size());
+    for (auto& [key, ids] : assignment) {
+      GridCell cell;
+      cell.cx = key.cx;
+      cell.cy = key.cy;
+      cell.bytes = cell_bytes[key];
+      std::vector<const Geometry*> members;
+      members.reserve(ids.size());
+      for (GeomId id : ids) {
+        cell.box.Extend(geoms[id].Bounds());
+        members.push_back(&geoms[id]);
+      }
+      cell.bounding_poly = ConvexHullPolygon(members);
+      cell.ids = std::move(ids);
+      index.cells.push_back(std::move(cell));
+    }
+    break;
+  }
+  return index;
+}
+
+}  // namespace spade

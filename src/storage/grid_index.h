@@ -1,0 +1,43 @@
+// The clustered grid index (Section 5.3): partitions a dataset into grid
+// cells sized so each cell's block fits the device-memory rule of
+// Section 6.1. Each non-empty cell stores the *convex hull* of its
+// contents as a bounding polygon (not just a bounding box), so GPU-based
+// selections/joins over the cell polygons implement the index-filtering
+// phase. Objects are assigned to the cell containing their centroid and
+// the cell's bounds are expanded, so cells may overlap — the query
+// strategy is unaffected because filtering runs on the bounding polygons.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// \brief One non-empty cell of the clustered grid index.
+struct GridCell {
+  int cx = 0, cy = 0;       ///< cell coordinates at the chosen zoom
+  Box box;                  ///< expanded bounds over member geometries
+  Polygon bounding_poly;    ///< convex hull of member geometries
+  std::vector<GeomId> ids;  ///< member object ids (indexes into dataset)
+  size_t bytes = 0;         ///< serialized payload size of the cell block
+};
+
+/// \brief Clustered grid index over one dataset.
+struct GridIndex {
+  Box extent;
+  int zoom = 0;  ///< grid resolution is 2^zoom x 2^zoom over the extent
+  std::vector<GridCell> cells;
+
+  int resolution() const { return 1 << zoom; }
+  size_t num_cells() const { return cells.size(); }
+
+  /// Build the index: starting from `min_zoom`, double the resolution
+  /// (OSM-style zoom levels, Section 6.1) until every cell's payload is at
+  /// most `max_cell_bytes` or `max_zoom` is reached.
+  static GridIndex Build(const std::vector<Geometry>& geoms,
+                         size_t max_cell_bytes, int min_zoom = 0,
+                         int max_zoom = 10);
+};
+
+}  // namespace spade

@@ -1,0 +1,129 @@
+#include "storage/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "geom/wkt.h"
+
+namespace spade {
+
+namespace {
+
+/// Split a line on `delim`, returning string views into `fields`.
+void SplitLine(const std::string& line, char delim,
+               std::vector<std::string>* fields) {
+  fields->clear();
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = line.find(delim, start);
+    if (pos == std::string::npos) {
+      fields->push_back(line.substr(start));
+      return;
+    }
+    fields->push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  // Allow trailing whitespace (e.g. CR from CRLF files).
+  while (end != nullptr && (*end == ' ' || *end == '\r' || *end == '\t')) {
+    ++end;
+  }
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+}  // namespace
+
+Result<SpatialDataset> LoadPointsCsv(const std::string& path,
+                                     const std::string& name,
+                                     const CsvLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  SpatialDataset ds;
+  ds.name = name;
+  std::string line;
+  std::vector<std::string> fields;
+  const int needed = std::max(options.x_col, options.y_col) + 1;
+  bool first = true;
+  size_t skipped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    SplitLine(line, options.delim, &fields);
+    double x, y;
+    if (static_cast<int>(fields.size()) < needed ||
+        !ParseDouble(fields[options.x_col], &x) ||
+        !ParseDouble(fields[options.y_col], &y)) {
+      // A non-numeric first line is a header; later bad lines are counted.
+      if (!first) ++skipped;
+      first = false;
+      continue;
+    }
+    first = false;
+    ds.geoms.emplace_back(Vec2{x, y});
+    if (options.max_rows != 0 && ds.geoms.size() >= options.max_rows) break;
+  }
+  if (ds.geoms.empty()) {
+    return Status::InvalidArgument("no valid points in " + path);
+  }
+  (void)skipped;
+  return ds;
+}
+
+Status SavePointsCsv(const SpatialDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.precision(17);
+  for (const auto& g : dataset.geoms) {
+    if (!g.is_point()) {
+      return Status::InvalidArgument("SavePointsCsv needs point data");
+    }
+    out << g.point().x << ',' << g.point().y << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SpatialDataset> LoadWktFile(const std::string& path,
+                                   const std::string& name, size_t max_rows) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  SpatialDataset ds;
+  ds.name = name;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim whitespace / CR.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    auto g = ParseWkt(line);
+    if (!g.ok()) {
+      return Status::InvalidArgument("bad WKT at " + path + ":" +
+                                     std::to_string(lineno) + ": " +
+                                     g.status().message());
+    }
+    ds.geoms.push_back(std::move(g).value());
+    if (max_rows != 0 && ds.geoms.size() >= max_rows) break;
+  }
+  return ds;
+}
+
+Status SaveWktFile(const SpatialDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.precision(17);
+  for (const auto& g : dataset.geoms) {
+    out << ToWkt(g) << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace spade

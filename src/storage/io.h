@@ -1,0 +1,41 @@
+// Dataset ingestion: load spatial datasets from CSV point files and WKT
+// files, and write them back — the formats the paper's datasets come in
+// (Table 1: "a CSV file with only the coordinates was used … files in WKT
+// format for polygonal data sets").
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// Load a point dataset from CSV. Each line holds `x_col` and `y_col`
+/// fields (0-based) separated by `delim`; a header line is skipped when
+/// its fields are not numeric. Malformed lines are skipped and counted.
+struct CsvLoadOptions {
+  char delim = ',';
+  int x_col = 0;
+  int y_col = 1;
+  size_t max_rows = 0;  ///< 0 = unlimited
+};
+
+Result<SpatialDataset> LoadPointsCsv(const std::string& path,
+                                     const std::string& name,
+                                     const CsvLoadOptions& options = {});
+
+/// Write a point dataset as "x,y" lines.
+Status SavePointsCsv(const SpatialDataset& dataset, const std::string& path);
+
+/// Load a dataset from a file of WKT geometries, one per line. Empty lines
+/// are skipped; a parse failure fails the load (data corruption should not
+/// pass silently).
+Result<SpatialDataset> LoadWktFile(const std::string& path,
+                                   const std::string& name,
+                                   size_t max_rows = 0);
+
+/// Write a dataset as one WKT per line.
+Status SaveWktFile(const SpatialDataset& dataset, const std::string& path);
+
+}  // namespace spade

@@ -1,0 +1,516 @@
+#include "storage/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace spade {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kWord, kNumber, kString, kSymbol, kEnd };
+  Kind kind;
+  std::string text;  // uppercased for words
+  std::string raw;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : s_(sql) { Advance(); }
+
+  const Token& cur() const { return cur_; }
+
+  void Advance() {
+    SkipSpace();
+    if (pos_ >= s_.size()) {
+      cur_ = {Token::Kind::kEnd, "", ""};
+      return;
+    }
+    const char c = s_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '*') {
+      size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '_' || s_[pos_] == '*')) {
+        ++pos_;
+      }
+      std::string raw = s_.substr(start, pos_ - start);
+      std::string up = raw;
+      for (auto& ch : up) ch = static_cast<char>(std::toupper(ch));
+      cur_ = {Token::Kind::kWord, up, raw};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+              ((s_[pos_] == '-' || s_[pos_] == '+') &&
+               (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      std::string raw = s_.substr(start, pos_ - start);
+      cur_ = {Token::Kind::kNumber, raw, raw};
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < s_.size() && s_[pos_] != '\'') text += s_[pos_++];
+      if (pos_ < s_.size()) ++pos_;  // closing quote
+      cur_ = {Token::Kind::kString, text, text};
+      return;
+    }
+    // Multi-char comparison operators.
+    if ((c == '<' || c == '>') && pos_ + 1 < s_.size() &&
+        (s_[pos_ + 1] == '=' || (c == '<' && s_[pos_ + 1] == '>'))) {
+      cur_ = {Token::Kind::kSymbol, s_.substr(pos_, 2), s_.substr(pos_, 2)};
+      pos_ += 2;
+      return;
+    }
+    cur_ = {Token::Kind::kSymbol, std::string(1, c), std::string(1, c)};
+    ++pos_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser / executor
+// ---------------------------------------------------------------------------
+
+struct Predicate {
+  int column;
+  std::string op;  // =, <>, <, >, <=, >=
+  Value literal;
+};
+
+bool CompareValues(const Value& a, const std::string& op, const Value& b) {
+  auto as_double = [](const Value& v) -> double {
+    if (v.index() == 0) return static_cast<double>(std::get<int64_t>(v));
+    if (v.index() == 1) return std::get<double>(v);
+    return 0;
+  };
+  int cmp;
+  if (a.index() == 2 || b.index() == 2) {
+    if (a.index() != 2 || b.index() != 2) return false;  // string vs number
+    cmp = std::get<std::string>(a).compare(std::get<std::string>(b));
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    const double da = as_double(a), db = as_double(b);
+    cmp = da < db ? -1 : (da > db ? 1 : 0);
+  }
+  if (op == "=") return cmp == 0;
+  if (op == "<>") return cmp != 0;
+  if (op == "<") return cmp < 0;
+  if (op == ">") return cmp > 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">=") return cmp >= 0;
+  return false;
+}
+
+class SqlRunner {
+ public:
+  SqlRunner(Catalog* catalog, const std::string& sql)
+      : catalog_(catalog), lex_(sql) {}
+
+  Result<Table> Run() {
+    if (Accept("CREATE")) return RunCreate();
+    if (Accept("DROP")) return RunDrop();
+    if (Accept("INSERT")) return RunInsert();
+    if (Accept("SELECT")) return RunSelect();
+    return Status::InvalidArgument("unsupported SQL statement");
+  }
+
+ private:
+  bool Accept(const std::string& word) {
+    if (lex_.cur().kind == Token::Kind::kWord && lex_.cur().text == word) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (lex_.cur().kind == Token::Kind::kSymbol && lex_.cur().text == sym) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const std::string& word) {
+    if (!Accept(word)) {
+      return Status::InvalidArgument("expected " + word + " near '" +
+                                     lex_.cur().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + sym + "' near '" +
+                                     lex_.cur().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> Identifier() {
+    if (lex_.cur().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     lex_.cur().raw + "'");
+    }
+    std::string id = lex_.cur().raw;
+    lex_.Advance();
+    return id;
+  }
+
+  Result<Value> Literal() {
+    const Token t = lex_.cur();
+    if (t.kind == Token::Kind::kNumber) {
+      lex_.Advance();
+      if (t.raw.find_first_of(".eE") != std::string::npos) {
+        return Value(std::strtod(t.raw.c_str(), nullptr));
+      }
+      return Value(static_cast<int64_t>(std::strtoll(t.raw.c_str(), nullptr, 10)));
+    }
+    if (t.kind == Token::Kind::kString) {
+      lex_.Advance();
+      return Value(t.raw);
+    }
+    return Status::InvalidArgument("expected literal near '" + t.raw + "'");
+  }
+
+  Result<Table> RunCreate() {
+    SPADE_RETURN_NOT_OK(Expect("TABLE"));
+    SPADE_ASSIGN_OR_RETURN(std::string name, Identifier());
+    SPADE_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<std::string> cols;
+    std::vector<ColumnType> types;
+    for (;;) {
+      SPADE_ASSIGN_OR_RETURN(std::string col, Identifier());
+      ColumnType type;
+      if (Accept("INT") || Accept("INTEGER") || Accept("BIGINT")) {
+        type = ColumnType::kInt64;
+      } else if (Accept("DOUBLE") || Accept("REAL") || Accept("FLOAT")) {
+        type = ColumnType::kDouble;
+      } else if (Accept("TEXT") || Accept("VARCHAR") || Accept("STRING")) {
+        type = ColumnType::kText;
+      } else {
+        return Status::InvalidArgument("unknown column type near '" +
+                                       lex_.cur().raw + "'");
+      }
+      cols.push_back(std::move(col));
+      types.push_back(type);
+      if (AcceptSymbol(",")) continue;
+      break;
+    }
+    SPADE_RETURN_NOT_OK(ExpectSymbol(")"));
+    SPADE_RETURN_NOT_OK(catalog_->CreateTable(name, cols, types));
+    return Table("ok", {}, {});
+  }
+
+  Result<Table> RunDrop() {
+    SPADE_RETURN_NOT_OK(Expect("TABLE"));
+    SPADE_ASSIGN_OR_RETURN(std::string name, Identifier());
+    SPADE_RETURN_NOT_OK(catalog_->DropTable(name));
+    return Table("ok", {}, {});
+  }
+
+  Result<Table> RunInsert() {
+    SPADE_RETURN_NOT_OK(Expect("INTO"));
+    SPADE_ASSIGN_OR_RETURN(std::string name, Identifier());
+    SPADE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(name));
+    SPADE_RETURN_NOT_OK(Expect("VALUES"));
+    for (;;) {
+      SPADE_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> row;
+      for (;;) {
+        SPADE_ASSIGN_OR_RETURN(Value v, Literal());
+        row.push_back(std::move(v));
+        if (AcceptSymbol(",")) continue;
+        break;
+      }
+      SPADE_RETURN_NOT_OK(ExpectSymbol(")"));
+      SPADE_RETURN_NOT_OK(table->AppendRow(row));
+      if (AcceptSymbol(",")) continue;
+      break;
+    }
+    return Table("ok", {}, {});
+  }
+
+  enum class Agg { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+  static bool IsAggWord(const std::string& up, Agg* agg) {
+    if (up == "COUNT") *agg = Agg::kCount;
+    else if (up == "SUM") *agg = Agg::kSum;
+    else if (up == "MIN") *agg = Agg::kMin;
+    else if (up == "MAX") *agg = Agg::kMax;
+    else if (up == "AVG") *agg = Agg::kAvg;
+    else return false;
+    return true;
+  }
+
+  struct ProjItem {
+    Agg agg = Agg::kNone;
+    std::string column;  // empty for COUNT(*)
+  };
+
+  Result<Table> RunSelect() {
+    // Projection list: *, columns, or aggregate calls.
+    bool star = false;
+    std::vector<ProjItem> proj;
+    bool has_agg = false;
+    if (lex_.cur().raw == "*") {
+      star = true;
+      lex_.Advance();
+    } else {
+      for (;;) {
+        ProjItem item;
+        Agg agg;
+        if (lex_.cur().kind == Token::Kind::kWord &&
+            IsAggWord(lex_.cur().text, &agg)) {
+          // Lookahead: an aggregate only if followed by '('.
+          const Token saved = lex_.cur();
+          lex_.Advance();
+          if (AcceptSymbol("(")) {
+            item.agg = agg;
+            has_agg = true;
+            if (lex_.cur().raw == "*") {
+              if (agg != Agg::kCount) {
+                return Status::InvalidArgument("only COUNT accepts *");
+              }
+              lex_.Advance();
+            } else {
+              SPADE_ASSIGN_OR_RETURN(item.column, Identifier());
+            }
+            SPADE_RETURN_NOT_OK(ExpectSymbol(")"));
+          } else {
+            item.column = saved.raw;  // it was a plain column name
+          }
+        } else {
+          SPADE_ASSIGN_OR_RETURN(item.column, Identifier());
+        }
+        proj.push_back(std::move(item));
+        if (AcceptSymbol(",")) continue;
+        break;
+      }
+    }
+    if (has_agg) {
+      for (const auto& item : proj) {
+        if (item.agg == Agg::kNone) {
+          return Status::NotSupported(
+              "mixing aggregates and plain columns (no GROUP BY support)");
+        }
+      }
+    }
+    SPADE_RETURN_NOT_OK(Expect("FROM"));
+    SPADE_ASSIGN_OR_RETURN(std::string name, Identifier());
+    SPADE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(name));
+
+    std::vector<Predicate> preds;
+    if (Accept("WHERE")) {
+      for (;;) {
+        SPADE_ASSIGN_OR_RETURN(std::string col, Identifier());
+        const int ci = table->ColumnIndex(col);
+        if (ci < 0) return Status::NotFound("no column " + col);
+        if (lex_.cur().kind != Token::Kind::kSymbol) {
+          return Status::InvalidArgument("expected comparison operator");
+        }
+        std::string op = lex_.cur().text;
+        if (op != "=" && op != "<>" && op != "<" && op != ">" && op != "<=" &&
+            op != ">=") {
+          return Status::InvalidArgument("unknown operator '" + op + "'");
+        }
+        lex_.Advance();
+        SPADE_ASSIGN_OR_RETURN(Value lit, Literal());
+        preds.push_back({ci, op, std::move(lit)});
+        if (Accept("AND")) continue;
+        break;
+      }
+    }
+    // ORDER BY col [ASC|DESC] (single key).
+    int order_col = -1;
+    bool order_desc = false;
+    if (Accept("ORDER")) {
+      SPADE_RETURN_NOT_OK(Expect("BY"));
+      SPADE_ASSIGN_OR_RETURN(std::string col, Identifier());
+      order_col = table->ColumnIndex(col);
+      if (order_col < 0) return Status::NotFound("no column " + col);
+      if (Accept("DESC")) {
+        order_desc = true;
+      } else {
+        (void)Accept("ASC");
+      }
+    }
+    int64_t limit = -1;
+    if (Accept("LIMIT")) {
+      SPADE_ASSIGN_OR_RETURN(Value v, Literal());
+      if (v.index() != 0) return Status::InvalidArgument("LIMIT must be int");
+      limit = std::get<int64_t>(v);
+    }
+
+    // Gather matching row indices.
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      bool pass = true;
+      for (const auto& p : preds) {
+        if (!CompareValues(table->Get(r, p.column), p.op, p.literal)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) rows.push_back(r);
+    }
+    if (order_col >= 0) {
+      std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+        const bool lt =
+            CompareValues(table->Get(a, order_col), "<", table->Get(b, order_col));
+        const bool gt =
+            CompareValues(table->Get(a, order_col), ">", table->Get(b, order_col));
+        return order_desc ? gt : lt;
+      });
+    }
+
+    if (has_agg) {
+      // Aggregate execution: one output row.
+      std::vector<std::string> names;
+      std::vector<ColumnType> types;
+      std::vector<int> agg_cols;
+      for (const auto& item : proj) {
+        int ci = -1;
+        if (!item.column.empty()) {
+          ci = table->ColumnIndex(item.column);
+          if (ci < 0) return Status::NotFound("no column " + item.column);
+          if (item.agg != Agg::kCount &&
+              table->column(ci).type() == ColumnType::kText) {
+            if (item.agg == Agg::kSum || item.agg == Agg::kAvg) {
+              return Status::InvalidArgument("SUM/AVG need a numeric column");
+            }
+          }
+        } else if (item.agg != Agg::kCount) {
+          return Status::InvalidArgument("aggregate needs a column");
+        }
+        agg_cols.push_back(ci);
+        switch (item.agg) {
+          case Agg::kCount: names.push_back("count"); break;
+          case Agg::kSum: names.push_back("sum_" + item.column); break;
+          case Agg::kMin: names.push_back("min_" + item.column); break;
+          case Agg::kMax: names.push_back("max_" + item.column); break;
+          case Agg::kAvg: names.push_back("avg_" + item.column); break;
+          case Agg::kNone: break;
+        }
+        if (item.agg == Agg::kCount) {
+          types.push_back(ColumnType::kInt64);
+        } else if (item.agg == Agg::kAvg) {
+          types.push_back(ColumnType::kDouble);
+        } else if (ci >= 0) {
+          types.push_back(table->column(ci).type());
+        }
+      }
+      Table out("aggregate", names, types);
+      std::vector<Value> row;
+      for (size_t k = 0; k < proj.size(); ++k) {
+        const auto& item = proj[k];
+        const int ci = agg_cols[k];
+        if (item.agg == Agg::kCount) {
+          row.emplace_back(static_cast<int64_t>(rows.size()));
+          continue;
+        }
+        if (rows.empty()) {
+          // Empty input: SUM/AVG -> 0, MIN/MAX -> type default.
+          if (types[k] == ColumnType::kInt64) row.emplace_back(int64_t{0});
+          else if (types[k] == ColumnType::kDouble) row.emplace_back(0.0);
+          else row.emplace_back(std::string());
+          continue;
+        }
+        if (item.agg == Agg::kMin || item.agg == Agg::kMax) {
+          Value best = table->Get(rows[0], ci);
+          for (size_t r : rows) {
+            const Value v = table->Get(r, ci);
+            const bool better = CompareValues(
+                v, item.agg == Agg::kMin ? "<" : ">", best);
+            if (better) best = v;
+          }
+          row.push_back(best);
+        } else {  // SUM / AVG over numeric columns
+          double sum = 0;
+          bool integral = table->column(ci).type() == ColumnType::kInt64;
+          for (size_t r : rows) {
+            const Value v = table->Get(r, ci);
+            sum += v.index() == 0
+                       ? static_cast<double>(std::get<int64_t>(v))
+                       : std::get<double>(v);
+          }
+          if (item.agg == Agg::kAvg) {
+            row.emplace_back(sum / rows.size());
+          } else if (integral) {
+            row.emplace_back(static_cast<int64_t>(sum));
+          } else {
+            row.emplace_back(sum);
+          }
+        }
+      }
+      SPADE_RETURN_NOT_OK(out.AppendRow(row));
+      return out;
+    }
+
+    // Plain projection.
+    std::vector<int> cols;
+    std::vector<std::string> out_names;
+    std::vector<ColumnType> out_types;
+    if (star) {
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        cols.push_back(static_cast<int>(c));
+      }
+    } else {
+      for (const auto& item : proj) {
+        const int ci = table->ColumnIndex(item.column);
+        if (ci < 0) return Status::NotFound("no column " + item.column);
+        cols.push_back(ci);
+      }
+    }
+    for (int c : cols) {
+      out_names.push_back(table->column_names()[c]);
+      out_types.push_back(table->column(c).type());
+    }
+    Table out("result", out_names, out_types);
+    for (size_t r : rows) {
+      std::vector<Value> row;
+      row.reserve(cols.size());
+      for (int c : cols) row.push_back(table->Get(r, c));
+      SPADE_RETURN_NOT_OK(out.AppendRow(row));
+      if (limit >= 0 && static_cast<int64_t>(out.num_rows()) >= limit) break;
+    }
+    return out;
+  }
+
+  Catalog* catalog_;
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Table> ExecuteSql(Catalog* catalog, const std::string& sql) {
+  SqlRunner runner(catalog, sql);
+  return runner.Run();
+}
+
+}  // namespace spade

@@ -1,0 +1,24 @@
+// A minimal SQL interface over the embedded column store. SPADE loads and
+// stores all data using SQL so it can be swapped onto any relational
+// backend (Section 3, "Relational Data Store"); this module provides the
+// subset the engine needs:
+//
+//   CREATE TABLE t (a INT, b DOUBLE, c TEXT)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (1, 2.5, 'x'), (2, 3.5, 'y')
+//   SELECT a, c FROM t WHERE a >= 1 AND c = 'x' LIMIT 10
+//   SELECT COUNT(*) FROM t [WHERE ...]
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace spade {
+
+/// Execute one SQL statement against the catalog. SELECTs return the
+/// result table; DDL/DML return an empty table named "ok".
+Result<Table> ExecuteSql(Catalog* catalog, const std::string& sql);
+
+}  // namespace spade

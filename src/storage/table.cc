@@ -1,0 +1,172 @@
+#include "storage/table.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace spade {
+
+namespace {
+
+// Simple length-prefixed binary encoding helpers.
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutStr(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& s) : s_(s) {}
+
+  Result<uint64_t> U64() {
+    if (pos_ + sizeof(uint64_t) > s_.size()) {
+      return Status::IOError("table blob truncated");
+    }
+    uint64_t v;
+    std::memcpy(&v, s_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+  Result<double> F64() {
+    if (pos_ + sizeof(double) > s_.size()) {
+      return Status::IOError("table blob truncated");
+    }
+    double v;
+    std::memcpy(&v, s_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+  Result<std::string> Str() {
+    SPADE_ASSIGN_OR_RETURN(uint64_t len, U64());
+    if (pos_ + len > s_.size()) return Status::IOError("table blob truncated");
+    std::string out = s_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Table::Table(std::string name, std::vector<std::string> column_names,
+             std::vector<ColumnType> column_types)
+    : name_(std::move(name)), names_(std::move(column_names)) {
+  columns_.reserve(column_types.size());
+  for (ColumnType t : column_types) columns_.emplace_back(t);
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    SPADE_RETURN_NOT_OK(columns_[i].Append(row[i]));
+  }
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (c > 0) os << " | ";
+    os << names_[c];
+  }
+  os << '\n';
+  const size_t rows = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << ValueToString(Get(r, c));
+    }
+    os << '\n';
+  }
+  if (rows < num_rows()) {
+    os << "... (" << num_rows() - rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+std::string Table::Serialize() const {
+  std::string out;
+  PutStr(&out, name_);
+  PutU64(&out, names_.size());
+  for (size_t c = 0; c < names_.size(); ++c) {
+    PutStr(&out, names_[c]);
+    PutU64(&out, static_cast<uint64_t>(columns_[c].type()));
+  }
+  PutU64(&out, num_rows());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& col = columns_[c];
+    for (size_t r = 0; r < num_rows(); ++r) {
+      switch (col.type()) {
+        case ColumnType::kInt64:
+          PutU64(&out, static_cast<uint64_t>(col.ints()[r]));
+          break;
+        case ColumnType::kDouble:
+          PutF64(&out, col.doubles()[r]);
+          break;
+        case ColumnType::kText:
+          PutStr(&out, col.texts()[r]);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::Deserialize(const std::string& bytes) {
+  Reader rd(bytes);
+  SPADE_ASSIGN_OR_RETURN(std::string name, rd.Str());
+  SPADE_ASSIGN_OR_RETURN(uint64_t ncols, rd.U64());
+  std::vector<std::string> names;
+  std::vector<ColumnType> types;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    SPADE_ASSIGN_OR_RETURN(std::string cname, rd.Str());
+    SPADE_ASSIGN_OR_RETURN(uint64_t t, rd.U64());
+    if (t > 2) return Status::IOError("bad column type");
+    names.push_back(std::move(cname));
+    types.push_back(static_cast<ColumnType>(t));
+  }
+  Table table(std::move(name), std::move(names), types);
+  SPADE_ASSIGN_OR_RETURN(uint64_t nrows, rd.U64());
+  for (uint64_t c = 0; c < ncols; ++c) {
+    for (uint64_t r = 0; r < nrows; ++r) {
+      switch (types[c]) {
+        case ColumnType::kInt64: {
+          SPADE_ASSIGN_OR_RETURN(uint64_t v, rd.U64());
+          SPADE_RETURN_NOT_OK(
+              table.column(c).Append(static_cast<int64_t>(v)));
+          break;
+        }
+        case ColumnType::kDouble: {
+          SPADE_ASSIGN_OR_RETURN(double v, rd.F64());
+          SPADE_RETURN_NOT_OK(table.column(c).Append(v));
+          break;
+        }
+        case ColumnType::kText: {
+          SPADE_ASSIGN_OR_RETURN(std::string v, rd.Str());
+          SPADE_RETURN_NOT_OK(table.column(c).Append(std::move(v)));
+          break;
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace spade

@@ -1,0 +1,49 @@
+// Relational tables for the embedded column store.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace spade {
+
+/// \brief A named, schema-typed relational table of columns.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<std::string> column_names,
+        std::vector<ColumnType> column_types);
+
+  const std::string& name() const { return name_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  int ColumnIndex(const std::string& name) const;
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Append a full row; the value count must match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
+
+  /// Render rows as text for debugging / examples.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Binary (de)serialization for persistence.
+  std::string Serialize() const;
+  static Result<Table> Deserialize(const std::string& bytes);
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace spade

@@ -1,0 +1,329 @@
+// Tests for the baseline engines: R-tree, block kd-tree, the S2-like
+// in-memory library, the STIG index, and the cluster (GeoSpark-like)
+// engine — each validated against brute-force oracles.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/cluster.h"
+#include "baselines/kdtree.h"
+#include "baselines/rtree.h"
+#include "baselines/s2like.h"
+#include "baselines/stig.h"
+#include "datagen/spider.h"
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+TEST(RTreeTest, RangeQueryMatchesBruteForce) {
+  Rng rng(71);
+  std::vector<Box> boxes;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    boxes.emplace_back(x, y, x + rng.Uniform(0, 3), y + rng.Uniform(0, 3));
+  }
+  const RTree tree = RTree::Build(boxes);
+  EXPECT_EQ(tree.size(), boxes.size());
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    const Box q(x, y, x + 10, y + 10);
+    std::set<uint32_t> got;
+    tree.Query(q, [&](uint32_t id) { got.insert(id); });
+    std::set<uint32_t> expect;
+    for (uint32_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(q)) expect.insert(i);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(RTreeTest, VisitNearestIsOrdered) {
+  Rng rng(73);
+  std::vector<Box> boxes;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    boxes.emplace_back(x, y, x, y);  // degenerate (points)
+  }
+  const RTree tree = RTree::Build(boxes);
+  const Vec2 p{50, 50};
+  double last = -1;
+  size_t count = 0;
+  tree.VisitNearest(p, [&](uint32_t, double d) {
+    EXPECT_GE(d, last);
+    last = d;
+    return ++count < 100;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree = RTree::Build({});
+  tree.Query(Box(0, 0, 1, 1), [](uint32_t) { FAIL(); });
+  tree.VisitNearest({0, 0}, [](uint32_t, double) -> bool {
+    ADD_FAILURE();
+    return false;
+  });
+}
+
+TEST(KdTreeTest, RangeAndRadiusMatchBruteForce) {
+  Rng rng(79);
+  const auto pts = testing::RandomPoints(&rng, 3000, Box(0, 0, 10, 10));
+  const BlockKdTree tree = BlockKdTree::Build(pts, 32);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Box q(rng.Uniform(0, 8), rng.Uniform(0, 8), rng.Uniform(8, 10),
+                rng.Uniform(8, 10));
+    std::set<uint32_t> got;
+    tree.RangeQuery(q, [&](uint32_t id, const Vec2&) { got.insert(id); });
+    std::set<uint32_t> expect;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (q.Contains(pts[i])) expect.insert(i);
+    }
+    EXPECT_EQ(got, expect);
+
+    const Vec2 c{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const double r = rng.Uniform(0.1, 2.0);
+    got.clear();
+    tree.RadiusQuery(c, r, [&](uint32_t id, const Vec2&) { got.insert(id); });
+    expect.clear();
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (c.DistanceTo(pts[i]) <= r) expect.insert(i);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(KdTreeTest, KNearestMatchesBruteForce) {
+  Rng rng(83);
+  const auto pts = testing::RandomPoints(&rng, 2000, Box(0, 0, 10, 10));
+  const BlockKdTree tree = BlockKdTree::Build(pts, 16);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 50));
+    const auto got = tree.KNearest(q, k);
+    ASSERT_EQ(got.size(), k);
+    std::vector<double> dists;
+    for (const auto& p : pts) dists.push_back(q.DistanceTo(p));
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].second, dists[i]);
+    }
+    // Ascending order.
+    for (size_t i = 1; i < k; ++i) EXPECT_GE(got[i].second, got[i - 1].second);
+  }
+}
+
+TEST(S2LikeTest, PointSelectionMatchesOracle) {
+  Rng rng(89);
+  const auto pts = testing::RandomPoints(&rng, 5000, Box(0, 0, 10, 10));
+  const S2LikePointIndex index(pts);
+  MultiPolygon poly;
+  poly.parts.push_back(testing::RandomStarPolygon(&rng, {5, 5}, 1, 4, 12));
+  auto got = index.SelectInPolygon(poly);
+  std::sort(got.begin(), got.end());
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointInMultiPolygon(poly, pts[i])) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(S2LikeTest, DistanceToGeometry) {
+  Rng rng(97);
+  const auto pts = testing::RandomPoints(&rng, 2000, Box(0, 0, 10, 10));
+  const S2LikePointIndex index(pts);
+  LineString line = testing::RandomLine(&rng, Box(2, 2, 8, 8), 4);
+  const Geometry g(line);
+  const double r = 1.5;
+  auto got = index.WithinDistanceOfGeometry(g, r);
+  std::sort(got.begin(), got.end());
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointLineStringDistance(line, pts[i]) <= r) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(S2LikeTest, ShapeJoinMatchesOracle) {
+  Rng rng(101);
+  std::vector<Geometry> shapes;
+  for (int i = 0; i < 100; ++i) {
+    shapes.emplace_back(testing::RandomBoxPolygon(&rng, Box(0, 0, 10, 10), 2));
+  }
+  std::vector<Geometry> others;
+  for (int i = 0; i < 100; ++i) {
+    others.emplace_back(testing::RandomBoxPolygon(&rng, Box(0, 0, 10, 10), 2));
+  }
+  const S2LikeShapeIndex a(&shapes);
+  const S2LikeShapeIndex b(&others);
+  auto got = a.JoinShapes(b);
+  std::sort(got.begin(), got.end());
+  std::vector<std::pair<uint32_t, uint32_t>> expect;
+  for (uint32_t i = 0; i < shapes.size(); ++i) {
+    for (uint32_t j = 0; j < others.size(); ++j) {
+      if (MultiPolygonsIntersect(shapes[i].polygon(), others[j].polygon())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(StigTest, PolygonSelectMatchesOracle) {
+  Rng rng(103);
+  ThreadPool pool(4);
+  const auto pts = testing::RandomPoints(&rng, 20000, Box(0, 0, 10, 10));
+  const StigIndex index(pts, &pool, /*leaf_size=*/256);
+  EXPECT_GT(index.num_leaf_blocks(), 1u);
+  MultiPolygon poly;
+  poly.parts.push_back(testing::RandomStarPolygon(&rng, {5, 5}, 1, 4, 10));
+  auto got = index.PolygonSelect(poly);
+  std::sort(got.begin(), got.end());
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointInMultiPolygon(poly, pts[i])) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static ClusterConfig SmallConfig() {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.num_partitions = 16;
+    return cfg;
+  }
+};
+
+TEST_F(ClusterTest, PartitioningCoversEveryObject) {
+  SpatialDataset pts = GenerateGaussianPoints(5000, 11);
+  const ClusterDataset data(&pts, SmallConfig());
+  size_t total = 0;
+  for (const auto& part : data.partitions()) total += part.ids.size();
+  EXPECT_EQ(total, 5000u);  // points land in exactly one partition
+}
+
+TEST_F(ClusterTest, SelectMatchesOracle) {
+  Rng rng(107);
+  SpatialDataset pts = GenerateUniformPoints(8000, 13);
+  const ClusterDataset data(&pts, SmallConfig());
+  const ClusterEngine engine(SmallConfig());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.4, 12));
+  auto got = engine.Select(data, poly);
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointInMultiPolygon(poly, pts.geoms[i].point())) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ClusterTest, JoinPolyPointMatchesOracle) {
+  SpatialDataset pts = GenerateUniformPoints(4000, 17);
+  SpatialDataset parcels = GenerateParcels(25, 19);
+  const ClusterDataset dpts(&pts, SmallConfig());
+  const ClusterDataset dpar(&parcels, SmallConfig());
+  const ClusterEngine engine(SmallConfig());
+  auto got = engine.JoinPolyPoint(dpar, dpts);
+  std::sort(got.begin(), got.end());
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < parcels.size(); ++i) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (PointInMultiPolygon(parcels.geoms[i].polygon(),
+                              pts.geoms[j].point())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ClusterTest, JoinPolyPolyMatchesOracle) {
+  SpatialDataset a = GenerateUniformBoxes(300, 23, 0.08);
+  SpatialDataset b = GenerateUniformBoxes(300, 29, 0.08);
+  const ClusterDataset da(&a, SmallConfig());
+  const ClusterDataset db(&b, SmallConfig());
+  const ClusterEngine engine(SmallConfig());
+  auto got = engine.JoinPolyPoly(da, db);
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (uint32_t j = 0; j < b.size(); ++j) {
+      if (MultiPolygonsIntersect(a.geoms[i].polygon(), b.geoms[j].polygon())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ClusterTest, DistanceJoinMatchesOracle) {
+  Rng rng(109);
+  SpatialDataset pts = GenerateUniformPoints(4000, 31);
+  const ClusterDataset data(&pts, SmallConfig());
+  const ClusterEngine engine(SmallConfig());
+  const auto probes = testing::RandomPoints(&rng, 20, Box(0, 0, 1, 1));
+  const double r = 0.05;
+  auto got = engine.DistanceJoinPoints(probes, data, r);
+  std::sort(got.begin(), got.end());
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t q = 0; q < probes.size(); ++q) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (probes[q].DistanceTo(pts.geoms[j].point()) <= r) {
+        expect.emplace_back(q, j);
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ClusterTest, KnnSelectMatchesOracle) {
+  SpatialDataset pts = GenerateGaussianPoints(5000, 37);
+  const ClusterDataset data(&pts, SmallConfig());
+  const ClusterEngine engine(SmallConfig());
+  const Vec2 q{0.5, 0.5};
+  const size_t k = 25;
+  auto got = engine.KnnSelect(data, q, k);
+  ASSERT_EQ(got.size(), k);
+  std::vector<double> dists;
+  for (const auto& g : pts.geoms) dists.push_back(q.DistanceTo(g.point()));
+  std::sort(dists.begin(), dists.end());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(got[i].second, dists[i]);
+  }
+}
+
+TEST_F(ClusterTest, QuadPartitioningAlsoValid) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.partitioning = ClusterConfig::Partitioning::kQuad;
+  SpatialDataset pts = GenerateGaussianPoints(3000, 41);
+  const ClusterDataset data(&pts, cfg);
+  size_t total = 0;
+  for (const auto& part : data.partitions()) total += part.ids.size();
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST_F(ClusterTest, SpillPathProducesSameResults) {
+  // A tiny node budget forces the chunked spill path; results must match.
+  SpatialDataset pts = GenerateUniformPoints(3000, 43);
+  SpatialDataset parcels = GenerateParcels(16, 47);
+  ClusterConfig small = SmallConfig();
+  ClusterConfig spill = SmallConfig();
+  spill.node_memory_budget = 1024;  // ~64 points per chunk
+  const ClusterDataset dp_small(&pts, small);
+  const ClusterDataset dpar_small(&parcels, small);
+  const ClusterDataset dp_spill(&pts, spill);
+  const ClusterDataset dpar_spill(&parcels, spill);
+  auto a = ClusterEngine(small).JoinPolyPoint(dpar_small, dp_small);
+  auto b = ClusterEngine(spill).JoinPolyPoint(dpar_spill, dp_spill);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spade

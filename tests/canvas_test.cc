@@ -1,0 +1,302 @@
+// Property tests for the discrete canvas: raster-side query evaluation must
+// agree EXACTLY with computational-geometry oracles, which is the central
+// accuracy claim of Section 4.
+#include "canvas/canvas_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+class CanvasTest : public ::testing::Test {
+ protected:
+  GfxDevice device_{4};
+};
+
+Canvas BuildSinglePolygonCanvas(GfxDevice* device, const Viewport& vp,
+                                const MultiPolygon& mp,
+                                Triangulation* tri_out) {
+  *tri_out = Triangulate(mp);
+  CanvasBuilder builder(device, vp);
+  return builder.BuildPolygonCanvas({0}, {&mp}, {tri_out});
+}
+
+TEST_F(CanvasTest, PointTestMatchesOracleOnStarPolygon) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    MultiPolygon mp;
+    mp.parts.push_back(testing::RandomStarPolygon(&rng, {5, 5}, 1.5, 4.5, 14));
+    const Viewport vp(Box(0, 0, 10, 10), 64, 64);
+    Triangulation tri;
+    const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+    for (int i = 0; i < 500; ++i) {
+      const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      std::vector<GeomId> owners;
+      canvas.TestPoint(p, &owners);
+      const bool expected = PointInMultiPolygon(mp, p);
+      EXPECT_EQ(!owners.empty(), expected)
+          << "trial " << trial << " point (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST_F(CanvasTest, PointTestExactAtVeryLowResolution) {
+  // Even a 4x4 canvas must stay exact thanks to the boundary buckets.
+  Rng rng(103);
+  MultiPolygon mp;
+  mp.parts.push_back(testing::RandomStarPolygon(&rng, {5, 5}, 2.0, 4.5, 10));
+  const Viewport vp(Box(0, 0, 10, 10), 4, 4);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(p, &owners);
+    EXPECT_EQ(!owners.empty(), PointInMultiPolygon(mp, p));
+  }
+}
+
+TEST_F(CanvasTest, PolygonWithHoleExcludesHolePoints) {
+  MultiPolygon mp;
+  Polygon p = Polygon::FromBox(Box(1, 1, 9, 9));
+  p.holes.push_back({{3, 3}, {3, 7}, {7, 7}, {7, 3}});
+  mp.parts.push_back(p);
+  const Viewport vp(Box(0, 0, 10, 10), 32, 32);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  Rng rng(107);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(q, &owners);
+    EXPECT_EQ(!owners.empty(), PointInMultiPolygon(mp, q));
+  }
+}
+
+TEST_F(CanvasTest, SegmentTestMatchesOracle) {
+  Rng rng(109);
+  MultiPolygon mp;
+  mp.parts.push_back(testing::RandomStarPolygon(&rng, {5, 5}, 1.5, 4.0, 12));
+  const Viewport vp(Box(0, 0, 10, 10), 48, 48);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 a{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Vec2 b{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestSegment(a, b, &owners);
+    bool expected = false;
+    for (const auto& part : mp.parts) {
+      expected |= SegmentIntersectsPolygon(part, a, b);
+    }
+    EXPECT_EQ(!owners.empty(), expected)
+        << "(" << a.x << "," << a.y << ")-(" << b.x << "," << b.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, PolygonTestMatchesOracle) {
+  Rng rng(113);
+  MultiPolygon constraint;
+  constraint.parts.push_back(
+      testing::RandomStarPolygon(&rng, {5, 5}, 1.5, 4.0, 12));
+  const Viewport vp(Box(0, 0, 10, 10), 48, 48);
+  Triangulation tri;
+  const Canvas canvas =
+      BuildSinglePolygonCanvas(&device_, vp, constraint, &tri);
+  for (int i = 0; i < 200; ++i) {
+    MultiPolygon data;
+    data.parts.push_back(testing::RandomBoxPolygon(&rng, Box(0, 0, 10, 10), 2.0));
+    const Triangulation data_tri = Triangulate(data);
+    std::vector<GeomId> owners;
+    canvas.TestPolygon(data_tri, &owners);
+    const bool expected =
+        MultiPolygonsIntersect(data, constraint);
+    EXPECT_EQ(!owners.empty(), expected) << "trial " << i;
+  }
+}
+
+TEST_F(CanvasTest, LayeredCanvasReturnsCorrectOwner) {
+  // A 3x3 grid of disjoint squares, all in one layer canvas.
+  std::vector<MultiPolygon> polys;
+  std::vector<GeomId> ids;
+  for (int gy = 0; gy < 3; ++gy) {
+    for (int gx = 0; gx < 3; ++gx) {
+      MultiPolygon mp;
+      mp.parts.push_back(Polygon::FromBox(
+          Box(gx * 3 + 0.4, gy * 3 + 0.4, gx * 3 + 2.6, gy * 3 + 2.6)));
+      polys.push_back(mp);
+      ids.push_back(static_cast<GeomId>(gy * 3 + gx));
+    }
+  }
+  std::vector<Triangulation> tris;
+  std::vector<const MultiPolygon*> pptrs;
+  std::vector<const Triangulation*> tptrs;
+  for (const auto& mp : polys) tris.push_back(Triangulate(mp));
+  for (size_t i = 0; i < polys.size(); ++i) {
+    pptrs.push_back(&polys[i]);
+    tptrs.push_back(&tris[i]);
+  }
+  const Viewport vp(Box(0, 0, 9, 9), 64, 64);
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas(ids, pptrs, tptrs);
+
+  Rng rng(127);
+  for (int i = 0; i < 3000; ++i) {
+    const Vec2 p{rng.Uniform(0, 9), rng.Uniform(0, 9)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(p, &owners);
+    std::vector<GeomId> expected;
+    for (size_t k = 0; k < polys.size(); ++k) {
+      if (PointInMultiPolygon(polys[k], p)) expected.push_back(ids[k]);
+    }
+    EXPECT_EQ(owners, expected) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, AdjacentPolygonsCannotShareLayerButTouchPixels) {
+  // Two squares separated by less than a pixel: both partially cover
+  // shared pixels, and exactness must hold for each.
+  std::vector<MultiPolygon> polys(2);
+  polys[0].parts.push_back(Polygon::FromBox(Box(1, 1, 4.98, 9)));
+  polys[1].parts.push_back(Polygon::FromBox(Box(5.02, 1, 9, 9)));
+  std::vector<Triangulation> tris = {Triangulate(polys[0]),
+                                     Triangulate(polys[1])};
+  const Viewport vp(Box(0, 0, 10, 10), 16, 16);  // pixel = 0.625 world units
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas(
+      {0, 1}, {&polys[0], &polys[1]}, {&tris[0], &tris[1]});
+  Rng rng(131);
+  for (int i = 0; i < 4000; ++i) {
+    const Vec2 p{rng.Uniform(4.5, 5.5), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(p, &owners);
+    std::vector<GeomId> expected;
+    for (GeomId k = 0; k < 2; ++k) {
+      if (PointInMultiPolygon(polys[k], p)) expected.push_back(k);
+    }
+    EXPECT_EQ(owners, expected) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, SubPixelPolygonStaysExact) {
+  // Polygon much smaller than one pixel: the paper's worst case (Buildings)
+  // where tests devolve to checking every incident triangle.
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(5.01, 5.01, 5.02, 5.02)));
+  const Viewport vp(Box(0, 0, 10, 10), 8, 8);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  std::vector<GeomId> owners;
+  canvas.TestPoint({5.015, 5.015}, &owners);
+  EXPECT_EQ(owners.size(), 1u);
+  owners.clear();
+  canvas.TestPoint({5.5, 5.5}, &owners);  // same pixel, outside polygon
+  EXPECT_TRUE(owners.empty());
+}
+
+TEST_F(CanvasTest, DistanceCanvasPointsMatchesOracle) {
+  Rng rng(137);
+  const Viewport vp(Box(0, 0, 100, 100), 64, 64);
+  std::vector<Vec2> centers;
+  std::vector<GeomId> ids;
+  std::vector<double> radii;
+  // Disjoint discs.
+  for (int i = 0; i < 5; ++i) {
+    centers.push_back({10.0 + 20 * i, rng.Uniform(20, 80)});
+    ids.push_back(static_cast<GeomId>(i));
+    radii.push_back(rng.Uniform(2, 8));
+  }
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildDistanceCanvasPoints(ids, centers, radii);
+  for (int i = 0; i < 4000; ++i) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::vector<GeomId> owners;
+    canvas.TestPointDistance(p, &owners);
+    std::vector<GeomId> expected;
+    for (size_t k = 0; k < centers.size(); ++k) {
+      if (p.DistanceTo(centers[k]) <= radii[k]) expected.push_back(ids[k]);
+    }
+    EXPECT_EQ(owners, expected) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, DistanceCanvasLineMatchesOracle) {
+  Rng rng(139);
+  const Viewport vp(Box(0, 0, 100, 100), 64, 64);
+  LineString line = testing::RandomLine(&rng, Box(20, 20, 80, 80), 5);
+  Geometry g(line);
+  CanvasBuilder builder(&device_, vp);
+  const double r = 6.0;
+  const Canvas canvas =
+      builder.BuildDistanceCanvasGeometries({0}, {&g}, {r});
+  for (int i = 0; i < 4000; ++i) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::vector<GeomId> owners;
+    canvas.TestPointDistance(p, &owners);
+    const bool expected = PointLineStringDistance(line, p) <= r;
+    EXPECT_EQ(!owners.empty(), expected) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, DistanceCanvasPolygonMatchesOracle) {
+  // The "accurate distance to complex geometry" capability of Section 4.2:
+  // region = polygon union a buffer around its boundary.
+  Rng rng(149);
+  MultiPolygon mp;
+  mp.parts.push_back(testing::RandomStarPolygon(&rng, {50, 50}, 10, 25, 12));
+  Geometry g(mp);
+  const Viewport vp(Box(0, 0, 100, 100), 64, 64);
+  CanvasBuilder builder(&device_, vp);
+  const double r = 7.0;
+  const Canvas canvas = builder.BuildDistanceCanvasGeometries({0}, {&g}, {r});
+  for (int i = 0; i < 4000; ++i) {
+    const Vec2 p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::vector<GeomId> owners;
+    canvas.TestPointDistance(p, &owners);
+    const bool expected = PointMultiPolygonDistance(mp, p) <= r;
+    EXPECT_EQ(!owners.empty(), expected) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, PointCanvasRegistersEveryPoint) {
+  Rng rng(151);
+  const Viewport vp(Box(0, 0, 10, 10), 16, 16);
+  auto pts = testing::RandomPoints(&rng, 200, Box(0, 0, 10, 10));
+  std::vector<GeomId> ids(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ids[i] = static_cast<GeomId>(i);
+  CanvasBuilder builder(&device_, vp);
+  const Canvas canvas = builder.BuildPointCanvas(ids, pts);
+  // Every point's pixel must be a boundary pixel whose bucket contains it.
+  const auto& bi = canvas.boundary_index();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    auto [x, y] = vp.ToPixel(pts[i]);
+    const uint32_t bucket = canvas.Bucket(x, y);
+    ASSERT_NE(bucket, kTexNull);
+    bool found = false;
+    for (uint32_t si : bi.bucket_segments(bucket)) {
+      if (bi.segment(si).owner == ids[i]) found = true;
+    }
+    EXPECT_TRUE(found) << "point " << i;
+  }
+}
+
+TEST_F(CanvasTest, CanvasCountsFragmentsAndPasses) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(1, 1, 9, 9)));
+  const Viewport vp(Box(0, 0, 10, 10), 32, 32);
+  Triangulation tri;
+  device_.ResetCounters();
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  EXPECT_EQ(device_.render_passes(), 3);  // interior, edges, buckets
+  EXPECT_GT(device_.fragments(), 0);
+  EXPECT_GT(device_.bytes_uploaded(), 0);
+  EXPECT_GT(canvas.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,128 @@
+// Tests for the CLI command processor.
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace spade {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() : session_(SmallConfig()) {}
+
+  static SpadeConfig SmallConfig() {
+    SpadeConfig cfg;
+    cfg.canvas_resolution = 64;
+    cfg.gpu_threads = 1;
+    return cfg;
+  }
+
+  std::string Must(const std::string& cmd) {
+    auto r = session_.Execute(cmd);
+    EXPECT_TRUE(r.ok()) << cmd << " -> " << r.status().ToString();
+    return r.ok() ? r.value() : "";
+  }
+
+  CliSession session_;
+};
+
+TEST_F(CliTest, HelpAndUnknown) {
+  EXPECT_NE(Must("help").find("select"), std::string::npos);
+  EXPECT_FALSE(session_.Execute("frobnicate").ok());
+  EXPECT_TRUE(Must("").empty());
+}
+
+TEST_F(CliTest, GenListSelect) {
+  EXPECT_NE(Must("gen uniform-points 5000 as pts").find("5000"),
+            std::string::npos);
+  EXPECT_NE(Must("list").find("pts"), std::string::npos);
+  const std::string out = Must(
+      "select pts POLYGON ((0.2 0.2, 0.8 0.2, 0.8 0.8, 0.2 0.8, 0.2 0.2))");
+  EXPECT_NE(out.find("objects"), std::string::npos);
+  // Roughly 36% of a uniform unit square.
+  EXPECT_NE(Must("stats").find("passes="), std::string::npos);
+}
+
+TEST_F(CliTest, RangeAndKnnAndDistance) {
+  Must("gen gaussian-points 4000 as g");
+  const std::string range = Must("range g 0.4 0.4 0.6 0.6");
+  EXPECT_NE(range.find("objects"), std::string::npos);
+  const std::string knn = Must("knn g 0.5 0.5 3");
+  EXPECT_NE(knn.find("3 neighbours"), std::string::npos);
+  const std::string dist = Must("distance g 0.5 0.5 0.05");
+  EXPECT_NE(dist.find("objects"), std::string::npos);
+}
+
+TEST_F(CliTest, JoinAndAggAndDjoin) {
+  Must("gen uniform-points 3000 as pts");
+  Must("gen parcels 16 as par");
+  EXPECT_NE(Must("join par pts").find("pairs"), std::string::npos);
+  EXPECT_NE(Must("agg pts par").find("top constraints"), std::string::npos);
+  Must("gen uniform-points 50 as probes");
+  EXPECT_NE(Must("djoin probes pts 0.05").find("pairs"), std::string::npos);
+}
+
+TEST_F(CliTest, SaveLoadRoundTrip) {
+  const std::string csv = (fs::temp_directory_path() / "cli_pts.csv").string();
+  const std::string wkt = (fs::temp_directory_path() / "cli_par.wkt").string();
+  Must("gen uniform-points 500 as pts");
+  Must("gen parcels 9 as par");
+  Must("save csv pts " + csv);
+  Must("save wkt par " + wkt);
+  EXPECT_NE(Must("load csv " + csv + " as pts2").find("500"),
+            std::string::npos);
+  EXPECT_NE(Must("load wkt " + wkt + " as par2").find("9"), std::string::npos);
+  // Duplicate names rejected.
+  EXPECT_FALSE(session_.Execute("gen parcels 4 as par").ok());
+  fs::remove(csv);
+  fs::remove(wkt);
+}
+
+TEST_F(CliTest, StoreOpenDisk) {
+  const std::string dir = (fs::temp_directory_path() / "cli_disk").string();
+  fs::remove_all(dir);
+  Must("gen uniform-points 2000 as pts");
+  EXPECT_NE(Must("store pts " + dir).find("blocks"), std::string::npos);
+  EXPECT_NE(Must("open " + dir + " as disk_pts").find("2000"),
+            std::string::npos);
+  const std::string out = Must(
+      "select disk_pts POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  EXPECT_NE(out.find("2000 objects"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(CliTest, RegisterAndSql) {
+  Must("gen parcels 4 as par");
+  Must("register par");
+  const std::string out = Must("sql SELECT COUNT(*) FROM par");
+  EXPECT_NE(out.find("4"), std::string::npos);
+  EXPECT_FALSE(session_.Execute("sql SELECT * FROM nope").ok());
+}
+
+TEST_F(CliTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(session_.Execute("select missing POLYGON ((0 0,1 0,1 1,0 0))")
+                   .ok());
+  EXPECT_FALSE(session_.Execute("gen bogus-kind 10 as x").ok());
+  EXPECT_FALSE(session_.Execute("range x 1 2 3").ok());
+  EXPECT_FALSE(session_.Execute("knn x abc 0.5 3").ok());
+  EXPECT_FALSE(session_.Execute("load csv /nonexistent as x").ok());
+}
+
+TEST(CliScript, MercatorFlagParses) {
+  SpadeConfig cfg;
+  cfg.canvas_resolution = 64;
+  cfg.gpu_threads = 1;
+  CliSession session(cfg);
+  ASSERT_TRUE(session.Execute("gen taxi 2000 as taxi").ok());
+  auto r = session.Execute("knn taxi -73.98 40.75 5 m");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().find("5 neighbours"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/config.h"
+#include "common/mmap_file.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace spade {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.ValueOr(0), 42);
+
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+Status PropagatingHelper() {
+  SPADE_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  EXPECT_EQ(PropagatingHelper().code(), Status::Code::kIOError);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  ThreadPool pool(4);
+  int called = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++called; });
+  EXPECT_EQ(called, 0);
+  std::atomic<int> total{0};
+  pool.ParallelFor(1, [&](size_t b, size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(MmapFile, WriteAndMapRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spade_mmap_test.bin").string();
+  const std::string payload = "spade out-of-core block";
+  ASSERT_TRUE(WriteFile(path, payload.data(), payload.size()).ok());
+  auto f = MmapFile::Open(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f.value().size(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(f.value().data()),
+                        f.value().size()),
+            payload);
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, MissingFileFails) {
+  auto f = MmapFile::Open("/nonexistent/spade/file.bin");
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), Status::Code::kIOError);
+}
+
+TEST(Config, CellBytesDerivation) {
+  SpadeConfig cfg;
+  cfg.device_memory_budget = 1024;
+  EXPECT_EQ(cfg.EffectiveCellBytes(), 256u);
+  cfg.max_cell_bytes = 100;
+  EXPECT_EQ(cfg.EffectiveCellBytes(), 100u);
+}
+
+TEST(QueryStats, MergeAccumulates) {
+  QueryStats a, b;
+  a.io_seconds = 1;
+  a.render_passes = 2;
+  b.io_seconds = 0.5;
+  b.gpu_seconds = 2;
+  b.render_passes = 3;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.io_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(a.gpu_seconds, 2);
+  EXPECT_EQ(a.render_passes, 5);
+  EXPECT_DOUBLE_EQ(a.TotalSeconds(), 3.5);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  TimeAccumulator acc;
+  {
+    ScopedTimer t(&acc);
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+    (void)x;
+  }
+  EXPECT_GT(acc.total_seconds(), 0);
+  EXPECT_GE(sw.ElapsedSeconds(), acc.total_seconds());
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,162 @@
+// Tests for the Spider-style generator and the real-data analogs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "geom/predicates.h"
+#include "geom/triangulate.h"
+
+namespace spade {
+namespace {
+
+TEST(Spider, UniformPointsInUnitSquare) {
+  const SpatialDataset ds = GenerateUniformPoints(5000, 1);
+  ASSERT_EQ(ds.size(), 5000u);
+  const Box b = ds.Bounds();
+  EXPECT_GE(b.min.x, 0);
+  EXPECT_LE(b.max.x, 1);
+  EXPECT_GE(b.min.y, 0);
+  EXPECT_LE(b.max.y, 1);
+}
+
+TEST(Spider, Deterministic) {
+  const SpatialDataset a = GenerateUniformPoints(100, 42);
+  const SpatialDataset b = GenerateUniformPoints(100, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.geoms[i].point(), b.geoms[i].point());
+  }
+  const SpatialDataset c = GenerateUniformPoints(100, 43);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= !(a.geoms[i].point() == c.geoms[i].point());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Spider, GaussianPointsConcentrated) {
+  const SpatialDataset ds = GenerateGaussianPoints(20000, 2);
+  // Central box should hold far more than the uniform share.
+  const Box center(0.35, 0.35, 0.65, 0.65);
+  size_t inside = 0;
+  for (const auto& g : ds.geoms) inside += center.Contains(g.point());
+  EXPECT_GT(inside, ds.size() * 0.4);  // uniform share would be 9%
+}
+
+TEST(Spider, BoxesAreValidPolygons) {
+  const SpatialDataset ds = GenerateUniformBoxes(1000, 3, 0.01);
+  for (const auto& g : ds.geoms) {
+    ASSERT_TRUE(g.is_polygon());
+    EXPECT_GT(g.polygon().Area(), 0);
+    EXPECT_LE(g.Bounds().Width(), 0.011);
+  }
+}
+
+TEST(Spider, ParcelsAreDisjoint) {
+  const SpatialDataset ds = GenerateParcels(64, 4);
+  ASSERT_EQ(ds.size(), 64u);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t j = i + 1; j < ds.size(); ++j) {
+      EXPECT_FALSE(MultiPolygonsIntersect(ds.geoms[i].polygon(),
+                                          ds.geoms[j].polygon()))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(RealData, TaxiPointsInNycExtent) {
+  const SpatialDataset ds = TaxiLikePoints(5000, 5);
+  const Box ext = NycExtent();
+  for (const auto& g : ds.geoms) {
+    EXPECT_TRUE(ext.Contains(g.point()));
+  }
+}
+
+TEST(RealData, TaxiPointsAreSkewed) {
+  const SpatialDataset ds = TaxiLikePoints(20000, 6);
+  // Split the extent into a 8x8 grid; the fullest cell must hold far more
+  // than the uniform share (hotspot skew).
+  const Box ext = NycExtent();
+  std::vector<size_t> counts(64, 0);
+  for (const auto& g : ds.geoms) {
+    const int gx = std::min(7, static_cast<int>((g.point().x - ext.min.x) /
+                                                ext.Width() * 8));
+    const int gy = std::min(7, static_cast<int>((g.point().y - ext.min.y) /
+                                                ext.Height() * 8));
+    counts[gy * 8 + gx]++;
+  }
+  const size_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, ds.size() / 16);  // >4x uniform share
+}
+
+TEST(RealData, JitteredGridTilesWithoutGapsOrOverlapAtSamples) {
+  const SpatialDataset ds = JitteredGridPolygons(Box(0, 0, 10, 10), 5, 5, 7,
+                                                 4, "test_grid");
+  ASSERT_EQ(ds.size(), 25u);
+  // Random sample points must lie in >= 1 polygon (tiling covers) and
+  // almost always exactly 1 (interior overlap only on shared edges).
+  std::mt19937_64 gen(99);
+  std::uniform_real_distribution<double> u(0.05, 9.95);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{u(gen), u(gen)};
+    int hits = 0;
+    for (const auto& g : ds.geoms) {
+      hits += PointInMultiPolygon(g.polygon(), p);
+    }
+    EXPECT_GE(hits, 1) << "gap at (" << p.x << "," << p.y << ")";
+    EXPECT_LE(hits, 2) << "overlap at (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(RealData, AdjacentGridPolygonsShareBoundaries) {
+  const SpatialDataset ds =
+      JitteredGridPolygons(Box(0, 0, 4, 1), 4, 1, 11, 6, "row");
+  // Horizontally adjacent polygons must intersect (ST_INTERSECTS touching).
+  for (int i = 0; i + 1 < 4; ++i) {
+    EXPECT_TRUE(MultiPolygonsIntersect(ds.geoms[i].polygon(),
+                                       ds.geoms[i + 1].polygon()));
+  }
+  // Non-adjacent must not.
+  EXPECT_FALSE(
+      MultiPolygonsIntersect(ds.geoms[0].polygon(), ds.geoms[2].polygon()));
+}
+
+TEST(RealData, PolygonComplexityRatiosFollowPaper) {
+  // Counties must be more complex (more vertices per polygon) than
+  // zipcode-like polygons, as in Table 1.
+  const SpatialDataset counties = CountyLikePolygons(1, 8, 8);
+  const SpatialDataset zips = ZipcodeLikePolygons(1, 24, 24);
+  const double county_vpp =
+      static_cast<double>(counties.geoms[0].NumVertices());
+  const double zip_vpp = static_cast<double>(zips.geoms[0].NumVertices());
+  EXPECT_GT(county_vpp, zip_vpp * 2);
+  EXPECT_GT(zips.size(), counties.size());
+}
+
+TEST(RealData, BuildingsAreTiny) {
+  const SpatialDataset ds = BuildingLikePolygons(2000, 9);
+  ASSERT_EQ(ds.size(), 2000u);
+  for (const auto& g : ds.geoms) {
+    EXPECT_LT(g.Bounds().Width(), 0.01);
+    EXPECT_GT(g.polygon().Area(), 0);
+  }
+}
+
+TEST(RealData, PolygonsAreSimpleEnoughToTriangulate) {
+  const SpatialDataset hoods = NeighborhoodLikePolygons(10, 6, 6);
+  for (const auto& g : hoods.geoms) {
+    const Triangulation tri = Triangulate(g.polygon());
+    EXPECT_NEAR(
+        [&] {
+          double a = 0;
+          for (const auto& t : tri.triangles) a += t.Area();
+          return a;
+        }(),
+        g.polygon().Area(), g.polygon().Area() * 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,244 @@
+// Tests for the extended queries: rectangular range selection, containment
+// selection, and relational dataset registration.
+#include <gtest/gtest.h>
+
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "geom/predicates.h"
+#include "storage/geo_table.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+SpadeConfig SmallConfig() {
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 64 << 10;
+  cfg.canvas_resolution = 256;
+  cfg.gpu_threads = 2;
+  return cfg;
+}
+
+class EngineExtTest : public ::testing::Test {
+ protected:
+  EngineExtTest() : engine_(SmallConfig()) {}
+  SpadeEngine engine_;
+};
+
+TEST_F(EngineExtTest, RangeSelectionPointsMatchesOracle) {
+  Rng rng(301);
+  SpatialDataset ds = GenerateUniformPoints(20000, 1);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  for (int trial = 0; trial < 10; ++trial) {
+    const double x = rng.Uniform(0, 0.7), y = rng.Uniform(0, 0.7);
+    const Box range(x, y, x + rng.Uniform(0.05, 0.3), y + rng.Uniform(0.05, 0.3));
+    auto r = engine_.RangeSelection(*src, range);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<GeomId> expect;
+    for (uint32_t i = 0; i < ds.size(); ++i) {
+      if (range.Contains(ds.geoms[i].point())) expect.push_back(i);
+    }
+    EXPECT_EQ(r.value().ids, expect) << "trial " << trial;
+  }
+}
+
+TEST_F(EngineExtTest, RangeSelectionBoxesMatchesOracle) {
+  SpatialDataset ds = GenerateUniformBoxes(3000, 2, 0.02);
+  auto src = MakeInMemorySource("boxes", ds, engine_.config());
+  const Box range(0.25, 0.25, 0.75, 0.6);
+  auto r = engine_.RangeSelection(*src, range);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    if (ds.geoms[i].Bounds().Intersects(range)) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST_F(EngineExtTest, RangeSelectionSkipsPolygonProcessing) {
+  // The fast path avoids triangulation: exactly one rendering pass for the
+  // constraint canvas instead of three.
+  SpatialDataset ds = GenerateUniformPoints(5000, 3);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  auto range = engine_.RangeSelection(*src, Box(0.2, 0.2, 0.8, 0.8));
+  ASSERT_TRUE(range.ok());
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0.2, 0.2, 0.8, 0.8)));
+  auto general = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(range.value().ids, general.value().ids);
+  EXPECT_LT(range.value().stats.render_passes,
+            general.value().stats.render_passes);
+}
+
+TEST_F(EngineExtTest, ContainsSelectionPointsEqualsIntersection) {
+  Rng rng(303);
+  SpatialDataset ds = GenerateUniformPoints(10000, 4);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.35, 12));
+  auto contains = engine_.ContainsSelection(*src, poly);
+  auto intersects = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(contains.ok());
+  ASSERT_TRUE(intersects.ok());
+  EXPECT_EQ(contains.value().ids, intersects.value().ids);
+}
+
+TEST_F(EngineExtTest, ContainsSelectionBoxesVertexCriterion) {
+  SpatialDataset ds = GenerateUniformBoxes(2000, 5, 0.03);
+  auto src = MakeInMemorySource("boxes", ds, engine_.config());
+  // Convex constraint: vertex containment == true containment.
+  MultiPolygon convex;
+  convex.parts.push_back(Polygon::Circle({0.5, 0.5}, 0.3, 24));
+  auto r = engine_.ContainsSelection(*src, convex);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    bool all = true;
+    for (const auto& part : ds.geoms[i].polygon().parts) {
+      for (const auto& v : part.outer) {
+        all &= PointInMultiPolygon(convex, v);
+      }
+    }
+    if (all) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+  // Containment implies intersection: contained ids must be a subset.
+  auto inter = engine_.SpatialSelection(*src, convex);
+  ASSERT_TRUE(inter.ok());
+  for (GeomId id : r.value().ids) {
+    EXPECT_TRUE(std::binary_search(inter.value().ids.begin(),
+                                   inter.value().ids.end(), id));
+  }
+  EXPECT_LT(r.value().ids.size(), inter.value().ids.size());
+}
+
+TEST_F(EngineExtTest, ContainsSelectionLines) {
+  Rng rng(307);
+  SpatialDataset ds;
+  ds.name = "lines";
+  for (int i = 0; i < 800; ++i) {
+    ds.geoms.emplace_back(testing::RandomLine(&rng, Box(0, 0, 1, 1), 3));
+  }
+  auto src = MakeInMemorySource("lines", ds, engine_.config());
+  MultiPolygon convex;
+  convex.parts.push_back(Polygon::Circle({0.5, 0.5}, 0.35, 24));
+  auto r = engine_.ContainsSelection(*src, convex);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    bool all = true;
+    for (const auto& v : ds.geoms[i].line().points) {
+      all &= PointInMultiPolygon(convex, v);
+    }
+    if (all) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST_F(EngineExtTest, PolyLineJoinMatchesOracle) {
+  Rng rng(311);
+  SpatialDataset lines;
+  lines.name = "lines";
+  for (int i = 0; i < 600; ++i) {
+    lines.geoms.emplace_back(testing::RandomLine(&rng, Box(0, 0, 1, 1), 3));
+  }
+  SpatialDataset parcels = GenerateParcels(25, 6);
+  auto lsrc = MakeInMemorySource("lines", lines, engine_.config());
+  auto csrc = MakeInMemorySource("parcels", parcels, engine_.config());
+  auto r = engine_.SpatialJoin(*csrc, *lsrc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < parcels.size(); ++i) {
+    for (uint32_t j = 0; j < lines.size(); ++j) {
+      bool hit = false;
+      for (const auto& part : parcels.geoms[i].polygon().parts) {
+        hit |= LineIntersectsPolygon(part, lines.geoms[j].line());
+      }
+      if (hit) expect.emplace_back(i, j);
+    }
+  }
+  EXPECT_EQ(r.value().pairs, expect);
+}
+
+TEST_F(EngineExtTest, AggregationPlan1ForPolygonData) {
+  // Non-point data routes through the join-then-count plan.
+  SpatialDataset boxes = GenerateUniformBoxes(1200, 7, 0.03);
+  SpatialDataset parcels = GenerateParcels(16, 8);
+  auto bsrc = MakeInMemorySource("boxes", boxes, engine_.config());
+  auto csrc = MakeInMemorySource("parcels", parcels, engine_.config());
+  auto res = engine_.SpatialAggregation(*bsrc, *csrc);
+  ASSERT_TRUE(res.ok());
+  for (uint32_t i = 0; i < parcels.size(); ++i) {
+    uint64_t expect = 0;
+    for (uint32_t j = 0; j < boxes.size(); ++j) {
+      expect += MultiPolygonsIntersect(parcels.geoms[i].polygon(),
+                                       boxes.geoms[j].polygon());
+    }
+    EXPECT_EQ(res.value().counts[i], expect) << "parcel " << i;
+  }
+}
+
+TEST_F(EngineExtTest, RelationalIdFilterComposesWithSelection) {
+  // The Section 3 linkage: a SQL-style attribute predicate (here: even
+  // ids) fused into the spatial selection's fragment stage.
+  Rng rng(313);
+  SpatialDataset ds = GenerateUniformPoints(8000, 9);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.35, 12));
+  QueryOptions opts;
+  opts.id_filter = [](GeomId id) { return id % 2 == 0; };
+  auto r = engine_.SpatialSelection(*src, poly, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); i += 2) {
+    if (PointInMultiPolygon(poly, ds.geoms[i].point())) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST(GeoTable, DatasetRoundTripThroughCatalog) {
+  Catalog catalog;
+  SpatialDataset ds;
+  ds.name = "mixed";
+  ds.geoms.emplace_back(Vec2{1.5, 2.5});
+  LineString l;
+  l.points = {{0, 0}, {1, 1}};
+  ds.geoms.emplace_back(std::move(l));
+  Polygon p = Polygon::FromBox(Box(0, 0, 2, 2));
+  p.holes.push_back({{0.5, 0.5}, {0.5, 1.5}, {1.5, 1.5}, {1.5, 0.5}});
+  ds.geoms.emplace_back(p);
+
+  ASSERT_TRUE(RegisterDataset(&catalog, ds).ok());
+  auto loaded = LoadDataset(catalog, "mixed");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().geoms[0].point(), ds.geoms[0].point());
+  EXPECT_EQ(loaded.value().geoms[1].line().points.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().geoms[2].polygon().Area(),
+                   ds.geoms[2].polygon().Area());
+}
+
+TEST(GeoTable, LoadRejectsNonSpatialTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("plain", {"a"}, {ColumnType::kInt64}).ok());
+  EXPECT_FALSE(LoadDataset(catalog, "plain").ok());
+  EXPECT_FALSE(LoadDataset(catalog, "missing").ok());
+}
+
+TEST(GeoTable, DuplicateRegistrationFails) {
+  Catalog catalog;
+  SpatialDataset ds;
+  ds.name = "dup";
+  ds.geoms.emplace_back(Vec2{0, 0});
+  ASSERT_TRUE(RegisterDataset(&catalog, ds).ok());
+  EXPECT_FALSE(RegisterDataset(&catalog, ds).ok());
+}
+
+}  // namespace
+}  // namespace spade

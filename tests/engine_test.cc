@@ -1,0 +1,501 @@
+// End-to-end tests of the SPADE engine: every query type is validated
+// against an exact computational-geometry oracle, in memory and
+// out-of-core, matching the accuracy claim of Section 4.
+#include "engine/spade.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "geom/predicates.h"
+#include "geom/projection.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+SpadeConfig SmallConfig() {
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 64 << 10;  // force several cells on 10k+ points
+  cfg.canvas_resolution = 256;
+  cfg.gpu_threads = 4;
+  return cfg;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(SmallConfig()) {}
+  SpadeEngine engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Spatial selection
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, PointSelectionMatchesOracle) {
+  Rng rng(201);
+  SpatialDataset ds = GenerateUniformPoints(20000, 1);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  ASSERT_GT(src->index().num_cells(), 1u);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    MultiPolygon poly;
+    poly.parts.push_back(testing::RandomStarPolygon(
+        &rng, {rng.Uniform(0.3, 0.7), rng.Uniform(0.3, 0.7)}, 0.05, 0.3, 14));
+    auto r = engine_.SpatialSelection(*src, poly);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<GeomId> expect;
+    for (uint32_t i = 0; i < ds.size(); ++i) {
+      if (PointInMultiPolygon(poly, ds.geoms[i].point())) expect.push_back(i);
+    }
+    EXPECT_EQ(r.value().ids, expect) << "trial " << trial;
+    EXPECT_GT(r.value().stats.render_passes, 0);
+  }
+}
+
+TEST_F(EngineTest, GaussianSelectionMatchesOracle) {
+  Rng rng(203);
+  SpatialDataset ds = GenerateGaussianPoints(20000, 2);
+  auto src = MakeInMemorySource("gauss", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.05, 0.25, 16));
+  auto r = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    if (PointInMultiPolygon(poly, ds.geoms[i].point())) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST_F(EngineTest, PolygonSelectionMatchesOracle) {
+  Rng rng(205);
+  SpatialDataset ds = GenerateUniformBoxes(3000, 3, 0.02);
+  auto src = MakeInMemorySource("boxes", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.35, 12));
+  auto r = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    if (MultiPolygonsIntersect(ds.geoms[i].polygon(), poly)) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST_F(EngineTest, LineSelectionMatchesOracle) {
+  Rng rng(207);
+  SpatialDataset ds;
+  ds.name = "lines";
+  for (int i = 0; i < 1500; ++i) {
+    ds.geoms.emplace_back(testing::RandomLine(&rng, Box(0, 0, 1, 1), 3));
+  }
+  auto src = MakeInMemorySource("lines", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.3, 10));
+  auto r = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    bool hit = false;
+    for (const auto& part : poly.parts) {
+      hit |= LineIntersectsPolygon(part, ds.geoms[i].line());
+    }
+    if (hit) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST_F(EngineTest, SelectionOnDiskSourceMatchesInMemory) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "spade_engine_disk").string();
+  std::filesystem::remove_all(dir);
+  Rng rng(209);
+  SpatialDataset ds = GenerateGaussianPoints(15000, 4);
+  ds.name = "g";
+  auto mem = MakeInMemorySource("g", ds, engine_.config());
+  auto disk = DiskSource::Create(dir, ds, engine_.config().EffectiveCellBytes(),
+                                 /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(disk.ok());
+
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.3, 12));
+  auto a = engine_.SpatialSelection(*mem, poly);
+  auto b = engine_.SpatialSelection(*disk.value(), poly);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().ids, b.value().ids);
+  EXPECT_GT(b.value().stats.io_seconds, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EngineTest, SelectionDisjointConstraintIsEmpty) {
+  SpatialDataset ds = GenerateUniformPoints(1000, 5);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(5, 5, 6, 6)));  // off-extent
+  auto r = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().ids.empty());
+}
+
+TEST_F(EngineTest, TwoPassMapProducesSameSelection) {
+  // Shrink the map canvas budget to force the 2-pass implementation and
+  // compare against the 1-pass result.
+  Rng rng(211);
+  SpatialDataset ds = GenerateUniformPoints(8000, 6);
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.4, 10));
+
+  SpadeConfig one = SmallConfig();
+  SpadeConfig two = SmallConfig();
+  two.max_map_canvas_elems = 1;  // everything overflows -> 2-pass
+  SpadeEngine e1(one), e2(two);
+  auto s1 = MakeInMemorySource("a", ds, one);
+  auto s2 = MakeInMemorySource("b", ds, two);
+  auto r1 = e1.SpatialSelection(*s1, poly);
+  auto r2 = e2.SpatialSelection(*s2, poly);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().ids, r2.value().ids);
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, PolyPointJoinMatchesOracle) {
+  SpatialDataset pts = GenerateGaussianPoints(15000, 7);
+  SpatialDataset parcels = GenerateParcels(50, 8);
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto csrc = MakeInMemorySource("parcels", parcels, engine_.config());
+
+  auto r = engine_.SpatialJoin(*csrc, *psrc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < parcels.size(); ++i) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (PointInMultiPolygon(parcels.geoms[i].polygon(),
+                              pts.geoms[j].point())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(r.value().pairs, expect);
+}
+
+TEST_F(EngineTest, PolyPolyJoinMatchesOracle) {
+  SpatialDataset a = GenerateParcels(40, 9);
+  SpatialDataset b = GenerateUniformBoxes(800, 10, 0.05);
+  auto asrc = MakeInMemorySource("a", a, engine_.config());
+  auto bsrc = MakeInMemorySource("b", b, engine_.config());
+
+  auto r = engine_.SpatialJoin(*asrc, *bsrc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (uint32_t j = 0; j < b.size(); ++j) {
+      if (MultiPolygonsIntersect(a.geoms[i].polygon(), b.geoms[j].polygon())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(r.value().pairs, expect);
+}
+
+TEST_F(EngineTest, JoinWithOverlappingConstraintsUsesLayers) {
+  // Overlapping constraint polygons must land in different layers and
+  // still produce exact results.
+  SpatialDataset pts = GenerateUniformPoints(5000, 11);
+  SpatialDataset polys;
+  polys.name = "overlap";
+  polys.geoms.emplace_back(Polygon::FromBox(Box(0.1, 0.1, 0.6, 0.6)));
+  polys.geoms.emplace_back(Polygon::FromBox(Box(0.4, 0.4, 0.9, 0.9)));
+  polys.geoms.emplace_back(Polygon::FromBox(Box(0.3, 0.3, 0.7, 0.7)));
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto csrc = MakeInMemorySource("polys", polys, engine_.config());
+
+  auto r = engine_.SpatialJoin(*csrc, *psrc);
+  ASSERT_TRUE(r.ok());
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t i = 0; i < polys.size(); ++i) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (PointInMultiPolygon(polys.geoms[i].polygon(), pts.geoms[j].point())) {
+        expect.emplace_back(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(r.value().pairs, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Distance queries
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, DistanceSelectionMatchesOracle) {
+  Rng rng(213);
+  SpatialDataset pts = GenerateUniformPoints(10000, 12);
+  auto src = MakeInMemorySource("pts", pts, engine_.config());
+  const Vec2 probe{0.4, 0.6};
+  const double r = 0.12;
+  auto res = engine_.DistanceSelection(*src, Geometry(probe), r);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (probe.DistanceTo(pts.geoms[i].point()) <= r) expect.push_back(i);
+  }
+  EXPECT_EQ(res.value().ids, expect);
+}
+
+TEST_F(EngineTest, DistanceSelectionFromLineMatchesOracle) {
+  Rng rng(215);
+  SpatialDataset pts = GenerateUniformPoints(8000, 13);
+  auto src = MakeInMemorySource("pts", pts, engine_.config());
+  LineString line = testing::RandomLine(&rng, Box(0.2, 0.2, 0.8, 0.8), 4);
+  const double r = 0.07;
+  auto res = engine_.DistanceSelection(*src, Geometry(line), r);
+  ASSERT_TRUE(res.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointLineStringDistance(line, pts.geoms[i].point()) <= r) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(res.value().ids, expect);
+}
+
+TEST_F(EngineTest, DistanceSelectionFromPolygonMatchesOracle) {
+  Rng rng(217);
+  SpatialDataset pts = GenerateUniformPoints(8000, 14);
+  auto src = MakeInMemorySource("pts", pts, engine_.config());
+  MultiPolygon mp;
+  mp.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.08, 0.2, 10));
+  const double r = 0.06;
+  auto res = engine_.DistanceSelection(*src, Geometry(mp), r);
+  ASSERT_TRUE(res.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (PointMultiPolygonDistance(mp, pts.geoms[i].point()) <= r) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(res.value().ids, expect);
+}
+
+TEST_F(EngineTest, DistanceJoinType1MatchesOracle) {
+  Rng rng(219);
+  SpatialDataset pts = GenerateUniformPoints(8000, 15);
+  SpatialDataset probes;
+  probes.name = "probes";
+  for (const auto& p : testing::RandomPoints(&rng, 30, Box(0, 0, 1, 1))) {
+    probes.geoms.emplace_back(p);
+  }
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto qsrc = MakeInMemorySource("probes", probes, engine_.config());
+  const double r = 0.04;
+  auto res = engine_.DistanceJoin(*qsrc, *psrc, r);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t q = 0; q < probes.size(); ++q) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (probes.geoms[q].point().DistanceTo(pts.geoms[j].point()) <= r) {
+        expect.emplace_back(q, j);
+      }
+    }
+  }
+  EXPECT_EQ(res.value().pairs, expect);
+}
+
+TEST_F(EngineTest, DistanceJoinType2MatchesOracle) {
+  Rng rng(221);
+  SpatialDataset pts = GenerateUniformPoints(6000, 16);
+  SpatialDataset probes;
+  probes.name = "probes";
+  std::vector<double> radii;
+  for (const auto& p : testing::RandomPoints(&rng, 20, Box(0, 0, 1, 1))) {
+    probes.geoms.emplace_back(p);
+    radii.push_back(rng.Uniform(0.01, 0.08));
+  }
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto qsrc = MakeInMemorySource("probes", probes, engine_.config());
+  auto res = engine_.DistanceJoinPerObject(*qsrc, *psrc, radii);
+  ASSERT_TRUE(res.ok());
+  std::vector<std::pair<GeomId, GeomId>> expect;
+  for (uint32_t q = 0; q < probes.size(); ++q) {
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      if (probes.geoms[q].point().DistanceTo(pts.geoms[j].point()) <=
+          radii[q]) {
+        expect.emplace_back(q, j);
+      }
+    }
+  }
+  EXPECT_EQ(res.value().pairs, expect);
+}
+
+TEST_F(EngineTest, MercatorDistanceSelectionMatchesProjectedOracle) {
+  // NYC-extent points; 500m radius around a midtown-ish location.
+  SpatialDataset pts = TaxiLikePoints(8000, 17);
+  auto src = MakeInMemorySource("taxi", pts, engine_.config());
+  // Probe at a data point so the result is guaranteed non-empty.
+  const Vec2 probe = pts.geoms[42].point();
+  const double r = 500.0;  // meters
+  QueryOptions opts;
+  opts.mercator = true;
+  auto res = engine_.DistanceSelection(*src, Geometry(probe), r, opts);
+  ASSERT_TRUE(res.ok());
+  const Vec2 pm = LonLatToWebMercator(probe);
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (pm.DistanceTo(LonLatToWebMercator(pts.geoms[i].point())) <= r) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(res.value().ids, expect);
+  EXPECT_FALSE(expect.empty());  // sanity: the probe is in a hotspot area
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, AggregationMatchesOracle) {
+  SpatialDataset pts = GenerateGaussianPoints(12000, 18);
+  SpatialDataset parcels = GenerateParcels(36, 19);
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto csrc = MakeInMemorySource("parcels", parcels, engine_.config());
+  auto res = engine_.SpatialAggregation(*psrc, *csrc);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().counts.size(), parcels.size());
+  for (uint32_t i = 0; i < parcels.size(); ++i) {
+    uint64_t expect = 0;
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      expect += PointInMultiPolygon(parcels.geoms[i].polygon(),
+                                    pts.geoms[j].point());
+    }
+    EXPECT_EQ(res.value().counts[i], expect) << "parcel " << i;
+  }
+}
+
+TEST_F(EngineTest, AggregationOverTilingCountsEveryPointOnce) {
+  // Jittered-grid polygons tile the extent: each point falls in >= 1
+  // polygon (boundary points may be in 2), so the total count is >= n.
+  SpatialDataset pts = TaxiLikePoints(5000, 20);
+  SpatialDataset hoods = NeighborhoodLikePolygons(21, 6, 6);
+  auto psrc = MakeInMemorySource("pts", pts, engine_.config());
+  auto csrc = MakeInMemorySource("hoods", hoods, engine_.config());
+  auto res = engine_.SpatialAggregation(*psrc, *csrc);
+  ASSERT_TRUE(res.ok());
+  uint64_t total = 0;
+  for (uint64_t c : res.value().counts) total += c;
+  EXPECT_GE(total, 5000u);
+  EXPECT_LE(total, 5100u);  // only boundary points may double-count
+}
+
+// ---------------------------------------------------------------------------
+// kNN
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, KnnSelectionMatchesOracle) {
+  Rng rng(223);
+  SpatialDataset pts = GenerateGaussianPoints(10000, 22);
+  auto src = MakeInMemorySource("pts", pts, engine_.config());
+  for (const size_t k : {1u, 5u, 25u}) {
+    const Vec2 probe{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+    auto res = engine_.KnnSelection(*src, probe, k);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_EQ(res.value().neighbors.size(), k);
+    std::vector<double> dists;
+    for (const auto& g : pts.geoms) dists.push_back(probe.DistanceTo(g.point()));
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(res.value().neighbors[i].second, dists[i], 1e-12);
+    }
+  }
+}
+
+TEST_F(EngineTest, KnnJoinMatchesOracle) {
+  Rng rng(227);
+  SpatialDataset pts = GenerateUniformPoints(8000, 23);
+  auto src = MakeInMemorySource("pts", pts, engine_.config());
+  const auto probes = testing::RandomPoints(&rng, 10, Box(0.1, 0.1, 0.9, 0.9));
+  const size_t k = 7;
+  auto res = engine_.KnnJoin(probes, *src, k);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res.value().pairs.size(), probes.size() * k);
+  for (uint32_t q = 0; q < probes.size(); ++q) {
+    std::vector<std::pair<double, GeomId>> oracle;
+    for (uint32_t j = 0; j < pts.size(); ++j) {
+      oracle.emplace_back(probes[q].DistanceTo(pts.geoms[j].point()), j);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    for (size_t i = 0; i < k; ++i) {
+      const auto& pair = res.value().pairs[q * k + i];
+      EXPECT_EQ(pair.first, q);
+      // Compare by distance (ties may reorder ids).
+      EXPECT_NEAR(probes[q].DistanceTo(pts.geoms[pair.second].point()),
+                  oracle[i].first, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats & plumbing
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, StatsBreakdownIsPopulated) {
+  Rng rng(229);
+  SpatialDataset ds = GenerateUniformPoints(20000, 24);
+  auto src = MakeInMemorySource("pts", ds, engine_.config());
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.2, 0.45, 64));
+  auto r = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok());
+  const QueryStats& st = r.value().stats;
+  EXPECT_GT(st.polygon_seconds, 0.0);
+  EXPECT_GT(st.gpu_seconds, 0.0);
+  EXPECT_GT(st.io_seconds, 0.0);
+  EXPECT_GT(st.bytes_transferred, 0);
+  EXPECT_GT(st.render_passes, 0);
+  EXPECT_GT(st.fragments, 0);
+  EXPECT_GT(st.cells_processed, 0);
+  EXPECT_GT(st.TotalSeconds(), 0.0);
+}
+
+TEST_F(EngineTest, WarmIndexesAllowsRepeatableTiming) {
+  SpatialDataset ds = GenerateUniformBoxes(1000, 25, 0.02);
+  auto src = MakeInMemorySource("boxes", ds, engine_.config());
+  ASSERT_TRUE(engine_.WarmIndexes(*src, /*need_layers=*/true).ok());
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0.2, 0.2, 0.8, 0.8)));
+  auto r1 = engine_.SpatialSelection(*src, poly);
+  auto r2 = engine_.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().ids, r2.value().ids);
+}
+
+TEST_F(EngineTest, CatalogIntegration) {
+  // Datasets and results can round-trip through the relational store.
+  auto st = engine_.catalog().CreateTable("meta", {"key", "value"},
+                                          {ColumnType::kText, ColumnType::kText});
+  ASSERT_TRUE(st.ok());
+  auto* table = engine_.catalog().GetTable("meta").value();
+  ASSERT_TRUE(table->AppendRow({std::string("engine"), std::string("spade")}).ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,202 @@
+// Failure-injection tests: corrupted blocks, missing files, and invalid
+// query inputs must surface as Status errors, never crashes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/spider.h"
+#include "engine/spade.h"
+
+namespace spade {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+SpadeConfig SmallConfig() {
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 16 << 10;
+  cfg.canvas_resolution = 64;
+  cfg.gpu_threads = 2;
+  return cfg;
+}
+
+TEST(FailureInjection, TruncatedBlockFileSurfacesIOError) {
+  const std::string dir = TempDir("spade_fail_trunc");
+  SpatialDataset ds = GenerateUniformPoints(3000, 1);
+  ds.name = "pts";
+  auto disk = DiskSource::Create(dir, ds, 16 << 10, 1 << 20);
+  ASSERT_TRUE(disk.ok());
+  // Truncate one block file.
+  const std::string victim = dir + "/cell_0.blk";
+  ASSERT_TRUE(fs::exists(victim));
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+
+  QueryStats stats;
+  auto cell = disk.value()->LoadCell(0, &stats);
+  EXPECT_FALSE(cell.ok());
+  EXPECT_EQ(cell.status().code(), Status::Code::kIOError);
+
+  // An engine query over the damaged source fails cleanly too.
+  SpadeEngine engine(SmallConfig());
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0, 0, 1, 1)));
+  auto r = engine.SpatialSelection(*disk.value(), poly);
+  EXPECT_FALSE(r.ok());
+  fs::remove_all(dir);
+}
+
+TEST(FailureInjection, MissingBlockFileSurfacesIOError) {
+  const std::string dir = TempDir("spade_fail_missing");
+  SpatialDataset ds = GenerateUniformPoints(3000, 2);
+  ds.name = "pts";
+  auto disk = DiskSource::Create(dir, ds, 16 << 10, 1 << 20);
+  ASSERT_TRUE(disk.ok());
+  fs::remove(dir + "/cell_0.blk");
+  QueryStats stats;
+  EXPECT_FALSE(disk.value()->LoadCell(0, &stats).ok());
+  fs::remove_all(dir);
+}
+
+TEST(FailureInjection, CorruptedMetaFailsOpen) {
+  const std::string dir = TempDir("spade_fail_meta");
+  SpatialDataset ds = GenerateUniformPoints(500, 3);
+  ds.name = "pts";
+  ASSERT_TRUE(DiskSource::Create(dir, ds, 16 << 10, 1 << 20).ok());
+  {
+    std::ofstream f(dir + "/index.meta",
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  EXPECT_FALSE(DiskSource::Open(dir, 1 << 20).ok());
+  fs::remove_all(dir);
+}
+
+TEST(FailureInjection, OpenNonexistentDirFails) {
+  EXPECT_FALSE(DiskSource::Open("/nonexistent/spade/dir", 1 << 20).ok());
+}
+
+TEST(FailureInjection, DistanceJoinRejectsNonPointData) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset boxes = GenerateUniformBoxes(200, 4);
+  SpatialDataset probes;
+  probes.name = "probes";
+  probes.geoms.emplace_back(Vec2{0.5, 0.5});
+  auto bsrc = MakeInMemorySource("boxes", boxes, engine.config());
+  auto psrc = MakeInMemorySource("probes", probes, engine.config());
+  auto r = engine.DistanceJoin(*psrc, *bsrc, 0.1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotSupported);
+}
+
+TEST(FailureInjection, KnnRejectsNonPointData) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset boxes = GenerateUniformBoxes(200, 5);
+  auto src = MakeInMemorySource("boxes", boxes, engine.config());
+  auto r = engine.KnnSelection(*src, {0.5, 0.5}, 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotSupported);
+}
+
+TEST(FailureInjection, PerObjectRadiiMustCoverLeftSide) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset pts = GenerateUniformPoints(100, 6);
+  auto a = MakeInMemorySource("a", pts, engine.config());
+  auto b = MakeInMemorySource("b", pts, engine.config());
+  auto r = engine.DistanceJoinPerObject(*a, *b, {0.1});  // too few radii
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(DeviceMemory, AllocationsTrackAndRelease) {
+  GfxDevice device(1);
+  device.set_memory_budget(1000);
+  EXPECT_EQ(device.memory_in_use(), 0);
+  {
+    auto a = DeviceAllocation::Make(&device, 600);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(device.memory_in_use(), 600);
+    auto b = DeviceAllocation::Make(&device, 500);  // 1100 > 1000
+    EXPECT_FALSE(b.ok());
+    EXPECT_EQ(b.status().code(), Status::Code::kOutOfMemory);
+    EXPECT_EQ(device.memory_in_use(), 600);  // failed alloc rolled back
+  }
+  EXPECT_EQ(device.memory_in_use(), 0);  // RAII release
+  // Unlimited when budget is 0.
+  device.set_memory_budget(0);
+  auto c = DeviceAllocation::Make(&device, 1 << 30);
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(DeviceMemory, QueryFailsWhenCellsExceedBudget) {
+  // Cells sized far beyond the device budget must fail with OutOfMemory,
+  // enforcing the Section 6.1 sizing rule.
+  SpadeConfig cfg;
+  cfg.device_memory_budget = 64 << 10;  // 64 KB device
+  cfg.max_cell_bytes = 1 << 20;         // 1 MB cells: violates the rule
+  cfg.canvas_resolution = 16;
+  cfg.gpu_threads = 1;
+  SpadeEngine engine(cfg);
+  SpatialDataset ds = GenerateUniformPoints(20000, 8);  // ~320 KB in one cell
+  auto src = MakeInMemorySource("pts", ds, cfg);
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0.1, 0.1, 0.9, 0.9)));
+  auto r = engine.SpatialSelection(*src, poly);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOutOfMemory);
+  // Device memory must be fully released after the failed query.
+  EXPECT_EQ(engine.device().memory_in_use(), 0);
+}
+
+TEST(DeviceMemory, ProperlySizedCellsSucceed) {
+  SpadeConfig cfg;
+  cfg.device_memory_budget = 4 << 20;  // cells derive to 1 MB
+  cfg.canvas_resolution = 64;
+  cfg.gpu_threads = 1;
+  SpadeEngine engine(cfg);
+  SpatialDataset ds = GenerateUniformPoints(20000, 9);
+  auto src = MakeInMemorySource("pts", ds, cfg);
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0.1, 0.1, 0.9, 0.9)));
+  auto r = engine.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(engine.device().memory_in_use(), 0);
+}
+
+TEST(FailureInjection, EmptyDatasetQueriesSucceedEmpty) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset empty;
+  empty.name = "empty";
+  auto src = MakeInMemorySource("empty", empty, engine.config());
+  MultiPolygon poly;
+  poly.parts.push_back(Polygon::FromBox(Box(0, 0, 1, 1)));
+  auto sel = engine.SpatialSelection(*src, poly);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel.value().ids.empty());
+  auto knn = engine.KnnSelection(*src, {0.5, 0.5}, 3);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn.value().neighbors.empty());
+}
+
+TEST(FailureInjection, ZeroKnnAndZeroRadius) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset pts = GenerateUniformPoints(500, 7);
+  auto src = MakeInMemorySource("pts", pts, engine.config());
+  auto knn = engine.KnnSelection(*src, {0.5, 0.5}, 0);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn.value().neighbors.empty());
+  // Radius 0: only exact coincidences match.
+  auto sel = engine.DistanceSelection(*src, Geometry(pts.geoms[0].point()), 0);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_GE(sel.value().ids.size(), 1u);
+  EXPECT_EQ(sel.value().ids[0], 0u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,162 @@
+// Tests for convex hull, projections, WKT, and geometry basics.
+#include <gtest/gtest.h>
+
+#include "geom/convex_hull.h"
+#include "geom/predicates.h"
+#include "geom/projection.h"
+#include "geom/wkt.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+TEST(ConvexHull, Square) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHull, CollinearPointsDegenerate) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_LE(hull.size(), 2u);
+}
+
+TEST(ConvexHull, ContainsAllInputPoints) {
+  Rng rng(5);
+  const auto pts = testing::RandomPoints(&rng, 500, Box(0, 0, 10, 10));
+  const auto hull = ConvexHull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  Polygon hp;
+  hp.outer = hull;
+  for (const auto& p : pts) {
+    EXPECT_TRUE(PointInPolygon(hp, p));
+  }
+  // Hull must be counter-clockwise.
+  EXPECT_GT(Polygon::RingSignedArea(hull), 0);
+}
+
+TEST(ConvexHullPolygon, MixedGeometries) {
+  std::vector<Geometry> geoms;
+  geoms.emplace_back(Vec2{0, 0});
+  LineString l;
+  l.points = {{5, 0}, {5, 5}};
+  geoms.emplace_back(std::move(l));
+  geoms.emplace_back(Polygon::FromBox(Box(0, 4, 2, 6)));
+  const Polygon hull = ConvexHullPolygon(geoms);
+  ASSERT_GE(hull.outer.size(), 3u);
+  EXPECT_TRUE(PointInPolygon(hull, {1, 1}));
+  EXPECT_TRUE(PointInPolygon(hull, {5, 5}));
+}
+
+TEST(Projection, RoundTrip) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 ll{rng.Uniform(-179, 179), rng.Uniform(-84, 84)};
+    const Vec2 xy = LonLatToWebMercator(ll);
+    const Vec2 back = WebMercatorToLonLat(xy);
+    EXPECT_NEAR(back.x, ll.x, 1e-9);
+    EXPECT_NEAR(back.y, ll.y, 1e-9);
+  }
+}
+
+TEST(Projection, EquatorScale) {
+  // 1 degree of longitude at the equator is ~111.32 km in EPSG:3857.
+  const Vec2 a = LonLatToWebMercator({0, 0});
+  const Vec2 b = LonLatToWebMercator({1, 0});
+  EXPECT_NEAR(b.x - a.x, 111319.49, 1.0);
+  EXPECT_NEAR(a.y, 0.0, 1e-6);
+}
+
+TEST(Projection, HaversineKnownDistance) {
+  // NYC (-74.006, 40.7128) to LA (-118.2437, 34.0522) is ~3936 km.
+  const double d = HaversineMeters({-74.006, 40.7128}, {-118.2437, 34.0522});
+  EXPECT_NEAR(d, 3.936e6, 5e4);
+}
+
+TEST(Wkt, PointRoundTrip) {
+  auto g = ParseWkt("POINT (1.5 -2.25)");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(g.value().is_point());
+  EXPECT_DOUBLE_EQ(g.value().point().x, 1.5);
+  EXPECT_DOUBLE_EQ(g.value().point().y, -2.25);
+  auto g2 = ParseWkt(ToWkt(g.value()));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().point(), g.value().point());
+}
+
+TEST(Wkt, LineStringRoundTrip) {
+  auto g = ParseWkt("LINESTRING (0 0, 1 1, 2 0)");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g.value().is_line());
+  EXPECT_EQ(g.value().line().points.size(), 3u);
+  auto g2 = ParseWkt(ToWkt(g.value()));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().line().points.size(), 3u);
+}
+
+TEST(Wkt, PolygonWithHoleRoundTrip) {
+  auto g = ParseWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_TRUE(g.value().is_polygon());
+  const auto& poly = g.value().polygon().parts[0];
+  EXPECT_EQ(poly.outer.size(), 4u);  // closing vertex dropped
+  ASSERT_EQ(poly.holes.size(), 1u);
+  EXPECT_EQ(poly.holes[0].size(), 4u);
+  auto g2 = ParseWkt(ToWkt(g.value()));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_DOUBLE_EQ(g2.value().polygon().Area(), g.value().polygon().Area());
+}
+
+TEST(Wkt, MultiPolygonRoundTrip) {
+  auto g = ParseWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 7 5, 7 7, 5 7, 5 5)))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().polygon().parts.size(), 2u);
+  auto g2 = ParseWkt(ToWkt(g.value()));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().polygon().parts.size(), 2u);
+}
+
+TEST(Wkt, Errors) {
+  EXPECT_FALSE(ParseWkt("CIRCLE (0 0, 5)").ok());
+  EXPECT_FALSE(ParseWkt("POINT 1 2").ok());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0").ok());
+}
+
+TEST(Geometry, BoundsAndCentroid) {
+  Geometry g(Polygon::FromBox(Box(0, 0, 4, 2)));
+  const Box b = g.Bounds();
+  EXPECT_DOUBLE_EQ(b.Width(), 4);
+  EXPECT_DOUBLE_EQ(b.Height(), 2);
+  const Vec2 c = g.Centroid();
+  EXPECT_DOUBLE_EQ(c.x, 2);
+  EXPECT_DOUBLE_EQ(c.y, 1);
+}
+
+TEST(Geometry, RingSignedArea) {
+  EXPECT_GT(Polygon::RingSignedArea({{0, 0}, {1, 0}, {1, 1}, {0, 1}}), 0);
+  EXPECT_LT(Polygon::RingSignedArea({{0, 0}, {0, 1}, {1, 1}, {1, 0}}), 0);
+}
+
+TEST(Geometry, PolygonNormalize) {
+  Polygon p;
+  p.outer = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};  // CW
+  p.holes.push_back({{0.2, 0.2}, {0.8, 0.2}, {0.8, 0.8}, {0.2, 0.8}});  // CCW
+  p.Normalize();
+  EXPECT_GT(Polygon::RingSignedArea(p.outer), 0);
+  EXPECT_LT(Polygon::RingSignedArea(p.holes[0]), 0);
+}
+
+TEST(BoxGeometry, DistanceAndCorners) {
+  const Box b(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(b.DistanceTo({1, 1}), 0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo({4, 1}), 2);
+  EXPECT_NEAR(b.MaxCornerDistanceTo({0, 0}), std::sqrt(8.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace spade

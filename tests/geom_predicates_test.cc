@@ -1,0 +1,211 @@
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+TEST(Orient2D, BasicOrientations) {
+  EXPECT_GT(Orient2D({0, 0}, {1, 0}, {0, 1}), 0);  // CCW
+  EXPECT_LT(Orient2D({0, 0}, {0, 1}, {1, 0}), 0);  // CW
+  EXPECT_EQ(Orient2D({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(OnSegment, EndpointsAndMidpoint) {
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {1, 1}));
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {0, 0}));
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {2, 2}));
+  EXPECT_FALSE(OnSegment({0, 0}, {2, 2}, {3, 3}));  // collinear but outside
+  EXPECT_FALSE(OnSegment({0, 0}, {2, 2}, {1, 0}));
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, SharedEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersect, TTouch) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+}
+
+TEST(SegmentsIntersect, Disjoint) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(PointInTriangle, InteriorBoundaryExterior) {
+  const Vec2 a{0, 0}, b{4, 0}, c{0, 4};
+  EXPECT_TRUE(PointInTriangle(a, b, c, {1, 1}));
+  EXPECT_TRUE(PointInTriangle(a, b, c, {2, 0}));  // on edge
+  EXPECT_TRUE(PointInTriangle(a, b, c, {0, 0}));  // vertex
+  EXPECT_FALSE(PointInTriangle(a, b, c, {3, 3}));
+}
+
+TEST(PointInTriangle, WorksForClockwiseTriangles) {
+  EXPECT_TRUE(PointInTriangle({0, 0}, {0, 4}, {4, 0}, {1, 1}));
+}
+
+TEST(TrianglesIntersect, OverlapContainmentDisjoint) {
+  // Overlapping.
+  EXPECT_TRUE(TrianglesIntersect({0, 0}, {4, 0}, {0, 4},  //
+                                 {1, 1}, {5, 1}, {1, 5}));
+  // One inside the other.
+  EXPECT_TRUE(TrianglesIntersect({0, 0}, {10, 0}, {0, 10},  //
+                                 {1, 1}, {2, 1}, {1, 2}));
+  EXPECT_TRUE(TrianglesIntersect({1, 1}, {2, 1}, {1, 2},  //
+                                 {0, 0}, {10, 0}, {0, 10}));
+  // Disjoint.
+  EXPECT_FALSE(TrianglesIntersect({0, 0}, {1, 0}, {0, 1},  //
+                                  {5, 5}, {6, 5}, {5, 6}));
+  // Touching at a single vertex.
+  EXPECT_TRUE(TrianglesIntersect({0, 0}, {1, 0}, {0, 1},  //
+                                 {1, 0}, {2, 0}, {1, 1}));
+}
+
+TEST(PointInPolygon, SquareWithHole) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 10, 10));
+  p.holes.push_back({{4, 4}, {4, 6}, {6, 6}, {6, 4}});  // CW hole
+  EXPECT_TRUE(PointInPolygon(p, {1, 1}));
+  EXPECT_FALSE(PointInPolygon(p, {5, 5}));     // inside hole
+  EXPECT_TRUE(PointInPolygon(p, {4, 5}));      // on hole boundary
+  EXPECT_TRUE(PointInPolygon(p, {0, 5}));      // on outer boundary
+  EXPECT_FALSE(PointInPolygon(p, {11, 5}));
+}
+
+TEST(PointInPolygon, ConcavePolygon) {
+  // A "U" shape.
+  Polygon p;
+  p.outer = {{0, 0}, {6, 0}, {6, 6}, {4, 6}, {4, 2}, {2, 2}, {2, 6}, {0, 6}};
+  EXPECT_TRUE(PointInPolygon(p, {1, 5}));
+  EXPECT_TRUE(PointInPolygon(p, {5, 5}));
+  EXPECT_FALSE(PointInPolygon(p, {3, 5}));  // inside the notch
+  EXPECT_TRUE(PointInPolygon(p, {3, 1}));
+}
+
+TEST(PointInRing, RayThroughVertexIsCounted) {
+  // Diamond whose vertices align horizontally with the probe.
+  std::vector<Vec2> ring = {{0, 0}, {2, 2}, {4, 0}, {2, -2}};
+  EXPECT_TRUE(PointInRing(ring, {2, 0}));
+  EXPECT_FALSE(PointInRing(ring, {-1, 0}));
+  EXPECT_FALSE(PointInRing(ring, {5, 0}));
+}
+
+TEST(PolygonsIntersect, AdjacentSharingEdge) {
+  Polygon a = Polygon::FromBox(Box(0, 0, 1, 1));
+  Polygon b = Polygon::FromBox(Box(1, 0, 2, 1));
+  EXPECT_TRUE(PolygonsIntersect(a, b));  // ST_INTERSECTS counts touching
+}
+
+TEST(PolygonsIntersect, NestedAndDisjoint) {
+  Polygon outer = Polygon::FromBox(Box(0, 0, 10, 10));
+  Polygon inner = Polygon::FromBox(Box(4, 4, 5, 5));
+  Polygon far = Polygon::FromBox(Box(20, 20, 21, 21));
+  EXPECT_TRUE(PolygonsIntersect(outer, inner));
+  EXPECT_TRUE(PolygonsIntersect(inner, outer));
+  EXPECT_FALSE(PolygonsIntersect(outer, far));
+}
+
+TEST(PolygonsIntersect, HoleSeparatesNestedPolygon) {
+  Polygon donut = Polygon::FromBox(Box(0, 0, 10, 10));
+  donut.holes.push_back({{2, 2}, {2, 8}, {8, 8}, {8, 2}});
+  Polygon inside_hole = Polygon::FromBox(Box(4, 4, 6, 6));
+  EXPECT_FALSE(PolygonsIntersect(donut, inside_hole));
+  EXPECT_FALSE(PolygonsIntersect(inside_hole, donut));
+  // Crossing the hole boundary does intersect.
+  Polygon crossing = Polygon::FromBox(Box(1, 4, 4, 6));
+  EXPECT_TRUE(PolygonsIntersect(donut, crossing));
+}
+
+TEST(SegmentIntersectsPolygon, CrossThroughAndMiss) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 4, 4));
+  EXPECT_TRUE(SegmentIntersectsPolygon(p, {-1, 2}, {5, 2}));
+  EXPECT_TRUE(SegmentIntersectsPolygon(p, {1, 1}, {2, 2}));   // fully inside
+  EXPECT_FALSE(SegmentIntersectsPolygon(p, {-2, -2}, {-1, 5}));
+}
+
+TEST(Distances, PointSegment) {
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({0, 1}, {0, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 0}, {0, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({1, 0}, {0, 0}, {2, 0}), 0.0);
+  // Degenerate segment (a point).
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Distances, SegmentSegment) {
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {1, 0}, {0, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(Distances, PointPolygonZeroInside) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 4, 4));
+  EXPECT_DOUBLE_EQ(PointPolygonDistance(p, {2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(PointPolygonDistance(p, {6, 2}), 2.0);
+  EXPECT_NEAR(PointPolygonDistance(p, {5, 5}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Distances, BoxSegment) {
+  const Box box(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(BoxSegmentDistance(box, {2, 0}, {2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(BoxSegmentDistance(box, {0.5, 0.5}, {2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(BoxSegmentDistance(box, {-1, -1}, {2, -1}), 1.0);
+  // Max distance is attained at a corner.
+  EXPECT_NEAR(BoxSegmentMaxDistance(box, {0, 0}, {0, 0}), std::sqrt(2.0),
+              1e-12);
+}
+
+// Property: segment-segment distance 0 iff segments intersect.
+TEST(PredicateProperty, SegmentDistanceZeroIffIntersect) {
+  Rng rng(42);
+  const Box box(0, 0, 10, 10);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p1 = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Vec2 p2 = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Vec2 q1 = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Vec2 q2 = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const bool isect = SegmentsIntersect(p1, p2, q1, q2);
+    const double d = SegmentSegmentDistance(p1, p2, q1, q2);
+    EXPECT_EQ(isect, d == 0.0) << "segments (" << p1.x << "," << p1.y << ")-("
+                               << p2.x << "," << p2.y << ") vs (" << q1.x
+                               << "," << q1.y << ")-(" << q2.x << "," << q2.y
+                               << ")";
+  }
+}
+
+// Property: PointInPolygon agrees with PointPolygonDistance == 0.
+TEST(PredicateProperty, PointInPolygonIffDistanceZero) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Polygon poly = testing::RandomStarPolygon(
+        &rng, {rng.Uniform(2, 8), rng.Uniform(2, 8)}, 0.5, 2.0);
+    for (int i = 0; i < 100; ++i) {
+      const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      EXPECT_EQ(PointInPolygon(poly, p), PointPolygonDistance(poly, p) == 0.0);
+    }
+  }
+}
+
+// Property: triangle-triangle intersection is symmetric.
+TEST(PredicateProperty, TriangleIntersectSymmetric) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    Vec2 t1[3], t2[3];
+    for (auto& v : t1) v = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    for (auto& v : t2) v = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_EQ(TrianglesIntersect(t1[0], t1[1], t1[2], t2[0], t2[1], t2[2]),
+              TrianglesIntersect(t2[0], t2[1], t2[2], t1[0], t1[1], t1[2]));
+  }
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,133 @@
+#include "geom/triangulate.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+double TotalArea(const std::vector<Triangle>& tris) {
+  double a = 0;
+  for (const auto& t : tris) a += t.Area();
+  return a;
+}
+
+TEST(Triangulate, SquareYieldsTwoTriangles) {
+  const Polygon p = Polygon::FromBox(Box(0, 0, 2, 2));
+  const Triangulation tri = Triangulate(p);
+  EXPECT_EQ(tri.triangles.size(), 2u);
+  EXPECT_NEAR(TotalArea(tri.triangles), 4.0, 1e-12);
+}
+
+TEST(Triangulate, TriangleCountIsNMinus2ForSimplePolygon) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.UniformInt(3, 24);
+    const Polygon p = testing::RandomStarPolygon(&rng, {5, 5}, 1.0, 4.0, n);
+    const Triangulation tri = Triangulate(p);
+    EXPECT_EQ(tri.triangles.size(), static_cast<size_t>(n - 2));
+    EXPECT_NEAR(TotalArea(tri.triangles), p.Area(), 1e-9 * p.Area());
+  }
+}
+
+TEST(Triangulate, ConcavePolygonAreaPreserved) {
+  Polygon p;  // "L" shape
+  p.outer = {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  const Triangulation tri = Triangulate(p);
+  EXPECT_NEAR(TotalArea(tri.triangles), p.Area(), 1e-12);
+  EXPECT_EQ(tri.triangles.size(), p.outer.size() - 2);
+}
+
+TEST(Triangulate, ClockwiseInputIsNormalized) {
+  Polygon p;
+  p.outer = {{0, 4}, {4, 4}, {4, 0}, {0, 0}};  // CW square
+  const Triangulation tri = Triangulate(p);
+  EXPECT_NEAR(TotalArea(tri.triangles), 16.0, 1e-12);
+}
+
+TEST(Triangulate, PolygonWithHole) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 10, 10));
+  p.holes.push_back({{4, 4}, {4, 6}, {6, 6}, {6, 4}});
+  const Triangulation tri = Triangulate(p);
+  EXPECT_NEAR(TotalArea(tri.triangles), p.Area(), 1e-9);
+  // Every triangle must avoid the hole interior.
+  for (const auto& t : tri.triangles) {
+    const Vec2 c = (t.a + t.b + t.c) / 3.0;
+    EXPECT_TRUE(PointInPolygon(p, c))
+        << "triangle centroid (" << c.x << "," << c.y << ") escaped polygon";
+  }
+}
+
+TEST(Triangulate, EdgeTriangleMappingCoversOuterEdges) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon p = testing::RandomStarPolygon(&rng, {5, 5}, 1.0, 4.0, 14);
+    const Triangulation tri = Triangulate(p);
+    ASSERT_EQ(tri.edges.size(), p.outer.size());
+    ASSERT_EQ(tri.edge_triangle.size(), tri.edges.size());
+    for (size_t e = 0; e < tri.edges.size(); ++e) {
+      ASSERT_GE(tri.edge_triangle[e], 0) << "edge " << e << " unmapped";
+      const Triangle& t = tri.triangles[tri.edge_triangle[e]];
+      // The mapped triangle must be incident on the edge: both endpoints
+      // are triangle vertices.
+      auto is_vertex = [&](const Vec2& v) {
+        return v == t.a || v == t.b || v == t.c;
+      };
+      EXPECT_TRUE(is_vertex(tri.edges[e][0]));
+      EXPECT_TRUE(is_vertex(tri.edges[e][1]));
+    }
+  }
+}
+
+TEST(Triangulate, DegenerateInputsYieldNoTriangles) {
+  Polygon p;
+  EXPECT_TRUE(Triangulate(p).triangles.empty());
+  p.outer = {{0, 0}, {1, 1}};
+  EXPECT_TRUE(Triangulate(p).triangles.empty());
+}
+
+TEST(Triangulate, MultiPolygonConcatenatesParts) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(0, 0, 1, 1)));
+  mp.parts.push_back(Polygon::FromBox(Box(5, 5, 7, 7)));
+  const Triangulation tri = Triangulate(mp);
+  EXPECT_EQ(tri.triangles.size(), 4u);
+  EXPECT_NEAR(TotalArea(tri.triangles), 1.0 + 4.0, 1e-12);
+  EXPECT_EQ(tri.edges.size(), 8u);
+}
+
+// Property: triangulation covers exactly the polygon: random points are in
+// the polygon iff they are in some triangle.
+TEST(TriangulateProperty, CoverageMatchesPointInPolygon) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Polygon p = testing::RandomStarPolygon(&rng, {5, 5}, 1.0, 4.5, 16);
+    const Triangulation tri = Triangulate(p);
+    for (int i = 0; i < 200; ++i) {
+      const Vec2 q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      bool in_tri = false;
+      for (const auto& t : tri.triangles) {
+        if (PointInTriangle(t.a, t.b, t.c, q)) {
+          in_tri = true;
+          break;
+        }
+      }
+      const bool in_poly = PointInPolygon(p, q);
+      // Boundary points may differ by floating error; skip near-boundary.
+      const double d = PointPolygonDistance(p, q);
+      if (d > 1e-9 || in_poly) {
+        if (in_poly != in_tri && d > 1e-9) {
+          EXPECT_EQ(in_poly, in_tri)
+              << "point (" << q.x << "," << q.y << ") trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spade

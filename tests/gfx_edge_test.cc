@@ -1,0 +1,162 @@
+// Edge-case tests for the scanline rasterizer: degenerate primitives,
+// needle triangles, off-viewport geometry, and tiny viewports.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gfx/rasterizer.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+using PixelSet = std::set<std::pair<int, int>>;
+
+PixelSet Conservative(const Viewport& vp, const Vec2& a, const Vec2& b,
+                      const Vec2& c) {
+  PixelSet got;
+  RasterizeTriangle(vp, a, b, c, true, [&](int x, int y) { got.insert({x, y}); });
+  return got;
+}
+
+PixelSet BruteForce(const Viewport& vp, const Vec2& a, const Vec2& b,
+                    const Vec2& c) {
+  PixelSet expect;
+  for (int y = 0; y < vp.height(); ++y) {
+    for (int x = 0; x < vp.width(); ++x) {
+      if (gfx_internal::TriangleTouchesBox(a, b, c, vp.PixelBox(x, y))) {
+        expect.insert({x, y});
+      }
+    }
+  }
+  return expect;
+}
+
+TEST(RasterizerEdge, DegenerateTriangleIsSegment) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  // All three vertices collinear, passing exactly through pixel corners.
+  // The rasterization contract (see docs/pipeline.md): the emitted set is
+  // a subset of all corner-touched pixels and a superset of the floor
+  // pixels of every primitive point — the rendezvous pixels exact tests
+  // rely on.
+  const Vec2 a{1.5, 1.5}, b{4.5, 4.5}, c{6.5, 6.5};
+  const PixelSet got = Conservative(vp, a, b, c);
+  const PixelSet touched = BruteForce(vp, a, b, c);
+  for (const auto& p : got) {
+    EXPECT_TRUE(touched.count(p)) << p.first << "," << p.second;
+  }
+  // Floor pixels of sampled points along the segment are all present.
+  for (double t = 0; t <= 1.0; t += 1.0 / 64) {
+    const Vec2 q = a + (c - a) * t;
+    auto [x, y] = vp.ToPixel(q);
+    EXPECT_TRUE(got.count({x, y})) << q.x << "," << q.y;
+  }
+}
+
+TEST(RasterizerEdge, PointTriangle) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  const Vec2 p{3.25, 5.75};
+  const auto got = Conservative(vp, p, p, p);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got.count({3, 5}));
+}
+
+TEST(RasterizerEdge, NeedleTriangles) {
+  const Viewport vp(Box(0, 0, 16, 16), 64, 64);
+  Rng rng(501);
+  for (int i = 0; i < 100; ++i) {
+    // A long, extremely thin sliver.
+    const Vec2 a{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    const Vec2 b{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    const Vec2 c{b.x + rng.Uniform(-1e-4, 1e-4), b.y + rng.Uniform(-1e-4, 1e-4)};
+    EXPECT_EQ(Conservative(vp, a, b, c), BruteForce(vp, a, b, c)) << i;
+  }
+}
+
+TEST(RasterizerEdge, TriangleFullyOutsideViewport) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  EXPECT_TRUE(Conservative(vp, {10, 10}, {12, 10}, {10, 12}).empty());
+  EXPECT_TRUE(Conservative(vp, {-5, -5}, {-2, -5}, {-5, -2}).empty());
+}
+
+TEST(RasterizerEdge, TriangleCoveringWholeViewport) {
+  const Viewport vp(Box(0, 0, 4, 4), 4, 4);
+  const auto got = Conservative(vp, {-10, -10}, {30, -10}, {-10, 30});
+  EXPECT_EQ(got.size(), 16u);
+  // Default mode also fills every pixel (centers inside).
+  PixelSet centers;
+  RasterizeTriangle(vp, {-10, -10}, {30, -10}, {-10, 30}, false,
+                    [&](int x, int y) { centers.insert({x, y}); });
+  EXPECT_EQ(centers.size(), 16u);
+}
+
+TEST(RasterizerEdge, OneByOneViewport) {
+  const Viewport vp(Box(0, 0, 1, 1), 1, 1);
+  EXPECT_EQ(Conservative(vp, {0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}).size(), 1u);
+  PixelSet seg;
+  RasterizeSegmentConservative(vp, {0.1, 0.1}, {0.9, 0.9},
+                               [&](int x, int y) { seg.insert({x, y}); });
+  EXPECT_EQ(seg.size(), 1u);
+}
+
+TEST(RasterizerEdge, SegmentThroughPixelCorners) {
+  // Diagonal exactly along pixel corners: all touched pixels emitted.
+  const Viewport vp(Box(0, 0, 4, 4), 4, 4);
+  PixelSet got;
+  RasterizeSegmentConservative(vp, {0, 0}, {4, 4},
+                               [&](int x, int y) { got.insert({x, y}); });
+  // The diagonal touches both the diagonal pixels and their corner-sharing
+  // neighbours.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(got.count({i, i})) << i;
+  }
+  for (auto [x, y] : got) {
+    EXPECT_TRUE(SegmentIntersectsBox(vp.PixelBox(x, y), {0, 0}, {4, 4}));
+  }
+}
+
+TEST(RasterizerEdge, NonSquareViewport) {
+  const Viewport vp(Box(0, 0, 100, 10), 200, 20);  // anisotropic pixels? no:
+  // pixel = 0.5 x 0.5 world units in both axes here.
+  Rng rng(503);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 a{rng.Uniform(0, 100), rng.Uniform(0, 10)};
+    const Vec2 b{rng.Uniform(0, 100), rng.Uniform(0, 10)};
+    const Vec2 c{rng.Uniform(0, 100), rng.Uniform(0, 10)};
+    PixelSet got = Conservative(vp, a, b, c);
+    // Spot-check a sample of pixels rather than the full 4000.
+    for (auto [x, y] : got) {
+      EXPECT_TRUE(
+          gfx_internal::TriangleTouchesBox(a, b, c, vp.PixelBox(x, y)));
+    }
+  }
+}
+
+TEST(RasterizerEdge, AnisotropicPixels) {
+  // World box stretched in x: pixels are 2.0 x 0.25 world units.
+  const Viewport vp(Box(0, 0, 32, 4), 16, 16);
+  Rng rng(509);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 a{rng.Uniform(0, 32), rng.Uniform(0, 4)};
+    const Vec2 b{rng.Uniform(0, 32), rng.Uniform(0, 4)};
+    const Vec2 c{rng.Uniform(0, 32), rng.Uniform(0, 4)};
+    EXPECT_EQ(Conservative(vp, a, b, c), BruteForce(vp, a, b, c)) << i;
+  }
+}
+
+TEST(RasterizerEdge, DefaultModeCenterOnEdge) {
+  // Pixel center exactly on the triangle edge counts as inside (closed
+  // semantics), matching PointInTriangle.
+  const Viewport vp(Box(0, 0, 4, 4), 4, 4);
+  // Edge passes through centers at y = 1.5.
+  PixelSet got;
+  RasterizeTriangle(vp, {0, 1.5}, {4, 1.5}, {2, 3.5}, false,
+                    [&](int x, int y) { got.insert({x, y}); });
+  for (int x = 0; x < 4; ++x) {
+    EXPECT_TRUE(got.count({x, 1})) << x;
+  }
+}
+
+}  // namespace
+}  // namespace spade

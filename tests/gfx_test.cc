@@ -1,0 +1,239 @@
+// Tests for the software graphics pipeline: viewport mapping, default and
+// conservative rasterization, atomic texture blending, and parallel scan.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gfx/device.h"
+#include "gfx/framebuffer.h"
+#include "gfx/rasterizer.h"
+#include "gfx/scan.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+using PixelSet = std::set<std::pair<int, int>>;
+
+TEST(Viewport, PixelMappingRoundTrip) {
+  const Viewport vp(Box(0, 0, 10, 10), 100, 100);
+  auto [x, y] = vp.ToPixel({5.05, 9.99});
+  EXPECT_EQ(x, 50);
+  EXPECT_EQ(y, 99);
+  const Box pb = vp.PixelBox(50, 99);
+  EXPECT_TRUE(pb.Contains({5.05, 9.99}));
+  // Max-edge point belongs to the last pixel.
+  auto [mx, my] = vp.ToPixel({10.0, 10.0});
+  EXPECT_EQ(mx, 99);
+  EXPECT_EQ(my, 99);
+}
+
+TEST(Viewport, ClippedPixelRect) {
+  const Viewport vp(Box(0, 0, 10, 10), 10, 10);
+  auto r = vp.ClippedPixelRect(Box(-5, 3.5, 4.2, 20));
+  EXPECT_EQ(r.x0, 0);
+  EXPECT_EQ(r.y0, 3);
+  EXPECT_EQ(r.x1, 4);
+  EXPECT_EQ(r.y1, 9);
+  EXPECT_TRUE(vp.ClippedPixelRect(Box(20, 20, 30, 30)).empty());
+}
+
+TEST(RasterizePoint, InsideAndClipped) {
+  const Viewport vp(Box(0, 0, 10, 10), 10, 10);
+  PixelSet hit;
+  EXPECT_EQ(RasterizePoint(vp, {2.5, 3.5},
+                           [&](int x, int y) { hit.insert({x, y}); }),
+            1u);
+  EXPECT_TRUE(hit.count({2, 3}));
+  EXPECT_EQ(RasterizePoint(vp, {11, 5}, [&](int, int) {}), 0u);
+  EXPECT_EQ(RasterizePoint(vp, {-0.1, 5}, [&](int, int) {}), 0u);
+}
+
+// Conservative segment rasterization must emit exactly the pixels whose
+// closed square the segment touches.
+TEST(RasterizeSegment, ConservativeMatchesBruteForce) {
+  const Viewport vp(Box(0, 0, 16, 16), 16, 16);
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Vec2 a{rng.Uniform(-2, 18), rng.Uniform(-2, 18)};
+    const Vec2 b{rng.Uniform(-2, 18), rng.Uniform(-2, 18)};
+    PixelSet got;
+    RasterizeSegmentConservative(vp, a, b,
+                                 [&](int x, int y) { got.insert({x, y}); });
+    PixelSet expect;
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        if (SegmentIntersectsBox(vp.PixelBox(x, y), a, b)) {
+          expect.insert({x, y});
+        }
+      }
+    }
+    EXPECT_EQ(got, expect) << "segment (" << a.x << "," << a.y << ")-(" << b.x
+                           << "," << b.y << ")";
+  }
+}
+
+TEST(RasterizeSegment, VerticalHorizontalDegenerate) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  PixelSet got;
+  RasterizeSegmentConservative(vp, {3.5, 1.5}, {3.5, 5.5},
+                               [&](int x, int y) { got.insert({x, y}); });
+  EXPECT_EQ(got.size(), 5u);
+  got.clear();
+  RasterizeSegmentConservative(vp, {1.5, 3.5}, {5.5, 3.5},
+                               [&](int x, int y) { got.insert({x, y}); });
+  EXPECT_EQ(got.size(), 5u);
+  got.clear();
+  // Zero-length segment.
+  RasterizeSegmentConservative(vp, {2.5, 2.5}, {2.5, 2.5},
+                               [&](int x, int y) { got.insert({x, y}); });
+  EXPECT_EQ(got.size(), 1u);
+}
+
+// Conservative triangle rasterization: exactly the pixels touched.
+TEST(RasterizeTriangle, ConservativeMatchesBruteForce) {
+  const Viewport vp(Box(0, 0, 16, 16), 16, 16);
+  Rng rng(37);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 a{rng.Uniform(-2, 18), rng.Uniform(-2, 18)};
+    const Vec2 b{rng.Uniform(-2, 18), rng.Uniform(-2, 18)};
+    const Vec2 c{rng.Uniform(-2, 18), rng.Uniform(-2, 18)};
+    PixelSet got;
+    RasterizeTriangle(vp, a, b, c, /*conservative=*/true,
+                      [&](int x, int y) { got.insert({x, y}); });
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        const Box pb = vp.PixelBox(x, y);
+        const bool touch =
+            gfx_internal::TriangleTouchesBox(a, b, c, pb);
+        EXPECT_EQ(got.count({x, y}) == 1, touch)
+            << "pixel " << x << "," << y << " trial " << trial;
+      }
+    }
+  }
+}
+
+// Default rasterization: pixel centers inside the triangle.
+TEST(RasterizeTriangle, DefaultMatchesCenterTest) {
+  const Viewport vp(Box(0, 0, 16, 16), 16, 16);
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 a{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    const Vec2 b{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    const Vec2 c{rng.Uniform(0, 16), rng.Uniform(0, 16)};
+    PixelSet got;
+    RasterizeTriangle(vp, a, b, c, /*conservative=*/false,
+                      [&](int x, int y) { got.insert({x, y}); });
+    for (auto [x, y] : got) {
+      EXPECT_TRUE(PointInTriangle(a, b, c, vp.PixelCenter(x, y)));
+    }
+  }
+}
+
+TEST(RasterizeTriangle, ConservativeIsSupersetOfDefault) {
+  const Viewport vp(Box(0, 0, 32, 32), 32, 32);
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 a{rng.Uniform(0, 32), rng.Uniform(0, 32)};
+    const Vec2 b{rng.Uniform(0, 32), rng.Uniform(0, 32)};
+    const Vec2 c{rng.Uniform(0, 32), rng.Uniform(0, 32)};
+    PixelSet def, con;
+    RasterizeTriangle(vp, a, b, c, false,
+                      [&](int x, int y) { def.insert({x, y}); });
+    RasterizeTriangle(vp, a, b, c, true,
+                      [&](int x, int y) { con.insert({x, y}); });
+    for (const auto& p : def) EXPECT_TRUE(con.count(p));
+  }
+}
+
+TEST(RasterizeBox, ConservativeAndDefault) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  PixelSet con, def;
+  RasterizeBox(vp, Box(1.6, 1.6, 3.4, 3.4), true,
+               [&](int x, int y) { con.insert({x, y}); });
+  RasterizeBox(vp, Box(1.6, 1.6, 3.4, 3.4), false,
+               [&](int x, int y) { def.insert({x, y}); });
+  EXPECT_EQ(con.size(), 9u);  // pixels 1..3 squared (touched)
+  EXPECT_EQ(def.size(), 1u);  // only pixel (2,2)'s center is covered
+}
+
+TEST(Texture, AtomicOps) {
+  Texture t(4, 4);
+  EXPECT_EQ(t.Get(1, 1, kV0), kTexNull);
+  t.AtomicMax(1, 1, kV0, 5);
+  EXPECT_EQ(t.Get(1, 1, kV0), 5u);
+  t.AtomicMax(1, 1, kV0, 3);
+  EXPECT_EQ(t.Get(1, 1, kV0), 5u);
+  t.AtomicMin(1, 1, kV0, 2);
+  EXPECT_EQ(t.Get(1, 1, kV0), 2u);
+  t.Set(2, 2, kV1, 0);
+  t.AtomicAdd(2, 2, kV1, 7);
+  t.AtomicAdd(2, 2, kV1, 7);
+  EXPECT_EQ(t.Get(2, 2, kV1), 14u);
+}
+
+TEST(Texture, ConcurrentAtomicAdd) {
+  Texture t(2, 2);
+  t.Set(0, 0, kV0, 0);
+  ThreadPool pool(8);
+  pool.ParallelFor(10000, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) t.AtomicAdd(0, 0, kV0, 1);
+  });
+  EXPECT_EQ(t.Get(0, 0, kV0), 10000u);
+}
+
+TEST(Framebuffer, AttachmentsAndClear) {
+  const Viewport vp(Box(0, 0, 1, 1), 8, 8);
+  Framebuffer fbo(vp, 3);
+  EXPECT_EQ(fbo.num_attachments(), 3);
+  fbo.attachment(1).Set(0, 0, kV0, 42);
+  fbo.Clear();
+  EXPECT_EQ(fbo.attachment(1).Get(0, 0, kV0), kTexNull);
+  EXPECT_EQ(fbo.ByteSize(), 3u * 8 * 8 * 4 * sizeof(uint32_t));
+}
+
+TEST(Scan, ExclusiveScanMatchesSerial) {
+  Rng rng(53);
+  ThreadPool pool(8);
+  for (size_t n : {0u, 1u, 7u, 1000u, 100000u}) {
+    std::vector<uint32_t> in(n);
+    for (auto& v : in) v = static_cast<uint32_t>(rng.UniformInt(0, 10));
+    const auto scan = ParallelExclusiveScan(in, &pool);
+    ASSERT_EQ(scan.size(), n + 1);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scan[i], sum);
+      sum += in[i];
+    }
+    EXPECT_EQ(scan[n], sum);
+  }
+}
+
+TEST(Scan, CompactPreservesOrder) {
+  ThreadPool pool(8);
+  std::vector<uint32_t> in(50000, kTexNull);
+  Rng rng(59);
+  std::vector<uint32_t> expect;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (rng.UniformInt(0, 3) == 0) {
+      in[i] = static_cast<uint32_t>(i);
+      expect.push_back(in[i]);
+    }
+  }
+  EXPECT_EQ(CompactNonNull(in, &pool), expect);
+}
+
+TEST(Device, CountersAndParallelDraw) {
+  GfxDevice dev(4);
+  dev.DrawParallel(100, [](size_t b, size_t e) { return e - b; });
+  EXPECT_EQ(dev.render_passes(), 1);
+  EXPECT_EQ(dev.fragments(), 100);
+  dev.Upload(1024);
+  EXPECT_EQ(dev.bytes_uploaded(), 1024);
+  dev.ResetCounters();
+  EXPECT_EQ(dev.fragments(), 0);
+}
+
+}  // namespace
+}  // namespace spade

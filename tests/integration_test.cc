@@ -1,0 +1,150 @@
+// End-to-end integration: SQL-registered datasets, disk-resident blocks,
+// tuned indexes, every query type chained over the same data, and the
+// canvas visualization utilities.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "canvas/canvas_builder.h"
+#include "canvas/canvas_debug.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "engine/tuning.h"
+#include "geom/predicates.h"
+#include "storage/geo_table.h"
+#include "storage/sql.h"
+
+namespace spade {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Integration, SqlToDiskToQueriesWorkflow) {
+  const std::string dir =
+      (fs::temp_directory_path() / "spade_integration").string();
+  fs::remove_all(dir);
+
+  SpadeConfig cfg;
+  cfg.device_memory_budget = 16 << 20;
+  cfg.canvas_resolution = 256;
+  cfg.gpu_threads = 2;
+  SpadeEngine engine(cfg);
+
+  // 1. Generate data and register it relationally.
+  SpatialDataset taxi = TaxiLikePoints(20000, 99);
+  taxi.name = "taxi";
+  ASSERT_TRUE(RegisterDataset(&engine.catalog(), taxi).ok());
+
+  // 2. Reload it through SQL/WKT, write it to disk blocks.
+  auto loaded = LoadDataset(engine.catalog(), "taxi");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), taxi.size());
+  auto disk = DiskSource::Create(dir, loaded.value(),
+                                 cfg.EffectiveCellBytes(), 4 << 20);
+  ASSERT_TRUE(disk.ok());
+
+  // 3. Chain queries over the disk source.
+  SpatialDataset hoods = NeighborhoodLikePolygons(98, 6, 6);
+  auto agg_src = MakeInMemorySource("hoods", hoods, cfg);
+  auto agg = engine.SpatialAggregation(*disk.value(), *agg_src);
+  ASSERT_TRUE(agg.ok());
+  GeomId best = 0;
+  for (GeomId i = 1; i < agg.value().counts.size(); ++i) {
+    if (agg.value().counts[i] > agg.value().counts[best]) best = i;
+  }
+
+  auto sel = engine.SpatialSelection(*disk.value(),
+                                     hoods.geoms[best].polygon());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value().ids.size(), agg.value().counts[best]);
+
+  // 4. Store results back into SQL and aggregate there.
+  ASSERT_TRUE(engine.catalog()
+                  .CreateTable("hits", {"id"}, {ColumnType::kInt64})
+                  .ok());
+  auto* hits = engine.catalog().GetTable("hits").value();
+  for (GeomId id : sel.value().ids) {
+    ASSERT_TRUE(hits->AppendRow({static_cast<int64_t>(id)}).ok());
+  }
+  auto count = ExecuteSql(&engine.catalog(), "SELECT COUNT(*) FROM hits");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(std::get<int64_t>(count.value().Get(0, 0)),
+            static_cast<int64_t>(sel.value().ids.size()));
+
+  // 5. kNN over the same source agrees with a brute-force oracle.
+  const Vec2 probe = taxi.geoms[7].point();
+  auto knn = engine.KnnSelection(*disk.value(), probe, 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn.value().neighbors.size(), 5u);
+  std::vector<double> dists;
+  for (const auto& g : taxi.geoms) dists.push_back(probe.DistanceTo(g.point()));
+  std::sort(dists.begin(), dists.end());
+  EXPECT_NEAR(knn.value().neighbors[4].second, dists[4], 1e-12);
+
+  fs::remove_all(dir);
+}
+
+TEST(Tuning, PolygonZoomRuleRaisesZoom) {
+  SpadeConfig cfg;
+  cfg.canvas_resolution = 64;  // coarse canvases force higher zoom
+  // Buildings: tiny polygons over the world extent.
+  SpatialDataset buildings = BuildingLikePolygons(2000, 1);
+  const IndexTuning tuned = TuneIndex(buildings, cfg);
+  EXPECT_GT(tuned.min_zoom, 0);
+
+  // Point data is unaffected.
+  SpatialDataset pts = GenerateUniformPoints(1000, 2);
+  EXPECT_EQ(TuneIndex(pts, cfg).min_zoom, 0);
+
+  // Large polygons over the same extent need little or no extra zoom.
+  SpatialDataset countries = CountryLikePolygons(3, 10, 8);
+  EXPECT_LT(TuneIndex(countries, cfg).min_zoom, tuned.min_zoom);
+}
+
+TEST(Tuning, TunedSourceQueriesStayExact) {
+  SpadeConfig cfg;
+  cfg.canvas_resolution = 128;
+  cfg.gpu_threads = 2;
+  SpatialDataset buildings = BuildingLikePolygons(3000, 4);
+  auto src = MakeTunedInMemorySource("b", buildings, cfg);
+  EXPECT_GT(src->index().zoom, 0);
+  SpadeEngine engine(cfg);
+  SpatialDataset countries = CountryLikePolygons(5, 10, 8);
+  const MultiPolygon& constraint = countries.geoms[17].polygon();
+  auto r = engine.SpatialSelection(*src, constraint);
+  ASSERT_TRUE(r.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < buildings.size(); ++i) {
+    if (MultiPolygonsIntersect(buildings.geoms[i].polygon(), constraint)) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+TEST(CanvasDebug, AsciiAndPpmRendering) {
+  GfxDevice device(1);
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(2, 2, 8, 8)));
+  const Viewport vp(Box(0, 0, 10, 10), 32, 32);
+  const Triangulation tri = Triangulate(mp);
+  CanvasBuilder builder(&device, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&mp}, {&tri});
+
+  const std::string ascii = CanvasToAscii(canvas, 32);
+  EXPECT_NE(ascii.find('#'), std::string::npos);  // interior present
+  EXPECT_NE(ascii.find('B'), std::string::npos);  // boundary present
+  EXPECT_NE(ascii.find('.'), std::string::npos);  // exterior present
+
+  const std::string path =
+      (fs::temp_directory_path() / "spade_canvas.ppm").string();
+  ASSERT_TRUE(WriteCanvasPpm(canvas, path).ok());
+  ASSERT_TRUE(fs::exists(path));
+  // Header ("P6\n32 32\n255\n" = 13 bytes) + pixel payload.
+  EXPECT_EQ(fs::file_size(path), 13u + 32u * 32u * 3u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace spade

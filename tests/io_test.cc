@@ -1,0 +1,130 @@
+// Tests for dataset ingestion (CSV / WKT files).
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/spider.h"
+
+namespace spade {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(CsvIo, RoundTrip) {
+  const std::string path = TempPath("spade_io_pts.csv");
+  SpatialDataset ds = GenerateUniformPoints(500, 1);
+  ds.name = "pts";
+  ASSERT_TRUE(SavePointsCsv(ds, path).ok());
+  auto loaded = LoadPointsCsv(path, "pts2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(loaded.value().geoms[i].point(), ds.geoms[i].point());
+  }
+  fs::remove(path);
+}
+
+TEST(CsvIo, HeaderAndMalformedLinesSkipped) {
+  const std::string path = TempPath("spade_io_header.csv");
+  WriteText(path,
+            "lon,lat\n"
+            "1.5,2.5\n"
+            "not,numbers\n"
+            "\n"
+            "3.25,-4.75\n");
+  auto loaded = LoadPointsCsv(path, "pts");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().geoms[0].point().x, 1.5);
+  EXPECT_DOUBLE_EQ(loaded.value().geoms[1].point().y, -4.75);
+  fs::remove(path);
+}
+
+TEST(CsvIo, CustomColumnsAndDelimiter) {
+  const std::string path = TempPath("spade_io_cols.csv");
+  WriteText(path, "a;1.0;2.0\nb;3.0;4.0\n");
+  CsvLoadOptions opts;
+  opts.delim = ';';
+  opts.x_col = 1;
+  opts.y_col = 2;
+  auto loaded = LoadPointsCsv(path, "pts", opts);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().geoms[1].point().x, 3.0);
+  fs::remove(path);
+}
+
+TEST(CsvIo, MaxRowsLimits) {
+  const std::string path = TempPath("spade_io_max.csv");
+  WriteText(path, "1,1\n2,2\n3,3\n4,4\n");
+  CsvLoadOptions opts;
+  opts.max_rows = 2;
+  auto loaded = LoadPointsCsv(path, "pts", opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  fs::remove(path);
+}
+
+TEST(CsvIo, CrlfLineEndings) {
+  const std::string path = TempPath("spade_io_crlf.csv");
+  WriteText(path, "1.0,2.0\r\n3.0,4.0\r\n");
+  auto loaded = LoadPointsCsv(path, "pts");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  fs::remove(path);
+}
+
+TEST(CsvIo, EmptyOrMissingFileFails) {
+  EXPECT_FALSE(LoadPointsCsv("/nonexistent.csv", "x").ok());
+  const std::string path = TempPath("spade_io_empty.csv");
+  WriteText(path, "header,only\n");
+  EXPECT_FALSE(LoadPointsCsv(path, "x").ok());
+  fs::remove(path);
+}
+
+TEST(WktIo, RoundTripMixedGeometry) {
+  const std::string path = TempPath("spade_io_geo.wkt");
+  SpatialDataset ds;
+  ds.name = "mixed";
+  ds.geoms.emplace_back(Vec2{1, 2});
+  LineString l;
+  l.points = {{0, 0}, {1, 1}, {2, 0}};
+  ds.geoms.emplace_back(std::move(l));
+  Polygon p = Polygon::FromBox(Box(0, 0, 3, 3));
+  p.holes.push_back({{1, 1}, {1, 2}, {2, 2}, {2, 1}});
+  ds.geoms.emplace_back(p);
+  ASSERT_TRUE(SaveWktFile(ds, path).ok());
+  auto loaded = LoadWktFile(path, "mixed2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_TRUE(loaded.value().geoms[0].is_point());
+  EXPECT_TRUE(loaded.value().geoms[1].is_line());
+  EXPECT_TRUE(loaded.value().geoms[2].is_polygon());
+  EXPECT_DOUBLE_EQ(loaded.value().geoms[2].polygon().Area(),
+                   ds.geoms[2].polygon().Area());
+  fs::remove(path);
+}
+
+TEST(WktIo, BadWktFailsWithLineNumber) {
+  const std::string path = TempPath("spade_io_bad.wkt");
+  WriteText(path, "POINT (1 2)\nGARBAGE (3 4)\n");
+  auto loaded = LoadWktFile(path, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2"), std::string::npos);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,177 @@
+#include "canvas/layer_index.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+struct Fixture {
+  std::vector<MultiPolygon> polys;
+  std::vector<Triangulation> tris;
+  std::vector<GeomId> ids;
+  std::vector<const MultiPolygon*> pptrs;
+  std::vector<const Triangulation*> tptrs;
+
+  void Add(Polygon p) {
+    MultiPolygon mp;
+    mp.parts.push_back(std::move(p));
+    polys.push_back(std::move(mp));
+  }
+  void Finish() {
+    for (auto& mp : polys) tris.push_back(Triangulate(mp));
+    for (size_t i = 0; i < polys.size(); ++i) {
+      ids.push_back(static_cast<GeomId>(i));
+      pptrs.push_back(&polys[i]);
+      tptrs.push_back(&tris[i]);
+    }
+  }
+};
+
+void ExpectValidLayering(const LayerIndex& index, const Fixture& fx,
+                         bool layers_must_be_exact) {
+  // Every object appears exactly once.
+  std::vector<int> seen(fx.polys.size(), 0);
+  for (const auto& layer : index.layers) {
+    for (GeomId id : layer) {
+      ASSERT_LT(id, seen.size());
+      seen[id]++;
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "object " << i;
+  }
+  // No two objects within a layer intersect (the layer invariant).
+  for (const auto& layer : index.layers) {
+    for (size_t a = 0; a < layer.size(); ++a) {
+      for (size_t b = a + 1; b < layer.size(); ++b) {
+        EXPECT_FALSE(
+            MultiPolygonsIntersect(fx.polys[layer[a]], fx.polys[layer[b]]))
+            << "objects " << layer[a] << " and " << layer[b]
+            << " share a layer";
+      }
+    }
+  }
+  (void)layers_must_be_exact;
+}
+
+TEST(LayerIndexGreedy, DisjointObjectsFormOneLayer) {
+  Fixture fx;
+  for (int i = 0; i < 10; ++i) {
+    fx.Add(Polygon::FromBox(Box(i * 3, 0, i * 3 + 2, 2)));
+  }
+  fx.Finish();
+  const LayerIndex index = BuildLayerIndexGreedy(fx.ids, fx.pptrs);
+  EXPECT_EQ(index.num_layers(), 1u);
+  EXPECT_EQ(index.num_objects(), 10u);
+}
+
+TEST(LayerIndexGreedy, AllOverlappingFormSingletonLayers) {
+  Fixture fx;
+  for (int i = 0; i < 5; ++i) {
+    fx.Add(Polygon::FromBox(Box(i * 0.1, 0, i * 0.1 + 5, 5)));
+  }
+  fx.Finish();
+  const LayerIndex index = BuildLayerIndexGreedy(fx.ids, fx.pptrs);
+  EXPECT_EQ(index.num_layers(), 5u);
+  ExpectValidLayering(index, fx, true);
+}
+
+TEST(LayerIndexGreedy, RandomMixValid) {
+  Rng rng(61);
+  Fixture fx;
+  for (int i = 0; i < 60; ++i) {
+    fx.Add(testing::RandomBoxPolygon(&rng, Box(0, 0, 20, 20), 4.0));
+  }
+  fx.Finish();
+  const LayerIndex index = BuildLayerIndexGreedy(fx.ids, fx.pptrs);
+  ExpectValidLayering(index, fx, true);
+}
+
+TEST(LayerIndexCanvas, ProducesValidLayers) {
+  Rng rng(67);
+  GfxDevice device(4);
+  Fixture fx;
+  for (int i = 0; i < 40; ++i) {
+    fx.Add(testing::RandomBoxPolygon(&rng, Box(0, 0, 20, 20), 4.0));
+  }
+  fx.Finish();
+  const Viewport vp(Box(0, 0, 20, 20), 128, 128);
+  const LayerIndex index =
+      BuildLayerIndexCanvas(&device, vp, fx.ids, fx.pptrs, fx.tptrs);
+  ExpectValidLayering(index, fx, false);
+}
+
+TEST(LayerIndexCanvas, AgreesWithGreedyOnDisjointData) {
+  // On well-separated data both constructions give a single layer.
+  GfxDevice device(4);
+  Fixture fx;
+  for (int i = 0; i < 8; ++i) {
+    fx.Add(Polygon::FromBox(Box(i * 4, 0, i * 4 + 2, 2)));
+  }
+  fx.Finish();
+  const Viewport vp(Box(0, 0, 32, 4), 256, 32);
+  const LayerIndex canvas_idx =
+      BuildLayerIndexCanvas(&device, vp, fx.ids, fx.pptrs, fx.tptrs);
+  const LayerIndex greedy_idx = BuildLayerIndexGreedy(fx.ids, fx.pptrs);
+  EXPECT_EQ(canvas_idx.num_layers(), 1u);
+  EXPECT_EQ(greedy_idx.num_layers(), 1u);
+}
+
+TEST(LayerIndexCanvas, HigherIdWinsEachIteration) {
+  // Two overlapping squares: layer 0 must contain the higher id (the
+  // paper's blend removes the overlapping region of the lower id).
+  GfxDevice device(2);
+  Fixture fx;
+  fx.Add(Polygon::FromBox(Box(0, 0, 5, 5)));
+  fx.Add(Polygon::FromBox(Box(3, 3, 8, 8)));
+  fx.Finish();
+  const Viewport vp(Box(0, 0, 8, 8), 64, 64);
+  const LayerIndex index =
+      BuildLayerIndexCanvas(&device, vp, fx.ids, fx.pptrs, fx.tptrs);
+  ASSERT_EQ(index.num_layers(), 2u);
+  ASSERT_EQ(index.layers[0].size(), 1u);
+  EXPECT_EQ(index.layers[0][0], 1u);
+  EXPECT_EQ(index.layers[1][0], 0u);
+}
+
+TEST(LayerIndexBoxes, DisjointBoxesShareLayer) {
+  std::vector<GeomId> ids = {0, 1, 2};
+  std::vector<Box> boxes = {Box(0, 0, 1, 1), Box(2, 0, 3, 1), Box(4, 0, 5, 1)};
+  const LayerIndex index = BuildLayerIndexBoxes(ids, boxes);
+  EXPECT_EQ(index.num_layers(), 1u);
+}
+
+TEST(LayerIndexBoxes, OverlapSplits) {
+  std::vector<GeomId> ids = {0, 1};
+  std::vector<Box> boxes = {Box(0, 0, 2, 2), Box(1, 1, 3, 3)};
+  const LayerIndex index = BuildLayerIndexBoxes(ids, boxes);
+  EXPECT_EQ(index.num_layers(), 2u);
+}
+
+// Property: worst case — all objects pairwise intersecting — yields one
+// object per layer in both constructions (the paper's stated worst case).
+TEST(LayerIndexProperty, WorstCaseSingletons) {
+  GfxDevice device(4);
+  Fixture fx;
+  for (int i = 0; i < 6; ++i) {
+    // Concentric boxes all containing the center.
+    fx.Add(Polygon::FromBox(Box(5 - i - 1, 5 - i - 1, 5 + i + 1, 5 + i + 1)));
+  }
+  fx.Finish();
+  const LayerIndex greedy = BuildLayerIndexGreedy(fx.ids, fx.pptrs);
+  EXPECT_EQ(greedy.num_layers(), 6u);
+  const Viewport vp(Box(0, 0, 12, 12), 64, 64);
+  const LayerIndex canvas =
+      BuildLayerIndexCanvas(&device, vp, fx.ids, fx.pptrs, fx.tptrs);
+  EXPECT_EQ(canvas.num_layers(), 6u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,137 @@
+// Tests for the algebra operators: geometric transform, value transform,
+// blend functions, and the two Map implementations.
+#include "canvas/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+TEST(GeometricTransformOp, BoxToBoxMapsCorners) {
+  const Box from(0, 0, 10, 20);
+  const Box to(-1, -1, 1, 1);
+  const auto t = GeometricTransform::BoxToBox(from, to);
+  const Vec2 lo = t.Apply({0, 0});
+  const Vec2 hi = t.Apply({10, 20});
+  EXPECT_DOUBLE_EQ(lo.x, -1);
+  EXPECT_DOUBLE_EQ(lo.y, -1);
+  EXPECT_DOUBLE_EQ(hi.x, 1);
+  EXPECT_DOUBLE_EQ(hi.y, 1);
+  const Vec2 mid = t.Apply({5, 10});
+  EXPECT_DOUBLE_EQ(mid.x, 0);
+  EXPECT_DOUBLE_EQ(mid.y, 0);
+}
+
+TEST(GeometricTransformOp, MercatorComposesWithAffine) {
+  GeometricTransform t;
+  t.project_mercator = true;
+  t.sx = 0.001;
+  t.sy = 0.001;
+  const Vec2 p = t.Apply({0, 0});
+  EXPECT_NEAR(p.x, 0, 1e-9);
+  EXPECT_NEAR(p.y, 0, 1e-6);
+  const Vec2 q = t.Apply({1, 0});
+  EXPECT_NEAR(q.x, 111.31949, 1e-3);  // 1 deg at equator, scaled by 1e-3
+}
+
+TEST(ValueTransformOp, RewritesChannel) {
+  Texture tex(8, 8);
+  tex.Set(3, 4, kV1, 10);
+  tex.Set(5, 5, kV1, 20);
+  ThreadPool pool(2);
+  ValueTransform(&tex, kV1,
+                 [](uint32_t v) { return v == kTexNull ? v : v * 2; }, &pool);
+  EXPECT_EQ(tex.Get(3, 4, kV1), 20u);
+  EXPECT_EQ(tex.Get(5, 5, kV1), 40u);
+  EXPECT_EQ(tex.Get(0, 0, kV1), kTexNull);
+}
+
+TEST(BlendOp, AllFunctions) {
+  Texture tex(2, 2);
+  tex.Set(0, 0, kV0, 5);
+  ApplyBlend(&tex, 0, 0, kV0, 3, BlendFunc::kAdd);
+  EXPECT_EQ(tex.Get(0, 0, kV0), 8u);
+  ApplyBlend(&tex, 0, 0, kV0, 3, BlendFunc::kMax);
+  EXPECT_EQ(tex.Get(0, 0, kV0), 8u);
+  ApplyBlend(&tex, 0, 0, kV0, 12, BlendFunc::kMax);
+  EXPECT_EQ(tex.Get(0, 0, kV0), 12u);
+  ApplyBlend(&tex, 0, 0, kV0, 4, BlendFunc::kMin);
+  EXPECT_EQ(tex.Get(0, 0, kV0), 4u);
+  ApplyBlend(&tex, 0, 0, kV0, 99, BlendFunc::kReplace);
+  EXPECT_EQ(tex.Get(0, 0, kV0), 99u);
+}
+
+TEST(MapOp, OnePassStoresAndCompacts) {
+  ThreadPool pool(2);
+  MapOutput out(100);
+  out.Store(10, 7);
+  out.Store(50, 8);
+  out.Store(99, 9);
+  EXPECT_FALSE(out.overflowed());
+  EXPECT_EQ(out.Collect(&pool), (std::vector<uint32_t>{7, 8, 9}));
+}
+
+TEST(MapOp, OverflowIsFlagged) {
+  MapOutput out(10);
+  out.Store(10, 1);  // out of range
+  EXPECT_TRUE(out.overflowed());
+  ThreadPool pool(1);
+  EXPECT_TRUE(out.Collect(&pool).empty());
+}
+
+TEST(MapOp, TwoPassCountsThenFills) {
+  Rng rng(401);
+  std::vector<int> data(5000);
+  for (auto& v : data) v = rng.UniformInt(0, 9);
+  ThreadPool pool(4);
+  const auto result = RunTwoPassMap([&](TwoPassMapSink* sink) {
+    pool.ParallelFor(data.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        if (data[i] == 0) sink->Emit(static_cast<uint32_t>(i));
+      }
+    });
+    pool.Wait();
+  });
+  size_t expect = 0;
+  for (int v : data) expect += (v == 0);
+  EXPECT_EQ(result.size(), expect);
+}
+
+TEST(MapOp, TwoPass64EncodesPairs) {
+  const auto result = RunTwoPassMap64([&](TwoPassMapSink64* sink) {
+    sink->Emit((uint64_t{3} << 32) | 4);
+    sink->Emit((uint64_t{5} << 32) | 6);
+  });
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0] >> 32, 3u);
+  EXPECT_EQ(result[0] & 0xFFFFFFFFu, 4u);
+}
+
+TEST(MapOp, Map64StoreCollect) {
+  ThreadPool pool(2);
+  MapOutput64 out(50);
+  out.Store(5, 0xAABBCCDD11223344ull);
+  out.Store(40, 42);
+  const auto got = out.Collect(&pool);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 0xAABBCCDD11223344ull);
+  EXPECT_EQ(got[1], 42u);
+}
+
+TEST(ScanOp, CompactNonNull64) {
+  ThreadPool pool(2);
+  std::vector<uint64_t> in(10000, kTexNull64);
+  std::vector<uint64_t> expect;
+  for (size_t i = 0; i < in.size(); i += 7) {
+    in[i] = i * 1000;
+    expect.push_back(in[i]);
+  }
+  EXPECT_EQ(CompactNonNull64(in, &pool), expect);
+}
+
+}  // namespace
+}  // namespace spade

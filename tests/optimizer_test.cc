@@ -1,0 +1,63 @@
+#include "engine/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace spade {
+namespace {
+
+TEST(Optimizer, MapImplChoice) {
+  SpadeConfig cfg;
+  cfg.max_map_canvas_elems = 100;
+  EXPECT_EQ(ChooseMapImpl(50, cfg), MapImpl::kOnePass);
+  EXPECT_EQ(ChooseMapImpl(100, cfg), MapImpl::kOnePass);
+  EXPECT_EQ(ChooseMapImpl(101, cfg), MapImpl::kTwoPass);
+}
+
+TEST(Optimizer, OutputEstimates) {
+  // Selection: every object can match.
+  EXPECT_EQ(EstimateSelectionOutput(42), 42u);
+  // Poly x point: at most one polygon of a layer contains a point.
+  EXPECT_EQ(EstimatePolyPointJoinOutput(1000), 1000u);
+  // Poly x poly: cross product of layer and data polygons.
+  EXPECT_EQ(EstimatePolyPolyJoinOutput(10, 1000), 10000u);
+}
+
+TEST(Optimizer, JoinStrategyByTransferVolume) {
+  EXPECT_EQ(ChooseJoinStrategy(100, 200), JoinStrategy::kLayerIndex);
+  EXPECT_EQ(ChooseJoinStrategy(200, 100), JoinStrategy::kNaive);
+  EXPECT_EQ(ChooseJoinStrategy(100, 100), JoinStrategy::kLayerIndex);  // tie
+}
+
+TEST(Optimizer, OrderCellPairsGroupsByLeftCell) {
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {2, 5}, {0, 1}, {1, 3}, {0, 2}, {2, 1}, {1, 1}};
+  const auto ordered = OrderCellPairs(pairs);
+  ASSERT_EQ(ordered.size(), pairs.size());
+  // Left cells appear as contiguous groups in ascending order.
+  std::vector<size_t> lefts;
+  for (const auto& [l, r] : ordered) {
+    if (lefts.empty() || lefts.back() != l) lefts.push_back(l);
+  }
+  EXPECT_EQ(lefts, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(Optimizer, OrderCellPairsSharesRightCellsAcrossGroups) {
+  // Snake ordering: group 0 ascending, group 1 descending, so the last
+  // right cell of group 0 is adjacent to the first of group 1 when the
+  // groups overlap in right-cell range.
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 1}, {1, 2}, {1, 3}};
+  const auto ordered = OrderCellPairs(pairs);
+  EXPECT_EQ(ordered[2].second, 3u);  // group 0 ends at right cell 3
+  EXPECT_EQ(ordered[3].second, 3u);  // group 1 starts at right cell 3
+}
+
+TEST(Optimizer, OrderCellPairsEmptyAndSingleton) {
+  EXPECT_TRUE(OrderCellPairs({}).empty());
+  const auto one = OrderCellPairs({{3, 4}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<size_t, size_t>{3, 4}));
+}
+
+}  // namespace
+}  // namespace spade

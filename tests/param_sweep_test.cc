@@ -1,0 +1,215 @@
+// Parameterized property sweeps (TEST_P): canvas exactness across
+// resolutions and geometry shapes, and engine-vs-oracle equality across
+// data distributions, grid budgets, and canvas resolutions.
+#include <gtest/gtest.h>
+
+#include "canvas/canvas_builder.h"
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "geom/predicates.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+// ---------------------------------------------------------------------------
+// Canvas exactness across resolutions and shapes
+// ---------------------------------------------------------------------------
+
+struct CanvasSweepParam {
+  int resolution;
+  const char* shape;  // "star" | "box" | "holes" | "thin"
+};
+
+class CanvasExactnessSweep
+    : public ::testing::TestWithParam<CanvasSweepParam> {};
+
+MultiPolygon MakeShape(const std::string& kind, Rng* rng) {
+  MultiPolygon mp;
+  if (kind == "star") {
+    mp.parts.push_back(testing::RandomStarPolygon(rng, {5, 5}, 1.5, 4.5, 16));
+  } else if (kind == "box") {
+    mp.parts.push_back(Polygon::FromBox(Box(2.3, 1.7, 7.9, 8.1)));
+  } else if (kind == "holes") {
+    Polygon p = Polygon::FromBox(Box(1, 1, 9, 9));
+    p.holes.push_back({{3, 3}, {3, 6}, {6, 6}, {6, 3}});
+    mp.parts.push_back(p);
+    mp.parts.push_back(Polygon::FromBox(Box(0.1, 0.1, 0.6, 0.6)));
+  } else {  // "thin": a sliver narrower than most pixels
+    Polygon p;
+    p.outer = {{1, 1}, {9, 1.02}, {9, 1.07}, {1, 1.05}};
+    mp.parts.push_back(p);
+  }
+  return mp;
+}
+
+TEST_P(CanvasExactnessSweep, PointTestMatchesOracle) {
+  const auto& param = GetParam();
+  Rng rng(1000 + param.resolution);
+  const MultiPolygon mp = MakeShape(param.shape, &rng);
+  GfxDevice device(2);
+  const Viewport vp(Box(0, 0, 10, 10), param.resolution, param.resolution);
+  const Triangulation tri = Triangulate(mp);
+  CanvasBuilder builder(&device, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&mp}, {&tri});
+  for (int i = 0; i < 1500; ++i) {
+    const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(p, &owners);
+    EXPECT_EQ(!owners.empty(), PointInMultiPolygon(mp, p))
+        << param.shape << "@" << param.resolution << " (" << p.x << ","
+        << p.y << ")";
+  }
+}
+
+TEST_P(CanvasExactnessSweep, SegmentTestMatchesOracle) {
+  const auto& param = GetParam();
+  Rng rng(2000 + param.resolution);
+  const MultiPolygon mp = MakeShape(param.shape, &rng);
+  GfxDevice device(2);
+  const Viewport vp(Box(0, 0, 10, 10), param.resolution, param.resolution);
+  const Triangulation tri = Triangulate(mp);
+  CanvasBuilder builder(&device, vp);
+  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&mp}, {&tri});
+  for (int i = 0; i < 400; ++i) {
+    const Vec2 a{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const Vec2 b{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestSegment(a, b, &owners);
+    bool expect = false;
+    for (const auto& part : mp.parts) {
+      expect |= SegmentIntersectsPolygon(part, a, b);
+    }
+    EXPECT_EQ(!owners.empty(), expect)
+        << param.shape << "@" << param.resolution;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ResolutionsAndShapes, CanvasExactnessSweep,
+    ::testing::Values(CanvasSweepParam{8, "star"}, CanvasSweepParam{8, "box"},
+                      CanvasSweepParam{8, "holes"}, CanvasSweepParam{8, "thin"},
+                      CanvasSweepParam{32, "star"},
+                      CanvasSweepParam{32, "holes"},
+                      CanvasSweepParam{128, "star"},
+                      CanvasSweepParam{128, "thin"},
+                      CanvasSweepParam{512, "star"},
+                      CanvasSweepParam{512, "holes"}),
+    [](const ::testing::TestParamInfo<CanvasSweepParam>& info) {
+      return std::string(info.param.shape) + "_" +
+             std::to_string(info.param.resolution);
+    });
+
+// ---------------------------------------------------------------------------
+// Engine selection equality across distributions and configurations
+// ---------------------------------------------------------------------------
+
+struct EngineSweepParam {
+  bool gaussian;
+  size_t cell_bytes;
+  int resolution;
+};
+
+class EngineSelectionSweep
+    : public ::testing::TestWithParam<EngineSweepParam> {};
+
+TEST_P(EngineSelectionSweep, MatchesOracle) {
+  const auto& param = GetParam();
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = param.cell_bytes;
+  cfg.canvas_resolution = param.resolution;
+  cfg.gpu_threads = 2;
+  SpadeEngine engine(cfg);
+  const SpatialDataset ds = param.gaussian ? GenerateGaussianPoints(8000, 31)
+                                           : GenerateUniformPoints(8000, 31);
+  auto src = MakeInMemorySource("pts", ds, cfg);
+  Rng rng(41);
+  MultiPolygon poly;
+  poly.parts.push_back(
+      testing::RandomStarPolygon(&rng, {0.5, 0.5}, 0.1, 0.35, 12));
+  auto r = engine.SpatialSelection(*src, poly);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    if (PointInMultiPolygon(poly, ds.geoms[i].point())) expect.push_back(i);
+  }
+  EXPECT_EQ(r.value().ids, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigMatrix, EngineSelectionSweep,
+    ::testing::Values(EngineSweepParam{false, 16 << 10, 64},
+                      EngineSweepParam{false, 16 << 10, 512},
+                      EngineSweepParam{false, 1 << 20, 128},
+                      EngineSweepParam{true, 16 << 10, 64},
+                      EngineSweepParam{true, 16 << 10, 512},
+                      EngineSweepParam{true, 1 << 20, 128},
+                      EngineSweepParam{true, 4 << 10, 256}),
+    [](const ::testing::TestParamInfo<EngineSweepParam>& info) {
+      return std::string(info.param.gaussian ? "gauss" : "uni") + "_c" +
+             std::to_string(info.param.cell_bytes >> 10) + "k_r" +
+             std::to_string(info.param.resolution);
+    });
+
+// ---------------------------------------------------------------------------
+// Distance-canvas exactness across radii
+// ---------------------------------------------------------------------------
+
+class DistanceRadiusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceRadiusSweep, DistanceSelectionMatchesOracle) {
+  const double r = GetParam();
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 32 << 10;
+  cfg.canvas_resolution = 128;
+  cfg.gpu_threads = 2;
+  SpadeEngine engine(cfg);
+  const SpatialDataset ds = GenerateUniformPoints(6000, 51);
+  auto src = MakeInMemorySource("pts", ds, cfg);
+  const Vec2 probe{0.47, 0.53};
+  auto res = engine.DistanceSelection(*src, Geometry(probe), r);
+  ASSERT_TRUE(res.ok());
+  std::vector<GeomId> expect;
+  for (uint32_t i = 0; i < ds.size(); ++i) {
+    if (probe.DistanceTo(ds.geoms[i].point()) <= r) expect.push_back(i);
+  }
+  EXPECT_EQ(res.value().ids, expect) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, DistanceRadiusSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.2, 0.7, 2.0));
+
+// ---------------------------------------------------------------------------
+// kNN equality across k
+// ---------------------------------------------------------------------------
+
+class KnnSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KnnSweep, KnnSelectionMatchesOracle) {
+  const size_t k = GetParam();
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 32 << 10;
+  cfg.canvas_resolution = 128;
+  cfg.gpu_threads = 2;
+  SpadeEngine engine(cfg);
+  const SpatialDataset ds = GenerateGaussianPoints(5000, 61);
+  auto src = MakeInMemorySource("pts", ds, cfg);
+  const Vec2 probe{0.51, 0.48};
+  auto res = engine.KnnSelection(*src, probe, k);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().neighbors.size(), std::min(k, ds.size()));
+  std::vector<double> dists;
+  for (const auto& g : ds.geoms) dists.push_back(probe.DistanceTo(g.point()));
+  std::sort(dists.begin(), dists.end());
+  for (size_t i = 0; i < res.value().neighbors.size(); ++i) {
+    EXPECT_NEAR(res.value().neighbors[i].second, dists[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnSweep,
+                         ::testing::Values(1u, 2u, 7u, 32u, 100u, 5000u));
+
+}  // namespace
+}  // namespace spade

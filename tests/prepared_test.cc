@@ -1,0 +1,98 @@
+// Tests for the prepared-cell cache, including the regression where a
+// destroyed source's reused address must not serve stale triangulations.
+#include "engine/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/spider.h"
+
+namespace spade {
+namespace {
+
+SpadeConfig TestConfig() {
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(CellPreparer, CachesTriangulationsPerCell) {
+  auto src = MakeInMemorySource("b", GenerateUniformBoxes(500, 1), TestConfig());
+  CellPreparer prep;
+  QueryStats st1, st2;
+  auto a = prep.Get(*src, 0, false, &st1);
+  ASSERT_TRUE(a.ok());
+  auto b = prep.Get(*src, 0, false, &st2);
+  ASSERT_TRUE(b.ok());
+  // Same cached index structures are attached on both loads.
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(a.value()->tris.size(), a.value()->data->geoms.size());
+  // Index bytes are charged on every transfer.
+  EXPECT_GT(st1.bytes_transferred, 0);
+  EXPECT_EQ(st1.bytes_transferred, st2.bytes_transferred);
+}
+
+TEST(CellPreparer, LayersBuiltOnDemand) {
+  auto src = MakeInMemorySource("b", GenerateParcels(64, 2), TestConfig());
+  CellPreparer prep;
+  auto no_layers = prep.Get(*src, 0, false, nullptr);
+  ASSERT_TRUE(no_layers.ok());
+  EXPECT_FALSE(no_layers.value()->has_layers);
+  auto with_layers = prep.Get(*src, 0, true, nullptr);
+  ASSERT_TRUE(with_layers.ok());
+  EXPECT_TRUE(with_layers.value()->has_layers);
+  EXPECT_EQ(with_layers.value()->layers.num_objects(), 64u);
+  EXPECT_EQ(with_layers.value()->layers.num_layers(), 1u);  // parcels disjoint
+}
+
+TEST(CellPreparer, DistinguishesSourcesByUid) {
+  // Regression: the cache used to key on the source pointer; a new source
+  // allocated at a freed source's address would read stale triangulations
+  // (and crash when object counts differed).
+  CellPreparer prep;
+  SpadeConfig cfg = TestConfig();
+  size_t first_count = 0;
+  {
+    auto src = MakeInMemorySource("a", GenerateUniformBoxes(300, 3), cfg);
+    auto p = prep.Get(*src, 0, false, nullptr);
+    ASSERT_TRUE(p.ok());
+    first_count = p.value()->size();
+  }
+  // Create/destroy several sources of different sizes; every Get must see
+  // exactly its own dataset.
+  for (int round = 0; round < 8; ++round) {
+    const size_t n = 100 + 57 * round;
+    auto src = MakeInMemorySource("x", GenerateUniformBoxes(n, 4 + round), cfg);
+    size_t total = 0;
+    for (size_t c = 0; c < src->index().num_cells(); ++c) {
+      auto p = prep.Get(*src, c, false, nullptr);
+      ASSERT_TRUE(p.ok());
+      ASSERT_EQ(p.value()->tris.size(), p.value()->data->geoms.size());
+      total += p.value()->size();
+    }
+    EXPECT_EQ(total, n);
+  }
+  EXPECT_GT(first_count, 0u);
+}
+
+TEST(CellPreparer, EvictsPastBudget) {
+  CellPreparer prep;
+  prep.set_budget_bytes(1);  // everything evicts immediately
+  SpadeConfig cfg = TestConfig();
+  auto src = MakeInMemorySource("b", GenerateUniformBoxes(2000, 5), cfg);
+  for (size_t c = 0; c < src->index().num_cells(); ++c) {
+    ASSERT_TRUE(prep.Get(*src, c, false, nullptr).ok());
+  }
+  // Only the most recent entry may remain.
+  EXPECT_LE(prep.size(), 1u);
+  // Re-getting an evicted cell still works (rebuilds).
+  EXPECT_TRUE(prep.Get(*src, 0, false, nullptr).ok());
+}
+
+TEST(CellSourceUid, UniqueAcrossInstances) {
+  auto a = MakeInMemorySource("a", GenerateUniformPoints(10, 1), TestConfig());
+  auto b = MakeInMemorySource("b", GenerateUniformPoints(10, 2), TestConfig());
+  EXPECT_NE(a->uid(), b->uid());
+}
+
+}  // namespace
+}  // namespace spade

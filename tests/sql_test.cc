@@ -1,0 +1,186 @@
+// Tests for the embedded relational store and its SQL subset.
+#include "storage/sql.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace spade {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  Result<Table> Run(const std::string& sql) {
+    return ExecuteSql(&catalog_, sql);
+  }
+  void MustRun(const std::string& sql) {
+    auto r = Run(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  MustRun("CREATE TABLE trips (id INT, dist DOUBLE, zone TEXT)");
+  MustRun("INSERT INTO trips VALUES (1, 2.5, 'midtown'), (2, 0.7, 'soho'), "
+          "(3, 12.0, 'jfk')");
+  auto r = Run("SELECT id, zone FROM trips WHERE dist >= 1.0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 0)), 1);
+  EXPECT_EQ(std::get<std::string>(r.value().Get(1, 1)), "jfk");
+}
+
+TEST_F(SqlTest, SelectStarAndLimit) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3), (4)");
+  auto r = Run("SELECT * FROM t LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST_F(SqlTest, CountStar) {
+  MustRun("CREATE TABLE t (a INT, b TEXT)");
+  MustRun("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')");
+  auto r = Run("SELECT COUNT(*) FROM t WHERE b = 'x'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 0)), 2);
+}
+
+TEST_F(SqlTest, WhereOperatorsAndConjunction) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  auto r = Run("SELECT a FROM t WHERE a > 1 AND a <= 4 AND a <> 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 0)), 2);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(1, 0)), 4);
+}
+
+TEST_F(SqlTest, IntWidensToDouble) {
+  MustRun("CREATE TABLE t (x DOUBLE)");
+  MustRun("INSERT INTO t VALUES (1), (2.5)");
+  auto r = Run("SELECT x FROM t WHERE x < 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+TEST_F(SqlTest, Errors) {
+  EXPECT_FALSE(Run("SELECT * FROM missing").ok());
+  MustRun("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(Run("CREATE TABLE t (a INT)").ok());       // duplicate
+  EXPECT_FALSE(Run("INSERT INTO t VALUES (1, 2)").ok());  // arity
+  EXPECT_FALSE(Run("SELECT nope FROM t").ok());           // unknown column
+  EXPECT_FALSE(Run("UPDATE t SET a = 1").ok());           // unsupported
+  EXPECT_FALSE(Run("SELECT a FROM t WHERE a ? 1").ok());  // bad operator
+}
+
+TEST_F(SqlTest, DropTable) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("DROP TABLE t");
+  EXPECT_FALSE(Run("SELECT * FROM t").ok());
+  EXPECT_FALSE(Run("DROP TABLE t").ok());
+}
+
+TEST_F(SqlTest, StringLiteralsWithSpaces) {
+  MustRun("CREATE TABLE t (name TEXT)");
+  MustRun("INSERT INTO t VALUES ('hello world')");
+  auto r = Run("SELECT name FROM t WHERE name = 'hello world'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+TEST_F(SqlTest, CatalogPersistence) {
+  MustRun("CREATE TABLE geo (id INT, wkt TEXT)");
+  MustRun("INSERT INTO geo VALUES (7, 'POINT (1 2)')");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "spade_catalog_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(catalog_.SaveToDir(dir).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(loaded.LoadFromDir(dir).ok());
+  auto r = ExecuteSql(&loaded, "SELECT wkt FROM geo WHERE id = 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(std::get<std::string>(r.value().Get(0, 0)), "POINT (1 2)");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SqlTest, Aggregates) {
+  MustRun("CREATE TABLE m (v DOUBLE, n INT, tag TEXT)");
+  MustRun("INSERT INTO m VALUES (1.5, 10, 'a'), (2.5, 20, 'b'), "
+          "(4.0, 30, 'a')");
+  auto r = Run("SELECT SUM(v), MIN(n), MAX(n), AVG(v), COUNT(*) FROM m");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>(r.value().Get(0, 0)), 8.0);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 1)), 10);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 2)), 30);
+  EXPECT_NEAR(std::get<double>(r.value().Get(0, 3)), 8.0 / 3, 1e-12);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 4)), 3);
+}
+
+TEST_F(SqlTest, AggregatesWithWhere) {
+  MustRun("CREATE TABLE m (v INT, tag TEXT)");
+  MustRun("INSERT INTO m VALUES (1, 'a'), (2, 'b'), (3, 'a')");
+  auto r = Run("SELECT SUM(v) FROM m WHERE tag = 'a'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 0)), 4);
+  // MIN over text works lexicographically.
+  auto t = Run("SELECT MIN(tag) FROM m");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(std::get<std::string>(t.value().Get(0, 0)), "a");
+  // SUM over text is rejected.
+  EXPECT_FALSE(Run("SELECT SUM(tag) FROM m").ok());
+  // Mixing aggregates and plain columns is rejected (no GROUP BY).
+  EXPECT_FALSE(Run("SELECT SUM(v), tag FROM m").ok());
+}
+
+TEST_F(SqlTest, AggregateOverEmptyInput) {
+  MustRun("CREATE TABLE m (v INT)");
+  auto r = Run("SELECT COUNT(*), SUM(v) FROM m");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 0)), 0);
+  EXPECT_EQ(std::get<int64_t>(r.value().Get(0, 1)), 0);
+}
+
+TEST_F(SqlTest, OrderBy) {
+  MustRun("CREATE TABLE t (a INT, b TEXT)");
+  MustRun("INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b')");
+  auto asc = Run("SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_EQ(std::get<int64_t>(asc.value().Get(0, 0)), 1);
+  EXPECT_EQ(std::get<int64_t>(asc.value().Get(2, 0)), 3);
+  auto desc = Run("SELECT b FROM t ORDER BY a DESC LIMIT 2");
+  ASSERT_TRUE(desc.ok());
+  ASSERT_EQ(desc.value().num_rows(), 2u);
+  EXPECT_EQ(std::get<std::string>(desc.value().Get(0, 0)), "c");
+  EXPECT_EQ(std::get<std::string>(desc.value().Get(1, 0)), "b");
+}
+
+TEST_F(SqlTest, OrderByTextAndUnknownColumn) {
+  MustRun("CREATE TABLE t (b TEXT)");
+  MustRun("INSERT INTO t VALUES ('z'), ('a'), ('m')");
+  auto r = Run("SELECT b FROM t ORDER BY b ASC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<std::string>(r.value().Get(0, 0)), "a");
+  EXPECT_FALSE(Run("SELECT b FROM t ORDER BY nope").ok());
+}
+
+TEST(TableTest, SerializeRoundTrip) {
+  Table t("t", {"a", "b", "c"},
+          {ColumnType::kInt64, ColumnType::kDouble, ColumnType::kText});
+  ASSERT_TRUE(t.AppendRow({int64_t{1}, 2.5, std::string("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({int64_t{-5}, -0.25, std::string("")}).ok());
+  auto t2 = Table::Deserialize(t.Serialize());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2.value().num_rows(), 2u);
+  EXPECT_EQ(std::get<int64_t>(t2.value().Get(1, 0)), -5);
+  EXPECT_EQ(std::get<double>(t2.value().Get(0, 1)), 2.5);
+  EXPECT_EQ(std::get<std::string>(t2.value().Get(0, 2)), "x");
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,86 @@
+// Shared helpers for the test suite: seeded random geometry generators used
+// by the property tests that compare the canvas pipeline against exact
+// computational-geometry oracles.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/vec2.h"
+
+namespace spade::testing {
+
+/// Deterministic RNG for reproducible property tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen_);
+  }
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Random points in a box.
+inline std::vector<Vec2> RandomPoints(Rng* rng, size_t n, const Box& box) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng->Uniform(box.min.x, box.max.x),
+                   rng->Uniform(box.min.y, box.max.y)});
+  }
+  return pts;
+}
+
+/// A random simple "star" polygon around a center: vertices at increasing
+/// angles with jittered radii — always simple, often non-convex.
+inline Polygon RandomStarPolygon(Rng* rng, const Vec2& center, double rmin,
+                                 double rmax, int vertices = 12) {
+  Polygon poly;
+  poly.outer.reserve(vertices);
+  double angle = rng->Uniform(0, 2 * M_PI);
+  const double step = 2 * M_PI / vertices;
+  for (int i = 0; i < vertices; ++i) {
+    const double r = rng->Uniform(rmin, rmax);
+    poly.outer.push_back(
+        {center.x + r * std::cos(angle), center.y + r * std::sin(angle)});
+    angle += step;
+  }
+  poly.Normalize();
+  return poly;
+}
+
+/// A random polyline with `segments` segments inside a box.
+inline LineString RandomLine(Rng* rng, const Box& box, int segments = 4) {
+  LineString l;
+  Vec2 p{rng->Uniform(box.min.x, box.max.x), rng->Uniform(box.min.y, box.max.y)};
+  l.points.push_back(p);
+  const double step = std::min(box.Width(), box.Height()) / 8;
+  for (int i = 0; i < segments; ++i) {
+    p.x = std::clamp(p.x + rng->Uniform(-step, step), box.min.x, box.max.x);
+    p.y = std::clamp(p.y + rng->Uniform(-step, step), box.min.y, box.max.y);
+    l.points.push_back(p);
+  }
+  return l;
+}
+
+/// A random axis-aligned box polygon within `extent`.
+inline Polygon RandomBoxPolygon(Rng* rng, const Box& extent, double max_size) {
+  const double w = rng->Uniform(max_size * 0.1, max_size);
+  const double h = rng->Uniform(max_size * 0.1, max_size);
+  const double x = rng->Uniform(extent.min.x, extent.max.x - w);
+  const double y = rng->Uniform(extent.min.y, extent.max.y - h);
+  return Polygon::FromBox(Box(x, y, x + w, y + h));
+}
+
+}  // namespace spade::testing

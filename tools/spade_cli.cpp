@@ -1,0 +1,54 @@
+// The spade interactive shell: a REPL over CliSession. With a file
+// argument, executes it as a script (one command per line, '#' comments).
+//
+//   $ ./build/tools/spade_cli
+//   spade> gen taxi 100000 as taxi
+//   spade> gen neighborhoods 0 as hoods
+//   spade> agg taxi hoods
+//   spade> knn taxi -73.98 40.75 10 m
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  spade::CliSession session;
+
+  auto run_line = [&](const std::string& line, bool echo) {
+    if (line.empty() || line[0] == '#') return true;
+    if (line == "quit" || line == "exit") return false;
+    if (echo) std::printf("spade> %s\n", line.c_str());
+    auto r = session.Execute(line);
+    if (r.ok()) {
+      if (!r.value().empty()) std::printf("%s\n", r.value().c_str());
+    } else {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    }
+    return true;
+  };
+
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script.is_open()) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    std::string line;
+    while (std::getline(script, line)) {
+      if (!run_line(line, /*echo=*/true)) break;
+    }
+    return 0;
+  }
+
+  std::printf("spade shell — `help` for commands, `quit` to exit\n");
+  std::string line;
+  for (;;) {
+    std::printf("spade> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!run_line(line, /*echo=*/false)) break;
+  }
+  return 0;
+}
