@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_polypoly.dir/bench_join_polypoly.cpp.o"
+  "CMakeFiles/bench_join_polypoly.dir/bench_join_polypoly.cpp.o.d"
+  "bench_join_polypoly"
+  "bench_join_polypoly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_polypoly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

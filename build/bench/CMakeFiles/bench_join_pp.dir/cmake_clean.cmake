@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_pp.dir/bench_join_pp.cpp.o"
+  "CMakeFiles/bench_join_pp.dir/bench_join_pp.cpp.o.d"
+  "bench_join_pp"
+  "bench_join_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lines.dir/bench_lines.cpp.o"
+  "CMakeFiles/bench_lines.dir/bench_lines.cpp.o.d"
+  "bench_lines"
+  "bench_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth_join_boxes.dir/bench_synth_join_boxes.cpp.o"
+  "CMakeFiles/bench_synth_join_boxes.dir/bench_synth_join_boxes.cpp.o.d"
+  "bench_synth_join_boxes"
+  "bench_synth_join_boxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_join_boxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth_join_points.dir/bench_synth_join_points.cpp.o"
+  "CMakeFiles/bench_synth_join_points.dir/bench_synth_join_points.cpp.o.d"
+  "bench_synth_join_points"
+  "bench_synth_join_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_join_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

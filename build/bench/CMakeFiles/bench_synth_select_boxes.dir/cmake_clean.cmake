@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth_select_boxes.dir/bench_synth_select_boxes.cpp.o"
+  "CMakeFiles/bench_synth_select_boxes.dir/bench_synth_select_boxes.cpp.o.d"
+  "bench_synth_select_boxes"
+  "bench_synth_select_boxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_select_boxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_synth_select_boxes.
+# This may be replaced when dependencies are built.

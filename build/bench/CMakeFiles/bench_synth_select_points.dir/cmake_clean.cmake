@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth_select_points.dir/bench_synth_select_points.cpp.o"
+  "CMakeFiles/bench_synth_select_points.dir/bench_synth_select_points.cpp.o.d"
+  "bench_synth_select_points"
+  "bench_synth_select_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_select_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_viz.dir/canvas_viz.cpp.o"
+  "CMakeFiles/canvas_viz.dir/canvas_viz.cpp.o.d"
+  "canvas_viz"
+  "canvas_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/spade_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/spade_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spade_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/canvas/CMakeFiles/spade_canvas.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/spade_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

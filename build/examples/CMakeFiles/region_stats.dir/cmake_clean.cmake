@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_stats.dir/region_stats.cpp.o"
+  "CMakeFiles/region_stats.dir/region_stats.cpp.o.d"
+  "region_stats"
+  "region_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

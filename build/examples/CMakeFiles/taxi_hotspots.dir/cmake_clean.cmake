@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_hotspots.dir/taxi_hotspots.cpp.o"
+  "CMakeFiles/taxi_hotspots.dir/taxi_hotspots.cpp.o.d"
+  "taxi_hotspots"
+  "taxi_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

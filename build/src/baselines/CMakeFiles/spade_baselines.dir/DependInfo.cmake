@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cluster.cc" "src/baselines/CMakeFiles/spade_baselines.dir/cluster.cc.o" "gcc" "src/baselines/CMakeFiles/spade_baselines.dir/cluster.cc.o.d"
+  "/root/repo/src/baselines/kdtree.cc" "src/baselines/CMakeFiles/spade_baselines.dir/kdtree.cc.o" "gcc" "src/baselines/CMakeFiles/spade_baselines.dir/kdtree.cc.o.d"
+  "/root/repo/src/baselines/rtree.cc" "src/baselines/CMakeFiles/spade_baselines.dir/rtree.cc.o" "gcc" "src/baselines/CMakeFiles/spade_baselines.dir/rtree.cc.o.d"
+  "/root/repo/src/baselines/s2like.cc" "src/baselines/CMakeFiles/spade_baselines.dir/s2like.cc.o" "gcc" "src/baselines/CMakeFiles/spade_baselines.dir/s2like.cc.o.d"
+  "/root/repo/src/baselines/stig.cc" "src/baselines/CMakeFiles/spade_baselines.dir/stig.cc.o" "gcc" "src/baselines/CMakeFiles/spade_baselines.dir/stig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/spade_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_baselines.dir/cluster.cc.o"
+  "CMakeFiles/spade_baselines.dir/cluster.cc.o.d"
+  "CMakeFiles/spade_baselines.dir/kdtree.cc.o"
+  "CMakeFiles/spade_baselines.dir/kdtree.cc.o.d"
+  "CMakeFiles/spade_baselines.dir/rtree.cc.o"
+  "CMakeFiles/spade_baselines.dir/rtree.cc.o.d"
+  "CMakeFiles/spade_baselines.dir/s2like.cc.o"
+  "CMakeFiles/spade_baselines.dir/s2like.cc.o.d"
+  "CMakeFiles/spade_baselines.dir/stig.cc.o"
+  "CMakeFiles/spade_baselines.dir/stig.cc.o.d"
+  "libspade_baselines.a"
+  "libspade_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

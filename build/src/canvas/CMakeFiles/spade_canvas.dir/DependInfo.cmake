@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canvas/boundary_index.cc" "src/canvas/CMakeFiles/spade_canvas.dir/boundary_index.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/boundary_index.cc.o.d"
+  "/root/repo/src/canvas/canvas.cc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas.cc.o.d"
+  "/root/repo/src/canvas/canvas_builder.cc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas_builder.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas_builder.cc.o.d"
+  "/root/repo/src/canvas/canvas_debug.cc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas_debug.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/canvas_debug.cc.o.d"
+  "/root/repo/src/canvas/layer_index.cc" "src/canvas/CMakeFiles/spade_canvas.dir/layer_index.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/layer_index.cc.o.d"
+  "/root/repo/src/canvas/operators.cc" "src/canvas/CMakeFiles/spade_canvas.dir/operators.cc.o" "gcc" "src/canvas/CMakeFiles/spade_canvas.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gfx/CMakeFiles/spade_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_canvas.dir/boundary_index.cc.o"
+  "CMakeFiles/spade_canvas.dir/boundary_index.cc.o.d"
+  "CMakeFiles/spade_canvas.dir/canvas.cc.o"
+  "CMakeFiles/spade_canvas.dir/canvas.cc.o.d"
+  "CMakeFiles/spade_canvas.dir/canvas_builder.cc.o"
+  "CMakeFiles/spade_canvas.dir/canvas_builder.cc.o.d"
+  "CMakeFiles/spade_canvas.dir/canvas_debug.cc.o"
+  "CMakeFiles/spade_canvas.dir/canvas_debug.cc.o.d"
+  "CMakeFiles/spade_canvas.dir/layer_index.cc.o"
+  "CMakeFiles/spade_canvas.dir/layer_index.cc.o.d"
+  "CMakeFiles/spade_canvas.dir/operators.cc.o"
+  "CMakeFiles/spade_canvas.dir/operators.cc.o.d"
+  "libspade_canvas.a"
+  "libspade_canvas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_canvas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

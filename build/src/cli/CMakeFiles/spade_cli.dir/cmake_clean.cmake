@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_cli.dir/cli.cc.o"
+  "CMakeFiles/spade_cli.dir/cli.cc.o.d"
+  "libspade_cli.a"
+  "libspade_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_common.dir/mmap_file.cc.o"
+  "CMakeFiles/spade_common.dir/mmap_file.cc.o.d"
+  "CMakeFiles/spade_common.dir/thread_pool.cc.o"
+  "CMakeFiles/spade_common.dir/thread_pool.cc.o.d"
+  "libspade_common.a"
+  "libspade_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

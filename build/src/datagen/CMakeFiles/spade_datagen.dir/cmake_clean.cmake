@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_datagen.dir/realdata.cc.o"
+  "CMakeFiles/spade_datagen.dir/realdata.cc.o.d"
+  "CMakeFiles/spade_datagen.dir/spider.cc.o"
+  "CMakeFiles/spade_datagen.dir/spider.cc.o.d"
+  "libspade_datagen.a"
+  "libspade_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

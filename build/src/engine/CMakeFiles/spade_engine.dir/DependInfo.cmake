@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/distance.cc" "src/engine/CMakeFiles/spade_engine.dir/distance.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/distance.cc.o.d"
+  "/root/repo/src/engine/join.cc" "src/engine/CMakeFiles/spade_engine.dir/join.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/join.cc.o.d"
+  "/root/repo/src/engine/knn.cc" "src/engine/CMakeFiles/spade_engine.dir/knn.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/knn.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/spade_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/optimizer.cc.o.d"
+  "/root/repo/src/engine/prepared.cc" "src/engine/CMakeFiles/spade_engine.dir/prepared.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/prepared.cc.o.d"
+  "/root/repo/src/engine/selection_ext.cc" "src/engine/CMakeFiles/spade_engine.dir/selection_ext.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/selection_ext.cc.o.d"
+  "/root/repo/src/engine/spade.cc" "src/engine/CMakeFiles/spade_engine.dir/spade.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/spade.cc.o.d"
+  "/root/repo/src/engine/tuning.cc" "src/engine/CMakeFiles/spade_engine.dir/tuning.cc.o" "gcc" "src/engine/CMakeFiles/spade_engine.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/canvas/CMakeFiles/spade_canvas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spade_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/spade_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_engine.dir/distance.cc.o"
+  "CMakeFiles/spade_engine.dir/distance.cc.o.d"
+  "CMakeFiles/spade_engine.dir/join.cc.o"
+  "CMakeFiles/spade_engine.dir/join.cc.o.d"
+  "CMakeFiles/spade_engine.dir/knn.cc.o"
+  "CMakeFiles/spade_engine.dir/knn.cc.o.d"
+  "CMakeFiles/spade_engine.dir/optimizer.cc.o"
+  "CMakeFiles/spade_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/spade_engine.dir/prepared.cc.o"
+  "CMakeFiles/spade_engine.dir/prepared.cc.o.d"
+  "CMakeFiles/spade_engine.dir/selection_ext.cc.o"
+  "CMakeFiles/spade_engine.dir/selection_ext.cc.o.d"
+  "CMakeFiles/spade_engine.dir/spade.cc.o"
+  "CMakeFiles/spade_engine.dir/spade.cc.o.d"
+  "CMakeFiles/spade_engine.dir/tuning.cc.o"
+  "CMakeFiles/spade_engine.dir/tuning.cc.o.d"
+  "libspade_engine.a"
+  "libspade_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

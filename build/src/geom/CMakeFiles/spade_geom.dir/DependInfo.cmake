@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/convex_hull.cc" "src/geom/CMakeFiles/spade_geom.dir/convex_hull.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/convex_hull.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/geom/CMakeFiles/spade_geom.dir/geometry.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/geometry.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/spade_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/predicates.cc.o.d"
+  "/root/repo/src/geom/projection.cc" "src/geom/CMakeFiles/spade_geom.dir/projection.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/projection.cc.o.d"
+  "/root/repo/src/geom/triangulate.cc" "src/geom/CMakeFiles/spade_geom.dir/triangulate.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/triangulate.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/geom/CMakeFiles/spade_geom.dir/wkt.cc.o" "gcc" "src/geom/CMakeFiles/spade_geom.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

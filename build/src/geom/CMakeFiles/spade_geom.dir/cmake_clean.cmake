@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_geom.dir/convex_hull.cc.o"
+  "CMakeFiles/spade_geom.dir/convex_hull.cc.o.d"
+  "CMakeFiles/spade_geom.dir/geometry.cc.o"
+  "CMakeFiles/spade_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/spade_geom.dir/predicates.cc.o"
+  "CMakeFiles/spade_geom.dir/predicates.cc.o.d"
+  "CMakeFiles/spade_geom.dir/projection.cc.o"
+  "CMakeFiles/spade_geom.dir/projection.cc.o.d"
+  "CMakeFiles/spade_geom.dir/triangulate.cc.o"
+  "CMakeFiles/spade_geom.dir/triangulate.cc.o.d"
+  "CMakeFiles/spade_geom.dir/wkt.cc.o"
+  "CMakeFiles/spade_geom.dir/wkt.cc.o.d"
+  "libspade_geom.a"
+  "libspade_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_gfx.dir/scan.cc.o"
+  "CMakeFiles/spade_gfx.dir/scan.cc.o.d"
+  "libspade_gfx.a"
+  "libspade_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

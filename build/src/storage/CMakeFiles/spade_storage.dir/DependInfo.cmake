@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/spade_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/spade_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/dataset.cc" "src/storage/CMakeFiles/spade_storage.dir/dataset.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/dataset.cc.o.d"
+  "/root/repo/src/storage/geo_table.cc" "src/storage/CMakeFiles/spade_storage.dir/geo_table.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/geo_table.cc.o.d"
+  "/root/repo/src/storage/grid_index.cc" "src/storage/CMakeFiles/spade_storage.dir/grid_index.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/grid_index.cc.o.d"
+  "/root/repo/src/storage/io.cc" "src/storage/CMakeFiles/spade_storage.dir/io.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/io.cc.o.d"
+  "/root/repo/src/storage/sql.cc" "src/storage/CMakeFiles/spade_storage.dir/sql.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/sql.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/spade_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/spade_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_storage.dir/block.cc.o"
+  "CMakeFiles/spade_storage.dir/block.cc.o.d"
+  "CMakeFiles/spade_storage.dir/catalog.cc.o"
+  "CMakeFiles/spade_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/spade_storage.dir/dataset.cc.o"
+  "CMakeFiles/spade_storage.dir/dataset.cc.o.d"
+  "CMakeFiles/spade_storage.dir/geo_table.cc.o"
+  "CMakeFiles/spade_storage.dir/geo_table.cc.o.d"
+  "CMakeFiles/spade_storage.dir/grid_index.cc.o"
+  "CMakeFiles/spade_storage.dir/grid_index.cc.o.d"
+  "CMakeFiles/spade_storage.dir/io.cc.o"
+  "CMakeFiles/spade_storage.dir/io.cc.o.d"
+  "CMakeFiles/spade_storage.dir/sql.cc.o"
+  "CMakeFiles/spade_storage.dir/sql.cc.o.d"
+  "CMakeFiles/spade_storage.dir/table.cc.o"
+  "CMakeFiles/spade_storage.dir/table.cc.o.d"
+  "libspade_storage.a"
+  "libspade_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

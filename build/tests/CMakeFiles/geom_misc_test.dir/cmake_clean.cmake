@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_misc_test.dir/geom_misc_test.cc.o"
+  "CMakeFiles/geom_misc_test.dir/geom_misc_test.cc.o.d"
+  "geom_misc_test"
+  "geom_misc_test.pdb"
+  "geom_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

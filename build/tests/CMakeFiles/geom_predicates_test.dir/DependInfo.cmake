@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom_predicates_test.cc" "tests/CMakeFiles/geom_predicates_test.dir/geom_predicates_test.cc.o" "gcc" "tests/CMakeFiles/geom_predicates_test.dir/geom_predicates_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/spade_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/spade_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spade_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/spade_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spade_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/canvas/CMakeFiles/spade_canvas.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/spade_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/spade_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

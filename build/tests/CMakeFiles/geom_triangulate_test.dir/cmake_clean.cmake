@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_triangulate_test.dir/geom_triangulate_test.cc.o"
+  "CMakeFiles/geom_triangulate_test.dir/geom_triangulate_test.cc.o.d"
+  "geom_triangulate_test"
+  "geom_triangulate_test.pdb"
+  "geom_triangulate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_triangulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfx_edge_test.dir/gfx_edge_test.cc.o"
+  "CMakeFiles/gfx_edge_test.dir/gfx_edge_test.cc.o.d"
+  "gfx_edge_test"
+  "gfx_edge_test.pdb"
+  "gfx_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfx_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_index_test.dir/layer_index_test.cc.o"
+  "CMakeFiles/layer_index_test.dir/layer_index_test.cc.o.d"
+  "layer_index_test"
+  "layer_index_test.pdb"
+  "layer_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_triangulate_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/gfx_test[1]_include.cmake")
+include("/root/repo/build/tests/canvas_test[1]_include.cmake")
+include("/root/repo/build/tests/layer_index_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/prepared_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/gfx_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spade_cli_bin.dir/spade_cli.cpp.o"
+  "CMakeFiles/spade_cli_bin.dir/spade_cli.cpp.o.d"
+  "spade_cli"
+  "spade_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spade_cli_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
