@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tree under a sanitizer and run the tier-1 test suite.
+#
+#   scripts/check_sanitize.sh [address|undefined] [build-dir]
+#
+# Defaults to ASan in build-asan/. Exits non-zero on any build failure,
+# test failure, or sanitizer report.
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+BUILD_DIR="${2:-build-${SANITIZER}}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+case "$SANITIZER" in
+  address|undefined) ;;
+  *) echo "usage: $0 [address|undefined] [build-dir]" >&2; exit 2 ;;
+esac
+
+cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPADE_SANITIZE="$SANITIZER"
+cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes sanitizer findings fail the test run.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "$ROOT/$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)"

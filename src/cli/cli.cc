@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "datagen/realdata.h"
 #include "datagen/spider.h"
 #include "engine/tuning.h"
@@ -36,6 +37,11 @@ constexpr const char* kHelp = R"(commands:
   register <name>              store dataset as a SQL (id, wkt) table
   sql <statement>              run SQL against the catalog
   stats                        breakdown of the last query
+  retry <attempts> [base_ms]   I/O retry policy for disk-backed datasets
+  failpoint list               show armed failpoints
+  failpoint clear              disarm all failpoints
+  failpoint <name> <action>    arm a failpoint, e.g. `failpoint io.read fail(io,2)`
+                               action: fail(code[,times[,skip]]) | prob(p[,code]) | off
   help                         this text)";
 
 std::vector<std::string> Words(const std::string& line) {
@@ -204,6 +210,7 @@ Result<std::string> CliSession::Execute(const std::string& line) {
                                    engine_.config().EffectiveCellBytes(),
                                    engine_.config().device_memory_budget);
     SPADE_RETURN_NOT_OK(disk.status());
+    disk.value()->set_retry_policy(retry_policy_);
     return "stored " + words[1] + " at " + words[2] + " (" +
            std::to_string(disk.value()->index().num_cells()) + " blocks)";
   }
@@ -218,6 +225,7 @@ Result<std::string> CliSession::Execute(const std::string& line) {
     auto disk =
         DiskSource::Open(words[1], engine_.config().device_memory_budget);
     SPADE_RETURN_NOT_OK(disk.status());
+    disk.value()->set_retry_policy(retry_policy_);
     NamedSource ns;
     const size_t n = disk.value()->num_objects();
     ns.source = std::move(disk).value();
@@ -382,8 +390,53 @@ Result<std::string> CliSession::Execute(const std::string& line) {
        << " fragments=" << last_stats_.fragments
        << " cells=" << last_stats_.cells_processed
        << " transferred=" << last_stats_.bytes_transferred << "B"
-       << " exact_tests=" << last_stats_.exact_tests;
+       << " exact_tests=" << last_stats_.exact_tests
+       << " retries=" << last_stats_.retries
+       << " checksum_failures=" << last_stats_.checksum_failures
+       << " subcell_splits=" << last_stats_.subcell_splits;
     return os.str();
+  }
+
+  if (cmd == "retry") {
+    if (words.size() < 2 || words.size() > 3) {
+      return Status::InvalidArgument("usage: retry <attempts> [base_ms]");
+    }
+    SPADE_ASSIGN_OR_RETURN(size_t attempts, ToCount(words[1]));
+    if (attempts == 0) {
+      return Status::InvalidArgument("retry attempts must be >= 1");
+    }
+    retry_policy_.max_attempts = static_cast<int>(attempts);
+    if (words.size() == 3) {
+      SPADE_ASSIGN_OR_RETURN(double base_ms, ToDouble(words[2]));
+      if (base_ms < 0) return Status::InvalidArgument("base_ms must be >= 0");
+      retry_policy_.base_delay_ms = base_ms;
+    }
+    // Re-apply to every already-open disk source.
+    for (auto& [name, ns] : sources_) {
+      if (auto* disk = dynamic_cast<DiskSource*>(ns.source.get())) {
+        disk->set_retry_policy(retry_policy_);
+      }
+    }
+    std::ostringstream os;
+    os << "retry policy: " << retry_policy_.max_attempts << " attempts, base "
+       << retry_policy_.base_delay_ms << "ms";
+    return os.str();
+  }
+
+  if (cmd == "failpoint") {
+    if (words.size() == 2 && words[1] == "list") {
+      return failpoint::Describe();
+    }
+    if (words.size() == 2 && words[1] == "clear") {
+      failpoint::ClearAll();
+      return std::string("failpoints cleared");
+    }
+    if (words.size() != 3) {
+      return Status::InvalidArgument(
+          "usage: failpoint list | clear | <name> <action>");
+    }
+    SPADE_RETURN_NOT_OK(failpoint::Configure(words[1] + "=" + words[2]));
+    return "failpoint " + words[1] + " set to " + words[2];
   }
 
   return Status::InvalidArgument("unknown command '" + cmd +

@@ -41,6 +41,7 @@ class CliSession {
   SpadeEngine engine_;
   std::map<std::string, NamedSource> sources_;
   QueryStats last_stats_;
+  RetryPolicy retry_policy_;  ///< applied to every disk-backed source
 };
 
 }  // namespace spade

@@ -60,6 +60,9 @@ struct QueryStats {
   int64_t bytes_transferred = 0;///< simulated CPU->GPU transfer volume
   int64_t cells_processed = 0;  ///< grid-index cells touched
   int64_t exact_tests = 0;      ///< boundary-index exact geometry tests
+  int64_t retries = 0;          ///< extra I/O attempts after transient errors
+  int64_t checksum_failures = 0;///< blocks rejected by CRC32C verification
+  int64_t subcell_splits = 0;   ///< sub-cells produced by OOM degradation
 
   double TotalSeconds() const {
     return io_seconds + gpu_seconds + polygon_seconds + cpu_seconds;
@@ -75,6 +78,9 @@ struct QueryStats {
     bytes_transferred += other.bytes_transferred;
     cells_processed += other.cells_processed;
     exact_tests += other.exact_tests;
+    retries += other.retries;
+    checksum_failures += other.checksum_failures;
+    subcell_splits += other.subcell_splits;
   }
 };
 

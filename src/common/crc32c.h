@@ -1,0 +1,16 @@
+// Software CRC32C (Castagnoli polynomial, 0x1EDC6F41) used to checksum
+// on-disk geometry blocks. A table-driven byte-at-a-time implementation is
+// plenty: block verification is a tiny fraction of deserialization cost,
+// and the software path needs no SSE4.2 gating.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spade {
+
+/// CRC32C of `data[0, size)`, optionally chained: pass a previous return
+/// value as `seed` to checksum a buffer in pieces.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace spade

@@ -1,0 +1,259 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace spade {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_active{0};
+}
+
+namespace {
+
+struct Entry {
+  Spec spec;
+  int64_t hits = 0;
+  int64_t fails = 0;
+  uint64_t rng = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// xorshift64*: deterministic per-failpoint stream for prob() triggers.
+double NextUniform(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+Status MakeError(const std::string& name, const Spec& spec) {
+  std::string msg = "failpoint '" + name + "' injected";
+  if (!spec.message.empty()) msg += ": " + spec.message;
+  switch (spec.code) {
+    case Status::Code::kInvalidArgument: return Status::InvalidArgument(msg);
+    case Status::Code::kNotFound: return Status::NotFound(msg);
+    case Status::Code::kOutOfMemory: return Status::OutOfMemory(msg);
+    case Status::Code::kNotSupported: return Status::NotSupported(msg);
+    case Status::Code::kInternal: return Status::Internal(msg);
+    case Status::Code::kIOError:
+    default: return Status::IOError(msg);
+  }
+}
+
+bool ParseCode(const std::string& s, Status::Code* code) {
+  if (s == "io") *code = Status::Code::kIOError;
+  else if (s == "oom") *code = Status::Code::kOutOfMemory;
+  else if (s == "notfound") *code = Status::Code::kNotFound;
+  else if (s == "invalid") *code = Status::Code::kInvalidArgument;
+  else if (s == "internal") *code = Status::Code::kInternal;
+  else if (s == "notsupported") *code = Status::Code::kNotSupported;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> SplitArgs(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  if (!cur.empty() || !out.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Parse one "action" string (fail(...) / prob(...) / off) into a Spec.
+Status ParseAction(std::string action, Spec* spec, bool* off) {
+  while (!action.empty() && action.front() == ' ') action.erase(action.begin());
+  while (!action.empty() && action.back() == ' ') action.pop_back();
+  *off = false;
+  if (action == "off") {
+    *off = true;
+    return Status::OK();
+  }
+  const size_t open = action.find('(');
+  std::string head = open == std::string::npos ? action : action.substr(0, open);
+  std::vector<std::string> args;
+  if (open != std::string::npos) {
+    const size_t close = action.rfind(')');
+    if (close == std::string::npos || close < open) {
+      return Status::InvalidArgument("failpoint action missing ')': " + action);
+    }
+    args = SplitArgs(action.substr(open + 1, close - open - 1));
+  }
+  if (head == "fail") {
+    if (!args.empty() && !args[0].empty() && !ParseCode(args[0], &spec->code)) {
+      return Status::InvalidArgument("bad failpoint code '" + args[0] + "'");
+    }
+    if (args.size() > 1 && !args[1].empty()) spec->max_fails = std::atoll(args[1].c_str());
+    if (args.size() > 2 && !args[2].empty()) spec->skip = std::atoll(args[2].c_str());
+    return Status::OK();
+  }
+  if (head == "prob") {
+    if (args.empty() || args[0].empty()) {
+      return Status::InvalidArgument("prob() needs a probability: " + action);
+    }
+    spec->probability = std::atof(args[0].c_str());
+    if (spec->probability < 0 || spec->probability > 1) {
+      return Status::InvalidArgument("probability out of [0,1]: " + action);
+    }
+    if (args.size() > 1 && !args[1].empty() && !ParseCode(args[1], &spec->code)) {
+      return Status::InvalidArgument("bad failpoint code '" + args[1] + "'");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint action '" + action + "'");
+}
+
+}  // namespace
+
+Status Check(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  if (it == reg.entries.end()) return Status::OK();
+  Entry& e = it->second;
+  e.hits++;
+  if (e.hits <= e.spec.skip) return Status::OK();
+  if (e.spec.max_fails >= 0 && e.fails >= e.spec.max_fails) return Status::OK();
+  if (e.spec.probability < 1.0 &&
+      NextUniform(&e.rng) >= e.spec.probability) {
+    return Status::OK();
+  }
+  e.fails++;
+  return MakeError(it->first, e.spec);
+}
+
+void Set(const std::string& name, Spec spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto [it, inserted] = reg.entries.insert_or_assign(name, Entry{});
+  it->second.spec = std::move(spec);
+  it->second.rng = it->second.spec.seed | 1;  // xorshift state must be nonzero
+  if (inserted) internal::g_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Clear(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.entries.erase(name) > 0) {
+    internal::g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  internal::g_active.fetch_sub(static_cast<int>(reg.entries.size()),
+                               std::memory_order_relaxed);
+  reg.entries.clear();
+}
+
+int64_t HitCount(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.hits;
+}
+
+int64_t FailCount(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.fails;
+}
+
+Status Configure(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    // Commas inside (...) belong to the action, not the separator.
+    while (end != std::string::npos) {
+      const std::string_view prefix(spec.data() + start, end - start);
+      const size_t opens = std::count(prefix.begin(), prefix.end(), '(');
+      const size_t closes = std::count(prefix.begin(), prefix.end(), ')');
+      if (opens == closes) break;
+      end = spec.find_first_of(";,", end + 1);
+    }
+    const std::string entry =
+        spec.substr(start, end == std::string::npos ? std::string::npos
+                                                    : end - start);
+    start = end == std::string::npos ? spec.size() + 1 : end + 1;
+    if (entry.find_first_not_of(' ') == std::string::npos) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint entry missing '=': " + entry);
+    }
+    std::string name = entry.substr(0, eq);
+    while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+    while (!name.empty() && name.back() == ' ') name.pop_back();
+    Spec parsed;
+    bool off = false;
+    SPADE_RETURN_NOT_OK(ParseAction(entry.substr(eq + 1), &parsed, &off));
+    if (off) {
+      Clear(name);
+    } else {
+      Set(name, std::move(parsed));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Describe() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.entries.empty()) return "(no failpoints armed)";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, e] : reg.entries) {
+    if (!first) os << '\n';
+    first = false;
+    os << name << ": hits=" << e.hits << " fails=" << e.fails;
+    if (e.spec.probability < 1.0) os << " prob=" << e.spec.probability;
+    if (e.spec.skip > 0) os << " skip=" << e.spec.skip;
+    if (e.spec.max_fails >= 0) os << " max_fails=" << e.spec.max_fails;
+  }
+  return os.str();
+}
+
+namespace {
+
+// Arm failpoints from SPADE_FAILPOINTS before main() runs, so processes
+// under test inject faults with no code changes. Defined after the
+// registry helpers: Configure() constructs the registry on first use.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("SPADE_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') (void)Configure(env);
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace failpoint
+}  // namespace spade
+

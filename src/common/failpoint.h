@@ -1,0 +1,87 @@
+// Failpoint injection: a registry of named points in the code where an
+// error can be forced for testing fault tolerance (the RocksDB / TiKV
+// "fail point" idiom). Inactive failpoints cost one relaxed atomic load
+// behind the SPADE_FAILPOINT macro; registration happens only in tests or
+// via the SPADE_FAILPOINTS environment variable.
+//
+// Instrumented sites (grep for SPADE_FAILPOINT to enumerate):
+//   io.read           MmapFile::Open / ReadFileToString
+//   io.write          WriteFile
+//   block.deserialize DeserializeBlock entry
+//   device.alloc      GfxDevice::AllocateMemory
+//
+// Environment syntax (semicolon- or comma-separated entries):
+//   SPADE_FAILPOINTS="io.read=fail(io,2);block.deserialize=prob(0.5,io)"
+// Actions:
+//   fail(code[,times[,skip]])  fail with `code`; at most `times` hits
+//                              (unlimited when omitted) after passing the
+//                              first `skip` hits
+//   prob(p[,code])             fail each hit with probability p
+//   off                        disarm
+// Codes: io, oom, notfound, invalid, internal, notsupported.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace spade {
+namespace failpoint {
+
+/// \brief Trigger configuration of one failpoint.
+struct Spec {
+  Status::Code code = Status::Code::kIOError;
+  double probability = 1.0;  ///< per-hit trigger probability
+  int64_t skip = 0;          ///< first `skip` hits always pass
+  int64_t max_fails = -1;    ///< stop firing after this many (-1 = never)
+  uint64_t seed = 0x5eed;    ///< RNG stream for probabilistic triggers
+  std::string message;       ///< appended to the injected error message
+};
+
+namespace internal {
+extern std::atomic<int> g_active;
+}
+
+/// True when at least one failpoint is armed. This is the only cost paid
+/// on hot paths while the registry is empty.
+inline bool AnyActive() {
+  return internal::g_active.load(std::memory_order_relaxed) > 0;
+}
+
+/// Evaluate the failpoint `name`: returns the injected error when it
+/// fires, OK otherwise (including when `name` was never armed).
+Status Check(const char* name);
+
+/// Arm / re-arm a failpoint (resets its hit and fail counters).
+void Set(const std::string& name, Spec spec);
+
+/// Disarm one failpoint / all failpoints.
+void Clear(const std::string& name);
+void ClearAll();
+
+/// Times Check() ran / fired for `name` since it was last Set.
+int64_t HitCount(const std::string& name);
+int64_t FailCount(const std::string& name);
+
+/// Arm failpoints from a spec string (the SPADE_FAILPOINTS syntax above).
+Status Configure(const std::string& spec);
+
+/// One-line summary of every armed failpoint, for diagnostics / the CLI.
+std::string Describe();
+
+}  // namespace failpoint
+
+/// Return the injected error from the enclosing fallible function when the
+/// named failpoint fires. Usable where the enclosing return type is Status
+/// or Result<T>.
+#define SPADE_FAILPOINT(name)                                      \
+  do {                                                             \
+    if (::spade::failpoint::AnyActive()) {                         \
+      ::spade::Status _fp_st = ::spade::failpoint::Check(name);    \
+      if (!_fp_st.ok()) return _fp_st;                             \
+    }                                                              \
+  } while (false)
+
+}  // namespace spade

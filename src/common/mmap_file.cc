@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace spade {
 
 MmapFile::~MmapFile() {
@@ -30,6 +32,7 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 }
 
 Result<MmapFile> MmapFile::Open(const std::string& path) {
+  SPADE_FAILPOINT("io.read");
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -54,6 +57,7 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const void* data, size_t size) {
+  SPADE_FAILPOINT("io.write");
   FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("fopen " + path + ": " + std::strerror(errno));

@@ -119,5 +119,16 @@ void TestObjectsAgainstCanvas(GfxDevice* device, const PreparedCell& prep,
 std::vector<Canvas> BuildLayerCanvases(GfxDevice* device, const Viewport& vp,
                                        const PreparedCell& prep);
 
+/// OOM graceful degradation: fit a loaded cell to the device's remaining
+/// memory. Returns {prep} unchanged when its transfer footprint fits;
+/// otherwise splits it into streamable sub-cells processed in multiple
+/// passes (counted in stats->subcell_splits). Fails with kOutOfMemory only
+/// when a single geometry alone exceeds the remaining budget, or when the
+/// cell carries a layer index (layer assignments do not survive
+/// partitioning).
+Result<std::vector<std::shared_ptr<const PreparedCell>>> PlanCellPasses(
+    GfxDevice* device, std::shared_ptr<const PreparedCell> prep,
+    QueryStats* stats);
+
 }  // namespace exec
 }  // namespace spade

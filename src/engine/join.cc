@@ -143,54 +143,61 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
       for (size_t g = group_begin; g < group_end; ++g) {
         const size_t c2 = pairs[g].second;
         SPADE_ASSIGN_OR_RETURN(
-            std::shared_ptr<const PreparedCell> prep2,
+            std::shared_ptr<const PreparedCell> whole2,
             preparer_.Get(other, c2, /*need_layers=*/false, &stats));
-        SPADE_ASSIGN_OR_RETURN(
-            DeviceAllocation cell_mem,
-            DeviceAllocation::Make(&device_,
-                                   prep2->data->bytes + prep2->index_bytes));
+        // A right cell too large for the remaining device memory (the
+        // canvases of the left group stay resident) streams as sub-cells.
+        SPADE_ASSIGN_OR_RETURN(auto passes,
+                               exec::PlanCellPasses(&device_, whole2, &stats));
         stats.cells_processed++;
 
         Stopwatch gpu_sw;
-        for (size_t ci = 0; ci < canvases.size(); ++ci) {
-          const Canvas& canvas = canvases[ci];
-          const size_t n2 = prep2->size();
-          const size_t layer_size = prep1->layers.layers[ci].size();
-          const size_t n_max =
-              right_is_point ? EstimatePolyPointJoinOutput(n2)
-                             : EstimatePolyPolyJoinOutput(layer_size, n2);
+        for (const std::shared_ptr<const PreparedCell>& prep2 : passes) {
+          SPADE_ASSIGN_OR_RETURN(
+              DeviceAllocation cell_mem,
+              DeviceAllocation::Make(&device_, prep2->transfer_bytes()));
+          for (size_t ci = 0; ci < canvases.size(); ++ci) {
+            const Canvas& canvas = canvases[ci];
+            const size_t n2 = prep2->size();
+            const size_t layer_size = prep1->layers.layers[ci].size();
+            const size_t n_max =
+                right_is_point ? EstimatePolyPointJoinOutput(n2)
+                               : EstimatePolyPolyJoinOutput(layer_size, n2);
 
-          if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
-            // Owner rank within the layer gives the unique output slot.
-            std::vector<uint32_t> rank(prep1->size(), 0);
-            for (size_t r = 0; r < prep1->layers.layers[ci].size(); ++r) {
-              rank[prep1->layers.layers[ci][r]] = static_cast<uint32_t>(r);
-            }
-            MapOutput64 out(n_max);
-            exec::TestObjectsAgainstCanvas(
-                &device_, *prep2, canvas, GeometricTransform::Identity(),
-                true, false, [&](GeomId owner_local, uint32_t local2) {
-                  const size_t slot =
-                      right_is_point
-                          ? local2
-                          : static_cast<size_t>(rank[owner_local]) * n2 + local2;
-                  out.Store(slot, EncodePair(prep1->global_id(owner_local),
-                                             prep2->global_id(local2)));
-                });
-            for (uint64_t v : out.Collect(&device_.pool())) {
-              result.pairs.push_back(DecodePair(v));
-            }
-          } else {
-            for (uint64_t v : RunTwoPassMap64([&](TwoPassMapSink64* sink) {
-                   exec::TestObjectsAgainstCanvas(
-                       &device_, *prep2, canvas,
-                       GeometricTransform::Identity(), true, false,
-                       [&](GeomId owner_local, uint32_t local2) {
-                         sink->Emit(EncodePair(prep1->global_id(owner_local),
+            if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
+              // Owner rank within the layer gives the unique output slot.
+              std::vector<uint32_t> rank(prep1->size(), 0);
+              for (size_t r = 0; r < prep1->layers.layers[ci].size(); ++r) {
+                rank[prep1->layers.layers[ci][r]] = static_cast<uint32_t>(r);
+              }
+              MapOutput64 out(n_max);
+              exec::TestObjectsAgainstCanvas(
+                  &device_, *prep2, canvas, GeometricTransform::Identity(),
+                  true, false, [&](GeomId owner_local, uint32_t local2) {
+                    const size_t slot =
+                        right_is_point
+                            ? local2
+                            : static_cast<size_t>(rank[owner_local]) * n2 +
+                                  local2;
+                    out.Store(slot, EncodePair(prep1->global_id(owner_local),
                                                prep2->global_id(local2)));
-                       });
-                 })) {
-              result.pairs.push_back(DecodePair(v));
+                  });
+              for (uint64_t v : out.Collect(&device_.pool())) {
+                result.pairs.push_back(DecodePair(v));
+              }
+            } else {
+              for (uint64_t v : RunTwoPassMap64([&](TwoPassMapSink64* sink) {
+                     exec::TestObjectsAgainstCanvas(
+                         &device_, *prep2, canvas,
+                         GeometricTransform::Identity(), true, false,
+                         [&](GeomId owner_local, uint32_t local2) {
+                           sink->Emit(
+                               EncodePair(prep1->global_id(owner_local),
+                                          prep2->global_id(local2)));
+                         });
+                   })) {
+                result.pairs.push_back(DecodePair(v));
+              }
             }
           }
         }

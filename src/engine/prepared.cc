@@ -15,7 +15,58 @@ struct CellIndexes {
   size_t index_bytes = 0;
 };
 
+/// Triangulation share of a cell's index bytes, matching the accounting
+/// in CellPreparer::Get.
+size_t TriBytes(const Triangulation& tri) {
+  return tri.triangles.size() * sizeof(Triangle) +
+         tri.edges.size() * (sizeof(std::array<Vec2, 2>) + 4);
+}
+
 }  // namespace
+
+Result<std::vector<std::shared_ptr<const PreparedCell>>> SplitPreparedCell(
+    const PreparedCell& prep, size_t max_bytes) {
+  std::vector<std::shared_ptr<const PreparedCell>> parts;
+  std::shared_ptr<PreparedCell> cur;
+  std::shared_ptr<CellData> cur_data;
+  size_t cur_bytes = 0;
+
+  auto flush = [&] {
+    if (!cur) return;
+    cur->data = cur_data;
+    parts.push_back(std::move(cur));
+    cur.reset();
+    cur_data.reset();
+    cur_bytes = 0;
+  };
+
+  for (size_t i = 0; i < prep.size(); ++i) {
+    const size_t geom_bytes = prep.geom(i).ByteSize();
+    const size_t tri_bytes = i < prep.tris.size() ? TriBytes(prep.tris[i]) : 0;
+    const size_t cost = geom_bytes + tri_bytes;
+    if (cost > max_bytes) {
+      return Status::OutOfMemory(
+          "geometry " + std::to_string(prep.global_id(i)) + " needs " +
+          std::to_string(cost) +
+          " bytes alone, more than the available device memory (" +
+          std::to_string(max_bytes) + ") — raise device_memory_budget");
+    }
+    if (cur && cur_bytes + cost > max_bytes) flush();
+    if (!cur) {
+      cur = std::make_shared<PreparedCell>();
+      cur_data = std::make_shared<CellData>();
+      cur->index_bytes = 0;
+    }
+    cur_data->ids.push_back(prep.global_id(i));
+    cur_data->geoms.push_back(prep.geom(i));
+    cur_data->bytes += geom_bytes;
+    cur->tris.push_back(i < prep.tris.size() ? prep.tris[i] : Triangulation{});
+    cur->index_bytes += tri_bytes;
+    cur_bytes += cost;
+  }
+  flush();
+  return parts;
+}
 
 Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
     CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {

@@ -34,7 +34,21 @@ struct PreparedCell {
   const Geometry& geom(size_t local) const { return data->geoms[local]; }
   GeomId global_id(size_t local) const { return data->ids[local]; }
   size_t size() const { return data->geoms.size(); }
+
+  /// Device-transfer footprint of this cell (payload + canvas indexes).
+  size_t transfer_bytes() const { return data->bytes + index_bytes; }
 };
+
+/// Split an oversized prepared cell into sub-cells whose transfer
+/// footprint each fits `max_bytes`, preserving global ids — the engine's
+/// OOM graceful-degradation path streams these through the device in
+/// multiple passes instead of failing the query. Fails with kOutOfMemory
+/// when a single geometry (payload + triangulation) alone exceeds the
+/// budget. The input's layer index, if any, is not carried over (layer
+/// assignments do not survive partitioning); callers needing layers must
+/// not split.
+Result<std::vector<std::shared_ptr<const PreparedCell>>> SplitPreparedCell(
+    const PreparedCell& prep, size_t max_bytes);
 
 /// \brief Cache of PreparedCells keyed by (source, cell index).
 class CellPreparer {

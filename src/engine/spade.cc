@@ -35,6 +35,34 @@ std::vector<Canvas> BuildLayerCanvases(GfxDevice* device, const Viewport& vp,
   return canvases;
 }
 
+Result<std::vector<std::shared_ptr<const PreparedCell>>> PlanCellPasses(
+    GfxDevice* device, std::shared_ptr<const PreparedCell> prep,
+    QueryStats* stats) {
+  std::vector<std::shared_ptr<const PreparedCell>> single{std::move(prep)};
+  const std::shared_ptr<const PreparedCell>& cell = single[0];
+  const size_t budget = device->memory_budget();
+  if (budget == 0) return single;  // unlimited device
+  const int64_t in_use = device->memory_in_use();
+  const size_t free_bytes =
+      static_cast<int64_t>(budget) > in_use
+          ? budget - static_cast<size_t>(in_use)
+          : 0;
+  if (cell->transfer_bytes() <= free_bytes) return single;
+  if (cell->has_layers) {
+    return Status::OutOfMemory(
+        "cell with layer index needs " +
+        std::to_string(cell->transfer_bytes()) + " bytes but only " +
+        std::to_string(free_bytes) +
+        " device bytes are free — lower max_cell_bytes or raise "
+        "device_memory_budget");
+  }
+  SPADE_ASSIGN_OR_RETURN(auto parts, SplitPreparedCell(*cell, free_bytes));
+  if (stats != nullptr) {
+    stats->subcell_splits += static_cast<int64_t>(parts.size());
+  }
+  return parts;
+}
+
 }  // namespace exec
 
 SpadeEngine::SpadeEngine(SpadeConfig config)
@@ -118,46 +146,50 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
   stats.cells_processed += static_cast<int64_t>(cells.size());
 
   // Step 3: refinement — one fused blend+mask+map pass per cell. The cell
-  // occupies device memory only for the duration of its pass.
+  // occupies device memory only for the duration of its pass; a cell too
+  // large for the remaining budget is streamed as sub-cells.
   for (size_t c : cells) {
     SPADE_ASSIGN_OR_RETURN(
-        std::shared_ptr<const PreparedCell> prep,
+        std::shared_ptr<const PreparedCell> whole,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
-    SPADE_ASSIGN_OR_RETURN(
-        DeviceAllocation cell_mem,
-        DeviceAllocation::Make(&device_,
-                               prep->data->bytes + prep->index_bytes));
+    SPADE_ASSIGN_OR_RETURN(auto passes,
+                           exec::PlanCellPasses(&device_, whole, &stats));
+    for (const std::shared_ptr<const PreparedCell>& prep : passes) {
+      SPADE_ASSIGN_OR_RETURN(
+          DeviceAllocation cell_mem,
+          DeviceAllocation::Make(&device_, prep->transfer_bytes()));
 
-    const size_t n_max = EstimateSelectionOutput(prep->size());
-    Stopwatch gpu_sw;
-    if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
-      MapOutput out(n_max);
-      exec::TestObjectsAgainstCanvas(
-          &device_, *prep, canvas, GeometricTransform::Identity(),
-          /*identity_transform=*/true, /*distance_mode=*/false,
-          [&](GeomId, uint32_t local) {
-            const GeomId id = prep->global_id(local);
-            if (keep && !keep(id)) return;
-            out.Store(local, id);
-          });
-      // Scan extracts the result list from the output canvas.
-      for (uint32_t id : out.Collect(&device_.pool())) {
-        result.ids.push_back(id);
+      const size_t n_max = EstimateSelectionOutput(prep->size());
+      Stopwatch gpu_sw;
+      if (ChooseMapImpl(n_max, config_) == MapImpl::kOnePass) {
+        MapOutput out(n_max);
+        exec::TestObjectsAgainstCanvas(
+            &device_, *prep, canvas, GeometricTransform::Identity(),
+            /*identity_transform=*/true, /*distance_mode=*/false,
+            [&](GeomId, uint32_t local) {
+              const GeomId id = prep->global_id(local);
+              if (keep && !keep(id)) return;
+              out.Store(local, id);
+            });
+        // Scan extracts the result list from the output canvas.
+        for (uint32_t id : out.Collect(&device_.pool())) {
+          result.ids.push_back(id);
+        }
+      } else {
+        for (uint32_t id : RunTwoPassMap([&](TwoPassMapSink* sink) {
+               exec::TestObjectsAgainstCanvas(
+                   &device_, *prep, canvas, GeometricTransform::Identity(),
+                   true, false, [&](GeomId, uint32_t local) {
+                     const GeomId id = prep->global_id(local);
+                     if (keep && !keep(id)) return;
+                     sink->Emit(id);
+                   });
+             })) {
+          result.ids.push_back(id);
+        }
       }
-    } else {
-      for (uint32_t id : RunTwoPassMap([&](TwoPassMapSink* sink) {
-             exec::TestObjectsAgainstCanvas(
-                 &device_, *prep, canvas, GeometricTransform::Identity(),
-                 true, false, [&](GeomId, uint32_t local) {
-                   const GeomId id = prep->global_id(local);
-                   if (keep && !keep(id)) return;
-                   sink->Emit(id);
-                 });
-           })) {
-        result.ids.push_back(id);
-      }
+      stats.gpu_seconds += gpu_sw.ElapsedSeconds();
     }
-    stats.gpu_seconds += gpu_sw.ElapsedSeconds();
   }
 
   Stopwatch cpu_sw;
@@ -218,31 +250,36 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
     SPADE_ASSIGN_OR_RETURN(DeviceAllocation group_mem,
                            DeviceAllocation::Make(&device_, canvas_bytes));
 
-    // Cells of the data intersecting this constraint cell.
+    // Cells of the data intersecting this constraint cell. Oversized data
+    // cells are streamed as sub-cells (partial counts add up, so the
+    // multiway-blend plan is unaffected by splitting).
     for (size_t dc = 0; dc < data.index().cells.size(); ++dc) {
       if (!data.index().cells[dc].box.Intersects(cbox)) continue;
       SPADE_ASSIGN_OR_RETURN(
-          std::shared_ptr<const PreparedCell> dprep,
+          std::shared_ptr<const PreparedCell> whole,
           preparer_.Get(data, dc, /*need_layers=*/false, &stats));
-      SPADE_ASSIGN_OR_RETURN(
-          DeviceAllocation cell_mem,
-          DeviceAllocation::Make(&device_,
-                                 dprep->data->bytes + dprep->index_bytes));
+      SPADE_ASSIGN_OR_RETURN(auto passes,
+                             exec::PlanCellPasses(&device_, whole, &stats));
       stats.cells_processed++;
+      for (const std::shared_ptr<const PreparedCell>& dprep : passes) {
+        SPADE_ASSIGN_OR_RETURN(
+            DeviceAllocation cell_mem,
+            DeviceAllocation::Make(&device_, dprep->transfer_bytes()));
 
-      Stopwatch pass_sw;
-      for (const Canvas& canvas : canvases) {
-        exec::TestObjectsAgainstCanvas(
-            &device_, *dprep, canvas, GeometricTransform::Identity(), true,
-            false, [&](GeomId owner_local, uint32_t) {
-              // Multiway blend with the add function at the constraint's
-              // unique location.
-              const GeomId global = cprep->global_id(owner_local);
-              std::atomic_ref<uint64_t>(result.counts[global])
-                  .fetch_add(1, std::memory_order_relaxed);
-            });
+        Stopwatch pass_sw;
+        for (const Canvas& canvas : canvases) {
+          exec::TestObjectsAgainstCanvas(
+              &device_, *dprep, canvas, GeometricTransform::Identity(), true,
+              false, [&](GeomId owner_local, uint32_t) {
+                // Multiway blend with the add function at the constraint's
+                // unique location.
+                const GeomId global = cprep->global_id(owner_local);
+                std::atomic_ref<uint64_t>(result.counts[global])
+                    .fetch_add(1, std::memory_order_relaxed);
+              });
+        }
+        stats.gpu_seconds += pass_sw.ElapsedSeconds();
       }
-      stats.gpu_seconds += pass_sw.ElapsedSeconds();
     }
     for (const Canvas& canvas : canvases) {
       stats.exact_tests += canvas.boundary_index().exact_tests();

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/config.h"
+#include "common/failpoint.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -34,6 +35,7 @@ class GfxDevice {
 
   /// Reserve device memory; fails with OutOfMemory past the budget.
   Status AllocateMemory(size_t bytes) {
+    SPADE_FAILPOINT("device.alloc");
     const int64_t now =
         memory_in_use_.fetch_add(static_cast<int64_t>(bytes),
                                  std::memory_order_relaxed) +

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
 namespace spade {
 
 namespace {
@@ -60,6 +63,8 @@ class BlockReader {
 std::string SerializeBlock(const std::vector<GeomId>& ids,
                            const std::vector<Geometry>& geoms) {
   std::string out;
+  PutU32(&out, kBlockMagicV2);
+  PutU32(&out, 0);  // checksum placeholder, patched after the payload
   PutU32(&out, static_cast<uint32_t>(geoms.size()));
   for (size_t i = 0; i < geoms.size(); ++i) {
     PutU32(&out, ids[i]);
@@ -86,12 +91,38 @@ std::string SerializeBlock(const std::vector<GeomId>& ids,
       }
     }
   }
+  const uint32_t crc = Crc32c(out.data() + 8, out.size() - 8);
+  std::memcpy(out.data() + 4, &crc, sizeof(crc));
   return out;
 }
 
 Status DeserializeBlock(const uint8_t* data, size_t size,
                         std::vector<GeomId>* ids,
-                        std::vector<Geometry>* geoms) {
+                        std::vector<Geometry>* geoms,
+                        BlockReadInfo* info) {
+  SPADE_FAILPOINT("block.deserialize");
+  uint32_t head = 0;
+  if (size >= sizeof(head)) std::memcpy(&head, data, sizeof(head));
+  if (head == kBlockMagicV2) {
+    if (size < 8) return Status::IOError("v2 block truncated (header)");
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, data + 4, sizeof(stored_crc));
+    const uint32_t actual_crc = Crc32c(data + 8, size - 8);
+    if (stored_crc != actual_crc) {
+      if (info != nullptr) {
+        info->version = 2;
+        info->checksum_failed = true;
+      }
+      return Status::IOError("block checksum mismatch: stored " +
+                             std::to_string(stored_crc) + ", computed " +
+                             std::to_string(actual_crc));
+    }
+    if (info != nullptr) info->version = 2;
+    data += 8;
+    size -= 8;
+  } else if (info != nullptr) {
+    info->version = 1;
+  }
   BlockReader rd(data, size);
   uint32_t count;
   if (!rd.U32(&count)) return Status::IOError("block truncated (count)");

@@ -1,6 +1,15 @@
 // Binary serialization of geometry blocks. Each clustered-grid-index cell
 // is stored as one block; out-of-core queries mmap blocks and deserialize
 // them on demand (Section 5.3).
+//
+// Block format v2 (written by SerializeBlock):
+//   [u32 magic = kBlockMagicV2][u32 crc32c(payload)][payload]
+// where payload is the v1 layout: u32 count, then per geometry
+// (u32 id, u8 type, type-specific coordinate data). DeserializeBlock
+// verifies the checksum and also accepts headerless v1 blocks, which are
+// distinguished by their leading geometry count: a v1 block would need
+// ~3.2e9 geometries to collide with the magic, orders of magnitude more
+// than any cell sized by the device-memory rule can hold.
 #pragma once
 
 #include <string>
@@ -11,13 +20,26 @@
 
 namespace spade {
 
-/// Serialize geometries and their ids into a compact binary block.
+/// First word of a v2 block ("SPB2" little-endian, high bit set so it can
+/// never equal a plausible v1 geometry count).
+constexpr uint32_t kBlockMagicV2 = 0xB2425053u;
+
+/// Out-facts of one DeserializeBlock call, for fault accounting.
+struct BlockReadInfo {
+  int version = 0;             ///< 1 or 2, set once the header is decoded
+  bool checksum_failed = false;///< v2 CRC mismatch (corruption, not truncation)
+};
+
+/// Serialize geometries and their ids into a compact binary v2 block.
 std::string SerializeBlock(const std::vector<GeomId>& ids,
                            const std::vector<Geometry>& geoms);
 
-/// Inverse of SerializeBlock.
+/// Inverse of SerializeBlock. Accepts v2 (checksummed) and legacy v1
+/// blocks. On a v2 checksum mismatch returns kIOError with "checksum" in
+/// the message and sets info->checksum_failed when `info` is given.
 Status DeserializeBlock(const uint8_t* data, size_t size,
                         std::vector<GeomId>* ids,
-                        std::vector<Geometry>* geoms);
+                        std::vector<Geometry>* geoms,
+                        BlockReadInfo* info = nullptr);
 
 }  // namespace spade

@@ -243,10 +243,41 @@ Result<std::shared_ptr<const CellData>> DiskSource::LoadCell(
   }
 
   Stopwatch sw;
-  SPADE_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(CellPath(dir_, cell)));
   auto data = std::make_shared<CellData>();
-  SPADE_RETURN_NOT_OK(
-      DeserializeBlock(file.data(), file.size(), &data->ids, &data->geoms));
+  // Transient read errors (kIOError) are retried with backoff; a checksum
+  // mismatch is permanent corruption (re-reading returns the same bytes)
+  // and aborts the retry loop immediately.
+  bool checksum_failed = false;
+  RetryPolicy policy = retry_policy_;
+  policy.retryable = [&checksum_failed](const Status& s) {
+    return s.code() == Status::Code::kIOError && !checksum_failed;
+  };
+  const std::string path = CellPath(dir_, cell);
+  const Status load_status = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        // A failed earlier attempt may have partially deserialized.
+        data->ids.clear();
+        data->geoms.clear();
+        auto file = MmapFile::Open(path);
+        if (!file.ok()) return file.status();
+        BlockReadInfo info;
+        const Status st =
+            DeserializeBlock(file.value().data(), file.value().size(),
+                             &data->ids, &data->geoms, &info);
+        if (info.checksum_failed) {
+          checksum_failed = true;
+          if (stats != nullptr) stats->checksum_failures++;
+        }
+        return st;
+      },
+      stats != nullptr ? &stats->retries : nullptr);
+  if (!load_status.ok()) {
+    if (load_status.code() == Status::Code::kIOError) {
+      return Status::IOError("LoadCell " + path + ": " + load_status.message());
+    }
+    return load_status;  // injected / non-I/O codes pass through unchanged
+  }
   data->bytes = index_.cells[cell].bytes;
   if (stats != nullptr) {
     stats->io_seconds += sw.ElapsedSeconds();

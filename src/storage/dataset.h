@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "geom/geometry.h"
 #include "storage/grid_index.h"
+#include "storage/retry.h"
 
 namespace spade {
 
@@ -123,6 +124,13 @@ class DiskSource : public CellSource {
   Result<std::shared_ptr<const CellData>> LoadCell(
       size_t cell, QueryStats* stats) override;
 
+  /// Retry policy for transient block-read failures (see RetryPolicy).
+  /// Checksum mismatches are never retried: the corrupt bytes are on disk.
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   DiskSource() = default;
 
@@ -132,6 +140,7 @@ class DiskSource : public CellSource {
   size_t num_objects_ = 0;
   GeomType type_ = GeomType::kPoint;
   size_t cache_bytes_ = 0;
+  RetryPolicy retry_policy_;
 
   // LRU cache of deserialized cells.
   struct CacheEntry {

@@ -67,10 +67,16 @@ Result<SpatialDataset> LoadPointsCsv(const std::string& path,
     ds.geoms.emplace_back(Vec2{x, y});
     if (options.max_rows != 0 && ds.geoms.size() >= options.max_rows) break;
   }
+  if (options.skipped_rows != nullptr) *options.skipped_rows = skipped;
+  if (skipped > options.max_skipped_rows) {
+    return Status::InvalidArgument(
+        path + ": " + std::to_string(skipped) +
+        " malformed rows exceed max_skipped_rows=" +
+        std::to_string(options.max_skipped_rows));
+  }
   if (ds.geoms.empty()) {
     return Status::InvalidArgument("no valid points in " + path);
   }
-  (void)skipped;
   return ds;
 }
 

@@ -4,6 +4,7 @@
 // format for polygonal data sets").
 #pragma once
 
+#include <limits>
 #include <string>
 
 #include "common/status.h"
@@ -13,12 +14,17 @@ namespace spade {
 
 /// Load a point dataset from CSV. Each line holds `x_col` and `y_col`
 /// fields (0-based) separated by `delim`; a header line is skipped when
-/// its fields are not numeric. Malformed lines are skipped and counted.
+/// its fields are not numeric. Malformed lines are skipped and counted:
+/// the count is reported through `skipped_rows` and the load fails with
+/// kInvalidArgument once more than `max_skipped_rows` lines are bad
+/// (excessive corruption should not pass silently).
 struct CsvLoadOptions {
   char delim = ',';
   int x_col = 0;
   int y_col = 1;
   size_t max_rows = 0;  ///< 0 = unlimited
+  size_t max_skipped_rows = std::numeric_limits<size_t>::max();
+  size_t* skipped_rows = nullptr;  ///< out: malformed-line count
 };
 
 Result<SpatialDataset> LoadPointsCsv(const std::string& path,

@@ -1,0 +1,61 @@
+#include "storage/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace spade {
+
+namespace {
+
+// xorshift64*-derived uniform in [0, 1) for retry jitter.
+double NextUniform(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+}  // namespace
+
+double RetryPolicy::DelayMs(int retry, uint64_t* rng_state) const {
+  double delay = base_delay_ms;
+  for (int i = 0; i < retry; ++i) delay *= multiplier;
+  delay = std::min(delay, max_delay_ms);
+  if (jitter > 0) {
+    // Jitter shifts the delay within [1-jitter, 1+jitter) of nominal.
+    delay *= 1.0 + jitter * (2.0 * NextUniform(rng_state) - 1.0);
+  }
+  return delay;
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, int64_t* retries_out) {
+  uint64_t rng = policy.jitter_seed | 1;
+  Status last;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const double delay = policy.DelayMs(attempt - 1, &rng);
+      if (policy.sleep_ms) {
+        policy.sleep_ms(delay);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+      }
+      if (retries_out != nullptr) ++*retries_out;
+    }
+    last = op();
+    // By default only kIOError is plausibly transient; all else is final.
+    const bool retry_this = policy.retryable
+                                ? policy.retryable(last)
+                                : last.code() == Status::Code::kIOError;
+    if (last.ok() || !retry_this) return last;
+  }
+  return last;
+}
+
+}  // namespace spade

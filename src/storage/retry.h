@@ -1,0 +1,46 @@
+// Bounded exponential-backoff retry for transient storage errors,
+// used by DiskSource reads (and available to any fallible I/O call).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace spade {
+
+/// \brief Retry policy: bounded attempts with jittered geometric backoff.
+///
+/// Only kIOError outcomes are retried by default (other codes are
+/// deterministic); delays grow geometrically from `base_delay_ms`, capped
+/// at `max_delay_ms`, with a deterministic jitter fraction so concurrent
+/// readers do not retry in lockstep. The sleep itself is injectable so
+/// tests run instantly and can record the schedule.
+struct RetryPolicy {
+  int max_attempts = 3;        ///< total attempts, including the first
+  double base_delay_ms = 1.0;  ///< delay before the first retry
+  double multiplier = 2.0;     ///< geometric backoff factor
+  double max_delay_ms = 100.0; ///< backoff cap
+  double jitter = 0.25;        ///< fraction of each delay randomized
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;  ///< jitter RNG stream
+
+  /// Injectable clock: invoked with each backoff delay in milliseconds.
+  /// Defaults to a real sleep when unset.
+  std::function<void(double)> sleep_ms;
+
+  /// Which failures to retry. Defaults (unset) to kIOError only; callers
+  /// narrow it further for errors that are known to be permanent (e.g. a
+  /// checksum mismatch, which would re-read the same corrupt bytes).
+  std::function<bool(const Status&)> retryable;
+
+  /// Delay before retry number `retry` (0-based), jittered via *rng_state.
+  double DelayMs(int retry, uint64_t* rng_state) const;
+};
+
+/// Run `op` under `policy`. Returns the first non-retryable status (OK or
+/// a deterministic error) or the last error once attempts are exhausted.
+/// `retries_out`, when given, accumulates the number of extra attempts.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, int64_t* retries_out);
+
+}  // namespace spade

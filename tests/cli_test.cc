@@ -113,6 +113,36 @@ TEST_F(CliTest, ErrorsAreStatuses) {
   EXPECT_FALSE(session_.Execute("load csv /nonexistent as x").ok());
 }
 
+TEST_F(CliTest, RetryAndFailpointCommands) {
+  EXPECT_NE(Must("retry 5 0").find("5 attempts"), std::string::npos);
+  EXPECT_FALSE(session_.Execute("retry 0").ok());
+  EXPECT_FALSE(session_.Execute("retry abc").ok());
+
+  EXPECT_NE(Must("failpoint list").find("no failpoints"), std::string::npos);
+  Must("failpoint io.read fail(io,2)");
+  EXPECT_NE(Must("failpoint list").find("io.read"), std::string::npos);
+  EXPECT_FALSE(session_.Execute("failpoint io.read bogus(1)").ok());
+  EXPECT_NE(Must("failpoint clear").find("cleared"), std::string::npos);
+
+  // Disk query under an armed failpoint: the retry policy absorbs the two
+  // injected read errors and the new counters show up in `stats`.
+  const std::string dir = (fs::temp_directory_path() / "cli_retry_dir").string();
+  fs::remove_all(dir);
+  Must("gen uniform-points 2000 as pts");
+  Must("store pts " + dir);
+  Must("open " + dir + " as dpts");
+  Must("failpoint io.read fail(io,2)");
+  const std::string out =
+      Must("select dpts POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  EXPECT_NE(out.find("2000 objects"), std::string::npos);
+  const std::string stats = Must("stats");
+  EXPECT_NE(stats.find("retries=2"), std::string::npos);
+  EXPECT_NE(stats.find("checksum_failures=0"), std::string::npos);
+  EXPECT_NE(stats.find("subcell_splits="), std::string::npos);
+  Must("failpoint clear");
+  fs::remove_all(dir);
+}
+
 TEST(CliScript, MercatorFlagParses) {
   SpadeConfig cfg;
   cfg.canvas_resolution = 64;

@@ -5,6 +5,8 @@
 #include <filesystem>
 
 #include "common/config.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 #include "common/mmap_file.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -12,6 +14,85 @@
 
 namespace spade {
 namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / Castagnoli reference vectors.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ChainedEqualsWhole) {
+  const std::string data = "spade fault tolerance layer";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  const uint32_t first = Crc32c(data.data(), 10);
+  const uint32_t chained = Crc32c(data.data() + 10, data.size() - 10, first);
+  EXPECT_EQ(chained, whole);
+  // Any single-bit flip changes the checksum.
+  std::string flipped = data;
+  flipped[5] ^= 0x20;
+  EXPECT_NE(Crc32c(flipped.data(), flipped.size()), whole);
+}
+
+TEST(Failpoint, InactiveByDefault) {
+  failpoint::ClearAll();
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_TRUE(failpoint::Check("not.armed").ok());
+}
+
+TEST(Failpoint, FailNTimesThenSucceed) {
+  failpoint::ClearAll();
+  failpoint::Spec spec;
+  spec.code = Status::Code::kIOError;
+  spec.max_fails = 2;
+  failpoint::Set("test.fp", spec);
+  EXPECT_TRUE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::Check("test.fp").code(), Status::Code::kIOError);
+  EXPECT_EQ(failpoint::Check("test.fp").code(), Status::Code::kIOError);
+  EXPECT_TRUE(failpoint::Check("test.fp").ok());
+  EXPECT_EQ(failpoint::HitCount("test.fp"), 3);
+  EXPECT_EQ(failpoint::FailCount("test.fp"), 2);
+  failpoint::ClearAll();
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST(Failpoint, SkipDelaysFiring) {
+  failpoint::ClearAll();
+  failpoint::Spec spec;
+  spec.skip = 2;
+  spec.max_fails = 1;
+  spec.code = Status::Code::kOutOfMemory;
+  failpoint::Set("test.skip", spec);
+  EXPECT_TRUE(failpoint::Check("test.skip").ok());
+  EXPECT_TRUE(failpoint::Check("test.skip").ok());
+  EXPECT_EQ(failpoint::Check("test.skip").code(), Status::Code::kOutOfMemory);
+  EXPECT_TRUE(failpoint::Check("test.skip").ok());
+  failpoint::ClearAll();
+}
+
+TEST(Failpoint, ConfigureStringSyntax) {
+  failpoint::ClearAll();
+  ASSERT_TRUE(failpoint::Configure("a.b=fail(io,2); c.d = prob(0.5,oom)").ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::Check("a.b").code(), Status::Code::kIOError);
+  // Probabilistic: over many hits roughly half fire, all with kOutOfMemory.
+  int fails = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Status s = failpoint::Check("c.d");
+    if (!s.ok()) {
+      ++fails;
+      EXPECT_EQ(s.code(), Status::Code::kOutOfMemory);
+    }
+  }
+  EXPECT_GT(fails, 40);
+  EXPECT_LT(fails, 160);
+  ASSERT_TRUE(failpoint::Configure("a.b=off").ok());
+  EXPECT_TRUE(failpoint::Check("a.b").ok());
+  EXPECT_FALSE(failpoint::Configure("nonsense").ok());
+  EXPECT_FALSE(failpoint::Configure("x=unknown(1)").ok());
+  failpoint::ClearAll();
+}
 
 TEST(Status, OkAndErrors) {
   EXPECT_TRUE(Status::OK().ok());

@@ -77,6 +77,45 @@ TEST(CsvIo, MaxRowsLimits) {
   fs::remove(path);
 }
 
+TEST(CsvIo, SkippedRowsReported) {
+  const std::string path = TempPath("spade_io_skipped.csv");
+  WriteText(path,
+            "1.5,2.5\n"
+            "not,numbers\n"
+            "oops\n"
+            "3.0,4.0\n");
+  CsvLoadOptions opts;
+  size_t skipped = 0;
+  opts.skipped_rows = &skipped;
+  auto loaded = LoadPointsCsv(path, "pts", opts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+  fs::remove(path);
+}
+
+TEST(CsvIo, MaxSkippedRowsRejectsDirtyFile) {
+  const std::string path = TempPath("spade_io_dirty.csv");
+  WriteText(path,
+            "1.0,1.0\n"
+            "bad,row\n"
+            "also bad\n"
+            "2.0,2.0\n");
+  CsvLoadOptions opts;
+  size_t skipped = 0;
+  opts.skipped_rows = &skipped;
+  opts.max_skipped_rows = 1;
+  auto loaded = LoadPointsCsv(path, "pts", opts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("malformed"), std::string::npos);
+  EXPECT_EQ(skipped, 2u);  // out-param still reports the count on failure
+  // Tolerating the two bad rows succeeds.
+  opts.max_skipped_rows = 2;
+  EXPECT_TRUE(LoadPointsCsv(path, "pts", opts).ok());
+  fs::remove(path);
+}
+
 TEST(CsvIo, CrlfLineEndings) {
   const std::string path = TempPath("spade_io_crlf.csv");
   WriteText(path, "1.0,2.0\r\n3.0,4.0\r\n");

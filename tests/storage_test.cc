@@ -1,6 +1,7 @@
 // Tests for the storage layer: geometry blocks, grid index, cell sources.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 
 #include "datagen/spider.h"
@@ -8,6 +9,7 @@
 #include "storage/block.h"
 #include "storage/dataset.h"
 #include "storage/grid_index.h"
+#include "storage/retry.h"
 #include "test_util.h"
 
 namespace spade {
@@ -54,6 +56,63 @@ TEST(Block, TruncatedFails) {
   EXPECT_FALSE(DeserializeBlock(reinterpret_cast<const uint8_t*>(block.data()),
                                 block.size() - 4, &ids2, &geoms2)
                    .ok());
+}
+
+TEST(Block, ChecksumDetectsSingleBitFlip) {
+  std::vector<Geometry> geoms;
+  std::vector<GeomId> ids;
+  for (int i = 0; i < 50; ++i) {
+    geoms.emplace_back(Vec2{i * 0.1, i * 0.2});
+    ids.push_back(i);
+  }
+  std::string block = SerializeBlock(ids, geoms);
+  // Flip one bit in the payload (past the 8-byte v2 header).
+  block[block.size() / 2] ^= 0x01;
+  std::vector<GeomId> ids2;
+  std::vector<Geometry> geoms2;
+  BlockReadInfo info;
+  const Status st =
+      DeserializeBlock(reinterpret_cast<const uint8_t*>(block.data()),
+                       block.size(), &ids2, &geoms2, &info);
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+  EXPECT_TRUE(info.checksum_failed);
+  EXPECT_EQ(info.version, 2);
+}
+
+TEST(Block, V1BlocksRemainReadable) {
+  std::vector<Geometry> geoms{Geometry(Vec2{3.5, -1.25})};
+  std::vector<GeomId> ids{42};
+  const std::string v2 = SerializeBlock(ids, geoms);
+  // A v1 block is exactly the v2 payload without the 8-byte magic+CRC header.
+  const std::string v1 = v2.substr(8);
+  std::vector<GeomId> ids2;
+  std::vector<Geometry> geoms2;
+  BlockReadInfo info;
+  ASSERT_TRUE(DeserializeBlock(reinterpret_cast<const uint8_t*>(v1.data()),
+                               v1.size(), &ids2, &geoms2, &info)
+                  .ok());
+  EXPECT_EQ(info.version, 1);
+  EXPECT_FALSE(info.checksum_failed);
+  ASSERT_EQ(ids2, ids);
+  EXPECT_EQ(geoms2[0].point(), geoms[0].point());
+}
+
+TEST(Block, SerializedBlocksCarryV2Magic) {
+  std::vector<Geometry> geoms{Geometry(Vec2{0, 0})};
+  std::vector<GeomId> ids{0};
+  const std::string block = SerializeBlock(ids, geoms);
+  ASSERT_GE(block.size(), 8u);
+  uint32_t head = 0;
+  std::memcpy(&head, block.data(), sizeof(head));
+  EXPECT_EQ(head, kBlockMagicV2);
+  BlockReadInfo info;
+  std::vector<GeomId> ids2;
+  std::vector<Geometry> geoms2;
+  ASSERT_TRUE(DeserializeBlock(reinterpret_cast<const uint8_t*>(block.data()),
+                               block.size(), &ids2, &geoms2, &info)
+                  .ok());
+  EXPECT_EQ(info.version, 2);
 }
 
 TEST(GridIndex, SingleCellWhenSmall) {
@@ -129,6 +188,86 @@ TEST(GridIndex, CentroidAssignmentExpandsCellBoxes) {
     }
   }
   EXPECT_TRUE(found_wide);
+}
+
+TEST(Retry, TransientErrorsRetriedThenSucceed) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  std::vector<double> delays;
+  policy.sleep_ms = [&](double ms) { delays.push_back(ms); };
+  int calls = 0;
+  int64_t retries = 0;
+  const Status st = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        return ++calls < 3 ? Status::IOError("transient") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+  ASSERT_EQ(delays.size(), 2u);
+  // Geometric growth within the jitter envelope: second delay is nominally
+  // base * multiplier, jittered by at most +/- 25%.
+  EXPECT_GE(delays[0], policy.base_delay_ms * (1 - policy.jitter));
+  EXPECT_LE(delays[1],
+            policy.base_delay_ms * policy.multiplier * (1 + policy.jitter));
+}
+
+TEST(Retry, ExhaustedAttemptsReturnLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep_ms = [](double) {};
+  int calls = 0;
+  int64_t retries = 0;
+  const Status st = RunWithRetry(
+      policy, [&]() -> Status { ++calls; return Status::IOError("down"); },
+      &retries);
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(Retry, DeterministicErrorsNotRetried) {
+  RetryPolicy policy;
+  policy.sleep_ms = [](double) {};
+  int calls = 0;
+  int64_t retries = 0;
+  const Status st = RunWithRetry(
+      policy,
+      [&]() -> Status { ++calls; return Status::InvalidArgument("bad"); },
+      &retries);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0);
+}
+
+TEST(Retry, CustomRetryablePredicate) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep_ms = [](double) {};
+  policy.retryable = [](const Status& s) {
+    return s.code() == Status::Code::kNotFound;
+  };
+  int calls = 0;
+  const Status st = RunWithRetry(
+      policy, [&]() -> Status { ++calls; return Status::NotFound("gone"); },
+      nullptr);
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Retry, DelaysAreCappedAndNonNegative) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.multiplier = 10;
+  policy.max_delay_ms = 50;
+  uint64_t rng = policy.jitter_seed | 1;
+  for (int r = 0; r < 8; ++r) {
+    const double d = policy.DelayMs(r, &rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, policy.max_delay_ms * (1 + policy.jitter));
+  }
 }
 
 TEST(CellSources, InMemoryLoadAccountsTransfer) {
