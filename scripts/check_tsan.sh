@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the tree under ThreadSanitizer and run the concurrency-sensitive
+# test suites (shared prepared-cell cache, query service, wire server).
+#
+#   scripts/check_tsan.sh [build-dir]
+#
+# Exits non-zero on any build failure, test failure, or TSan report.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-tsan}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPADE_SANITIZE=thread
+cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)" \
+  --target concurrency_test service_test server_test prepared_test
+
+# halt_on_error makes any detected race fail the run outright.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+cd "$ROOT/$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)" \
+  -R '(Concurrency|SingleFlight|Admission|Service|Server|Wire|CellPreparer)'

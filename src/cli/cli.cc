@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "datagen/realdata.h"
 #include "datagen/spider.h"
 #include "engine/tuning.h"
@@ -101,6 +102,12 @@ Result<MultiPolygon> ParseConstraint(const std::string& wkt) {
   return g.polygon();
 }
 
+bool IsQueryCommand(const std::string& cmd) {
+  return cmd == "select" || cmd == "contains" || cmd == "range" ||
+         cmd == "join" || cmd == "distance" || cmd == "djoin" ||
+         cmd == "agg" || cmd == "knn" || cmd == "sql";
+}
+
 }  // namespace
 
 CliSession::CliSession(SpadeConfig config) : engine_(config) {}
@@ -133,6 +140,20 @@ Result<std::string> CliSession::AddDataset(const std::string& name,
 }
 
 Result<std::string> CliSession::Execute(const std::string& line) {
+  const auto words = Words(line);
+  const bool is_query = !words.empty() && IsQueryCommand(words[0]);
+  Stopwatch sw;
+  auto r = ExecuteCommand(line);
+  if (is_query && r.ok()) {
+    // A direct shell call never waits in an admission queue; recording the
+    // zero keeps the stats output shape identical to the service's.
+    queue_wait_hist_.Record(0.0);
+    latency_hist_.Record(sw.ElapsedSeconds());
+  }
+  return r;
+}
+
+Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
   const auto words = Words(line);
   if (words.empty()) return std::string();
   const std::string& cmd = words[0];
@@ -393,7 +414,11 @@ Result<std::string> CliSession::Execute(const std::string& line) {
        << " exact_tests=" << last_stats_.exact_tests
        << " retries=" << last_stats_.retries
        << " checksum_failures=" << last_stats_.checksum_failures
-       << " subcell_splits=" << last_stats_.subcell_splits;
+       << " subcell_splits=" << last_stats_.subcell_splits
+       << "\nqueue_wait " << queue_wait_hist_.DescribePercentiles()
+       << "\nlatency " << latency_hist_.DescribePercentiles()
+       << " mean=" << latency_hist_.mean_seconds() << "s n="
+       << latency_hist_.count();
     return os.str();
   }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/latency_histogram.h"
 #include "engine/spade.h"
 
 namespace spade {
@@ -24,6 +25,15 @@ class CliSession {
   /// Stats of the last executed query (zeroed when none ran yet).
   const QueryStats& last_stats() const { return last_stats_; }
 
+  /// End-to-end latency of every query command run in this session; the
+  /// same histogram type the service layer uses, so `stats` prints the
+  /// identical p50/p95/p99 shape whether queries came through a server
+  /// queue or a single-caller shell.
+  const LatencyHistogram& latency_histogram() const { return latency_hist_; }
+  const LatencyHistogram& queue_wait_histogram() const {
+    return queue_wait_hist_;
+  }
+
   SpadeEngine& engine() { return engine_; }
 
  private:
@@ -37,11 +47,14 @@ class CliSession {
   Result<CellSource*> FindSource(const std::string& name);
   Result<std::string> AddDataset(const std::string& name,
                                  SpatialDataset dataset);
+  Result<std::string> ExecuteCommand(const std::string& line);
 
   SpadeEngine engine_;
   std::map<std::string, NamedSource> sources_;
   QueryStats last_stats_;
   RetryPolicy retry_policy_;  ///< applied to every disk-backed source
+  LatencyHistogram latency_hist_;
+  LatencyHistogram queue_wait_hist_;  ///< all zero for direct execution
 };
 
 }  // namespace spade

@@ -54,6 +54,7 @@ Status MakeError(const std::string& name, const Spec& spec) {
     case Status::Code::kOutOfMemory: return Status::OutOfMemory(msg);
     case Status::Code::kNotSupported: return Status::NotSupported(msg);
     case Status::Code::kInternal: return Status::Internal(msg);
+    case Status::Code::kOverloaded: return Status::Overloaded(msg);
     case Status::Code::kIOError:
     default: return Status::IOError(msg);
   }
@@ -66,6 +67,7 @@ bool ParseCode(const std::string& s, Status::Code* code) {
   else if (s == "invalid") *code = Status::Code::kInvalidArgument;
   else if (s == "internal") *code = Status::Code::kInternal;
   else if (s == "notsupported") *code = Status::Code::kNotSupported;
+  else if (s == "overloaded") *code = Status::Code::kOverloaded;
   else return false;
   return true;
 }

@@ -9,6 +9,7 @@
 //   io.write          WriteFile
 //   block.deserialize DeserializeBlock entry
 //   device.alloc      GfxDevice::AllocateMemory
+//   service.enqueue   SpadeService::Submit admission
 //
 // Environment syntax (semicolon- or comma-separated entries):
 //   SPADE_FAILPOINTS="io.read=fail(io,2);block.deserialize=prob(0.5,io)"
@@ -18,7 +19,7 @@
 //                              first `skip` hits
 //   prob(p[,code])             fail each hit with probability p
 //   off                        disarm
-// Codes: io, oom, notfound, invalid, internal, notsupported.
+// Codes: io, oom, notfound, invalid, internal, notsupported, overloaded.
 #pragma once
 
 #include <atomic>

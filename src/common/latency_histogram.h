@@ -1,0 +1,95 @@
+// Thread-safe latency histogram with logarithmic buckets, used for the
+// service-level p50/p95/p99 accounting of queue wait and end-to-end query
+// latency. Recording is one atomic increment; percentiles are computed on
+// demand from a snapshot of the bucket counts, so concurrent Record()
+// calls never block each other or a reader.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace spade {
+
+/// \brief Log-bucketed histogram of durations in seconds.
+///
+/// Buckets double in width starting at 1 microsecond; 40 buckets cover
+/// 1us .. ~9 minutes, far beyond any single query. A percentile is
+/// reported as the upper bound of the bucket holding that rank, i.e. with
+/// at most 2x relative error — plenty for p50/p95/p99 service stats.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+  static constexpr double kFirstUpperSeconds = 1e-6;
+
+  void Record(double seconds) {
+    buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // total_ns keeps the mean exact enough while staying a single atomic.
+    const auto ns = static_cast<int64_t>(seconds * 1e9);
+    total_ns_.fetch_add(ns > 0 ? ns : 0, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double mean_seconds() const {
+    const int64_t n = count();
+    if (n == 0) return 0;
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           1e9 / static_cast<double>(n);
+  }
+
+  /// Value (seconds) at or below which `p` of recordings fall; p in [0,1].
+  /// Returns 0 when nothing was recorded.
+  double Percentile(double p) const {
+    std::array<int64_t, kBuckets> snap;
+    int64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snap[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snap[i];
+    }
+    if (total == 0) return 0;
+    const auto rank = static_cast<int64_t>(std::ceil(p * total));
+    int64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += snap[i];
+      if (seen >= rank) return UpperBound(i);
+    }
+    return UpperBound(kBuckets - 1);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// "p50=1.2e-3s p95=4.1e-3s p99=8.2e-3s" — the service stats line shape.
+  std::string DescribePercentiles() const {
+    std::ostringstream os;
+    os << "p50=" << Percentile(0.50) << "s p95=" << Percentile(0.95)
+       << "s p99=" << Percentile(0.99) << 's';
+    return os.str();
+  }
+
+ private:
+  static size_t BucketFor(double seconds) {
+    if (seconds <= kFirstUpperSeconds) return 0;
+    const double buckets = std::log2(seconds / kFirstUpperSeconds);
+    const auto i = static_cast<size_t>(std::ceil(buckets));
+    return i >= kBuckets ? kBuckets - 1 : i;
+  }
+
+  static double UpperBound(size_t bucket) {
+    return kFirstUpperSeconds * std::pow(2.0, static_cast<double>(bucket));
+  }
+
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> total_ns_{0};
+};
+
+}  // namespace spade

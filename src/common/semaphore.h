@@ -1,0 +1,64 @@
+// A counting semaphore used by the query service to arbitrate the shared
+// simulated GPU: at most `permits` queries occupy the device at once, so
+// concurrent requests cannot collectively exceed the memory budget that
+// per-query sub-cell streaming protects for a single caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace spade {
+
+/// \brief Classic counting semaphore (mutex + condvar; no C++20 header
+/// dependency so TSan instruments every acquisition precisely).
+class Semaphore {
+ public:
+  explicit Semaphore(size_t permits) : permits_(permits) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return permits_ > 0; });
+    --permits_;
+  }
+
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (permits_ == 0) return false;
+    --permits_;
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++permits_;
+    }
+    cv_.notify_one();
+  }
+
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return permits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t permits_;
+};
+
+/// \brief RAII permit holder.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore* sem) : sem_(sem) { sem_->Acquire(); }
+  ~SemaphoreGuard() { sem_->Release(); }
+
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+
+ private:
+  Semaphore* sem_;
+};
+
+}  // namespace spade

@@ -23,6 +23,7 @@ class Status {
     kOutOfMemory,
     kNotSupported,
     kInternal,
+    kOverloaded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +46,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  /// Typed backpressure signal: the admission queue is full and the request
+  /// was rejected immediately rather than queued (retry later / elsewhere).
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -69,6 +75,7 @@ class Status {
       case Code::kOutOfMemory: return "OutOfMemory";
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
+      case Code::kOverloaded: return "Overloaded";
     }
     return "Unknown";
   }

@@ -1,0 +1,35 @@
+#include "datagen/registry.h"
+
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+
+namespace spade {
+
+Result<SpatialDataset> GenerateDataset(const std::string& kind, size_t n,
+                                       uint64_t seed) {
+  if (kind == "uniform-points") return GenerateUniformPoints(n, seed);
+  if (kind == "gaussian-points") return GenerateGaussianPoints(n, seed);
+  if (kind == "uniform-boxes") return GenerateUniformBoxes(n, seed);
+  if (kind == "gaussian-boxes") return GenerateGaussianBoxes(n, seed);
+  if (kind == "parcels") return GenerateParcels(n, seed);
+  if (kind == "taxi") return TaxiLikePoints(n, seed);
+  if (kind == "tweets") return TweetLikePoints(n, seed);
+  if (kind == "neighborhoods") return NeighborhoodLikePolygons(seed);
+  if (kind == "census") return CensusLikePolygons(seed);
+  if (kind == "counties") return CountyLikePolygons(seed);
+  if (kind == "zipcodes") return ZipcodeLikePolygons(seed);
+  if (kind == "buildings") return BuildingLikePolygons(n, seed);
+  if (kind == "countries") return CountryLikePolygons(seed);
+  return Status::InvalidArgument("unknown dataset kind '" + kind +
+                                 "' (kinds: " + DatasetKindList() + ")");
+}
+
+const std::string& DatasetKindList() {
+  static const std::string kinds =
+      "uniform-points, gaussian-points, uniform-boxes, gaussian-boxes, "
+      "parcels, taxi, tweets, neighborhoods, census, counties, zipcodes, "
+      "buildings, countries";
+  return kinds;
+}
+
+}  // namespace spade

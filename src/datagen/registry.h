@@ -1,0 +1,25 @@
+// Name-keyed access to every synthetic dataset generator, so the CLI's
+// `gen` command and the query server's control protocol share one list of
+// kinds (and stay in sync when generators are added).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+/// Generate a dataset by kind name. Kinds: uniform-points, gaussian-points,
+/// uniform-boxes, gaussian-boxes, parcels, taxi, tweets, neighborhoods,
+/// census, counties, zipcodes, buildings, countries. `n` is ignored by the
+/// fixed-size tessellation kinds (neighborhoods, census, counties,
+/// zipcodes, countries).
+Result<SpatialDataset> GenerateDataset(const std::string& kind, size_t n,
+                                       uint64_t seed);
+
+/// Comma-separated list of valid kinds, for error messages and help text.
+const std::string& DatasetKindList();
+
+}  // namespace spade

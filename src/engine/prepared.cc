@@ -4,19 +4,8 @@ namespace spade {
 
 namespace {
 
-/// Cached index structures for a cell (triangulations + layer index).
-/// The raw cell payload is NOT cached here: every query re-loads it
-/// through the source, paying the disk and CPU->GPU transfer each time,
-/// exactly like the paper's execution model.
-struct CellIndexes {
-  std::vector<Triangulation> tris;
-  LayerIndex layers;
-  bool has_layers = false;
-  size_t index_bytes = 0;
-};
-
 /// Triangulation share of a cell's index bytes, matching the accounting
-/// in CellPreparer::Get.
+/// in CellPreparer::BuildEntry.
 size_t TriBytes(const Triangulation& tri) {
   return tri.triangles.size() * sizeof(Triangle) +
          tri.edges.size() * (sizeof(std::array<Vec2, 2>) + 4);
@@ -68,56 +57,37 @@ Result<std::vector<std::shared_ptr<const PreparedCell>>> SplitPreparedCell(
   return parts;
 }
 
-Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
-    CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {
-  const auto key = std::make_pair(source.uid(), cell);
-  // Always pay the data transfer.
+Result<std::shared_ptr<const PreparedCell>> CellPreparer::BuildEntry(
+    CellSource& source, size_t cell, bool need_layers,
+    const std::shared_ptr<const PreparedCell>& base, QueryStats* stats) {
+  loads_.fetch_add(1, std::memory_order_relaxed);
   SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> data,
                          source.LoadCell(cell, stats));
-  std::lock_guard<std::mutex> lock(mu_);
-
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    auto prep = std::make_shared<PreparedCell>();
-    prep->tris.resize(data->geoms.size());
-    for (size_t i = 0; i < data->geoms.size(); ++i) {
-      const Geometry& g = data->geoms[i];
+  auto prep = std::make_shared<PreparedCell>();
+  prep->data = std::move(data);
+  if (base != nullptr) {
+    // Layer upgrade: reuse the cached triangulations (base has no layers,
+    // so its index bytes are exactly the triangulation share).
+    prep->tris = base->tris;
+    prep->index_bytes = base->index_bytes;
+  } else {
+    index_builds_.fetch_add(1, std::memory_order_relaxed);
+    prep->tris.resize(prep->data->geoms.size());
+    for (size_t i = 0; i < prep->data->geoms.size(); ++i) {
+      const Geometry& g = prep->data->geoms[i];
       if (g.is_polygon()) {
         prep->tris[i] = Triangulate(g.polygon());
-        prep->index_bytes += prep->tris[i].triangles.size() * sizeof(Triangle);
-        prep->index_bytes +=
-            prep->tris[i].edges.size() * (sizeof(std::array<Vec2, 2>) + 4);
+        prep->index_bytes += TriBytes(prep->tris[i]);
       }
-    }
-    cached_bytes_ += prep->index_bytes;
-    fifo_.push_back(key);
-    it = cache_.emplace(key, std::move(prep)).first;
-    // FIFO eviction keeps the cached index structures within budget.
-    size_t evict_at = 0;
-    while (cached_bytes_ > budget_bytes_ && evict_at < fifo_.size()) {
-      const auto victim = fifo_[evict_at++];
-      if (victim == key) continue;  // never evict the entry just built
-      auto vit = cache_.find(victim);
-      if (vit != cache_.end()) {
-        cached_bytes_ -= vit->second->index_bytes;
-        cache_.erase(vit);
-      }
-    }
-    if (evict_at > 0) {
-      fifo_.erase(fifo_.begin(), fifo_.begin() + evict_at);
-      fifo_.push_back(key);  // keep the fresh key tracked
     }
   }
-
-  PreparedCell* prep = it->second.get();
-  prep->data = data;
-  if (need_layers && !prep->has_layers) {
+  if (need_layers) {
     std::vector<GeomId> local_ids;
     std::vector<const MultiPolygon*> polys;
-    for (size_t i = 0; i < data->geoms.size(); ++i) {
-      if (data->geoms[i].is_polygon()) {
+    for (size_t i = 0; i < prep->data->geoms.size(); ++i) {
+      if (prep->data->geoms[i].is_polygon()) {
         local_ids.push_back(static_cast<GeomId>(i));
-        polys.push_back(&data->geoms[i].polygon());
+        polys.push_back(&prep->data->geoms[i].polygon());
       }
     }
     // First-fit greedy layering, ordered by id (the offline construction;
@@ -126,13 +96,141 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
     prep->has_layers = true;
     prep->index_bytes += prep->layers.num_objects() * sizeof(GeomId);
   }
+  return std::const_pointer_cast<const PreparedCell>(prep);
+}
 
-  if (stats != nullptr) {
-    // The canvas indexes travel with the cell (Section 6.3's observation
-    // that SPADE also transfers boundary and layer indexes).
-    stats->bytes_transferred += static_cast<int64_t>(prep->index_bytes);
+void CellPreparer::Insert(const Key& key,
+                          std::shared_ptr<const PreparedCell> prep) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    cached_bytes_ -= it->second.prep->index_bytes;
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
   }
-  return std::const_pointer_cast<const PreparedCell>(it->second);
+  lru_.push_front(key);
+  cached_bytes_ += prep->index_bytes;
+  cache_.emplace(key, Entry{std::move(prep), lru_.begin()});
+  // LRU eviction keeps the cached index structures within budget; the
+  // entry just inserted (list front) is never the victim.
+  while (cached_bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const Key victim = lru_.back();
+    auto vit = cache_.find(victim);
+    cached_bytes_ -= vit->second.prep->index_bytes;
+    cache_.erase(vit);
+    lru_.pop_back();
+  }
+}
+
+Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
+    CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {
+  const Key key = std::make_pair(source.uid(), cell);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = cache_.find(key);
+    if (it != cache_.end() && (!need_layers || it->second.prep->has_layers)) {
+      // Touch-on-hit: move to the LRU front so hot cells survive scans.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      it->second.lru_it = lru_.begin();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::shared_ptr<const PreparedCell> prep = it->second.prep;
+      lock.unlock();
+      // A non-overlapping query still pays the payload transfer (the
+      // paper's execution model); the loaded bytes equal the cached copy,
+      // so only the I/O accounting and failure behaviour matter.
+      loads_.fetch_add(1, std::memory_order_relaxed);
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> data,
+                             source.LoadCell(cell, stats));
+      (void)data;
+      if (stats != nullptr) {
+        // The canvas indexes travel with the cell (Section 6.3's
+        // observation that SPADE also transfers boundary/layer indexes).
+        stats->bytes_transferred += static_cast<int64_t>(prep->index_bytes);
+      }
+      return prep;
+    }
+
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Single-flight: another query is already loading this cell; wait
+      // and share its payload + indexes (one load, one triangulation).
+      std::shared_ptr<InFlight> fl = fit->second;
+      ++waiters_;
+      fl->cv.wait(lock, [&] { return fl->done; });
+      --waiters_;
+      shared_loads_.fetch_add(1, std::memory_order_relaxed);
+      if (!fl->status.ok()) return fl->status;
+      if (!need_layers || fl->result->has_layers) {
+        if (stats != nullptr) {
+          stats->bytes_transferred +=
+              static_cast<int64_t>(fl->result->index_bytes);
+        }
+        return fl->result;
+      }
+      continue;  // shared load lacked layers — upgrade on the next pass
+    }
+
+    // Become the leader for this (source, cell) load. Payload load and
+    // index construction run with the lock dropped, so loads of distinct
+    // cells proceed in parallel.
+    std::shared_ptr<const PreparedCell> base =
+        it != cache_.end() ? it->second.prep : nullptr;
+    auto fl = std::make_shared<InFlight>();
+    inflight_.emplace(key, fl);
+    lock.unlock();
+
+    auto built = BuildEntry(source, cell, need_layers, base, stats);
+
+    lock.lock();
+    inflight_.erase(key);
+    fl->done = true;
+    if (built.ok()) {
+      fl->result = built.value();
+    } else {
+      fl->status = built.status();
+    }
+    fl->cv.notify_all();
+    if (!built.ok()) return built.status();
+    std::shared_ptr<const PreparedCell> prep = std::move(built).value();
+    Insert(key, prep);
+    if (stats != nullptr) {
+      stats->bytes_transferred += static_cast<int64_t>(prep->index_bytes);
+    }
+    return prep;
+  }
+}
+
+void CellPreparer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  cached_bytes_ = 0;
+}
+
+size_t CellPreparer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void CellPreparer::set_budget_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+}
+
+int64_t CellPreparer::loads() const {
+  return loads_.load(std::memory_order_relaxed);
+}
+int64_t CellPreparer::index_builds() const {
+  return index_builds_.load(std::memory_order_relaxed);
+}
+int64_t CellPreparer::cache_hits() const {
+  return cache_hits_.load(std::memory_order_relaxed);
+}
+int64_t CellPreparer::shared_loads() const {
+  return shared_loads_.load(std::memory_order_relaxed);
+}
+size_t CellPreparer::inflight_waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_;
 }
 
 }  // namespace spade

@@ -5,6 +5,10 @@
 // cell and cached, while their byte volume is charged to every transfer.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +21,10 @@
 namespace spade {
 
 /// \brief A grid cell plus its precomputed canvas-index structures.
+///
+/// Instances published by CellPreparer are immutable: concurrent queries
+/// share them freely (layer upgrades replace the cached entry with a new
+/// object instead of mutating the published one).
 struct PreparedCell {
   std::shared_ptr<const CellData> data;
 
@@ -51,6 +59,14 @@ Result<std::vector<std::shared_ptr<const PreparedCell>>> SplitPreparedCell(
     const PreparedCell& prep, size_t max_bytes);
 
 /// \brief Cache of PreparedCells keyed by (source, cell index).
+///
+/// Concurrency: safe for arbitrary concurrent Get() calls. Loads of the
+/// same (source, cell) that overlap in time are *single-flighted*: one
+/// caller loads the payload and builds the indexes, every overlapping
+/// caller blocks and shares the result (one disk read, one triangulation,
+/// one CPU->GPU transfer — the service scheduler's cell-dedup relies on
+/// this). Non-overlapping calls keep the paper's execution model: each
+/// query re-loads the payload and pays the transfer.
 class CellPreparer {
  public:
   /// Load (through the source, which accounts I/O) and prepare a cell.
@@ -65,23 +81,65 @@ class CellPreparer {
                                                   bool need_layers,
                                                   QueryStats* stats);
 
-  void Clear() {
-    cache_.clear();
-    fifo_.clear();
-    cached_bytes_ = 0;
-  }
-  size_t size() const { return cache_.size(); }
+  void Clear();
+  size_t size() const;
 
-  /// Bound on cached index bytes; oldest entries are evicted past it
-  /// (rebuilding them later is correct, just slower).
-  void set_budget_bytes(size_t bytes) { budget_bytes_ = bytes; }
+  /// Bound on cached index bytes; least-recently-used entries are evicted
+  /// past it (rebuilding them later is correct, just slower).
+  void set_budget_bytes(size_t bytes);
+
+  // --- observability (service stats + single-flight tests) ----------------
+
+  /// Payload loads issued through sources (one per non-deduplicated Get).
+  int64_t loads() const;
+  /// Triangulation builds (cache misses; layer upgrades excluded).
+  int64_t index_builds() const;
+  /// Gets served from the cache (indexes reused, payload re-loaded).
+  int64_t cache_hits() const;
+  /// Gets that joined another caller's in-flight load of the same cell.
+  int64_t shared_loads() const;
+  /// Callers currently blocked on an in-flight load (test hook: lets a
+  /// test release a gated load only once the sharing Get has joined it).
+  size_t inflight_waiters() const;
 
  private:
-  std::mutex mu_;  // Get() may be called from concurrent queries
-  std::map<std::pair<uint64_t, size_t>, std::shared_ptr<PreparedCell>> cache_;
-  std::vector<std::pair<uint64_t, size_t>> fifo_;
+  using Key = std::pair<uint64_t, size_t>;
+
+  struct Entry {
+    std::shared_ptr<const PreparedCell> prep;
+    std::list<Key>::iterator lru_it;
+  };
+
+  /// One in-flight load; waiters block on cv until the leader publishes.
+  struct InFlight {
+    bool done = false;
+    Status status;
+    std::shared_ptr<const PreparedCell> result;
+    std::condition_variable cv;
+  };
+
+  /// Load + triangulate (+ layers) with no lock held. `base` carries the
+  /// reusable triangulations of a cached non-layered entry when upgrading.
+  Result<std::shared_ptr<const PreparedCell>> BuildEntry(
+      CellSource& source, size_t cell, bool need_layers,
+      const std::shared_ptr<const PreparedCell>& base, QueryStats* stats);
+
+  /// Publish `prep` under `key` (replacing any older entry) and evict
+  /// least-recently-used entries past the byte budget. Requires mu_.
+  void Insert(const Key& key, std::shared_ptr<const PreparedCell> prep);
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> cache_;
+  std::list<Key> lru_;  ///< front = most recently used
+  std::map<Key, std::shared_ptr<InFlight>> inflight_;
   size_t cached_bytes_ = 0;
   size_t budget_bytes_ = 512ull << 20;
+  size_t waiters_ = 0;
+
+  std::atomic<int64_t> loads_{0};
+  std::atomic<int64_t> index_builds_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> shared_loads_{0};
 };
 
 }  // namespace spade

@@ -37,6 +37,12 @@ class SpadeEngine {
   /// and metadata can be registered / inspected through SQL).
   Catalog& catalog() { return catalog_; }
 
+  /// The shared prepared-cell cache. Exposed so the service layer (and
+  /// tests) can observe cache hits, single-flight shares, and in-flight
+  /// waiters across concurrent queries.
+  CellPreparer& preparer() { return preparer_; }
+  const CellPreparer& preparer() const { return preparer_; }
+
   /// Pre-build the canvas index structures (triangulations, layer index)
   /// of every cell so queries measure execution, not index construction —
   /// the paper's setup also excludes indexing time.

@@ -1,0 +1,61 @@
+// Request / response types of the concurrent query service. A Request is
+// a self-contained query descriptor (datasets referenced by registered
+// name), so it can be built programmatically, carried over the wire
+// protocol, or replayed; a Response carries the typed result plus the
+// per-request accounting the service aggregates into p50/p95/p99 stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "geom/geometry.h"
+
+namespace spade {
+
+/// \brief Kind of operation a service request performs.
+enum class RequestKind {
+  kSelection,     ///< polygonal spatial selection
+  kContains,      ///< containment selection
+  kRange,         ///< rectangular range selection
+  kJoin,          ///< spatial join (polygon x other)
+  kDistance,      ///< distance selection around a point
+  kDistanceJoin,  ///< type-1 distance join
+  kKnn,           ///< kNN selection
+  kSql,           ///< SQL passthrough to the embedded catalog
+  kStats,         ///< service-level stats snapshot
+};
+
+/// \brief One query-service request.
+struct Request {
+  RequestKind kind = RequestKind::kStats;
+  std::string dataset;      ///< primary source name (queries)
+  std::string dataset2;     ///< other side (joins)
+  MultiPolygon constraint;  ///< kSelection / kContains
+  Box range;                ///< kRange
+  Vec2 point{0, 0};         ///< kDistance / kKnn
+  double radius = 0;        ///< kDistance / kDistanceJoin
+  size_t k = 0;             ///< kKnn
+  bool mercator = false;    ///< meter-based distances (EPSG:4326 data)
+  std::string sql;          ///< kSql statement
+};
+
+/// \brief Result of one service request.
+struct Response {
+  /// kOverloaded when admission control rejected the request outright.
+  Status status;
+
+  std::vector<GeomId> ids;                           ///< selections
+  std::vector<std::pair<GeomId, GeomId>> pairs;      ///< joins
+  std::vector<std::pair<GeomId, double>> neighbors;  ///< kNN
+  std::string text;                                  ///< SQL / stats output
+
+  QueryStats stats;               ///< engine-side breakdown
+  double queue_wait_seconds = 0;  ///< admission queue time
+  double total_seconds = 0;       ///< queue wait + execution
+};
+
+}  // namespace spade

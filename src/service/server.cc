@@ -1,0 +1,359 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "datagen/registry.h"
+#include "engine/tuning.h"
+#include "service/wire.h"
+#include "storage/dataset.h"
+
+namespace spade {
+
+namespace {
+
+constexpr const char* kProtocolHelp =
+    R"(queries (admission-controlled, concurrent):
+  select <name> <WKT> | contains <name> <WKT> | range <name> x0 y0 x1 y1
+  join <polys> <other> | distance <name> x y r [m] | djoin <l> <r> r [m]
+  knn <name> x y k [m] | sql <statement> | stats
+control:
+  gen <kind> <n> as <name> | open <dir> as <name> | list
+  failpoint list|clear|<name> <action> | ping | help | quit)";
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SpadeServer::SpadeServer(SpadeService* service) : service_(service) {}
+
+SpadeServer::~SpadeServer() { Stop(); }
+
+Status SpadeServer::Start(uint16_t port) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(lfd);
+    return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(lfd, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(lfd);
+    return Status::IOError("listen: " + err);
+  }
+  listen_fd_.store(lfd);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SpadeServer::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;  // Stop() already closed the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ++connections_accepted_;
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SpadeServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const size_t nl = buffer.find('\n');
+    if (nl == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // peer closed / connection reset / Stop() shut us down
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") {
+      (void)WriteAll(fd, wire::FrameOk("bye"));
+      break;
+    }
+    auto result = ExecuteLine(line);
+    const std::string framed = result.ok() ? wire::FrameOk(result.value())
+                                           : wire::FrameError(result.status());
+    if (!WriteAll(fd, framed).ok()) break;
+  }
+  ::close(fd);
+}
+
+bool SpadeServer::IsControlLine(const std::string& cmd) const {
+  return cmd == "gen" || cmd == "open" || cmd == "list" ||
+         cmd == "failpoint" || cmd == "ping" || cmd == "help";
+}
+
+Result<std::string> SpadeServer::ExecuteLine(const std::string& line) {
+  std::istringstream is(line);
+  std::string cmd;
+  is >> cmd;
+  if (cmd.empty()) return std::string();
+  if (IsControlLine(cmd)) return HandleControl(line);
+
+  SPADE_ASSIGN_OR_RETURN(Request req, wire::ParseRequestLine(line));
+  Response resp = service_->Execute(req);
+  if (!resp.status.ok()) return resp.status;
+  return wire::FormatPayload(req, resp);
+}
+
+Result<std::string> SpadeServer::HandleControl(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  const std::string& cmd = words[0];
+
+  if (cmd == "ping") return std::string("pong");
+  if (cmd == "help") return std::string(kProtocolHelp);
+
+  if (cmd == "list") {
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& name : service_->SourceNames()) {
+      const CellSource* src = service_->FindSource(name);
+      if (!first) os << '\n';
+      first = false;
+      os << name << ": " << src->num_objects() << " objects, "
+         << src->index().num_cells() << " cells";
+    }
+    if (first) return std::string("(no datasets)");
+    return os.str();
+  }
+
+  if (cmd == "gen") {
+    if (words.size() != 5 || words[3] != "as") {
+      return Status::InvalidArgument("usage: gen <kind> <n> as <name>");
+    }
+    char* end = nullptr;
+    const double n = std::strtod(words[2].c_str(), &end);
+    if (end == words[2].c_str() || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("expected a non-negative count, got '" +
+                                     words[2] + "'");
+    }
+    std::lock_guard<std::mutex> lock(control_mu_);
+    SPADE_ASSIGN_OR_RETURN(
+        SpatialDataset ds,
+        GenerateDataset(words[1], static_cast<size_t>(n), /*seed=*/42));
+    ds.name = words[4];
+    const size_t objects = ds.size();
+    auto source = MakeTunedInMemorySource(words[4], std::move(ds),
+                                          service_->engine().config());
+    const size_t cells = source->index().num_cells();
+    SPADE_RETURN_NOT_OK(
+        service_->RegisterSource(words[4], std::move(source)));
+    return words[4] + ": " + std::to_string(objects) + " objects, " +
+           std::to_string(cells) + " grid cells";
+  }
+
+  if (cmd == "open") {
+    if (words.size() != 4 || words[2] != "as") {
+      return Status::InvalidArgument("usage: open <dir> as <name>");
+    }
+    std::lock_guard<std::mutex> lock(control_mu_);
+    SPADE_ASSIGN_OR_RETURN(
+        std::unique_ptr<DiskSource> disk,
+        DiskSource::Open(words[1],
+                         service_->engine().config().device_memory_budget));
+    const size_t objects = disk->num_objects();
+    SPADE_RETURN_NOT_OK(service_->RegisterSource(words[3], std::move(disk)));
+    return words[3] + ": " + std::to_string(objects) + " objects (disk)";
+  }
+
+  if (cmd == "failpoint") {
+    if (words.size() == 2 && words[1] == "list") return failpoint::Describe();
+    if (words.size() == 2 && words[1] == "clear") {
+      failpoint::ClearAll();
+      return std::string("failpoints cleared");
+    }
+    if (words.size() != 3) {
+      return Status::InvalidArgument(
+          "usage: failpoint list | clear | <name> <action>");
+    }
+    SPADE_RETURN_NOT_OK(failpoint::Configure(words[1] + "=" + words[2]));
+    return "failpoint " + words[1] + " set to " + words[2];
+  }
+
+  return Status::InvalidArgument("unknown control command '" + cmd + "'");
+}
+
+void SpadeServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    connection_fds_.clear();
+    threads.swap(connection_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SpadeServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+SpadeClient::~SpadeClient() { Close(); }
+
+Status SpadeClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address '" + host +
+                                   "' (use dotted quads, e.g. 127.0.0.1)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  return Status::OK();
+}
+
+void SpadeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status SpadeClient::ReadLine(std::string* out) {
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *out = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::OK();
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::IOError("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status SpadeClient::ReadExact(size_t n, std::string* out) {
+  while (buffer_.size() < n) {
+    char chunk[4096];
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return Status::IOError("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(r));
+  }
+  *out = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return Status::OK();
+}
+
+Result<std::string> SpadeClient::Call(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  SPADE_RETURN_NOT_OK(WriteAll(fd_, line + '\n'));
+
+  std::string header;
+  SPADE_RETURN_NOT_OK(ReadLine(&header));
+  std::istringstream is(header);
+  std::string tag;
+  is >> tag;
+  if (tag == "ok") {
+    size_t len = 0;
+    if (!(is >> len)) {
+      return Status::IOError("malformed response header: " + header);
+    }
+    std::string payload;
+    SPADE_RETURN_NOT_OK(ReadExact(len + 1, &payload));  // + trailing '\n'
+    payload.pop_back();
+    return payload;
+  }
+  if (tag == "err") {
+    std::string token;
+    size_t len = 0;
+    if (!(is >> token >> len)) {
+      return Status::IOError("malformed error header: " + header);
+    }
+    std::string message;
+    SPADE_RETURN_NOT_OK(ReadExact(len + 1, &message));
+    message.pop_back();
+    return wire::MakeStatus(token, std::move(message));
+  }
+  return Status::IOError("malformed response header: " + header);
+}
+
+}  // namespace spade

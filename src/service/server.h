@@ -1,0 +1,104 @@
+// A small TCP front end for SpadeService: accepts connections, reads one
+// request per line, and answers with the byte-framed responses of
+// wire.h. Query lines go through the service's admission queue (so a
+// saturated server answers `err overloaded ...` immediately); control
+// lines (dataset setup, failpoints, introspection) are handled directly:
+//
+//   gen <kind> <n> as <name>     generate + register a synthetic dataset
+//   open <dir> as <name>         register a stored on-disk dataset
+//   list                         registered datasets
+//   failpoint ...                the CLI failpoint syntax (list/clear/set)
+//   ping                         liveness probe, answers "pong"
+//   help                         protocol summary
+//   quit                         close this connection
+//
+// Concurrency model: one thread per connection; each blocks on its own
+// request's future while the service's worker pool overlaps execution
+// across connections. SpadeClient is the matching blocking client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace spade {
+
+/// \brief Line-protocol TCP server over a (non-owned) SpadeService.
+class SpadeServer {
+ public:
+  explicit SpadeServer(SpadeService* service);
+  ~SpadeServer();
+
+  SpadeServer(const SpadeServer&) = delete;
+  SpadeServer& operator=(const SpadeServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// start accepting connections.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Stop accepting, close every connection, join all threads. Idempotent.
+  void Stop();
+
+  /// Block until the server is stopped (the spade_server main loop).
+  void Wait();
+
+  /// Execute one protocol line in-process (exactly what a connection
+  /// does), returning the printable payload. Used for setup scripts and
+  /// by tests that don't need a socket.
+  Result<std::string> ExecuteLine(const std::string& line);
+
+  int64_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  bool IsControlLine(const std::string& cmd) const;
+  Result<std::string> HandleControl(const std::string& line);
+
+  SpadeService* service_;
+  std::atomic<int> listen_fd_{-1};  ///< AcceptLoop reads it while Stop closes
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+  std::mutex control_mu_;  ///< serializes dataset registration commands
+  std::atomic<int64_t> connections_accepted_{0};
+};
+
+/// \brief Blocking client for the wire protocol.
+class SpadeClient {
+ public:
+  SpadeClient() = default;
+  ~SpadeClient();
+
+  SpadeClient(const SpadeClient&) = delete;
+  SpadeClient& operator=(const SpadeClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Send one request line, return the response payload; a server-side
+  /// error comes back as its typed Status (Overloaded stays Overloaded).
+  Result<std::string> Call(const std::string& line);
+
+ private:
+  Status ReadLine(std::string* out);
+  Status ReadExact(size_t n, std::string* out);
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received but not yet consumed
+};
+
+}  // namespace spade

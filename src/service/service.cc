@@ -1,0 +1,284 @@
+#include "service/service.h"
+
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "storage/sql.h"
+
+namespace spade {
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "requests: accepted=" << accepted << " rejected=" << rejected
+     << " completed=" << completed << " failed=" << failed
+     << " queued=" << queued << '\n'
+     << "queue_wait p50=" << queue_wait_p50 << "s p95=" << queue_wait_p95
+     << "s p99=" << queue_wait_p99 << "s\n"
+     << "latency p50=" << latency_p50 << "s p95=" << latency_p95
+     << "s p99=" << latency_p99 << "s mean=" << latency_mean << "s\n"
+     << "cells: loads=" << cell_loads << " cache_hits=" << cell_cache_hits
+     << " shared_loads=" << cell_shared_loads;
+  return os.str();
+}
+
+SpadeService::SpadeService(SpadeConfig engine_config, ServiceConfig config)
+    : engine_(engine_config),
+      config_(config),
+      device_slots_(config.device_slots > 0 ? config.device_slots : 1) {
+  if (config_.workers == 0) config_.workers = 1;
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SpadeService::~SpadeService() { Shutdown(); }
+
+Status SpadeService::RegisterSource(std::string name,
+                                    std::unique_ptr<CellSource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("cannot register a null source");
+  }
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  auto [it, inserted] = sources_.emplace(std::move(name), std::move(source));
+  if (!inserted) {
+    return Status::InvalidArgument("dataset '" + it->first +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SpadeService::SourceNames() const {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, src] : sources_) names.push_back(name);
+  return names;
+}
+
+CellSource* SpadeService::FindSource(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+std::future<Response> SpadeService::Submit(Request req) {
+  Job job;
+  job.req = std::move(req);
+  std::future<Response> fut = job.promise.get_future();
+
+  Status admit = Status::OK();
+  if (failpoint::AnyActive()) {
+    admit = failpoint::Check("service.enqueue");
+  }
+  if (admit.ok()) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      admit = Status::Overloaded("service is shutting down");
+    } else if (queue_.size() >= config_.queue_capacity) {
+      admit = Status::Overloaded(
+          "admission queue full (" + std::to_string(config_.queue_capacity) +
+          " requests waiting) — retry later");
+    } else {
+      queue_.push_back(std::move(job));
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!admit.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.status = admit;
+    job.promise.set_value(std::move(resp));
+    return fut;
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+Response SpadeService::Execute(Request req) {
+  return Submit(std::move(req)).get();
+}
+
+void SpadeService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const double wait = job.age.ElapsedSeconds();
+    queue_wait_hist_.Record(wait);
+
+    Response resp = Run(job.req);
+    resp.queue_wait_seconds = wait;
+    resp.total_seconds = job.age.ElapsedSeconds();
+    latency_hist_.Record(resp.total_seconds);
+    (resp.status.ok() ? completed_ : failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(resp));
+  }
+}
+
+Response SpadeService::Run(Request& req) {
+  Response resp;
+
+  // Stats requests bypass the device entirely (they must stay responsive
+  // when the device slots are saturated — that is when you ask for stats).
+  if (req.kind == RequestKind::kStats) {
+    resp.text = Snapshot().ToString();
+    return resp;
+  }
+  if (req.kind == RequestKind::kSql) {
+    // The embedded catalog serializes writers coarsely here; SQL is the
+    // metadata side channel, not the hot query path.
+    std::lock_guard<std::mutex> lock(sql_mu_);
+    auto table = ExecuteSql(&engine_.catalog(), req.sql);
+    if (!table.ok()) {
+      resp.status = table.status();
+      return resp;
+    }
+    resp.text = table.value().num_columns() == 0 ? "ok"
+                                                 : table.value().ToString(20);
+    return resp;
+  }
+
+  CellSource* src = FindSource(req.dataset);
+  if (src == nullptr) {
+    resp.status = Status::NotFound("no dataset named '" + req.dataset + "'");
+    return resp;
+  }
+  CellSource* other = nullptr;
+  if (req.kind == RequestKind::kJoin ||
+      req.kind == RequestKind::kDistanceJoin) {
+    other = FindSource(req.dataset2);
+    if (other == nullptr) {
+      resp.status =
+          Status::NotFound("no dataset named '" + req.dataset2 + "'");
+      return resp;
+    }
+  }
+
+  QueryOptions opts;
+  opts.mercator = req.mercator;
+
+  // Device arbitration: bound how many requests stream cells through the
+  // simulated GPU at once, so their combined working sets respect the
+  // budget that sub-cell streaming enforces per query.
+  SemaphoreGuard slot(&device_slots_);
+  switch (req.kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains: {
+      auto r = req.kind == RequestKind::kSelection
+                   ? engine_.SpatialSelection(*src, req.constraint, opts)
+                   : engine_.ContainsSelection(*src, req.constraint, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.ids = std::move(r.value().ids);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kRange: {
+      auto r = engine_.RangeSelection(*src, req.range, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.ids = std::move(r.value().ids);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kJoin: {
+      auto r = engine_.SpatialJoin(*src, *other, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.pairs = std::move(r.value().pairs);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kDistance: {
+      auto r = engine_.DistanceSelection(*src, Geometry(req.point),
+                                         req.radius, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.ids = std::move(r.value().ids);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kDistanceJoin: {
+      auto r = engine_.DistanceJoin(*src, *other, req.radius, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.pairs = std::move(r.value().pairs);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kKnn: {
+      auto r = engine_.KnnSelection(*src, req.point, req.k, opts);
+      if (!r.ok()) {
+        resp.status = r.status();
+      } else {
+        resp.neighbors = std::move(r.value().neighbors);
+        resp.stats = r.value().stats;
+      }
+      break;
+    }
+    case RequestKind::kSql:
+    case RequestKind::kStats:
+      resp.status = Status::Internal("unreachable request kind");
+      break;
+  }
+  return resp;
+}
+
+ServiceStats SpadeService::Snapshot() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queued = static_cast<int64_t>(queue_.size());
+  }
+  s.queue_wait_p50 = queue_wait_hist_.Percentile(0.50);
+  s.queue_wait_p95 = queue_wait_hist_.Percentile(0.95);
+  s.queue_wait_p99 = queue_wait_hist_.Percentile(0.99);
+  s.latency_p50 = latency_hist_.Percentile(0.50);
+  s.latency_p95 = latency_hist_.Percentile(0.95);
+  s.latency_p99 = latency_hist_.Percentile(0.99);
+  s.latency_mean = latency_hist_.mean_seconds();
+  const CellPreparer& prep = engine_.preparer();
+  s.cell_loads = prep.loads();
+  s.cell_cache_hits = prep.cache_hits();
+  s.cell_shared_loads = prep.shared_loads();
+  return s;
+}
+
+void SpadeService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      // Already stopped (idempotent); workers_ were joined by the first
+      // caller once they drained the queue.
+      return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace spade

@@ -1,0 +1,145 @@
+// The concurrent query service: a thread-safe front end that accepts
+// spatial-query requests from many callers and executes them over ONE
+// shared engine (device, catalog, prepared-cell cache). Three mechanisms
+// make the sharing safe and fast:
+//
+//   * Admission control — a bounded queue; a request arriving when the
+//     queue holds `queue_capacity` entries is rejected immediately with a
+//     typed Overloaded status instead of piling up (fail fast, retry
+//     against another replica / later).
+//   * Shared cell-load scheduling — queries needing the same (source,
+//     cell) while a load is in flight share one payload load and one
+//     triangulation (single-flight, implemented in CellPreparer and
+//     observable through its counters).
+//   * Device arbitration — at most `device_slots` requests occupy the
+//     simulated GPU at once, so concurrent queries cannot collectively
+//     blow the memory budget that per-query sub-cell streaming (PR 1)
+//     protects for a single caller.
+//
+// Per-request queue-wait and end-to-end latency are recorded into
+// log-bucketed histograms; a kStats request (or Snapshot()) reports
+// service-level p50/p95/p99.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/semaphore.h"
+#include "common/stopwatch.h"
+#include "engine/spade.h"
+#include "service/request.h"
+
+namespace spade {
+
+/// \brief Sizing knobs of the query service.
+struct ServiceConfig {
+  /// Maximum requests waiting for a worker; the next one is Overloaded.
+  size_t queue_capacity = 64;
+  /// Worker threads executing requests (each runs one query at a time).
+  size_t workers = 4;
+  /// Requests allowed on the simulated device simultaneously. Each
+  /// occupant streams its cells within the memory the others leave free,
+  /// so fewer slots mean fewer sub-cell passes but less overlap.
+  size_t device_slots = 2;
+};
+
+/// \brief Aggregated service-level statistics.
+struct ServiceStats {
+  int64_t accepted = 0;   ///< requests admitted to the queue
+  int64_t rejected = 0;   ///< requests refused with Overloaded
+  int64_t completed = 0;  ///< requests finished with OK
+  int64_t failed = 0;     ///< requests finished with an error
+  int64_t queued = 0;     ///< currently waiting
+  double queue_wait_p50 = 0, queue_wait_p95 = 0, queue_wait_p99 = 0;
+  double latency_p50 = 0, latency_p95 = 0, latency_p99 = 0;
+  double latency_mean = 0;
+  int64_t cell_loads = 0;        ///< payload loads issued by the cache
+  int64_t cell_cache_hits = 0;   ///< index-cache hits
+  int64_t cell_shared_loads = 0; ///< single-flight shares
+
+  /// Multi-line rendering used by the wire `stats` request and the CLI.
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe concurrent query service over one shared engine.
+class SpadeService {
+ public:
+  explicit SpadeService(SpadeConfig engine_config = {},
+                        ServiceConfig config = {});
+  ~SpadeService();
+
+  SpadeService(const SpadeService&) = delete;
+  SpadeService& operator=(const SpadeService&) = delete;
+
+  SpadeEngine& engine() { return engine_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Register a dataset under `name`. Sources live for the service's
+  /// lifetime (there is deliberately no unregister: queries hold raw
+  /// pointers while executing).
+  Status RegisterSource(std::string name, std::unique_ptr<CellSource> source);
+  std::vector<std::string> SourceNames() const;
+  /// nullptr when no source of that name is registered.
+  CellSource* FindSource(const std::string& name) const;
+
+  /// Enqueue a request. Always returns a valid future; when admission
+  /// fails (queue full, service.enqueue failpoint, shutdown) the future
+  /// is already satisfied with the rejecting status — the caller never
+  /// blocks on a rejected request.
+  std::future<Response> Submit(Request req);
+
+  /// Submit and wait (the single-caller convenience path).
+  Response Execute(Request req);
+
+  /// Aggregated counters + percentiles (also served by kStats requests).
+  ServiceStats Snapshot() const;
+  const LatencyHistogram& queue_wait_histogram() const { return queue_wait_hist_; }
+  const LatencyHistogram& latency_histogram() const { return latency_hist_; }
+
+  /// Drain the queue, run every admitted request to completion, stop the
+  /// workers. Subsequent Submits are rejected. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Job {
+    Request req;
+    std::promise<Response> promise;
+    Stopwatch age;  ///< started at admission; read at dequeue + completion
+  };
+
+  void WorkerLoop();
+  Response Run(Request& req);
+
+  SpadeEngine engine_;
+  ServiceConfig config_;
+
+  mutable std::mutex sources_mu_;
+  std::map<std::string, std::unique_ptr<CellSource>> sources_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  Semaphore device_slots_;
+  std::mutex sql_mu_;  ///< catalog DDL/DML is not internally synchronized
+
+  LatencyHistogram queue_wait_hist_;
+  LatencyHistogram latency_hist_;
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+};
+
+}  // namespace spade

@@ -1,0 +1,222 @@
+#include "service/wire.h"
+
+#include <sstream>
+#include <vector>
+
+#include "geom/wkt.h"
+
+namespace spade {
+namespace wire {
+
+namespace {
+
+std::vector<std::string> Words(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+/// Rest of the line after the first `n` whitespace-separated words.
+std::string Rest(const std::string& line, size_t n) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  }
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  return line.substr(pos);
+}
+
+Result<double> ToDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number, got '" + s + "'");
+  }
+  return v;
+}
+
+Result<MultiPolygon> ParseConstraint(const std::string& wkt) {
+  SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(wkt));
+  if (!g.is_polygon()) {
+    return Status::InvalidArgument("constraint must be POLYGON/MULTIPOLYGON");
+  }
+  return g.polygon();
+}
+
+}  // namespace
+
+Result<Request> ParseRequestLine(const std::string& line) {
+  const auto words = Words(line);
+  if (words.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  const std::string& cmd = words[0];
+  Request req;
+
+  if (cmd == "stats") {
+    req.kind = RequestKind::kStats;
+    return req;
+  }
+  if (cmd == "sql") {
+    req.kind = RequestKind::kSql;
+    req.sql = Rest(line, 1);
+    if (req.sql.empty()) {
+      return Status::InvalidArgument("usage: sql <statement>");
+    }
+    return req;
+  }
+  if (cmd == "select" || cmd == "contains") {
+    if (words.size() < 3) {
+      return Status::InvalidArgument("usage: " + cmd + " <name> <WKT>");
+    }
+    req.kind = cmd == "select" ? RequestKind::kSelection
+                               : RequestKind::kContains;
+    req.dataset = words[1];
+    SPADE_ASSIGN_OR_RETURN(req.constraint, ParseConstraint(Rest(line, 2)));
+    return req;
+  }
+  if (cmd == "range") {
+    if (words.size() != 6) {
+      return Status::InvalidArgument("usage: range <name> x0 y0 x1 y1");
+    }
+    req.kind = RequestKind::kRange;
+    req.dataset = words[1];
+    SPADE_ASSIGN_OR_RETURN(double x0, ToDouble(words[2]));
+    SPADE_ASSIGN_OR_RETURN(double y0, ToDouble(words[3]));
+    SPADE_ASSIGN_OR_RETURN(double x1, ToDouble(words[4]));
+    SPADE_ASSIGN_OR_RETURN(double y1, ToDouble(words[5]));
+    req.range = Box(x0, y0, x1, y1);
+    return req;
+  }
+  if (cmd == "join") {
+    if (words.size() != 3) {
+      return Status::InvalidArgument("usage: join <polys> <other>");
+    }
+    req.kind = RequestKind::kJoin;
+    req.dataset = words[1];
+    req.dataset2 = words[2];
+    return req;
+  }
+  if (cmd == "djoin") {
+    if (words.size() < 4) {
+      return Status::InvalidArgument("usage: djoin <left> <right> r [m]");
+    }
+    req.kind = RequestKind::kDistanceJoin;
+    req.dataset = words[1];
+    req.dataset2 = words[2];
+    SPADE_ASSIGN_OR_RETURN(req.radius, ToDouble(words[3]));
+    req.mercator = words.size() > 4 && words[4] == "m";
+    return req;
+  }
+  if (cmd == "distance" || cmd == "knn") {
+    if (words.size() < 5) {
+      return Status::InvalidArgument("usage: " + cmd + " <name> x y " +
+                                     (cmd == "knn" ? "k" : "r") + " [m]");
+    }
+    req.dataset = words[1];
+    SPADE_ASSIGN_OR_RETURN(double x, ToDouble(words[2]));
+    SPADE_ASSIGN_OR_RETURN(double y, ToDouble(words[3]));
+    req.point = {x, y};
+    req.mercator = words.size() > 5 && words[5] == "m";
+    if (cmd == "knn") {
+      req.kind = RequestKind::kKnn;
+      SPADE_ASSIGN_OR_RETURN(double k, ToDouble(words[4]));
+      if (k < 0) return Status::InvalidArgument("k must be >= 0");
+      req.k = static_cast<size_t>(k);
+    } else {
+      req.kind = RequestKind::kDistance;
+      SPADE_ASSIGN_OR_RETURN(req.radius, ToDouble(words[4]));
+    }
+    return req;
+  }
+  return Status::InvalidArgument("unknown request '" + cmd + "'");
+}
+
+std::string FormatPayload(const Request& req, const Response& resp) {
+  std::ostringstream os;
+  switch (req.kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains:
+    case RequestKind::kRange:
+    case RequestKind::kDistance: {
+      os << "ids " << resp.ids.size() << '\n';
+      for (size_t i = 0; i < resp.ids.size(); ++i) {
+        os << (i == 0 ? "" : " ") << resp.ids[i];
+      }
+      os << '\n';
+      break;
+    }
+    case RequestKind::kJoin:
+    case RequestKind::kDistanceJoin: {
+      os << "pairs " << resp.pairs.size() << '\n';
+      for (size_t i = 0; i < resp.pairs.size(); ++i) {
+        os << (i == 0 ? "" : " ") << resp.pairs[i].first << ':'
+           << resp.pairs[i].second;
+      }
+      os << '\n';
+      break;
+    }
+    case RequestKind::kKnn: {
+      os << "neighbors " << resp.neighbors.size() << '\n';
+      for (size_t i = 0; i < resp.neighbors.size(); ++i) {
+        os << (i == 0 ? "" : " ") << resp.neighbors[i].first << ':'
+           << resp.neighbors[i].second;
+      }
+      os << '\n';
+      break;
+    }
+    case RequestKind::kSql:
+    case RequestKind::kStats:
+      os << resp.text << '\n';
+      break;
+  }
+  os << "took " << resp.total_seconds << "s queue_wait "
+     << resp.queue_wait_seconds << 's';
+  return os.str();
+}
+
+std::string FrameOk(const std::string& payload) {
+  return "ok " + std::to_string(payload.size()) + '\n' + payload + '\n';
+}
+
+std::string FrameError(const Status& status) {
+  const std::string& msg = status.message();
+  return std::string("err ") + CodeToken(status.code()) + ' ' +
+         std::to_string(msg.size()) + '\n' + msg + '\n';
+}
+
+const char* CodeToken(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "ok";
+    case Status::Code::kInvalidArgument: return "invalid";
+    case Status::Code::kNotFound: return "notfound";
+    case Status::Code::kIOError: return "io";
+    case Status::Code::kOutOfMemory: return "oom";
+    case Status::Code::kNotSupported: return "notsupported";
+    case Status::Code::kInternal: return "internal";
+    case Status::Code::kOverloaded: return "overloaded";
+  }
+  return "internal";
+}
+
+Status MakeStatus(const std::string& token, std::string message) {
+  if (token == "ok") return Status::OK();
+  if (token == "invalid") return Status::InvalidArgument(std::move(message));
+  if (token == "notfound") return Status::NotFound(std::move(message));
+  if (token == "io") return Status::IOError(std::move(message));
+  if (token == "oom") return Status::OutOfMemory(std::move(message));
+  if (token == "notsupported") {
+    return Status::NotSupported(std::move(message));
+  }
+  if (token == "overloaded") return Status::Overloaded(std::move(message));
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace wire
+}  // namespace spade

@@ -1,0 +1,48 @@
+// The line-oriented wire protocol of the query server.
+//
+// A client sends one request per line. Query lines reuse the CLI command
+// grammar and are parsed into service Requests:
+//
+//   select <name> <WKT>            contains <name> <WKT>
+//   range <name> x0 y0 x1 y1       join <polys> <other>
+//   distance <name> x y r [m]      djoin <left> <right> r [m]
+//   knn <name> x y k [m]           sql <statement>
+//   stats
+//
+// The server answers every line with a byte-framed response so payloads
+// may span lines:
+//
+//   ok <payload-bytes>\n<payload>\n
+//   err <code-token> <message-bytes>\n<message>\n
+//
+// The code token round-trips Status::Code (an `overloaded` rejection stays
+// typed across the socket, so clients can implement backoff/retry).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "service/request.h"
+
+namespace spade {
+namespace wire {
+
+/// Parse one query line into a Request (control lines like `gen` or
+/// `list` are the server's business, not the protocol's — this returns
+/// InvalidArgument for them).
+Result<Request> ParseRequestLine(const std::string& line);
+
+/// Render a successful response's payload: line-oriented and stable, so
+/// clients and tests can parse counts and ids back out.
+std::string FormatPayload(const Request& req, const Response& resp);
+
+/// Frame a payload / an error for the socket.
+std::string FrameOk(const std::string& payload);
+std::string FrameError(const Status& status);
+
+/// Status code <-> wire token (lowercase, e.g. kOverloaded <-> "overloaded").
+const char* CodeToken(Status::Code code);
+Status MakeStatus(const std::string& token, std::string message);
+
+}  // namespace wire
+}  // namespace spade

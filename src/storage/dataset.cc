@@ -229,6 +229,7 @@ Result<std::shared_ptr<const CellData>> DiskSource::LoadCell(
   if (cell >= index_.cells.size()) {
     return Status::InvalidArgument("cell out of range");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(cell);
   if (it != cache_.end()) {
     lru_.erase(it->second.lru_it);

@@ -8,6 +8,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -127,6 +128,7 @@ class DiskSource : public CellSource {
   /// Retry policy for transient block-read failures (see RetryPolicy).
   /// Checksum mismatches are never retried: the corrupt bytes are on disk.
   void set_retry_policy(RetryPolicy policy) {
+    std::lock_guard<std::mutex> lock(mu_);
     retry_policy_ = std::move(policy);
   }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
@@ -142,7 +144,10 @@ class DiskSource : public CellSource {
   size_t cache_bytes_ = 0;
   RetryPolicy retry_policy_;
 
-  // LRU cache of deserialized cells.
+  // LRU cache of deserialized cells. Guarded by mu_: service workers load
+  // cells of one source concurrently, and serializing per-source models a
+  // single disk head anyway.
+  std::mutex mu_;
   struct CacheEntry {
     std::shared_ptr<const CellData> data;
     std::list<size_t>::iterator lru_it;

@@ -88,6 +88,36 @@ TEST(CellPreparer, EvictsPastBudget) {
   EXPECT_TRUE(prep.Get(*src, 0, false, nullptr).ok());
 }
 
+TEST(CellPreparer, LruKeepsHotCellAcrossColdScan) {
+  // True LRU (touch-on-hit): a cell re-touched between every cold access
+  // must survive a scan over many cold cells that collectively overflow
+  // the budget. Under FIFO eviction the hot cell would age out and be
+  // rebuilt; with LRU every index build is for a cold cell.
+  CellPreparer prep;
+  SpadeConfig cfg = TestConfig();
+  cfg.max_cell_bytes = 16 << 10;  // many cells
+  auto src = MakeInMemorySource("b", GenerateUniformBoxes(4000, 7), cfg);
+  const size_t cells = src->index().num_cells();
+  ASSERT_GE(cells, 6u);
+
+  auto hot = prep.Get(*src, 0, false, nullptr);
+  ASSERT_TRUE(hot.ok());
+  ASSERT_GT(hot.value()->index_bytes, 0u);
+  prep.set_budget_bytes(3 * hot.value()->index_bytes + 1);
+
+  const int64_t builds_after_hot = prep.index_builds();
+  for (size_t c = 1; c < cells; ++c) {
+    ASSERT_TRUE(prep.Get(*src, c, false, nullptr).ok());  // cold
+    ASSERT_TRUE(prep.Get(*src, 0, false, nullptr).ok());  // touch hot
+  }
+  // One build per cold cell, never a rebuild of the hot one.
+  EXPECT_EQ(prep.index_builds(),
+            builds_after_hot + static_cast<int64_t>(cells - 1));
+  auto again = prep.Get(*src, 0, false, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), hot.value().get());
+}
+
 TEST(CellSourceUid, UniqueAcrossInstances) {
   auto a = MakeInMemorySource("a", GenerateUniformPoints(10, 1), TestConfig());
   auto b = MakeInMemorySource("b", GenerateUniformPoints(10, 2), TestConfig());

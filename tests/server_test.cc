@@ -1,0 +1,162 @@
+// End-to-end tests of the wire-protocol server: a real TCP round trip
+// through SpadeClient, typed error propagation (Overloaded stays
+// Overloaded across the socket), control lines, and the in-process
+// ExecuteLine path used by setup scripts.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "service/wire.h"
+
+namespace spade {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<SpadeService>();
+    server_ = std::make_unique<SpadeServer>(service_.get());
+    ASSERT_TRUE(server_->Start(0).ok());  // ephemeral port
+    ASSERT_GT(server_->port(), 0);
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Close();
+    server_->Stop();
+  }
+
+  std::unique_ptr<SpadeService> service_;
+  std::unique_ptr<SpadeServer> server_;
+  SpadeClient client_;
+};
+
+TEST_F(ServerTest, GenerateQueryAndStatsRoundTrip) {
+  auto gen = client_.Call("gen uniform-points 3000 as pts");
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_NE(gen.value().find("3000 objects"), std::string::npos);
+
+  auto list = client_.Call("list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_NE(list.value().find("pts"), std::string::npos);
+
+  auto range = client_.Call("range pts 0.25 0.25 0.75 0.75");
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_EQ(range.value().rfind("ids ", 0), 0u);  // payload leads with ids
+  EXPECT_NE(range.value().find("took "), std::string::npos);
+  EXPECT_NE(range.value().find("queue_wait "), std::string::npos);
+
+  auto knn = client_.Call("knn pts 0.5 0.5 5");
+  ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  EXPECT_EQ(knn.value().rfind("neighbors 5", 0), 0u);
+
+  auto stats = client_.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("requests:"), std::string::npos);
+  EXPECT_NE(stats.value().find("latency p50="), std::string::npos);
+}
+
+TEST_F(ServerTest, ErrorsStayTypedAcrossTheSocket) {
+  auto missing = client_.Call("range nope 0 0 1 1");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+
+  auto bogus = client_.Call("frobnicate");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ArmedFailpointRejectsWithOverloadedOverTheWire) {
+  ASSERT_TRUE(client_.Call("gen uniform-points 500 as pts").ok());
+  auto arm = client_.Call("failpoint service.enqueue fail(overloaded,1)");
+  ASSERT_TRUE(arm.ok()) << arm.status().ToString();
+
+  auto rejected = client_.Call("range pts 0 0 1 1");
+  ASSERT_FALSE(rejected.ok());
+  // The typed backpressure signal survives the wire round trip.
+  EXPECT_EQ(rejected.status().code(), Status::Code::kOverloaded);
+
+  auto retried = client_.Call("range pts 0 0 1 1");
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+  failpoint::ClearAll();
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetConsistentAnswers) {
+  ASSERT_TRUE(client_.Call("gen gaussian-points 4000 as pts").ok());
+  auto expected = client_.Call("range pts 0.3 0.3 0.7 0.7");
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      SpadeClient c;
+      if (!c.Connect("127.0.0.1", server_->port()).ok()) {
+        failures++;
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        auto r = c.Call("range pts 0.3 0.3 0.7 0.7");
+        if (!r.ok() || r.value().substr(0, r.value().find("took")) !=
+                           expected.value().substr(
+                               0, expected.value().find("took"))) {
+          failures++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->connections_accepted(), kClients + 1);
+}
+
+TEST_F(ServerTest, PingAndExecuteLineInProcess) {
+  auto pong = client_.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.value(), "pong");
+
+  // The same line handler is callable without a socket (setup scripts).
+  ASSERT_TRUE(server_->ExecuteLine("gen uniform-boxes 200 as b").ok());
+  auto r = server_->ExecuteLine("range b 0 0 1 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rfind("ids ", 0), 0u);
+}
+
+TEST(WireProtocol, StatusCodesRoundTrip) {
+  const Status statuses[] = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::IOError("c"),         Status::OutOfMemory("d"),
+      Status::NotSupported("e"),    Status::Internal("f"),
+      Status::Overloaded("g"),
+  };
+  for (const Status& s : statuses) {
+    const Status back = wire::MakeStatus(wire::CodeToken(s.code()), s.message());
+    EXPECT_EQ(back.code(), s.code());
+    EXPECT_EQ(back.message(), s.message());
+  }
+}
+
+TEST(WireProtocol, ParsesQueryLines) {
+  auto range = wire::ParseRequestLine("range pts 0 0.5 1 0.75");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.value().kind, RequestKind::kRange);
+  EXPECT_EQ(range.value().dataset, "pts");
+  EXPECT_EQ(range.value().range.max.y, 0.75);
+
+  auto knn = wire::ParseRequestLine("knn pts -73.98 40.75 10 m");
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn.value().kind, RequestKind::kKnn);
+  EXPECT_EQ(knn.value().k, 10u);
+  EXPECT_TRUE(knn.value().mercator);
+
+  EXPECT_FALSE(wire::ParseRequestLine("gen taxi 10 as t").ok());  // control
+  EXPECT_FALSE(wire::ParseRequestLine("range pts 0 0 1").ok());   // arity
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,372 @@
+// Tests for the concurrent query service: single-flight cell loading,
+// bounded admission with typed Overloaded rejection, mixed concurrent
+// workloads against a serial oracle, failpoint injection at the admission
+// edge, and the service-level latency accounting.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "engine/tuning.h"
+#include "geom/predicates.h"
+
+namespace spade {
+namespace {
+
+/// Wraps an InMemorySource so LoadCell blocks until Release(): lets a test
+/// hold a cell load in flight deterministically and count payload loads.
+class GatedSource : public CellSource {
+ public:
+  explicit GatedSource(std::unique_ptr<InMemorySource> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const GridIndex& index() const override { return inner_->index(); }
+  size_t num_objects() const override { return inner_->num_objects(); }
+  GeomType primary_type() const override { return inner_->primary_type(); }
+
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override {
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return released_; });
+    lock.unlock();
+    return inner_->LoadCell(cell, stats);
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  int64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<InMemorySource> inner_;
+  std::atomic<int64_t> loads_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::seconds timeout = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+MultiPolygon BoxConstraint(double x0, double y0, double x1, double y1) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(x0, y0, x1, y1)));
+  return mp;
+}
+
+Request RangeReq(const std::string& name, const Box& box) {
+  Request req;
+  req.kind = RequestKind::kRange;
+  req.dataset = name;
+  req.range = box;
+  return req;
+}
+
+TEST(SingleFlight, OverlappingGetsShareOneLoadAndTriangulation) {
+  SpadeConfig cfg;
+  GatedSource src(
+      MakeInMemorySource("boxes", GenerateUniformBoxes(500, 1), cfg));
+  ASSERT_EQ(src.index().num_cells(), 1u);
+  CellPreparer prep;
+
+  std::shared_ptr<const PreparedCell> a, b;
+  Status sa, sb;
+  QueryStats st1, st2;
+  std::thread leader([&] {
+    auto r = prep.Get(src, 0, false, &st1);
+    sa = r.status();
+    if (r.ok()) a = r.value();
+  });
+  // The leader is inside the gated LoadCell (cache lock NOT held).
+  ASSERT_TRUE(WaitFor([&] { return src.loads() == 1; }));
+  std::thread follower([&] {
+    auto r = prep.Get(src, 0, false, &st2);
+    sb = r.status();
+    if (r.ok()) b = r.value();
+  });
+  // The follower joined the in-flight load instead of issuing its own.
+  ASSERT_TRUE(WaitFor([&] { return prep.inflight_waiters() == 1; }));
+  src.Release();
+  leader.join();
+  follower.join();
+
+  ASSERT_TRUE(sa.ok()) << sa.ToString();
+  ASSERT_TRUE(sb.ok()) << sb.ToString();
+  EXPECT_EQ(a.get(), b.get());  // one shared prepared cell
+  EXPECT_EQ(src.loads(), 1);    // exactly one payload load
+  EXPECT_EQ(prep.loads(), 1);
+  EXPECT_EQ(prep.index_builds(), 1);  // exactly one triangulation
+  EXPECT_EQ(prep.shared_loads(), 1);
+  // The leader pays the full transfer (payload + indexes); the follower
+  // shares the in-flight transfer and is charged only the index volume.
+  EXPECT_EQ(static_cast<size_t>(st2.bytes_transferred), a->index_bytes);
+  EXPECT_EQ(static_cast<size_t>(st1.bytes_transferred),
+            a->data->bytes + a->index_bytes);
+}
+
+TEST(SingleFlight, TwoConcurrentServiceQueriesLoadTheCellOnce) {
+  ServiceConfig sc;
+  sc.workers = 2;
+  sc.device_slots = 2;
+  SpadeService service({}, sc);
+  auto gated = std::make_unique<GatedSource>(MakeInMemorySource(
+      "boxes", GenerateUniformBoxes(400, 2), service.engine().config()));
+  GatedSource* src = gated.get();
+  ASSERT_EQ(src->index().num_cells(), 1u);
+  ASSERT_TRUE(service.RegisterSource("boxes", std::move(gated)).ok());
+
+  Request req;
+  req.kind = RequestKind::kSelection;
+  req.dataset = "boxes";
+  req.constraint = BoxConstraint(0.2, 0.2, 0.8, 0.8);
+
+  auto f1 = service.Submit(req);
+  ASSERT_TRUE(WaitFor([&] { return src->loads() == 1; }));
+  auto f2 = service.Submit(req);
+  ASSERT_TRUE(WaitFor(
+      [&] { return service.engine().preparer().inflight_waiters() == 1; }));
+  src->Release();
+
+  Response r1 = f1.get();
+  Response r2 = f2.get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r1.ids, r2.ids);
+  EXPECT_FALSE(r1.ids.empty());
+  // One load, one triangulation, one share — the scheduler deduplicated.
+  EXPECT_EQ(src->loads(), 1);
+  EXPECT_EQ(service.engine().preparer().index_builds(), 1);
+  EXPECT_EQ(service.engine().preparer().shared_loads(), 1);
+}
+
+TEST(Admission, QueueFullRejectsImmediatelyWithOverloaded) {
+  constexpr size_t kCapacity = 3;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.queue_capacity = kCapacity;
+  SpadeService service({}, sc);
+  auto gated = std::make_unique<GatedSource>(MakeInMemorySource(
+      "pts", GenerateUniformPoints(2000, 3), service.engine().config()));
+  GatedSource* src = gated.get();
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(gated)).ok());
+
+  const Request req = RangeReq("pts", Box(0.1, 0.1, 0.9, 0.9));
+
+  // Occupy the single worker: it dequeues this request and blocks in the
+  // gated load, leaving the queue itself empty.
+  auto blocker = service.Submit(req);
+  ASSERT_TRUE(WaitFor([&] { return src->loads() == 1; }));
+
+  // Fill the queue to capacity...
+  std::vector<std::future<Response>> queued;
+  for (size_t i = 0; i < kCapacity; ++i) queued.push_back(service.Submit(req));
+  ASSERT_TRUE(WaitFor([&] { return service.Snapshot().queued == kCapacity; }));
+
+  // ...the K+1th request fails fast: the future is satisfied immediately,
+  // with the typed Overloaded status, while the others are still pending.
+  auto rejected = service.Submit(req);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  Response rej = rejected.get();
+  EXPECT_EQ(rej.status.code(), Status::Code::kOverloaded);
+  EXPECT_NE(rej.status.message().find("queue full"), std::string::npos);
+
+  // Every admitted request still completes once the gate opens.
+  src->Release();
+  Response first = blocker.get();
+  EXPECT_TRUE(first.status.ok()) << first.status.ToString();
+  for (auto& f : queued) {
+    Response r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.ids, first.ids);
+  }
+
+  const ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.accepted, static_cast<int64_t>(kCapacity) + 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(kCapacity) + 1);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+TEST(Admission, EnqueueFailpointInjectsTypedRejection) {
+  SpadeService service;
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(500, 4),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+  ASSERT_TRUE(
+      failpoint::Configure("service.enqueue=fail(overloaded,1)").ok());
+  Response rejected = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  failpoint::ClearAll();
+  EXPECT_EQ(rejected.status.code(), Status::Code::kOverloaded);
+
+  Response accepted = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  EXPECT_TRUE(accepted.status.ok()) << accepted.status.ToString();
+  EXPECT_EQ(accepted.ids.size(), 500u);
+}
+
+TEST(Service, MixedConcurrentWorkloadMatchesSerialExecution) {
+  ServiceConfig sc;
+  sc.workers = 4;
+  sc.device_slots = 2;
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 64 << 10;
+  cfg.canvas_resolution = 128;
+  SpadeService service(cfg, sc);
+  ASSERT_TRUE(service
+                  .RegisterSource("pts", MakeTunedInMemorySource(
+                                             "pts",
+                                             GenerateUniformPoints(6000, 5),
+                                             cfg))
+                  .ok());
+  ASSERT_TRUE(service
+                  .RegisterSource("hoods", MakeTunedInMemorySource(
+                                               "hoods",
+                                               NeighborhoodLikePolygons(6),
+                                               cfg))
+                  .ok());
+
+  // The request mix, each executed serially once for its oracle result.
+  std::vector<Request> mix;
+  mix.push_back(RangeReq("pts", Box(0.2, 0.2, 0.7, 0.7)));
+  {
+    Request r;
+    r.kind = RequestKind::kSelection;
+    r.dataset = "pts";
+    r.constraint = BoxConstraint(0.1, 0.1, 0.5, 0.9);
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kJoin;
+    r.dataset = "hoods";
+    r.dataset2 = "pts";
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kDistance;
+    r.dataset = "pts";
+    r.point = {0.4, 0.6};
+    r.radius = 0.15;
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kKnn;
+    r.dataset = "pts";
+    r.point = {0.5, 0.5};
+    r.k = 7;
+    mix.push_back(r);
+  }
+  std::vector<Response> oracle;
+  for (const Request& req : mix) {
+    oracle.push_back(service.Execute(req));
+    ASSERT_TRUE(oracle.back().status.ok()) << oracle.back().status.ToString();
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t i = (t + round) % mix.size();
+        Response r = service.Execute(mix[i]);
+        if (!r.status.ok() || r.ids != oracle[i].ids ||
+            r.pairs != oracle[i].pairs || r.neighbors != oracle[i].neighbors) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // All device allocations were returned: concurrent queries arbitrated the
+  // shared device without leaking reservations.
+  EXPECT_EQ(service.engine().device().memory_in_use(), 0);
+
+  const ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.completed,
+            static_cast<int64_t>(mix.size() + kThreads * kRounds));
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GT(stats.latency_p50, 0.0);
+  EXPECT_GE(stats.latency_p99, stats.latency_p50);
+}
+
+TEST(Service, StatsRequestReportsAccountingWithoutTakingADeviceSlot) {
+  ServiceConfig sc;
+  sc.workers = 2;
+  sc.device_slots = 1;
+  SpadeService service({}, sc);
+  auto gated = std::make_unique<GatedSource>(MakeInMemorySource(
+      "pts", GenerateUniformPoints(1000, 7), service.engine().config()));
+  GatedSource* src = gated.get();
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(gated)).ok());
+
+  // Saturate the only device slot...
+  auto busy = service.Submit(RangeReq("pts", Box(0, 0, 1, 1)));
+  ASSERT_TRUE(WaitFor([&] { return src->loads() == 1; }));
+
+  // ...stats must still answer (it bypasses device arbitration).
+  Request stats_req;
+  stats_req.kind = RequestKind::kStats;
+  Response stats = service.Execute(stats_req);
+  ASSERT_TRUE(stats.status.ok());
+  EXPECT_NE(stats.text.find("requests:"), std::string::npos);
+  EXPECT_NE(stats.text.find("queue_wait p50="), std::string::npos);
+  EXPECT_NE(stats.text.find("latency p50="), std::string::npos);
+  EXPECT_NE(stats.text.find("cells:"), std::string::npos);
+
+  src->Release();
+  EXPECT_TRUE(busy.get().status.ok());
+}
+
+TEST(Service, ShutdownDrainsAdmittedRequestsAndRejectsNewOnes) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  SpadeService service({}, sc);
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(800, 8),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.Submit(RangeReq("pts", Box(0, 0, 1, 1))));
+  }
+  service.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());  // admitted work ran to completion
+  }
+  Response after = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  EXPECT_EQ(after.status.code(), Status::Code::kOverloaded);
+}
+
+}  // namespace
+}  // namespace spade

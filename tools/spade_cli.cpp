@@ -6,14 +6,103 @@
 //   spade> gen neighborhoods 0 as hoods
 //   spade> agg taxi hoods
 //   spade> knn taxi -73.98 40.75 10 m
+//
+// Two extra modes talk the wire protocol of src/service:
+//
+//   $ ./build/tools/spade_cli serve 7117 [setup-script]   # same as spade_server
+//   $ ./build/tools/spade_cli connect 127.0.0.1 7117      # remote REPL
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cli/cli.h"
+#include "service/server.h"
+
+namespace {
+
+int RunServe(int argc, char** argv) {
+  uint16_t port = 7117;
+  std::string script;
+  if (argc > 2) port = static_cast<uint16_t>(std::strtoul(argv[2], nullptr, 10));
+  if (argc > 3) script = argv[3];
+
+  spade::SpadeService service;
+  spade::SpadeServer server(&service);
+
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open setup script %s\n", script.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      auto r = server.ExecuteLine(line);
+      if (!r.ok()) {
+        std::fprintf(stderr, "setup> %s\nerror: %s\n", line.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("setup> %s\n%s\n", line.c_str(), r.value().c_str());
+    }
+  }
+
+  auto st = server.Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  server.Wait();
+  return 0;
+}
+
+int RunConnect(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: spade_cli connect <host> <port>\n");
+    return 1;
+  }
+  const std::string host = argv[2];
+  const auto port = static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10));
+
+  spade::SpadeClient client;
+  auto st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u — `help` for the protocol, `quit` to exit\n",
+              host.c_str(), port);
+  std::string line;
+  for (;;) {
+    std::printf("spade> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+    auto r = client.Call(line);
+    if (r.ok()) {
+      if (!r.value().empty()) std::printf("%s\n", r.value().c_str());
+    } else {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      if (!client.connected()) return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") return RunServe(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "connect") {
+    return RunConnect(argc, argv);
+  }
+
   spade::CliSession session;
 
   auto run_line = [&](const std::string& line, bool echo) {

@@ -1,0 +1,85 @@
+// The spade query server: serves the wire protocol (see src/service) on a
+// loopback TCP port over one shared engine. An optional setup script is
+// executed line by line at boot (control + query lines, '#' comments) to
+// register datasets before clients connect.
+//
+//   $ ./build/tools/spade_server 7117 setup.spade
+//   $ ./build/tools/spade_cli connect 127.0.0.1 7117
+//
+// Flags: --workers N, --queue N, --slots N size the service; SPADE_FAILPOINTS
+// in the environment arms failpoints before serving (useful for drills).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "service/server.h"
+
+int main(int argc, char** argv) {
+  uint16_t port = 7117;
+  std::string script;
+  spade::ServiceConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      const char* v = next();
+      if (v != nullptr) cfg.workers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v != nullptr) cfg.queue_capacity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--slots") {
+      const char* v = next();
+      if (v != nullptr) cfg.device_slots = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: spade_server [port] [setup-script] "
+          "[--workers N] [--queue N] [--slots N]\n");
+      return 0;
+    } else if (!arg.empty() && std::isdigit(static_cast<unsigned char>(arg[0]))) {
+      port = static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    } else {
+      script = arg;
+    }
+  }
+
+  spade::SpadeService service({}, cfg);
+  spade::SpadeServer server(&service);
+
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open setup script %s\n", script.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      auto r = server.ExecuteLine(line);
+      if (r.ok()) {
+        std::printf("setup> %s\n%s\n", line.c_str(), r.value().c_str());
+      } else {
+        std::fprintf(stderr, "setup> %s\nerror: %s\n", line.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  auto st = server.Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "spade_server listening on 127.0.0.1:%u "
+      "(workers=%zu queue=%zu device_slots=%zu)\n",
+      server.port(), cfg.workers, cfg.queue_capacity, cfg.device_slots);
+  std::fflush(stdout);
+  server.Wait();
+  return 0;
+}
