@@ -8,8 +8,11 @@
 // grow or shrink everything proportionally (1.0 = defaults).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -83,6 +86,90 @@ inline void PrintBreakdown(const QueryStats& st) {
       static_cast<long long>(st.fragments),
       static_cast<long long>(st.cells_processed),
       st.bytes_transferred / (1024.0 * 1024.0));
+}
+
+// --- machine-readable results (--json=<file>) -------------------------------
+
+/// One benchmark measurement destined for the BENCH_*.json trajectory.
+struct BenchRecord {
+  std::string name;        ///< stable key, e.g. "selection_taxi"
+  int64_t samples = 0;     ///< measurements behind the percentiles
+  double p50 = 0, p95 = 0, p99 = 0;  ///< latency percentiles, seconds
+  double mean = 0;         ///< mean latency, seconds
+  double throughput = 0;   ///< operations per second (0 = not applicable)
+  int64_t fragments = 0;   ///< pipeline fragments produced (0 = n/a)
+};
+
+inline std::vector<BenchRecord>& Records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+inline std::string& JsonOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Parse benchmark argv: `--json=<file>` arms the JSON reporter. Unknown
+/// arguments are ignored so wrappers can pass through freely.
+inline void ParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) JsonOutPath() = argv[i] + 7;
+  }
+}
+
+/// Nearest-rank percentile over raw samples (`p` in [0,1]).
+inline double PercentileOf(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<size_t>(std::ceil(p * samples.size()));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+/// Build a record from raw per-query latencies.
+inline BenchRecord MakeRecord(const std::string& name,
+                              const std::vector<double>& latencies,
+                              double total_seconds, int64_t fragments) {
+  BenchRecord rec;
+  rec.name = name;
+  rec.samples = static_cast<int64_t>(latencies.size());
+  rec.p50 = PercentileOf(latencies, 0.50);
+  rec.p95 = PercentileOf(latencies, 0.95);
+  rec.p99 = PercentileOf(latencies, 0.99);
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  rec.mean = latencies.empty() ? 0 : sum / latencies.size();
+  rec.throughput = total_seconds > 0 ? latencies.size() / total_seconds : 0;
+  rec.fragments = fragments;
+  return rec;
+}
+
+/// Write every accumulated record as JSON when --json=<file> was given.
+/// Call once at the end of main().
+inline void WriteJsonIfRequested() {
+  if (JsonOutPath().empty()) return;
+  std::FILE* f = std::fopen(JsonOutPath().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", JsonOutPath().c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"scale\": %g,\n  \"benchmarks\": [\n", Scale());
+  const auto& records = Records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"samples\": %lld, \"p50_s\": %.6f, "
+                 "\"p95_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f, "
+                 "\"throughput_per_s\": %.3f, \"fragments\": %lld}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.samples), r.p50,
+                 r.p95, r.p99, r.mean, r.throughput,
+                 static_cast<long long>(r.fragments),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu benchmark records to %s\n", records.size(),
+              JsonOutPath().c_str());
 }
 
 }  // namespace spade::bench

@@ -28,7 +28,8 @@ struct QueryRow {
   QueryStats stats;
 };
 
-void RunScenario(const std::string& title, const SpatialDataset& data,
+void RunScenario(const std::string& title, const std::string& key,
+                 const SpatialDataset& data,
                  const SpatialDataset& constraints, size_t num_queries,
                  bool points) {
   bench::PrintHeader(title);
@@ -105,29 +106,44 @@ void RunScenario(const std::string& title, const SpatialDataset& data,
                     widths);
     bench::PrintBreakdown(row.stats);
   }
+
+  std::vector<double> latencies;
+  double total = 0;
+  int64_t fragments = 0;
+  for (const auto& row : rows) {
+    latencies.push_back(row.spade_s);
+    total += row.spade_s;
+    fragments += row.stats.fragments;
+  }
+  bench::Records().push_back(
+      bench::MakeRecord(key, latencies, total, fragments));
 }
 
 }  // namespace
 }  // namespace spade
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spade;
+  bench::ParseArgs(argc, argv);
   const size_t taxi_n = bench::Scaled(1000000);
   const size_t tweet_n = bench::Scaled(1000000);
   const size_t building_n = bench::Scaled(60000);
 
   RunScenario("Fig 5(a): selection over taxi-like points (n=" +
                   std::to_string(taxi_n) + "), neighborhood constraints",
-              TaxiLikePoints(taxi_n, 1), NeighborhoodLikePolygons(2), 10,
+              "selection_taxi", TaxiLikePoints(taxi_n, 1),
+              NeighborhoodLikePolygons(2), 10,
               /*points=*/true);
   RunScenario("Fig 5(b): selection over tweet-like points (n=" +
                   std::to_string(tweet_n) + "), county constraints",
-              TweetLikePoints(tweet_n, 3), CountyLikePolygons(4, 24, 24), 10,
+              "selection_tweets", TweetLikePoints(tweet_n, 3),
+              CountyLikePolygons(4, 24, 24), 10,
               /*points=*/true);
   RunScenario("Fig 5(c): selection over building-like polygons (n=" +
                   std::to_string(building_n) + "), country constraints",
-              BuildingLikePolygons(building_n, 5),
+              "selection_buildings", BuildingLikePolygons(building_n, 5),
               CountryLikePolygons(6, 10, 8), 10,
               /*points=*/false);
+  bench::WriteJsonIfRequested();
   return 0;
 }

@@ -101,7 +101,8 @@ RunResult RunWorkload(size_t workers, size_t device_slots, int clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
   const int clients = 8;
   const int rounds = 6;
   PrintHeader("Concurrent query service: closed-loop clients=" +
@@ -120,11 +121,22 @@ int main() {
                 Fmt(r.stats.queue_wait_p95), FmtCount(r.stats.cell_shared_loads),
                 FmtCount(r.stats.cell_cache_hits)},
                widths);
+      BenchRecord rec;
+      rec.name = "service_w" + std::to_string(workers) + "_s" +
+                 std::to_string(slots);
+      rec.samples = r.completed;
+      rec.p50 = r.stats.latency_p50;
+      rec.p95 = r.stats.latency_p95;
+      rec.p99 = r.stats.latency_p99;
+      rec.mean = r.stats.latency_mean;
+      rec.throughput = r.seconds > 0 ? r.completed / r.seconds : 0;
+      Records().push_back(rec);
     }
   }
   std::printf(
       "\nExpected shape: throughput grows with workers until device slots\n"
       "saturate; shared loads appear when concurrent queries overlap on a\n"
       "cell; queue wait collapses as workers absorb the closed loop.\n");
+  WriteJsonIfRequested();
   return 0;
 }

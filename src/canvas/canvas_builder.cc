@@ -5,6 +5,7 @@
 
 #include "geom/predicates.h"
 #include "gfx/rasterizer.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -79,36 +80,43 @@ Canvas CanvasBuilder::BuildPolygonCanvas(
   for (size_t i = 0; i < n; ++i) ranges[i] = bi.AddPolygon(ids[i], *tris[i]);
 
   // Pass 1: interior fill (default rasterization of the triangles).
-  device_->DrawParallel(n, [&](size_t b, size_t e) {
-    size_t frags = 0;
-    for (size_t i = b; i < e; ++i) {
-      for (const Triangle& t : tris[i]->triangles) {
-        frags += RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/false,
-                                   [&](int x, int y) {
-                                     tex.AtomicStore(x, y, kV0, ids[i]);
-                                   });
+  {
+    SPADE_TRACE_SPAN("gfx.rasterize.interior");
+    device_->DrawParallel(n, [&](size_t b, size_t e) {
+      size_t frags = 0;
+      for (size_t i = b; i < e; ++i) {
+        for (const Triangle& t : tris[i]->triangles) {
+          frags += RasterizeTriangle(vp_, t.a, t.b, t.c,
+                                     /*conservative=*/false,
+                                     [&](int x, int y) {
+                                       tex.AtomicStore(x, y, kV0, ids[i]);
+                                     });
+        }
       }
-    }
-    return frags;
-  });
+      return frags;
+    });
+  }
 
   // Pass 2: conservative boundary-edge rasterization. Pixels touched by an
   // edge are only partially covered, so they lose their interior flag and
   // get a boundary bucket instead.
   PairCollector boundary;
-  device_->DrawParallel(n, [&](size_t b, size_t e) {
-    std::vector<std::pair<uint64_t, uint32_t>> local;
-    size_t frags = 0;
-    for (size_t i = b; i < e; ++i) {
-      for (const auto& edge : tris[i]->edges) {
-        frags += RasterizeSegmentConservative(
-            vp_, edge[0], edge[1],
-            [&](int x, int y) { local.emplace_back(PixelKey(x, y), 0); });
+  {
+    SPADE_TRACE_SPAN("gfx.rasterize.boundary");
+    device_->DrawParallel(n, [&](size_t b, size_t e) {
+      std::vector<std::pair<uint64_t, uint32_t>> local;
+      size_t frags = 0;
+      for (size_t i = b; i < e; ++i) {
+        for (const auto& edge : tris[i]->edges) {
+          frags += RasterizeSegmentConservative(
+              vp_, edge[0], edge[1],
+              [&](int x, int y) { local.emplace_back(PixelKey(x, y), 0); });
+        }
       }
-    }
-    boundary.Append(std::move(local));
-    return frags;
-  });
+      boundary.Append(std::move(local));
+      return frags;
+    });
+  }
   std::vector<uint64_t> boundary_pixels;
   for (const auto& [key, unused] : boundary.Take()) {
     (void)unused;
@@ -124,26 +132,29 @@ Canvas CanvasBuilder::BuildPolygonCanvas(
   // Pass 3: conservative triangle rasterization fills the buckets with
   // every triangle touching each boundary pixel.
   PairCollector tri_pairs;
-  device_->DrawParallel(n, [&](size_t b, size_t e) {
-    std::vector<std::pair<uint64_t, uint32_t>> local;
-    size_t frags = 0;
-    for (size_t i = b; i < e; ++i) {
-      const uint32_t first = ranges[i].first;
-      const auto& tlist = tris[i]->triangles;
-      for (size_t t = 0; t < tlist.size(); ++t) {
-        frags += RasterizeTriangle(
-            vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
-            [&](int x, int y) {
-              if (tex.Get(x, y, kVb) != kTexNull) {
-                local.emplace_back(PixelKey(x, y),
-                                   first + static_cast<uint32_t>(t));
-              }
-            });
+  {
+    SPADE_TRACE_SPAN("gfx.rasterize.buckets");
+    device_->DrawParallel(n, [&](size_t b, size_t e) {
+      std::vector<std::pair<uint64_t, uint32_t>> local;
+      size_t frags = 0;
+      for (size_t i = b; i < e; ++i) {
+        const uint32_t first = ranges[i].first;
+        const auto& tlist = tris[i]->triangles;
+        for (size_t t = 0; t < tlist.size(); ++t) {
+          frags += RasterizeTriangle(
+              vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
+              [&](int x, int y) {
+                if (tex.Get(x, y, kVb) != kTexNull) {
+                  local.emplace_back(PixelKey(x, y),
+                                     first + static_cast<uint32_t>(t));
+                }
+              });
+        }
       }
-    }
-    tri_pairs.Append(std::move(local));
-    return frags;
-  });
+      tri_pairs.Append(std::move(local));
+      return frags;
+    });
+  }
   for (const auto& [key, tri_idx] : tri_pairs.Take()) {
     bi.BucketAddTriangle(tex.Get(KeyX(key), KeyY(key), kVb), tri_idx);
   }

@@ -1,10 +1,13 @@
 #include "canvas/operators.h"
 
+#include "obs/trace.h"
+
 namespace spade {
 
 void ValueTransform(Texture* tex, int channel,
                     const std::function<uint32_t(uint32_t)>& fn,
                     ThreadPool* pool) {
+  SPADE_TRACE_SPAN("algebra.value_transform");
   const size_t pixels = static_cast<size_t>(tex->width()) * tex->height();
   pool->ParallelFor(pixels, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -17,23 +20,27 @@ void ValueTransform(Texture* tex, int channel,
 
 std::vector<uint32_t> RunTwoPassMap(
     const std::function<void(TwoPassMapSink*)>& pass) {
+  SPADE_TRACE_SPAN_VAR(span, "algebra.map_2pass");
   TwoPassMapSink counter;
   pass(&counter);
   std::vector<uint32_t> buffer(counter.count(), kTexNull);
   TwoPassMapSink filler(&buffer);
   pass(&filler);
   buffer.resize(std::min(buffer.size(), filler.count()));
+  span.AddArg("emitted", static_cast<int64_t>(buffer.size()));
   return buffer;
 }
 
 std::vector<uint64_t> RunTwoPassMap64(
     const std::function<void(TwoPassMapSink64*)>& pass) {
+  SPADE_TRACE_SPAN_VAR(span, "algebra.map_2pass");
   TwoPassMapSink64 counter;
   pass(&counter);
   std::vector<uint64_t> buffer(counter.count(), kTexNull64);
   TwoPassMapSink64 filler(&buffer);
   pass(&filler);
   buffer.resize(std::min(buffer.size(), filler.count()));
+  span.AddArg("emitted", static_cast<int64_t>(buffer.size()));
   return buffer;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datagen/realdata.h"
 #include "datagen/spider.h"
 #include "engine/tuning.h"
@@ -35,9 +37,12 @@ constexpr const char* kHelp = R"(commands:
   djoin <left> <right> r [m]   distance join
   agg <data> <constraints>     aggregation (top-5 counts)
   knn <name> x y k [m]         k nearest neighbours
+                               (query commands accept --trace-out=<file>.json
+                               to export a Chrome/Perfetto trace of the run)
   register <name>              store dataset as a SQL (id, wkt) table
   sql <statement>              run SQL against the catalog
   stats                        breakdown of the last query
+  metrics                      Prometheus-format metrics snapshot
   retry <attempts> [base_ms]   I/O retry policy for disk-backed datasets
   failpoint list               show armed failpoints
   failpoint clear              disarm all failpoints
@@ -142,13 +147,48 @@ Result<std::string> CliSession::AddDataset(const std::string& name,
 Result<std::string> CliSession::Execute(const std::string& line) {
   const auto words = Words(line);
   const bool is_query = !words.empty() && IsQueryCommand(words[0]);
+
+  // Query commands accept --trace-out=<file>.json anywhere on the line:
+  // spans from this one command are recorded and exported on completion.
+  std::string effective = line;
+  std::string trace_out;
+  if (is_query) {
+    const std::string kFlag = "--trace-out=";
+    const size_t pos = effective.find(kFlag);
+    if (pos != std::string::npos) {
+      size_t end = effective.find_first_of(" \t", pos);
+      if (end == std::string::npos) end = effective.size();
+      trace_out = effective.substr(pos + kFlag.size(), end - pos - kFlag.size());
+      if (trace_out.empty()) {
+        return Status::InvalidArgument("usage: --trace-out=<file>.json");
+      }
+      effective.erase(pos, end - pos);
+    }
+  }
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = !trace_out.empty();
+  if (tracing) {
+    tracer.Clear();
+    tracer.SetEnabled(true);
+  }
   Stopwatch sw;
-  auto r = ExecuteCommand(line);
+  auto r = ExecuteCommand(effective);
+  if (tracing) {
+    tracer.SetEnabled(false);
+    const Status wrote = tracer.WriteChromeJson(trace_out);
+    if (r.ok() && !wrote.ok()) return wrote;
+    if (r.ok()) {
+      r = r.value() + "\ntrace: " + std::to_string(tracer.size()) +
+          " spans -> " + trace_out;
+    }
+  }
   if (is_query && r.ok()) {
     // A direct shell call never waits in an admission queue; recording the
     // zero keeps the stats output shape identical to the service's.
     queue_wait_hist_.Record(0.0);
     latency_hist_.Record(sw.ElapsedSeconds());
+    if (words[0] != "sql") obs::PublishQueryStats(last_stats_);
   }
   return r;
 }
@@ -418,8 +458,13 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
        << "\nqueue_wait " << queue_wait_hist_.DescribePercentiles()
        << "\nlatency " << latency_hist_.DescribePercentiles()
        << " mean=" << latency_hist_.mean_seconds() << "s n="
-       << latency_hist_.count();
+       << latency_hist_.count() << '\n'
+       << obs::MetricsRegistry::Global().StatsAppendix();
     return os.str();
+  }
+
+  if (cmd == "metrics") {
+    return obs::MetricsRegistry::Global().PrometheusText();
   }
 
   if (cmd == "retry") {

@@ -10,6 +10,7 @@
 //   block.deserialize DeserializeBlock entry
 //   device.alloc      GfxDevice::AllocateMemory
 //   service.enqueue   SpadeService::Submit admission
+//   service.metrics   SpadeService::Run metrics exposition
 //
 // Environment syntax (semicolon- or comma-separated entries):
 //   SPADE_FAILPOINTS="io.read=fail(io,2);block.deserialize=prob(0.5,io)"

@@ -12,6 +12,7 @@
 #include "engine/optimizer.h"
 #include "engine/spade.h"
 #include "geom/projection.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -133,6 +134,7 @@ struct EngineOps {
 Result<SelectionResult> SpadeEngine::DistanceSelection(
     CellSource& data, const Geometry& probe, double r,
     const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.distance");
   SelectionResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -165,6 +167,7 @@ Result<SelectionResult> SpadeEngine::DistanceSelection(
 Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
                                              CellSource& right, double r,
                                              const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.distance_join");
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -198,6 +201,7 @@ Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
 Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
     CellSource& left, CellSource& right, const std::vector<double>& radii,
     const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.distance_join");
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();

@@ -11,6 +11,7 @@
 #include "engine/optimizer.h"
 #include "engine/spade.h"
 #include "geom/predicates.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -74,6 +75,7 @@ std::vector<std::pair<size_t, size_t>> FilterCellPairs(GfxDevice* device,
 Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
                                             CellSource& other,
                                             const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.join");
   (void)opts;
   JoinResult result;
   QueryStats& stats = result.stats;

@@ -15,6 +15,7 @@
 #include "engine/spade.h"
 #include "geom/projection.h"
 #include "gfx/rasterizer.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -133,6 +134,7 @@ struct EngineKnnOps {
 Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
                                             size_t k,
                                             const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.knn");
   KnnResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -200,6 +202,7 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
 Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
                                         CellSource& data, size_t k,
                                         const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.knn_join");
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();

@@ -1,5 +1,8 @@
 #include "engine/prepared.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spade {
 
 namespace {
@@ -9,6 +12,29 @@ namespace {
 size_t TriBytes(const Triangulation& tri) {
   return tri.triangles.size() * sizeof(Triangle) +
          tri.edges.size() * (sizeof(std::array<Vec2, 2>) + 4);
+}
+
+// Registry counters for the cell cache, registered once and shared by
+// every preparer instance (the registry is service-wide by design).
+obs::Counter& LoadsMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_cell_loads_total");
+  return *c;
+}
+obs::Counter& CacheHitsMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_cell_cache_hits_total");
+  return *c;
+}
+obs::Counter& CacheMissesMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_cell_cache_misses_total");
+  return *c;
+}
+obs::Counter& SharedLoadsMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_cell_shared_loads_total");
+  return *c;
 }
 
 }  // namespace
@@ -61,6 +87,8 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::BuildEntry(
     CellSource& source, size_t cell, bool need_layers,
     const std::shared_ptr<const PreparedCell>& base, QueryStats* stats) {
   loads_.fetch_add(1, std::memory_order_relaxed);
+  LoadsMetric().Add(1);
+  CacheMissesMetric().Add(1);
   SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> data,
                          source.LoadCell(cell, stats));
   auto prep = std::make_shared<PreparedCell>();
@@ -123,6 +151,8 @@ void CellPreparer::Insert(const Key& key,
 
 Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
     CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {
+  SPADE_TRACE_SPAN_VAR(span, "engine.cell_prepare");
+  span.AddArg("cell", static_cast<int64_t>(cell));
   const Key key = std::make_pair(source.uid(), cell);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -132,12 +162,14 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       it->second.lru_it = lru_.begin();
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      CacheHitsMetric().Add(1);
       std::shared_ptr<const PreparedCell> prep = it->second.prep;
       lock.unlock();
       // A non-overlapping query still pays the payload transfer (the
       // paper's execution model); the loaded bytes equal the cached copy,
       // so only the I/O accounting and failure behaviour matter.
       loads_.fetch_add(1, std::memory_order_relaxed);
+      LoadsMetric().Add(1);
       SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> data,
                              source.LoadCell(cell, stats));
       (void)data;
@@ -158,6 +190,7 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
       fl->cv.wait(lock, [&] { return fl->done; });
       --waiters_;
       shared_loads_.fetch_add(1, std::memory_order_relaxed);
+      SharedLoadsMetric().Add(1);
       if (!fl->status.ok()) return fl->status;
       if (!need_layers || fl->result->has_layers) {
         if (stats != nullptr) {

@@ -6,12 +6,14 @@
 #include "engine/exec.h"
 #include "engine/optimizer.h"
 #include "engine/spade.h"
+#include "obs/trace.h"
 
 namespace spade {
 
 Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
                                                     const Box& range,
                                                     const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.range");
   (void)opts;
   SelectionResult result;
   QueryStats& stats = result.stats;
@@ -63,6 +65,7 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
 Result<SelectionResult> SpadeEngine::ContainsSelection(
     CellSource& data, const MultiPolygon& constraint,
     const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.contains");
   (void)opts;
   SelectionResult result;
   QueryStats& stats = result.stats;

@@ -8,6 +8,7 @@
 #include "engine/optimizer.h"
 #include "geom/predicates.h"
 #include "geom/projection.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -99,6 +100,7 @@ std::vector<size_t> SpadeEngine::FilterCells(CellSource& source,
   // The index-filtering phase (Section 5.3): a GPU selection over the grid
   // cells' bounding polygons. Each hull is triangulated (hulls are convex,
   // so this is a fan) and tested against the constraint canvas.
+  SPADE_TRACE_SPAN_VAR(span, "engine.filter_cells");
   Stopwatch sw;
   std::vector<size_t> selected;
   const auto& cells = source.index().cells;
@@ -115,6 +117,8 @@ std::vector<size_t> SpadeEngine::FilterCells(CellSource& source,
     if (!owners.empty()) selected.push_back(c);
   }
   if (stats != nullptr) stats->gpu_seconds += sw.ElapsedSeconds();
+  span.AddArg("candidates", static_cast<int64_t>(cells.size()));
+  span.AddArg("selected", static_cast<int64_t>(selected.size()));
   return selected;
 }
 
@@ -122,6 +126,7 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
     CellSource& data, const MultiPolygon& constraint,
     const QueryOptions& opts) {
   // Relational linkage: the optional id filter runs in the fragment stage.
+  SPADE_TRACE_SPAN("engine.selection");
   const auto& keep = opts.id_filter;
   SelectionResult result;
   QueryStats& stats = result.stats;
@@ -131,12 +136,14 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
   // Step 1: polygon processing — triangulate the constraint and build its
   // canvas + boundary index (one rendering pass each).
   Stopwatch poly_sw;
-  const Triangulation tri = Triangulate(constraint);
   const Box cbounds = constraint.Bounds();
   const Viewport vp = MakeViewport(cbounds);
   CanvasBuilder builder(&device_, vp);
-  const Canvas canvas =
-      builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  const Canvas canvas = [&] {
+    SPADE_TRACE_SPAN("engine.constraint_prepare");
+    const Triangulation tri = Triangulate(constraint);
+    return builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  }();
   stats.polygon_seconds += poly_sw.ElapsedSeconds();
   SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
                          DeviceAllocation::Make(&device_, canvas.ByteSize()));
@@ -155,6 +162,9 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
     SPADE_ASSIGN_OR_RETURN(auto passes,
                            exec::PlanCellPasses(&device_, whole, &stats));
     for (const std::shared_ptr<const PreparedCell>& prep : passes) {
+      SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
+      pass_span.AddArg("cell", static_cast<int64_t>(c));
+      pass_span.AddArg("objects", static_cast<int64_t>(prep->size()));
       SPADE_ASSIGN_OR_RETURN(
           DeviceAllocation cell_mem,
           DeviceAllocation::Make(&device_, prep->transfer_bytes()));
@@ -193,9 +203,13 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
   }
 
   Stopwatch cpu_sw;
-  std::sort(result.ids.begin(), result.ids.end());
-  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
-                   result.ids.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.ids.begin(), result.ids.end());
+    result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                     result.ids.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.ids.size()));
+  }
   stats.cpu_seconds += cpu_sw.ElapsedSeconds();
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
@@ -205,6 +219,7 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
 
 Result<AggregationResult> SpadeEngine::SpatialAggregation(
     CellSource& data, CellSource& constraints, const QueryOptions& opts) {
+  SPADE_TRACE_SPAN("engine.aggregation");
   AggregationResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -262,6 +277,9 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
                              exec::PlanCellPasses(&device_, whole, &stats));
       stats.cells_processed++;
       for (const std::shared_ptr<const PreparedCell>& dprep : passes) {
+        SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
+        pass_span.AddArg("cell", static_cast<int64_t>(dc));
+        pass_span.AddArg("objects", static_cast<int64_t>(dprep->size()));
         SPADE_ASSIGN_OR_RETURN(
             DeviceAllocation cell_mem,
             DeviceAllocation::Make(&device_, dprep->transfer_bytes()));

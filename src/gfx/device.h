@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace spade {
 
@@ -84,6 +85,7 @@ class GfxDevice {
   /// returns the number of fragments it emitted.
   void DrawParallel(size_t n,
                     const std::function<size_t(size_t, size_t)>& fn) {
+    SPADE_TRACE_SPAN_VAR(span, "gfx.draw_pass");
     BeginPass();
     if (n == 0) return;
     std::atomic<int64_t> frag_total{0};
@@ -91,7 +93,10 @@ class GfxDevice {
       frag_total.fetch_add(static_cast<int64_t>(fn(begin, end)),
                            std::memory_order_relaxed);
     });
-    fragments_.fetch_add(frag_total.load(), std::memory_order_relaxed);
+    const int64_t frags = frag_total.load();
+    fragments_.fetch_add(frags, std::memory_order_relaxed);
+    span.AddArg("primitives", static_cast<int64_t>(n));
+    span.AddArg("fragments", frags);
   }
 
  private:

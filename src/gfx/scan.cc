@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace spade {
 
 namespace {
@@ -26,6 +28,7 @@ ChunkPlan PlanChunks(size_t n, size_t workers) {
 
 std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
                                             ThreadPool* pool) {
+  SPADE_TRACE_SPAN("gfx.scan");
   const size_t n = in.size();
   std::vector<uint64_t> out(n + 1, 0);
   if (n == 0) return out;
@@ -66,6 +69,7 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
 
 std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
                                      ThreadPool* pool) {
+  SPADE_TRACE_SPAN("gfx.scan");
   const size_t n = in.size();
   if (n == 0) return {};
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
@@ -104,6 +108,7 @@ std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
 
 std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
                                        ThreadPool* pool) {
+  SPADE_TRACE_SPAN("gfx.scan");
   const size_t n = in.size();
   if (n == 0) return {};
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());

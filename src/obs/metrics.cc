@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "common/config.h"
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+/// Render a double the way Prometheus clients expect (no trailing zeros
+/// beyond what %g gives, scientific form for extremes).
+std::string Num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      double first_upper) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(first_upper);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.p50 = h->Percentile(0.50);
+    s.p95 = h->Percentile(0.95);
+    s.p99 = h->Percentile(0.99);
+    s.first_upper = h->UpperBound(0);
+    s.buckets = h->BucketCounts();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& c : snap.counters) {
+    os << "# TYPE " << c.name << " counter\n"
+       << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    os << "# TYPE " << g.name << " gauge\n"
+       << g.name << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += h.buckets[i];
+      // Empty tail buckets collapse into +Inf; keep the output short by
+      // only printing buckets that change the cumulative count (plus the
+      // first, so every histogram has at least one le series).
+      if (i > 0 && h.buckets[i] == 0) continue;
+      os << h.name << "_bucket{le=\""
+         << Num(h.first_upper * std::pow(2.0, static_cast<double>(i)))
+         << "\"} " << cumulative << '\n';
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+       << h.name << "_sum " << Num(h.sum) << '\n'
+       << h.name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::StatsAppendix() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "counters:";
+  if (snap.counters.empty() && snap.gauges.empty()) os << " (none)";
+  for (const auto& c : snap.counters) os << ' ' << c.name << '=' << c.value;
+  for (const auto& g : snap.gauges) os << ' ' << g.name << '=' << g.value;
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    os << '\n'
+       << "histogram " << h.name << ": n=" << h.count << " p50=" << h.p50
+       << " p95=" << h.p95 << " p99=" << h.p99 << " sum=" << Num(h.sum);
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void PublishQueryStats(const QueryStats& stats) {
+  // First touch registers; every later call is lock-free pointer reuse.
+  static MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* queries = reg.counter("spade_queries_total");
+  static Counter* fragments = reg.counter("spade_fragments_total");
+  static Counter* passes = reg.counter("spade_render_passes_total");
+  static Counter* cells = reg.counter("spade_cells_processed_total");
+  static Counter* bytes = reg.counter("spade_bytes_transferred_total");
+  static Counter* exact = reg.counter("spade_exact_tests_total");
+  static Counter* retries = reg.counter("spade_io_retries_total");
+  static Counter* checksum = reg.counter("spade_checksum_failures_total");
+  static Counter* splits = reg.counter("spade_subcell_splits_total");
+  static Histogram* total_s = reg.histogram("spade_query_seconds");
+  static Histogram* io_s = reg.histogram("spade_stage_io_seconds");
+  static Histogram* gpu_s = reg.histogram("spade_stage_gpu_seconds");
+  static Histogram* poly_s = reg.histogram("spade_stage_polygon_seconds");
+  static Histogram* cpu_s = reg.histogram("spade_stage_cpu_seconds");
+
+  queries->Add(1);
+  fragments->Add(stats.fragments);
+  passes->Add(stats.render_passes);
+  cells->Add(stats.cells_processed);
+  bytes->Add(stats.bytes_transferred);
+  exact->Add(stats.exact_tests);
+  retries->Add(stats.retries);
+  checksum->Add(stats.checksum_failures);
+  splits->Add(stats.subcell_splits);
+  total_s->Record(stats.TotalSeconds());
+  io_s->Record(stats.io_seconds);
+  gpu_s->Record(stats.gpu_seconds);
+  poly_s->Record(stats.polygon_seconds);
+  cpu_s->Record(stats.cpu_seconds);
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,206 @@
+// The metrics registry: named counters, gauges, and log-bucketed
+// histograms behind one process-wide API. Recording is lock-free (one
+// relaxed atomic RMW per event); the registry mutex guards only metric
+// *registration*, which instrumentation sites do once and cache the
+// returned pointer (metric objects are never deallocated, so cached
+// pointers stay valid for the process lifetime).
+//
+// Exposition: Snapshot() for programmatic access, PrometheusText() for
+// the `metrics` wire request, StatsAppendix() for the human-readable
+// lines appended to the CLI / service `stats` output.
+//
+// Metric catalog: docs/observability.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spade {
+
+struct QueryStats;
+
+namespace obs {
+
+/// \brief Monotonic counter. Add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Last-write-wins gauge (queue depth, cache bytes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Log-bucketed histogram of non-negative doubles.
+///
+/// Buckets double in width from a configurable first upper bound (1e-6,
+/// i.e. 1 microsecond, for latencies; 1.0 for counts); 40 buckets span 12
+/// orders of magnitude. Record() is two relaxed increments plus one
+/// relaxed add — concurrent recorders never block each other or a reader.
+/// Percentiles are upper bounds of the holding bucket (<= 2x relative
+/// error), the same contract as the service's LatencyHistogram.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  explicit Histogram(double first_upper = 1e-6) : first_upper_(first_upper) {}
+
+  void Record(double v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    const auto scaled = static_cast<int64_t>(v * 1e9);
+    sum_scaled_.fetch_add(scaled > 0 ? scaled : 0, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_scaled_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+  double mean() const {
+    const int64_t n = count();
+    return n == 0 ? 0 : sum() / static_cast<double>(n);
+  }
+
+  /// Value at or below which fraction `p` in [0,1] of recordings fall.
+  double Percentile(double p) const {
+    std::array<int64_t, kBuckets> snap;
+    int64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snap[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snap[i];
+    }
+    if (total == 0) return 0;
+    const auto rank = static_cast<int64_t>(std::ceil(p * total));
+    int64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += snap[i];
+      if (seen >= rank) return UpperBound(i);
+    }
+    return UpperBound(kBuckets - 1);
+  }
+
+  double UpperBound(size_t bucket) const {
+    return first_upper_ * std::pow(2.0, static_cast<double>(bucket));
+  }
+
+  /// Non-atomic point-in-time copy of the bucket counts.
+  std::array<int64_t, kBuckets> BucketCounts() const {
+    std::array<int64_t, kBuckets> snap;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_scaled_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  size_t BucketFor(double v) const {
+    if (v <= first_upper_) return 0;
+    const auto i =
+        static_cast<size_t>(std::ceil(std::log2(v / first_upper_)));
+    return i >= kBuckets ? kBuckets - 1 : i;
+  }
+
+  double first_upper_;
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_scaled_{0};  ///< sum * 1e9, one atomic
+};
+
+/// \brief Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    double first_upper = 1e-6;
+    std::array<int64_t, Histogram::kBuckets> buckets{};
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// \brief Registry of named metrics; see the file comment for the model.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumentation site records into.
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. Returned pointers are valid for the registry's
+  /// lifetime (the global registry is never destroyed); callers cache
+  /// them so the mutex is only taken on first touch.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, double first_upper = 1e-6);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format, metrics sorted by name:
+  ///   # TYPE spade_queries_total counter
+  ///   spade_queries_total 42
+  /// Histograms render cumulative `_bucket{le="..."}` series plus `_sum`
+  /// and `_count`, the standard Prometheus histogram shape.
+  std::string PrometheusText() const;
+
+  /// Compact appendix for the CLI / service `stats` output: one
+  /// `counters: a=1 b=2 ...` line and one line per non-empty histogram.
+  std::string StatsAppendix() const;
+
+  /// Zero every counter and histogram (gauges keep their last value).
+  /// Metric objects stay registered, so cached pointers remain valid.
+  /// Test-only: production code never resets the registry.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Publish one finished query's QueryStats into the global registry:
+/// spade_queries_total, the four Fig. 5 stage-seconds histograms, and the
+/// operational counters (fragments, passes, cells, transfer bytes,
+/// retries, checksum failures, sub-cell splits). QueryStats itself is
+/// unchanged — callers keep returning it; the registry is the service-wide
+/// accumulation of the same numbers.
+void PublishQueryStats(const QueryStats& stats);
+
+}  // namespace obs
+}  // namespace spade

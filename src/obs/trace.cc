@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+thread_local int32_t tl_depth = 0;
+
+uint32_t NextThreadId() {
+  static std::atomic<uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Escape a name for a JSON string literal (span names are static C
+/// identifiers in practice, but exported files must stay well-formed for
+/// any input).
+void AppendJsonString(std::ostringstream& os, const char* s) {
+  os << '"';
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives every thread
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::SetCapacity(size_t spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, spans);
+  ring_.assign(capacity_, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+}
+
+void Tracer::Record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) ++dropped_;  // overwriting the oldest span
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  thread_local uint32_t id = NextThreadId();
+  return id;
+}
+
+int32_t Tracer::EnterSpan() { return ++tl_depth; }
+
+void Tracer::ExitSpan() { --tl_depth; }
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  // Stable presentation: order by (tid, start) so a diff of two exports of
+  // the same run is meaningful. Perfetto orders by timestamp anyway.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    AppendJsonString(os, ev.name);
+    os << ",\"cat\":\"spade\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us
+       << ",\"args\":{\"depth\":" << ev.depth;
+    for (uint32_t i = 0; i < ev.num_args; ++i) {
+      os << ',';
+      AppendJsonString(os, ev.args[i].first);
+      os << ':' << ev.args[i].second;
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace output file " + path);
+  }
+  out << ToChromeJson();
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("short write to trace output file " + path);
+  }
+  return Status::OK();
+}
+
+void ScopedSpan::Begin(const char* name) {
+  active_ = true;
+  event_.name = name;
+  event_.tid = Tracer::CurrentThreadId();
+  event_.depth = Tracer::EnterSpan();
+  event_.ts_us = Tracer::Global().NowMicros();
+}
+
+void ScopedSpan::End() {
+  event_.dur_us = Tracer::Global().NowMicros() - event_.ts_us;
+  Tracer::ExitSpan();
+  // Tracing may have been disabled mid-span (e.g. the CLI exporting right
+  // after a query); record anyway — the span began under an enabled tracer.
+  Tracer::Global().Record(event_);
+  active_ = false;
+}
+
+}  // namespace obs
+}  // namespace spade

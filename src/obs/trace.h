@@ -1,0 +1,158 @@
+// Pipeline-stage tracing: a thread-safe span recorder with nesting, a
+// ring-buffer bound on memory, and Chrome `chrome://tracing` / Perfetto
+// JSON export. Spans are recorded on completion (one short critical
+// section per span), so the hot path while tracing is *disabled* is a
+// single inlined relaxed atomic load — cheap enough to leave the
+// instrumentation compiled into every rendering pass.
+//
+// Span taxonomy (see docs/observability.md for the catalog):
+//   service.request            one admitted service request (arg: kind)
+//   engine.<query>             query root (selection, range, join, knn, ...)
+//   engine.constraint_prepare  constraint triangulation + canvas build
+//   engine.filter_cells        GPU index filtering over grid-cell hulls
+//   engine.cell_prepare        CellPreparer::Get (load + triangulate)
+//   engine.cell_pass           one streamed (sub-)cell refinement pass
+//   engine.readback            Map-output compaction + result consolidation
+//   gfx.draw_pass              one device draw call (args: primitives,
+//                              fragments)
+//   gfx.rasterize.*            canvas-build rasterization stages
+//   gfx.scan                   parallel scan / stream compaction
+//   algebra.*                  algebra operators (value_transform, map_2pass)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spade {
+namespace obs {
+
+/// \brief One completed span, Chrome trace-event style.
+struct TraceEvent {
+  static constexpr size_t kMaxArgs = 4;
+
+  const char* name = "";      ///< static string (span sites pass literals)
+  uint32_t tid = 0;           ///< small sequential thread id
+  int64_t ts_us = 0;          ///< start, microseconds since tracer epoch
+  int64_t dur_us = 0;         ///< duration in microseconds
+  int32_t depth = 0;          ///< nesting depth on its thread (1 = root)
+  uint32_t num_args = 0;
+  std::array<std::pair<const char*, int64_t>, kMaxArgs> args{};
+};
+
+/// \brief Global span recorder with a bounded ring buffer.
+///
+/// Enabled state is process-wide (the CLI's --trace-out and tests toggle
+/// it around one query); Record() keeps the newest `capacity` spans and
+/// counts the ones the ring overwrote.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// The span hot-path check: one relaxed atomic load, inlined.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  void SetEnabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Drop every recorded span and reset the dropped counter + epoch.
+  void Clear();
+
+  /// Ring capacity in spans (default 1 << 16). Clamped to >= 1.
+  void SetCapacity(size_t spans);
+
+  void Record(const TraceEvent& ev);
+
+  /// Recorded spans, oldest first (start-time order within a thread).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans overwritten by the ring since the last Clear().
+  int64_t dropped() const;
+  size_t size() const;
+
+  /// Microseconds since the tracer epoch (process start / last Clear).
+  int64_t NowMicros() const;
+
+  /// Small sequential id of the calling thread (stable per thread).
+  static uint32_t CurrentThreadId();
+
+  /// Nesting depth bookkeeping used by ScopedSpan (thread-local).
+  static int32_t EnterSpan();  ///< returns the new depth (1 = root)
+  static void ExitSpan();
+
+  /// Render every recorded span as Chrome trace-event JSON
+  /// (chrome://tracing and https://ui.perfetto.dev load it directly).
+  std::string ToChromeJson() const;
+
+  /// ToChromeJson() into a file.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  Tracer();
+
+  static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 1 << 16;
+  size_t head_ = 0;  ///< next write position
+  size_t size_ = 0;
+  int64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \brief RAII span: records itself into the global tracer on destruction.
+///
+/// When tracing is disabled construction and destruction are a relaxed
+/// atomic load each; AddArg is a no-op.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Tracer::enabled()) Begin(name);
+  }
+  ~ScopedSpan() {
+    if (active_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a (static key, value) pair, e.g. fragment counts. Up to
+  /// TraceEvent::kMaxArgs args are kept.
+  void AddArg(const char* key, int64_t value) {
+    if (!active_ || event_.num_args >= TraceEvent::kMaxArgs) return;
+    event_.args[event_.num_args++] = {key, value};
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace obs
+
+/// Open an anonymous scoped span (most instrumentation sites).
+#define SPADE_TRACE_SPAN(name) \
+  ::spade::obs::ScopedSpan SPADE_CONCAT(_spade_span_, __LINE__)(name)
+
+/// Open a named scoped span so the site can AddArg() before it closes.
+#define SPADE_TRACE_SPAN_VAR(var, name) ::spade::obs::ScopedSpan var(name)
+
+}  // namespace spade

@@ -27,6 +27,7 @@ enum class RequestKind {
   kKnn,           ///< kNN selection
   kSql,           ///< SQL passthrough to the embedded catalog
   kStats,         ///< service-level stats snapshot
+  kMetrics,       ///< Prometheus-format metrics exposition
 };
 
 /// \brief One query-service request.

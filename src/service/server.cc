@@ -23,7 +23,7 @@ constexpr const char* kProtocolHelp =
     R"(queries (admission-controlled, concurrent):
   select <name> <WKT> | contains <name> <WKT> | range <name> x0 y0 x1 y1
   join <polys> <other> | distance <name> x y r [m] | djoin <l> <r> r [m]
-  knn <name> x y k [m] | sql <statement> | stats
+  knn <name> x y k [m] | sql <statement> | stats | metrics
 control:
   gen <kind> <n> as <name> | open <dir> as <name> | list
   failpoint list|clear|<name> <action> | ping | help | quit)";

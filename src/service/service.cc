@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/sql.h"
 
 namespace spade {
@@ -112,10 +114,23 @@ void SpadeService::WorkerLoop() {
     const double wait = job.age.ElapsedSeconds();
     queue_wait_hist_.Record(wait);
 
-    Response resp = Run(job.req);
+    Response resp;
+    {
+      SPADE_TRACE_SPAN_VAR(span, "service.request");
+      span.AddArg("kind", static_cast<int64_t>(job.req.kind));
+      resp = Run(job.req);
+    }
     resp.queue_wait_seconds = wait;
     resp.total_seconds = job.age.ElapsedSeconds();
     latency_hist_.Record(resp.total_seconds);
+    static obs::Histogram* latency_metric =
+        obs::MetricsRegistry::Global().histogram(
+            "spade_service_latency_seconds");
+    static obs::Histogram* wait_metric =
+        obs::MetricsRegistry::Global().histogram(
+            "spade_service_queue_wait_seconds");
+    latency_metric->Record(resp.total_seconds);
+    wait_metric->Record(wait);
     (resp.status.ok() ? completed_ : failed_)
         .fetch_add(1, std::memory_order_relaxed);
     job.promise.set_value(std::move(resp));
@@ -128,7 +143,29 @@ Response SpadeService::Run(Request& req) {
   // Stats requests bypass the device entirely (they must stay responsive
   // when the device slots are saturated — that is when you ask for stats).
   if (req.kind == RequestKind::kStats) {
-    resp.text = Snapshot().ToString();
+    // Existing lines stay byte-identical; the registry appendix follows.
+    resp.text = Snapshot().ToString() + '\n' +
+                obs::MetricsRegistry::Global().StatsAppendix();
+    return resp;
+  }
+  if (req.kind == RequestKind::kMetrics) {
+    if (failpoint::AnyActive()) {
+      const Status fp = failpoint::Check("service.metrics");
+      if (!fp.ok()) {
+        resp.status = fp;
+        return resp;
+      }
+    }
+    // Export service-level state as gauges so the exposition is complete
+    // without a scrape-side join against the `stats` request.
+    const ServiceStats snap = Snapshot();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.gauge("spade_service_requests_accepted")->Set(snap.accepted);
+    reg.gauge("spade_service_requests_rejected")->Set(snap.rejected);
+    reg.gauge("spade_service_requests_completed")->Set(snap.completed);
+    reg.gauge("spade_service_requests_failed")->Set(snap.failed);
+    reg.gauge("spade_service_queue_depth")->Set(snap.queued);
+    resp.text = reg.PrometheusText();
     return resp;
   }
   if (req.kind == RequestKind::kSql) {
@@ -235,9 +272,11 @@ Response SpadeService::Run(Request& req) {
     }
     case RequestKind::kSql:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
       resp.status = Status::Internal("unreachable request kind");
       break;
   }
+  if (resp.status.ok()) obs::PublishQueryStats(resp.stats);
   return resp;
 }
 

@@ -63,6 +63,10 @@ Result<Request> ParseRequestLine(const std::string& line) {
     req.kind = RequestKind::kStats;
     return req;
   }
+  if (cmd == "metrics") {
+    req.kind = RequestKind::kMetrics;
+    return req;
+  }
   if (cmd == "sql") {
     req.kind = RequestKind::kSql;
     req.sql = Rest(line, 1);
@@ -173,6 +177,7 @@ std::string FormatPayload(const Request& req, const Response& resp) {
     }
     case RequestKind::kSql:
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
       os << resp.text << '\n';
       break;
   }

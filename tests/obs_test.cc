@@ -1,0 +1,396 @@
+// Tests of the observability subsystem: metrics-registry exactness under
+// concurrent mutation (run under SPADE_SANITIZE=thread by check_tsan.sh),
+// histogram percentiles, Prometheus exposition shape, span
+// nesting/ordering, the ring-buffer bound, and a golden-file check that a
+// real engine query exports trace JSON with the expected stage names.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "obs/trace.h"
+#include "storage/dataset.h"
+
+namespace spade {
+namespace {
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(MetricsRegistry, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("c");
+  EXPECT_EQ(c, reg.counter("c"));  // find-or-create returns the same object
+  c->Add(3);
+  c->Add();
+  EXPECT_EQ(c->value(), 4);
+
+  obs::Gauge* g = reg.gauge("g");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "c");
+  EXPECT_EQ(snap.counters[0].value, 4);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesAreBucketUpperBounds) {
+  obs::Histogram h(1e-6);
+  for (int i = 0; i < 100; ++i) h.Record(1e-3);  // ~1ms
+  h.Record(1.0);  // one outlier
+
+  EXPECT_EQ(h.count(), 101);
+  EXPECT_NEAR(h.sum(), 0.1 + 1.0, 1e-6);
+  // p50 lands in the 1ms bucket: upper bound within 2x of the true value.
+  EXPECT_GE(h.Percentile(0.50), 1e-3);
+  EXPECT_LE(h.Percentile(0.50), 2e-3);
+  // p99.9 of 101 samples is the outlier's bucket.
+  EXPECT_GE(h.Percentile(0.9999), 1.0);
+}
+
+TEST(MetricsRegistry, ConcurrentMutationIsExact) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Mix registration (mutex) with recording (lock-free) so the test
+      // exercises both paths concurrently.
+      obs::Counter* c = reg.counter("shared_counter");
+      obs::Histogram* h = reg.histogram("shared_hist");
+      obs::Gauge* g = reg.gauge("shared_gauge");
+      for (int i = 0; i < kIters; ++i) {
+        c->Add(1);
+        h->Record(1e-4);
+        g->Add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared_counter")->value(), kThreads * kIters);
+  EXPECT_EQ(reg.histogram("shared_hist")->count(), kThreads * kIters);
+  EXPECT_EQ(reg.gauge("shared_gauge")->value(), kThreads * kIters);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationYieldsOneMetricPerName) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      seen[t] = reg.counter("raced");
+      seen[t]->Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), kThreads);
+}
+
+TEST(MetricsRegistry, PrometheusTextShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("spade_test_total")->Add(42);
+  reg.gauge("spade_test_depth")->Set(3);
+  reg.histogram("spade_test_seconds")->Record(0.5);
+
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# TYPE spade_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("spade_test_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spade_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("spade_test_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spade_test_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("spade_test_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("spade_test_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("spade_test_seconds_sum 0.5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, StatsAppendixListsCountersAndNonEmptyHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("a_total")->Add(7);
+  reg.histogram("empty_hist");
+  reg.histogram("used_hist")->Record(0.25);
+
+  const std::string text = reg.StatsAppendix();
+  EXPECT_EQ(text.rfind("counters:", 0), 0u);
+  EXPECT_NE(text.find("a_total=7"), std::string::npos);
+  EXPECT_NE(text.find("histogram used_hist: n=1"), std::string::npos);
+  EXPECT_EQ(text.find("empty_hist"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PublishQueryStatsFeedsGlobalRegistry) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t before = reg.counter("spade_queries_total")->value();
+  const int64_t frags_before = reg.counter("spade_fragments_total")->value();
+
+  QueryStats stats;
+  stats.gpu_seconds = 0.01;
+  stats.fragments = 1234;
+  stats.render_passes = 3;
+  obs::PublishQueryStats(stats);
+
+  EXPECT_EQ(reg.counter("spade_queries_total")->value(), before + 1);
+  EXPECT_EQ(reg.counter("spade_fragments_total")->value(),
+            frags_before + 1234);
+  EXPECT_GE(reg.histogram("spade_stage_gpu_seconds")->count(), 1);
+}
+
+// --- tracer ----------------------------------------------------------------
+
+/// RAII guard: every tracer test runs against a clean, enabled tracer and
+/// leaves it disabled (the flag is process-global).
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetCapacity(1 << 16);
+    obs::Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::Global().SetEnabled(false);
+    obs::Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, SpansNestAndRecordInCompletionOrder) {
+  {
+    SPADE_TRACE_SPAN("outer");
+    {
+      SPADE_TRACE_SPAN("inner");
+    }
+    {
+      SPADE_TRACE_SPAN_VAR(span, "sibling");
+      span.AddArg("value", 7);
+    }
+  }
+  const auto events = obs::Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record at completion: children precede their parent.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "sibling");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 2);
+  EXPECT_EQ(events[2].depth, 1);
+  // All on one thread; nesting = timestamp containment.
+  EXPECT_EQ(events[0].tid, events[2].tid);
+  EXPECT_GE(events[0].ts_us, events[2].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[2].ts_us + events[2].dur_us);
+  ASSERT_EQ(events[1].num_args, 1u);
+  EXPECT_STREQ(events[1].args[0].first, "value");
+  EXPECT_EQ(events[1].args[0].second, 7);
+}
+
+TEST_F(TracerTest, DisabledTracingRecordsNothing) {
+  obs::Tracer::Global().SetEnabled(false);
+  {
+    SPADE_TRACE_SPAN("ghost");
+  }
+  EXPECT_EQ(obs::Tracer::Global().size(), 0u);
+}
+
+TEST_F(TracerTest, RingBufferKeepsNewestAndCountsDropped) {
+  obs::Tracer::Global().SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    SPADE_TRACE_SPAN("span");
+  }
+  EXPECT_EQ(obs::Tracer::Global().size(), 4u);
+  EXPECT_EQ(obs::Tracer::Global().dropped(), 6);
+}
+
+TEST_F(TracerTest, ConcurrentSpansGetDistinctThreadIds) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        SPADE_TRACE_SPAN("worker");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto events = obs::Tracer::Global().Snapshot();
+  EXPECT_EQ(events.size(), kThreads * 50u);
+  std::set<uint32_t> tids;
+  for (const auto& ev : events) tids.insert(ev.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+// --- trace JSON export -----------------------------------------------------
+
+/// Minimal JSON well-formedness check: recursive descent over the grammar
+/// the exporter emits (objects, arrays, strings, numbers, literals). Not a
+/// general validator — enough to catch malformed output.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) { return Peek(c); }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST_F(TracerTest, ChromeJsonIsWellFormed) {
+  {
+    SPADE_TRACE_SPAN("a");
+    SPADE_TRACE_SPAN_VAR(span, "b");
+    span.AddArg("fragments", 99);
+  }
+  const std::string json = obs::Tracer::Global().ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"fragments\":99"), std::string::npos);
+}
+
+TEST_F(TracerTest, EngineQueryTraceContainsExpectedStageNames) {
+  // Golden-file check: a real selection query through the engine, exported
+  // to disk, must parse and contain the canonical pipeline span names.
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 64 << 10;
+  cfg.canvas_resolution = 256;
+  cfg.gpu_threads = 2;
+  SpadeEngine engine(cfg);
+  SpatialDataset ds = GenerateUniformPoints(20000, 7);
+  auto src = MakeInMemorySource("pts", ds, engine.config());
+
+  Polygon poly;
+  poly.outer = {{0.2, 0.2}, {0.8, 0.2}, {0.8, 0.8}, {0.2, 0.8}};
+  auto r = engine.SpatialSelection(*src, MultiPolygon{{poly}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spade_trace_test.json")
+          .string();
+  ASSERT_TRUE(obs::Tracer::Global().WriteChromeJson(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  for (const char* name :
+       {"engine.selection", "engine.constraint_prepare", "engine.filter_cells",
+        "engine.cell_prepare", "engine.cell_pass", "engine.readback",
+        "gfx.draw_pass", "gfx.rasterize.interior", "gfx.scan"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + '"'),
+              std::string::npos)
+        << "missing span " << name;
+  }
+  // Pipeline spans carry fragment counts as args.
+  EXPECT_NE(json.find("\"fragments\":"), std::string::npos);
+  EXPECT_NE(json.find("\"primitives\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spade

@@ -85,6 +85,53 @@ TEST_F(ServerTest, ArmedFailpointRejectsWithOverloadedOverTheWire) {
   failpoint::ClearAll();
 }
 
+TEST_F(ServerTest, MetricsEndpointServesPrometheusText) {
+  ASSERT_TRUE(client_.Call("gen uniform-points 3000 as pts").ok());
+  // Run the same range twice: the second hit registers the cache-hit
+  // counter, so the exposition carries the full cache family.
+  ASSERT_TRUE(client_.Call("range pts 0.25 0.25 0.75 0.75").ok());
+  ASSERT_TRUE(client_.Call("range pts 0.25 0.25 0.75 0.75").ok());
+
+  auto metrics = client_.Call("metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const std::string& text = metrics.value();
+  for (const char* expect :
+       {"# TYPE spade_queries_total counter", "spade_cell_loads_total",
+        "spade_cell_cache_hits_total", "spade_cell_cache_misses_total",
+        "# TYPE spade_stage_io_seconds histogram",
+        "spade_stage_gpu_seconds_count",
+        "spade_service_latency_seconds_bucket",
+        "# TYPE spade_service_queue_depth gauge",
+        "spade_service_requests_completed"}) {
+    EXPECT_NE(text.find(expect), std::string::npos) << "missing " << expect;
+  }
+
+  // The registry appendix also rides along on the stats line.
+  auto stats = client_.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("requests:"), std::string::npos);
+  EXPECT_NE(stats.value().find("counters:"), std::string::npos);
+  EXPECT_NE(stats.value().find("spade_queries_total="), std::string::npos);
+}
+
+TEST_F(ServerTest, MetricsFailpointReturnsTypedErrorWithoutWedging) {
+  ASSERT_TRUE(client_.Call("gen uniform-points 500 as pts").ok());
+  auto arm = client_.Call("failpoint service.metrics fail(internal,1)");
+  ASSERT_TRUE(arm.ok()) << arm.status().ToString();
+
+  auto failed = client_.Call("metrics");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), Status::Code::kInternal);
+
+  // One-shot failpoint consumed: the endpoint recovers and the worker
+  // pool keeps serving queries (no wedged thread).
+  auto retried = client_.Call("metrics");
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+  auto query = client_.Call("range pts 0 0 1 1");
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  failpoint::ClearAll();
+}
+
 TEST_F(ServerTest, ConcurrentClientsGetConsistentAnswers) {
   ASSERT_TRUE(client_.Call("gen gaussian-points 4000 as pts").ok());
   auto expected = client_.Call("range pts 0.3 0.3 0.7 0.7");

@@ -6,6 +6,8 @@
 //   spade> gen neighborhoods 0 as hoods
 //   spade> agg taxi hoods
 //   spade> knn taxi -73.98 40.75 10 m
+//   spade> select taxi POLYGON((...)) --trace-out=trace.json   # Perfetto trace
+//   spade> metrics                                             # Prometheus text
 //
 // Two extra modes talk the wire protocol of src/service:
 //

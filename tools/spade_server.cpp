@@ -8,6 +8,8 @@
 //
 // Flags: --workers N, --queue N, --slots N size the service; SPADE_FAILPOINTS
 // in the environment arms failpoints before serving (useful for drills).
+// Clients can scrape the `metrics` wire request for Prometheus-format text
+// (see docs/observability.md for the metric catalog).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
