@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
+
+#include "common/rng.h"
 
 namespace spade {
 
@@ -33,8 +34,9 @@ SpatialDataset TaxiLikePoints(size_t n, uint64_t seed) {
   ds.name = "taxi_like_" + std::to_string(n);
   ds.geoms.reserve(n);
   const Box ext = NycExtent();
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.0, 1.0);
+  PortableRng rng(seed);
+  auto u = [&rng] { return rng.NextUnit(); };
+  auto norm = [&rng] { return rng.Gaussian(); };
 
   // Dense pickup hotspots (midtown-like cores get the highest weight).
   struct Hotspot {
@@ -46,21 +48,21 @@ SpatialDataset TaxiLikePoints(size_t n, uint64_t seed) {
   double total_w = 0;
   for (int i = 0; i < 12; ++i) {
     Hotspot h;
-    h.center = {ext.min.x + u(gen) * ext.Width(),
-                ext.min.y + u(gen) * ext.Height()};
-    h.sigma = 0.004 + 0.02 * u(gen);
+    h.center = {ext.min.x + u() * ext.Width(),
+                ext.min.y + u() * ext.Height()};
+    h.sigma = 0.004 + 0.02 * u();
     h.weight = 1.0 / (i + 1);
     total_w += h.weight;
     hotspots.push_back(h);
   }
-  std::normal_distribution<double> norm(0.0, 1.0);
   for (size_t i = 0; i < n; ++i) {
-    if (u(gen) < 0.1) {  // uniform background traffic
-      ds.geoms.emplace_back(Vec2{ext.min.x + u(gen) * ext.Width(),
-                                 ext.min.y + u(gen) * ext.Height()});
+    if (u() < 0.1) {  // uniform background traffic
+      const double bx = ext.min.x + u() * ext.Width();
+      const double by = ext.min.y + u() * ext.Height();
+      ds.geoms.emplace_back(Vec2{bx, by});
       continue;
     }
-    double pick = u(gen) * total_w;
+    double pick = u() * total_w;
     const Hotspot* h = &hotspots.back();
     for (const auto& cand : hotspots) {
       if (pick < cand.weight) {
@@ -69,8 +71,9 @@ SpatialDataset TaxiLikePoints(size_t n, uint64_t seed) {
       }
       pick -= cand.weight;
     }
-    Vec2 p{h->center.x + norm(gen) * h->sigma,
-           h->center.y + norm(gen) * h->sigma};
+    const double dx = norm() * h->sigma;
+    const double dy = norm() * h->sigma;
+    Vec2 p{h->center.x + dx, h->center.y + dy};
     p.x = std::clamp(p.x, ext.min.x, ext.max.x);
     p.y = std::clamp(p.y, ext.min.y, ext.max.y);
     ds.geoms.emplace_back(p);
@@ -83,9 +86,9 @@ SpatialDataset TweetLikePoints(size_t n, uint64_t seed) {
   ds.name = "tweet_like_" + std::to_string(n);
   ds.geoms.reserve(n);
   const Box ext = UsaExtent();
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.0, 1.0);
-  std::normal_distribution<double> norm(0.0, 1.0);
+  PortableRng rng(seed);
+  auto u = [&rng] { return rng.NextUnit(); };
+  auto norm = [&rng] { return rng.Gaussian(); };
 
   struct City {
     Vec2 center;
@@ -96,20 +99,21 @@ SpatialDataset TweetLikePoints(size_t n, uint64_t seed) {
   double total_w = 0;
   for (int i = 0; i < 60; ++i) {
     City c;
-    c.center = {ext.min.x + u(gen) * ext.Width(),
-                ext.min.y + u(gen) * ext.Height()};
-    c.sigma = 0.08 + 0.4 * u(gen);
+    c.center = {ext.min.x + u() * ext.Width(),
+                ext.min.y + u() * ext.Height()};
+    c.sigma = 0.08 + 0.4 * u();
     c.weight = 1.0 / (i + 1);  // power-law city sizes
     total_w += c.weight;
     cities.push_back(c);
   }
   for (size_t i = 0; i < n; ++i) {
-    if (u(gen) < 0.15) {
-      ds.geoms.emplace_back(Vec2{ext.min.x + u(gen) * ext.Width(),
-                                 ext.min.y + u(gen) * ext.Height()});
+    if (u() < 0.15) {
+      const double bx = ext.min.x + u() * ext.Width();
+      const double by = ext.min.y + u() * ext.Height();
+      ds.geoms.emplace_back(Vec2{bx, by});
       continue;
     }
-    double pick = u(gen) * total_w;
+    double pick = u() * total_w;
     const City* c = &cities.back();
     for (const auto& cand : cities) {
       if (pick < cand.weight) {
@@ -118,8 +122,9 @@ SpatialDataset TweetLikePoints(size_t n, uint64_t seed) {
       }
       pick -= cand.weight;
     }
-    Vec2 p{c->center.x + norm(gen) * c->sigma,
-           c->center.y + norm(gen) * c->sigma};
+    const double dx = norm() * c->sigma;
+    const double dy = norm() * c->sigma;
+    Vec2 p{c->center.x + dx, c->center.y + dy};
     p.x = std::clamp(p.x, ext.min.x, ext.max.x);
     p.y = std::clamp(p.y, ext.min.y, ext.max.y);
     ds.geoms.emplace_back(p);
@@ -229,24 +234,27 @@ SpatialDataset BuildingLikePolygons(size_t n, uint64_t seed) {
   ds.name = "building_like_" + std::to_string(n);
   ds.geoms.reserve(n);
   const Box ext = WorldExtent();
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.0, 1.0);
-  std::normal_distribution<double> norm(0.0, 1.0);
+  PortableRng rng(seed);
+  auto u = [&rng] { return rng.NextUnit(); };
+  auto norm = [&rng] { return rng.Gaussian(); };
 
   // Urban clusters; buildings are tiny rotated quads around them.
   const int kClusters = 200;
   std::vector<Vec2> centers;
   centers.reserve(kClusters);
   for (int i = 0; i < kClusters; ++i) {
-    centers.push_back({ext.min.x + u(gen) * ext.Width(),
-                       ext.min.y + u(gen) * ext.Height()});
+    const double cx = ext.min.x + u() * ext.Width();
+    const double cy = ext.min.y + u() * ext.Height();
+    centers.push_back({cx, cy});
   }
   for (size_t i = 0; i < n; ++i) {
-    const Vec2& c = centers[gen() % kClusters];
-    const Vec2 pos{c.x + norm(gen) * 0.25, c.y + norm(gen) * 0.25};
-    const double w = 0.0002 + 0.0004 * u(gen);
-    const double h = 0.0002 + 0.0004 * u(gen);
-    const double ang = u(gen) * M_PI;
+    const Vec2& c = centers[rng.NextU64() % kClusters];
+    const double px = c.x + norm() * 0.25;
+    const double py = c.y + norm() * 0.25;
+    const Vec2 pos{px, py};
+    const double w = 0.0002 + 0.0004 * u();
+    const double h = 0.0002 + 0.0004 * u();
+    const double ang = u() * M_PI;
     const double ca = std::cos(ang), sa = std::sin(ang);
     Polygon poly;
     for (const auto& [dx, dy] : {std::pair{-w, -h}, std::pair{w, -h},

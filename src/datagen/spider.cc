@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
+
+#include "common/rng.h"
 
 namespace spade {
 
@@ -16,10 +17,11 @@ SpatialDataset GenerateUniformPoints(size_t n, uint64_t seed) {
   SpatialDataset ds;
   ds.name = "uniform_points_" + std::to_string(n);
   ds.geoms.reserve(n);
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.0, 1.0);
+  PortableRng rng(seed);
   for (size_t i = 0; i < n; ++i) {
-    ds.geoms.emplace_back(Vec2{u(gen), u(gen)});
+    const double x = rng.NextUnit();
+    const double y = rng.NextUnit();
+    ds.geoms.emplace_back(Vec2{x, y});
   }
   return ds;
 }
@@ -28,10 +30,11 @@ SpatialDataset GenerateGaussianPoints(size_t n, uint64_t seed) {
   SpatialDataset ds;
   ds.name = "gaussian_points_" + std::to_string(n);
   ds.geoms.reserve(n);
-  std::mt19937_64 gen(seed);
-  std::normal_distribution<double> g(0.5, 0.15);
+  PortableRng rng(seed);
   for (size_t i = 0; i < n; ++i) {
-    ds.geoms.emplace_back(Vec2{ClampUnit(g(gen)), ClampUnit(g(gen))});
+    const double x = ClampUnit(rng.Gaussian(0.5, 0.15));
+    const double y = ClampUnit(rng.Gaussian(0.5, 0.15));
+    ds.geoms.emplace_back(Vec2{x, y});
   }
   return ds;
 }
@@ -43,14 +46,14 @@ SpatialDataset GenerateBoxes(size_t n, uint64_t seed, double max_size,
   SpatialDataset ds;
   ds.name = name + "_" + std::to_string(n);
   ds.geoms.reserve(n);
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.0, 1.0);
-  std::normal_distribution<double> g(0.5, 0.15);
-  std::uniform_real_distribution<double> size(max_size * 0.1, max_size);
+  PortableRng rng(seed);
   for (size_t i = 0; i < n; ++i) {
-    const double cx = gaussian ? ClampUnit(g(gen)) : u(gen);
-    const double cy = gaussian ? ClampUnit(g(gen)) : u(gen);
-    const double w = size(gen), h = size(gen);
+    const double cx =
+        gaussian ? ClampUnit(rng.Gaussian(0.5, 0.15)) : rng.NextUnit();
+    const double cy =
+        gaussian ? ClampUnit(rng.Gaussian(0.5, 0.15)) : rng.NextUnit();
+    const double w = rng.Uniform(max_size * 0.1, max_size);
+    const double h = rng.Uniform(max_size * 0.1, max_size);
     const Box b(ClampUnit(cx - w / 2), ClampUnit(cy - h / 2),
                 ClampUnit(cx + w / 2), ClampUnit(cy + h / 2));
     ds.geoms.emplace_back(Polygon::FromBox(b));
@@ -73,16 +76,17 @@ SpatialDataset GenerateParcels(size_t n, uint64_t seed) {
   SpatialDataset ds;
   ds.name = "parcels_" + std::to_string(n);
   ds.geoms.reserve(n);
-  std::mt19937_64 gen(seed);
-  std::uniform_real_distribution<double> u(0.05, 0.45);
+  PortableRng rng(seed);
   const size_t grid = static_cast<size_t>(std::ceil(std::sqrt(n)));
   const double cell = 1.0 / grid;
   for (size_t i = 0; i < n; ++i) {
     const size_t gx = i % grid;
     const size_t gy = i / grid;
     // A random sub-rectangle strictly inside the cell: parcels never touch.
-    const double mx = u(gen) * cell, my = u(gen) * cell;
-    const double wx = u(gen) * cell, wy = u(gen) * cell;
+    const double mx = rng.Uniform(0.05, 0.45) * cell;
+    const double my = rng.Uniform(0.05, 0.45) * cell;
+    const double wx = rng.Uniform(0.05, 0.45) * cell;
+    const double wy = rng.Uniform(0.05, 0.45) * cell;
     const Box b(gx * cell + mx, gy * cell + my,
                 gx * cell + std::min(cell - 0.01 * cell, mx + wx),
                 gy * cell + std::min(cell - 0.01 * cell, my + wy));

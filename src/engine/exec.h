@@ -95,6 +95,28 @@ void TestObjectsAgainstCanvas(GfxDevice* device, const PreparedCell& prep,
                             ? g.Bounds()
                             : TransformBox(g.Bounds(), transform);
           if (!b.Intersects(view)) break;
+          if (prep.tris[i].triangles.empty()) {
+            // Zero-area (degenerate) polygon: no interior to triangulate,
+            // but its boundary can still intersect constraints. Test the
+            // rings as segments, exactly like a polyline.
+            for (const auto& part : g.polygon().parts) {
+              const auto& ring = part.outer;
+              for (size_t s = 0; s < ring.size(); ++s) {
+                const Vec2 a = identity_transform
+                                   ? ring[s]
+                                   : transform.Apply(ring[s]);
+                const Vec2 c = identity_transform
+                                   ? ring[(s + 1) % ring.size()]
+                                   : transform.Apply(ring[(s + 1) % ring.size()]);
+                ++frags;
+                canvas.TestSegment(a, c, &owners);
+              }
+            }
+            std::sort(owners.begin(), owners.end());
+            owners.erase(std::unique(owners.begin(), owners.end()),
+                         owners.end());
+            break;
+          }
           if (identity_transform) {
             canvas.TestPolygon(prep.tris[i], &owners);
           } else {

@@ -1,0 +1,500 @@
+#include "fuzz/case.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/rng.h"
+#include "datagen/registry.h"
+#include "geom/wkt.h"
+
+namespace spade {
+namespace fuzz {
+
+namespace {
+
+// Salt folded into every case seed so the fuzz stream is decorrelated from
+// other users of SplitMix64 on small integers.
+constexpr uint64_t kCaseSalt = 0x5fade0f5a1ull;
+
+const QueryClass kAllClasses[] = {
+    QueryClass::kSelection,    QueryClass::kRange,
+    QueryClass::kContains,     QueryClass::kJoin,
+    QueryClass::kDistance,     QueryClass::kDistanceJoin,
+    QueryClass::kAggregation,  QueryClass::kKnn,
+};
+
+// Synthetic polyline dataset (no registry kind generates lines).
+SpatialDataset GenerateLines(size_t n, uint64_t seed) {
+  SpatialDataset ds;
+  ds.name = "fuzz_lines_" + std::to_string(n);
+  ds.geoms.reserve(n);
+  PortableRng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    LineString l;
+    double x = rng.NextUnit(), y = rng.NextUnit();
+    l.points.push_back({x, y});
+    const int segments = static_cast<int>(rng.UniformInt(1, 5));
+    for (int s = 0; s < segments; ++s) {
+      x = std::clamp(x + rng.Uniform(-0.12, 0.12), 0.0, 1.0);
+      y = std::clamp(y + rng.Uniform(-0.12, 0.12), 0.0, 1.0);
+      l.points.push_back({x, y});
+    }
+    ds.geoms.emplace_back(std::move(l));
+  }
+  return ds;
+}
+
+SpatialDataset GenerateByKind(const std::string& kind, size_t n,
+                              uint64_t seed) {
+  if (kind == "lines") return GenerateLines(n, seed);
+  auto r = GenerateDataset(kind, n, seed);
+  // Registry kinds used here are all valid; an empty dataset would only
+  // mean the kind list changed under us.
+  return r.ok() ? std::move(r).value() : SpatialDataset{};
+}
+
+// A random simple star polygon around `center` (same construction as the
+// test utilities, but on the portable RNG).
+Polygon StarPolygon(PortableRng* rng, const Vec2& center, double rmin,
+                    double rmax, int vertices) {
+  Polygon poly;
+  poly.outer.reserve(vertices);
+  double angle = rng->Uniform(0, 2 * M_PI);
+  const double step = 2 * M_PI / vertices;
+  for (int i = 0; i < vertices; ++i) {
+    const double r = rng->Uniform(rmin, rmax);
+    poly.outer.push_back(
+        {center.x + r * std::cos(angle), center.y + r * std::sin(angle)});
+    angle += step;
+  }
+  poly.Normalize();
+  return poly;
+}
+
+// Random constraint polygon placed inside `extent`; convex_only restricts
+// to shapes where vertex containment is exact (contains queries).
+MultiPolygon RandomConstraint(PortableRng* rng, const Box& extent,
+                              bool convex_only) {
+  const double w = extent.Width(), h = extent.Height();
+  const double scale = std::min(w, h);
+  const Vec2 center{rng->Uniform(extent.min.x + 0.2 * w,
+                                 extent.max.x - 0.2 * w),
+                    rng->Uniform(extent.min.y + 0.2 * h,
+                                 extent.max.y - 0.2 * h)};
+  MultiPolygon mp;
+  const int shape = static_cast<int>(rng->UniformInt(0, convex_only ? 1 : 3));
+  switch (shape) {
+    case 0: {  // axis-aligned box
+      const double bw = rng->Uniform(0.05, 0.4) * scale;
+      const double bh = rng->Uniform(0.05, 0.4) * scale;
+      mp.parts.push_back(Polygon::FromBox(
+          Box(center.x - bw, center.y - bh, center.x + bw, center.y + bh)));
+      break;
+    }
+    case 1: {  // circle (convex)
+      mp.parts.push_back(Polygon::Circle(
+          center, rng->Uniform(0.05, 0.35) * scale,
+          static_cast<int>(rng->UniformInt(8, 24))));
+      break;
+    }
+    case 2: {  // star (often concave)
+      mp.parts.push_back(StarPolygon(rng, center,
+                                     rng->Uniform(0.03, 0.1) * scale,
+                                     rng->Uniform(0.15, 0.4) * scale,
+                                     static_cast<int>(rng->UniformInt(5, 18))));
+      break;
+    }
+    default: {  // two disjoint-ish parts, one with a hole
+      Polygon a = StarPolygon(rng, center, 0.08 * scale, 0.22 * scale,
+                              static_cast<int>(rng->UniformInt(6, 12)));
+      // Concentric hole well inside the star's inner radius.
+      std::vector<Vec2> hole;
+      const double hr = 0.04 * scale;
+      for (int i = 5; i >= 0; --i) {
+        const double t = i * (2 * M_PI / 6);
+        hole.push_back({center.x + hr * std::cos(t),
+                        center.y + hr * std::sin(t)});
+      }
+      a.holes.push_back(std::move(hole));
+      mp.parts.push_back(std::move(a));
+      const Vec2 c2{extent.min.x + 0.12 * w, extent.min.y + 0.12 * h};
+      mp.parts.push_back(StarPolygon(rng, c2, 0.02 * scale, 0.08 * scale, 8));
+      break;
+    }
+  }
+  return mp;
+}
+
+bool ClassEnabled(QueryClass c, const std::string& classes) {
+  if (classes.empty()) return true;
+  std::stringstream ss(classes);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok == QueryClassName(c)) return true;
+  }
+  return false;
+}
+
+void FormatDouble(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSelection: return "selection";
+    case QueryClass::kRange: return "range";
+    case QueryClass::kContains: return "contains";
+    case QueryClass::kJoin: return "join";
+    case QueryClass::kDistance: return "distance";
+    case QueryClass::kDistanceJoin: return "distance-join";
+    case QueryClass::kAggregation: return "aggregation";
+    case QueryClass::kKnn: return "knn";
+  }
+  return "unknown";
+}
+
+Result<QueryClass> QueryClassFromName(const std::string& name) {
+  for (QueryClass c : kAllClasses) {
+    if (name == QueryClassName(c)) return c;
+  }
+  return Status::InvalidArgument("unknown query class '" + name + "'");
+}
+
+SpadeConfig CaseConfig::ToSpadeConfig() const {
+  SpadeConfig cfg;
+  cfg.canvas_resolution = canvas_resolution;
+  cfg.max_cell_bytes = max_cell_bytes;
+  cfg.device_memory_budget = device_memory_budget;
+  cfg.gpu_threads = static_cast<size_t>(gpu_threads);
+  return cfg;
+}
+
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
+  FuzzCase c;
+  c.seed = seed;
+  PortableRng rng(SplitMix64(seed ^ kCaseSalt));
+
+  // --- query class ---------------------------------------------------------
+  std::vector<QueryClass> enabled;
+  for (QueryClass cls : kAllClasses) {
+    if (ClassEnabled(cls, opts.classes)) enabled.push_back(cls);
+  }
+  if (enabled.empty()) enabled.push_back(QueryClass::kSelection);
+  c.query.cls = enabled[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(enabled.size()) - 1))];
+
+  // --- engine config -------------------------------------------------------
+  const int resolutions[] = {16, 32, 64, 128, 256, 512};
+  c.config.canvas_resolution =
+      resolutions[rng.UniformInt(0, 5)];
+  const size_t cell_bytes[] = {1 << 10, 4 << 10, 16 << 10, 64 << 10};
+  c.config.max_cell_bytes = cell_bytes[rng.UniformInt(0, 3)];
+  // Budgets stay comfortably above canvas needs (~16 bytes/pixel, several
+  // canvases live at once): a budget the canvas itself cannot fit makes
+  // the engine legitimately report OOM, which is not a differential
+  // finding. Memory-pressure paths are exercised via tiny cells and the
+  // device.alloc failpoint instead.
+  const size_t budgets[] = {32ull << 20, 64ull << 20, 256ull << 20};
+  c.config.device_memory_budget =
+      budgets[rng.UniformInt(c.config.canvas_resolution >= 256 ? 1 : 0, 2)];
+  c.config.gpu_threads = static_cast<int>(rng.UniformInt(1, 4));
+  c.config.warm_layers = rng.Chance(0.3);
+  c.config.use_disk = rng.Chance(0.15);
+
+  // --- datasets ------------------------------------------------------------
+  const uint64_t dseed = SplitMix64(seed ^ 0xda7a5eedull);
+  const uint64_t dseed2 = SplitMix64(seed ^ 0xda7a5eed2ull);
+  const size_t cap = opts.max_objects;
+  auto size_in = [&rng](size_t lo, size_t hi) {
+    return static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+  };
+  const char* point_kinds[] = {"uniform-points", "gaussian-points", "taxi",
+                               "tweets"};
+  const char* poly_kinds[] = {"uniform-boxes", "gaussian-boxes", "parcels",
+                              "buildings"};
+  const char* any_kinds[] = {"uniform-points", "gaussian-points",
+                             "uniform-boxes", "gaussian-boxes", "parcels",
+                             "lines", "taxi", "buildings"};
+  auto pick = [&rng](auto& kinds) {
+    return kinds[rng.UniformInt(
+        0, static_cast<int64_t>(std::size(kinds)) - 1)];
+  };
+
+  switch (c.query.cls) {
+    case QueryClass::kSelection:
+    case QueryClass::kRange:
+    case QueryClass::kContains:
+      c.data = GenerateByKind(pick(any_kinds), size_in(20, cap), dseed);
+      break;
+    case QueryClass::kJoin:
+      c.data = GenerateByKind(pick(poly_kinds), size_in(8, 60), dseed);
+      // Right side: points or polygons (the two paper join types).
+      c.data2 = GenerateByKind(
+          rng.Chance(0.5) ? pick(point_kinds) : pick(poly_kinds),
+          size_in(20, std::min<size_t>(cap, 400)), dseed2);
+      break;
+    case QueryClass::kDistance:
+    case QueryClass::kKnn:
+      c.data = GenerateByKind(pick(point_kinds), size_in(20, cap), dseed);
+      break;
+    case QueryClass::kDistanceJoin: {
+      const char* left_kinds[] = {"uniform-points", "uniform-boxes", "lines"};
+      const char* left = pick(left_kinds);
+      const size_t n1 = size_in(5, 50);
+      // The engine builds constraint canvases from the smaller side; a
+      // non-point left must therefore stay the smaller side (only point
+      // data can be streamed against the layers).
+      const bool left_is_points = std::string(left) == "uniform-points";
+      const size_t n2_lo = left_is_points ? 20 : std::max<size_t>(20, n1);
+      c.data = GenerateByKind(left, n1, dseed);
+      c.data2 = GenerateByKind(
+          pick(point_kinds),
+          size_in(n2_lo, std::max(n2_lo, std::min<size_t>(cap, 400))),
+          dseed2);
+      break;
+    }
+    case QueryClass::kAggregation:
+      c.data = GenerateByKind(
+          rng.Chance(0.7) ? pick(point_kinds) : pick(poly_kinds),
+          size_in(20, cap), dseed);
+      c.data2 = GenerateByKind(pick(poly_kinds), size_in(4, 36), dseed2);
+      break;
+  }
+  c.data.name = "fuzz_data";
+  if (!c.data2.geoms.empty()) c.data2.name = "fuzz_data2";
+
+  // --- query parameters ----------------------------------------------------
+  const Box extent = c.data.Bounds();
+  const double diag =
+      std::sqrt(extent.Width() * extent.Width() +
+                extent.Height() * extent.Height());
+  switch (c.query.cls) {
+    case QueryClass::kSelection:
+      c.query.constraint = RandomConstraint(&rng, extent, false);
+      break;
+    case QueryClass::kContains:
+      c.query.constraint = RandomConstraint(&rng, extent, true);
+      break;
+    case QueryClass::kRange: {
+      const double x0 = rng.Uniform(extent.min.x, extent.max.x);
+      const double y0 = rng.Uniform(extent.min.y, extent.max.y);
+      const double w = rng.Uniform(0.05, 0.6) * extent.Width();
+      const double h = rng.Uniform(0.05, 0.6) * extent.Height();
+      c.query.range = Box(x0, y0, std::min(x0 + w, extent.max.x),
+                          std::min(y0 + h, extent.max.y));
+      break;
+    }
+    case QueryClass::kDistance: {
+      const int probe_shape = static_cast<int>(rng.UniformInt(0, 2));
+      const Vec2 pc{rng.Uniform(extent.min.x, extent.max.x),
+                    rng.Uniform(extent.min.y, extent.max.y)};
+      if (probe_shape == 0) {
+        c.query.probe = Geometry(pc);
+      } else if (probe_shape == 1) {
+        LineString l;
+        l.points.push_back(pc);
+        l.points.push_back({pc.x + rng.Uniform(-0.2, 0.2) * extent.Width(),
+                            pc.y + rng.Uniform(-0.2, 0.2) * extent.Height()});
+        c.query.probe = Geometry(std::move(l));
+      } else {
+        MultiPolygon mp;
+        mp.parts.push_back(
+            StarPolygon(&rng, pc, 0.02 * diag, 0.08 * diag, 8));
+        c.query.probe = Geometry(std::move(mp));
+      }
+      c.query.radius = rng.Uniform(0.005, 0.25) * diag;
+      break;
+    }
+    case QueryClass::kDistanceJoin:
+      c.query.radius = rng.Uniform(0.005, 0.1) * diag;
+      break;
+    case QueryClass::kKnn: {
+      c.query.probe = Geometry(Vec2{rng.Uniform(extent.min.x, extent.max.x),
+                                    rng.Uniform(extent.min.y, extent.max.y)});
+      const size_t n = c.data.size();
+      c.query.k = rng.Chance(0.1)
+                      ? n  // occasionally ask for everything
+                      : static_cast<size_t>(rng.UniformInt(
+                            1, static_cast<int64_t>(std::min<size_t>(n, 40))));
+      break;
+    }
+    case QueryClass::kJoin:
+    case QueryClass::kAggregation:
+      break;  // fully described by the two datasets
+  }
+
+  // --- failpoint schedule --------------------------------------------------
+  if (opts.with_failpoints && rng.Chance(1.0 / 6)) {
+    switch (rng.UniformInt(0, c.config.use_disk ? 2 : 0)) {
+      case 0:
+        c.failpoints = "device.alloc=prob(0.05,oom)";
+        break;
+      case 1:
+        c.failpoints = "io.read=prob(0.05,io)";
+        break;
+      default:
+        c.failpoints = "block.deserialize=prob(0.03,io)";
+        break;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus serialization
+// ---------------------------------------------------------------------------
+
+std::string FormatCase(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "# spade-fuzz case v1\n";
+  os << "seed " << c.seed << "\n";
+  if (!c.note.empty()) os << "note " << c.note << "\n";
+  os << "class " << QueryClassName(c.query.cls) << "\n";
+  os << "resolution " << c.config.canvas_resolution << "\n";
+  os << "cell_bytes " << c.config.max_cell_bytes << "\n";
+  os << "budget " << c.config.device_memory_budget << "\n";
+  os << "threads " << c.config.gpu_threads << "\n";
+  os << "layers " << (c.config.warm_layers ? 1 : 0) << "\n";
+  os << "disk " << (c.config.use_disk ? 1 : 0) << "\n";
+  if (!c.failpoints.empty()) os << "failpoints " << c.failpoints << "\n";
+  switch (c.query.cls) {
+    case QueryClass::kSelection:
+    case QueryClass::kContains:
+      os << "constraint " << ToWkt(Geometry(c.query.constraint)) << "\n";
+      break;
+    case QueryClass::kRange:
+      os << "range ";
+      FormatDouble(os, c.query.range.min.x);
+      os << " ";
+      FormatDouble(os, c.query.range.min.y);
+      os << " ";
+      FormatDouble(os, c.query.range.max.x);
+      os << " ";
+      FormatDouble(os, c.query.range.max.y);
+      os << "\n";
+      break;
+    case QueryClass::kDistance:
+      os << "probe " << ToWkt(c.query.probe) << "\n";
+      os << "radius ";
+      FormatDouble(os, c.query.radius);
+      os << "\n";
+      break;
+    case QueryClass::kDistanceJoin:
+      os << "radius ";
+      FormatDouble(os, c.query.radius);
+      os << "\n";
+      break;
+    case QueryClass::kKnn:
+      os << "probe " << ToWkt(c.query.probe) << "\n";
+      os << "k " << c.query.k << "\n";
+      break;
+    case QueryClass::kJoin:
+    case QueryClass::kAggregation:
+      break;
+  }
+  for (const auto& g : c.data.geoms) os << "data " << ToWkt(g) << "\n";
+  for (const auto& g : c.data2.geoms) os << "data2 " << ToWkt(g) << "\n";
+  return os.str();
+}
+
+Result<FuzzCase> ParseCase(const std::string& text) {
+  FuzzCase c;
+  c.data.name = "fuzz_data";
+  c.data2.name = "fuzz_data2";
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool have_class = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.find(' ');
+    const std::string key = line.substr(0, sp);
+    const std::string rest =
+        sp == std::string::npos ? std::string() : line.substr(sp + 1);
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("corpus line " + std::to_string(lineno) +
+                                     ": " + why);
+    };
+    if (key == "seed") {
+      c.seed = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "note") {
+      c.note = rest;
+    } else if (key == "class") {
+      SPADE_ASSIGN_OR_RETURN(c.query.cls, QueryClassFromName(rest));
+      have_class = true;
+    } else if (key == "resolution") {
+      c.config.canvas_resolution = std::atoi(rest.c_str());
+    } else if (key == "cell_bytes") {
+      c.config.max_cell_bytes = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "budget") {
+      c.config.device_memory_budget = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "threads") {
+      c.config.gpu_threads = std::atoi(rest.c_str());
+    } else if (key == "layers") {
+      c.config.warm_layers = rest == "1";
+    } else if (key == "disk") {
+      c.config.use_disk = rest == "1";
+    } else if (key == "failpoints") {
+      c.failpoints = rest;
+    } else if (key == "constraint") {
+      SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(rest));
+      if (!g.is_polygon()) return bad("constraint must be a polygon");
+      c.query.constraint = g.polygon();
+    } else if (key == "range") {
+      std::istringstream rs(rest);
+      double x0, y0, x1, y1;
+      if (!(rs >> x0 >> y0 >> x1 >> y1)) return bad("range needs 4 numbers");
+      c.query.range = Box(x0, y0, x1, y1);
+    } else if (key == "probe") {
+      SPADE_ASSIGN_OR_RETURN(c.query.probe, ParseWkt(rest));
+    } else if (key == "radius") {
+      c.query.radius = std::strtod(rest.c_str(), nullptr);
+    } else if (key == "k") {
+      c.query.k = std::strtoull(rest.c_str(), nullptr, 10);
+    } else if (key == "data") {
+      SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(rest));
+      c.data.geoms.push_back(std::move(g));
+    } else if (key == "data2") {
+      SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(rest));
+      c.data2.geoms.push_back(std::move(g));
+    } else {
+      return bad("unknown key '" + key + "'");
+    }
+  }
+  if (!have_class) return Status::InvalidArgument("corpus case has no class");
+  if (c.data.geoms.empty()) {
+    return Status::InvalidArgument("corpus case has no data");
+  }
+  return c;
+}
+
+Status SaveCase(const FuzzCase& c, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << FormatCase(c);
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<FuzzCase> LoadCase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCase(buf.str());
+}
+
+}  // namespace fuzz
+}  // namespace spade

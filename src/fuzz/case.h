@@ -1,0 +1,91 @@
+// A FuzzCase is one self-contained differential experiment: a concrete
+// dataset (plus a second one for joins/aggregations), a query from one of
+// the five classes, the engine configuration to run it under, and an
+// optional failpoint schedule. Cases are either derived deterministically
+// from a 64-bit seed (GenerateCase — the fuzz loop) or parsed back from a
+// corpus file (ParseCase — regression replay of minimized repros).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace spade {
+namespace fuzz {
+
+/// Query classes under differential test. Range/Contains are variants of
+/// selection; DistanceJoin of distance — the five paper classes are all
+/// covered (selection, join, distance, kNN, aggregation).
+enum class QueryClass {
+  kSelection,
+  kRange,
+  kContains,
+  kJoin,
+  kDistance,
+  kDistanceJoin,
+  kAggregation,
+  kKnn,
+};
+
+const char* QueryClassName(QueryClass c);
+Result<QueryClass> QueryClassFromName(const std::string& name);
+
+/// Engine knobs the fuzzer randomizes per case.
+struct CaseConfig {
+  int canvas_resolution = 128;
+  size_t max_cell_bytes = 16 << 10;
+  size_t device_memory_budget = 256ull << 20;
+  int gpu_threads = 2;
+  bool warm_layers = false;  ///< pre-build layer indexes before querying
+  bool use_disk = false;     ///< route the primary dataset through DiskSource
+
+  SpadeConfig ToSpadeConfig() const;
+};
+
+/// The query of a case; which fields matter depends on `cls`.
+struct CaseQuery {
+  QueryClass cls = QueryClass::kSelection;
+  MultiPolygon constraint;     ///< selection / contains
+  Box range;                   ///< range
+  Geometry probe;              ///< distance probe (point / line / polygon)
+  double radius = 0;           ///< distance / distance join
+  size_t k = 0;                ///< kNN
+};
+
+/// \brief One reproducible engine-vs-oracle experiment.
+struct FuzzCase {
+  uint64_t seed = 0;        ///< generating seed (0 for hand-written cases)
+  std::string note;         ///< free-form provenance, kept through replay
+  CaseConfig config;
+  CaseQuery query;
+  SpatialDataset data;      ///< primary dataset
+  SpatialDataset data2;     ///< join other side / aggregation constraints
+  std::string failpoints;   ///< SPADE_FAILPOINTS schedule ("" = none)
+};
+
+/// Knobs of random case generation.
+struct GenOptions {
+  size_t max_objects = 600;      ///< primary dataset size cap
+  bool with_failpoints = false;  ///< arm a random failpoint schedule on
+                                 ///< ~1 in 6 cases
+  /// Restrict to one class (empty = all). Comma-separated class names.
+  std::string classes;
+};
+
+/// Deterministically derive a case from `seed`: same seed, same bytes, on
+/// every platform (all randomness flows through PortableRng).
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts);
+
+/// Serialize to / parse from the corpus text format (see docs/testing.md).
+std::string FormatCase(const FuzzCase& c);
+Result<FuzzCase> ParseCase(const std::string& text);
+
+/// File convenience wrappers around Format/Parse.
+Status SaveCase(const FuzzCase& c, const std::string& path);
+Result<FuzzCase> LoadCase(const std::string& path);
+
+}  // namespace fuzz
+}  // namespace spade

@@ -1,0 +1,794 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "engine/spade.h"
+#include "fuzz/oracle.h"
+#include "service/service.h"
+
+namespace spade {
+namespace fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Answers and comparison
+// ---------------------------------------------------------------------------
+
+// The union of every query class's result shape; only the fields of the
+// case's class are populated.
+struct Answer {
+  std::vector<GeomId> ids;
+  std::vector<std::pair<GeomId, GeomId>> pairs;
+  std::vector<uint64_t> counts;
+  std::vector<std::pair<GeomId, double>> neighbors;
+};
+
+void ApplyBug(InjectedBug bug, Answer* a) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      return;
+    case InjectedBug::kDropLast:
+      if (!a->ids.empty()) a->ids.pop_back();
+      if (!a->pairs.empty()) a->pairs.pop_back();
+      if (!a->neighbors.empty()) a->neighbors.pop_back();
+      if (!a->counts.empty() && a->counts.back() > 0) a->counts.back()--;
+      return;
+    case InjectedBug::kOffByOne:
+      if (!a->ids.empty()) a->ids.front()++;
+      if (!a->pairs.empty()) a->pairs.front().second++;
+      if (!a->neighbors.empty()) a->neighbors.front().first++;
+      if (!a->counts.empty()) a->counts.front()++;
+      return;
+  }
+}
+
+std::string DiffIds(const char* what, const std::vector<GeomId>& engine,
+                    const std::vector<GeomId>& oracle) {
+  if (engine == oracle) return "";
+  std::ostringstream os;
+  os << what << ": engine returned " << engine.size() << " ids, oracle "
+     << oracle.size();
+  const size_t n = std::min(engine.size(), oracle.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (engine[i] != oracle[i]) {
+      os << "; first diff at rank " << i << " (engine " << engine[i]
+         << ", oracle " << oracle[i] << ")";
+      return os.str();
+    }
+  }
+  if (engine.size() != oracle.size()) {
+    const auto& longer = engine.size() > oracle.size() ? engine : oracle;
+    os << "; extra id " << longer[n] << " on the "
+       << (engine.size() > oracle.size() ? "engine" : "oracle") << " side";
+  }
+  return os.str();
+}
+
+std::string DiffPairs(const char* what,
+                      std::vector<std::pair<GeomId, GeomId>> engine,
+                      std::vector<std::pair<GeomId, GeomId>> oracle) {
+  std::sort(engine.begin(), engine.end());
+  std::sort(oracle.begin(), oracle.end());
+  if (engine == oracle) return "";
+  std::ostringstream os;
+  os << what << ": engine returned " << engine.size() << " pairs, oracle "
+     << oracle.size();
+  const size_t n = std::min(engine.size(), oracle.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (engine[i] != oracle[i]) {
+      os << "; first diff at rank " << i << " (engine (" << engine[i].first
+         << "," << engine[i].second << "), oracle (" << oracle[i].first << ","
+         << oracle[i].second << "))";
+      return os.str();
+    }
+  }
+  if (engine.size() != oracle.size()) {
+    const auto& longer = engine.size() > oracle.size() ? engine : oracle;
+    os << "; extra pair (" << longer[n].first << "," << longer[n].second
+       << ") on the " << (engine.size() > oracle.size() ? "engine" : "oracle")
+       << " side";
+  }
+  return os.str();
+}
+
+std::string DiffCounts(const std::vector<uint64_t>& engine,
+                       const std::vector<uint64_t>& oracle) {
+  if (engine == oracle) return "";
+  std::ostringstream os;
+  os << "aggregation: " << engine.size() << " engine counts vs "
+     << oracle.size() << " oracle counts";
+  for (size_t i = 0; i < std::min(engine.size(), oracle.size()); ++i) {
+    if (engine[i] != oracle[i]) {
+      os << "; constraint " << i << " counted " << engine[i] << " by engine, "
+         << oracle[i] << " by oracle";
+      break;
+    }
+  }
+  return os.str();
+}
+
+// kNN is the one class compared with an epsilon: equal-distance neighbors
+// may be reported in either order, so ranks are compared by distance and
+// each engine id is re-verified against the dataset.
+std::string DiffKnn(const FuzzCase& c,
+                    const std::vector<std::pair<GeomId, double>>& engine,
+                    const std::vector<std::pair<GeomId, double>>& oracle) {
+  std::ostringstream os;
+  if (engine.size() != oracle.size()) {
+    os << "knn: engine returned " << engine.size() << " neighbors, oracle "
+       << oracle.size();
+    return os.str();
+  }
+  const Vec2 p = c.query.probe.point();
+  for (size_t i = 0; i < engine.size(); ++i) {
+    const double tol = 1e-9 * std::max(1.0, std::abs(oracle[i].second));
+    if (std::abs(engine[i].second - oracle[i].second) > tol) {
+      os << "knn: rank " << i << " distance " << engine[i].second
+         << " (engine) vs " << oracle[i].second << " (oracle)";
+      return os.str();
+    }
+    const GeomId id = engine[i].first;
+    if (id >= c.data.size()) {
+      os << "knn: rank " << i << " id " << id << " out of range";
+      return os.str();
+    }
+    const double true_d = p.DistanceTo(c.data.geoms[id].point());
+    if (std::abs(true_d - engine[i].second) >
+        1e-9 * std::max(1.0, std::abs(true_d))) {
+      os << "knn: rank " << i << " reports distance " << engine[i].second
+         << " for id " << id << " whose true distance is " << true_d;
+      return os.str();
+    }
+  }
+  // No duplicate ids.
+  std::vector<GeomId> ids;
+  for (const auto& [id, d] : engine) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+    return "knn: duplicate id in neighbor list";
+  }
+  return "";
+}
+
+Answer OracleAnswer(const FuzzCase& c) {
+  Answer a;
+  switch (c.query.cls) {
+    case QueryClass::kSelection:
+      a.ids = OracleSelection(c.data, c.query.constraint);
+      break;
+    case QueryClass::kRange:
+      a.ids = OracleRange(c.data, c.query.range);
+      break;
+    case QueryClass::kContains:
+      a.ids = OracleContains(c.data, c.query.constraint);
+      break;
+    case QueryClass::kJoin:
+      a.pairs = OracleJoin(c.data, c.data2);
+      break;
+    case QueryClass::kDistance:
+      a.ids = OracleDistance(c.data, c.query.probe, c.query.radius);
+      break;
+    case QueryClass::kDistanceJoin:
+      a.pairs = OracleDistanceJoin(c.data, c.data2, c.query.radius);
+      break;
+    case QueryClass::kAggregation:
+      a.counts = OracleAggregation(c.data, c.data2);
+      break;
+    case QueryClass::kKnn:
+      a.neighbors = OracleKnn(c.data, c.query.probe.point(), c.query.k);
+      break;
+  }
+  return a;
+}
+
+std::string CompareAnswers(const FuzzCase& c, const Answer& engine,
+                           const Answer& oracle) {
+  switch (c.query.cls) {
+    case QueryClass::kSelection:
+      return DiffIds("selection", engine.ids, oracle.ids);
+    case QueryClass::kRange:
+      return DiffIds("range", engine.ids, oracle.ids);
+    case QueryClass::kContains:
+      return DiffIds("contains", engine.ids, oracle.ids);
+    case QueryClass::kDistance:
+      return DiffIds("distance", engine.ids, oracle.ids);
+    case QueryClass::kJoin:
+      return DiffPairs("join", engine.pairs, oracle.pairs);
+    case QueryClass::kDistanceJoin:
+      return DiffPairs("distance-join", engine.pairs, oracle.pairs);
+    case QueryClass::kAggregation:
+      return DiffCounts(engine.counts, oracle.counts);
+    case QueryClass::kKnn:
+      return DiffKnn(c, engine.neighbors, oracle.neighbors);
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Engine execution
+// ---------------------------------------------------------------------------
+
+// Builds the cell sources for one run. Disk routing only applies to the
+// primary dataset and only when a scratch directory is available.
+struct CaseSources {
+  std::unique_ptr<CellSource> data;
+  std::unique_ptr<CellSource> data2;
+  std::string disk_dir;  // non-empty when `data` went through DiskSource
+
+  ~CaseSources() {
+    data.reset();
+    data2.reset();
+    if (!disk_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(disk_dir, ec);
+    }
+  }
+};
+
+Result<std::unique_ptr<CaseSources>> BuildSources(const FuzzCase& c,
+                                                  const RunOptions& opts,
+                                                  const SpadeConfig& cfg) {
+  auto s = std::make_unique<CaseSources>();
+  if (c.config.use_disk && !opts.scratch_dir.empty()) {
+    std::ostringstream dir;
+    dir << opts.scratch_dir << "/case_" << c.seed << "_"
+        << reinterpret_cast<uintptr_t>(s.get());
+    std::error_code ec;
+    std::filesystem::create_directories(dir.str(), ec);
+    if (ec) return Status::IOError("cannot create " + dir.str());
+    SPADE_ASSIGN_OR_RETURN(
+        auto disk, DiskSource::Create(dir.str(), c.data, cfg.max_cell_bytes,
+                                      /*cache_bytes=*/4u << 20));
+    s->disk_dir = dir.str();
+    s->data = std::move(disk);
+  } else {
+    s->data = MakeInMemorySource("fuzz_data", c.data, cfg);
+  }
+  if (!c.data2.geoms.empty()) {
+    s->data2 = MakeInMemorySource("fuzz_data2", c.data2, cfg);
+  }
+  return s;
+}
+
+Result<Answer> RunEngine(const FuzzCase& c, const RunOptions& opts) {
+  const SpadeConfig cfg = c.config.ToSpadeConfig();
+  SpadeEngine engine(cfg);
+  SPADE_ASSIGN_OR_RETURN(auto sources, BuildSources(c, opts, cfg));
+  if (c.config.warm_layers) {
+    SPADE_RETURN_NOT_OK(engine.WarmIndexes(*sources->data, true));
+  }
+  Answer a;
+  switch (c.query.cls) {
+    case QueryClass::kSelection: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.SpatialSelection(*sources->data, c.query.constraint));
+      a.ids = std::move(r.ids);
+      break;
+    }
+    case QueryClass::kRange: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.RangeSelection(*sources->data, c.query.range));
+      a.ids = std::move(r.ids);
+      break;
+    }
+    case QueryClass::kContains: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.ContainsSelection(*sources->data, c.query.constraint));
+      a.ids = std::move(r.ids);
+      break;
+    }
+    case QueryClass::kJoin: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.SpatialJoin(*sources->data, *sources->data2));
+      a.pairs = std::move(r.pairs);
+      break;
+    }
+    case QueryClass::kDistance: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.DistanceSelection(*sources->data, c.query.probe,
+                                           c.query.radius));
+      a.ids = std::move(r.ids);
+      break;
+    }
+    case QueryClass::kDistanceJoin: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.DistanceJoin(*sources->data, *sources->data2,
+                                      c.query.radius));
+      a.pairs = std::move(r.pairs);
+      break;
+    }
+    case QueryClass::kAggregation: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.SpatialAggregation(*sources->data, *sources->data2));
+      a.counts = std::move(r.counts);
+      break;
+    }
+    case QueryClass::kKnn: {
+      SPADE_ASSIGN_OR_RETURN(
+          auto r, engine.KnnSelection(*sources->data, c.query.probe.point(),
+                                      c.query.k));
+      a.neighbors = std::move(r.neighbors);
+      break;
+    }
+  }
+  ApplyBug(opts.inject_bug, &a);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic variants
+// ---------------------------------------------------------------------------
+
+Geometry MapGeometry(const Geometry& g,
+                     const std::function<Vec2(const Vec2&)>& f) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return Geometry(f(g.point()));
+    case GeomType::kLine: {
+      LineString l;
+      l.points.reserve(g.line().points.size());
+      for (const auto& p : g.line().points) l.points.push_back(f(p));
+      return Geometry(std::move(l));
+    }
+    case GeomType::kPolygon: {
+      MultiPolygon mp;
+      for (const auto& part : g.polygon().parts) {
+        Polygon q;
+        q.outer.reserve(part.outer.size());
+        for (const auto& p : part.outer) q.outer.push_back(f(p));
+        for (const auto& hole : part.holes) {
+          std::vector<Vec2> h;
+          h.reserve(hole.size());
+          for (const auto& p : hole) h.push_back(f(p));
+          q.holes.push_back(std::move(h));
+        }
+        mp.parts.push_back(std::move(q));
+      }
+      return Geometry(std::move(mp));
+    }
+  }
+  return g;
+}
+
+FuzzCase TransformCase(const FuzzCase& c,
+                       const std::function<Vec2(const Vec2&)>& f,
+                       double radius_scale) {
+  FuzzCase t = c;
+  for (auto& g : t.data.geoms) g = MapGeometry(g, f);
+  for (auto& g : t.data2.geoms) g = MapGeometry(g, f);
+  t.query.constraint =
+      MapGeometry(Geometry(c.query.constraint), f).polygon();
+  const Vec2 rmin = f(c.query.range.min), rmax = f(c.query.range.max);
+  t.query.range = Box(std::min(rmin.x, rmax.x), std::min(rmin.y, rmax.y),
+                      std::max(rmin.x, rmax.x), std::max(rmin.y, rmax.y));
+  t.query.probe = MapGeometry(c.query.probe, f);
+  t.query.radius = c.query.radius * radius_scale;
+  return t;
+}
+
+// A metamorphic variant is itself checked differentially (engine vs the
+// oracle of the transformed input): floating-point boundary cases can
+// legitimately flip under translation/scaling, so engine(T(x)) is compared
+// against oracle(T(x)) rather than against the original ids. Resolution
+// refinement leaves the input untouched, so there the old oracle answer is
+// reused — the engine must be invariant in the exact id set.
+struct Variant {
+  const char* name;
+  FuzzCase c;
+  bool reuse_oracle;
+};
+
+std::vector<Variant> MetamorphicVariants(const FuzzCase& c) {
+  std::vector<Variant> vs;
+  {  // resolution refinement
+    Variant v{"refine-resolution", c, true};
+    v.c.config.canvas_resolution =
+        std::min(1024, c.config.canvas_resolution * 2);
+    // Four times the pixels need four times the canvas memory; give the
+    // refined run headroom so it cannot hit a legitimate OOM.
+    v.c.config.device_memory_budget =
+        std::max<size_t>(v.c.config.device_memory_budget, 256ull << 20);
+    if (v.c.config.canvas_resolution != c.config.canvas_resolution) {
+      vs.push_back(std::move(v));
+    }
+  }
+  {  // translation
+    const Box b = c.data.Bounds();
+    const double dx = 0.37 * std::max(1e-6, b.Width());
+    const double dy = -0.21 * std::max(1e-6, b.Height());
+    vs.push_back({"translate", TransformCase(c, [dx, dy](const Vec2& p) {
+                    return Vec2{p.x + dx, p.y + dy};
+                  }, 1.0), false});
+  }
+  {  // uniform scale about the origin
+    const double s = 3.0;
+    vs.push_back({"scale", TransformCase(c, [s](const Vec2& p) {
+                    return Vec2{p.x * s, p.y * s};
+                  }, s), false});
+  }
+  return vs;
+}
+
+RunOutcome RunCaseOnce(const FuzzCase& c, const RunOptions& opts,
+                       const Answer* reuse_oracle) {
+  RunOutcome out;
+  const bool faults_armed = !c.failpoints.empty();
+  if (faults_armed) {
+    failpoint::ClearAll();
+    const Status st = failpoint::Configure(c.failpoints);
+    if (!st.ok()) {
+      out.mismatch = true;
+      out.detail = "bad failpoint schedule: " + st.ToString();
+      return out;
+    }
+  }
+  Result<Answer> engine = RunEngine(c, opts);
+  if (faults_armed) failpoint::ClearAll();
+  if (!engine.ok()) {
+    if (faults_armed) {
+      // "Fail or be right": a typed error under an armed schedule is an
+      // acceptable outcome.
+      out.engine_fault = true;
+      return out;
+    }
+    out.mismatch = true;
+    out.detail = "engine error without faults armed: " +
+                 engine.status().ToString();
+    return out;
+  }
+  const Answer oracle = reuse_oracle ? *reuse_oracle : OracleAnswer(c);
+  out.detail = CompareAnswers(c, engine.value(), oracle);
+  out.mismatch = !out.detail.empty();
+  return out;
+}
+
+}  // namespace
+
+RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
+  const Answer oracle = OracleAnswer(c);
+  RunOutcome out = RunCaseOnce(c, opts, &oracle);
+  if (out.mismatch || out.engine_fault || !opts.metamorphic) return out;
+  // Metamorphic checks only make sense on deterministic (fault-free) runs.
+  if (!c.failpoints.empty()) return out;
+  for (const Variant& v : MetamorphicVariants(c)) {
+    RunOutcome vo =
+        RunCaseOnce(v.c, opts, v.reuse_oracle ? &oracle : nullptr);
+    if (vo.mismatch) {
+      vo.detail = std::string("metamorphic ") + v.name + ": " + vo.detail;
+      return vo;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Remove geoms[start, start+len) from a dataset.
+SpatialDataset DropRange(const SpatialDataset& ds, size_t start, size_t len) {
+  SpatialDataset out;
+  out.name = ds.name;
+  out.geoms.reserve(ds.size() - len);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (i < start || i >= start + len) out.geoms.push_back(ds.geoms[i]);
+  }
+  return out;
+}
+
+// ddmin-style chunk removal over one dataset, bounded by `*budget` probe
+// evaluations.
+void ShrinkDataset(FuzzCase* best, SpatialDataset FuzzCase::*field,
+                   const std::function<bool(const FuzzCase&)>& fails,
+                   int* budget) {
+  size_t chunk = std::max<size_t>(1, ((*best).*field).size() / 2);
+  while (chunk >= 1 && *budget > 0) {
+    bool removed_any = false;
+    size_t start = 0;
+    while (start < ((*best).*field).size() && *budget > 0) {
+      const size_t len =
+          std::min(chunk, ((*best).*field).size() - start);
+      // Never empty the primary dataset: a case needs data.
+      if (((*best).*field).size() - len == 0 &&
+          field == &FuzzCase::data) {
+        break;
+      }
+      FuzzCase cand = *best;
+      cand.*field = DropRange((*best).*field, start, len);
+      --*budget;
+      if (fails(cand)) {
+        *best = std::move(cand);
+        removed_any = true;
+        // Retry the same offset: the next chunk shifted into place.
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk = chunk > 1 ? chunk / 2 : 1;
+  }
+}
+
+}  // namespace
+
+FuzzCase ShrinkCase(const FuzzCase& c, const RunOptions& opts) {
+  int budget = 250;  // probe evaluations; each one is a full engine run
+  const auto fails = [&opts](const FuzzCase& cand) {
+    return RunCase(cand, opts).mismatch;
+  };
+  FuzzCase best = c;
+  if (!fails(best)) return best;  // flaky — keep the original verbatim
+
+  // 1. Simplifications that shrink the *explanation*, not the data.
+  const auto try_keep = [&](FuzzCase cand) {
+    if (budget <= 0) return;
+    --budget;
+    if (fails(cand)) best = std::move(cand);
+  };
+  if (!best.failpoints.empty()) {
+    FuzzCase cand = best;
+    cand.failpoints.clear();
+    try_keep(std::move(cand));
+  }
+  if (best.config.use_disk) {
+    FuzzCase cand = best;
+    cand.config.use_disk = false;
+    try_keep(std::move(cand));
+  }
+  if (best.config.warm_layers) {
+    FuzzCase cand = best;
+    cand.config.warm_layers = false;
+    try_keep(std::move(cand));
+  }
+  if (best.config.gpu_threads != 1) {
+    FuzzCase cand = best;
+    cand.config.gpu_threads = 1;
+    try_keep(std::move(cand));
+  }
+  if (best.config.max_cell_bytes != (16u << 10)) {
+    FuzzCase cand = best;
+    cand.config.max_cell_bytes = 16 << 10;
+    try_keep(std::move(cand));
+  }
+  for (int res : {64, 128}) {
+    if (best.config.canvas_resolution != res) {
+      FuzzCase cand = best;
+      cand.config.canvas_resolution = res;
+      try_keep(std::move(cand));
+      break;
+    }
+  }
+
+  // 2. Constraint down to a single part.
+  if (best.query.constraint.parts.size() > 1) {
+    for (const Polygon& part : best.query.constraint.parts) {
+      FuzzCase cand = best;
+      cand.query.constraint.parts = {part};
+      if (budget <= 0) break;
+      --budget;
+      if (fails(cand)) {
+        best = std::move(cand);
+        break;
+      }
+    }
+  }
+
+  // 3. The datasets themselves (usually the big win).
+  ShrinkDataset(&best, &FuzzCase::data2, fails, &budget);
+  ShrinkDataset(&best, &FuzzCase::data, fails, &budget);
+
+  if (best.note.empty()) {
+    best.note = "shrunk from seed " + std::to_string(c.seed);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz loops
+// ---------------------------------------------------------------------------
+
+uint64_t CaseSeed(uint64_t master_seed, size_t iteration) {
+  // Sequential seeds keep replay trivial: a failure at iteration i is rerun
+  // exactly by `spade_fuzz --seed=<reported seed> --iterations=1`.
+  return master_seed + iteration;
+}
+
+FuzzLoopResult FuzzLoop(const FuzzLoopOptions& opts) {
+  if (opts.service_mode) return ServiceFuzzLoop(opts);
+  FuzzLoopResult res;
+  const auto log = [&opts](const std::string& m) {
+    if (opts.log) opts.log(m);
+  };
+  for (size_t i = 0; i < opts.iterations; ++i) {
+    const uint64_t seed = CaseSeed(opts.seed, i);
+    const FuzzCase c = GenerateCase(seed, opts.gen);
+    const RunOutcome out = RunCase(c, opts.run);
+    ++res.executed;
+    if (out.engine_fault) ++res.faults;
+    if (out.mismatch) {
+      res.failing_seeds.push_back(seed);
+      if (res.first_detail.empty()) res.first_detail = out.detail;
+      log("MISMATCH seed=" + std::to_string(seed) + " class=" +
+          QueryClassName(c.query.cls) + ": " + out.detail);
+      FuzzCase repro = c;
+      if (opts.shrink) {
+        repro = ShrinkCase(c, opts.run);
+        log("shrunk seed=" + std::to_string(seed) + " to " +
+            std::to_string(repro.data.size()) + "+" +
+            std::to_string(repro.data2.size()) + " objects");
+      }
+      if (!opts.corpus_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.corpus_dir, ec);
+        const std::string path = opts.corpus_dir + "/fuzz_seed_" +
+                                 std::to_string(seed) + ".case";
+        if (SaveCase(repro, path).ok()) {
+          res.corpus_paths.push_back(path);
+          log("repro written to " + path);
+        }
+      }
+      if (opts.stop_on_failure) break;
+    }
+    if ((i + 1) % 200 == 0) {
+      log(std::to_string(i + 1) + "/" + std::to_string(opts.iterations) +
+          " cases, " + std::to_string(res.faults) + " tolerated faults, " +
+          std::to_string(res.failing_seeds.size()) + " failures");
+    }
+  }
+  return res;
+}
+
+FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts) {
+  FuzzLoopResult res;
+  const auto log = [&opts](const std::string& m) {
+    if (opts.log) opts.log(m);
+  };
+
+  // One shared engine/service; a fixed mid-range engine config (the value
+  // of this mode is concurrency, not config spread).
+  SpadeConfig ecfg;
+  ecfg.canvas_resolution = 128;
+  ecfg.max_cell_bytes = 16 << 10;
+  ecfg.gpu_threads = 2;
+  ServiceConfig scfg;
+  scfg.workers = static_cast<size_t>(std::max(1, opts.service_threads));
+  scfg.queue_capacity = std::max<size_t>(16, opts.iterations);
+  SpadeService service(ecfg, scfg);
+
+  // The service front end covers everything except aggregation.
+  GenOptions gen = opts.gen;
+  if (gen.classes.empty()) {
+    gen.classes =
+        "selection,range,contains,join,distance,distance-join,knn";
+  }
+  gen.with_failpoints = false;  // deterministic responses under concurrency
+
+  struct Slot {
+    uint64_t seed;
+    FuzzCase c;
+    Request req;
+    Response resp;
+  };
+  std::vector<Slot> slots(opts.iterations);
+  for (size_t i = 0; i < opts.iterations; ++i) {
+    Slot& s = slots[i];
+    s.seed = CaseSeed(opts.seed, i);
+    s.c = GenerateCase(s.seed, gen);
+    const std::string d1 = "d" + std::to_string(i);
+    const std::string d2 = "e" + std::to_string(i);
+    Status st = service.RegisterSource(
+        d1, MakeInMemorySource(d1, s.c.data, ecfg));
+    if (st.ok() && !s.c.data2.geoms.empty()) {
+      st = service.RegisterSource(d2,
+                                  MakeInMemorySource(d2, s.c.data2, ecfg));
+    }
+    if (!st.ok()) {
+      res.failing_seeds.push_back(s.seed);
+      if (res.first_detail.empty()) {
+        res.first_detail = "RegisterSource: " + st.ToString();
+      }
+      continue;
+    }
+    Request& r = s.req;
+    r.dataset = d1;
+    switch (s.c.query.cls) {
+      case QueryClass::kSelection:
+        r.kind = RequestKind::kSelection;
+        r.constraint = s.c.query.constraint;
+        break;
+      case QueryClass::kRange:
+        r.kind = RequestKind::kRange;
+        r.range = s.c.query.range;
+        break;
+      case QueryClass::kContains:
+        r.kind = RequestKind::kContains;
+        r.constraint = s.c.query.constraint;
+        break;
+      case QueryClass::kJoin:
+        r.kind = RequestKind::kJoin;
+        r.dataset2 = d2;
+        break;
+      case QueryClass::kDistance:
+        r.kind = RequestKind::kDistance;
+        // The wire request carries a point probe; degrade non-point
+        // probes to their bounding-box center and fix up the oracle's
+        // input to match what is actually asked.
+        r.point = s.c.query.probe.is_point()
+                      ? s.c.query.probe.point()
+                      : s.c.query.probe.Bounds().Center();
+        s.c.query.probe = Geometry(r.point);
+        r.radius = s.c.query.radius;
+        break;
+      case QueryClass::kDistanceJoin:
+        r.kind = RequestKind::kDistanceJoin;
+        r.dataset2 = d2;
+        r.radius = s.c.query.radius;
+        break;
+      case QueryClass::kKnn:
+        r.kind = RequestKind::kKnn;
+        r.point = s.c.query.probe.point();
+        r.k = s.c.query.k;
+        break;
+      case QueryClass::kAggregation:
+        break;  // excluded by `classes` above
+    }
+  }
+
+  // Fire all requests from `service_threads` caller threads.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> callers;
+  const int nthreads = std::max(1, opts.service_threads);
+  callers.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    callers.emplace_back([&slots, &next, &service] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= slots.size()) return;
+        slots[i].resp = service.Execute(slots[i].req);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  service.Shutdown();
+
+  for (Slot& s : slots) {
+    ++res.executed;
+    if (s.resp.status.code() == Status::Code::kOverloaded) {
+      ++res.overloaded;
+      continue;
+    }
+    std::string detail;
+    if (!s.resp.status.ok()) {
+      detail = "service error: " + s.resp.status.ToString();
+    } else {
+      Answer engine;
+      engine.ids = s.resp.ids;
+      engine.pairs = s.resp.pairs;
+      engine.neighbors = s.resp.neighbors;
+      detail = CompareAnswers(s.c, engine, OracleAnswer(s.c));
+    }
+    if (!detail.empty()) {
+      res.failing_seeds.push_back(s.seed);
+      if (res.first_detail.empty()) res.first_detail = detail;
+      log("SERVICE MISMATCH seed=" + std::to_string(s.seed) + " class=" +
+          QueryClassName(s.c.query.cls) + ": " + detail);
+    }
+  }
+  log("service mode: " + std::to_string(res.executed) + " requests, " +
+      std::to_string(res.overloaded) + " overloaded, " +
+      std::to_string(res.failing_seeds.size()) + " failures");
+  return res;
+}
+
+}  // namespace fuzz
+}  // namespace spade

@@ -1,0 +1,99 @@
+// The differential fuzz harness: run a FuzzCase through the full SPADE
+// engine and through the brute-force oracles, compare exactly, and when
+// they disagree shrink the case to a minimal repro for tests/corpus/.
+//
+// Invariants checked per case:
+//   * engine answer == oracle answer (exact id/pair/count equality;
+//     epsilon only on kNN distances)
+//   * with a failpoint schedule armed, the engine may fail with a typed
+//     error — but a success must still be exact ("fail or be right,
+//     never silently wrong")
+//   * metamorphic: the answer is invariant under doubling the canvas
+//     resolution, and a translated / scaled copy of the case still
+//     matches its oracle (exercising different canvas alignments)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.h"
+
+namespace spade {
+namespace fuzz {
+
+/// How to sabotage the engine answer before comparison — used to prove the
+/// harness detects and shrinks real bugs (tools/spade_fuzz --inject-bug).
+enum class InjectedBug {
+  kNone,
+  kDropLast,   ///< drop the last id / pair / neighbor of every answer
+  kOffByOne,   ///< increment the first id of every answer
+};
+
+/// \brief Per-run knobs of the differential harness.
+struct RunOptions {
+  bool metamorphic = true;    ///< run the metamorphic variants on success
+  std::string scratch_dir;    ///< where use_disk cases spill ("" = stay
+                              ///< in memory, ignoring config.use_disk)
+  InjectedBug inject_bug = InjectedBug::kNone;
+};
+
+/// \brief Verdict of one differential run.
+struct RunOutcome {
+  bool mismatch = false;      ///< engine and oracle disagreed
+  bool engine_fault = false;  ///< typed error tolerated (failpoints armed)
+  std::string detail;         ///< human-readable mismatch description
+
+  bool passed() const { return !mismatch; }
+};
+
+/// Execute `c` through engine and oracle and compare.
+RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts = {});
+
+/// Greedily minimize a failing case: drop dataset chunks, simplify the
+/// config, drop the failpoint schedule — keeping every simplification
+/// that still fails. Returns the smallest failing case found (the input
+/// itself if nothing smaller fails).
+FuzzCase ShrinkCase(const FuzzCase& c, const RunOptions& opts);
+
+/// \brief Configuration of the fuzz loop (tools/spade_fuzz, CI smoke).
+struct FuzzLoopOptions {
+  uint64_t seed = 1;          ///< master seed; case i uses SplitMix64 chain
+  size_t iterations = 100;
+  GenOptions gen;
+  RunOptions run;
+  std::string corpus_dir;     ///< write shrunk repros here ("" = don't)
+  bool shrink = true;         ///< minimize failures before reporting
+  bool stop_on_failure = true;
+  bool service_mode = false;  ///< drive SpadeService from many threads
+  int service_threads = 4;
+  std::function<void(const std::string&)> log;  ///< progress sink (may be {})
+};
+
+/// \brief Aggregate result of a fuzz loop.
+struct FuzzLoopResult {
+  size_t executed = 0;         ///< cases actually run
+  size_t faults = 0;           ///< tolerated failpoint-induced errors
+  size_t overloaded = 0;       ///< service admissions rejected (service mode)
+  std::vector<uint64_t> failing_seeds;
+  std::vector<std::string> corpus_paths;  ///< repro files written
+  std::string first_detail;    ///< mismatch description of the first failure
+
+  bool clean() const { return failing_seeds.empty(); }
+};
+
+/// The sequential fuzz loop: generate → run → (on failure) shrink → save.
+FuzzLoopResult FuzzLoop(const FuzzLoopOptions& opts);
+
+/// Derive the per-iteration case seed from the master seed. Exposed so
+/// `spade_fuzz --seed=N` replays exactly the case the loop would run.
+uint64_t CaseSeed(uint64_t master_seed, size_t iteration);
+
+/// The concurrent fuzz loop: register every case's datasets in ONE
+/// SpadeService, fire the requests from `service_threads` threads, then
+/// compare each response against its oracle. Exercises admission control,
+/// single-flight cell loads, and device arbitration under the sanitizers.
+FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts);
+
+}  // namespace fuzz
+}  // namespace spade

@@ -1,0 +1,134 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace spade {
+namespace fuzz {
+
+namespace {
+
+// Exact distance from a point to any geometry (0 inside polygons).
+double DistanceTo(const Geometry& g, const Vec2& p) {
+  return PointGeometryDistance(g, p);
+}
+
+// Every vertex of `g` inside the constraint (the containment criterion).
+bool AllVerticesInside(const Geometry& g, const MultiPolygon& constraint) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return PointInMultiPolygon(constraint, g.point());
+    case GeomType::kLine: {
+      for (const auto& v : g.line().points) {
+        if (!PointInMultiPolygon(constraint, v)) return false;
+      }
+      return !g.line().points.empty();
+    }
+    case GeomType::kPolygon: {
+      bool any = false;
+      for (const auto& part : g.polygon().parts) {
+        for (const auto& v : part.outer) {
+          if (!PointInMultiPolygon(constraint, v)) return false;
+          any = true;
+        }
+      }
+      return any;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<GeomId> OracleSelection(const SpatialDataset& data,
+                                    const MultiPolygon& constraint) {
+  std::vector<GeomId> ids;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    if (GeometryIntersectsPolygon(data.geoms[i], constraint)) {
+      ids.push_back(i);
+    }
+  }
+  return ids;
+}
+
+std::vector<GeomId> OracleRange(const SpatialDataset& data, const Box& range) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(range));
+  return OracleSelection(data, mp);
+}
+
+std::vector<GeomId> OracleContains(const SpatialDataset& data,
+                                   const MultiPolygon& constraint) {
+  std::vector<GeomId> ids;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    if (AllVerticesInside(data.geoms[i], constraint)) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<std::pair<GeomId, GeomId>> OracleJoin(
+    const SpatialDataset& polys, const SpatialDataset& other) {
+  std::vector<std::pair<GeomId, GeomId>> pairs;
+  for (uint32_t i = 0; i < polys.size(); ++i) {
+    const MultiPolygon& mp = polys.geoms[i].polygon();
+    for (uint32_t j = 0; j < other.size(); ++j) {
+      if (GeometryIntersectsPolygon(other.geoms[j], mp)) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<GeomId> OracleDistance(const SpatialDataset& points,
+                                   const Geometry& probe, double r) {
+  std::vector<GeomId> ids;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    if (DistanceTo(probe, points.geoms[i].point()) <= r) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<std::pair<GeomId, GeomId>> OracleDistanceJoin(
+    const SpatialDataset& left, const SpatialDataset& right_points,
+    double r) {
+  std::vector<std::pair<GeomId, GeomId>> pairs;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (uint32_t j = 0; j < right_points.size(); ++j) {
+      if (DistanceTo(left.geoms[i], right_points.geoms[j].point()) <= r) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<uint64_t> OracleAggregation(const SpatialDataset& data,
+                                        const SpatialDataset& constraints) {
+  std::vector<uint64_t> counts(constraints.size(), 0);
+  for (uint32_t i = 0; i < constraints.size(); ++i) {
+    const MultiPolygon& mp = constraints.geoms[i].polygon();
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      counts[i] += GeometryIntersectsPolygon(data.geoms[j], mp);
+    }
+  }
+  return counts;
+}
+
+std::vector<std::pair<GeomId, double>> OracleKnn(const SpatialDataset& points,
+                                                 const Vec2& p, size_t k) {
+  std::vector<std::pair<GeomId, double>> all;
+  all.reserve(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    all.emplace_back(i, p.DistanceTo(points.geoms[i].point()));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace fuzz
+}  // namespace spade

@@ -1,0 +1,59 @@
+// Brute-force CPU oracles for every query class the engine supports. Each
+// oracle is the textbook O(n) / O(n*m) nested loop over the exact
+// computational-geometry predicates of src/geom — no canvas, no grid, no
+// index — so an engine-vs-oracle difference always indicts the engine
+// pipeline (or the predicates themselves, which the geom unit tests pin).
+//
+// These are the reference implementations the differential fuzzer
+// (src/fuzz/fuzzer.h, tools/spade_fuzz) and the corpus regression test
+// compare against; the hand-rolled `expect` loops in tests/engine_test.cc
+// predate them and compute the same answers.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "storage/dataset.h"
+
+namespace spade {
+namespace fuzz {
+
+/// Ids of objects intersecting the polygonal constraint (sorted).
+std::vector<GeomId> OracleSelection(const SpatialDataset& data,
+                                    const MultiPolygon& constraint);
+
+/// Ids of objects intersecting the rectangle (sorted). Matches the
+/// engine's range fast path: exact geometry-vs-box intersection.
+std::vector<GeomId> OracleRange(const SpatialDataset& data, const Box& range);
+
+/// Ids passing the paper's vertex-containment criterion: every vertex of
+/// the object inside the constraint (== intersection for points). Exact
+/// for convex constraints, which is what the fuzzer generates.
+std::vector<GeomId> OracleContains(const SpatialDataset& data,
+                                   const MultiPolygon& constraint);
+
+/// (polygon id, object id) pairs of the spatial join, sorted.
+std::vector<std::pair<GeomId, GeomId>> OracleJoin(const SpatialDataset& polys,
+                                                  const SpatialDataset& other);
+
+/// Ids of points within distance r of the probe geometry (sorted).
+std::vector<GeomId> OracleDistance(const SpatialDataset& points,
+                                   const Geometry& probe, double r);
+
+/// Type-1 distance join: (left id, right point id) with distance <= r.
+std::vector<std::pair<GeomId, GeomId>> OracleDistanceJoin(
+    const SpatialDataset& left, const SpatialDataset& right_points, double r);
+
+/// Count of data objects intersecting each constraint polygon.
+std::vector<uint64_t> OracleAggregation(const SpatialDataset& data,
+                                        const SpatialDataset& constraints);
+
+/// The k nearest points to p as (id, distance), ascending distance; ties
+/// broken by id so the order is total.
+std::vector<std::pair<GeomId, double>> OracleKnn(const SpatialDataset& points,
+                                                 const Vec2& p, size_t k);
+
+}  // namespace fuzz
+}  // namespace spade

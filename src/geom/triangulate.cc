@@ -228,6 +228,8 @@ class EarClipper {
   bool BridgeIsClear(int outer_head, int outer_v, int hole_v) const {
     const Vec2 a = nodes_[outer_v].p;
     const Vec2 b = nodes_[hole_v].p;
+    // Against the outer loop (which already contains previously spliced
+    // holes), skipping the two edges incident to the outer endpoint.
     int cur = outer_head;
     do {
       const int nxt = nodes_[cur].next;
@@ -238,6 +240,19 @@ class EarClipper {
       }
       cur = nxt;
     } while (cur != outer_head);
+    // Against the hole's own ring: the nearest outer vertex can sit on the
+    // far side of the hole, in which case the candidate bridge would cut
+    // straight through it and the spliced loop would self-intersect.
+    cur = hole_v;
+    do {
+      const int nxt = nodes_[cur].next;
+      if (cur != hole_v && nxt != hole_v) {
+        if (SegmentsIntersect(a, b, nodes_[cur].p, nodes_[nxt].p)) {
+          return false;
+        }
+      }
+      cur = nxt;
+    } while (cur != hole_v);
     return true;
   }
 

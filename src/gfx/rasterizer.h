@@ -101,8 +101,8 @@ size_t RasterizePoint(const Viewport& vp, const Vec2& p, Emit&& emit) {
 template <typename Emit>
 size_t RasterizeSegmentConservative(const Viewport& vp, const Vec2& wa,
                                     const Vec2& wb, Emit&& emit) {
-  Vec2 a = vp.ToPixelF(wa);
-  Vec2 b = vp.ToPixelF(wb);
+  Vec2 a = vp.ToPixelFSnapped(wa);
+  Vec2 b = vp.ToPixelFSnapped(wb);
   if (!gfx_internal::ClipSegment(vp.width(), vp.height(), &a, &b)) return 0;
   if (a.x > b.x) std::swap(a, b);
 
@@ -190,14 +190,20 @@ template <typename Emit>
 size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
                          const Vec2& wc, bool conservative, Emit&& emit) {
   // Work in continuous pixel coordinates.
-  const Vec2 a = vp.ToPixelF(wa);
-  const Vec2 b = vp.ToPixelF(wb);
-  const Vec2 c = vp.ToPixelF(wc);
+  const Vec2 a = vp.ToPixelFSnapped(wa);
+  const Vec2 b = vp.ToPixelFSnapped(wb);
+  const Vec2 c = vp.ToPixelFSnapped(wc);
   Box bbox;
   bbox.Extend(a);
   bbox.Extend(b);
   bbox.Extend(c);
-  const int y0 = std::max(0, static_cast<int>(std::floor(bbox.min.y)));
+  int y0 = static_cast<int>(std::floor(bbox.min.y));
+  // A triangle starting exactly on a pixel-grid line also touches the
+  // closed square of the row below (conservative semantics); without this
+  // a triangle degenerate to that line — e.g. touching the viewport max
+  // edge in a single point — would emit nothing.
+  if (conservative && bbox.min.y == y0) --y0;
+  y0 = std::max(0, y0);
   const int y1 =
       std::min(vp.height() - 1, static_cast<int>(std::floor(bbox.max.y)));
   size_t count = 0;
@@ -210,6 +216,9 @@ size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
         continue;
       }
       px0 = static_cast<int>(std::floor(xmin));
+      // Same closed-square rule on x: an extent starting exactly on a
+      // pixel-grid line touches the column to its left too.
+      if (xmin == px0) --px0;
       px1 = static_cast<int>(std::floor(xmax));
     } else {
       if (!gfx_internal::TriangleBandXRange(a, b, c, y + 0.5, y + 0.5, &xmin,

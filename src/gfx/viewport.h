@@ -36,6 +36,20 @@ class Viewport {
     return {(p.x - world_.min.x) / sx_, (p.y - world_.min.y) / sy_};
   }
 
+  /// ToPixelF snapped so world-space boundary comparisons survive the
+  /// divide: a point lying exactly on the world box's edge must map onto
+  /// the pixel-space edge, but FP rounding in ToPixelF can push it an
+  /// epsilon outside [0,w]x[0,h] — and the rasterizers' clipping would
+  /// then drop a primitive that genuinely touches the viewport.
+  Vec2 ToPixelFSnapped(const Vec2& p) const {
+    Vec2 f = ToPixelF(p);
+    if (f.x < 0 && p.x >= world_.min.x) f.x = 0;
+    if (f.x > width_ && p.x <= world_.max.x) f.x = width_;
+    if (f.y < 0 && p.y >= world_.min.y) f.y = 0;
+    if (f.y > height_ && p.y <= world_.max.y) f.y = height_;
+    return f;
+  }
+
   /// Integer pixel containing a world point (may be out of bounds).
   std::pair<int, int> ToPixel(const Vec2& p) const {
     const Vec2 f = ToPixelF(p);

@@ -105,12 +105,22 @@ void SpadeServer::AcceptLoop() {
 }
 
 void SpadeServer::HandleConnection(int fd) {
+  // One request is one line; nothing legitimate comes close to 1 MiB.
+  // Without a cap, a peer that never sends '\n' grows `buffer` without
+  // bound — reject with a typed error and drop the connection instead.
+  constexpr size_t kMaxLineBytes = 1 << 20;
   std::string buffer;
   char chunk[4096];
   bool open = true;
   while (open) {
     const size_t nl = buffer.find('\n');
     if (nl == std::string::npos) {
+      if (buffer.size() > kMaxLineBytes) {
+        (void)WriteAll(fd, wire::FrameError(Status::InvalidArgument(
+                               "request line exceeds " +
+                               std::to_string(kMaxLineBytes) + " bytes")));
+        break;
+      }
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;

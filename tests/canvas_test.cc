@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "geom/predicates.h"
+#include "gfx/rasterizer.h"
 #include "test_util.h"
 
 namespace spade {
@@ -283,6 +284,79 @@ TEST_F(CanvasTest, PointCanvasRegistersEveryPoint) {
     }
     EXPECT_TRUE(found) << "point " << i;
   }
+}
+
+// --- Degenerate geometry -------------------------------------------------
+
+TEST_F(CanvasTest, ConservativeTriangleOnGridLineEmitsFragments) {
+  // A triangle collapsed onto a pixel-grid line must still touch the closed
+  // squares of BOTH adjacent rows (the fuzzer corpus case
+  // range_corner_touch pins the query-level symptom of missing this).
+  const Viewport vp(Box(0, 0, 1, 1), 8, 8);
+  size_t rows_hit[8] = {0};
+  const size_t n = RasterizeTriangle(
+      vp, {0.1, 0.5}, {0.3, 0.5}, {0.2, 0.5}, /*conservative=*/true,
+      [&](int x, int y) {
+        (void)x;
+        ASSERT_GE(y, 0);
+        ASSERT_LT(y, 8);
+        ++rows_hit[y];
+      });
+  EXPECT_GT(n, 0u);
+  EXPECT_GT(rows_hit[3], 0u);  // row below the line y=0.5 (pixel y=4.0)
+  EXPECT_GT(rows_hit[4], 0u);  // row above
+}
+
+TEST_F(CanvasTest, ConservativeTriangleTouchingViewportCornerEmits) {
+  // Only the single point (1,1) — the viewport's max corner — touches the
+  // view. Conservative rasterization must emit the corner pixel, not zero
+  // fragments (bbox.min lands exactly on the grid line at pixel 8).
+  const Viewport vp(Box(0, 0, 1, 1), 8, 8);
+  std::vector<std::pair<int, int>> frags;
+  RasterizeTriangle(vp, {1, 1}, {1.25, 1.0625}, {1.125, 1.25},
+                    /*conservative=*/true,
+                    [&](int x, int y) { frags.emplace_back(x, y); });
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], (std::pair<int, int>{7, 7}));
+}
+
+TEST_F(CanvasTest, DuplicateAndCollinearVerticesMatchOracle) {
+  // Redundant ring vertices (a duplicated corner, collinear midpoints) must
+  // not perturb the canvas: the raster answer still matches the oracle.
+  MultiPolygon mp;
+  Polygon p;
+  p.outer = {{1, 1}, {5, 1}, {9, 1}, {9, 1}, {9, 9}, {9, 9},
+             {5, 9}, {1, 9}, {1, 5}, {1, 1}};
+  mp.parts.push_back(p);
+  const Viewport vp(Box(0, 0, 10, 10), 16, 16);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  Rng rng(163);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    std::vector<GeomId> owners;
+    canvas.TestPoint(q, &owners);
+    EXPECT_EQ(!owners.empty(), PointInMultiPolygon(mp, q))
+        << "(" << q.x << "," << q.y << ")";
+  }
+}
+
+TEST_F(CanvasTest, ZeroAreaPolygonCanvasIsCrashSafe) {
+  // A zero-area sliver triangulates to nothing; building a canvas from it
+  // must not crash, and point tests must come back empty. (The engine
+  // detects the empty triangulation upstream and falls back to segment
+  // tests — see exec.h — so an empty canvas here is the correct contract.)
+  MultiPolygon mp;
+  Polygon sliver;
+  sliver.outer = {{0.4, 0.4}, {0.6, 0.4}, {0.4, 0.4}, {0.4, 0.4}};
+  mp.parts.push_back(sliver);
+  const Viewport vp(Box(0, 0, 1, 1), 16, 16);
+  Triangulation tri;
+  const Canvas canvas = BuildSinglePolygonCanvas(&device_, vp, mp, &tri);
+  EXPECT_TRUE(tri.triangles.empty());
+  std::vector<GeomId> owners;
+  canvas.TestPoint({0.5, 0.4}, &owners);
+  EXPECT_TRUE(owners.empty());
 }
 
 TEST_F(CanvasTest, CanvasCountsFragmentsAndPasses) {

@@ -1,0 +1,60 @@
+// Replays every minimized repro in tests/corpus/ through the differential
+// harness. Each file pins a bug the fuzzer (or a hand analysis) once
+// found; a failure here means a regression of an already-fixed issue.
+// Add new cases with: spade_fuzz --corpus-dir=tests/corpus (automatic on
+// mismatch) or by hand in the documented text format (docs/testing.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+#ifndef SPADE_CORPUS_DIR
+#error "SPADE_CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace spade {
+namespace fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(SPADE_CORPUS_DIR)) {
+    if (e.path().extension() == ".case") files.push_back(e.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, HasSeedCases) { EXPECT_GE(CorpusFiles().size(), 3u); }
+
+TEST(FuzzCorpus, EveryCaseReplaysClean) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    auto c = LoadCase(path);
+    ASSERT_TRUE(c.ok()) << c.status().message();
+    const RunOutcome out = RunCase(c.value());
+    EXPECT_TRUE(out.passed()) << out.detail;
+    EXPECT_FALSE(out.engine_fault) << "corpus cases must run fault-free";
+  }
+}
+
+TEST(FuzzCorpus, CasesAreInNormalForm) {
+  // Corpus files must round-trip byte-exactly so a regression diff is
+  // always a one-line `git diff`, never a formatting artifact.
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    auto c = LoadCase(path);
+    ASSERT_TRUE(c.ok()) << c.status().message();
+    auto reparsed = ParseCase(FormatCase(c.value()));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(FormatCase(reparsed.value()), FormatCase(c.value()));
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace spade

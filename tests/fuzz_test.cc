@@ -1,0 +1,185 @@
+// Self-tests of the differential fuzz harness (src/fuzz): deterministic
+// generation, corpus round-tripping, per-class engine-vs-oracle agreement,
+// and — most importantly — proof that the harness DETECTS and SHRINKS a
+// real bug (via the injected-bug hook, the same one spade_fuzz
+// --inject-bug uses).
+#include "fuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/case.h"
+
+namespace spade {
+namespace fuzz {
+namespace {
+
+TEST(FuzzCaseGen, SameSeedSameBytes) {
+  GenOptions gen;
+  for (uint64_t seed : {1ull, 7ull, 12345ull, 0xdeadbeefull}) {
+    const FuzzCase a = GenerateCase(seed, gen);
+    const FuzzCase b = GenerateCase(seed, gen);
+    EXPECT_EQ(FormatCase(a), FormatCase(b)) << "seed " << seed;
+  }
+}
+
+TEST(FuzzCaseGen, DifferentSeedsDiffer) {
+  GenOptions gen;
+  EXPECT_NE(FormatCase(GenerateCase(1, gen)), FormatCase(GenerateCase(2, gen)));
+}
+
+TEST(FuzzCaseGen, RespectsClassRestriction) {
+  GenOptions gen;
+  gen.classes = "knn";
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const FuzzCase c = GenerateCase(seed, gen);
+    EXPECT_EQ(c.query.cls, QueryClass::kKnn) << "seed " << seed;
+    EXPECT_GT(c.query.k, 0u);
+  }
+}
+
+TEST(FuzzCaseGen, QueryClassNamesRoundTrip) {
+  for (QueryClass cls :
+       {QueryClass::kSelection, QueryClass::kRange, QueryClass::kContains,
+        QueryClass::kJoin, QueryClass::kDistance, QueryClass::kDistanceJoin,
+        QueryClass::kAggregation, QueryClass::kKnn}) {
+    auto back = QueryClassFromName(QueryClassName(cls));
+    ASSERT_TRUE(back.ok()) << QueryClassName(cls);
+    EXPECT_EQ(back.value(), cls);
+  }
+  EXPECT_FALSE(QueryClassFromName("quantum-join").ok());
+}
+
+TEST(FuzzCaseFormat, ParseRoundTripIsByteExact) {
+  GenOptions gen;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const FuzzCase c = GenerateCase(seed, gen);
+    const std::string text = FormatCase(c);
+    auto parsed = ParseCase(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(FormatCase(parsed.value()), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzCaseFormat, RejectsGarbage) {
+  EXPECT_FALSE(ParseCase("not a case").ok());
+  EXPECT_FALSE(ParseCase("# spade-fuzz case v1\nclass warp\n").ok());
+}
+
+TEST(FuzzRun, EveryQueryClassAgreesWithOracle) {
+  // One generated case per class, engine vs oracle, metamorphic included.
+  GenOptions gen;
+  gen.max_objects = 120;  // keep the suite fast
+  for (const char* cls :
+       {"selection", "range", "contains", "join", "distance", "distance-join",
+        "aggregation", "knn"}) {
+    gen.classes = cls;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      const FuzzCase c = GenerateCase(seed, gen);
+      const RunOutcome out = RunCase(c);
+      EXPECT_TRUE(out.passed()) << cls << " seed " << seed << ": "
+                                << out.detail;
+    }
+  }
+}
+
+TEST(FuzzRun, CaseSeedIsReplayable) {
+  // The seed the loop reports for iteration i must regenerate that exact
+  // case — this is the --seed=N replay contract.
+  const uint64_t master = 99;
+  GenOptions gen;
+  for (size_t i = 0; i < 5; ++i) {
+    const uint64_t s = CaseSeed(master, i);
+    EXPECT_EQ(FormatCase(GenerateCase(s, gen)),
+              FormatCase(GenerateCase(CaseSeed(master, i), gen)));
+    if (i > 0) EXPECT_NE(s, CaseSeed(master, i - 1));
+  }
+}
+
+// Find the first generated selection case where sabotaging the answer is
+// visible (i.e. the true answer is non-empty).
+FuzzCase FirstDetectableCase() {
+  GenOptions gen;
+  gen.classes = "selection";
+  gen.max_objects = 80;
+  RunOptions bugged;
+  bugged.metamorphic = false;
+  bugged.inject_bug = InjectedBug::kDropLast;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const FuzzCase c = GenerateCase(seed, gen);
+    if (RunCase(c, bugged).mismatch) return c;
+  }
+  ADD_FAILURE() << "no seed in 1..60 exposes the injected bug";
+  return GenerateCase(1, gen);
+}
+
+TEST(FuzzShrink, InjectedBugIsDetectedShrunkAndReplayed) {
+  const FuzzCase c = FirstDetectableCase();
+
+  RunOptions bugged;
+  bugged.metamorphic = false;
+  bugged.inject_bug = InjectedBug::kDropLast;
+
+  // Shrink keeps the failure while strictly not growing the case.
+  const FuzzCase small = ShrinkCase(c, bugged);
+  EXPECT_TRUE(RunCase(small, bugged).mismatch);
+  EXPECT_LE(small.data.size(), c.data.size());
+  EXPECT_LE(small.data2.size(), c.data2.size());
+
+  // The minimized repro round-trips through the corpus format, still
+  // reproduces under the bug, and passes on the healthy engine.
+  const auto dir = std::filesystem::temp_directory_path() / "spade_fuzz_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "shrunk.case").string();
+  ASSERT_TRUE(SaveCase(small, path).ok());
+  auto loaded = LoadCase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(FormatCase(loaded.value()), FormatCase(small));
+  EXPECT_TRUE(RunCase(loaded.value(), bugged).mismatch);
+  EXPECT_TRUE(RunCase(loaded.value()).passed());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzLoopTest, ShortLoopIsClean) {
+  FuzzLoopOptions opts;
+  opts.seed = 424242;
+  opts.iterations = 20;
+  opts.gen.max_objects = 120;
+  const FuzzLoopResult r = FuzzLoop(opts);
+  EXPECT_TRUE(r.clean()) << r.first_detail;
+  EXPECT_EQ(r.executed, 20u);
+}
+
+TEST(FuzzLoopTest, LoopReportsInjectedBugWithReplayableSeed) {
+  FuzzLoopOptions opts;
+  opts.seed = 1;
+  opts.iterations = 60;
+  opts.gen.classes = "selection";
+  opts.gen.max_objects = 80;
+  opts.run.metamorphic = false;
+  opts.run.inject_bug = InjectedBug::kDropLast;
+  opts.shrink = false;
+  const FuzzLoopResult r = FuzzLoop(opts);
+  ASSERT_FALSE(r.clean());
+  // The reported seed replays the failure directly (the --seed=N contract).
+  const FuzzCase replay = GenerateCase(r.failing_seeds[0], opts.gen);
+  EXPECT_TRUE(RunCase(replay, opts.run).mismatch);
+  EXPECT_TRUE(RunCase(replay).passed());
+}
+
+TEST(FuzzServiceTest, ConcurrentLoopMatchesOracle) {
+  FuzzLoopOptions opts;
+  opts.seed = 7;
+  opts.iterations = 12;
+  opts.gen.max_objects = 80;
+  opts.service_mode = true;
+  opts.service_threads = 3;
+  const FuzzLoopResult r = ServiceFuzzLoop(opts);
+  EXPECT_TRUE(r.clean()) << r.first_detail;
+  EXPECT_GT(r.executed, 0u);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace spade

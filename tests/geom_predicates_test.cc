@@ -195,6 +195,89 @@ TEST(PredicateProperty, PointInPolygonIffDistanceZero) {
   }
 }
 
+// --- Degenerate geometry -------------------------------------------------
+// Zero-area polygons, duplicate consecutive vertices, and collinear ring
+// points show up in real data (and in the fuzzer's corpus); the predicates
+// must treat them as their well-defined limits, never crash or disagree.
+
+TEST(DegenerateGeometry, ZeroAreaSliverPolygon) {
+  // A "polygon" that folds back on itself: pure boundary, no interior.
+  Polygon sliver;
+  sliver.outer = {{0.4, 0.4}, {0.6, 0.4}, {0.4, 0.4}, {0.4, 0.4}};
+  MultiPolygon mp;
+  mp.parts.push_back(sliver);
+  EXPECT_EQ(mp.Area(), 0.0);
+
+  // The boundary still participates in ST_INTERSECTS.
+  MultiPolygon covering;
+  covering.parts.push_back(Polygon::FromBox(Box(0.25, 0.25, 0.75, 0.75)));
+  EXPECT_TRUE(GeometryIntersectsPolygon(Geometry(mp), covering));
+
+  MultiPolygon crossing;  // the sliver pokes through its left edge
+  crossing.parts.push_back(Polygon::FromBox(Box(0.5, 0.3, 0.9, 0.5)));
+  EXPECT_TRUE(GeometryIntersectsPolygon(Geometry(mp), crossing));
+
+  MultiPolygon disjoint;
+  disjoint.parts.push_back(Polygon::FromBox(Box(0.8, 0.8, 0.9, 0.9)));
+  EXPECT_FALSE(GeometryIntersectsPolygon(Geometry(mp), disjoint));
+
+  // Distance to a zero-area polygon degrades to segment distance.
+  EXPECT_DOUBLE_EQ(PointPolygonDistance(sliver, {0.5, 0.4}), 0.0);
+  EXPECT_DOUBLE_EQ(PointPolygonDistance(sliver, {0.5, 0.5}),
+                   PointSegmentDistance({0.5, 0.5}, {0.4, 0.4}, {0.6, 0.4}));
+}
+
+TEST(DegenerateGeometry, DuplicateConsecutiveVerticesPreserveContainment) {
+  Polygon clean;
+  clean.outer = {{1, 1}, {9, 1}, {9, 9}, {1, 9}};
+  Polygon dup;
+  dup.outer = {{1, 1}, {9, 1}, {9, 1}, {9, 9}, {9, 9}, {1, 9}, {1, 1}};
+  EXPECT_DOUBLE_EQ(clean.Area(), dup.Area());
+  Rng rng(211);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_EQ(PointInPolygon(clean, p), PointInPolygon(dup, p))
+        << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(DegenerateGeometry, CollinearRingVerticesPreserveContainment) {
+  Polygon clean;
+  clean.outer = {{1, 1}, {9, 1}, {9, 9}, {1, 9}};
+  Polygon collinear;  // every edge carries a redundant midpoint
+  collinear.outer = {{1, 1}, {5, 1}, {9, 1}, {9, 5}, {9, 9},
+                     {5, 9}, {1, 9}, {1, 5}};
+  EXPECT_DOUBLE_EQ(clean.Area(), collinear.Area());
+  Rng rng(223);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_EQ(PointInPolygon(clean, p), PointInPolygon(collinear, p))
+        << "(" << p.x << "," << p.y << ")";
+  }
+  // Boundary points on the inserted vertices count as inside.
+  EXPECT_TRUE(PointInPolygon(collinear, {5, 1}));
+  EXPECT_TRUE(PointInPolygon(collinear, {9, 5}));
+}
+
+TEST(DegenerateGeometry, ZeroLengthSegment) {
+  // A zero-length segment behaves like its point.
+  EXPECT_TRUE(SegmentsIntersect({1, 1}, {1, 1}, {0, 0}, {2, 2}));   // on
+  EXPECT_FALSE(SegmentsIntersect({1, 0}, {1, 0}, {0, 0}, {2, 2}));  // off
+  EXPECT_TRUE(SegmentsIntersect({1, 1}, {1, 1}, {1, 1}, {1, 1}));   // both
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {0, 0}, {1, 1}, {1, 1}));
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {0, 0}, {3, 4}, {3, 4}),
+                   5.0);
+}
+
+TEST(DegenerateGeometry, TwoVertexRingIsEmpty) {
+  // Fewer than 3 vertices: no interior anywhere, no crash.
+  Polygon p;
+  p.outer = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(PointInPolygon(p, {0.5, 0.5}));
+  EXPECT_FALSE(PointInPolygon(p, {0, 0}));
+}
+
 // Property: triangle-triangle intersection is symmetric.
 TEST(PredicateProperty, TriangleIntersectSymmetric) {
   Rng rng(11);

@@ -62,6 +62,30 @@ TEST(Triangulate, PolygonWithHole) {
   }
 }
 
+TEST(Triangulate, HoleBridgeMayNotCrossTheHole) {
+  // Star-with-hole shape shrunk from fuzzer seed 20260826
+  // (tests/corpus/selection_hole_bridge.case): the outer vertex nearest to
+  // the hole's leftmost vertex lies diagonally ACROSS the hole, so a
+  // visibility test that ignores the hole's own edges splices a bridge
+  // straight through it and the triangulation covers the hole.
+  Polygon p;
+  p.outer = {{0.0, 8.5},  {-0.9, 4.2}, {1.3, 0.5}, {5.2, -0.3}, {7.8, 2.0},
+             {13.0, 1.4}, {10.2, 5.5}, {8.6, 7.2}, {7.4, 11.2}, {2.9, 12.1}};
+  p.holes.push_back({{7.0, 3.9}, {5.6, 3.9}, {4.9, 5.1}, {5.6, 6.3},
+                     {7.0, 6.3}, {7.7, 5.1}});
+  const Triangulation tri = Triangulate(p);
+  EXPECT_NEAR(TotalArea(tri.triangles), p.Area(), 1e-9);
+  const Vec2 in_hole{5.7, 5.0};
+  ASSERT_FALSE(PointInPolygon(p, in_hole));
+  for (const auto& t : tri.triangles) {
+    EXPECT_FALSE(PointInTriangle(t.a, t.b, t.c, in_hole))
+        << "triangle covers the hole";
+    const Vec2 c = (t.a + t.b + t.c) / 3.0;
+    EXPECT_TRUE(PointInPolygon(p, c))
+        << "triangle centroid (" << c.x << "," << c.y << ") escaped polygon";
+  }
+}
+
 TEST(Triangulate, EdgeTriangleMappingCoversOuterEdges) {
   Rng rng(17);
   for (int trial = 0; trial < 20; ++trial) {

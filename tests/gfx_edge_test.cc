@@ -145,6 +145,32 @@ TEST(RasterizerEdge, AnisotropicPixels) {
   }
 }
 
+TEST(RasterizerEdge, SegmentOnWorldMaxEdgeSurvivesFpRounding) {
+  // A viewport whose world box has awkward bounds: (max - min) / sy can
+  // round so that ToPixelF(max edge) lands an epsilon OUTSIDE pixel
+  // space, and a segment lying exactly along that edge would be clipped
+  // away wholesale (fuzzer corpus case range_edge_snap pins the
+  // query-level symptom). ToPixelFSnapped must keep it.
+  const double y_min = 0.86223067079701665 * 3.0;
+  const double y_max = 3.0;
+  const Viewport vp(Box(0.2, y_min, 1.4, y_max), 64, 22);
+  size_t frags = 0;
+  RasterizeSegmentConservative(vp, {0.5, y_max}, {0.9, y_max},
+                               [&](int, int y) {
+                                 EXPECT_EQ(y, 21);
+                                 ++frags;
+                               });
+  EXPECT_GT(frags, 0u);
+  // Same on the min edge.
+  frags = 0;
+  RasterizeSegmentConservative(vp, {0.5, y_min}, {0.9, y_min},
+                               [&](int, int y) {
+                                 EXPECT_EQ(y, 0);
+                                 ++frags;
+                               });
+  EXPECT_GT(frags, 0u);
+}
+
 TEST(RasterizerEdge, DefaultModeCenterOnEdge) {
   // Pixel center exactly on the triangle edge counts as inside (closed
   // semantics), matching PointInTriangle.

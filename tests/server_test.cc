@@ -6,6 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -172,6 +179,151 @@ TEST_F(ServerTest, PingAndExecuteLineInProcess) {
   auto r = server_->ExecuteLine("range b 0 0 1 1");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r.value().rfind("ids ", 0), 0u);
+}
+
+// --- Framing edge cases (raw socket, no SpadeClient conveniences) --------
+
+// A minimal raw client for poking at the framing layer directly.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Read one framed response: "<header>\n<body>\n" -> {header, body}.
+  std::pair<std::string, std::string> ReadFrame() {
+    const std::string header = ReadUntilNewline();
+    // Header: "ok <n>" or "err <token> <n>".
+    const size_t sp = header.rfind(' ');
+    const size_t n = static_cast<size_t>(std::stoul(header.substr(sp + 1)));
+    std::string body = ReadExact(n + 1);  // body + trailing '\n'
+    body.pop_back();
+    return {header, body};
+  }
+
+  /// True when the server dropped the connection: clean EOF, or a reset
+  /// (closing with unread bytes in the kernel buffer RSTs the peer).
+  bool AtEof() {
+    char c;
+    const ssize_t n = ::recv(fd_, &c, 1, 0);
+    if (n == 1) pushback_.push_back(c);
+    return n <= 0;
+  }
+
+ private:
+  std::string ReadUntilNewline() {
+    std::string out;
+    char c;
+    for (;;) {
+      if (!pushback_.empty()) {
+        c = pushback_.front();
+        pushback_.erase(pushback_.begin());
+      } else {
+        const ssize_t n = ::recv(fd_, &c, 1, 0);
+        if (n <= 0) {
+          ADD_FAILURE() << "connection closed mid-header";
+          return out;
+        }
+      }
+      if (c == '\n') return out;
+      out.push_back(c);
+    }
+  }
+
+  std::string ReadExact(size_t n) {
+    std::string out;
+    while (out.size() < n) {
+      if (!pushback_.empty()) {
+        out.push_back(pushback_.front());
+        pushback_.erase(pushback_.begin());
+        continue;
+      }
+      char buf[4096];
+      const ssize_t got =
+          ::recv(fd_, buf, std::min(sizeof(buf), n - out.size()), 0);
+      if (got <= 0) {
+        ADD_FAILURE() << "connection closed mid-body";
+        return out;
+      }
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::vector<char> pushback_;
+};
+
+TEST_F(ServerTest, PartialWritesMidFrameStillParse) {
+  // A request split across many TCP segments must reassemble: the server
+  // may see any prefix of the line per recv().
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  for (const char* piece : {"pi", "n", "g", "\n"}) {
+    conn.Send(piece);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto [header, body] = conn.ReadFrame();
+  EXPECT_EQ(header, "ok 4");
+  EXPECT_EQ(body, "pong");
+
+  // Two requests in ONE segment, the second cut mid-word; the remainder
+  // arrives later. Both must answer, in order.
+  conn.Send("ping\nhel");
+  auto [h1, b1] = conn.ReadFrame();
+  EXPECT_EQ(b1, "pong");
+  conn.Send("p\n");
+  auto [h2, b2] = conn.ReadFrame();
+  EXPECT_EQ(h2.rfind("ok ", 0), 0u);
+  EXPECT_NE(b2.find("queries"), std::string::npos);
+}
+
+TEST_F(ServerTest, OversizedRequestLineIsRejectedAndDropped) {
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  // 2 MiB with no newline: the server must answer with a typed error and
+  // hang up rather than buffer indefinitely.
+  const std::string blob(2 << 20, 'a');
+  conn.Send(blob);
+  auto [header, body] = conn.ReadFrame();
+  EXPECT_EQ(header.rfind("err invalid ", 0), 0u) << header;
+  EXPECT_NE(body.find("exceeds"), std::string::npos);
+  EXPECT_TRUE(conn.AtEof());
+}
+
+TEST_F(ServerTest, EmptyAndCommentLinesProduceNoFrames) {
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  // Blank lines, a bare CR, and comments are consumed silently; the next
+  // real request gets the FIRST frame on the wire.
+  conn.Send("\n\r\n# a comment\n\nping\n");
+  auto [header, body] = conn.ReadFrame();
+  EXPECT_EQ(header, "ok 4");
+  EXPECT_EQ(body, "pong");
+  conn.Send("quit\n");
+  auto [h2, b2] = conn.ReadFrame();
+  EXPECT_EQ(b2, "bye");
+  EXPECT_TRUE(conn.AtEof());
 }
 
 TEST(WireProtocol, StatusCodesRoundTrip) {

@@ -1,0 +1,170 @@
+// spade_fuzz — deterministic differential fuzzer for the SPADE engine.
+//
+// Generates random (dataset, query, config[, failpoint schedule]) cases
+// from a seed, executes them through the full engine and through exact
+// brute-force oracles, and fails loudly on any disagreement. Failing cases
+// are shrunk to a minimal repro and written to the corpus directory.
+//
+//   spade_fuzz --iterations=10000 --seed=7           # fuzz run
+//   spade_fuzz --seed=123456 --iterations=1          # exact replay
+//   spade_fuzz --replay=tests/corpus/foo.case        # corpus replay
+//   spade_fuzz --service --threads=8                 # concurrent mode
+//   spade_fuzz --inject-bug=drop-last                # harness self-test
+//
+// Exit status: 0 clean, 1 mismatch found, 2 usage / setup error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+using spade::fuzz::FuzzLoop;
+using spade::fuzz::FuzzLoopOptions;
+using spade::fuzz::FuzzLoopResult;
+using spade::fuzz::InjectedBug;
+using spade::fuzz::LoadCase;
+using spade::fuzz::RunCase;
+using spade::fuzz::RunOutcome;
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spade_fuzz [options]\n"
+               "  --seed=N           master seed (default 1)\n"
+               "  --iterations=N     cases to run (default 1000)\n"
+               "  --classes=a,b      restrict query classes (selection, "
+               "range,\n"
+               "                     contains, join, distance, distance-join,"
+               "\n"
+               "                     aggregation, knn)\n"
+               "  --max-objects=N    primary dataset size cap (default 600)\n"
+               "  --failpoints       arm a random fault schedule on ~1/6 "
+               "cases\n"
+               "  --service          drive SpadeService from many threads\n"
+               "  --threads=N        caller threads in --service mode "
+               "(default 4)\n"
+               "  --corpus-dir=DIR   write shrunk repros here\n"
+               "  --scratch-dir=DIR  spill dir for disk-backed cases\n"
+               "  --replay=FILE      run one corpus case and exit\n"
+               "  --inject-bug=KIND  sabotage answers (drop-last, off-by-one)"
+               "\n"
+               "  --no-shrink        report failures unminimized\n"
+               "  --no-metamorphic   skip metamorphic variants\n"
+               "  --keep-going       continue past the first failure\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzLoopOptions opts;
+  opts.iterations = 1000;
+  std::string replay_path;
+  bool own_scratch = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iterations", &v)) {
+      opts.iterations = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--classes", &v)) {
+      opts.gen.classes = v;
+    } else if (ParseFlag(argv[i], "--max-objects", &v)) {
+      opts.gen.max_objects = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--failpoints", &v)) {
+      opts.gen.with_failpoints = true;
+    } else if (ParseFlag(argv[i], "--service", &v)) {
+      opts.service_mode = true;
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      opts.service_threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--corpus-dir", &v)) {
+      opts.corpus_dir = v;
+    } else if (ParseFlag(argv[i], "--scratch-dir", &v)) {
+      opts.run.scratch_dir = v;
+      own_scratch = false;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      replay_path = v;
+    } else if (ParseFlag(argv[i], "--inject-bug", &v)) {
+      if (v == "drop-last") {
+        opts.run.inject_bug = InjectedBug::kDropLast;
+      } else if (v == "off-by-one") {
+        opts.run.inject_bug = InjectedBug::kOffByOne;
+      } else {
+        std::fprintf(stderr, "unknown --inject-bug kind '%s'\n", v.c_str());
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "--no-shrink", &v)) {
+      opts.shrink = false;
+    } else if (ParseFlag(argv[i], "--no-metamorphic", &v)) {
+      opts.run.metamorphic = false;
+    } else if (ParseFlag(argv[i], "--keep-going", &v)) {
+      opts.stop_on_failure = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  if (own_scratch) {
+    std::error_code ec;
+    const auto dir = std::filesystem::temp_directory_path(ec) /
+                     "spade_fuzz_scratch";
+    if (!ec) {
+      std::filesystem::create_directories(dir, ec);
+      if (!ec) opts.run.scratch_dir = dir.string();
+    }
+  }
+  opts.log = [](const std::string& m) {
+    std::fprintf(stderr, "[spade_fuzz] %s\n", m.c_str());
+  };
+
+  if (!replay_path.empty()) {
+    auto c = LoadCase(replay_path);
+    if (!c.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", replay_path.c_str(),
+                   c.status().ToString().c_str());
+      return 2;
+    }
+    const RunOutcome out = RunCase(c.value(), opts.run);
+    if (out.mismatch) {
+      std::fprintf(stderr, "MISMATCH replaying %s: %s\n", replay_path.c_str(),
+                   out.detail.c_str());
+      return 1;
+    }
+    std::printf("replay ok: %s%s\n", replay_path.c_str(),
+                out.engine_fault ? " (tolerated injected fault)" : "");
+    return 0;
+  }
+
+  const FuzzLoopResult res = FuzzLoop(opts);
+  std::printf(
+      "spade_fuzz: %zu cases (seed=%llu), %zu tolerated faults, "
+      "%zu overloaded, %zu failures\n",
+      res.executed, static_cast<unsigned long long>(opts.seed), res.faults,
+      res.overloaded, res.failing_seeds.size());
+  if (!res.clean()) {
+    std::fprintf(stderr, "first failing seed: %llu\n  %s\n",
+                 static_cast<unsigned long long>(res.failing_seeds.front()),
+                 res.first_detail.c_str());
+    for (const auto& p : res.corpus_paths) {
+      std::fprintf(stderr, "repro: %s\n", p.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
