@@ -1,0 +1,93 @@
+// Profiling overhead: the same range-selection workload run with and
+// without a QueryProfile attached (ProfileScope), plus the profiles-off
+// tracer-enabled case for reference. The acceptance bar is that the
+// *disabled* path (no profile attached — the default CLI/service hot
+// path when --no-profiles is set) stays within noise of the PR 3
+// baseline: a detached profile costs one thread-local pointer load per
+// span site.
+//
+//   $ ./build/bench/bench_explain --json=BENCH_explain.json
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/spider.h"
+#include "obs/profile.h"
+
+namespace spade {
+namespace {
+
+/// Evenly spaced query windows covering ~4% of the unit square each.
+std::vector<Box> QueryWindows(size_t n) {
+  std::vector<Box> windows;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = 0.05 + 0.8 * (static_cast<double>(i % 7) / 7.0);
+    const double y = 0.05 + 0.8 * (static_cast<double>(i % 5) / 5.0);
+    windows.push_back(Box{{x, y}, {x + 0.2, y + 0.2}});
+  }
+  return windows;
+}
+
+void RunVariant(const std::string& key, bool attach_profile,
+                SpadeEngine& engine, CellSource& src,
+                const std::vector<Box>& windows) {
+  std::vector<double> latencies;
+  int64_t fragments = 0;
+  double total = 0;
+  for (const Box& window : windows) {
+    obs::QueryProfile profile;
+    const double s = bench::TimeIt([&] {
+      if (attach_profile) {
+        obs::ProfileScope attach(&profile);
+        auto r = engine.RangeSelection(src, window);
+        if (r.ok()) fragments += r.value().stats.fragments;
+      } else {
+        auto r = engine.RangeSelection(src, window);
+        if (r.ok()) fragments += r.value().stats.fragments;
+      }
+    });
+    latencies.push_back(s);
+    total += s;
+  }
+  bench::Records().push_back(
+      bench::MakeRecord(key, latencies, total, fragments));
+  std::printf("  %-24s p50=%ss p95=%ss mean=%ss\n", key.c_str(),
+              bench::Fmt(bench::PercentileOf(latencies, 0.50), 6).c_str(),
+              bench::Fmt(bench::PercentileOf(latencies, 0.95), 6).c_str(),
+              bench::Fmt(total / latencies.size(), 6).c_str());
+}
+
+}  // namespace
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  using namespace spade;
+  bench::ParseArgs(argc, argv);
+
+  const size_t n = bench::Scaled(500000);
+  bench::PrintHeader("EXPLAIN ANALYZE overhead: range selection over " +
+                     std::to_string(n) + " uniform points");
+  SpadeEngine engine(bench::BenchConfig());
+  SpatialDataset data = GenerateUniformPoints(n, /*seed=*/42);
+  auto src = MakeInMemorySource(data.name, data, engine.config());
+  (void)engine.WarmIndexes(*src, /*need_layers=*/false);
+
+  const auto windows = QueryWindows(64);
+
+  // Warm the cell cache so both variants measure the same steady state.
+  for (size_t i = 0; i < 8; ++i) {
+    (void)engine.RangeSelection(*src, windows[i % windows.size()]);
+  }
+
+  RunVariant("explain_profile_off", /*attach_profile=*/false, engine, *src,
+             windows);
+  RunVariant("explain_profile_on", /*attach_profile=*/true, engine, *src,
+             windows);
+  // Interleaved second pass of the disabled path guards against drift
+  // (cache warming, frequency scaling) being misread as profile cost.
+  RunVariant("explain_profile_off_rerun", /*attach_profile=*/false, engine,
+             *src, windows);
+
+  bench::WriteJsonIfRequested();
+  return 0;
+}

@@ -1,11 +1,14 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "datagen/realdata.h"
 #include "datagen/spider.h"
@@ -41,6 +44,11 @@ constexpr const char* kHelp = R"(commands:
                                to export a Chrome/Perfetto trace of the run)
   register <name>              store dataset as a SQL (id, wkt) table
   sql <statement>              run SQL against the catalog
+  explain [--json] <query>     EXPLAIN ANALYZE: run the query, print its
+                               plan profile (per-stage calls, wall time,
+                               pass/fragment counts) instead of the result
+  slowlog [json|clear]         slow-query log (worst queries + profiles)
+  slowlog threshold <seconds>  always capture queries slower than this
   stats                        breakdown of the last query
   metrics                      Prometheus-format metrics snapshot
   retry <attempts> [base_ms]   I/O retry policy for disk-backed datasets
@@ -145,12 +153,36 @@ Result<std::string> CliSession::AddDataset(const std::string& name,
 }
 
 Result<std::string> CliSession::Execute(const std::string& line) {
-  const auto words = Words(line);
+  // `explain [--json] <query>` wraps a query command: the query runs as
+  // usual (stats, histograms, slow-query capture), but the printed result
+  // is the plan profile instead of the query output.
+  std::string effective = line;
+  bool explain = false;
+  bool explain_json = false;
+  {
+    const auto head = Words(effective);
+    if (!head.empty() && head[0] == "explain") {
+      size_t skip = 1;
+      if (head.size() > 1 && head[1] == "--json") {
+        explain_json = true;
+        skip = 2;
+      }
+      effective = Rest(effective, skip);
+      explain = true;
+      const auto inner = Words(effective);
+      if (inner.empty() || !IsQueryCommand(inner[0]) || inner[0] == "sql") {
+        return Status::InvalidArgument(
+            "usage: explain [--json] <query command> "
+            "(select/contains/range/join/distance/djoin/agg/knn)");
+      }
+    }
+  }
+
+  const auto words = Words(effective);
   const bool is_query = !words.empty() && IsQueryCommand(words[0]);
 
   // Query commands accept --trace-out=<file>.json anywhere on the line:
   // spans from this one command are recorded and exported on completion.
-  std::string effective = line;
   std::string trace_out;
   if (is_query) {
     const std::string kFlag = "--trace-out=";
@@ -163,7 +195,29 @@ Result<std::string> CliSession::Execute(const std::string& line) {
         return Status::InvalidArgument("usage: --trace-out=<file>.json");
       }
       effective.erase(pos, end - pos);
+      // Fail before running the query, not after: a typo'd path should
+      // cost nothing and exit with a typed I/O error.
+      std::ofstream probe(trace_out, std::ios::app);
+      if (!probe) {
+        return Status::IOError("cannot write trace output '" + trace_out +
+                               "' (check the directory exists and is "
+                               "writable)");
+      }
     }
+  }
+
+  // Plan-profile capture for every engine query command (SQL has no
+  // engine spans). Near-zero overhead: spans already exist; the profile
+  // adds a few tree-node updates per span, none per fragment.
+  std::unique_ptr<obs::QueryProfile> profile;
+  if (is_query && words[0] != "sql") {
+    profile = std::make_unique<obs::QueryProfile>();
+    std::string query = effective;
+    while (!query.empty() && std::isspace(static_cast<unsigned char>(
+                                 query.back()))) {
+      query.pop_back();
+    }
+    profile->query = query;
   }
 
   obs::Tracer& tracer = obs::Tracer::Global();
@@ -173,7 +227,14 @@ Result<std::string> CliSession::Execute(const std::string& line) {
     tracer.SetEnabled(true);
   }
   Stopwatch sw;
-  auto r = ExecuteCommand(effective);
+  auto r = [&]() -> Result<std::string> {
+    if (profile != nullptr) {
+      obs::ProfileScope attach(profile.get());
+      return ExecuteCommand(effective);
+    }
+    return ExecuteCommand(effective);
+  }();
+  const double elapsed = sw.ElapsedSeconds();
   if (tracing) {
     tracer.SetEnabled(false);
     const Status wrote = tracer.WriteChromeJson(trace_out);
@@ -187,8 +248,21 @@ Result<std::string> CliSession::Execute(const std::string& line) {
     // A direct shell call never waits in an admission queue; recording the
     // zero keeps the stats output shape identical to the service's.
     queue_wait_hist_.Record(0.0);
-    latency_hist_.Record(sw.ElapsedSeconds());
+    latency_hist_.Record(elapsed);
     if (words[0] != "sql") obs::PublishQueryStats(last_stats_);
+  }
+  if (profile != nullptr) {
+    profile->stats = last_stats_;
+    profile->total_seconds = elapsed;
+    if (r.ok()) {
+      obs::SlowQueryLog::Global().Record("", profile->query, elapsed,
+                                         /*queue_wait_seconds=*/0.0,
+                                         profile.get());
+    }
+    last_profile_ = std::move(profile);
+    if (explain && r.ok()) {
+      return explain_json ? last_profile_->ToJson() : last_profile_->ToText();
+    }
   }
   return r;
 }
@@ -464,7 +538,30 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
   }
 
   if (cmd == "metrics") {
+    obs::UpdateProcessMetrics();
     return obs::MetricsRegistry::Global().PrometheusText();
+  }
+
+  if (cmd == "slowlog") {
+    obs::SlowQueryLog& log = obs::SlowQueryLog::Global();
+    if (words.size() == 1) return log.ToText();
+    if (words.size() == 2 && words[1] == "json") return log.ToJson();
+    if (words.size() == 2 && words[1] == "clear") {
+      log.Clear();
+      return std::string("slowlog cleared");
+    }
+    if (words.size() == 3 && words[1] == "threshold") {
+      SPADE_ASSIGN_OR_RETURN(double seconds, ToDouble(words[2]));
+      if (seconds < 0) {
+        return Status::InvalidArgument("threshold must be >= 0");
+      }
+      log.SetThreshold(seconds);
+      std::ostringstream os;
+      os << "slowlog threshold set to " << seconds << "s";
+      return os.str();
+    }
+    return Status::InvalidArgument(
+        "usage: slowlog [json|clear|threshold <seconds>]");
   }
 
   if (cmd == "retry") {

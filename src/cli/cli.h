@@ -10,6 +10,7 @@
 
 #include "common/latency_histogram.h"
 #include "engine/spade.h"
+#include "obs/profile.h"
 
 namespace spade {
 
@@ -24,6 +25,11 @@ class CliSession {
 
   /// Stats of the last executed query (zeroed when none ran yet).
   const QueryStats& last_stats() const { return last_stats_; }
+
+  /// Plan profile of the last executed query command (nullptr before the
+  /// first query). `explain [--json] <query>` renders this tree; plain
+  /// queries collect it too, feeding the slow-query log.
+  const obs::QueryProfile* last_profile() const { return last_profile_.get(); }
 
   /// End-to-end latency of every query command run in this session; the
   /// same histogram type the service layer uses, so `stats` prints the
@@ -52,6 +58,7 @@ class CliSession {
   SpadeEngine engine_;
   std::map<std::string, NamedSource> sources_;
   QueryStats last_stats_;
+  std::unique_ptr<obs::QueryProfile> last_profile_;
   RetryPolicy retry_policy_;  ///< applied to every disk-backed source
   LatencyHistogram latency_hist_;
   LatencyHistogram queue_wait_hist_;  ///< all zero for direct execution

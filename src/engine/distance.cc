@@ -93,8 +93,10 @@ struct EngineOps {
         max_local = std::max(max_local, li);
       }
       CanvasBuilder builder(&eng->device_, vp);
-      const Canvas canvas =
-          builder.BuildDistanceCanvasGeometries(lids, lgeoms, lradii);
+      const Canvas canvas = [&] {
+        SPADE_TRACE_SPAN("engine.constraint_prepare");
+        return builder.BuildDistanceCanvasGeometries(lids, lgeoms, lradii);
+      }();
       stats->gpu_seconds += canvas_sw.ElapsedSeconds();
       SPADE_ASSIGN_OR_RETURN(
           DeviceAllocation canvas_mem,
@@ -110,6 +112,9 @@ struct EngineOps {
         SPADE_ASSIGN_OR_RETURN(
             std::shared_ptr<const PreparedCell> prep,
             eng->preparer_.Get(right, dc, /*need_layers=*/false, stats));
+        SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
+        pass_span.AddArg("cell", static_cast<int64_t>(dc));
+        pass_span.AddArg("objects", static_cast<int64_t>(prep->size()));
         SPADE_ASSIGN_OR_RETURN(
             DeviceAllocation cell_mem,
             DeviceAllocation::Make(&eng->device_,
@@ -156,9 +161,13 @@ Result<SelectionResult> SpadeEngine::DistanceSelection(
         result.ids.push_back(right_id);
       }));
 
-  std::sort(result.ids.begin(), result.ids.end());
-  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
-                   result.ids.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.ids.begin(), result.ids.end());
+    result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                     result.ids.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.ids.size()));
+  }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   return result;
@@ -192,7 +201,11 @@ Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
                                   swap ? left_id : right_id);
       }));
 
-  std::sort(result.pairs.begin(), result.pairs.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.pairs.begin(), result.pairs.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.pairs.size()));
+  }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   return result;
@@ -222,7 +235,11 @@ Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
         result.pairs.emplace_back(left_id, right_id);
       }));
 
-  std::sort(result.pairs.begin(), result.pairs.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.pairs.begin(), result.pairs.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.pairs.size()));
+  }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   return result;

@@ -251,9 +251,13 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
   }
 
   Stopwatch cpu_sw;
-  std::sort(result.pairs.begin(), result.pairs.end());
-  result.pairs.erase(std::unique(result.pairs.begin(), result.pairs.end()),
-                     result.pairs.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.pairs.begin(), result.pairs.end());
+    result.pairs.erase(std::unique(result.pairs.begin(), result.pairs.end()),
+                       result.pairs.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.pairs.size()));
+  }
   stats.cpu_seconds += cpu_sw.ElapsedSeconds();
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;

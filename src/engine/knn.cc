@@ -189,9 +189,13 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
       matches.emplace_back(cd->ids[i], probe.DistanceTo(q));
     }
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  if (matches.size() > k) matches.resize(k);
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(matches.begin(), matches.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (matches.size() > k) matches.resize(k);
+    rb_span.AddArg("results", static_cast<int64_t>(matches.size()));
+  }
   result.neighbors = std::move(matches);
   stats.cpu_seconds += cpu_sw.ElapsedSeconds();
   stats.render_passes = device_.render_passes() - base_passes;

@@ -153,6 +153,21 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
     CellSource& source, size_t cell, bool need_layers, QueryStats* stats) {
   SPADE_TRACE_SPAN_VAR(span, "engine.cell_prepare");
   span.AddArg("cell", static_cast<int64_t>(cell));
+  const int64_t base_bytes = stats != nullptr ? stats->bytes_transferred : 0;
+  const int64_t base_retries = stats != nullptr ? stats->retries : 0;
+  bool cache_hit = false;
+  auto result = GetImpl(source, cell, need_layers, stats, &cache_hit);
+  span.AddArg("cache_hit", cache_hit ? 1 : 0);
+  if (stats != nullptr) {
+    span.AddArg("bytes", stats->bytes_transferred - base_bytes);
+    span.AddArg("retries", stats->retries - base_retries);
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const PreparedCell>> CellPreparer::GetImpl(
+    CellSource& source, size_t cell, bool need_layers, QueryStats* stats,
+    bool* cache_hit) {
   const Key key = std::make_pair(source.uid(), cell);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -163,6 +178,7 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
       it->second.lru_it = lru_.begin();
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       CacheHitsMetric().Add(1);
+      *cache_hit = true;
       std::shared_ptr<const PreparedCell> prep = it->second.prep;
       lock.unlock();
       // A non-overlapping query still pays the payload transfer (the

@@ -118,6 +118,14 @@ class CellPreparer {
     std::condition_variable cv;
   };
 
+  /// Get() minus the span bookkeeping; sets *cache_hit when this call was
+  /// served from the cache (indexes reused).
+  Result<std::shared_ptr<const PreparedCell>> GetImpl(CellSource& source,
+                                                      size_t cell,
+                                                      bool need_layers,
+                                                      QueryStats* stats,
+                                                      bool* cache_hit);
+
   /// Load + triangulate (+ layers) with no lock held. `base` carries the
   /// reusable triangulations of a cached non-layered entry when upgrading.
   Result<std::shared_ptr<const PreparedCell>> BuildEntry(

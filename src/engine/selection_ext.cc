@@ -25,7 +25,10 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
   Stopwatch poly_sw;
   const Viewport vp = MakeViewport(range);
   CanvasBuilder builder(&device_, vp);
-  const Canvas canvas = builder.BuildBoxCanvas(0, range);
+  const Canvas canvas = [&] {
+    SPADE_TRACE_SPAN("engine.constraint_prepare");
+    return builder.BuildBoxCanvas(0, range);
+  }();
   stats.polygon_seconds += poly_sw.ElapsedSeconds();
   SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
                          DeviceAllocation::Make(&device_, canvas.ByteSize()));
@@ -37,6 +40,9 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> prep,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
+    SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
+    pass_span.AddArg("cell", static_cast<int64_t>(c));
+    pass_span.AddArg("objects", static_cast<int64_t>(prep->size()));
     SPADE_ASSIGN_OR_RETURN(
         DeviceAllocation cell_mem,
         DeviceAllocation::Make(&device_,
@@ -53,9 +59,13 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
     }
     stats.gpu_seconds += gpu_sw.ElapsedSeconds();
   }
-  std::sort(result.ids.begin(), result.ids.end());
-  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
-                   result.ids.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.ids.begin(), result.ids.end());
+    result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                     result.ids.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.ids.size()));
+  }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += canvas.boundary_index().exact_tests();
@@ -73,11 +83,14 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
   const int64_t base_frags = device_.fragments();
 
   Stopwatch poly_sw;
-  const Triangulation tri = Triangulate(constraint);
   const Box cbounds = constraint.Bounds();
   const Viewport vp = MakeViewport(cbounds);
   CanvasBuilder builder(&device_, vp);
-  const Canvas canvas = builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  const Canvas canvas = [&] {
+    SPADE_TRACE_SPAN("engine.constraint_prepare");
+    const Triangulation tri = Triangulate(constraint);
+    return builder.BuildPolygonCanvas({0}, {&constraint}, {&tri});
+  }();
   stats.polygon_seconds += poly_sw.ElapsedSeconds();
   SPADE_ASSIGN_OR_RETURN(DeviceAllocation canvas_mem,
                          DeviceAllocation::Make(&device_, canvas.ByteSize()));
@@ -89,6 +102,9 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> prep,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
+    SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
+    pass_span.AddArg("cell", static_cast<int64_t>(c));
+    pass_span.AddArg("objects", static_cast<int64_t>(prep->size()));
     SPADE_ASSIGN_OR_RETURN(
         DeviceAllocation cell_mem,
         DeviceAllocation::Make(&device_,
@@ -139,9 +155,13 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
     }
     stats.gpu_seconds += gpu_sw.ElapsedSeconds();
   }
-  std::sort(result.ids.begin(), result.ids.end());
-  result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
-                   result.ids.end());
+  {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(result.ids.begin(), result.ids.end());
+    result.ids.erase(std::unique(result.ids.begin(), result.ids.end()),
+                     result.ids.end());
+    rb_span.AddArg("results", static_cast<int64_t>(result.ids.size()));
+  }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += canvas.boundary_index().exact_tests();

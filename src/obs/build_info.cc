@@ -1,0 +1,67 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef SPADE_BUILD_VERSION
+#define SPADE_BUILD_VERSION "0.0.0"
+#endif
+#ifndef SPADE_BUILD_COMMIT
+#define SPADE_BUILD_COMMIT "unknown"
+#endif
+#ifndef SPADE_BUILD_SANITIZER
+#define SPADE_BUILD_SANITIZER "none"
+#endif
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+/// Captured during static initialization, i.e. at (approximately) process
+/// start; a scrape seeing this value change knows the process restarted.
+const int64_t kProcessStartUnixSeconds =
+    std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+
+}  // namespace
+
+const char* BuildVersion() { return SPADE_BUILD_VERSION; }
+const char* BuildCommit() { return SPADE_BUILD_COMMIT; }
+const char* BuildSanitizer() { return SPADE_BUILD_SANITIZER; }
+
+std::string BuildInfoString() {
+  return std::string("spade ") + BuildVersion() + " (" + BuildCommit() +
+         ", sanitizer=" + BuildSanitizer() + ")";
+}
+
+void UpdateProcessMetrics() {
+  static MetricsRegistry& reg = MetricsRegistry::Global();
+  static Gauge* build_info = [] {
+    reg.SetHelp("spade_build_info",
+                "Build identity; always 1, labels carry the values");
+    reg.SetHelp("spade_process_start_time_seconds",
+                "Unix time the process started");
+    reg.SetHelp("spade_tracer_spans", "Spans currently held by the ring");
+    reg.SetHelp("spade_tracer_dropped_spans",
+                "Spans overwritten by the ring since the last clear");
+    return reg.labeled_gauge("spade_build_info",
+                             {{"version", BuildVersion()},
+                              {"commit", BuildCommit()},
+                              {"sanitizer", BuildSanitizer()}});
+  }();
+  static Gauge* start_time = reg.gauge("spade_process_start_time_seconds");
+  static Gauge* tracer_spans = reg.gauge("spade_tracer_spans");
+  static Gauge* tracer_dropped = reg.gauge("spade_tracer_dropped_spans");
+
+  build_info->Set(1);
+  start_time->Set(kProcessStartUnixSeconds);
+  tracer_spans->Set(static_cast<int64_t>(Tracer::Global().size()));
+  tracer_dropped->Set(Tracer::Global().dropped());
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,28 @@
+// Process-level exposition gauges: build identity (version / commit /
+// sanitizer labels on spade_build_info), process start time (restart
+// detection for scrapes), and tracer ring occupancy + dropped-span counts
+// (trace-loss detection). Refreshed at exposition time by the `metrics`
+// handlers, so a scrape always sees current values.
+#pragma once
+
+#include <string>
+
+namespace spade {
+namespace obs {
+
+/// Compile-time build labels (CMake injects commit + sanitizer; both fall
+/// back to "unknown" / "none" when unavailable).
+const char* BuildVersion();
+const char* BuildCommit();
+const char* BuildSanitizer();
+
+/// One-line "spade <version> (<commit>, sanitizer=<s>)" banner.
+std::string BuildInfoString();
+
+/// Refresh spade_build_info, spade_process_start_time_seconds,
+/// spade_tracer_spans, and spade_tracer_dropped_spans in the global
+/// registry. Call before rendering an exposition.
+void UpdateProcessMetrics();
+
+}  // namespace obs
+}  // namespace spade

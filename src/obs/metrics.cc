@@ -17,7 +17,65 @@ std::string Num(double v) {
   return os.str();
 }
 
+/// Family name of a (possibly labeled) series: everything before '{'.
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// `# HELP` (when set) + `# TYPE` header for one metric family.
+void EmitFamilyHeader(const MetricsSnapshot& snap, const std::string& family,
+                      const char* type, std::ostringstream& os) {
+  const auto it = snap.help.find(family);
+  if (it != snap.help.end()) {
+    os << "# HELP " << family << ' ' << EscapeHelp(it->second) << '\n';
+  }
+  os << "# TYPE " << family << ' ' << type << '\n';
+}
+
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never freed
@@ -46,6 +104,17 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   return slot.get();
 }
 
+Gauge* MetricsRegistry::labeled_gauge(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  return gauge(name + RenderLabels(labels));
+}
+
+void MetricsRegistry::SetHelp(const std::string& family, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[family] = std::move(help);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -70,22 +139,35 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.buckets = h->BucketCounts();
     snap.histograms.push_back(std::move(s));
   }
+  snap.help = help_;
   return snap;
 }
 
 std::string MetricsRegistry::PrometheusText() const {
   const MetricsSnapshot snap = Snapshot();
   std::ostringstream os;
+  // Labeled series of one family (map-adjacent, since the full series
+  // name shares the family prefix) group under a single TYPE header.
+  std::string last_family;
   for (const auto& c : snap.counters) {
-    os << "# TYPE " << c.name << " counter\n"
-       << c.name << ' ' << c.value << '\n';
+    const std::string family = FamilyOf(c.name);
+    if (family != last_family) {
+      EmitFamilyHeader(snap, family, "counter", os);
+      last_family = family;
+    }
+    os << c.name << ' ' << c.value << '\n';
   }
+  last_family.clear();
   for (const auto& g : snap.gauges) {
-    os << "# TYPE " << g.name << " gauge\n"
-       << g.name << ' ' << g.value << '\n';
+    const std::string family = FamilyOf(g.name);
+    if (family != last_family) {
+      EmitFamilyHeader(snap, family, "gauge", os);
+      last_family = family;
+    }
+    os << g.name << ' ' << g.value << '\n';
   }
   for (const auto& h : snap.histograms) {
-    os << "# TYPE " << h.name << " histogram\n";
+    EmitFamilyHeader(snap, h.name, "histogram", os);
     int64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
       cumulative += h.buckets[i];

@@ -132,6 +132,18 @@ class Histogram {
   std::atomic<int64_t> sum_scaled_{0};  ///< sum * 1e9, one atomic
 };
 
+/// Escape a label *value* for the exposition format: backslash, double
+/// quote, and newline become \\ \" \n (the Prometheus text-format rules).
+std::string EscapeLabelValue(const std::string& value);
+
+/// Escape a HELP string: backslash and newline (quotes are legal there).
+std::string EscapeHelp(const std::string& help);
+
+/// Render a label set as `{k1="v1",k2="v2"}` with escaped values. Empty
+/// input renders as an empty string (no braces).
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
 /// \brief Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   struct CounterSample {
@@ -154,6 +166,7 @@ struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::map<std::string, std::string> help;  ///< metric family -> HELP text
 };
 
 /// \brief Registry of named metrics; see the file comment for the model.
@@ -168,6 +181,18 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name, double first_upper = 1e-6);
+
+  /// A gauge series of family `name` with a fixed label set, e.g.
+  /// spade_build_info{version="...",commit="..."}. Label values are
+  /// escaped here, so callers pass raw strings; the exposition groups
+  /// every series of a family under one # TYPE line.
+  Gauge* labeled_gauge(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& labels);
+
+  /// Attach a HELP string to a metric family, emitted (escaped) as
+  /// `# HELP <family> <text>` ahead of the family's TYPE line.
+  void SetHelp(const std::string& family, std::string help);
 
   MetricsSnapshot Snapshot() const;
 
@@ -192,6 +217,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;  ///< family -> HELP text
 };
 
 /// Publish one finished query's QueryStats into the global registry:

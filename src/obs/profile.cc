@@ -1,0 +1,208 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace spade {
+namespace obs {
+
+namespace internal {
+thread_local QueryProfile* tl_active_profile = nullptr;
+}  // namespace internal
+
+namespace {
+
+/// Args whose values are identifiers, not quantities: summing them across
+/// calls would produce meaningless (and shape-unstable) numbers.
+bool IsIdentifierArg(const char* key) {
+  return std::strcmp(key, "cell") == 0 || std::strcmp(key, "req") == 0;
+}
+
+void AppendJsonEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string FormatMillis(int64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+void NodeToJson(const ProfileNode& node, std::ostringstream& os) {
+  os << "{\"name\":";
+  AppendJsonEscaped(os, node.name);
+  os << ",\"calls\":" << node.calls << ",\"time_us\":" << node.total_us
+     << ",\"args\":{";
+  for (size_t i = 0; i < node.args.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonEscaped(os, node.args[i].first);
+    os << ':' << node.args[i].second;
+  }
+  os << "},\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) os << ',';
+    NodeToJson(*node.children[i], os);
+  }
+  os << "]}";
+}
+
+size_t MaxLabelWidth(const ProfileNode& node, size_t indent) {
+  size_t w = indent + std::strlen(node.name);
+  for (const auto& child : node.children) {
+    w = std::max(w, MaxLabelWidth(*child, indent + 2));
+  }
+  return w;
+}
+
+void NodeToText(const ProfileNode& node, size_t indent, size_t label_width,
+                std::ostringstream& os) {
+  const std::string label =
+      std::string(indent, ' ') + node.name;
+  os << label << std::string(label_width - label.size() + 2, ' ')
+     << "calls=" << node.calls;
+  os << "  " << FormatMillis(node.total_us);
+  for (const auto& [key, value] : node.args) {
+    os << "  " << key << '=' << value;
+  }
+  os << '\n';
+  for (const auto& child : node.children) {
+    NodeToText(*child, indent + 2, label_width, os);
+  }
+}
+
+}  // namespace
+
+ProfileNode* ProfileNode::Child(const char* child_name) {
+  for (auto& c : children) {
+    // Span sites pass string literals, but distinct sites may duplicate a
+    // name — compare contents, not pointers.
+    if (c->name == child_name || std::strcmp(c->name, child_name) == 0) {
+      return c.get();
+    }
+  }
+  children.push_back(std::make_unique<ProfileNode>());
+  children.back()->name = child_name;
+  return children.back().get();
+}
+
+void ProfileNode::AddArg(const char* key, int64_t value) {
+  for (auto& [k, v] : args) {
+    if (k == key || std::strcmp(k, key) == 0) {
+      v += value;
+      return;
+    }
+  }
+  args.emplace_back(key, value);
+}
+
+int64_t ProfileNode::ArgOr(const char* key, int64_t fallback) const {
+  for (const auto& [k, v] : args) {
+    if (std::strcmp(k, key) == 0) return v;
+  }
+  return fallback;
+}
+
+QueryProfile::QueryProfile() {
+  root_.name = "query";
+  stack_.push_back(&root_);
+}
+
+void QueryProfile::OnSpanBegin(const char* name) {
+  ProfileNode* child = stack_.back()->Child(name);
+  stack_.push_back(child);
+}
+
+void QueryProfile::OnSpanEnd(const TraceEvent& ev) {
+  if (stack_.size() <= 1) return;  // unbalanced End (attachment mid-span)
+  ProfileNode* node = stack_.back();
+  stack_.pop_back();
+  node->calls += 1;
+  node->total_us += ev.dur_us;
+  for (uint32_t i = 0; i < ev.num_args; ++i) {
+    if (IsIdentifierArg(ev.args[i].first)) continue;
+    node->AddArg(ev.args[i].first, ev.args[i].second);
+  }
+}
+
+const ProfileNode* QueryProfile::plan() const {
+  if (root_.children.size() == 1) return root_.children.front().get();
+  return &root_;
+}
+
+std::string QueryProfile::ToText() const {
+  std::ostringstream os;
+  if (!query.empty()) os << "plan for: " << query << '\n';
+  if (!request_id.empty() || total_seconds > 0) {
+    os << "request_id: " << (request_id.empty() ? "-" : request_id)
+       << "  total: " << total_seconds << "s\n";
+  }
+  if (root_.children.empty()) {
+    os << "(no spans recorded)\n";
+  } else {
+    const size_t width = MaxLabelWidth(root_, 0);
+    for (const auto& child : root_.children) {
+      NodeToText(*child, 0, width, os);
+    }
+  }
+  os << "stats: io=" << stats.io_seconds << "s gpu=" << stats.gpu_seconds
+     << "s polygon=" << stats.polygon_seconds << "s cpu=" << stats.cpu_seconds
+     << "s passes=" << stats.render_passes << " fragments=" << stats.fragments
+     << " cells=" << stats.cells_processed
+     << " bytes=" << stats.bytes_transferred
+     << " exact_tests=" << stats.exact_tests << " retries=" << stats.retries;
+  return os.str();
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"query\":";
+  AppendJsonEscaped(os, query);
+  os << ",\"request_id\":";
+  AppendJsonEscaped(os, request_id);
+  os << ",\"total_seconds\":" << total_seconds << ",\"stats\":{"
+     << "\"io_seconds\":" << stats.io_seconds
+     << ",\"gpu_seconds\":" << stats.gpu_seconds
+     << ",\"polygon_seconds\":" << stats.polygon_seconds
+     << ",\"cpu_seconds\":" << stats.cpu_seconds
+     << ",\"render_passes\":" << stats.render_passes
+     << ",\"fragments\":" << stats.fragments
+     << ",\"cells_processed\":" << stats.cells_processed
+     << ",\"bytes_transferred\":" << stats.bytes_transferred
+     << ",\"exact_tests\":" << stats.exact_tests
+     << ",\"retries\":" << stats.retries
+     << ",\"checksum_failures\":" << stats.checksum_failures
+     << ",\"subcell_splits\":" << stats.subcell_splits << "},\"plan\":";
+  NodeToJson(*plan(), os);
+  os << '}';
+  return os.str();
+}
+
+ProfileScope::ProfileScope(QueryProfile* profile)
+    : previous_(internal::tl_active_profile) {
+  internal::tl_active_profile = profile;
+}
+
+ProfileScope::~ProfileScope() { internal::tl_active_profile = previous_; }
+
+}  // namespace obs
+}  // namespace spade

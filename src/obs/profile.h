@@ -1,0 +1,96 @@
+// Per-query profiling: a request-scoped plan/stage tree that mirrors the
+// engine's execution (constraint prepare, cell filter, per-cell
+// prepare/passes, readback), populated by the same ScopedSpan sites that
+// feed the tracer. Unlike the tracer ring (process-global, time-ordered),
+// a QueryProfile aggregates spans *by name per parent*, so two runs of
+// the same query produce the same tree shape regardless of timing — the
+// structure EXPLAIN ANALYZE renders and tests golden.
+//
+// Attachment is thread-local: ProfileScope installs a profile for the
+// current thread, every span opened on that thread while it is attached
+// feeds the tree, and the previous attachment is restored on scope exit
+// (nesting-safe). When no profile is attached the per-span cost is the
+// one pointer load ScopedSpan already pays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "obs/trace.h"
+
+namespace spade {
+namespace obs {
+
+/// \brief One aggregated node of the plan tree: every span of this name
+/// under the same parent, with summed duration and summed numeric args.
+struct ProfileNode {
+  const char* name = "";  ///< span-site literal (static storage)
+  int64_t calls = 0;      ///< spans aggregated into this node
+  int64_t total_us = 0;   ///< summed wall time of those spans
+
+  /// Summed span args in first-seen order (e.g. primitives, fragments,
+  /// objects, bytes, cache_hit). Identifier-like args ("cell", "req") are
+  /// skipped — summing ids is meaningless and would destabilize goldens.
+  std::vector<std::pair<const char*, int64_t>> args;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  /// Find-or-create the child for a span name (first-seen order).
+  ProfileNode* Child(const char* child_name);
+  void AddArg(const char* key, int64_t value);
+  int64_t ArgOr(const char* key, int64_t fallback) const;
+};
+
+/// \brief A request-scoped profile: the plan tree plus query metadata.
+class QueryProfile {
+ public:
+  QueryProfile();
+
+  QueryProfile(const QueryProfile&) = delete;
+  QueryProfile& operator=(const QueryProfile&) = delete;
+
+  /// Span hooks (called by ScopedSpan via the thread-local attachment).
+  void OnSpanBegin(const char* name);
+  void OnSpanEnd(const TraceEvent& ev);
+
+  /// The synthetic root; real query roots (engine.selection, ...) are its
+  /// children. plan() is the first child when there is exactly one.
+  const ProfileNode& root() const { return root_; }
+  const ProfileNode* plan() const;
+
+  /// Aligned human-readable tree + stats, the EXPLAIN ANALYZE text form.
+  std::string ToText() const;
+  /// The same tree as JSON: {query, request_id, total_seconds, stats,
+  /// plan}. Counts are exact; time fields are present but timing-derived.
+  std::string ToJson() const;
+
+  // Metadata filled in by the owner (service / CLI) after execution.
+  std::string query;       ///< the command / wire line that ran
+  std::string request_id;  ///< propagated id ("" outside the service)
+  QueryStats stats;        ///< engine-side breakdown of the run
+  double total_seconds = 0;
+
+ private:
+  ProfileNode root_;
+  std::vector<ProfileNode*> stack_;  ///< current open-span path; [0]=&root_
+};
+
+/// \brief RAII thread-local attachment; restores the previous profile on
+/// destruction so nested scopes compose.
+class ProfileScope {
+ public:
+  explicit ProfileScope(QueryProfile* profile);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  QueryProfile* previous_;
+};
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,162 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/profile.h"
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = new SlowQueryLog();  // leaked: process lifetime
+  return *log;
+}
+
+void SlowQueryLog::SetCapacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, n);
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+}
+
+size_t SlowQueryLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SlowQueryLog::SetThreshold(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ = seconds;
+}
+
+double SlowQueryLog::threshold() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_;
+}
+
+void SlowQueryLog::Record(const std::string& request_id,
+                          const std::string& query, double seconds,
+                          double queue_wait_seconds,
+                          const QueryProfile* profile) {
+  SlowQueryEntry entry;
+  entry.request_id = request_id;
+  entry.query = query;
+  entry.seconds = seconds;
+  entry.queue_wait_seconds = queue_wait_seconds;
+  if (profile != nullptr) entry.profile_json = profile->ToJson();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = next_sequence_++;
+  entry.over_threshold = threshold_ > 0 && seconds >= threshold_;
+  if (entries_.size() >= capacity_ && !entry.over_threshold &&
+      seconds <= entries_.back().seconds) {
+    return;  // faster than everything we keep, and under the threshold
+  }
+  // Insert keeping slowest-first order; ties resolve newest-last so the
+  // log is stable under repeated identical latencies.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+        return a.seconds > b.seconds;
+      });
+  entries_.insert(it, std::move(entry));
+  if (entries_.size() > capacity_) {
+    // Over-threshold entries are protected from worst-N eviction: drop the
+    // fastest entry that is not flagged, or the very last one if all are.
+    for (auto rit = entries_.rbegin(); rit != entries_.rend(); ++rit) {
+      if (!rit->over_threshold) {
+        entries_.erase(std::next(rit).base());
+        return;
+      }
+    }
+    entries_.pop_back();
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string SlowQueryLog::ToText() const {
+  const std::vector<SlowQueryEntry> entries = Entries();
+  std::ostringstream os;
+  os << "slowlog: " << entries.size() << " entries (capacity "
+     << capacity() << ", threshold " << threshold() << "s)";
+  int rank = 0;
+  for (const auto& e : entries) {
+    os << '\n'
+       << ++rank << ". " << e.seconds << "s (queue " << e.queue_wait_seconds
+       << "s) " << (e.request_id.empty() ? "-" : e.request_id) << ' '
+       << e.query;
+    if (e.over_threshold) os << " [over threshold]";
+  }
+  return os.str();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<SlowQueryEntry> entries = Entries();
+  std::ostringstream os;
+  os << "{\"capacity\":" << capacity() << ",\"threshold\":" << threshold()
+     << ",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i > 0) os << ',';
+    os << "{\"request_id\":";
+    AppendJsonEscaped(os, e.request_id);
+    os << ",\"query\":";
+    AppendJsonEscaped(os, e.query);
+    os << ",\"seconds\":" << e.seconds
+       << ",\"queue_wait_seconds\":" << e.queue_wait_seconds
+       << ",\"over_threshold\":" << (e.over_threshold ? "true" : "false")
+       << ",\"profile\":";
+    if (e.profile_json.empty()) {
+      os << "null";
+    } else {
+      os << e.profile_json;  // already JSON
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,70 @@
+// The slow-query log: a process-wide ring of the N worst recent queries
+// by latency, plus every query exceeding a configurable threshold. Each
+// entry keeps the serialized QueryProfile (JSON) of its run, so the
+// post-mortem for "what was slow at 3am" has the full plan breakdown, not
+// just a latency number. Fed by both the service worker loop and the CLI
+// shell; dumped via the `slowlog` wire request / CLI command.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spade {
+namespace obs {
+
+class QueryProfile;
+
+/// \brief One captured slow query.
+struct SlowQueryEntry {
+  std::string request_id;
+  std::string query;
+  double seconds = 0;             ///< end-to-end latency (incl. queue wait)
+  double queue_wait_seconds = 0;
+  bool over_threshold = false;    ///< exceeded the configured threshold
+  int64_t sequence = 0;           ///< capture order (monotone per process)
+  std::string profile_json;       ///< serialized QueryProfile ("" if none)
+};
+
+/// \brief Thread-safe worst-N-by-latency capture with threshold marking.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Global();
+
+  /// Keep the `n` slowest entries (default 16). Shrinking drops the
+  /// fastest of the current set.
+  void SetCapacity(size_t n);
+  size_t capacity() const;
+
+  /// Queries at or above `seconds` are flagged over_threshold on capture.
+  /// 0 disables the flag (worst-N capture still applies).
+  void SetThreshold(double seconds);
+  double threshold() const;
+
+  /// Record one finished query; `profile` may be null (no capture ran).
+  void Record(const std::string& request_id, const std::string& query,
+              double seconds, double queue_wait_seconds,
+              const QueryProfile* profile);
+
+  /// Entries sorted slowest-first.
+  std::vector<SlowQueryEntry> Entries() const;
+  void Clear();
+  size_t size() const;
+
+  /// Renderings used by the `slowlog` command (text) and `slowlog json`.
+  std::string ToText() const;
+  std::string ToJson() const;
+
+ private:
+  SlowQueryLog() = default;
+
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;  ///< kept sorted slowest-first
+  size_t capacity_ = 16;
+  double threshold_ = 0;
+  int64_t next_sequence_ = 1;
+};
+
+}  // namespace obs
+}  // namespace spade

@@ -5,12 +5,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/profile.h"
+
 namespace spade {
 namespace obs {
 
 namespace {
 
 thread_local int32_t tl_depth = 0;
+thread_local uint64_t tl_request_id = 0;
 
 uint32_t NextThreadId() {
   static std::atomic<uint32_t> counter{0};
@@ -114,6 +117,10 @@ int32_t Tracer::EnterSpan() { return ++tl_depth; }
 
 void Tracer::ExitSpan() { --tl_depth; }
 
+void Tracer::SetThreadRequestId(uint64_t id) { tl_request_id = id; }
+
+uint64_t Tracer::thread_request_id() { return tl_request_id; }
+
 std::string Tracer::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
   // Stable presentation: order by (tid, start) so a diff of two exports of
@@ -160,9 +167,18 @@ Status Tracer::WriteChromeJson(const std::string& path) const {
 
 void ScopedSpan::Begin(const char* name) {
   active_ = true;
+  traced_ = Tracer::enabled();
   event_.name = name;
   event_.tid = Tracer::CurrentThreadId();
   event_.depth = Tracer::EnterSpan();
+  if (tl_request_id != 0) {
+    event_.args[event_.num_args++] = {"req",
+                                      static_cast<int64_t>(tl_request_id)};
+  }
+  if (QueryProfile* profile = internal::tl_active_profile) {
+    profile->OnSpanBegin(name);
+    profiled_ = true;
+  }
   event_.ts_us = Tracer::Global().NowMicros();
 }
 
@@ -171,7 +187,14 @@ void ScopedSpan::End() {
   Tracer::ExitSpan();
   // Tracing may have been disabled mid-span (e.g. the CLI exporting right
   // after a query); record anyway — the span began under an enabled tracer.
-  Tracer::Global().Record(event_);
+  if (traced_) Tracer::Global().Record(event_);
+  if (profiled_) {
+    // The attachment cannot have changed under an open span: ProfileScope
+    // nests strictly inside/outside span scopes on the same thread.
+    if (QueryProfile* profile = internal::tl_active_profile) {
+      profile->OnSpanEnd(event_);
+    }
+  }
   active_ = false;
 }
 

@@ -33,9 +33,18 @@
 namespace spade {
 namespace obs {
 
+class QueryProfile;
+
+namespace internal {
+/// The profile currently attached to this thread (see obs/profile.h);
+/// nullptr when no EXPLAIN ANALYZE / slow-query capture is active. Lives
+/// here so the ScopedSpan fast path can test it inline.
+extern thread_local QueryProfile* tl_active_profile;
+}  // namespace internal
+
 /// \brief One completed span, Chrome trace-event style.
 struct TraceEvent {
-  static constexpr size_t kMaxArgs = 4;
+  static constexpr size_t kMaxArgs = 6;
 
   const char* name = "";      ///< static string (span sites pass literals)
   uint32_t tid = 0;           ///< small sequential thread id
@@ -89,6 +98,13 @@ class Tracer {
   static int32_t EnterSpan();  ///< returns the new depth (1 = root)
   static void ExitSpan();
 
+  /// Request-id propagation: while a nonzero id is set on a thread, every
+  /// span opened there carries it as a `req` arg, so a multi-worker
+  /// Perfetto trace can be sliced by request. The service sets it per
+  /// request (see RequestIdScope); zero means "no request context".
+  static void SetThreadRequestId(uint64_t id);
+  static uint64_t thread_request_id();
+
   /// Render every recorded span as Chrome trace-event JSON
   /// (chrome://tracing and https://ui.perfetto.dev load it directly).
   std::string ToChromeJson() const;
@@ -113,14 +129,18 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
 };
 
-/// \brief RAII span: records itself into the global tracer on destruction.
+/// \brief RAII span: records itself into the global tracer on destruction
+/// and, when a QueryProfile is attached to the thread, into its plan tree.
 ///
-/// When tracing is disabled construction and destruction are a relaxed
-/// atomic load each; AddArg is a no-op.
+/// When tracing is disabled and no profile is attached, construction and
+/// destruction are one relaxed atomic load plus one thread-local pointer
+/// load each; AddArg is a no-op.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
-    if (Tracer::enabled()) Begin(name);
+    if (Tracer::enabled() || internal::tl_active_profile != nullptr) {
+      Begin(name);
+    }
   }
   ~ScopedSpan() {
     if (active_) End();
@@ -143,7 +163,25 @@ class ScopedSpan {
   void End();
 
   bool active_ = false;
+  bool traced_ = false;    ///< tracer was enabled when the span began
+  bool profiled_ = false;  ///< a profile was attached when the span began
   TraceEvent event_;
+};
+
+/// \brief RAII request-id attachment for the executing thread.
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(uint64_t id)
+      : previous_(Tracer::thread_request_id()) {
+    Tracer::SetThreadRequestId(id);
+  }
+  ~RequestIdScope() { Tracer::SetThreadRequestId(previous_); }
+
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 }  // namespace obs

@@ -28,6 +28,7 @@ enum class RequestKind {
   kSql,           ///< SQL passthrough to the embedded catalog
   kStats,         ///< service-level stats snapshot
   kMetrics,       ///< Prometheus-format metrics exposition
+  kSlowlog,       ///< slow-query log snapshot / clear
 };
 
 /// \brief One query-service request.
@@ -42,6 +43,17 @@ struct Request {
   size_t k = 0;             ///< kKnn
   bool mercator = false;    ///< meter-based distances (EPSG:4326 data)
   std::string sql;          ///< kSql statement
+
+  /// Client-supplied request id; the service generates one when empty.
+  /// Echoed in the Response, attached to every span the request emits,
+  /// and recorded in the slow-query log.
+  std::string request_id;
+  /// EXPLAIN ANALYZE: run the query with a profile attached and return
+  /// the plan profile (text, or JSON when `json` is set) instead of the
+  /// result payload.
+  bool explain = false;
+  bool json = false;  ///< JSON rendering for kSlowlog / explain
+  std::string arg;    ///< kSlowlog sub-command ("clear") and spares
 };
 
 /// \brief Result of one service request.
@@ -57,6 +69,10 @@ struct Response {
   QueryStats stats;               ///< engine-side breakdown
   double queue_wait_seconds = 0;  ///< admission queue time
   double total_seconds = 0;       ///< queue wait + execution
+
+  std::string request_id;  ///< the id this request ran under (echoed)
+  /// Rendered plan profile (EXPLAIN ANALYZE); empty unless req.explain.
+  std::string profile;
 };
 
 }  // namespace spade

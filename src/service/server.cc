@@ -24,6 +24,8 @@ constexpr const char* kProtocolHelp =
   select <name> <WKT> | contains <name> <WKT> | range <name> x0 y0 x1 y1
   join <polys> <other> | distance <name> x y r [m] | djoin <l> <r> r [m]
   knn <name> x y k [m] | sql <statement> | stats | metrics
+  explain [--json] <query> | slowlog [json|clear]
+  prefix any line with @<id> to tag it with a request id (echoed as `id`)
 control:
   gen <kind> <n> as <name> | open <dir> as <name> | list
   failpoint list|clear|<name> <action> | ping | help | quit)";

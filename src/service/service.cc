@@ -3,11 +3,86 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
+#include "service/wire.h"
 #include "storage/sql.h"
 
 namespace spade {
+
+namespace {
+
+/// True for the kinds that run the engine (profiled / slow-logged).
+bool IsEngineQuery(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains:
+    case RequestKind::kRange:
+    case RequestKind::kJoin:
+    case RequestKind::kDistance:
+    case RequestKind::kDistanceJoin:
+    case RequestKind::kKnn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Numeric form of a request id for span tagging: the embedded decimal
+/// number when there is one ("r17" -> 17), else a stable nonzero hash of
+/// the string (client-chosen ids need not be numeric).
+uint64_t NumericRequestId(const std::string& id) {
+  uint64_t v = 0;
+  bool any_digit = false;
+  for (char c : id) {
+    if (c >= '0' && c <= '9') {
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+      any_digit = true;
+    } else if (any_digit) {
+      break;
+    }
+  }
+  if (any_digit) return v != 0 ? v : 1;
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h != 0 ? h : 1;
+}
+
+// Live service gauges: queue depth and device-slot occupancy move with
+// enqueue/dequeue and slot acquire/release, so a scrape mid-burst sees
+// the burst (the kMetrics refresh alone would only see scrape instants).
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("spade_service_queue_depth");
+  return *g;
+}
+obs::Gauge& SlotsBusyGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots_busy");
+  return *g;
+}
+obs::Gauge& SlotsTotalGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots");
+  return *g;
+}
+
+/// RAII +1/-1 on a gauge (balanced across every exit path).
+struct GaugeOccupancy {
+  explicit GaugeOccupancy(obs::Gauge* g) : g_(g) { g_->Add(1); }
+  ~GaugeOccupancy() { g_->Add(-1); }
+  GaugeOccupancy(const GaugeOccupancy&) = delete;
+  GaugeOccupancy& operator=(const GaugeOccupancy&) = delete;
+  obs::Gauge* g_;
+};
+
+}  // namespace
 
 std::string ServiceStats::ToString() const {
   std::ostringstream os;
@@ -28,6 +103,12 @@ SpadeService::SpadeService(SpadeConfig engine_config, ServiceConfig config)
       config_(config),
       device_slots_(config.device_slots > 0 ? config.device_slots : 1) {
   if (config_.workers == 0) config_.workers = 1;
+  SlotsTotalGauge().Set(
+      static_cast<int64_t>(config_.device_slots > 0 ? config_.device_slots
+                                                    : 1));
+  if (config_.slow_query_seconds > 0) {
+    obs::SlowQueryLog::Global().SetThreshold(config_.slow_query_seconds);
+  }
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -65,6 +146,12 @@ CellSource* SpadeService::FindSource(const std::string& name) const {
 }
 
 std::future<Response> SpadeService::Submit(Request req) {
+  if (req.request_id.empty()) {
+    req.request_id =
+        "r" + std::to_string(
+                  next_request_id_.fetch_add(1, std::memory_order_relaxed) +
+                  1);
+  }
   Job job;
   job.req = std::move(req);
   std::future<Response> fut = job.promise.get_future();
@@ -82,6 +169,7 @@ std::future<Response> SpadeService::Submit(Request req) {
           "admission queue full (" + std::to_string(config_.queue_capacity) +
           " requests waiting) — retry later");
     } else {
+      QueueDepthGauge().Add(1);
       queue_.push_back(std::move(job));
       accepted_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -90,6 +178,7 @@ std::future<Response> SpadeService::Submit(Request req) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     Response resp;
     resp.status = admit;
+    resp.request_id = job.req.request_id;
     job.promise.set_value(std::move(resp));
     return fut;
   }
@@ -111,17 +200,47 @@ void SpadeService::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Add(-1);
     const double wait = job.age.ElapsedSeconds();
     queue_wait_hist_.Record(wait);
 
+    // Plan-profile capture: attached to this thread for the duration of
+    // Run, so every engine/gfx span of the request feeds the plan tree.
+    std::unique_ptr<obs::QueryProfile> profile;
+    if ((config_.profile_queries || job.req.explain) &&
+        IsEngineQuery(job.req.kind)) {
+      profile = std::make_unique<obs::QueryProfile>();
+      profile->query = wire::DescribeRequest(job.req);
+      profile->request_id = job.req.request_id;
+    }
+
     Response resp;
     {
+      obs::RequestIdScope rid(NumericRequestId(job.req.request_id));
       SPADE_TRACE_SPAN_VAR(span, "service.request");
       span.AddArg("kind", static_cast<int64_t>(job.req.kind));
-      resp = Run(job.req);
+      if (profile != nullptr) {
+        obs::ProfileScope attach(profile.get());
+        resp = Run(job.req);
+      } else {
+        resp = Run(job.req);
+      }
     }
+    resp.request_id = job.req.request_id;
     resp.queue_wait_seconds = wait;
     resp.total_seconds = job.age.ElapsedSeconds();
+    if (profile != nullptr) {
+      profile->stats = resp.stats;
+      profile->total_seconds = resp.total_seconds;
+      if (job.req.explain) {
+        resp.profile = job.req.json ? profile->ToJson() : profile->ToText();
+      }
+      if (resp.status.ok()) {
+        obs::SlowQueryLog::Global().Record(job.req.request_id, profile->query,
+                                           resp.total_seconds, wait,
+                                           profile.get());
+      }
+    }
     latency_hist_.Record(resp.total_seconds);
     static obs::Histogram* latency_metric =
         obs::MetricsRegistry::Global().histogram(
@@ -165,7 +284,20 @@ Response SpadeService::Run(Request& req) {
     reg.gauge("spade_service_requests_completed")->Set(snap.completed);
     reg.gauge("spade_service_requests_failed")->Set(snap.failed);
     reg.gauge("spade_service_queue_depth")->Set(snap.queued);
+    obs::UpdateProcessMetrics();
     resp.text = reg.PrometheusText();
+    return resp;
+  }
+  if (req.kind == RequestKind::kSlowlog) {
+    // Like kStats: served off-device so the slow-query log stays readable
+    // exactly when slow queries are saturating the slots.
+    obs::SlowQueryLog& log = obs::SlowQueryLog::Global();
+    if (req.arg == "clear") {
+      log.Clear();
+      resp.text = "slowlog cleared";
+    } else {
+      resp.text = req.json ? log.ToJson() : log.ToText();
+    }
     return resp;
   }
   if (req.kind == RequestKind::kSql) {
@@ -205,6 +337,7 @@ Response SpadeService::Run(Request& req) {
   // simulated GPU at once, so their combined working sets respect the
   // budget that sub-cell streaming enforces per query.
   SemaphoreGuard slot(&device_slots_);
+  GaugeOccupancy slot_gauge(&SlotsBusyGauge());
   switch (req.kind) {
     case RequestKind::kSelection:
     case RequestKind::kContains: {
@@ -273,6 +406,7 @@ Response SpadeService::Run(Request& req) {
     case RequestKind::kSql:
     case RequestKind::kStats:
     case RequestKind::kMetrics:
+    case RequestKind::kSlowlog:
       resp.status = Status::Internal("unreachable request kind");
       break;
   }

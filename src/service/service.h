@@ -50,6 +50,15 @@ struct ServiceConfig {
   /// occupant streams its cells within the memory the others leave free,
   /// so fewer slots mean fewer sub-cell passes but less overlap.
   size_t device_slots = 2;
+  /// Attach a plan profile to every query request. The profile feeds
+  /// EXPLAIN ANALYZE and the slow-query log; collection piggybacks on the
+  /// spans the engine already emits, so the cost is a few allocations per
+  /// span, not per fragment.
+  bool profile_queries = true;
+  /// Queries slower than this always enter the slow-query log, protected
+  /// from worst-N eviction (0 keeps the threshold disabled; the worst-N
+  /// ring still fills either way).
+  double slow_query_seconds = 0;
 };
 
 /// \brief Aggregated service-level statistics.
@@ -136,6 +145,7 @@ class SpadeService {
 
   LatencyHistogram queue_wait_hist_;
   LatencyHistogram latency_hist_;
+  std::atomic<uint64_t> next_request_id_{0};
   std::atomic<int64_t> accepted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};

@@ -51,10 +51,36 @@ Result<MultiPolygon> ParseConstraint(const std::string& wkt) {
 
 }  // namespace
 
+namespace {
+
+/// True for the kinds EXPLAIN ANALYZE can profile (the query kinds).
+bool IsQueryKind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains:
+    case RequestKind::kRange:
+    case RequestKind::kJoin:
+    case RequestKind::kDistance:
+    case RequestKind::kDistanceJoin:
+    case RequestKind::kKnn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Result<Request> ParseRequestLine(const std::string& line) {
   const auto words = Words(line);
   if (words.empty()) {
     return Status::InvalidArgument("empty request line");
+  }
+  // Optional request-id prefix: `@<id> <request...>`.
+  if (words[0].size() > 1 && words[0][0] == '@') {
+    SPADE_ASSIGN_OR_RETURN(Request req, ParseRequestLine(Rest(line, 1)));
+    req.request_id = words[0].substr(1);
+    return req;
   }
   const std::string& cmd = words[0];
   Request req;
@@ -65,6 +91,40 @@ Result<Request> ParseRequestLine(const std::string& line) {
   }
   if (cmd == "metrics") {
     req.kind = RequestKind::kMetrics;
+    return req;
+  }
+  if (cmd == "explain") {
+    size_t skip = 1;
+    bool json = false;
+    if (words.size() > 1 && words[1] == "--json") {
+      json = true;
+      skip = 2;
+    }
+    const std::string inner = Rest(line, skip);
+    if (inner.empty()) {
+      return Status::InvalidArgument("usage: explain [--json] <query>");
+    }
+    SPADE_ASSIGN_OR_RETURN(Request sub, ParseRequestLine(inner));
+    if (!IsQueryKind(sub.kind)) {
+      return Status::InvalidArgument(
+          "explain supports query commands (select/contains/range/join/"
+          "distance/djoin/knn), not '" + inner + "'");
+    }
+    sub.explain = true;
+    sub.json = json;
+    return sub;
+  }
+  if (cmd == "slowlog") {
+    req.kind = RequestKind::kSlowlog;
+    if (words.size() > 1) {
+      if (words[1] == "json") {
+        req.json = true;
+      } else if (words[1] == "clear") {
+        req.arg = "clear";
+      } else {
+        return Status::InvalidArgument("usage: slowlog [json|clear]");
+      }
+    }
     return req;
   }
   if (cmd == "sql") {
@@ -143,6 +203,11 @@ Result<Request> ParseRequestLine(const std::string& line) {
 }
 
 std::string FormatPayload(const Request& req, const Response& resp) {
+  // EXPLAIN payloads are the profile rendering itself (text or JSON);
+  // `slowlog json` likewise returns the raw document. No trailer, so
+  // clients can feed the payload straight into a JSON parser.
+  if (req.explain) return resp.profile;
+  if (req.kind == RequestKind::kSlowlog && req.json) return resp.text;
   std::ostringstream os;
   switch (req.kind) {
     case RequestKind::kSelection:
@@ -178,11 +243,63 @@ std::string FormatPayload(const Request& req, const Response& resp) {
     case RequestKind::kSql:
     case RequestKind::kStats:
     case RequestKind::kMetrics:
+    case RequestKind::kSlowlog:
       os << resp.text << '\n';
       break;
   }
   os << "took " << resp.total_seconds << "s queue_wait "
      << resp.queue_wait_seconds << 's';
+  if (!resp.request_id.empty()) os << " id " << resp.request_id;
+  return os.str();
+}
+
+std::string DescribeRequest(const Request& req) {
+  std::ostringstream os;
+  switch (req.kind) {
+    case RequestKind::kSelection:
+      os << "select " << req.dataset << " <wkt>";
+      break;
+    case RequestKind::kContains:
+      os << "contains " << req.dataset << " <wkt>";
+      break;
+    case RequestKind::kRange:
+      os << "range " << req.dataset << ' ' << req.range.min.x << ' '
+         << req.range.min.y << ' ' << req.range.max.x << ' '
+         << req.range.max.y;
+      break;
+    case RequestKind::kJoin:
+      os << "join " << req.dataset << ' ' << req.dataset2;
+      break;
+    case RequestKind::kDistance:
+      os << "distance " << req.dataset << ' ' << req.point.x << ' '
+         << req.point.y << ' ' << req.radius;
+      break;
+    case RequestKind::kDistanceJoin:
+      os << "djoin " << req.dataset << ' ' << req.dataset2 << ' '
+         << req.radius;
+      break;
+    case RequestKind::kKnn:
+      os << "knn " << req.dataset << ' ' << req.point.x << ' ' << req.point.y
+         << ' ' << req.k;
+      break;
+    case RequestKind::kSql:
+      os << "sql " << req.sql;
+      break;
+    case RequestKind::kStats:
+      os << "stats";
+      break;
+    case RequestKind::kMetrics:
+      os << "metrics";
+      break;
+    case RequestKind::kSlowlog:
+      os << "slowlog";
+      break;
+  }
+  if (req.mercator && (req.kind == RequestKind::kDistance ||
+                       req.kind == RequestKind::kDistanceJoin ||
+                       req.kind == RequestKind::kKnn)) {
+    os << " m";
+  }
   return os.str();
 }
 

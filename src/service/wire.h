@@ -7,7 +7,13 @@
 //   range <name> x0 y0 x1 y1       join <polys> <other>
 //   distance <name> x y r [m]      djoin <left> <right> r [m]
 //   knn <name> x y k [m]           sql <statement>
-//   stats
+//   stats                          metrics
+//   explain [--json] <query>       slowlog [json|clear]
+//
+// A line may start with `@<id>` to tag the request with a client-chosen
+// request id; the server echoes it in the payload's trailing `id` field
+// and attaches it to every span / slow-query entry the request produces.
+// Without the prefix the service generates an id (`r<seq>`).
 //
 // The server answers every line with a byte-framed response so payloads
 // may span lines:
@@ -33,8 +39,15 @@ namespace wire {
 Result<Request> ParseRequestLine(const std::string& line);
 
 /// Render a successful response's payload: line-oriented and stable, so
-/// clients and tests can parse counts and ids back out.
+/// clients and tests can parse counts and ids back out. EXPLAIN and
+/// `slowlog json` payloads are the raw rendering (no took/id trailer), so
+/// clients can parse them directly.
 std::string FormatPayload(const Request& req, const Response& resp);
+
+/// Canonical one-line description of a request, used as the `query` field
+/// of plan profiles and slow-query entries (WKT constraints are elided to
+/// keep entries bounded).
+std::string DescribeRequest(const Request& req);
 
 /// Frame a payload / an error for the socket.
 std::string FrameOk(const std::string& payload);

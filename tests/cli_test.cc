@@ -143,6 +143,70 @@ TEST_F(CliTest, RetryAndFailpointCommands) {
   fs::remove_all(dir);
 }
 
+TEST_F(CliTest, ExplainRendersPlanTextAndJson) {
+  Must("gen uniform-points 5000 as pts");
+
+  const std::string text = Must("explain range pts 0.2 0.2 0.6 0.6");
+  EXPECT_NE(text.find("plan for: range pts 0.2 0.2 0.6 0.6"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("engine.range"), std::string::npos);
+  EXPECT_NE(text.find("engine.cell_pass"), std::string::npos);
+  EXPECT_NE(text.find("stats: io="), std::string::npos);
+
+  const std::string json = Must("explain --json range pts 0.2 0.2 0.6 0.6");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"plan\":{\"name\":\"engine.range\""),
+            std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  // The profile of the last query is retained either way.
+  ASSERT_NE(session_.last_profile(), nullptr);
+  EXPECT_EQ(session_.last_profile()->query, "range pts 0.2 0.2 0.6 0.6");
+
+  // explain needs a query command: control lines and sql are rejected.
+  EXPECT_FALSE(session_.Execute("explain list").ok());
+  EXPECT_FALSE(session_.Execute("explain sql select count(*) from pts").ok());
+  EXPECT_FALSE(session_.Execute("explain").ok());
+}
+
+TEST_F(CliTest, SlowlogCapturesCliQueries) {
+  Must("slowlog clear");
+  Must("gen uniform-points 5000 as pts");
+  Must("range pts 0.1 0.1 0.9 0.9");
+
+  const std::string text = Must("slowlog");
+  EXPECT_NE(text.find("range pts 0.1 0.1 0.9 0.9"), std::string::npos)
+      << text;
+  const std::string json = Must("slowlog json");
+  EXPECT_NE(json.find("\"query\":\"range pts 0.1 0.1 0.9 0.9\""),
+            std::string::npos);
+
+  EXPECT_NE(Must("slowlog threshold 0.5").find("0.5"), std::string::npos);
+  EXPECT_FALSE(session_.Execute("slowlog threshold -1").ok());
+  EXPECT_NE(Must("slowlog clear").find("cleared"), std::string::npos);
+  EXPECT_EQ(Must("slowlog").find("range pts"), std::string::npos);
+  Must("slowlog threshold 0");  // restore process-global default
+}
+
+TEST_F(CliTest, UnwritableTraceOutIsATypedError) {
+  Must("gen uniform-points 1000 as pts");
+  auto r = session_.Execute(
+      "range pts 0 0 1 1 --trace-out=/nonexistent-dir/trace.json");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+  EXPECT_NE(r.status().message().find("/nonexistent-dir/trace.json"),
+            std::string::npos);
+
+  // A writable path still works, and the probe didn't clobber tracing.
+  const fs::path out = fs::temp_directory_path() / "spade_cli_trace_ok.json";
+  auto ok = session_.Execute("range pts 0 0 1 1 --trace-out=" + out.string());
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(fs::exists(out));
+  fs::remove(out);
+}
+
 TEST(CliScript, MercatorFlagParses) {
   SpadeConfig cfg;
   cfg.canvas_resolution = 64;

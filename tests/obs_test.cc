@@ -19,6 +19,9 @@
 
 #include "datagen/spider.h"
 #include "engine/spade.h"
+#include "obs/build_info.h"
+#include "obs/profile.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "storage/dataset.h"
 
@@ -150,6 +153,159 @@ TEST(MetricsRegistry, PublishQueryStatsFeedsGlobalRegistry) {
   EXPECT_EQ(reg.counter("spade_fragments_total")->value(),
             frags_before + 1234);
   EXPECT_GE(reg.histogram("spade_stage_gpu_seconds")->count(), 1);
+}
+
+// --- exposition escaping ---------------------------------------------------
+
+TEST(MetricsRegistry, EscapingFollowsPrometheusTextRules) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::EscapeHelp("back\\slash\nnewline"),
+            "back\\\\slash\\nnewline");
+  // Quotes are legal in HELP text and must pass through unescaped.
+  EXPECT_EQ(obs::EscapeHelp("a \"quoted\" word"), "a \"quoted\" word");
+
+  EXPECT_EQ(obs::RenderLabels({}), "");
+  EXPECT_EQ(obs::RenderLabels({{"k", "v"}, {"q", "a\"b"}}),
+            "{k=\"v\",q=\"a\\\"b\"}");
+}
+
+TEST(MetricsRegistry, HostileLabelValuesRoundTripThroughExposition) {
+  obs::MetricsRegistry reg;
+  // A label value using every escape-worthy character, plus a hostile
+  // HELP string: the exposition must stay one-series-per-line parseable.
+  const std::string hostile = "quote\" backslash\\ newline\n end";
+  reg.labeled_gauge("spade_test_info", {{"version", hostile}})->Set(1);
+  reg.SetHelp("spade_test_info", "help with \\ and\nnewline");
+
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(
+      text.find("spade_test_info{version=\"quote\\\" backslash\\\\ "
+                "newline\\n end\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP spade_test_info help with \\\\ and\\nnewline"),
+            std::string::npos);
+  // The raw newline must not have leaked into the exposition: every line
+  // is either a comment or ends in a value.
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << "unparseable: " << line;
+  }
+}
+
+TEST(MetricsRegistry, LabeledGaugeSeriesShareOneFamilyHeader) {
+  obs::MetricsRegistry reg;
+  reg.labeled_gauge("spade_family", {{"a", "1"}})->Set(10);
+  reg.labeled_gauge("spade_family", {{"a", "2"}})->Set(20);
+  const std::string text = reg.PrometheusText();
+  // One TYPE line, two series.
+  const size_t first = text.find("# TYPE spade_family gauge");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE spade_family gauge", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("spade_family{a=\"1\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("spade_family{a=\"2\"} 20"), std::string::npos);
+}
+
+// --- process metrics / build info ------------------------------------------
+
+TEST(BuildInfo, ProcessMetricsExposeBuildAndStartTime) {
+  obs::UpdateProcessMetrics();
+  const std::string text = obs::MetricsRegistry::Global().PrometheusText();
+  const std::string series = std::string("spade_build_info{version=\"") +
+                             obs::BuildVersion() + "\",commit=\"" +
+                             obs::BuildCommit() + "\",sanitizer=\"" +
+                             obs::BuildSanitizer() + "\"} 1";
+  EXPECT_NE(text.find(series), std::string::npos) << text;
+  EXPECT_NE(text.find("spade_process_start_time_seconds"), std::string::npos);
+  EXPECT_NE(text.find("spade_tracer_spans"), std::string::npos);
+  EXPECT_NE(text.find("spade_tracer_dropped_spans"), std::string::npos);
+
+  EXPECT_NE(obs::BuildInfoString().find(obs::BuildVersion()),
+            std::string::npos);
+}
+
+// --- slow-query log --------------------------------------------------------
+
+/// Every slowlog test runs against a cleared global log (process-global
+/// state) and restores defaults on exit.
+class SlowLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SlowQueryLog::Global().Clear();
+    obs::SlowQueryLog::Global().SetCapacity(16);
+    obs::SlowQueryLog::Global().SetThreshold(0);
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(SlowLogTest, KeepsWorstNSortedSlowestFirst) {
+  auto& log = obs::SlowQueryLog::Global();
+  log.SetCapacity(3);
+  for (int i = 1; i <= 6; ++i) {
+    log.Record("r" + std::to_string(i), "q" + std::to_string(i),
+               /*seconds=*/i * 0.1, /*queue_wait_seconds=*/0, nullptr);
+  }
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].query, "q6");
+  EXPECT_EQ(entries[1].query, "q5");
+  EXPECT_EQ(entries[2].query, "q4");
+  // A fast query does not displace a slower one.
+  log.Record("fast", "fast", 0.01, 0, nullptr);
+  EXPECT_EQ(log.Entries().back().query, "q4");
+}
+
+TEST_F(SlowLogTest, ThresholdFlagsAndProtectsEntries) {
+  auto& log = obs::SlowQueryLog::Global();
+  log.SetCapacity(2);
+  log.SetThreshold(0.5);
+  log.Record("over", "slow query", 0.9, 0, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    log.Record("mid", "mid", 0.1 + i * 0.01, 0, nullptr);
+  }
+  const auto entries = log.Entries();
+  // The over-threshold entry survives even though capacity is tight.
+  bool kept = false;
+  for (const auto& e : entries) {
+    if (e.request_id == "over") {
+      kept = true;
+      EXPECT_TRUE(e.over_threshold);
+    } else {
+      EXPECT_FALSE(e.over_threshold);
+    }
+  }
+  EXPECT_TRUE(kept);
+}
+
+TEST_F(SlowLogTest, EntriesCarryProfilesAndRender) {
+  auto& log = obs::SlowQueryLog::Global();
+  obs::QueryProfile profile;
+  profile.query = "range pts 0 0 1 1";
+  {
+    obs::ProfileScope attach(&profile);
+    SPADE_TRACE_SPAN("engine.range");
+  }
+  log.Record("r1", "range pts 0 0 1 1", 0.25, 0.05, &profile);
+
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].profile_json.find("\"plan\""), std::string::npos);
+  EXPECT_NE(entries[0].profile_json.find("engine.range"), std::string::npos);
+
+  const std::string text = log.ToText();
+  EXPECT_NE(text.find("r1"), std::string::npos);
+  EXPECT_NE(text.find("range pts 0 0 1 1"), std::string::npos);
+  const std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"request_id\":\"r1\""), std::string::npos);
+
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.Entries().size(), 0u);
 }
 
 // --- tracer ----------------------------------------------------------------

@@ -1,0 +1,332 @@
+// Tests of per-query EXPLAIN ANALYZE profiling: plan-tree aggregation,
+// thread-local attachment semantics, golden plan structure over a fixed
+// seed (counts exact, times present but unasserted), and the
+// tracer-vs-profile cross-check — per-stage primitive/fragment counts in
+// the profile must exactly match the span args the tracer recorded for
+// the same query.
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "datagen/spider.h"
+#include "engine/spade.h"
+#include "obs/trace.h"
+#include "storage/dataset.h"
+
+namespace spade {
+namespace {
+
+// --- plan-tree mechanics ---------------------------------------------------
+
+TEST(ProfileNode, ChildFindOrCreateAndArgSummation) {
+  obs::ProfileNode node;
+  node.name = "root";
+  obs::ProfileNode* a = node.Child("a");
+  EXPECT_EQ(a, node.Child("a"));  // find-or-create, by content
+  obs::ProfileNode* b = node.Child("b");
+  EXPECT_NE(a, b);
+  ASSERT_EQ(node.children.size(), 2u);
+
+  a->AddArg("fragments", 10);
+  a->AddArg("fragments", 32);
+  a->AddArg("primitives", 5);
+  EXPECT_EQ(a->ArgOr("fragments", -1), 42);
+  EXPECT_EQ(a->ArgOr("primitives", -1), 5);
+  EXPECT_EQ(a->ArgOr("absent", -1), -1);
+  // First-seen order is preserved (renders deterministically).
+  ASSERT_EQ(a->args.size(), 2u);
+  EXPECT_STREQ(a->args[0].first, "fragments");
+}
+
+TEST(QueryProfile, SpansAggregateByNamePerParent) {
+  obs::QueryProfile profile;
+  {
+    obs::ProfileScope attach(&profile);
+    SPADE_TRACE_SPAN("outer");
+    for (int i = 0; i < 3; ++i) {
+      SPADE_TRACE_SPAN_VAR(span, "inner");
+      span.AddArg("objects", 10);
+    }
+    {
+      SPADE_TRACE_SPAN("other");
+    }
+  }
+  // Three "inner" spans collapse into one node with calls=3, args summed.
+  ASSERT_EQ(profile.root().children.size(), 1u);
+  const obs::ProfileNode& outer = *profile.root().children[0];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1);
+  ASSERT_EQ(outer.children.size(), 2u);
+  const obs::ProfileNode& inner = *outer.children[0];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(inner.calls, 3);
+  EXPECT_EQ(inner.ArgOr("objects", -1), 30);
+  EXPECT_STREQ(outer.children[1]->name, "other");
+}
+
+TEST(QueryProfile, IdentifierArgsAreNotSummed) {
+  obs::QueryProfile profile;
+  {
+    obs::ProfileScope attach(&profile);
+    for (int cell = 0; cell < 2; ++cell) {
+      SPADE_TRACE_SPAN_VAR(span, "engine.cell_prepare");
+      span.AddArg("cell", cell);     // identifier: skipped
+      span.AddArg("bytes", 100);     // quantity: summed
+    }
+  }
+  ASSERT_EQ(profile.root().children.size(), 1u);
+  const obs::ProfileNode& prep = *profile.root().children[0];
+  EXPECT_EQ(prep.calls, 2);
+  EXPECT_EQ(prep.ArgOr("cell", -1), -1);
+  EXPECT_EQ(prep.ArgOr("bytes", -1), 200);
+}
+
+TEST(QueryProfile, AttachmentIsScopedAndNests) {
+  // No profile, no tracer: spans are inert.
+  ASSERT_FALSE(obs::Tracer::enabled());
+  {
+    SPADE_TRACE_SPAN_VAR(span, "inert");
+    EXPECT_FALSE(span.active());
+  }
+
+  obs::QueryProfile outer_profile;
+  obs::QueryProfile inner_profile;
+  {
+    obs::ProfileScope outer(&outer_profile);
+    {
+      SPADE_TRACE_SPAN("to_outer");
+    }
+    {
+      obs::ProfileScope inner(&inner_profile);
+      SPADE_TRACE_SPAN("to_inner");
+    }
+    {
+      SPADE_TRACE_SPAN("to_outer_again");  // previous attachment restored
+    }
+  }
+  ASSERT_EQ(outer_profile.root().children.size(), 2u);
+  EXPECT_STREQ(outer_profile.root().children[0]->name, "to_outer");
+  EXPECT_STREQ(outer_profile.root().children[1]->name, "to_outer_again");
+  ASSERT_EQ(inner_profile.root().children.size(), 1u);
+  EXPECT_STREQ(inner_profile.root().children[0]->name, "to_inner");
+}
+
+// --- engine integration ----------------------------------------------------
+
+SpadeConfig SmallConfig() {
+  SpadeConfig cfg;
+  cfg.max_cell_bytes = 64 << 10;
+  cfg.canvas_resolution = 256;
+  cfg.gpu_threads = 2;
+  return cfg;
+}
+
+/// Serialize the structural (time-free) part of a plan tree: names, call
+/// counts, and summed args. Two runs of the same query must agree on it.
+void StructureOf(const obs::ProfileNode& node, std::ostringstream& os) {
+  os << node.name << "(calls=" << node.calls;
+  for (const auto& [key, value] : node.args) {
+    os << ' ' << key << '=' << value;
+  }
+  os << ")[";
+  for (const auto& child : node.children) StructureOf(*child, os);
+  os << ']';
+}
+
+std::string StructureOf(const obs::QueryProfile& profile) {
+  std::ostringstream os;
+  StructureOf(*profile.plan(), os);
+  return os.str();
+}
+
+const obs::ProfileNode* FindNode(const obs::ProfileNode& node,
+                                 const char* name) {
+  if (std::strcmp(node.name, name) == 0) return &node;
+  for (const auto& child : node.children) {
+    const obs::ProfileNode* hit = FindNode(*child, name);
+    if (hit != nullptr) return hit;
+  }
+  return nullptr;
+}
+
+TEST(QueryProfile, GoldenRangePlanOnFixedSeed) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset ds = GenerateUniformPoints(20000, 7);
+  auto src = MakeInMemorySource("pts", ds, engine.config());
+  const Box window{{0.2, 0.2}, {0.6, 0.6}};
+  // Warm the cell cache so both profiled runs see the same cache_hit
+  // counts (the golden covers steady state, not first touch).
+  ASSERT_TRUE(engine.RangeSelection(*src, window).ok());
+
+  obs::QueryProfile profile;
+  size_t results = 0;
+  QueryStats stats;
+  {
+    obs::ProfileScope attach(&profile);
+    auto r = engine.RangeSelection(*src, window);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    results = r.value().ids.size();
+    stats = r.value().stats;
+  }
+  ASSERT_GT(results, 0u);
+
+  // The plan root is the engine query span, with the canonical stages.
+  const obs::ProfileNode* plan = profile.plan();
+  EXPECT_STREQ(plan->name, "engine.range");
+  EXPECT_EQ(plan->calls, 1);
+  for (const char* stage :
+       {"engine.filter_cells", "engine.cell_prepare", "engine.cell_pass",
+        "engine.readback", "gfx.draw_pass", "gfx.scan"}) {
+    EXPECT_NE(FindNode(*plan, stage), nullptr) << "missing stage " << stage;
+  }
+
+  // Counts are exact: readback results match the result set, draw passes
+  // match the engine's pass accounting, fragments match the stats.
+  const obs::ProfileNode* readback = FindNode(*plan, "engine.readback");
+  ASSERT_NE(readback, nullptr);
+  EXPECT_EQ(readback->ArgOr("results", -1), static_cast<int64_t>(results));
+  // stats.render_passes / stats.fragments also count the filter-cells
+  // index pass, so compare the draw node against its cell-pass parent:
+  // one draw per streamed pass, primitives = objects drawn.
+  const obs::ProfileNode* cell_pass = FindNode(*plan, "engine.cell_pass");
+  ASSERT_NE(cell_pass, nullptr);
+  const obs::ProfileNode* draw = FindNode(*plan, "gfx.draw_pass");
+  ASSERT_NE(draw, nullptr);
+  EXPECT_EQ(draw->calls, cell_pass->calls);
+  EXPECT_EQ(draw->ArgOr("primitives", -1), cell_pass->ArgOr("objects", -1));
+  EXPECT_LE(draw->calls, stats.render_passes);
+  EXPECT_LE(draw->ArgOr("fragments", -1), stats.fragments);
+  const obs::ProfileNode* prepare = FindNode(*plan, "engine.cell_prepare");
+  ASSERT_NE(prepare, nullptr);
+  EXPECT_EQ(prepare->calls, stats.cells_processed);
+
+  // Times are present (profiling records durations) but not asserted.
+  EXPECT_GE(plan->total_us, 0);
+
+  // Determinism: a second identical run yields the same structure.
+  obs::QueryProfile again;
+  {
+    obs::ProfileScope attach(&again);
+    auto r = engine.RangeSelection(*src, window);
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(StructureOf(profile), StructureOf(again));
+}
+
+TEST(QueryProfile, TextAndJsonRenderings) {
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset ds = GenerateUniformPoints(20000, 7);
+  auto src = MakeInMemorySource("pts", ds, engine.config());
+
+  obs::QueryProfile profile;
+  profile.query = "range pts 0.2 0.2 0.6 0.6";
+  profile.request_id = "r9";
+  {
+    obs::ProfileScope attach(&profile);
+    auto r = engine.RangeSelection(*src, Box{{0.2, 0.2}, {0.6, 0.6}});
+    ASSERT_TRUE(r.ok());
+    profile.stats = r.value().stats;
+  }
+  profile.total_seconds = 0.5;
+
+  const std::string text = profile.ToText();
+  EXPECT_NE(text.find("plan for: range pts 0.2 0.2 0.6 0.6"),
+            std::string::npos);
+  EXPECT_NE(text.find("request_id: r9"), std::string::npos);
+  EXPECT_NE(text.find("engine.range"), std::string::npos);
+  EXPECT_NE(text.find("calls=1"), std::string::npos);
+  EXPECT_NE(text.find("fragments="), std::string::npos);
+  EXPECT_NE(text.find("stats: io="), std::string::npos);
+
+  const std::string json = profile.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"query\":\"range pts 0.2 0.2 0.6 0.6\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":\"r9\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":{\"name\":\"engine.range\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line, log-safe
+}
+
+// --- tracer cross-check ----------------------------------------------------
+
+TEST(QueryProfile, CountsMatchTracerSpanArgsExactly) {
+  // Run one query with BOTH the tracer and a profile attached. Every
+  // primitive/fragment count the tracer recorded as span args must land,
+  // summed, in the corresponding profile node — same instrumentation
+  // sites, so any divergence means double-counting or a dropped span.
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().SetCapacity(1 << 16);
+  obs::Tracer::Global().SetEnabled(true);
+
+  SpadeEngine engine(SmallConfig());
+  SpatialDataset ds = GenerateUniformPoints(20000, 7);
+  auto src = MakeInMemorySource("pts", ds, engine.config());
+
+  obs::QueryProfile profile;
+  {
+    obs::ProfileScope attach(&profile);
+    obs::RequestIdScope rid(1234);
+    auto r = engine.RangeSelection(*src, Box{{0.1, 0.1}, {0.7, 0.7}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  const auto events = obs::Tracer::Global().Snapshot();
+  obs::Tracer::Global().Clear();
+  ASSERT_EQ(obs::Tracer::Global().dropped(), 0);
+
+  struct Sums {
+    int64_t calls = 0, primitives = 0, fragments = 0;
+  };
+  auto sum_spans = [&events](const char* name) {
+    Sums s;
+    for (const auto& ev : events) {
+      if (std::strcmp(ev.name, name) != 0) continue;
+      s.calls += 1;
+      for (uint32_t i = 0; i < ev.num_args; ++i) {
+        if (std::strcmp(ev.args[i].first, "primitives") == 0) {
+          s.primitives += ev.args[i].second;
+        } else if (std::strcmp(ev.args[i].first, "fragments") == 0) {
+          s.fragments += ev.args[i].second;
+        }
+      }
+    }
+    return s;
+  };
+
+  const Sums draw = sum_spans("gfx.draw_pass");
+  ASSERT_GT(draw.calls, 0);
+  const obs::ProfileNode* node = FindNode(*profile.plan(), "gfx.draw_pass");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->calls, draw.calls);
+  EXPECT_EQ(node->ArgOr("primitives", -1), draw.primitives);
+  EXPECT_EQ(node->ArgOr("fragments", -1), draw.fragments);
+
+  const Sums passes = sum_spans("engine.cell_pass");
+  const obs::ProfileNode* pass_node =
+      FindNode(*profile.plan(), "engine.cell_pass");
+  ASSERT_NE(pass_node, nullptr);
+  EXPECT_EQ(pass_node->calls, passes.calls);
+
+  // Request-id propagation: while the id scope was set, the tracer tagged
+  // every span with req=1234 (the profile skips identifier args).
+  for (const auto& ev : events) {
+    bool found = false;
+    for (uint32_t i = 0; i < ev.num_args; ++i) {
+      if (std::strcmp(ev.args[i].first, "req") == 0) {
+        EXPECT_EQ(ev.args[i].second, 1234);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "span " << ev.name << " missing req arg";
+  }
+}
+
+}  // namespace
+}  // namespace spade

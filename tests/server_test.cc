@@ -326,6 +326,66 @@ TEST_F(ServerTest, EmptyAndCommentLinesProduceNoFrames) {
   EXPECT_TRUE(conn.AtEof());
 }
 
+TEST_F(ServerTest, RequestIdsEchoAndExplainRoundTrip) {
+  ASSERT_TRUE(client_.Call("gen uniform-points 3000 as pts").ok());
+
+  // @id prefix: the payload trailer echoes the id after the accounting.
+  auto tagged = client_.Call("@myreq range pts 0.25 0.25 0.75 0.75");
+  ASSERT_TRUE(tagged.ok()) << tagged.status().ToString();
+  EXPECT_NE(tagged.value().find(" id myreq"), std::string::npos)
+      << tagged.value();
+
+  // Untagged requests get a server-minted id.
+  auto minted = client_.Call("range pts 0.25 0.25 0.75 0.75");
+  ASSERT_TRUE(minted.ok());
+  EXPECT_NE(minted.value().find(" id r"), std::string::npos);
+
+  // explain: the raw profile text, no ids/took trailer appended.
+  auto explain = client_.Call("@exp-7 explain range pts 0.25 0.25 0.75 0.75");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain.value().rfind("plan for: range pts", 0), 0u)
+      << explain.value();
+  EXPECT_NE(explain.value().find("request_id: exp-7"), std::string::npos);
+  EXPECT_NE(explain.value().find("engine.range"), std::string::npos);
+
+  // explain --json: one JSON object, parseable as-is.
+  auto json = client_.Call("explain --json range pts 0.25 0.25 0.75 0.75");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().front(), '{');
+  EXPECT_EQ(json.value().back(), '}');
+  EXPECT_NE(json.value().find("\"plan\":{\"name\":\"engine.range\""),
+            std::string::npos);
+
+  // explain of a non-query line is a typed parse error.
+  auto bad = client_.Call("explain stats");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(ServerTest, SlowlogServesCapturedQueriesOverTheWire) {
+  ASSERT_TRUE(client_.Call("gen uniform-points 3000 as pts").ok());
+  ASSERT_TRUE(client_.Call("slowlog clear").ok());
+  ASSERT_TRUE(client_.Call("@slowcheck range pts 0.2 0.2 0.8 0.8").ok());
+
+  auto text = client_.Call("slowlog");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("slowcheck"), std::string::npos)
+      << text.value();
+  EXPECT_NE(text.value().find("range pts"), std::string::npos);
+
+  auto json = client_.Call("slowlog json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().front(), '{');
+  EXPECT_NE(json.value().find("\"request_id\":\"slowcheck\""),
+            std::string::npos);
+
+  auto cleared = client_.Call("slowlog clear");
+  ASSERT_TRUE(cleared.ok());
+  auto after = client_.Call("slowlog");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().find("slowcheck"), std::string::npos);
+}
+
 TEST(WireProtocol, StatusCodesRoundTrip) {
   const Status statuses[] = {
       Status::InvalidArgument("a"), Status::NotFound("b"),
@@ -355,6 +415,47 @@ TEST(WireProtocol, ParsesQueryLines) {
 
   EXPECT_FALSE(wire::ParseRequestLine("gen taxi 10 as t").ok());  // control
   EXPECT_FALSE(wire::ParseRequestLine("range pts 0 0 1").ok());   // arity
+}
+
+TEST(WireProtocol, ParsesIdPrefixExplainAndSlowlog) {
+  auto tagged = wire::ParseRequestLine("@req-9 range pts 0 0 1 1");
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ(tagged.value().request_id, "req-9");
+  EXPECT_EQ(tagged.value().kind, RequestKind::kRange);
+  EXPECT_FALSE(tagged.value().explain);
+
+  auto explain = wire::ParseRequestLine("@e1 explain --json knn pts 0.5 0.5 3");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain.value().request_id, "e1");
+  EXPECT_TRUE(explain.value().explain);
+  EXPECT_TRUE(explain.value().json);
+  EXPECT_EQ(explain.value().kind, RequestKind::kKnn);
+
+  auto plain = wire::ParseRequestLine("explain range pts 0 0 1 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().explain);
+  EXPECT_FALSE(plain.value().json);
+
+  // explain only wraps engine queries, and needs an inner command.
+  EXPECT_FALSE(wire::ParseRequestLine("explain stats").ok());
+  EXPECT_FALSE(wire::ParseRequestLine("explain metrics").ok());
+  EXPECT_FALSE(wire::ParseRequestLine("explain").ok());
+  EXPECT_FALSE(wire::ParseRequestLine("@").ok());  // empty id
+
+  auto slowlog = wire::ParseRequestLine("slowlog");
+  ASSERT_TRUE(slowlog.ok());
+  EXPECT_EQ(slowlog.value().kind, RequestKind::kSlowlog);
+  EXPECT_FALSE(slowlog.value().json);
+  auto slowlog_json = wire::ParseRequestLine("slowlog json");
+  ASSERT_TRUE(slowlog_json.ok());
+  EXPECT_TRUE(slowlog_json.value().json);
+  auto slowlog_clear = wire::ParseRequestLine("slowlog clear");
+  ASSERT_TRUE(slowlog_clear.ok());
+  EXPECT_EQ(slowlog_clear.value().arg, "clear");
+  EXPECT_FALSE(wire::ParseRequestLine("slowlog bogus").ok());
+
+  // DescribeRequest renders the canonical query line used by profiles.
+  EXPECT_EQ(wire::DescribeRequest(tagged.value()), "range pts 0 0 1 1");
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include "datagen/spider.h"
 #include "engine/tuning.h"
 #include "geom/predicates.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
 
 namespace spade {
 namespace {
@@ -366,6 +368,181 @@ TEST(Service, ShutdownDrainsAdmittedRequestsAndRejectsNewOnes) {
   }
   Response after = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
   EXPECT_EQ(after.status.code(), Status::Code::kOverloaded);
+}
+
+TEST(Service, RequestIdsGeneratedAndEchoed) {
+  SpadeService service;
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(500, 4),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+  // No client id: the service mints one and echoes it.
+  Response generated = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  ASSERT_TRUE(generated.status.ok());
+  EXPECT_FALSE(generated.request_id.empty());
+  EXPECT_EQ(generated.request_id[0], 'r');
+
+  // Client-supplied id: echoed verbatim, and distinct from minted ids.
+  Request req = RangeReq("pts", Box(0, 0, 1, 1));
+  req.request_id = "client-abc";
+  Response echoed = service.Execute(req);
+  ASSERT_TRUE(echoed.status.ok());
+  EXPECT_EQ(echoed.request_id, "client-abc");
+
+  // Minted ids are unique across requests.
+  Response second = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  EXPECT_NE(second.request_id, generated.request_id);
+
+  // Rejections carry the id too (the client must be able to correlate).
+  ASSERT_TRUE(
+      failpoint::Configure("service.enqueue=fail(overloaded,1)").ok());
+  Request doomed = RangeReq("pts", Box(0, 0, 1, 1));
+  doomed.request_id = "doomed-1";
+  Response rejected = service.Execute(doomed);
+  failpoint::ClearAll();
+  EXPECT_EQ(rejected.status.code(), Status::Code::kOverloaded);
+  EXPECT_EQ(rejected.request_id, "doomed-1");
+}
+
+TEST(Service, ExplainRequestReturnsPlanProfile) {
+  SpadeService service;
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(2000, 5),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+  Request req = RangeReq("pts", Box(0.1, 0.1, 0.9, 0.9));
+  req.explain = true;
+  req.request_id = "exp-1";
+  Response text = service.Execute(req);
+  ASSERT_TRUE(text.status.ok()) << text.status.ToString();
+  EXPECT_NE(text.profile.find("plan for: range pts"), std::string::npos)
+      << text.profile;
+  EXPECT_NE(text.profile.find("request_id: exp-1"), std::string::npos);
+  EXPECT_NE(text.profile.find("engine.range"), std::string::npos);
+  EXPECT_NE(text.profile.find("stats: io="), std::string::npos);
+  // The query still ran for real.
+  EXPECT_FALSE(text.ids.empty());
+
+  req.json = true;
+  Response json = service.Execute(req);
+  ASSERT_TRUE(json.status.ok());
+  EXPECT_EQ(json.profile.front(), '{');
+  EXPECT_NE(json.profile.find("\"plan\":{\"name\":\"engine.range\""),
+            std::string::npos);
+
+  // With profiling disabled, explain still works (explicit opt-in wins).
+  ServiceConfig off;
+  off.profile_queries = false;
+  SpadeService unprofiled({}, off);
+  auto src2 = MakeTunedInMemorySource("pts", GenerateUniformPoints(2000, 5),
+                                      unprofiled.engine().config());
+  ASSERT_TRUE(unprofiled.RegisterSource("pts", std::move(src2)).ok());
+  Request opt_in = RangeReq("pts", Box(0.1, 0.1, 0.9, 0.9));
+  opt_in.explain = true;
+  Response still = unprofiled.Execute(opt_in);
+  ASSERT_TRUE(still.status.ok());
+  EXPECT_NE(still.profile.find("engine.range"), std::string::npos);
+}
+
+TEST(Service, SlowlogRequestReturnsCapturedQueries) {
+  obs::SlowQueryLog::Global().Clear();
+  SpadeService service;
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(2000, 6),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+  Request req = RangeReq("pts", Box(0.2, 0.2, 0.8, 0.8));
+  req.request_id = "slow-1";
+  ASSERT_TRUE(service.Execute(req).status.ok());
+
+  Request slowlog;
+  slowlog.kind = RequestKind::kSlowlog;
+  Response text = service.Execute(slowlog);
+  ASSERT_TRUE(text.status.ok());
+  EXPECT_NE(text.text.find("slow-1"), std::string::npos) << text.text;
+  EXPECT_NE(text.text.find("range pts"), std::string::npos);
+
+  slowlog.json = true;
+  Response json = service.Execute(slowlog);
+  ASSERT_TRUE(json.status.ok());
+  EXPECT_NE(json.text.find("\"request_id\":\"slow-1\""), std::string::npos);
+
+  Request clear;
+  clear.kind = RequestKind::kSlowlog;
+  clear.arg = "clear";
+  ASSERT_TRUE(service.Execute(clear).status.ok());
+  EXPECT_EQ(obs::SlowQueryLog::Global().size(), 0u);
+}
+
+TEST(Service, GaugesTrackQueueAndSlotsAndBalanceToZero) {
+  obs::Gauge* depth =
+      obs::MetricsRegistry::Global().gauge("spade_service_queue_depth");
+  obs::Gauge* busy =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots_busy");
+  obs::Gauge* total =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots");
+
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.queue_capacity = 4;
+  sc.device_slots = 1;
+  {
+    SpadeService service({}, sc);
+    EXPECT_EQ(total->value(), 1);
+    auto gated = std::make_unique<GatedSource>(MakeInMemorySource(
+        "pts", GenerateUniformPoints(1000, 7), service.engine().config()));
+    GatedSource* src = gated.get();
+    ASSERT_TRUE(service.RegisterSource("pts", std::move(gated)).ok());
+
+    // One in-flight request holds the slot; three more sit in the queue.
+    auto blocker = service.Submit(RangeReq("pts", Box(0, 0, 1, 1)));
+    ASSERT_TRUE(WaitFor([&] { return src->loads() == 1; }));
+    EXPECT_EQ(busy->value(), 1);
+    std::vector<std::future<Response>> queued;
+    for (int i = 0; i < 3; ++i) {
+      queued.push_back(service.Submit(RangeReq("pts", Box(0, 0, 1, 1))));
+    }
+    ASSERT_TRUE(WaitFor([&] { return depth->value() == 3; }));
+
+    src->Release();
+    EXPECT_TRUE(blocker.get().status.ok());
+    for (auto& f : queued) EXPECT_TRUE(f.get().status.ok());
+  }
+  // Every enqueue/dequeue and slot acquire/release paired up.
+  EXPECT_EQ(depth->value(), 0);
+  EXPECT_EQ(busy->value(), 0);
+}
+
+TEST(Service, GaugesBalanceUnderConcurrentMixedLoad) {
+  obs::Gauge* depth =
+      obs::MetricsRegistry::Global().gauge("spade_service_queue_depth");
+  obs::Gauge* busy =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots_busy");
+
+  ServiceConfig sc;
+  sc.workers = 4;
+  sc.queue_capacity = 64;
+  sc.device_slots = 2;
+  {
+    SpadeService service({}, sc);
+    auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(5000, 8),
+                                       service.engine().config());
+    ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+
+    // Hammer from several client threads; rejections are fine — only the
+    // balanced bookkeeping is under test (run under TSan by check_tsan.sh).
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&service] {
+        for (int i = 0; i < 25; ++i) {
+          (void)service.Execute(RangeReq("pts", Box(0.1, 0.1, 0.8, 0.8)));
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+  }
+  EXPECT_EQ(depth->value(), 0);
+  EXPECT_EQ(busy->value(), 0);
 }
 
 }  // namespace

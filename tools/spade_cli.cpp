@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   }
 
   spade::CliSession session;
+  bool any_error = false;
 
   auto run_line = [&](const std::string& line, bool echo) {
     if (line.empty() || line[0] == '#') return true;
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
     if (r.ok()) {
       if (!r.value().empty()) std::printf("%s\n", r.value().c_str());
     } else {
+      any_error = true;
       std::printf("error: %s\n", r.status().ToString().c_str());
     }
     return true;
@@ -130,7 +132,9 @@ int main(int argc, char** argv) {
     while (std::getline(script, line)) {
       if (!run_line(line, /*echo=*/true)) break;
     }
-    return 0;
+    // Scripts are CI fodder: any failed command (bad path in --trace-out,
+    // unknown dataset, ...) must fail the run, not just print.
+    return any_error ? 1 : 0;
   }
 
   std::printf("spade shell — `help` for commands, `quit` to exit\n");

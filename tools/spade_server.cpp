@@ -6,8 +6,10 @@
 //   $ ./build/tools/spade_server 7117 setup.spade
 //   $ ./build/tools/spade_cli connect 127.0.0.1 7117
 //
-// Flags: --workers N, --queue N, --slots N size the service; SPADE_FAILPOINTS
-// in the environment arms failpoints before serving (useful for drills).
+// Flags: --workers N, --queue N, --slots N size the service;
+// --slow-threshold S always captures queries slower than S seconds in the
+// slow-query log; --no-profiles disables per-query plan profiling;
+// SPADE_FAILPOINTS in the environment arms failpoints before serving.
 // Clients can scrape the `metrics` wire request for Prometheus-format text
 // (see docs/observability.md for the metric catalog).
 #include <cstdio>
@@ -37,10 +39,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--slots") {
       const char* v = next();
       if (v != nullptr) cfg.device_slots = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--slow-threshold") {
+      const char* v = next();
+      if (v != nullptr) cfg.slow_query_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--no-profiles") {
+      cfg.profile_queries = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: spade_server [port] [setup-script] "
-          "[--workers N] [--queue N] [--slots N]\n");
+          "[--workers N] [--queue N] [--slots N] "
+          "[--slow-threshold SECONDS] [--no-profiles]\n");
       return 0;
     } else if (!arg.empty() && std::isdigit(static_cast<unsigned char>(arg[0]))) {
       port = static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));

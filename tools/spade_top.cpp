@@ -1,0 +1,247 @@
+// spade_top: a live one-screen view of a running spade_server, in the
+// spirit of `top`. Connects to the wire protocol, scrapes the `metrics`
+// (Prometheus text) and `slowlog` requests every interval, and renders
+// qps, latency percentiles, queue depth, device-slot occupancy, cache hit
+// rate, and the current worst queries.
+//
+//   $ ./build/tools/spade_top 127.0.0.1 7117
+//   $ ./build/tools/spade_top --once            # one plain-text snapshot
+//
+// Flags: --interval SECONDS (default 2), --once (print one snapshot, no
+// ANSI screen control — scriptable / CI-friendly).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+
+namespace {
+
+/// One parsed metrics scrape: plain series values plus histogram buckets.
+struct Scrape {
+  std::map<std::string, double> values;  ///< series name -> value
+  /// histogram family -> (le upper bound, cumulative count), scrape order.
+  std::map<std::string, std::vector<std::pair<double, int64_t>>> buckets;
+  std::string build_info;  ///< the spade_build_info label blob ("" if absent)
+};
+
+Scrape ParseMetrics(const std::string& text) {
+  Scrape s;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    const std::string name = line.substr(0, sp);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + sp + 1, &end);
+    if (end == line.c_str() + sp + 1) continue;  // the took-trailer etc.
+
+    const size_t bucket_pos = name.find("_bucket{le=\"");
+    if (bucket_pos != std::string::npos) {
+      const std::string family = name.substr(0, bucket_pos);
+      const size_t le_begin = bucket_pos + std::strlen("_bucket{le=\"");
+      const size_t le_end = name.find('"', le_begin);
+      if (le_end == std::string::npos) continue;
+      const std::string le_str = name.substr(le_begin, le_end - le_begin);
+      const double le = le_str == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(le_str.c_str(), nullptr);
+      s.buckets[family].emplace_back(le, static_cast<int64_t>(value));
+      continue;
+    }
+    if (name.rfind("spade_build_info{", 0) == 0) {
+      s.build_info = name.substr(std::strlen("spade_build_info"));
+    }
+    s.values[name] = value;
+  }
+  return s;
+}
+
+double ValueOr(const Scrape& s, const std::string& name, double fallback) {
+  const auto it = s.values.find(name);
+  return it == s.values.end() ? fallback : it->second;
+}
+
+/// Client-side percentile over the scraped cumulative buckets: the upper
+/// bound of the bucket holding rank ceil(p * total) — the same <= 2x
+/// contract the server-side histograms report.
+double Percentile(const Scrape& s, const std::string& family, double p) {
+  const auto it = s.buckets.find(family);
+  if (it == s.buckets.end() || it->second.empty()) return 0;
+  const int64_t total = it->second.back().second;
+  if (total == 0) return 0;
+  const auto rank = static_cast<int64_t>(std::ceil(p * total));
+  double last_finite = 0;
+  for (const auto& [le, cum] : it->second) {
+    if (std::isfinite(le)) last_finite = le;
+    if (cum >= rank) return std::isfinite(le) ? le : last_finite;
+  }
+  return last_finite;
+}
+
+std::string Seconds(double v) {
+  char buf[32];
+  if (v <= 0) {
+    std::snprintf(buf, sizeof(buf), "0");
+  } else if (v < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", v * 1e6);
+  } else if (v < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v);
+  }
+  return buf;
+}
+
+std::string Render(const Scrape& cur, const Scrape* prev, double dt_seconds,
+                   const std::string& slowlog_text,
+                   const std::string& endpoint) {
+  std::ostringstream os;
+  os << "spade_top — " << endpoint;
+  if (!cur.build_info.empty()) os << " — build" << cur.build_info;
+  const double start = ValueOr(cur, "spade_process_start_time_seconds", 0);
+  if (start > 0) {
+    const double now = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    os << " — up " << static_cast<int64_t>(now - start) << "s";
+  }
+  os << '\n';
+
+  const double completed = ValueOr(cur, "spade_service_requests_completed", 0);
+  os << "requests: ";
+  if (prev != nullptr && dt_seconds > 0) {
+    const double qps =
+        (completed - ValueOr(*prev, "spade_service_requests_completed", 0)) /
+        dt_seconds;
+    os << (qps < 0 ? 0.0 : qps) << " qps, ";
+  }
+  os << "completed " << completed << ", rejected "
+     << ValueOr(cur, "spade_service_requests_rejected", 0) << ", failed "
+     << ValueOr(cur, "spade_service_requests_failed", 0) << '\n';
+
+  os << "queue depth " << ValueOr(cur, "spade_service_queue_depth", 0)
+     << "  device slots " << ValueOr(cur, "spade_service_device_slots_busy", 0)
+     << "/" << ValueOr(cur, "spade_service_device_slots", 0) << '\n';
+
+  os << "latency p50 "
+     << Seconds(Percentile(cur, "spade_service_latency_seconds", 0.50))
+     << " p95 "
+     << Seconds(Percentile(cur, "spade_service_latency_seconds", 0.95))
+     << " p99 "
+     << Seconds(Percentile(cur, "spade_service_latency_seconds", 0.99))
+     << "  queue_wait p95 "
+     << Seconds(Percentile(cur, "spade_service_queue_wait_seconds", 0.95))
+     << '\n';
+
+  const double hits = ValueOr(cur, "spade_cell_cache_hits_total", 0);
+  const double misses = ValueOr(cur, "spade_cell_cache_misses_total", 0);
+  os << "cell cache ";
+  if (hits + misses > 0) {
+    os << 100.0 * hits / (hits + misses) << "% hit (" << hits << " hits, "
+       << misses << " misses)";
+  } else {
+    os << "(cold)";
+  }
+  os << "  tracer spans " << ValueOr(cur, "spade_tracer_spans", 0)
+     << " dropped " << ValueOr(cur, "spade_tracer_dropped_spans", 0) << '\n';
+
+  os << '\n' << slowlog_text << '\n';
+  return os.str();
+}
+
+/// The slowlog payload minus its `took ...` accounting trailer, truncated
+/// to the header + `max_entries` worst queries (one screen).
+std::string TrimSlowlog(const std::string& payload, size_t max_entries) {
+  std::istringstream is(payload);
+  std::ostringstream os;
+  std::string line;
+  size_t kept = 0;
+  while (std::getline(is, line) && kept < 1 + max_entries) {
+    if (line.rfind("took ", 0) == 0) break;
+    if (!line.empty()) {
+      os << (kept > 0 ? "\n" : "") << line;
+      ++kept;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7117;
+  double interval = 2.0;
+  bool once = false;
+  int positional = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval = std::strtod(argv[++i], nullptr);
+      if (interval <= 0) interval = 2.0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: spade_top [host] [port] [--interval SECONDS] [--once]\n");
+      return 0;
+    } else if (positional == 0) {
+      host = arg;
+      ++positional;
+    } else if (positional == 1) {
+      port = static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
+      ++positional;
+    }
+  }
+
+  spade::SpadeClient client;
+  auto st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string endpoint = host + ":" + std::to_string(port);
+
+  Scrape prev;
+  bool have_prev = false;
+  for (;;) {
+    auto metrics = client.Call("metrics");
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "error: %s\n", metrics.status().ToString().c_str());
+      return 1;
+    }
+    auto slowlog = client.Call("slowlog");
+    if (!slowlog.ok()) {
+      std::fprintf(stderr, "error: %s\n", slowlog.status().ToString().c_str());
+      return 1;
+    }
+    const Scrape cur = ParseMetrics(metrics.value());
+    const std::string screen =
+        Render(cur, have_prev ? &prev : nullptr, interval,
+               TrimSlowlog(slowlog.value(), 8), endpoint);
+    if (once) {
+      std::fputs(screen.c_str(), stdout);
+      return 0;
+    }
+    // ANSI clear + home: one stable screen that refreshes in place.
+    std::printf("\x1b[2J\x1b[H%s", screen.c_str());
+    std::fflush(stdout);
+    prev = cur;
+    have_prev = true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(interval * 1000)));
+  }
+}
