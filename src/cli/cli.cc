@@ -52,6 +52,9 @@ constexpr const char* kHelp = R"(commands:
   stats                        breakdown of the last query
   metrics                      Prometheus-format metrics snapshot
   retry <attempts> [base_ms]   I/O retry policy for disk-backed datasets
+  timeout <ms>|off             session deadline for query commands; a query
+                               over budget stops at its next cell pass with
+                               a typed DeadlineExceeded error
   failpoint list               show armed failpoints
   failpoint clear              disarm all failpoints
   failpoint <name> <action>    arm a failpoint, e.g. `failpoint io.read fail(io,2)`
@@ -226,6 +229,13 @@ Result<std::string> CliSession::Execute(const std::string& line) {
     tracer.Clear();
     tracer.SetEnabled(true);
   }
+  // Session deadline: each query command runs under a fresh token so one
+  // slow query cannot eat the next one's budget.
+  CancelToken deadline_token;
+  if (is_query && words[0] != "sql" && session_timeout_ms_ > 0) {
+    deadline_token.SetTimeout(session_timeout_ms_ / 1000.0);
+    active_cancel_ = &deadline_token;
+  }
   Stopwatch sw;
   auto r = [&]() -> Result<std::string> {
     if (profile != nullptr) {
@@ -234,6 +244,7 @@ Result<std::string> CliSession::Execute(const std::string& line) {
     }
     return ExecuteCommand(effective);
   }();
+  active_cancel_ = nullptr;
   const double elapsed = sw.ElapsedSeconds();
   if (tracing) {
     tracer.SetEnabled(false);
@@ -388,10 +399,12 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     }
     SPADE_ASSIGN_OR_RETURN(CellSource * src, FindSource(words[1]));
     SPADE_ASSIGN_OR_RETURN(MultiPolygon poly, ParseConstraint(Rest(line, 2)));
+    QueryOptions opts;
+    opts.cancel = active_cancel_;
     SPADE_ASSIGN_OR_RETURN(
         SelectionResult r,
-        cmd == "select" ? engine_.SpatialSelection(*src, poly)
-                        : engine_.ContainsSelection(*src, poly));
+        cmd == "select" ? engine_.SpatialSelection(*src, poly, opts)
+                        : engine_.ContainsSelection(*src, poly, opts));
     last_stats_ = r.stats;
     return DescribeSelection(r);
   }
@@ -405,8 +418,11 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     SPADE_ASSIGN_OR_RETURN(double y0, ToDouble(words[3]));
     SPADE_ASSIGN_OR_RETURN(double x1, ToDouble(words[4]));
     SPADE_ASSIGN_OR_RETURN(double y1, ToDouble(words[5]));
-    SPADE_ASSIGN_OR_RETURN(SelectionResult r,
-                           engine_.RangeSelection(*src, Box(x0, y0, x1, y1)));
+    QueryOptions opts;
+    opts.cancel = active_cancel_;
+    SPADE_ASSIGN_OR_RETURN(
+        SelectionResult r,
+        engine_.RangeSelection(*src, Box(x0, y0, x1, y1), opts));
     last_stats_ = r.stats;
     return DescribeSelection(r);
   }
@@ -417,7 +433,9 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     }
     SPADE_ASSIGN_OR_RETURN(CellSource * a, FindSource(words[1]));
     SPADE_ASSIGN_OR_RETURN(CellSource * b, FindSource(words[2]));
-    SPADE_ASSIGN_OR_RETURN(JoinResult r, engine_.SpatialJoin(*a, *b));
+    QueryOptions opts;
+    opts.cancel = active_cancel_;
+    SPADE_ASSIGN_OR_RETURN(JoinResult r, engine_.SpatialJoin(*a, *b, opts));
     last_stats_ = r.stats;
     std::ostringstream os;
     os << r.pairs.size() << " pairs in " << r.stats.TotalSeconds() << "s";
@@ -435,6 +453,7 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     SPADE_ASSIGN_OR_RETURN(double y, ToDouble(words[3]));
     QueryOptions opts;
     opts.mercator = words.size() > 5 && words[5] == "m";
+    opts.cancel = active_cancel_;
     if (knn) {
       SPADE_ASSIGN_OR_RETURN(size_t k, ToCount(words[4]));
       SPADE_ASSIGN_OR_RETURN(KnnResult r,
@@ -466,6 +485,7 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     SPADE_ASSIGN_OR_RETURN(double r, ToDouble(words[3]));
     QueryOptions opts;
     opts.mercator = words.size() > 4 && words[4] == "m";
+    opts.cancel = active_cancel_;
     SPADE_ASSIGN_OR_RETURN(JoinResult res,
                            engine_.DistanceJoin(*a, *b, r, opts));
     last_stats_ = res.stats;
@@ -480,8 +500,10 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     }
     SPADE_ASSIGN_OR_RETURN(CellSource * data, FindSource(words[1]));
     SPADE_ASSIGN_OR_RETURN(CellSource * cons, FindSource(words[2]));
+    QueryOptions opts;
+    opts.cancel = active_cancel_;
     SPADE_ASSIGN_OR_RETURN(AggregationResult r,
-                           engine_.SpatialAggregation(*data, *cons));
+                           engine_.SpatialAggregation(*data, *cons, opts));
     last_stats_ = r.stats;
     std::vector<std::pair<uint64_t, size_t>> top;
     for (size_t i = 0; i < r.counts.size(); ++i) {
@@ -562,6 +584,30 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     }
     return Status::InvalidArgument(
         "usage: slowlog [json|clear|threshold <seconds>]");
+  }
+
+  if (cmd == "timeout") {
+    const auto render = [&] {
+      std::ostringstream os;
+      os << "timeout " << session_timeout_ms_ << "ms";
+      return os.str();
+    };
+    if (words.size() == 1) {
+      return session_timeout_ms_ > 0 ? render() : std::string("timeout off");
+    }
+    if (words.size() != 2) {
+      return Status::InvalidArgument("usage: timeout <ms>|off");
+    }
+    if (words[1] == "off" || words[1] == "0") {
+      session_timeout_ms_ = 0;
+      return std::string("timeout off");
+    }
+    SPADE_ASSIGN_OR_RETURN(double ms, ToDouble(words[1]));
+    if (ms <= 0) {
+      return Status::InvalidArgument("timeout must be > 0 milliseconds");
+    }
+    session_timeout_ms_ = ms;
+    return render();
   }
 
   if (cmd == "retry") {

@@ -62,6 +62,12 @@ class CliSession {
   RetryPolicy retry_policy_;  ///< applied to every disk-backed source
   LatencyHistogram latency_hist_;
   LatencyHistogram queue_wait_hist_;  ///< all zero for direct execution
+  /// Session deadline (`timeout <ms>` command, 0 = none): each query
+  /// command runs under a fresh token armed with this budget.
+  double session_timeout_ms_ = 0;
+  /// Token of the query command currently executing (set by Execute
+  /// around ExecuteCommand, which threads it into QueryOptions).
+  CancelToken* active_cancel_ = nullptr;
 };
 
 }  // namespace spade

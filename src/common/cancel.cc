@@ -1,0 +1,87 @@
+#include "common/cancel.h"
+
+#include <limits>
+
+namespace spade {
+
+thread_local CancelToken* CancelScope::current_ = nullptr;
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancelToken::Cancel(std::string reason) {
+  int expected = kLive;
+  if (state_.compare_exchange_strong(expected, kCancelled,
+                                     std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    reason_ = reason.empty() ? "cancelled" : std::move(reason);
+  }
+}
+
+void CancelToken::SetTimeout(double seconds) {
+  if (seconds <= 0) return;
+  const double ns = seconds * 1e9;
+  // Saturate huge timeouts instead of overflowing into the past.
+  const int64_t deadline =
+      ns >= static_cast<double>(std::numeric_limits<int64_t>::max()) ||
+              NowNs() > std::numeric_limits<int64_t>::max() - static_cast<int64_t>(ns)
+          ? std::numeric_limits<int64_t>::max()
+          : NowNs() + static_cast<int64_t>(ns);
+  deadline_ns_.store(deadline, std::memory_order_relaxed);
+}
+
+double CancelToken::SecondsRemaining() const {
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(deadline - NowNs()) * 1e-9;
+}
+
+void CancelToken::CancelAfterChecks(int64_t n) {
+  checks_left_.store(n > 0 ? n : -1, std::memory_order_relaxed);
+}
+
+bool CancelToken::TripDeadlineIfPast() const {
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0 || NowNs() < deadline) return false;
+  int expected = kLive;
+  if (state_.compare_exchange_strong(expected, kDeadline,
+                                     std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    reason_ = "deadline exceeded";
+  }
+  return true;
+}
+
+Status CancelToken::Check() {
+  // Deterministic countdown first: fuzz replay must trip on the same
+  // Check() call regardless of how fast the wall clock moved.
+  if (checks_left_.load(std::memory_order_relaxed) > 0 &&
+      checks_left_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    Cancel("cancel point");
+  }
+  const int state = state_.load(std::memory_order_acquire);
+  if (state == kCancelled) return Status::Cancelled(reason());
+  if (state == kDeadline || TripDeadlineIfPast()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+bool CancelToken::cancelled() const {
+  if (state_.load(std::memory_order_acquire) != kLive) return true;
+  return TripDeadlineIfPast();
+}
+
+std::string CancelToken::reason() const {
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  return reason_;
+}
+
+}  // namespace spade

@@ -1,0 +1,117 @@
+// Cooperative cancellation and deadlines for the execution stack.
+//
+// A CancelToken is shared between the party that may abandon an operation
+// (server connection, drain loop, test) and the code doing the work
+// (engine query loops). Work-side code calls Check() at natural pass
+// boundaries — cell passes, sub-cell streams, join pair groups — and
+// unwinds with the typed status it returns. All partial results travel
+// through Result<T>/Status, so an early non-OK return frees device
+// allocations, cache pins, and slot guards via the existing RAII types;
+// cancellation needs no separate cleanup path.
+//
+// Granularity contract: checks sit at cell-pass boundaries (the unit of
+// device work, tens of passes per query), so a cancelled query stops
+// within one pass, not one fragment. The gfx layer additionally polls
+// cancelled() inside long fragment/scan loops as a best-effort fast-out;
+// that may leave garbage in scratch buffers, which is safe because every
+// engine query root re-Checks the token before returning success —
+// partial results can never escape as OK.
+//
+// Deadlines use the steady clock: SetTimeout(s) arms "now + s" at call
+// time (the service arms it at admission, so the deadline covers queue
+// wait). CancelAfterChecks(n) is a deterministic trip used by the fuzzer:
+// the n-th Check() cancels, independent of wall-clock, which makes
+// "cancel mid-query never yields partial success" replayable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace spade {
+
+/// \brief Shared cancellation/deadline state, safe for concurrent use.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation with a human-readable reason ("client
+  /// disconnected", "server draining"). First caller wins; idempotent.
+  void Cancel(std::string reason);
+
+  /// Arm a deadline `seconds` from now (steady clock). Replaces any
+  /// previously armed deadline.
+  void SetTimeout(double seconds);
+  /// True when a deadline is armed (tripped or not).
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  /// Seconds until the armed deadline (negative when past); +inf when
+  /// no deadline is armed.
+  double SecondsRemaining() const;
+
+  /// Deterministic trip for tests/fuzzing: the n-th subsequent Check()
+  /// call cancels with reason "cancel point". Wall-clock independent.
+  void CancelAfterChecks(int64_t n);
+
+  /// Cancellation point. OK while live; Cancelled/DeadlineExceeded once
+  /// tripped (sticky — every later Check returns the same code).
+  Status Check();
+
+  /// Observational fast check (no countdown decrement): true once the
+  /// token has tripped via Cancel(), a past deadline, or the countdown.
+  /// Safe to poll from gfx worker threads.
+  bool cancelled() const;
+
+  /// The reason passed to Cancel(), or "deadline exceeded"; empty while
+  /// live.
+  std::string reason() const;
+
+ private:
+  enum : int { kLive = 0, kCancelled = 1, kDeadline = 2 };
+
+  bool TripDeadlineIfPast() const;
+
+  mutable std::atomic<int> state_{kLive};
+  std::atomic<int64_t> deadline_ns_{0};    ///< steady epoch ns; 0 = none
+  std::atomic<int64_t> checks_left_{-1};   ///< countdown; -1 = disarmed
+  mutable std::mutex reason_mu_;
+  mutable std::string reason_;
+};
+
+/// \brief RAII registration of "the token of the query running on this
+/// thread". Engine query roots install it; gfx draw/scan loops capture
+/// Current() at dispatch time (before fanning work out to pool threads)
+/// and poll cancelled() between chunks as a best-effort fast-out.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken* token) : prev_(current_) {
+    current_ = token;
+  }
+  ~CancelScope() { current_ = prev_; }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// The token installed on this thread, or null.
+  static CancelToken* Current() { return current_; }
+
+ private:
+  static thread_local CancelToken* current_;
+  CancelToken* prev_;
+};
+
+/// Shorthand for the pervasive "check and unwind" at pass boundaries.
+/// `token` may be null (no cancellation armed).
+#define SPADE_RETURN_IF_CANCELLED(token)                      \
+  do {                                                        \
+    ::spade::CancelToken* _tok = (token);                     \
+    if (_tok != nullptr) SPADE_RETURN_NOT_OK(_tok->Check());  \
+  } while (false)
+
+}  // namespace spade

@@ -24,6 +24,8 @@ class Status {
     kNotSupported,
     kInternal,
     kOverloaded,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +54,17 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(Code::kOverloaded, std::move(msg));
   }
+  /// The caller (client disconnect, drain, explicit cancel) abandoned the
+  /// operation; partial work was discarded, nothing definitive happened.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  /// The operation's deadline passed before it completed. Like kCancelled
+  /// the partial work is discarded; the distinct code lets callers retry
+  /// with a larger budget instead of treating it as caller intent.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -76,6 +89,8 @@ class Status {
       case Code::kNotSupported: return "NotSupported";
       case Code::kInternal: return "Internal";
       case Code::kOverloaded: return "Overloaded";
+      case Code::kCancelled: return "Cancelled";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -33,9 +33,11 @@ struct EngineOps {
                                                CellSource& source,
                                                const std::vector<double>& radii,
                                                double global_r, bool mercator,
-                                               QueryStats* stats) {
+                                               QueryStats* stats,
+                                               CancelToken* cancel) {
     ConstraintSet cs;
     for (size_t c = 0; c < source.index().cells.size(); ++c) {
+      SPADE_RETURN_IF_CANCELLED(cancel);
       SPADE_ASSIGN_OR_RETURN(
           std::shared_ptr<const CellData> data,
           source.LoadCell(c, stats));
@@ -58,7 +60,7 @@ struct EngineOps {
   /// emit(left global id, right global id) must be thread-safe.
   static Status RunDistanceJoin(
       SpadeEngine* eng, const ConstraintSet& cs, CellSource& right,
-      bool mercator, QueryStats* stats,
+      bool mercator, QueryStats* stats, CancelToken* cancel,
       const std::function<void(GeomId, GeomId)>& emit) {
     if (right.primary_type() != GeomType::kPoint) {
       return Status::NotSupported(
@@ -76,6 +78,7 @@ struct EngineOps {
     const GeometricTransform transform{mercator, 1, 1, 0, 0};
 
     for (const auto& layer : layers.layers) {
+      SPADE_RETURN_IF_CANCELLED(cancel);
       // Viewport over this layer's combined region.
       Box layer_box;
       for (GeomId li : layer) layer_box.Extend(cs.expanded[li]);
@@ -109,6 +112,7 @@ struct EngineOps {
                                           transform)
                      : right.index().cells[dc].box;
         if (!cell_box.Intersects(layer_box)) continue;
+        SPADE_RETURN_IF_CANCELLED(cancel);
         SPADE_ASSIGN_OR_RETURN(
             std::shared_ptr<const PreparedCell> prep,
             eng->preparer_.Get(right, dc, /*need_layers=*/false, stats));
@@ -140,6 +144,7 @@ Result<SelectionResult> SpadeEngine::DistanceSelection(
     CellSource& data, const Geometry& probe, double r,
     const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.distance");
+  CancelScope cancel_scope(opts.cancel);
   SelectionResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -156,7 +161,8 @@ Result<SelectionResult> SpadeEngine::DistanceSelection(
 
   std::mutex mu;
   SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
-      this, cs, data, opts.mercator, &stats, [&](GeomId, GeomId right_id) {
+      this, cs, data, opts.mercator, &stats, opts.cancel,
+      [&](GeomId, GeomId right_id) {
         std::lock_guard<std::mutex> lock(mu);
         result.ids.push_back(right_id);
       }));
@@ -170,6 +176,7 @@ Result<SelectionResult> SpadeEngine::DistanceSelection(
   }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 
@@ -177,6 +184,7 @@ Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
                                              CellSource& right, double r,
                                              const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.distance_join");
+  CancelScope cancel_scope(opts.cancel);
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -190,11 +198,12 @@ Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
 
   SPADE_ASSIGN_OR_RETURN(
       ConstraintSet cs,
-      EngineOps::LoadConstraints(this, cons, {}, r, opts.mercator, &stats));
+      EngineOps::LoadConstraints(this, cons, {}, r, opts.mercator, &stats,
+                                 opts.cancel));
 
   std::mutex mu;
   SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
-      this, cs, other, opts.mercator, &stats,
+      this, cs, other, opts.mercator, &stats, opts.cancel,
       [&](GeomId left_id, GeomId right_id) {
         std::lock_guard<std::mutex> lock(mu);
         result.pairs.emplace_back(swap ? right_id : left_id,
@@ -208,6 +217,7 @@ Result<JoinResult> SpadeEngine::DistanceJoin(CellSource& left,
   }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 
@@ -215,6 +225,7 @@ Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
     CellSource& left, CellSource& right, const std::vector<double>& radii,
     const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.distance_join");
+  CancelScope cancel_scope(opts.cancel);
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -225,11 +236,12 @@ Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
 
   SPADE_ASSIGN_OR_RETURN(
       ConstraintSet cs,
-      EngineOps::LoadConstraints(this, left, radii, 0, opts.mercator, &stats));
+      EngineOps::LoadConstraints(this, left, radii, 0, opts.mercator, &stats,
+                                 opts.cancel));
 
   std::mutex mu;
   SPADE_RETURN_NOT_OK(EngineOps::RunDistanceJoin(
-      this, cs, right, opts.mercator, &stats,
+      this, cs, right, opts.mercator, &stats, opts.cancel,
       [&](GeomId left_id, GeomId right_id) {
         std::lock_guard<std::mutex> lock(mu);
         result.pairs.emplace_back(left_id, right_id);
@@ -242,6 +254,7 @@ Result<JoinResult> SpadeEngine::DistanceJoinPerObject(
   }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 

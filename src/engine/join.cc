@@ -76,7 +76,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
                                             CellSource& other,
                                             const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.join");
-  (void)opts;
+  CancelScope cancel_scope(opts.cancel);
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -101,6 +101,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
   int64_t exact_tests = 0;
   size_t group_begin = 0;
   while (group_begin < pairs.size()) {
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     size_t group_end = group_begin;
     while (group_end < pairs.size() &&
            pairs[group_end].first == pairs[group_begin].first) {
@@ -143,6 +144,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
                              DeviceAllocation::Make(&device_, group_bytes));
 
       for (size_t g = group_begin; g < group_end; ++g) {
+        SPADE_RETURN_IF_CANCELLED(opts.cancel);
         const size_t c2 = pairs[g].second;
         SPADE_ASSIGN_OR_RETURN(
             std::shared_ptr<const PreparedCell> whole2,
@@ -155,6 +157,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
 
         Stopwatch gpu_sw;
         for (const std::shared_ptr<const PreparedCell>& prep2 : passes) {
+          SPADE_RETURN_IF_CANCELLED(opts.cancel);
           SPADE_ASSIGN_OR_RETURN(
               DeviceAllocation cell_mem,
               DeviceAllocation::Make(&device_, prep2->transfer_bytes()));
@@ -213,6 +216,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
       // right cells its bounds touch.
       for (size_t i = 0; i < prep1->size(); ++i) {
         if (!prep1->geom(i).is_polygon()) continue;
+        SPADE_RETURN_IF_CANCELLED(opts.cancel);
         const Box pb = prep1->geom(i).Bounds();
 
         Stopwatch canvas_sw;
@@ -262,6 +266,7 @@ Result<JoinResult> SpadeEngine::SpatialJoin(CellSource& polygons,
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += exact_tests;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 

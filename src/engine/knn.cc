@@ -59,7 +59,8 @@ struct EngineKnnOps {
   /// One multiway-blend pass over all data points, producing the density
   /// raster and its summed-area table.
   static Result<DensityMap> BuildDensity(SpadeEngine* eng, CellSource& data,
-                                         bool mercator, QueryStats* stats) {
+                                         bool mercator, QueryStats* stats,
+                                         CancelToken* cancel) {
     const GeometricTransform transform{mercator, 1, 1, 0, 0};
     Box extent = data.index().extent;
     if (mercator) extent = exec::TransformBox(extent, transform);
@@ -74,6 +75,7 @@ struct EngineKnnOps {
                                density.size() * sizeof(uint32_t)));
 
     for (size_t c = 0; c < data.index().cells.size(); ++c) {
+      SPADE_RETURN_IF_CANCELLED(cancel);
       SPADE_ASSIGN_OR_RETURN(
           std::shared_ptr<const PreparedCell> prep,
           eng->preparer_.Get(data, c, /*need_layers=*/false, stats));
@@ -135,6 +137,7 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
                                             size_t k,
                                             const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.knn");
+  CancelScope cancel_scope(opts.cancel);
   KnnResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -150,7 +153,7 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
   // Step 1: aggregation over the concentric circles.
   SPADE_ASSIGN_OR_RETURN(DensityMap dm,
                          EngineKnnOps::BuildDensity(this, data, opts.mercator,
-                                                    &stats));
+                                                    &stats, opts.cancel));
   const double r_max = dm.vp.world().MaxCornerDistanceTo(probe);
   const double r = EngineKnnOps::PickRadius(dm, probe, r_max, k,
                                             config_.knn_alpha,
@@ -180,6 +183,7 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
       }
     }
     if (!any) continue;
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
                            data.LoadCell(c, &stats));
     for (size_t i = 0; i < cd->ids.size(); ++i) {
@@ -200,6 +204,7 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
   stats.cpu_seconds += cpu_sw.ElapsedSeconds();
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 
@@ -207,6 +212,7 @@ Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
                                         CellSource& data, size_t k,
                                         const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.knn_join");
+  CancelScope cancel_scope(opts.cancel);
   JoinResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -219,7 +225,7 @@ Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
   // each probe's radius.
   SPADE_ASSIGN_OR_RETURN(DensityMap dm,
                          EngineKnnOps::BuildDensity(this, data, opts.mercator,
-                                                    &stats));
+                                                    &stats, opts.cancel));
   std::vector<Vec2> projected(probes.size());
   std::vector<double> radii(probes.size());
   Stopwatch probe_sw;
@@ -268,6 +274,7 @@ Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
       }
     }
     if (!any) continue;
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
                            data.LoadCell(c, &stats));
     for (size_t i = 0; i < cd->ids.size(); ++i) {
@@ -303,6 +310,7 @@ Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
   stats.cpu_seconds += cpu_sw.ElapsedSeconds();
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/config.h"
 #include "geom/geometry.h"
 
@@ -25,6 +26,12 @@ struct QueryOptions {
   /// table. Applied in the fragment stage, so filtered objects still cost
   /// their rasterization (like a fused relational+spatial plan would).
   std::function<bool(GeomId)> id_filter;
+
+  /// Optional cooperative cancellation/deadline token (not owned; the
+  /// caller keeps it alive for the duration of the query). Query loops
+  /// Check() it at cell-pass boundaries and unwind with the typed
+  /// Cancelled/DeadlineExceeded status; null means "never cancelled".
+  CancelToken* cancel = nullptr;
 };
 
 /// \brief Result of a spatial or distance selection.

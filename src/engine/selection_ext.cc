@@ -14,7 +14,7 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
                                                     const Box& range,
                                                     const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.range");
-  (void)opts;
+  CancelScope cancel_scope(opts.cancel);
   SelectionResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -37,6 +37,7 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
   stats.cells_processed += static_cast<int64_t>(cells.size());
 
   for (size_t c : cells) {
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> prep,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
@@ -69,6 +70,7 @@ Result<SelectionResult> SpadeEngine::RangeSelection(CellSource& data,
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += canvas.boundary_index().exact_tests();
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 
@@ -76,7 +78,7 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
     CellSource& data, const MultiPolygon& constraint,
     const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.contains");
-  (void)opts;
+  CancelScope cancel_scope(opts.cancel);
   SelectionResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -99,6 +101,7 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
   stats.cells_processed += static_cast<int64_t>(cells.size());
 
   for (size_t c : cells) {
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> prep,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
@@ -165,6 +168,7 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += canvas.boundary_index().exact_tests();
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 

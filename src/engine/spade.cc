@@ -127,6 +127,7 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
     const QueryOptions& opts) {
   // Relational linkage: the optional id filter runs in the fragment stage.
   SPADE_TRACE_SPAN("engine.selection");
+  CancelScope cancel_scope(opts.cancel);
   const auto& keep = opts.id_filter;
   SelectionResult result;
   QueryStats& stats = result.stats;
@@ -154,14 +155,18 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
 
   // Step 3: refinement — one fused blend+mask+map pass per cell. The cell
   // occupies device memory only for the duration of its pass; a cell too
-  // large for the remaining budget is streamed as sub-cells.
+  // large for the remaining budget is streamed as sub-cells. Cancellation
+  // is checked per cell and per sub-cell pass: unwinding through the
+  // Result releases the canvas/cell DeviceAllocations on the way out.
   for (size_t c : cells) {
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> whole,
         preparer_.Get(data, c, /*need_layers=*/false, &stats));
     SPADE_ASSIGN_OR_RETURN(auto passes,
                            exec::PlanCellPasses(&device_, whole, &stats));
     for (const std::shared_ptr<const PreparedCell>& prep : passes) {
+      SPADE_RETURN_IF_CANCELLED(opts.cancel);
       SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
       pass_span.AddArg("cell", static_cast<int64_t>(c));
       pass_span.AddArg("objects", static_cast<int64_t>(prep->size()));
@@ -214,12 +219,16 @@ Result<SelectionResult> SpadeEngine::SpatialSelection(
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
   stats.exact_tests += canvas.boundary_index().exact_tests();
+  // Final check: the gfx fast-out may have skipped fragments after the
+  // token tripped mid-pass, so a tripped token must never return OK.
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 
 Result<AggregationResult> SpadeEngine::SpatialAggregation(
     CellSource& data, CellSource& constraints, const QueryOptions& opts) {
   SPADE_TRACE_SPAN("engine.aggregation");
+  CancelScope cancel_scope(opts.cancel);
   AggregationResult result;
   QueryStats& stats = result.stats;
   const int64_t base_passes = device_.render_passes();
@@ -250,6 +259,7 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
   // at each constraint's unique location (its id) — no join materialized.
   const auto& ccells = constraints.index().cells;
   for (size_t cc = 0; cc < ccells.size(); ++cc) {
+    SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(
         std::shared_ptr<const PreparedCell> cprep,
         preparer_.Get(constraints, cc, /*need_layers=*/true, &stats));
@@ -270,6 +280,7 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
     // multiway-blend plan is unaffected by splitting).
     for (size_t dc = 0; dc < data.index().cells.size(); ++dc) {
       if (!data.index().cells[dc].box.Intersects(cbox)) continue;
+      SPADE_RETURN_IF_CANCELLED(opts.cancel);
       SPADE_ASSIGN_OR_RETURN(
           std::shared_ptr<const PreparedCell> whole,
           preparer_.Get(data, dc, /*need_layers=*/false, &stats));
@@ -277,6 +288,7 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
                              exec::PlanCellPasses(&device_, whole, &stats));
       stats.cells_processed++;
       for (const std::shared_ptr<const PreparedCell>& dprep : passes) {
+        SPADE_RETURN_IF_CANCELLED(opts.cancel);
         SPADE_TRACE_SPAN_VAR(pass_span, "engine.cell_pass");
         pass_span.AddArg("cell", static_cast<int64_t>(dc));
         pass_span.AddArg("objects", static_cast<int64_t>(dprep->size()));
@@ -305,7 +317,7 @@ Result<AggregationResult> SpadeEngine::SpatialAggregation(
   }
   stats.render_passes = device_.render_passes() - base_passes;
   stats.fragments = device_.fragments() - base_frags;
-  (void)opts;
+  SPADE_RETURN_IF_CANCELLED(opts.cancel);
   return result;
 }
 

@@ -347,6 +347,17 @@ FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
         break;
     }
   }
+
+  // --- cancellation schedule -----------------------------------------------
+  if (opts.with_cancellation && rng.Chance(1.0 / 6)) {
+    if (rng.Chance(0.7)) {
+      // Deterministic: trips on exactly the n-th cooperative check.
+      c.cancel_after_checks = rng.UniformInt(1, 40);
+    } else {
+      // Wall-clock: small enough to plausibly interrupt mid-query.
+      c.deadline_ms = rng.Uniform(0.05, 5.0);
+    }
+  }
   return c;
 }
 
@@ -367,6 +378,14 @@ std::string FormatCase(const FuzzCase& c) {
   os << "layers " << (c.config.warm_layers ? 1 : 0) << "\n";
   os << "disk " << (c.config.use_disk ? 1 : 0) << "\n";
   if (!c.failpoints.empty()) os << "failpoints " << c.failpoints << "\n";
+  if (c.cancel_after_checks > 0) {
+    os << "cancel_after_checks " << c.cancel_after_checks << "\n";
+  }
+  if (c.deadline_ms > 0) {
+    os << "deadline_ms ";
+    FormatDouble(os, c.deadline_ms);
+    os << "\n";
+  }
   switch (c.query.cls) {
     case QueryClass::kSelection:
     case QueryClass::kContains:
@@ -447,6 +466,10 @@ Result<FuzzCase> ParseCase(const std::string& text) {
       c.config.use_disk = rest == "1";
     } else if (key == "failpoints") {
       c.failpoints = rest;
+    } else if (key == "cancel_after_checks") {
+      c.cancel_after_checks = std::strtoll(rest.c_str(), nullptr, 10);
+    } else if (key == "deadline_ms") {
+      c.deadline_ms = std::strtod(rest.c_str(), nullptr);
     } else if (key == "constraint") {
       SPADE_ASSIGN_OR_RETURN(Geometry g, ParseWkt(rest));
       if (!g.is_polygon()) return bad("constraint must be a polygon");

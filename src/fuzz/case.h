@@ -64,6 +64,16 @@ struct FuzzCase {
   SpatialDataset data;      ///< primary dataset
   SpatialDataset data2;     ///< join other side / aggregation constraints
   std::string failpoints;   ///< SPADE_FAILPOINTS schedule ("" = none)
+  /// Deterministic cancellation point: trip the query's token on its n-th
+  /// cooperative check (0 = disarmed). Wall-clock independent, so replay
+  /// cancels at exactly the same point on every run. The invariant under
+  /// test: a tripped query returns a typed Cancelled error, never a
+  /// partial result dressed as success.
+  int64_t cancel_after_checks = 0;
+  /// Wall-clock deadline for the run (0 = none). Nondeterministic where
+  /// it trips, so the check is one-sided: DeadlineExceeded or an exactly
+  /// right answer are both acceptable.
+  double deadline_ms = 0;
 };
 
 /// Knobs of random case generation.
@@ -71,6 +81,8 @@ struct GenOptions {
   size_t max_objects = 600;      ///< primary dataset size cap
   bool with_failpoints = false;  ///< arm a random failpoint schedule on
                                  ///< ~1 in 6 cases
+  bool with_cancellation = false;  ///< arm a random cancellation point or
+                                   ///< deadline on ~1 in 6 cases
   /// Restrict to one class (empty = all). Comma-separated class names.
   std::string classes;
 };

@@ -258,63 +258,74 @@ Result<std::unique_ptr<CaseSources>> BuildSources(const FuzzCase& c,
   return s;
 }
 
-Result<Answer> RunEngine(const FuzzCase& c, const RunOptions& opts) {
+/// True when the case arms any cancellation mechanism.
+bool CancelArmed(const FuzzCase& c) {
+  return c.cancel_after_checks > 0 || c.deadline_ms > 0;
+}
+
+Result<Answer> RunEngine(const FuzzCase& c, const RunOptions& opts,
+                         CancelToken* cancel) {
   const SpadeConfig cfg = c.config.ToSpadeConfig();
   SpadeEngine engine(cfg);
   SPADE_ASSIGN_OR_RETURN(auto sources, BuildSources(c, opts, cfg));
   if (c.config.warm_layers) {
     SPADE_RETURN_NOT_OK(engine.WarmIndexes(*sources->data, true));
   }
+  QueryOptions qopts;
+  qopts.cancel = cancel;
   Answer a;
   switch (c.query.cls) {
     case QueryClass::kSelection: {
       SPADE_ASSIGN_OR_RETURN(
-          auto r, engine.SpatialSelection(*sources->data, c.query.constraint));
+          auto r, engine.SpatialSelection(*sources->data, c.query.constraint,
+                                          qopts));
       a.ids = std::move(r.ids);
       break;
     }
     case QueryClass::kRange: {
       SPADE_ASSIGN_OR_RETURN(
-          auto r, engine.RangeSelection(*sources->data, c.query.range));
+          auto r, engine.RangeSelection(*sources->data, c.query.range, qopts));
       a.ids = std::move(r.ids);
       break;
     }
     case QueryClass::kContains: {
       SPADE_ASSIGN_OR_RETURN(
-          auto r, engine.ContainsSelection(*sources->data, c.query.constraint));
+          auto r, engine.ContainsSelection(*sources->data, c.query.constraint,
+                                           qopts));
       a.ids = std::move(r.ids);
       break;
     }
     case QueryClass::kJoin: {
       SPADE_ASSIGN_OR_RETURN(
-          auto r, engine.SpatialJoin(*sources->data, *sources->data2));
+          auto r, engine.SpatialJoin(*sources->data, *sources->data2, qopts));
       a.pairs = std::move(r.pairs);
       break;
     }
     case QueryClass::kDistance: {
       SPADE_ASSIGN_OR_RETURN(
           auto r, engine.DistanceSelection(*sources->data, c.query.probe,
-                                           c.query.radius));
+                                           c.query.radius, qopts));
       a.ids = std::move(r.ids);
       break;
     }
     case QueryClass::kDistanceJoin: {
       SPADE_ASSIGN_OR_RETURN(
           auto r, engine.DistanceJoin(*sources->data, *sources->data2,
-                                      c.query.radius));
+                                      c.query.radius, qopts));
       a.pairs = std::move(r.pairs);
       break;
     }
     case QueryClass::kAggregation: {
       SPADE_ASSIGN_OR_RETURN(
-          auto r, engine.SpatialAggregation(*sources->data, *sources->data2));
+          auto r, engine.SpatialAggregation(*sources->data, *sources->data2,
+                                            qopts));
       a.counts = std::move(r.counts);
       break;
     }
     case QueryClass::kKnn: {
       SPADE_ASSIGN_OR_RETURN(
           auto r, engine.KnnSelection(*sources->data, c.query.probe.point(),
-                                      c.query.k));
+                                      c.query.k, qopts));
       a.neighbors = std::move(r.neighbors);
       break;
     }
@@ -421,6 +432,7 @@ RunOutcome RunCaseOnce(const FuzzCase& c, const RunOptions& opts,
                        const Answer* reuse_oracle) {
   RunOutcome out;
   const bool faults_armed = !c.failpoints.empty();
+  const bool cancel_armed = CancelArmed(c);
   if (faults_armed) {
     failpoint::ClearAll();
     const Status st = failpoint::Configure(c.failpoints);
@@ -430,9 +442,20 @@ RunOutcome RunCaseOnce(const FuzzCase& c, const RunOptions& opts,
       return out;
     }
   }
-  Result<Answer> engine = RunEngine(c, opts);
+  CancelToken token;
+  if (c.cancel_after_checks > 0) token.CancelAfterChecks(c.cancel_after_checks);
+  if (c.deadline_ms > 0) token.SetTimeout(c.deadline_ms / 1000.0);
+  Result<Answer> engine =
+      RunEngine(c, opts, cancel_armed ? &token : nullptr);
   if (faults_armed) failpoint::ClearAll();
   if (!engine.ok()) {
+    if (cancel_armed &&
+        (engine.status().code() == Status::Code::kCancelled ||
+         engine.status().code() == Status::Code::kDeadlineExceeded)) {
+      // Cancellation did its job: a typed unwind, no result.
+      out.engine_fault = true;
+      return out;
+    }
     if (faults_armed) {
       // "Fail or be right": a typed error under an armed schedule is an
       // acceptable outcome.
@@ -442,6 +465,17 @@ RunOutcome RunCaseOnce(const FuzzCase& c, const RunOptions& opts,
     out.mismatch = true;
     out.detail = "engine error without faults armed: " +
                  engine.status().ToString();
+    return out;
+  }
+  // The partial-result invariant: a countdown-tripped token must never
+  // surface as success. (Deadlines are exempt — the clock may run out
+  // after the query already finished.)
+  if (c.cancel_after_checks > 0 && token.cancelled()) {
+    out.mismatch = true;
+    out.detail =
+        "cancelled query (cancel_after_checks=" +
+        std::to_string(c.cancel_after_checks) +
+        ") returned success — partial results may have escaped as OK";
     return out;
   }
   const Answer oracle = reuse_oracle ? *reuse_oracle : OracleAnswer(c);
@@ -456,8 +490,9 @@ RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
   const Answer oracle = OracleAnswer(c);
   RunOutcome out = RunCaseOnce(c, opts, &oracle);
   if (out.mismatch || out.engine_fault || !opts.metamorphic) return out;
-  // Metamorphic checks only make sense on deterministic (fault-free) runs.
-  if (!c.failpoints.empty()) return out;
+  // Metamorphic checks only make sense on deterministic (fault-free,
+  // cancellation-free) runs.
+  if (!c.failpoints.empty() || CancelArmed(c)) return out;
   for (const Variant& v : MetamorphicVariants(c)) {
     RunOutcome vo =
         RunCaseOnce(v.c, opts, v.reuse_oracle ? &oracle : nullptr);
@@ -538,6 +573,12 @@ FuzzCase ShrinkCase(const FuzzCase& c, const RunOptions& opts) {
   if (!best.failpoints.empty()) {
     FuzzCase cand = best;
     cand.failpoints.clear();
+    try_keep(std::move(cand));
+  }
+  if (best.cancel_after_checks > 0 || best.deadline_ms > 0) {
+    FuzzCase cand = best;
+    cand.cancel_after_checks = 0;
+    cand.deadline_ms = 0;
     try_keep(std::move(cand));
   }
   if (best.config.use_disk) {
@@ -672,6 +713,7 @@ FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts) {
         "selection,range,contains,join,distance,distance-join,knn";
   }
   gen.with_failpoints = false;  // deterministic responses under concurrency
+  gen.with_cancellation = false;
 
   struct Slot {
     uint64_t seed;

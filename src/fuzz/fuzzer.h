@@ -73,7 +73,7 @@ struct FuzzLoopOptions {
 /// \brief Aggregate result of a fuzz loop.
 struct FuzzLoopResult {
   size_t executed = 0;         ///< cases actually run
-  size_t faults = 0;           ///< tolerated failpoint-induced errors
+  size_t faults = 0;  ///< tolerated typed errors (failpoints, cancellation)
   size_t overloaded = 0;       ///< service admissions rejected (service mode)
   std::vector<uint64_t> failing_seeds;
   std::vector<std::string> corpus_paths;  ///< repro files written

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/cancel.h"
 #include "common/config.h"
 #include "common/failpoint.h"
 #include "common/status.h"
@@ -88,8 +89,16 @@ class GfxDevice {
     SPADE_TRACE_SPAN_VAR(span, "gfx.draw_pass");
     BeginPass();
     if (n == 0) return;
+    // Best-effort cancellation fast-out: capture the dispatching thread's
+    // token (pool workers don't inherit the thread-local) and skip whole
+    // chunks once it trips. The pass output is then incomplete, which is
+    // safe because engine query roots re-check the token before returning
+    // success — a cancelled query unwinds instead of reading the canvas.
+    CancelToken* cancel = CancelScope::Current();
+    if (cancel != nullptr && cancel->cancelled()) return;
     std::atomic<int64_t> frag_total{0};
     pool_->ParallelFor(n, [&](size_t begin, size_t end) {
+      if (cancel != nullptr && cancel->cancelled()) return;
       frag_total.fetch_add(static_cast<int64_t>(fn(begin, end)),
                            std::memory_order_relaxed);
     });

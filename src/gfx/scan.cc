@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "common/cancel.h"
 #include "obs/trace.h"
 
 namespace spade {
 
 namespace {
+
+// Best-effort cancellation: scans skip whole chunks once the dispatching
+// query's token trips, leaving zero-initialized garbage in the output.
+// Safe because engine query roots re-check the token before returning
+// success, so a cancelled query never reads the truncated scan result.
+bool ScanCancelled(CancelToken* cancel) {
+  return cancel != nullptr && cancel->cancelled();
+}
 
 // Chunk the input so each worker scans a contiguous block; phase 1 computes
 // per-chunk sums, a serial pass scans the (tiny) chunk-sum array, phase 2
@@ -33,9 +42,11 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
   std::vector<uint64_t> out(n + 1, 0);
   if (n == 0) return out;
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  CancelToken* cancel = CancelScope::Current();
 
   std::vector<uint64_t> chunk_sums(plan.num_chunks, 0);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
@@ -58,6 +69,7 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
   out[n] = running;
 
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
@@ -73,9 +85,11 @@ std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
   const size_t n = in.size();
   if (n == 0) return {};
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  CancelToken* cancel = CancelScope::Current();
 
   std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
@@ -94,6 +108,7 @@ std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
 
   std::vector<uint32_t> out(total);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
@@ -112,9 +127,11 @@ std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
   const size_t n = in.size();
   if (n == 0) return {};
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  CancelToken* cancel = CancelScope::Current();
 
   std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
@@ -133,6 +150,7 @@ std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
 
   std::vector<uint64_t> out(total);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);

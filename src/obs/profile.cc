@@ -156,6 +156,7 @@ std::string QueryProfile::ToText() const {
     os << "request_id: " << (request_id.empty() ? "-" : request_id)
        << "  total: " << total_seconds << "s\n";
   }
+  if (!error.empty()) os << "error: " << error << '\n';
   if (root_.children.empty()) {
     os << "(no spans recorded)\n";
   } else {
@@ -179,6 +180,10 @@ std::string QueryProfile::ToJson() const {
   AppendJsonEscaped(os, query);
   os << ",\"request_id\":";
   AppendJsonEscaped(os, request_id);
+  if (!error.empty()) {
+    os << ",\"error\":";
+    AppendJsonEscaped(os, error);
+  }
   os << ",\"total_seconds\":" << total_seconds << ",\"stats\":{"
      << "\"io_seconds\":" << stats.io_seconds
      << ",\"gpu_seconds\":" << stats.gpu_seconds

@@ -72,6 +72,10 @@ class QueryProfile {
   std::string request_id;  ///< propagated id ("" outside the service)
   QueryStats stats;        ///< engine-side breakdown of the run
   double total_seconds = 0;
+  /// Typed status of a failed run ("Cancelled: client disconnected",
+  /// "DeadlineExceeded: ..."); empty on success. EXPLAIN and the slowlog
+  /// show why a query produced no result.
+  std::string error;
 
  private:
   ProfileNode root_;

@@ -64,12 +64,14 @@ double SlowQueryLog::threshold() const {
 void SlowQueryLog::Record(const std::string& request_id,
                           const std::string& query, double seconds,
                           double queue_wait_seconds,
-                          const QueryProfile* profile) {
+                          const QueryProfile* profile,
+                          const std::string& error) {
   SlowQueryEntry entry;
   entry.request_id = request_id;
   entry.query = query;
   entry.seconds = seconds;
   entry.queue_wait_seconds = queue_wait_seconds;
+  entry.error = error;
   if (profile != nullptr) entry.profile_json = profile->ToJson();
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +128,7 @@ std::string SlowQueryLog::ToText() const {
        << ++rank << ". " << e.seconds << "s (queue " << e.queue_wait_seconds
        << "s) " << (e.request_id.empty() ? "-" : e.request_id) << ' '
        << e.query;
+    if (!e.error.empty()) os << " [" << e.error << ']';
     if (e.over_threshold) os << " [over threshold]";
   }
   return os.str();
@@ -146,7 +149,9 @@ std::string SlowQueryLog::ToJson() const {
     os << ",\"seconds\":" << e.seconds
        << ",\"queue_wait_seconds\":" << e.queue_wait_seconds
        << ",\"over_threshold\":" << (e.over_threshold ? "true" : "false")
-       << ",\"profile\":";
+       << ",\"error\":";
+    AppendJsonEscaped(os, e.error);
+    os << ",\"profile\":";
     if (e.profile_json.empty()) {
       os << "null";
     } else {

@@ -25,6 +25,10 @@ struct SlowQueryEntry {
   bool over_threshold = false;    ///< exceeded the configured threshold
   int64_t sequence = 0;           ///< capture order (monotone per process)
   std::string profile_json;       ///< serialized QueryProfile ("" if none)
+  /// Typed status of a failed run ("" on success) — cancelled and
+  /// deadline-exceeded queries are captured too, with the reason, since
+  /// "what got cancelled at 3am" is exactly a post-mortem question.
+  std::string error;
 };
 
 /// \brief Thread-safe worst-N-by-latency capture with threshold marking.
@@ -42,10 +46,11 @@ class SlowQueryLog {
   void SetThreshold(double seconds);
   double threshold() const;
 
-  /// Record one finished query; `profile` may be null (no capture ran).
+  /// Record one finished query; `profile` may be null (no capture ran),
+  /// `error` is the typed status string of a failed run ("" on success).
   void Record(const std::string& request_id, const std::string& query,
               double seconds, double queue_wait_seconds,
-              const QueryProfile* profile);
+              const QueryProfile* profile, const std::string& error = "");
 
   /// Entries sorted slowest-first.
   std::vector<SlowQueryEntry> Entries() const;

@@ -44,6 +44,11 @@ struct Request {
   bool mercator = false;    ///< meter-based distances (EPSG:4326 data)
   std::string sql;          ///< kSql statement
 
+  /// End-to-end deadline in milliseconds, covering queue wait plus
+  /// execution (the wire `timeout=<ms>` option). 0 applies the service's
+  /// default; the service clamps to its configured maximum either way.
+  double timeout_ms = 0;
+
   /// Client-supplied request id; the service generates one when empty.
   /// Echoed in the Response, attached to every span the request emits,
   /// and recorded in the slow-query log.

@@ -26,6 +26,7 @@ constexpr const char* kProtocolHelp =
   knn <name> x y k [m] | sql <statement> | stats | metrics
   explain [--json] <query> | slowlog [json|clear]
   prefix any line with @<id> to tag it with a request id (echoed as `id`)
+  prefix any line with timeout=<ms> to set an end-to-end deadline
 control:
   gen <kind> <n> as <name> | open <dir> as <name> | list
   failpoint list|clear|<name> <action> | ping | help | quit)";
@@ -68,8 +69,14 @@ Status SpadeServer::Start(uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
+    const int bind_errno = errno;
+    const std::string err = std::strerror(bind_errno);
     ::close(lfd);
+    if (bind_errno == EADDRINUSE) {
+      return Status::IOError(
+          "bind 127.0.0.1:" + std::to_string(port) + ": " + err +
+          " (is another spade_server already listening on this port?)");
+    }
     return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
                            err);
   }
@@ -139,7 +146,7 @@ void SpadeServer::HandleConnection(int fd) {
       (void)WriteAll(fd, wire::FrameOk("bye"));
       break;
     }
-    auto result = ExecuteLine(line);
+    auto result = ExecuteLineWatched(line, fd);
     const std::string framed = result.ok() ? wire::FrameOk(result.value())
                                            : wire::FrameError(result.status());
     if (!WriteAll(fd, framed).ok()) break;
@@ -153,6 +160,11 @@ bool SpadeServer::IsControlLine(const std::string& cmd) const {
 }
 
 Result<std::string> SpadeServer::ExecuteLine(const std::string& line) {
+  return ExecuteLineWatched(line, /*fd=*/-1);
+}
+
+Result<std::string> SpadeServer::ExecuteLineWatched(const std::string& line,
+                                                    int fd) {
   std::istringstream is(line);
   std::string cmd;
   is >> cmd;
@@ -160,7 +172,28 @@ Result<std::string> SpadeServer::ExecuteLine(const std::string& line) {
   if (IsControlLine(cmd)) return HandleControl(line);
 
   SPADE_ASSIGN_OR_RETURN(Request req, wire::ParseRequestLine(line));
-  Response resp = service_->Execute(req);
+  auto token = std::make_shared<CancelToken>();
+  std::future<Response> fut = service_->Submit(req, token);
+  if (fd >= 0) {
+    // While the query runs, watch the client's socket: EOF or a reset
+    // means nobody is waiting for this result, so cancel it and give the
+    // worker (and its device slot) back to requests that still matter.
+    // MSG_PEEK leaves pipelined request lines in the socket buffer.
+    for (;;) {
+      if (fut.wait_for(std::chrono::milliseconds(50)) ==
+          std::future_status::ready) {
+        break;
+      }
+      char probe;
+      const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+        token->Cancel("client disconnected");
+        break;
+      }
+    }
+  }
+  Response resp = fut.get();  // the worker always satisfies the future
   if (!resp.status.ok()) return resp.status;
   return wire::FormatPayload(req, resp);
 }
@@ -245,6 +278,23 @@ Result<std::string> SpadeServer::HandleControl(const std::string& line) {
   return Status::InvalidArgument("unknown control command '" + cmd + "'");
 }
 
+DrainResult SpadeServer::Drain(double budget_seconds) {
+  // Close the listener first so no new connections arrive mid-drain; the
+  // accept thread exits when the fd dies.
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain the service: in-flight requests finish (or are cancelled once
+  // the budget runs out) and their connection threads flush each framed
+  // response — clients get their answers, typed errors included.
+  const DrainResult result = service_->Drain(budget_seconds);
+  Stop();
+  return result;
+}
+
 void SpadeServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -289,7 +339,15 @@ Status SpadeClient::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("bad IPv4 address '" + host +
                                    "' (use dotted quads, e.g. 127.0.0.1)");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  for (;;) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    // EINTR leaves the handshake in progress: retrying reports EALREADY
+    // while it completes and EISCONN once it has — both mean keep going.
+    if (errno == EINTR || errno == EALREADY) continue;
+    if (errno == EISCONN) break;
     const std::string err = std::strerror(errno);
     Close();
     return Status::IOError("connect " + host + ":" + std::to_string(port) +

@@ -47,6 +47,13 @@ class SpadeServer {
   /// Stop accepting, close every connection, join all threads. Idempotent.
   void Stop();
 
+  /// Graceful drain (the SIGTERM path): close the listener, let in-flight
+  /// requests finish within `budget_seconds` (< 0 uses the service's
+  /// configured budget), cancel the stragglers, flush their responses to
+  /// the still-connected clients, then Stop(). Call from one thread (the
+  /// signal-handling main loop), not concurrently with Stop()/Wait().
+  DrainResult Drain(double budget_seconds = -1);
+
   /// Block until the server is stopped (the spade_server main loop).
   void Wait();
 
@@ -62,6 +69,11 @@ class SpadeServer {
   void HandleConnection(int fd);
   bool IsControlLine(const std::string& cmd) const;
   Result<std::string> HandleControl(const std::string& line);
+  /// ExecuteLine with a connection to watch: while the query runs, the
+  /// client's socket is polled for EOF and the request's token cancelled
+  /// ("client disconnected") — nobody is waiting for the result. fd < 0
+  /// disables the watch (the in-process path).
+  Result<std::string> ExecuteLineWatched(const std::string& line, int fd);
 
   SpadeService* service_;
   std::atomic<int> listen_fd_{-1};  ///< AcceptLoop reads it while Stop closes

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/failpoint.h"
@@ -73,6 +74,34 @@ obs::Gauge& SlotsTotalGauge() {
   return *g;
 }
 
+// Robustness counters: deadline misses, cancellations, load sheds, and
+// watchdog-flagged stuck queries, plus the duration of the last drain.
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_query_deadline_exceeded_total");
+  return *c;
+}
+obs::Counter& CancelledCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_query_cancelled_total");
+  return *c;
+}
+obs::Counter& ShedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_service_shed_total");
+  return *c;
+}
+obs::Counter& StuckCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_query_stuck_total");
+  return *c;
+}
+obs::Histogram& DrainSecondsHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().histogram(
+      "spade_service_drain_seconds");
+  return *h;
+}
+
 /// RAII +1/-1 on a gauge (balanced across every exit path).
 struct GaugeOccupancy {
   explicit GaugeOccupancy(obs::Gauge* g) : g_(g) { g_->Add(1); }
@@ -94,7 +123,9 @@ std::string ServiceStats::ToString() const {
      << "latency p50=" << latency_p50 << "s p95=" << latency_p95
      << "s p99=" << latency_p99 << "s mean=" << latency_mean << "s\n"
      << "cells: loads=" << cell_loads << " cache_hits=" << cell_cache_hits
-     << " shared_loads=" << cell_shared_loads;
+     << " shared_loads=" << cell_shared_loads << '\n'
+     << "deadlines: shed=" << shed << " exceeded=" << deadline_exceeded
+     << " cancelled=" << cancelled << " stuck=" << stuck;
   return os.str();
 }
 
@@ -112,6 +143,10 @@ SpadeService::SpadeService(SpadeConfig engine_config, ServiceConfig config)
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (config_.stuck_after_multiple > 0 &&
+      config_.watchdog_interval_seconds > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -145,7 +180,8 @@ CellSource* SpadeService::FindSource(const std::string& name) const {
   return it == sources_.end() ? nullptr : it->second.get();
 }
 
-std::future<Response> SpadeService::Submit(Request req) {
+std::future<Response> SpadeService::Submit(Request req,
+                                           std::shared_ptr<CancelToken> token) {
   if (req.request_id.empty()) {
     req.request_id =
         "r" + std::to_string(
@@ -153,6 +189,20 @@ std::future<Response> SpadeService::Submit(Request req) {
                   1);
   }
   Job job;
+  // Effective deadline: the request's own timeout, else the service
+  // default; clamped to the configured maximum (which also bounds
+  // "no timeout" requests — the server's protection against runaways).
+  double timeout = req.timeout_ms > 0 ? req.timeout_ms / 1000.0
+                                      : config_.default_timeout_seconds;
+  if (config_.max_timeout_seconds > 0 &&
+      (timeout <= 0 || timeout > config_.max_timeout_seconds)) {
+    timeout = config_.max_timeout_seconds;
+  }
+  job.cancel = token != nullptr ? std::move(token)
+                                : std::make_shared<CancelToken>();
+  // Armed at admission, so the deadline covers queue wait + execution.
+  if (timeout > 0) job.cancel->SetTimeout(timeout);
+  job.timeout_seconds = timeout;
   job.req = std::move(req);
   std::future<Response> fut = job.promise.get_future();
 
@@ -160,22 +210,48 @@ std::future<Response> SpadeService::Submit(Request req) {
   if (failpoint::AnyActive()) {
     admit = failpoint::Check("service.enqueue");
   }
+  bool was_shed = false;
   if (admit.ok()) {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       admit = Status::Overloaded("service is shutting down");
+    } else if (draining_) {
+      admit = Status::Overloaded("service is draining — retry elsewhere");
     } else if (queue_.size() >= config_.queue_capacity) {
       admit = Status::Overloaded(
           "admission queue full (" + std::to_string(config_.queue_capacity) +
           " requests waiting) — retry later");
     } else {
-      QueueDepthGauge().Add(1);
-      queue_.push_back(std::move(job));
-      accepted_.fetch_add(1, std::memory_order_relaxed);
+      // Load shedding: if the expected queue wait already exceeds the
+      // request's deadline, fail now instead of making the client burn
+      // its whole budget waiting only to get DeadlineExceeded anyway.
+      if (timeout > 0 && !queue_.empty()) {
+        const double mean = latency_hist_.mean_seconds();
+        const double est_wait = mean *
+                                static_cast<double>(queue_.size() + 1) /
+                                static_cast<double>(config_.workers);
+        if (mean > 0 && est_wait > timeout) {
+          std::ostringstream os;
+          os << "estimated queue wait " << est_wait
+             << "s exceeds the request deadline " << timeout
+             << "s — shed; retry after " << est_wait << "s";
+          admit = Status::Overloaded(os.str());
+          was_shed = true;
+        }
+      }
+      if (admit.ok()) {
+        QueueDepthGauge().Add(1);
+        queue_.push_back(std::move(job));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   if (!admit.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (was_shed) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      ShedCounter().Add(1);
+    }
     Response resp;
     resp.status = admit;
     resp.request_id = job.req.request_id;
@@ -199,6 +275,7 @@ void SpadeService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++running_;
     }
     QueueDepthGauge().Add(-1);
     const double wait = job.age.ElapsedSeconds();
@@ -214,31 +291,77 @@ void SpadeService::WorkerLoop() {
       profile->request_id = job.req.request_id;
     }
 
+    // The deadline may already have passed while the job sat in the
+    // queue (or the client disconnected): skip execution entirely.
+    Status pre = Status::OK();
+    if (job.cancel != nullptr) pre = job.cancel->Check();
+
     Response resp;
-    {
-      obs::RequestIdScope rid(NumericRequestId(job.req.request_id));
-      SPADE_TRACE_SPAN_VAR(span, "service.request");
-      span.AddArg("kind", static_cast<int64_t>(job.req.kind));
-      if (profile != nullptr) {
-        obs::ProfileScope attach(profile.get());
-        resp = Run(job.req);
-      } else {
-        resp = Run(job.req);
+    if (!pre.ok()) {
+      resp.status = pre;
+    } else {
+      // Watchdog registration: a stack record the scan thread can see
+      // while this request executes.
+      InflightQuery inflight;
+      inflight.request_id = job.req.request_id;
+      inflight.timeout_seconds = job.timeout_seconds;
+      inflight.start = std::chrono::steady_clock::now();
+      inflight.token = job.cancel.get();
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.push_back(&inflight);
+      }
+
+      {
+        obs::RequestIdScope rid(NumericRequestId(job.req.request_id));
+        SPADE_TRACE_SPAN_VAR(span, "service.request");
+        span.AddArg("kind", static_cast<int64_t>(job.req.kind));
+        if (profile != nullptr) {
+          obs::ProfileScope attach(profile.get());
+          resp = Run(job.req, job.cancel.get());
+        } else {
+          resp = Run(job.req, job.cancel.get());
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+          if (*it == &inflight) {
+            inflight_.erase(it);
+            break;
+          }
+        }
       }
     }
     resp.request_id = job.req.request_id;
     resp.queue_wait_seconds = wait;
     resp.total_seconds = job.age.ElapsedSeconds();
+
+    const Status::Code code = resp.status.code();
+    if (code == Status::Code::kDeadlineExceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      DeadlineExceededCounter().Add(1);
+    } else if (code == Status::Code::kCancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      CancelledCounter().Add(1);
+    }
+
     if (profile != nullptr) {
       profile->stats = resp.stats;
       profile->total_seconds = resp.total_seconds;
+      if (!resp.status.ok()) profile->error = resp.status.ToString();
       if (job.req.explain) {
         resp.profile = job.req.json ? profile->ToJson() : profile->ToText();
       }
-      if (resp.status.ok()) {
+      // Successful runs enter the worst-N log; cancelled / timed-out runs
+      // do too (with the reason) — they are post-mortem material. Other
+      // failures (bad dataset, failpoints) stay out as before.
+      if (resp.status.ok() || code == Status::Code::kCancelled ||
+          code == Status::Code::kDeadlineExceeded) {
         obs::SlowQueryLog::Global().Record(job.req.request_id, profile->query,
                                            resp.total_seconds, wait,
-                                           profile.get());
+                                           profile.get(), profile->error);
       }
     }
     latency_hist_.Record(resp.total_seconds);
@@ -253,10 +376,15 @@ void SpadeService::WorkerLoop() {
     (resp.status.ok() ? completed_ : failed_)
         .fetch_add(1, std::memory_order_relaxed);
     job.promise.set_value(std::move(resp));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --running_;
+    }
+    idle_cv_.notify_all();
   }
 }
 
-Response SpadeService::Run(Request& req) {
+Response SpadeService::Run(Request& req, CancelToken* cancel) {
   Response resp;
 
   // Stats requests bypass the device entirely (they must stay responsive
@@ -332,6 +460,7 @@ Response SpadeService::Run(Request& req) {
 
   QueryOptions opts;
   opts.mercator = req.mercator;
+  opts.cancel = cancel;
 
   // Device arbitration: bound how many requests stream cells through the
   // simulated GPU at once, so their combined working sets respect the
@@ -435,6 +564,10 @@ ServiceStats SpadeService::Snapshot() const {
   s.cell_loads = prep.loads();
   s.cell_cache_hits = prep.cache_hits();
   s.cell_shared_loads = prep.shared_loads();
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.stuck = stuck_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -451,6 +584,115 @@ void SpadeService::Shutdown() {
   queue_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+DrainResult SpadeService::Drain(double budget_seconds) {
+  if (budget_seconds < 0) budget_seconds = config_.drain_budget_seconds;
+  DrainResult result;
+  Stopwatch clock;
+  const int64_t completed_before = completed_.load(std::memory_order_relaxed);
+
+  std::deque<Job> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (stopping_) return result;  // already stopped: nothing to drain
+    draining_ = true;  // Submit now rejects; workers keep consuming
+
+    // Phase 1: let admitted work finish naturally within the budget.
+    const auto budget_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(budget_seconds));
+    idle_cv_.wait_until(lock, budget_deadline,
+                        [&] { return queue_.empty() && running_ == 0; });
+
+    // Phase 2: budget spent — pull whatever never started off the queue
+    // (their promises are satisfied below, outside the lock).
+    leftovers.swap(queue_);
+  }
+  for (Job& job : leftovers) {
+    QueueDepthGauge().Add(-1);
+    if (job.cancel != nullptr) job.cancel->Cancel("server draining");
+    Response resp;
+    resp.status = Status::Cancelled("server draining — request not started");
+    resp.request_id = job.req.request_id;
+    resp.queue_wait_seconds = job.age.ElapsedSeconds();
+    resp.total_seconds = resp.queue_wait_seconds;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    CancelledCounter().Add(1);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(resp));
+    ++result.cancelled;
+  }
+
+  // Phase 3: cancel the stragglers still executing; their cooperative
+  // checks unwind them within a cell pass and the worker satisfies each
+  // future with the Cancelled/DeadlineExceeded status as usual.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (InflightQuery* q : inflight_) {
+      if (q->token != nullptr) {
+        q->token->Cancel("server draining");
+        ++result.cancelled;
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+
+  result.finished =
+      completed_.load(std::memory_order_relaxed) - completed_before;
+  result.seconds = clock.ElapsedSeconds();
+  DrainSecondsHistogram().Record(result.seconds);
+  return result;
+}
+
+void SpadeService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.watchdog_interval_seconds));
+  for (;;) {
+    watchdog_cv_.wait_for(lock, interval, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (InflightQuery* q : inflight_) {
+      if (q->timeout_seconds <= 0 || q->flagged_stuck) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - q->start).count();
+      if (elapsed > q->timeout_seconds * config_.stuck_after_multiple) {
+        // A query this far past its deadline missed its cooperative
+        // checks — a bug worth an operator's attention, not silence.
+        q->flagged_stuck = true;
+        stuck_.fetch_add(1, std::memory_order_relaxed);
+        StuckCounter().Add(1);
+        std::fprintf(stderr,
+                     "[spade] watchdog: query %s stuck: running %.3fs "
+                     "against a %.3fs deadline (over %.0fx)\n",
+                     q->request_id.c_str(), elapsed, q->timeout_seconds,
+                     config_.stuck_after_multiple);
+      }
+    }
   }
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -32,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/latency_histogram.h"
 #include "common/semaphore.h"
 #include "common/stopwatch.h"
@@ -59,6 +61,23 @@ struct ServiceConfig {
   /// from worst-N eviction (0 keeps the threshold disabled; the worst-N
   /// ring still fills either way).
   double slow_query_seconds = 0;
+  /// Deadline applied to requests that don't carry their own timeout
+  /// (0 = none). Deadlines cover queue wait + execution and are enforced
+  /// cooperatively at cell-pass granularity.
+  double default_timeout_seconds = 0;
+  /// Upper bound on any per-request timeout (0 = unbounded). A client
+  /// asking for more gets this instead — the server's protection against
+  /// effectively-infinite deadlines.
+  double max_timeout_seconds = 0;
+  /// Drain(): how long in-flight + queued work may finish naturally
+  /// before being cancelled.
+  double drain_budget_seconds = 5;
+  /// Watchdog: a query still running past `stuck_after_multiple x` its
+  /// deadline is logged and counted as stuck (it should have cancelled
+  /// itself long before). 0 disables the watchdog.
+  double stuck_after_multiple = 3;
+  /// Watchdog scan period.
+  double watchdog_interval_seconds = 0.25;
 };
 
 /// \brief Aggregated service-level statistics.
@@ -74,9 +93,20 @@ struct ServiceStats {
   int64_t cell_loads = 0;        ///< payload loads issued by the cache
   int64_t cell_cache_hits = 0;   ///< index-cache hits
   int64_t cell_shared_loads = 0; ///< single-flight shares
+  int64_t shed = 0;               ///< rejected: queue wait would miss deadline
+  int64_t deadline_exceeded = 0;  ///< finished with DeadlineExceeded
+  int64_t cancelled = 0;          ///< finished with Cancelled
+  int64_t stuck = 0;              ///< flagged by the stuck-query watchdog
 
   /// Multi-line rendering used by the wire `stats` request and the CLI.
   std::string ToString() const;
+};
+
+/// \brief Outcome of a graceful drain.
+struct DrainResult {
+  double seconds = 0;      ///< wall time the drain took
+  int64_t finished = 0;    ///< requests that completed within the budget
+  int64_t cancelled = 0;   ///< in-flight + queued requests cancelled
 };
 
 /// \brief Thread-safe concurrent query service over one shared engine.
@@ -101,10 +131,17 @@ class SpadeService {
   CellSource* FindSource(const std::string& name) const;
 
   /// Enqueue a request. Always returns a valid future; when admission
-  /// fails (queue full, service.enqueue failpoint, shutdown) the future
-  /// is already satisfied with the rejecting status — the caller never
-  /// blocks on a rejected request.
-  std::future<Response> Submit(Request req);
+  /// fails (queue full, load shedding, service.enqueue failpoint,
+  /// shutdown/drain) the future is already satisfied with the rejecting
+  /// status — the caller never blocks on a rejected request.
+  ///
+  /// `token` (optional) is the caller's cancellation handle for this
+  /// request: Cancel() it to abandon the query (the server's
+  /// client-disconnect path). The service arms the effective deadline on
+  /// it at admission and threads it through the engine; when null a
+  /// token is created internally.
+  std::future<Response> Submit(Request req,
+                               std::shared_ptr<CancelToken> token = nullptr);
 
   /// Submit and wait (the single-caller convenience path).
   Response Execute(Request req);
@@ -118,15 +155,35 @@ class SpadeService {
   /// workers. Subsequent Submits are rejected. Idempotent.
   void Shutdown();
 
+  /// Graceful drain (the SIGTERM path): stop admitting, give in-flight +
+  /// queued requests `budget_seconds` (< 0 uses the configured budget) to
+  /// finish, cancel whatever is still running ("server draining"), then
+  /// stop the workers. Every outstanding future is satisfied when this
+  /// returns. Idempotent; callable before Shutdown (which then no-ops).
+  DrainResult Drain(double budget_seconds = -1);
+
  private:
   struct Job {
     Request req;
     std::promise<Response> promise;
+    std::shared_ptr<CancelToken> cancel;  ///< deadline armed at admission
+    double timeout_seconds = 0;           ///< effective deadline (0 = none)
     Stopwatch age;  ///< started at admission; read at dequeue + completion
   };
 
+  /// Watchdog bookkeeping for one executing request (stack-allocated in
+  /// the worker, registered for the scan thread).
+  struct InflightQuery {
+    std::string request_id;
+    double timeout_seconds = 0;
+    std::chrono::steady_clock::time_point start;
+    CancelToken* token = nullptr;
+    bool flagged_stuck = false;
+  };
+
   void WorkerLoop();
-  Response Run(Request& req);
+  void WatchdogLoop();
+  Response Run(Request& req, CancelToken* cancel);
 
   SpadeEngine engine_;
   ServiceConfig config_;
@@ -136,9 +193,18 @@ class SpadeService {
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;  ///< signalled when a worker finishes
   std::deque<Job> queue_;
   bool stopping_ = false;
+  bool draining_ = false;  ///< admissions closed, workers still running
+  size_t running_ = 0;     ///< jobs dequeued but not yet completed
   std::vector<std::thread> workers_;
+
+  std::mutex inflight_mu_;
+  std::vector<InflightQuery*> inflight_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   Semaphore device_slots_;
   std::mutex sql_mu_;  ///< catalog DDL/DML is not internally synchronized
@@ -150,6 +216,10 @@ class SpadeService {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> stuck_{0};
 };
 
 }  // namespace spade

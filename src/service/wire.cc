@@ -82,6 +82,17 @@ Result<Request> ParseRequestLine(const std::string& line) {
     req.request_id = words[0].substr(1);
     return req;
   }
+  // Optional deadline prefix: `timeout=<ms> <request...>` (composes with
+  // `@<id>` in either order — both recurse on the rest of the line).
+  if (words[0].rfind("timeout=", 0) == 0) {
+    SPADE_ASSIGN_OR_RETURN(double ms, ToDouble(words[0].substr(8)));
+    if (ms <= 0) {
+      return Status::InvalidArgument("timeout must be > 0 milliseconds");
+    }
+    SPADE_ASSIGN_OR_RETURN(Request req, ParseRequestLine(Rest(line, 1)));
+    req.timeout_ms = ms;
+    return req;
+  }
   const std::string& cmd = words[0];
   Request req;
 
@@ -323,6 +334,8 @@ const char* CodeToken(Status::Code code) {
     case Status::Code::kNotSupported: return "notsupported";
     case Status::Code::kInternal: return "internal";
     case Status::Code::kOverloaded: return "overloaded";
+    case Status::Code::kCancelled: return "cancelled";
+    case Status::Code::kDeadlineExceeded: return "deadline";
   }
   return "internal";
 }
@@ -337,6 +350,10 @@ Status MakeStatus(const std::string& token, std::string message) {
     return Status::NotSupported(std::move(message));
   }
   if (token == "overloaded") return Status::Overloaded(std::move(message));
+  if (token == "cancelled") return Status::Cancelled(std::move(message));
+  if (token == "deadline") {
+    return Status::DeadlineExceeded(std::move(message));
+  }
   return Status::Internal(std::move(message));
 }
 

@@ -15,6 +15,12 @@
 // and attaches it to every span / slow-query entry the request produces.
 // Without the prefix the service generates an id (`r<seq>`).
 //
+// A line may also carry a `timeout=<ms>` prefix word (before or after the
+// `@<id>` prefix): the end-to-end deadline of the request, covering queue
+// wait plus execution. A request past its deadline fails with the typed
+// `deadline` code; one whose estimated queue wait already exceeds it is
+// shed at admission with `overloaded`.
+//
 // The server answers every line with a byte-framed response so payloads
 // may span lines:
 //

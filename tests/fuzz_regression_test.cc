@@ -38,7 +38,14 @@ TEST(FuzzCorpus, EveryCaseReplaysClean) {
     ASSERT_TRUE(c.ok()) << c.status().message();
     const RunOutcome out = RunCase(c.value());
     EXPECT_TRUE(out.passed()) << out.detail;
-    EXPECT_FALSE(out.engine_fault) << "corpus cases must run fault-free";
+    // Fault-injecting cases (failpoint / cancellation schedules) pin the
+    // typed-error path itself — a tolerated fault is their success mode.
+    const bool fault_armed = !c.value().failpoints.empty() ||
+                             c.value().cancel_after_checks > 0 ||
+                             c.value().deadline_ms > 0;
+    if (!fault_armed) {
+      EXPECT_FALSE(out.engine_fault) << "corpus cases must run fault-free";
+    }
   }
 }
 

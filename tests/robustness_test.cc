@@ -1,0 +1,499 @@
+// End-to-end robustness tests: deadlines and cooperative cancellation
+// through the service and the wire, resource cleanup on early unwind,
+// load shedding, graceful drain, the stuck-query watchdog, bind/restart
+// behavior, client-disconnect cancellation, and EINTR resilience of the
+// blocking socket I/O.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "datagen/spider.h"
+#include "engine/tuning.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace spade {
+namespace {
+
+// Sanitizer instrumentation slows the engine passes between cell loads
+// by up to ~10x; wall-clock bounds stay strict in plain builds only.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kTimingSlack = 10;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kTimingSlack = 10;
+#else
+constexpr double kTimingSlack = 1;
+#endif
+#else
+constexpr double kTimingSlack = 1;
+#endif
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::seconds timeout = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Delays every cell load by a fixed amount: stretches a query's runtime
+/// deterministically so deadlines / cancellation land mid-execution, while
+/// the cooperative checks between cell passes stay on the normal path.
+class SlowSource : public CellSource {
+ public:
+  SlowSource(std::unique_ptr<CellSource> inner, std::chrono::milliseconds d)
+      : inner_(std::move(inner)), delay_(d) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const GridIndex& index() const override { return inner_->index(); }
+  size_t num_objects() const override { return inner_->num_objects(); }
+  GeomType primary_type() const override { return inner_->primary_type(); }
+
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->LoadCell(cell, stats);
+  }
+
+ private:
+  std::unique_ptr<CellSource> inner_;
+  std::chrono::milliseconds delay_;
+};
+
+Request RangeReq(const std::string& name, const Box& box) {
+  Request req;
+  req.kind = RequestKind::kRange;
+  req.dataset = name;
+  req.range = box;
+  return req;
+}
+
+/// A service whose "pts" dataset spans many cells, each taking
+/// `delay_ms` to load — a query over the full extent runs for
+/// cells x delay, far longer than the deadlines under test.
+std::unique_ptr<SpadeService> SlowService(const ServiceConfig& sc,
+                                          int delay_ms,
+                                          size_t* num_cells = nullptr) {
+  SpadeConfig ecfg;
+  ecfg.max_cell_bytes = 16 << 10;  // small cells: the dataset spans many
+  auto service = std::make_unique<SpadeService>(ecfg, sc);
+  auto tuned = MakeInMemorySource("pts", GenerateUniformPoints(20000, 9),
+                                  service->engine().config());
+  if (num_cells != nullptr) *num_cells = tuned->index().num_cells();
+  auto slow = std::make_unique<SlowSource>(
+      std::move(tuned), std::chrono::milliseconds(delay_ms));
+  EXPECT_TRUE(service->RegisterSource("pts", std::move(slow)).ok());
+  return service;
+}
+
+// --- CancelToken unit behavior -------------------------------------------
+
+TEST(CancelToken, CancelIsStickyAndTyped) {
+  CancelToken token;
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.cancelled());
+
+  token.Cancel("client disconnected");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), Status::Code::kCancelled);
+  EXPECT_EQ(token.Check().code(), Status::Code::kCancelled);  // sticky
+  EXPECT_EQ(token.reason(), "client disconnected");
+}
+
+TEST(CancelToken, DeadlineTripsToTypedStatus) {
+  CancelToken token;
+  token.SetTimeout(0.001);
+  ASSERT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(token.Check().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_LT(token.SecondsRemaining(), 0);
+}
+
+TEST(CancelToken, CountdownTripsOnExactlyTheNthCheck) {
+  CancelToken token;
+  token.CancelAfterChecks(3);
+  EXPECT_TRUE(token.Check().ok());
+  // Observational polls must not consume countdown ticks.
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_EQ(token.Check().code(), Status::Code::kCancelled);
+  EXPECT_EQ(token.Check().code(), Status::Code::kCancelled);
+}
+
+// --- Deadlines and cancellation through the service ----------------------
+
+TEST(Deadline, PreCancelledRequestFailsFastWithoutRunning) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  auto service = SlowService(sc, /*delay_ms=*/5);
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel("abandoned before admission");
+
+  auto fut = service->Submit(RangeReq("pts", Box(0, 0, 1, 1)), token);
+  Response resp = fut.get();
+  EXPECT_EQ(resp.status.code(), Status::Code::kCancelled);
+  EXPECT_EQ(service->Snapshot().cancelled, 1);
+}
+
+TEST(Deadline, TenMsDeadlineTripsMidQueryAndFreesDeviceMemory) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  size_t cells = 0;
+  // Each cell pass costs >= 25ms, so a full scan takes cells x 25ms —
+  // far beyond the deadline; the first pass boundary after 100ms trips.
+  auto service = SlowService(sc, /*delay_ms=*/25, &cells);
+  ASSERT_GE(cells, 4u) << "need a multi-cell dataset to pass a boundary";
+
+  Request req = RangeReq("pts", Box(0, 0, 1, 1));
+  req.timeout_ms = 100;
+  const auto t0 = std::chrono::steady_clock::now();
+  Response resp = service->Submit(req).get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  EXPECT_EQ(resp.status.code(), Status::Code::kDeadlineExceeded)
+      << resp.status.ToString();
+  // Acceptance bound: answered within 3x the deadline (one cell pass of
+  // overrun, not a full scan — the full scan would take cells x 25ms).
+  EXPECT_LE(elapsed, 3 * 0.100 * kTimingSlack)
+      << "deadline enforcement too coarse";
+  // The early unwind released every device allocation and slot.
+  EXPECT_EQ(service->engine().device().memory_in_use(), 0);
+  const ServiceStats stats = service->Snapshot();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 0);
+}
+
+TEST(Deadline, CountdownCancelNeverReturnsPartialSuccess) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  auto service = SlowService(sc, /*delay_ms=*/1);
+  auto token = std::make_shared<CancelToken>();
+  token->CancelAfterChecks(2);
+
+  Response resp = service->Submit(RangeReq("pts", Box(0, 0, 1, 1)), token).get();
+  EXPECT_EQ(resp.status.code(), Status::Code::kCancelled)
+      << "a tripped query must fail typed, never return partial ids";
+  EXPECT_TRUE(resp.ids.empty());
+  EXPECT_EQ(service->engine().device().memory_in_use(), 0);
+}
+
+TEST(Deadline, MaxTimeoutClampsGenerousAndMissingDeadlines) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.max_timeout_seconds = 0.05;  // server-side ceiling: 50ms
+  auto service = SlowService(sc, /*delay_ms=*/25);
+
+  // A request asking for a 60s deadline is clamped to the ceiling...
+  Request req = RangeReq("pts", Box(0, 0, 1, 1));
+  req.timeout_ms = 60 * 1000;
+  Response clamped = service->Submit(req).get();
+  EXPECT_EQ(clamped.status.code(), Status::Code::kDeadlineExceeded);
+
+  // ...and so is a request carrying no deadline at all.
+  Response untimed = service->Submit(RangeReq("pts", Box(0, 0, 1, 1))).get();
+  EXPECT_EQ(untimed.status.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(service->Snapshot().deadline_exceeded, 2);
+}
+
+// --- Load shedding --------------------------------------------------------
+
+TEST(Shedding, PredictedQueueWaitBeyondDeadlineShedsAtAdmission) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  auto service = std::make_unique<SpadeService>(SpadeConfig{}, sc);
+  // A fast dataset to warm the latency estimate, and a slow one to wedge
+  // the single worker while the shed candidate arrives.
+  auto fast = MakeTunedInMemorySource("fast", GenerateUniformPoints(2000, 4),
+                                      service->engine().config());
+  ASSERT_TRUE(service->RegisterSource("fast", std::move(fast)).ok());
+  auto slow = std::make_unique<SlowSource>(
+      MakeTunedInMemorySource("slow", GenerateUniformPoints(20000, 5),
+                              service->engine().config()),
+      std::chrono::milliseconds(30));
+  ASSERT_TRUE(service->RegisterSource("slow", std::move(slow)).ok());
+
+  // Warm the mean-latency estimate (a cold service never sheds).
+  for (int i = 0; i < 3; ++i) {
+    Response r = service->Execute(RangeReq("fast", Box(0, 0, 1, 1)));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+
+  // Wedge the worker, then queue one untimed request behind it.
+  auto wedge = service->Submit(RangeReq("slow", Box(0, 0, 1, 1)));
+  auto queued = service->Submit(RangeReq("slow", Box(0, 0, 1, 1)));
+  ASSERT_TRUE(WaitFor([&] { return service->Snapshot().queued >= 1; }));
+
+  // A 1ms-deadline request cannot possibly clear the queue in time: it
+  // must be shed immediately with the typed Overloaded + retry hint.
+  Request hurried = RangeReq("fast", Box(0, 0, 1, 1));
+  hurried.timeout_ms = 0.001;
+  auto shed = service->Submit(hurried);
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a shed request must fail fast, not wait in the queue";
+  Response resp = shed.get();
+  EXPECT_EQ(resp.status.code(), Status::Code::kOverloaded);
+  EXPECT_NE(resp.status.message().find("shed"), std::string::npos);
+  EXPECT_NE(resp.status.message().find("retry"), std::string::npos);
+  EXPECT_EQ(service->Snapshot().shed, 1);
+
+  wedge.get();
+  queued.get();
+}
+
+// --- Graceful drain -------------------------------------------------------
+
+TEST(Drain, InFlightFinishesNaturallyWithinBudget) {
+  ServiceConfig sc;
+  sc.workers = 2;
+  auto service = SlowService(sc, /*delay_ms=*/5);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service->Submit(RangeReq("pts", Box(0, 0, 0.4, 0.4))));
+  }
+  const DrainResult drained = service->Drain(/*budget_seconds=*/30);
+
+  for (auto& f : futures) {
+    Response r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  EXPECT_EQ(drained.finished, 4);
+  EXPECT_EQ(drained.cancelled, 0);
+  EXPECT_GT(drained.seconds, 0);
+
+  // Admissions are closed for good after a drain.
+  Response rejected = service->Submit(RangeReq("pts", Box(0, 0, 1, 1))).get();
+  EXPECT_EQ(rejected.status.code(), Status::Code::kOverloaded);
+}
+
+TEST(Drain, StragglersAreCancelledAfterTheBudget) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  size_t cells = 0;
+  auto service = SlowService(sc, /*delay_ms=*/40, &cells);
+  ASSERT_GE(cells, 4u);
+
+  // One query that would run for cells x 40ms, plus one stuck in queue.
+  auto running = service->Submit(RangeReq("pts", Box(0, 0, 1, 1)));
+  auto waiting = service->Submit(RangeReq("pts", Box(0, 0, 1, 1)));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const DrainResult drained = service->Drain(/*budget_seconds=*/0.05);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // The queued request never started; the running one was cancelled at
+  // its next pass boundary. Both futures are satisfied with typed errors.
+  Response r1 = running.get();
+  Response r2 = waiting.get();
+  EXPECT_EQ(r1.status.code(), Status::Code::kCancelled) << r1.status.ToString();
+  EXPECT_EQ(r2.status.code(), Status::Code::kCancelled) << r2.status.ToString();
+  EXPECT_GE(drained.cancelled, 2);
+  // Budget 50ms + one 40ms pass of cancellation latency, not a full scan.
+  EXPECT_LT(elapsed, 2.0 * kTimingSlack);
+  EXPECT_EQ(service->engine().device().memory_in_use(), 0);
+}
+
+// --- Stuck-query watchdog -------------------------------------------------
+
+TEST(Watchdog, FlagsQueriesRunningFarPastTheirDeadline) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.stuck_after_multiple = 2;
+  sc.watchdog_interval_seconds = 0.005;
+  size_t cells = 0;
+  // 50ms per cell: the 1ms deadline is blown 100x inside ONE LoadCell,
+  // where no cooperative check can run — exactly what the watchdog is for.
+  auto service = SlowService(sc, /*delay_ms=*/50, &cells);
+  ASSERT_GE(cells, 2u);
+
+  Request req = RangeReq("pts", Box(0, 0, 1, 1));
+  req.timeout_ms = 1;
+  auto fut = service->Submit(req);
+  EXPECT_TRUE(WaitFor([&] { return service->Snapshot().stuck >= 1; }))
+      << "watchdog never flagged a query 100x past its deadline";
+  Response resp = fut.get();
+  EXPECT_EQ(resp.status.code(), Status::Code::kDeadlineExceeded);
+}
+
+// --- Wire-level deadline plumbing ----------------------------------------
+
+TEST(WireTimeout, PrefixParsesAndComposesWithRequestIds) {
+  auto plain = wire::ParseRequestLine("timeout=250 range pts 0 0 1 1");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_DOUBLE_EQ(plain.value().timeout_ms, 250);
+  EXPECT_EQ(plain.value().kind, RequestKind::kRange);
+
+  auto id_first = wire::ParseRequestLine("@q7 timeout=30 knn pts 0.5 0.5 3");
+  ASSERT_TRUE(id_first.ok());
+  EXPECT_EQ(id_first.value().request_id, "q7");
+  EXPECT_DOUBLE_EQ(id_first.value().timeout_ms, 30);
+
+  auto timeout_first = wire::ParseRequestLine("timeout=30 @q8 knn pts 0 0 3");
+  ASSERT_TRUE(timeout_first.ok());
+  EXPECT_EQ(timeout_first.value().request_id, "q8");
+  EXPECT_DOUBLE_EQ(timeout_first.value().timeout_ms, 30);
+
+  EXPECT_FALSE(wire::ParseRequestLine("timeout=0 range pts 0 0 1 1").ok());
+  EXPECT_FALSE(wire::ParseRequestLine("timeout=abc range pts 0 0 1 1").ok());
+}
+
+TEST(WireTimeout, DeadlineStaysTypedAcrossTheSocket) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  auto service = SlowService(sc, /*delay_ms=*/25);
+  SpadeServer server(service.get());
+  ASSERT_TRUE(server.Start(0).ok());
+  SpadeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto r = client.Call("timeout=50 range pts 0 0 1 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kDeadlineExceeded)
+      << r.status().ToString();
+  client.Close();
+  server.Stop();
+}
+
+// --- Server lifecycle: bind failures, restart, disconnects ----------------
+
+TEST(ServerLifecycle, BindFailureIsTypedAndRestartReusesThePort) {
+  SpadeService service;
+  SpadeServer first(&service);
+  ASSERT_TRUE(first.Start(0).ok());
+  const uint16_t port = first.port();
+
+  // Binding the same port while it is held fails with a typed error that
+  // names the port (the spade_server main exits non-zero on this).
+  SpadeService other_service;
+  SpadeServer second(&other_service);
+  const Status st = second.Start(port);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find(std::to_string(port)), std::string::npos);
+
+  // After a stop, an immediate restart on the same port must succeed —
+  // SO_REUSEADDR keeps TIME_WAIT sockets from wedging rolling restarts.
+  first.Stop();
+  SpadeServer third(&other_service);
+  EXPECT_TRUE(third.Start(port).ok());
+  third.Stop();
+}
+
+TEST(ServerLifecycle, ClientDisconnectCancelsTheInFlightQuery) {
+  ServiceConfig sc;
+  sc.workers = 1;
+  size_t cells = 0;
+  auto service = SlowService(sc, /*delay_ms=*/40, &cells);
+  ASSERT_GE(cells, 4u);
+  SpadeServer server(service.get());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Raw socket: fire a long query, then vanish without reading.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string line = "range pts 0 0 1 1\n";
+  ASSERT_EQ(::send(fd, line.data(), line.size(), 0),
+            static_cast<ssize_t>(line.size()));
+  ASSERT_TRUE(WaitFor([&] { return service->Snapshot().accepted >= 1; }));
+  ::close(fd);
+
+  // The connection watcher notices the EOF and cancels the query long
+  // before the cells x 40ms full scan would finish.
+  EXPECT_TRUE(WaitFor([&] { return service->Snapshot().cancelled >= 1; }))
+      << "disconnect did not cancel the orphaned in-flight query";
+  EXPECT_TRUE(WaitFor(
+      [&] { return service->engine().device().memory_in_use() == 0; }));
+  server.Stop();
+}
+
+// --- EINTR resilience of the blocking wire I/O ---------------------------
+
+std::atomic<int> g_usr1_count{0};
+extern "C" void CountUsr1(int) { g_usr1_count.fetch_add(1); }
+
+TEST(SignalStorm, WireCallsSurviveConstantEintr) {
+  SpadeService service;
+  auto src = MakeTunedInMemorySource("pts", GenerateUniformPoints(5000, 6),
+                                     service.engine().config());
+  ASSERT_TRUE(service.RegisterSource("pts", std::move(src)).ok());
+  SpadeServer server(&service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART: every signal
+  // makes blocking send/recv/connect return EINTR instead of resuming.
+  struct sigaction sa{}, old{};
+  sa.sa_handler = CountUsr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::atomic<bool> storming{true};
+  const pthread_t victim = ::pthread_self();
+  std::thread storm([&] {
+    while (storming.load()) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // The trailing `took <s> id <r>` line varies per call; the id lines
+  // above it must not.
+  const auto strip_trailer = [](const std::string& s) {
+    const size_t nl = s.rfind('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl);
+  };
+  std::string expected;
+  for (int i = 0; i < 50; ++i) {
+    SpadeClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok())
+        << "connect must retry EINTR";
+    auto r = client.Call("range pts 0 0 1 1");  // large multi-line payload
+    ASSERT_TRUE(r.ok()) << "call " << i << ": " << r.status().ToString();
+    if (i == 0) {
+      expected = strip_trailer(r.value());
+    } else {
+      EXPECT_EQ(strip_trailer(r.value()), expected)
+          << "payload corrupted under EINTR";
+    }
+    client.Close();
+  }
+
+  storming.store(false);
+  storm.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  EXPECT_GT(g_usr1_count.load(), 0) << "the storm never landed a signal";
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,416 @@
+// spade_chaos — robustness soak driver for a live spade_server.
+//
+// Forks a real spade_server process, registers datasets over the wire,
+// then hammers it with a seeded mix of hostile traffic:
+//
+//   * queries carrying random `timeout=<ms>` deadlines (many far too
+//     small — the deadline / shed paths must answer with typed errors)
+//   * clients that connect, fire a query, and vanish mid-flight (the
+//     server must cancel the orphaned request, not hang a worker)
+//   * failpoint schedules armed and cleared while queries run
+//   * SIGTERM mid-soak: the server must drain and exit 0 within the
+//     budget, then a fresh instance must come up on the same port
+//
+// The invariant after every action: the server still answers `ping`, and
+// every response is either `ok` or one of the typed, expected error
+// codes (deadline, cancelled, overloaded, oom, io). Any crash, hang,
+// unexpected error, or non-zero drain exit fails the soak.
+//
+//   spade_chaos --iterations=200 --seed=7
+//   spade_chaos --server-bin=build/tools/spade_server --port=24117
+//
+// Exit status: 0 clean soak, 1 invariant violation, 2 usage/setup error.
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "service/server.h"
+#include "service/wire.h"
+
+namespace {
+
+using spade::PortableRng;
+using spade::SpadeClient;
+using spade::Status;
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  size_t iterations = 200;
+  std::string server_bin;
+  uint16_t port = 0;          // 0 = derive from seed
+  std::string server_log;     // "" = /dev/null
+  double drain_budget = 5.0;  // seconds the server gets to drain
+};
+
+struct ChaosStats {
+  size_t queries = 0;
+  size_t ok = 0;
+  size_t deadline = 0;
+  size_t cancelled = 0;
+  size_t overloaded = 0;
+  size_t injected = 0;  // oom/io from armed failpoints
+  size_t disconnects = 0;
+  size_t restarts = 0;
+};
+
+pid_t g_server_pid = -1;
+
+void KillServerHard() {
+  if (g_server_pid > 0) {
+    ::kill(g_server_pid, SIGKILL);
+    ::waitpid(g_server_pid, nullptr, 0);
+    g_server_pid = -1;
+  }
+}
+
+int Fail(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "[spade_chaos] FAIL: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+  KillServerHard();
+  return 1;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spade_chaos [options]\n"
+               "  --iterations=N     soak actions to run (default 200)\n"
+               "  --seed=N           master seed (default 1)\n"
+               "  --server-bin=PATH  spade_server binary (default: next to "
+               "this binary)\n"
+               "  --port=N           fixed port (default: derived from seed)\n"
+               "  --server-log=PATH  server stdout/stderr sink (default: "
+               "/dev/null)\n"
+               "  --drain-budget=S   seconds a SIGTERM'd server may take "
+               "(default 5)\n");
+  return 2;
+}
+
+/// Fork + exec a spade_server on `port`. Returns the child pid, or -1.
+pid_t StartServer(const ChaosOptions& opts, uint16_t port) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    const char* log = opts.server_log.empty() ? "/dev/null"
+                                              : opts.server_log.c_str();
+    const int fd = ::open(log, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    const std::string port_str = std::to_string(port);
+    const std::string budget_str = std::to_string(opts.drain_budget);
+    std::vector<const char*> argv = {
+        opts.server_bin.c_str(), port_str.c_str(),
+        "--workers", "3", "--queue", "16",
+        "--max-timeout", "30000",
+        "--drain-budget", budget_str.c_str(),
+        nullptr};
+    ::execv(opts.server_bin.c_str(),
+            const_cast<char* const*>(argv.data()));
+    std::fprintf(stderr, "execv %s: %s\n", opts.server_bin.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+/// True once the server answers `ping`; false if it exits or 10s pass.
+bool AwaitLive(pid_t pid, uint16_t port) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, WNOHANG) == pid) return false;  // died
+    SpadeClient probe;
+    if (probe.Connect("127.0.0.1", port).ok()) {
+      auto r = probe.Call("ping");
+      if (r.ok() && r.value().rfind("pong", 0) == 0) return true;
+    }
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+/// Register the soak datasets over the wire (after every (re)start).
+Status SetupDatasets(SpadeClient* client) {
+  for (const char* line : {"gen uniform-boxes 1500 as a",
+                           "gen uniform-points 1500 as b"}) {
+    auto r = client->Call(line);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+/// One random query line, usually with a hostile deadline.
+std::string RandomQuery(PortableRng& rng) {
+  std::ostringstream os;
+  if (rng.NextUnit() < 0.6) {
+    // 70% tiny (likely to trip mid-query or shed), 30% generous.
+    const int64_t ms = rng.NextUnit() < 0.7 ? rng.UniformInt(1, 40)
+                                            : rng.UniformInt(500, 2000);
+    os << "timeout=" << ms << ' ';
+  }
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {
+      const double x = rng.Uniform(0, 0.8), y = rng.Uniform(0, 0.8);
+      os << "range a " << x << ' ' << y << ' ' << x + rng.Uniform(0.05, 0.2)
+         << ' ' << y + rng.Uniform(0.05, 0.2);
+      break;
+    }
+    case 1:
+      os << "knn b " << rng.Uniform(0, 1) << ' ' << rng.Uniform(0, 1) << ' '
+         << rng.UniformInt(1, 8);
+      break;
+    case 2:
+      os << "distance b " << rng.Uniform(0, 1) << ' ' << rng.Uniform(0, 1)
+         << ' ' << rng.Uniform(0.01, 0.15);
+      break;
+    default:
+      os << "join a b";
+      break;
+  }
+  return os.str();
+}
+
+/// Connect, fire a query, close without reading the answer — the server
+/// must detect the EOF and cancel the orphaned request.
+void DisconnectMidQuery(uint16_t port, PortableRng& rng) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const std::string line = "join a b\n";  // slow enough to be in flight
+    (void)!::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    ::usleep(static_cast<useconds_t>(rng.UniformInt(0, 20)) * 1000);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iterations", &v)) {
+      opts.iterations = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--server-bin", &v)) {
+      opts.server_bin = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      opts.port = static_cast<uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--server-log", &v)) {
+      opts.server_log = v;
+    } else if (ParseFlag(argv[i], "--drain-budget", &v)) {
+      opts.drain_budget = std::strtod(v.c_str(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  if (opts.server_bin.empty()) {
+    // Default: the spade_server built next to this binary.
+    std::string self = argv[0];
+    const size_t slash = self.rfind('/');
+    opts.server_bin =
+        (slash == std::string::npos ? std::string(".")
+                                    : self.substr(0, slash)) +
+        "/spade_server";
+  }
+  if (::access(opts.server_bin.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "server binary not executable: %s\n",
+                 opts.server_bin.c_str());
+    return 2;
+  }
+
+  PortableRng rng(opts.seed ? opts.seed : 1);
+  uint16_t port = opts.port != 0
+                      ? opts.port
+                      : static_cast<uint16_t>(24000 + rng.UniformInt(0, 3999));
+
+  // Boot, retrying a few ports in case one is taken (the server exits
+  // non-zero on a bind failure, which AwaitLive observes as death).
+  SpadeClient client;
+  bool live = false;
+  for (int attempt = 0; attempt < 10 && !live; ++attempt) {
+    g_server_pid = StartServer(opts, port);
+    if (g_server_pid < 0) return Fail("fork failed: %s", std::strerror(errno));
+    live = AwaitLive(g_server_pid, port);
+    if (!live) {
+      KillServerHard();
+      if (opts.port != 0) return Fail("server did not come up on port %u", port);
+      ++port;
+    }
+  }
+  if (!live) return Fail("server did not come up after 10 port attempts");
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    return Fail("cannot connect to live server on port %u", port);
+  }
+  {
+    const Status st = SetupDatasets(&client);
+    if (!st.ok()) return Fail("dataset setup: %s", st.ToString().c_str());
+  }
+  std::fprintf(stderr, "[spade_chaos] server pid %d on port %u, seed %llu\n",
+               static_cast<int>(g_server_pid), port,
+               static_cast<unsigned long long>(opts.seed));
+
+  ChaosStats stats;
+  bool failpoint_armed = false;
+  for (size_t iter = 0; iter < opts.iterations; ++iter) {
+    const double roll = rng.NextUnit();
+
+    if (roll < 0.04) {
+      // --- SIGTERM: graceful drain must exit 0 within the budget -------
+      client.Close();
+      ::kill(g_server_pid, SIGTERM);
+      int wstatus = 0;
+      const int max_polls =
+          static_cast<int>((opts.drain_budget + 10.0) * 20);  // 50ms polls
+      bool exited = false;
+      for (int p = 0; p < max_polls; ++p) {
+        if (::waitpid(g_server_pid, &wstatus, WNOHANG) == g_server_pid) {
+          exited = true;
+          break;
+        }
+        ::usleep(50 * 1000);
+      }
+      if (!exited) {
+        return Fail("server pid %d did not exit within %.1fs of SIGTERM",
+                    static_cast<int>(g_server_pid), opts.drain_budget + 10.0);
+      }
+      if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        g_server_pid = -1;
+        return Fail("SIGTERM'd server did not exit 0 (wstatus=0x%x)", wstatus);
+      }
+      g_server_pid = StartServer(opts, port);
+      if (g_server_pid < 0 || !AwaitLive(g_server_pid, port)) {
+        return Fail("server did not restart on port %u after drain", port);
+      }
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        return Fail("cannot reconnect after restart");
+      }
+      const Status st = SetupDatasets(&client);
+      if (!st.ok()) return Fail("re-setup: %s", st.ToString().c_str());
+      failpoint_armed = false;  // failpoints are process state — gone
+      ++stats.restarts;
+      continue;
+    }
+
+    if (roll < 0.12) {
+      // --- client vanishes mid-query -----------------------------------
+      DisconnectMidQuery(port, rng);
+      ++stats.disconnects;
+    } else if (roll < 0.20) {
+      // --- toggle a failpoint schedule ----------------------------------
+      auto r = client.Call(failpoint_armed
+                               ? "failpoint clear"
+                               : "failpoint device.alloc prob(0.05,oom)");
+      if (!r.ok()) return Fail("failpoint toggle: %s",
+                               r.status().ToString().c_str());
+      failpoint_armed = !failpoint_armed;
+    } else if (roll < 0.24) {
+      // --- introspection must keep working under load -------------------
+      auto r = client.Call("stats");
+      if (!r.ok()) return Fail("stats failed: %s",
+                               r.status().ToString().c_str());
+    } else {
+      // --- a query with a random (often hostile) deadline ---------------
+      const std::string q = RandomQuery(rng);
+      auto r = client.Call(q);
+      ++stats.queries;
+      if (r.ok()) {
+        ++stats.ok;
+      } else {
+        switch (r.status().code()) {
+          case Status::Code::kDeadlineExceeded: ++stats.deadline; break;
+          case Status::Code::kCancelled: ++stats.cancelled; break;
+          case Status::Code::kOverloaded: ++stats.overloaded; break;
+          case Status::Code::kOutOfMemory:
+          case Status::Code::kIOError:
+            if (!failpoint_armed) {
+              return Fail("unexpected %s without failpoints: '%s' -> %s",
+                          spade::wire::CodeToken(r.status().code()), q.c_str(),
+                          r.status().ToString().c_str());
+            }
+            ++stats.injected;
+            break;
+          default:
+            return Fail("unexpected error for '%s': %s", q.c_str(),
+                        r.status().ToString().c_str());
+        }
+      }
+    }
+
+    // Liveness invariant: the server answers ping after every action.
+    if (iter % 8 == 7) {
+      auto r = client.Call("ping");
+      if (!r.ok() || r.value().rfind("pong", 0) != 0) {
+        return Fail("liveness ping failed at iteration %zu: %s", iter,
+                    r.ok() ? r.value().c_str()
+                           : r.status().ToString().c_str());
+      }
+    }
+  }
+
+  // Final graceful shutdown: one more drain that must exit 0.
+  client.Close();
+  ::kill(g_server_pid, SIGTERM);
+  int wstatus = 0;
+  bool exited = false;
+  for (int p = 0; p < static_cast<int>((opts.drain_budget + 10.0) * 20); ++p) {
+    if (::waitpid(g_server_pid, &wstatus, WNOHANG) == g_server_pid) {
+      exited = true;
+      break;
+    }
+    ::usleep(50 * 1000);
+  }
+  if (!exited) return Fail("final SIGTERM: server did not exit");
+  g_server_pid = -1;
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+    return Fail("final SIGTERM: server did not exit 0 (wstatus=0x%x)",
+                wstatus);
+  }
+
+  std::printf(
+      "spade_chaos: clean soak — %zu queries (%zu ok, %zu deadline, "
+      "%zu cancelled, %zu overloaded, %zu injected), %zu disconnects, "
+      "%zu restarts\n",
+      stats.queries, stats.ok, stats.deadline, stats.cancelled,
+      stats.overloaded, stats.injected, stats.disconnects, stats.restarts);
+  return 0;
+}

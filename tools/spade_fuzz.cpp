@@ -62,6 +62,8 @@ int Usage() {
                "  --replay=FILE      run one corpus case and exit\n"
                "  --inject-bug=KIND  sabotage answers (drop-last, off-by-one)"
                "\n"
+               "  --cancellation     arm random cancellation points and\n"
+               "                     deadlines on ~1 in 6 cases\n"
                "  --no-shrink        report failures unminimized\n"
                "  --no-metamorphic   skip metamorphic variants\n"
                "  --keep-going       continue past the first failure\n");
@@ -88,6 +90,8 @@ int main(int argc, char** argv) {
       opts.gen.max_objects = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--failpoints", &v)) {
       opts.gen.with_failpoints = true;
+    } else if (ParseFlag(argv[i], "--cancellation", &v)) {
+      opts.gen.with_cancellation = true;
     } else if (ParseFlag(argv[i], "--service", &v)) {
       opts.service_mode = true;
     } else if (ParseFlag(argv[i], "--threads", &v)) {

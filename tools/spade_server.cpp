@@ -7,18 +7,43 @@
 //   $ ./build/tools/spade_cli connect 127.0.0.1 7117
 //
 // Flags: --workers N, --queue N, --slots N size the service;
-// --slow-threshold S always captures queries slower than S seconds in the
-// slow-query log; --no-profiles disables per-query plan profiling;
-// SPADE_FAILPOINTS in the environment arms failpoints before serving.
-// Clients can scrape the `metrics` wire request for Prometheus-format text
-// (see docs/observability.md for the metric catalog).
+// --default-timeout MS / --max-timeout MS set the per-request deadline
+// policy; --drain-budget S bounds the graceful drain; --slow-threshold S
+// always captures queries slower than S seconds in the slow-query log;
+// --no-profiles disables per-query plan profiling; SPADE_FAILPOINTS in
+// the environment arms failpoints before serving. Clients can scrape the
+// `metrics` wire request for Prometheus-format text (see
+// docs/observability.md for the metric catalog).
+//
+// SIGTERM / SIGINT trigger a graceful drain: the listener closes,
+// in-flight queries get the drain budget to finish (then are cancelled
+// cooperatively), responses flush to their clients, and the process
+// exits 0 (see docs/robustness.md for the lifecycle).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "service/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; the main thread blocks
+// on the read end and runs the drain outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is irrelevant (a full pipe
+  // means a shutdown is already pending).
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7117;
@@ -42,12 +67,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--slow-threshold") {
       const char* v = next();
       if (v != nullptr) cfg.slow_query_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--default-timeout") {
+      const char* v = next();
+      if (v != nullptr) {
+        cfg.default_timeout_seconds = std::strtod(v, nullptr) / 1000.0;
+      }
+    } else if (arg == "--max-timeout") {
+      const char* v = next();
+      if (v != nullptr) {
+        cfg.max_timeout_seconds = std::strtod(v, nullptr) / 1000.0;
+      }
+    } else if (arg == "--drain-budget") {
+      const char* v = next();
+      if (v != nullptr) cfg.drain_budget_seconds = std::strtod(v, nullptr);
     } else if (arg == "--no-profiles") {
       cfg.profile_queries = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: spade_server [port] [setup-script] "
           "[--workers N] [--queue N] [--slots N] "
+          "[--default-timeout MS] [--max-timeout MS] [--drain-budget S] "
           "[--slow-threshold SECONDS] [--no-profiles]\n");
       return 0;
     } else if (!arg.empty() && std::isdigit(static_cast<unsigned char>(arg[0]))) {
@@ -80,6 +119,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
   auto st = server.Start(port);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
@@ -90,6 +139,22 @@ int main(int argc, char** argv) {
       "(workers=%zu queue=%zu device_slots=%zu)\n",
       server.port(), cfg.workers, cfg.queue_capacity, cfg.device_slots);
   std::fflush(stdout);
-  server.Wait();
+
+  // Block until SIGTERM/SIGINT, then drain gracefully and exit 0 — the
+  // contract a supervisor (systemd, k8s) relies on for rolling restarts.
+  char byte;
+  ssize_t n;
+  do {
+    n = ::read(g_signal_pipe[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+
+  std::printf("spade_server draining (budget %.1fs)...\n",
+              cfg.drain_budget_seconds);
+  std::fflush(stdout);
+  const spade::DrainResult drained = server.Drain();
+  std::printf("spade_server drained in %.3fs: %lld finished, %lld cancelled\n",
+              drained.seconds, static_cast<long long>(drained.finished),
+              static_cast<long long>(drained.cancelled));
+  std::fflush(stdout);
   return 0;
 }
