@@ -1,0 +1,600 @@
+#include "batch/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "engine/exec.h"
+#include "geom/projection.h"
+#include "geom/triangulate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spade {
+namespace batch {
+
+namespace {
+
+obs::Counter& BatchTotal() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_batch_total");
+  return *c;
+}
+obs::Histogram& BatchMembersHist() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().histogram(
+      "spade_batch_members", /*first_upper=*/1.0);
+  return *h;
+}
+obs::Counter& SharedDrawsTotal() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_batch_shared_draws_total");
+  return *c;
+}
+obs::Counter& SavedPassesTotal() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_batch_saved_passes_total");
+  return *c;
+}
+obs::Gauge& SlotsBusyGauge() {
+  // Same named series the service increments for ungrouped queries, so
+  // slot occupancy stays one gauge regardless of which path ran.
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("spade_service_device_slots_busy");
+  return *g;
+}
+
+/// RAII +1/-1 on a gauge (balanced across every exit path).
+struct GaugeOccupancy {
+  explicit GaugeOccupancy(obs::Gauge* g) : g_(g) { g_->Add(1); }
+  ~GaugeOccupancy() { g_->Add(-1); }
+  GaugeOccupancy(const GaugeOccupancy&) = delete;
+  GaugeOccupancy& operator=(const GaugeOccupancy&) = delete;
+  obs::Gauge* g_;
+};
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  // FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashMix(h, bits);
+}
+
+uint64_t HashVec(uint64_t h, const Vec2& v) {
+  return HashDouble(HashDouble(h, v.x), v.y);
+}
+
+/// Query-shape signature: everything that determines the per-cell result
+/// set of a batchable request (kind, projection, constraint geometry bits).
+uint64_t ShapeSignature(const Request& req, bool mercator) {
+  uint64_t h = 1469598103934665603ull;
+  h = HashMix(h, static_cast<uint64_t>(req.kind));
+  h = HashMix(h, mercator ? 1 : 0);
+  switch (req.kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains:
+      for (const auto& part : req.constraint.parts) {
+        h = HashMix(h, 0x70);  // part separator
+        for (const auto& v : part.outer) h = HashVec(h, v);
+        for (const auto& hole : part.holes) {
+          h = HashMix(h, 0x68);  // hole separator
+          for (const auto& v : hole) h = HashVec(h, v);
+        }
+      }
+      break;
+    case RequestKind::kRange:
+      h = HashVec(h, req.range.min);
+      h = HashVec(h, req.range.max);
+      break;
+    case RequestKind::kDistance:
+      h = HashVec(h, req.point);
+      h = HashDouble(h, req.radius);
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+/// Do two ascending candidate-cell lists intersect?
+bool CellsIntersect(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+/// One admitted query inside the scheduler. Lives on its caller's stack:
+/// the member stays blocked in Rendezvous() until `released`, so pointers
+/// to it held by the group/leader stay valid.
+struct BatchScheduler::Member {
+  const Request* req = nullptr;
+  CellSource* src = nullptr;
+  CancelToken* cancel = nullptr;
+  uint64_t uid = 0;
+
+  // Plan (built on the member's own thread before rendezvous).
+  Canvas canvas;
+  Box view;    ///< canvas.viewport().world()
+  Box bounds;  ///< constraint bounds (FilterCells / containment test)
+  GeometricTransform transform = GeometricTransform::Identity();
+  bool identity = true;
+  bool distance_mode = false;
+  bool contains = false;
+  std::vector<size_t> cells;  ///< candidate cells, ascending
+  uint64_t signature = 0;
+
+  // Outcome.
+  Status status;            ///< typed failure; OK = `ids` is the answer
+  std::vector<GeomId> ids;  ///< raw matches (sorted + deduped at finalize)
+  QueryStats stats;
+  int64_t cache_hits = 0;
+
+  // Rendezvous state (guarded by the scheduler mutex).
+  bool released = false;
+  bool needs_solo = false;  ///< run ExecuteMembers({this}) on own thread
+  int64_t group_members = 1;
+  int64_t shared_draws = 0;
+  int64_t saved_passes = 0;
+};
+
+/// One gather window's worth of members over one dataset.
+struct BatchScheduler::Group {
+  std::vector<Member*> members;
+  std::chrono::steady_clock::time_point close_at;
+  bool closed_by_size = false;
+  std::condition_variable cv;
+};
+
+BatchScheduler::BatchScheduler(SpadeEngine* engine, Semaphore* device_slots,
+                               BatchConfig config)
+    : engine_(engine),
+      device_slots_(device_slots),
+      config_(config),
+      cache_(config.cache_bytes),
+      window_us_(static_cast<int64_t>(config.window_ms * 1000.0)) {}
+
+BatchScheduler::~BatchScheduler() { Shutdown(); }
+
+void BatchScheduler::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  for (auto& [uid, g] : open_) g->cv.notify_all();
+}
+
+double BatchScheduler::window_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(window_us_) / 1e6;
+}
+
+bool BatchScheduler::Batchable(const Request& req, const CellSource& src,
+                               const QueryOptions& opts) {
+  if (opts.id_filter) return false;  // relational filter: solo path only
+  switch (req.kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains:
+    case RequestKind::kRange:
+      return true;
+    case RequestKind::kDistance:
+      // The engine supports distance selection over point data only; let
+      // the solo path produce its NotSupported error for anything else.
+      return src.primary_type() == GeomType::kPoint;
+    default:
+      return false;
+  }
+}
+
+bool BatchScheduler::Execute(const Request& req, CellSource& src,
+                             const QueryOptions& opts, Response* resp) {
+  if (!Batchable(req, src, opts)) return false;
+
+  Member m;
+  m.req = &req;
+  m.src = &src;
+  m.cancel = opts.cancel;
+  m.uid = src.uid();
+
+  SPADE_TRACE_SPAN_VAR(batch_span, "batch");
+  if (m.cancel != nullptr) {
+    const Status pre = m.cancel->Check();
+    if (!pre.ok()) {
+      resp->status = pre;
+      return true;
+    }
+  }
+  if (!PlanMember(req, src, opts, &m)) return false;
+
+  Rendezvous(&m);
+
+  // Finalize on the member's own thread: a tripped token must never
+  // return OK, even if every cell it needed came out of the cache.
+  if (m.status.ok() && m.cancel != nullptr) m.status = m.cancel->Check();
+  if (m.status.ok()) {
+    SPADE_TRACE_SPAN_VAR(rb_span, "engine.readback");
+    std::sort(m.ids.begin(), m.ids.end());
+    m.ids.erase(std::unique(m.ids.begin(), m.ids.end()), m.ids.end());
+    rb_span.AddArg("results", static_cast<int64_t>(m.ids.size()));
+    m.stats.exact_tests += m.canvas.boundary_index().exact_tests();
+    resp->ids = std::move(m.ids);
+    resp->stats = m.stats;
+  } else {
+    resp->status = m.status;
+  }
+  batch_span.AddArg("members", m.group_members);
+  batch_span.AddArg("shared_draws", m.shared_draws);
+  batch_span.AddArg("saved_passes", m.saved_passes);
+  batch_span.AddArg("cache_hits", m.cache_hits);
+  return true;
+}
+
+bool BatchScheduler::PlanMember(const Request& req, CellSource& src,
+                                const QueryOptions& opts, Member* m) {
+  Stopwatch plan_sw;
+  switch (req.kind) {
+    case RequestKind::kSelection:
+    case RequestKind::kContains: {
+      m->bounds = req.constraint.Bounds();
+      const Viewport vp = engine_->MakeViewport(m->bounds);
+      CanvasBuilder b(&engine_->device(), vp);
+      m->canvas = [&] {
+        SPADE_TRACE_SPAN("engine.constraint_prepare");
+        const Triangulation tri = Triangulate(req.constraint);
+        return b.BuildPolygonCanvas({0}, {&req.constraint}, {&tri});
+      }();
+      m->contains = req.kind == RequestKind::kContains;
+      m->stats.polygon_seconds += plan_sw.ElapsedSeconds();
+      m->cells = engine_->FilterCells(src, m->canvas, m->bounds, &m->stats);
+      break;
+    }
+    case RequestKind::kRange: {
+      m->bounds = req.range;
+      const Viewport vp = engine_->MakeViewport(m->bounds);
+      CanvasBuilder b(&engine_->device(), vp);
+      m->canvas = [&] {
+        SPADE_TRACE_SPAN("engine.constraint_prepare");
+        return b.BuildBoxCanvas(0, req.range);
+      }();
+      m->stats.polygon_seconds += plan_sw.ElapsedSeconds();
+      m->cells = engine_->FilterCells(src, m->canvas, m->bounds, &m->stats);
+      break;
+    }
+    case RequestKind::kDistance: {
+      const Geometry probe(req.point);
+      const Geometry g =
+          opts.mercator ? ProjectToWebMercator(probe) : probe;
+      m->bounds = g.Bounds().Expanded(req.radius);
+      m->transform = GeometricTransform{opts.mercator, 1, 1, 0, 0};
+      m->identity = !opts.mercator;
+      m->distance_mode = true;
+      m->stats.polygon_seconds += plan_sw.ElapsedSeconds();
+      const Viewport vp = engine_->MakeViewport(m->bounds);
+      CanvasBuilder b(&engine_->device(), vp);
+      Stopwatch canvas_sw;
+      m->canvas = [&] {
+        SPADE_TRACE_SPAN("engine.constraint_prepare");
+        return b.BuildDistanceCanvasGeometries({0}, {&g}, {req.radius});
+      }();
+      // The solo distance path books canvas construction as GPU time.
+      m->stats.gpu_seconds += canvas_sw.ElapsedSeconds();
+      for (size_t dc = 0; dc < src.index().cells.size(); ++dc) {
+        const Box cell_box =
+            opts.mercator
+                ? exec::TransformBox(src.index().cells[dc].box, m->transform)
+                : src.index().cells[dc].box;
+        if (cell_box.Intersects(m->bounds)) m->cells.push_back(dc);
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  m->view = m->canvas.viewport().world();
+  m->stats.cells_processed += static_cast<int64_t>(m->cells.size());
+  m->signature = ShapeSignature(req, opts.mercator);
+  return true;
+}
+
+void BatchScheduler::Rendezvous(Member* m) {
+  std::shared_ptr<Group> g;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    // Deadline-aware window: never gather past a fraction of this
+    // member's remaining budget (and not at all once stopping).
+    double cap_s = stopping_ ? 0.0 : static_cast<double>(window_us_) / 1e6;
+    if (m->cancel != nullptr) {
+      const double remaining = m->cancel->SecondsRemaining();
+      if (std::isfinite(remaining)) {
+        cap_s = std::min(cap_s,
+                         std::max(0.0, remaining * config_.deadline_fraction));
+      }
+    }
+    const auto cap = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(cap_s));
+
+    auto it = open_.find(m->uid);
+    if (it != open_.end()) {
+      // Join the open group as a follower.
+      g = it->second;
+      g->members.push_back(m);
+      if (now + cap < g->close_at) g->close_at = now + cap;
+      if (g->members.size() >= config_.max_members) g->closed_by_size = true;
+      g->cv.notify_all();
+      g->cv.wait(lock, [&] { return m->released; });
+      lock.unlock();
+      if (m->needs_solo) {
+        m->needs_solo = false;
+        ExecuteMembers({m});
+      }
+      return;
+    }
+
+    // Leader: open a group and hold the gather window.
+    g = std::make_shared<Group>();
+    g->members.push_back(m);
+    g->close_at = now + cap;
+    open_.emplace(m->uid, g);
+    while (!g->closed_by_size && !stopping_ &&
+           std::chrono::steady_clock::now() < g->close_at) {
+      g->cv.wait_until(lock, g->close_at);
+    }
+    auto open_it = open_.find(m->uid);
+    if (open_it != open_.end() && open_it->second == g) open_.erase(open_it);
+
+    // Cost-model partition: a member joins the shared pass iff it shares
+    // at least one candidate cell with another member (one dataset draw
+    // then serves several mask/blend tests). Everyone else runs solo on
+    // their own thread — batching must never serialize disjoint work.
+    std::vector<Member*> shared;
+    std::vector<bool> is_shared(g->members.size(), false);
+    for (size_t i = 0; i < g->members.size(); ++i) {
+      for (size_t j = i + 1; j < g->members.size(); ++j) {
+        if (is_shared[i] && is_shared[j]) continue;
+        if (CellsIntersect(g->members[i]->cells, g->members[j]->cells)) {
+          is_shared[i] = true;
+          is_shared[j] = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < g->members.size(); ++i) {
+      Member* gm = g->members[i];
+      gm->group_members = static_cast<int64_t>(g->members.size());
+      if (is_shared[i]) shared.push_back(gm);
+    }
+    NoteGroupOutcome(g->members.size(), shared.size() >= 2);
+    // Release the solo followers immediately — they execute themselves
+    // concurrently while the leader drives the shared pass.
+    for (size_t i = 0; i < g->members.size(); ++i) {
+      Member* gm = g->members[i];
+      if (gm == m || is_shared[i]) continue;
+      gm->needs_solo = true;
+      gm->released = true;
+    }
+    g->cv.notify_all();
+    lock.unlock();
+
+    // Sharing is pairwise, so `shared` holds zero or >= 2 members. The
+    // leader drives the shared pass either way (the followers in it are
+    // blocked waiting on it), then runs itself solo if it wasn't part of
+    // the sharing.
+    const bool leader_in_shared = is_shared[0];
+    if (shared.size() >= 2) {
+      ExecuteMembers(shared);
+      std::unique_lock<std::mutex> relock(mu_);
+      for (Member* gm : shared) {
+        if (gm == m) continue;
+        gm->released = true;
+      }
+      g->cv.notify_all();
+    }
+    if (!leader_in_shared) ExecuteMembers({m});
+    if (m->needs_solo) {
+      // Shared canvas admission failed for the leader; rerun alone.
+      m->needs_solo = false;
+      ExecuteMembers({m});
+    }
+  }
+}
+
+void BatchScheduler::NoteGroupOutcome(size_t members, bool shared_anything) {
+  // Called with mu_ held.
+  BatchTotal().Add(1);
+  BatchMembersHist().Record(static_cast<double>(members));
+  const auto configured = static_cast<int64_t>(config_.window_ms * 1000.0);
+  if (shared_anything) {
+    window_us_ = configured;
+  } else {
+    const int64_t floor_us = std::max<int64_t>(1, configured / 32);
+    window_us_ = std::max(floor_us, window_us_ / 2);
+  }
+}
+
+void BatchScheduler::ExecuteMembers(const std::vector<Member*>& members) {
+  // One device slot for the whole group — that is the throughput win: k
+  // co-scheduled queries occupy one slot and one dataset draw per cell.
+  SemaphoreGuard slot(device_slots_);
+  GaugeOccupancy slot_gauge(&SlotsBusyGauge());
+  GfxDevice& device = engine_->device();
+  const uint64_t uid = members[0]->uid;
+
+  // Admit every member's constraint canvas to device memory. A canvas
+  // that does not fit alongside the others is bounced back to solo
+  // execution (where it only needs its own) instead of failing.
+  std::vector<DeviceAllocation> canvas_mem;
+  std::vector<Member*> active;
+  canvas_mem.reserve(members.size());
+  for (Member* m : members) {
+    auto alloc = DeviceAllocation::Make(&device, m->canvas.ByteSize());
+    if (!alloc.ok()) {
+      if (members.size() == 1) {
+        m->status = alloc.status();
+      } else {
+        m->needs_solo = true;
+      }
+      continue;
+    }
+    canvas_mem.push_back(std::move(alloc).value());
+    active.push_back(m);
+  }
+  if (active.empty()) return;
+
+  // Union of candidate cells -> which members need each cell.
+  std::map<size_t, std::vector<Member*>> by_cell;
+  for (Member* m : active) {
+    for (size_t c : m->cells) by_cell[c].push_back(m);
+  }
+
+  int64_t shared_draws = 0;
+  int64_t saved_passes = 0;
+  for (auto& [cell, cell_members] : by_cell) {
+    // Cache probes and cooperative cancellation at the cell boundary: a
+    // cancelled member leaves with its typed status; the others continue.
+    std::vector<Member*> need;
+    for (Member* m : cell_members) {
+      if (!m->status.ok()) continue;
+      if (m->cancel != nullptr) {
+        const Status st = m->cancel->Check();
+        if (!st.ok()) {
+          m->status = st;
+          continue;
+        }
+      }
+      std::vector<uint32_t> cached;
+      if (cache_.Lookup(uid, cell, m->signature, &cached)) {
+        m->ids.insert(m->ids.end(), cached.begin(), cached.end());
+        ++m->cache_hits;
+        continue;
+      }
+      need.push_back(m);
+    }
+    if (need.empty()) continue;
+
+    QueryStats load_stats;
+    auto prep_r =
+        engine_->preparer().Get(*members[0]->src, cell, /*need_layers=*/false,
+                                &load_stats);
+    if (!prep_r.ok()) {
+      for (Member* m : need) m->status = prep_r.status();
+      continue;
+    }
+    auto passes_r = exec::PlanCellPasses(&device, prep_r.value(), &load_stats);
+    if (!passes_r.ok()) {
+      for (Member* m : need) m->status = passes_r.status();
+      continue;
+    }
+    // Each member would have paid this load and plan alone: attribute it
+    // to all of them (the draw itself is what sharing amortizes).
+    for (Member* m : need) m->stats.Merge(load_stats);
+
+    for (const auto& pass : passes_r.value()) {
+      SPADE_TRACE_SPAN_VAR(pass_span, "batch.cell_pass");
+      pass_span.AddArg("cell", static_cast<int64_t>(cell));
+      pass_span.AddArg("objects", static_cast<int64_t>(pass->size()));
+      pass_span.AddArg("members", static_cast<int64_t>(need.size()));
+      auto cell_mem = DeviceAllocation::Make(&device, pass->transfer_bytes());
+      if (!cell_mem.ok()) {
+        for (Member* m : need) {
+          if (m->status.ok()) m->status = cell_mem.status();
+        }
+        break;
+      }
+
+      Stopwatch gpu_sw;
+      std::vector<std::vector<GeomId>> pass_ids(need.size());
+      std::mutex flush_mu;
+      // ONE dataset draw for the whole group. Deliberately no CancelScope
+      // here: the device's best-effort fast-out must not let one member's
+      // tripped token skip fragments the other members still need.
+      device.DrawParallel(pass->size(), [&](size_t lo, size_t hi) {
+        size_t chunk_frags = 0;
+        std::vector<GeomId> owners;
+        std::vector<std::vector<GeomId>> local(need.size());
+        std::vector<int64_t> local_frags(need.size(), 0);
+        for (size_t i = lo; i < hi; ++i) {
+          for (size_t k = 0; k < need.size(); ++k) {
+            Member* m = need[k];
+            // Mid-pass leave: a member whose token tripped stops costing
+            // fragments; its typed status lands at the next Check().
+            if (m->cancel != nullptr && m->cancel->cancelled()) continue;
+            if (m->contains) {
+              size_t f = 0;
+              owners.clear();
+              if (exec::TestObjectContains(*pass, i, m->canvas, m->bounds,
+                                           &owners, &f)) {
+                local[k].push_back(pass->global_id(i));
+              }
+              local_frags[k] += static_cast<int64_t>(f);
+              chunk_frags += f;
+            } else {
+              owners.clear();
+              const size_t f = exec::TestOneObject(
+                  *pass, i, m->canvas, m->view, m->transform, m->identity,
+                  m->distance_mode, &owners);
+              local_frags[k] += static_cast<int64_t>(f);
+              chunk_frags += f;
+              if (!owners.empty()) local[k].push_back(pass->global_id(i));
+            }
+          }
+        }
+        std::lock_guard<std::mutex> flush(flush_mu);
+        for (size_t k = 0; k < need.size(); ++k) {
+          pass_ids[k].insert(pass_ids[k].end(), local[k].begin(),
+                             local[k].end());
+          need[k]->stats.fragments += local_frags[k];
+        }
+        return chunk_frags;
+      });
+      const double gpu_s = gpu_sw.ElapsedSeconds();
+      ++shared_draws;
+      saved_passes += static_cast<int64_t>(need.size()) - 1;
+
+      for (size_t k = 0; k < need.size(); ++k) {
+        Member* m = need[k];
+        m->stats.gpu_seconds += gpu_s;
+        m->stats.render_passes += 1;
+        std::sort(pass_ids[k].begin(), pass_ids[k].end());
+        pass_ids[k].erase(
+            std::unique(pass_ids[k].begin(), pass_ids[k].end()),
+            pass_ids[k].end());
+        // Cache only complete cells: a member that cancelled mid-pass may
+        // have skipped objects, so its partial set must not be memoized.
+        const bool tripped =
+            m->cancel != nullptr && m->cancel->cancelled();
+        if (!tripped && passes_r.value().size() == 1) {
+          cache_.Insert(uid, cell, m->signature, pass_ids[k]);
+        }
+        m->ids.insert(m->ids.end(), pass_ids[k].begin(), pass_ids[k].end());
+      }
+    }
+  }
+
+  for (Member* m : active) {
+    m->shared_draws += shared_draws;
+    m->saved_passes += saved_passes;
+  }
+  if (active.size() >= 2) {
+    SharedDrawsTotal().Add(shared_draws);
+    SavedPassesTotal().Add(saved_passes);
+  }
+}
+
+}  // namespace batch
+}  // namespace spade

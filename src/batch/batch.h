@@ -1,0 +1,138 @@
+// The batched multi-query scheduler (ISSUE 7): sits between SpadeService
+// admission and the engine. Admitted batchable queries over the same
+// dataset rendezvous for a short adaptive gather window; when the
+// pass-count cost model says sharing pays (k queries touching one cell =>
+// one dataset draw + k cheap mask/blend tests instead of k full draws),
+// the group leader executes one shared rasterization pass per cell and
+// fans the per-query results out of it. Queries that share nothing fall
+// back to solo execution (same per-cell loop, one member) so batching
+// never changes results and never multiplies passes for disjoint work.
+//
+// Composition with the existing rails:
+//   * per-query CancelToken checks at cell boundaries inside shared
+//     passes — a cancelled member leaves the batch with its typed status
+//     without poisoning the other members (the shared draw installs NO
+//     CancelScope, so the device's fast-out cannot fire for one member's
+//     token while others still need the fragments);
+//   * deadline-aware window sizing — the gather window never extends past
+//     a fraction of the earliest member's remaining deadline budget;
+//   * device-slot arbitration — a shared pass occupies ONE device slot
+//     for the whole group (that is the throughput win);
+//   * per-batch spans — every member's profile gets a `batch` node with
+//     members/shared_draws/saved_passes args, surfaced by EXPLAIN ANALYZE.
+//
+// Result reuse: a ResultCache keyed (dataset uid, cell, query-shape
+// signature) memoizes per-cell result ids, so repeated identical or
+// overlapping queries skip the draw for cached cells entirely.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "batch/result_cache.h"
+#include "canvas/canvas.h"
+#include "canvas/operators.h"
+#include "common/semaphore.h"
+#include "engine/spade.h"
+#include "service/request.h"
+
+namespace spade {
+namespace batch {
+
+/// \brief Sizing knobs of the batch scheduler.
+struct BatchConfig {
+  /// Maximum gather window in milliseconds. The effective window adapts:
+  /// it halves after a group that found nothing to share (down to 1/32 of
+  /// the configured value) and snaps back to the configured maximum after
+  /// a group that did — so no-sharing workloads pay microseconds, not the
+  /// full window, while bursty duplicate traffic keeps gathering.
+  double window_ms = 2.0;
+  /// A group closes immediately once this many members have gathered.
+  size_t max_members = 8;
+  /// Byte budget of the per-cell result cache (0 disables it).
+  size_t cache_bytes = 32ull << 20;
+  /// Fraction of a member's remaining deadline the window may consume.
+  double deadline_fraction = 0.25;
+};
+
+/// \brief The multi-query batch scheduler and shared-pass executor.
+///
+/// Thread-safe: every service worker calls Execute() concurrently; the
+/// scheduler groups the callers itself.
+class BatchScheduler {
+ public:
+  /// `engine` and `device_slots` are borrowed from the owning service and
+  /// must outlive the scheduler. Shared and solo executions acquire
+  /// device slots from `device_slots` exactly like ungrouped queries do.
+  BatchScheduler(SpadeEngine* engine, Semaphore* device_slots,
+                 BatchConfig config);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Try to run `req` through the batcher. Returns true when the request
+  /// was handled and `*resp` is filled (OK or a typed error); false means
+  /// the caller must run the normal solo path (non-batchable kind or
+  /// shape). Blocks for at most the gather window plus execution time.
+  bool Execute(const Request& req, CellSource& src, const QueryOptions& opts,
+               Response* resp);
+
+  /// True for request kinds/shapes the scheduler can take. Mirrors the
+  /// checks Execute() performs before committing to a group.
+  static bool Batchable(const Request& req, const CellSource& src,
+                        const QueryOptions& opts);
+
+  ResultCache& cache() { return cache_; }
+
+  /// Invalidation hook: drop every cached result of dataset `uid`
+  /// (source contents replaced / reloaded).
+  void InvalidateSource(uint64_t uid) { cache_.InvalidateSource(uid); }
+
+  /// Stop gathering: open groups close immediately and future groups use
+  /// a zero window (members still execute). Called on service shutdown.
+  void Shutdown();
+
+  /// Current adaptive gather window, seconds (test/observability hook).
+  double window_seconds() const;
+
+ private:
+  struct Member;
+  struct Group;
+
+  /// Build the member's query plan (constraint canvas, candidate cells,
+  /// shape signature) on the caller's thread. False = shape unsupported.
+  bool PlanMember(const Request& req, CellSource& src,
+                  const QueryOptions& opts, Member* m);
+
+  /// Run the rendezvous for `m`: join/create the group for its dataset,
+  /// gather, partition, and leave with m's results or typed status set.
+  void Rendezvous(Member* m);
+
+  /// Execute `members` (>= 1) against their common dataset under one
+  /// device slot: per union cell, cache probes, one prepared-cell load,
+  /// and one shared draw testing every active member's canvas.
+  void ExecuteMembers(const std::vector<Member*>& members);
+
+  /// Record a closed group into the adaptive window + metrics.
+  void NoteGroupOutcome(size_t members, bool shared_anything);
+
+  SpadeEngine* engine_;
+  Semaphore* device_slots_;
+  const BatchConfig config_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Group>> open_;  ///< by dataset uid
+  bool stopping_ = false;
+  /// Adaptive window, microseconds (guarded by mu_).
+  int64_t window_us_ = 0;
+};
+
+}  // namespace batch
+}  // namespace spade

@@ -1,0 +1,115 @@
+#include "batch/result_cache.h"
+
+#include "obs/metrics.h"
+
+namespace spade {
+namespace batch {
+namespace {
+
+obs::Counter& CacheHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_result_cache_hits_total");
+  return *c;
+}
+obs::Counter& CacheMisses() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_result_cache_misses_total");
+  return *c;
+}
+obs::Counter& CacheEvictedBytes() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_result_cache_evicted_bytes_total");
+  return *c;
+}
+obs::Gauge& CacheBytes() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("spade_result_cache_bytes");
+  return *g;
+}
+
+}  // namespace
+
+bool ResultCache::Lookup(uint64_t uid, size_t cell, uint64_t signature,
+                         std::vector<uint32_t>* out) {
+  if (budget_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{uid, cell, signature});
+  if (it == entries_.end()) {
+    CacheMisses().Add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *out = it->second.ids;
+  CacheHits().Add();
+  return true;
+}
+
+void ResultCache::Insert(uint64_t uid, size_t cell, uint64_t signature,
+                         const std::vector<uint32_t>& ids) {
+  if (budget_ == 0) return;
+  const size_t cost = EntryBytes(ids);
+  if (cost > budget_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{uid, cell, signature};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.ids = ids;
+  e.bytes = cost;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  bytes_ += cost;
+  EvictIfNeededLocked();
+  CacheBytes().Set(static_cast<int64_t>(bytes_));
+}
+
+void ResultCache::EvictIfNeededLocked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    CacheEvictedBytes().Add(static_cast<int64_t>(it->second.bytes));
+    entries_.erase(it);
+  }
+}
+
+void ResultCache::InvalidateSource(uint64_t uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.uid == uid) {
+      bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  CacheBytes().Set(static_cast<int64_t>(bytes_));
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  CacheBytes().Set(0);
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace batch
+}  // namespace spade

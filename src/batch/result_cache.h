@@ -1,0 +1,85 @@
+// Per-cell query result cache (ISSUE 7): memoizes the sorted ids a query
+// shape produced over one grid cell of one dataset, so repeated identical
+// or overlapping queries skip the rasterization pass for that cell
+// entirely. Keys are (dataset uid, cell, query-shape signature); values
+// are byte-accounted and evicted LRU. Invalidation hooks drop every entry
+// of a dataset when its cells are reloaded or the source is replaced.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace spade {
+namespace batch {
+
+/// \brief A (dataset, cell, query-shape) cache of per-cell result ids.
+///
+/// Thread-safe. The signature must capture everything that determines the
+/// per-cell result set: query kind, constraint geometry bits, projection
+/// flag, and the engine configuration knobs that alter exactness-relevant
+/// behavior are assumed fixed per service (one engine per service).
+class ResultCache {
+ public:
+  /// `budget_bytes` caps the resident value bytes (keys/overhead counted
+  /// with a small flat estimate). 0 disables caching entirely.
+  explicit ResultCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up the per-cell ids for (uid, cell, signature). Returns true and
+  /// fills `*out` (sorted, deduped ids) on a hit.
+  bool Lookup(uint64_t uid, size_t cell, uint64_t signature,
+              std::vector<uint32_t>* out);
+
+  /// Insert (or refresh) an entry. `ids` must be the complete, sorted,
+  /// deduped per-cell result. No-op when the cache is disabled or the
+  /// entry alone exceeds the budget.
+  void Insert(uint64_t uid, size_t cell, uint64_t signature,
+              const std::vector<uint32_t>& ids);
+
+  /// Drop every entry of dataset `uid` (source replaced / cells reloaded).
+  void InvalidateSource(uint64_t uid);
+
+  /// Drop everything.
+  void Clear();
+
+  size_t bytes() const;
+  size_t entries() const;
+
+ private:
+  struct Key {
+    uint64_t uid;
+    size_t cell;
+    uint64_t signature;
+    bool operator<(const Key& o) const {
+      if (uid != o.uid) return uid < o.uid;
+      if (cell != o.cell) return cell < o.cell;
+      return signature < o.signature;
+    }
+  };
+  struct Entry {
+    std::vector<uint32_t> ids;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  static size_t EntryBytes(const std::vector<uint32_t>& ids) {
+    // Flat overhead estimate for key + map node + list node.
+    return ids.size() * sizeof(uint32_t) + 96;
+  }
+
+  void EvictIfNeededLocked();
+
+  const size_t budget_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  size_t bytes_ = 0;
+};
+
+}  // namespace batch
+}  // namespace spade

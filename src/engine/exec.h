@@ -39,6 +39,130 @@ inline Box TransformBox(const Box& b, const GeometricTransform& t) {
   return out;
 }
 
+/// Test object `i` of `prep` against `canvas`: vertex transform, viewport
+/// clipping, and the blend+mask test per fragment, exactly as one object
+/// of a fused cell pass. Matching constraint owner ids are appended to
+/// `*owners` (deduped within the object); the return value is the number
+/// of fragments produced. `view` must be canvas.viewport().world().
+/// Factored out of TestObjectsAgainstCanvas so the batch executor can run
+/// the identical per-object test against several member canvases within
+/// one shared pass — result sets stay byte-identical by construction.
+inline size_t TestOneObject(const PreparedCell& prep, size_t i,
+                            const Canvas& canvas, const Box& view,
+                            const GeometricTransform& transform,
+                            bool identity_transform, bool distance_mode,
+                            std::vector<GeomId>* owners) {
+  size_t frags = 0;
+  const Geometry& g = prep.geom(i);
+  switch (g.type()) {
+    case GeomType::kPoint: {
+      const Vec2 q =
+          identity_transform ? g.point() : transform.Apply(g.point());
+      if (!view.Contains(q)) break;  // clipped
+      ++frags;
+      if (distance_mode) {
+        canvas.TestPointDistance(q, owners);
+      } else {
+        canvas.TestPoint(q, owners);
+      }
+      break;
+    }
+    case GeomType::kLine: {
+      const Box b = identity_transform ? g.Bounds()
+                                       : TransformBox(g.Bounds(), transform);
+      if (!b.Intersects(view)) break;
+      const auto& pts = g.line().points;
+      for (size_t s = 1; s < pts.size(); ++s) {
+        const Vec2 a =
+            identity_transform ? pts[s - 1] : transform.Apply(pts[s - 1]);
+        const Vec2 c = identity_transform ? pts[s] : transform.Apply(pts[s]);
+        ++frags;
+        canvas.TestSegment(a, c, owners);
+      }
+      // Dedup across segments.
+      std::sort(owners->begin(), owners->end());
+      owners->erase(std::unique(owners->begin(), owners->end()),
+                    owners->end());
+      break;
+    }
+    case GeomType::kPolygon: {
+      const Box b = identity_transform ? g.Bounds()
+                                       : TransformBox(g.Bounds(), transform);
+      if (!b.Intersects(view)) break;
+      if (prep.tris[i].triangles.empty()) {
+        // Zero-area (degenerate) polygon: no interior to triangulate,
+        // but its boundary can still intersect constraints. Test the
+        // rings as segments, exactly like a polyline.
+        for (const auto& part : g.polygon().parts) {
+          const auto& ring = part.outer;
+          for (size_t s = 0; s < ring.size(); ++s) {
+            const Vec2 a =
+                identity_transform ? ring[s] : transform.Apply(ring[s]);
+            const Vec2 c = identity_transform
+                               ? ring[(s + 1) % ring.size()]
+                               : transform.Apply(ring[(s + 1) % ring.size()]);
+            ++frags;
+            canvas.TestSegment(a, c, owners);
+          }
+        }
+        std::sort(owners->begin(), owners->end());
+        owners->erase(std::unique(owners->begin(), owners->end()),
+                      owners->end());
+        break;
+      }
+      if (identity_transform) {
+        canvas.TestPolygon(prep.tris[i], owners);
+      } else {
+        const Triangulation tri =
+            TransformTriangulation(prep.tris[i], transform);
+        canvas.TestPolygon(tri, owners);
+      }
+      frags += prep.tris[i].triangles.size();
+      break;
+    }
+  }
+  return frags;
+}
+
+/// Containment test (Section 7's vertex-containment plan) for one object:
+/// true when the object has at least one vertex and every vertex tests
+/// positive against the constraint canvas. Objects whose bounds miss
+/// `cbounds` are rejected without probing. `*scratch` is a reusable owner
+/// buffer; probed vertices are added to `*frags`.
+inline bool TestObjectContains(const PreparedCell& prep, size_t i,
+                               const Canvas& canvas, const Box& cbounds,
+                               std::vector<GeomId>* scratch, size_t* frags) {
+  const Geometry& g = prep.geom(i);
+  if (!g.Bounds().Intersects(cbounds)) return false;
+  bool all_inside = true;
+  bool any_vertex = false;
+  auto test_vertex = [&](const Vec2& v) {
+    if (!all_inside) return;
+    any_vertex = true;
+    ++*frags;
+    scratch->clear();
+    canvas.TestPoint(v, scratch);
+    all_inside = !scratch->empty();
+  };
+  switch (g.type()) {
+    case GeomType::kPoint:
+      test_vertex(g.point());
+      break;
+    case GeomType::kLine:
+      for (const auto& v : g.line().points) test_vertex(v);
+      break;
+    case GeomType::kPolygon:
+      for (const auto& part : g.polygon().parts) {
+        for (const auto& v : part.outer) test_vertex(v);
+        for (const auto& h : part.holes) {
+          for (const auto& v : h) test_vertex(v);
+        }
+      }
+      break;
+  }
+  return all_inside && any_vertex;
+}
+
 /// The fused fragment loop: every object of `prep` is rendered against
 /// `canvas` (one rendering pass for the whole cell), applying the vertex
 /// transform, viewport clipping, and the blend+mask test per fragment.
@@ -56,78 +180,9 @@ void TestObjectsAgainstCanvas(GfxDevice* device, const PreparedCell& prep,
     size_t frags = 0;
     std::vector<GeomId> owners;
     for (size_t i = lo; i < hi; ++i) {
-      const Geometry& g = prep.geom(i);
       owners.clear();
-      switch (g.type()) {
-        case GeomType::kPoint: {
-          const Vec2 q =
-              identity_transform ? g.point() : transform.Apply(g.point());
-          if (!view.Contains(q)) break;  // clipped
-          ++frags;
-          if (distance_mode) {
-            canvas.TestPointDistance(q, &owners);
-          } else {
-            canvas.TestPoint(q, &owners);
-          }
-          break;
-        }
-        case GeomType::kLine: {
-          const Box b = identity_transform
-                            ? g.Bounds()
-                            : TransformBox(g.Bounds(), transform);
-          if (!b.Intersects(view)) break;
-          const auto& pts = g.line().points;
-          for (size_t s = 1; s < pts.size(); ++s) {
-            const Vec2 a =
-                identity_transform ? pts[s - 1] : transform.Apply(pts[s - 1]);
-            const Vec2 c = identity_transform ? pts[s] : transform.Apply(pts[s]);
-            ++frags;
-            canvas.TestSegment(a, c, &owners);
-          }
-          // Dedup across segments.
-          std::sort(owners.begin(), owners.end());
-          owners.erase(std::unique(owners.begin(), owners.end()),
-                       owners.end());
-          break;
-        }
-        case GeomType::kPolygon: {
-          const Box b = identity_transform
-                            ? g.Bounds()
-                            : TransformBox(g.Bounds(), transform);
-          if (!b.Intersects(view)) break;
-          if (prep.tris[i].triangles.empty()) {
-            // Zero-area (degenerate) polygon: no interior to triangulate,
-            // but its boundary can still intersect constraints. Test the
-            // rings as segments, exactly like a polyline.
-            for (const auto& part : g.polygon().parts) {
-              const auto& ring = part.outer;
-              for (size_t s = 0; s < ring.size(); ++s) {
-                const Vec2 a = identity_transform
-                                   ? ring[s]
-                                   : transform.Apply(ring[s]);
-                const Vec2 c = identity_transform
-                                   ? ring[(s + 1) % ring.size()]
-                                   : transform.Apply(ring[(s + 1) % ring.size()]);
-                ++frags;
-                canvas.TestSegment(a, c, &owners);
-              }
-            }
-            std::sort(owners.begin(), owners.end());
-            owners.erase(std::unique(owners.begin(), owners.end()),
-                         owners.end());
-            break;
-          }
-          if (identity_transform) {
-            canvas.TestPolygon(prep.tris[i], &owners);
-          } else {
-            const Triangulation tri =
-                TransformTriangulation(prep.tris[i], transform);
-            canvas.TestPolygon(tri, &owners);
-          }
-          frags += prep.tris[i].triangles.size();
-          break;
-        }
-      }
+      frags += TestOneObject(prep, i, canvas, view, transform,
+                             identity_transform, distance_mode, &owners);
       for (GeomId owner : owners) {
         emit(owner, static_cast<uint32_t>(i));
       }

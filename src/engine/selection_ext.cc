@@ -121,35 +121,10 @@ Result<SelectionResult> SpadeEngine::ContainsSelection(
       size_t frags = 0;
       std::vector<GeomId> owners;
       for (size_t i = lo; i < hi; ++i) {
-        const Geometry& g = prep->geom(i);
-        if (!g.Bounds().Intersects(cbounds)) continue;
-        bool all_inside = true;
-        bool any_vertex = false;
-        auto test_vertex = [&](const Vec2& v) {
-          if (!all_inside) return;
-          any_vertex = true;
-          ++frags;
-          owners.clear();
-          canvas.TestPoint(v, &owners);
-          all_inside = !owners.empty();
-        };
-        switch (g.type()) {
-          case GeomType::kPoint:
-            test_vertex(g.point());
-            break;
-          case GeomType::kLine:
-            for (const auto& v : g.line().points) test_vertex(v);
-            break;
-          case GeomType::kPolygon:
-            for (const auto& part : g.polygon().parts) {
-              for (const auto& v : part.outer) test_vertex(v);
-              for (const auto& h : part.holes) {
-                for (const auto& v : h) test_vertex(v);
-              }
-            }
-            break;
+        if (exec::TestObjectContains(*prep, i, canvas, cbounds, &owners,
+                                     &frags)) {
+          out.Store(i, prep->global_id(i));
         }
-        if (all_inside && any_vertex) out.Store(i, prep->global_id(i));
       }
       return frags;
     });

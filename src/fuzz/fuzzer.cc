@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <future>
 #include <sstream>
 #include <thread>
 
@@ -645,6 +647,7 @@ uint64_t CaseSeed(uint64_t master_seed, size_t iteration) {
 }
 
 FuzzLoopResult FuzzLoop(const FuzzLoopOptions& opts) {
+  if (opts.batch_mode) return BatchFuzzLoop(opts);
   if (opts.service_mode) return ServiceFuzzLoop(opts);
   FuzzLoopResult res;
   const auto log = [&opts](const std::string& m) {
@@ -688,6 +691,58 @@ FuzzLoopResult FuzzLoop(const FuzzLoopOptions& opts) {
   }
   return res;
 }
+
+namespace {
+
+// Translate a case's query into a service Request over the registered
+// dataset names. Non-point distance probes degrade to their bounding-box
+// center (the wire request carries a point); the case is fixed up so its
+// oracle answers what was actually asked.
+Request BuildServiceRequest(FuzzCase* c, const std::string& d1,
+                            const std::string& d2) {
+  Request r;
+  r.dataset = d1;
+  switch (c->query.cls) {
+    case QueryClass::kSelection:
+      r.kind = RequestKind::kSelection;
+      r.constraint = c->query.constraint;
+      break;
+    case QueryClass::kRange:
+      r.kind = RequestKind::kRange;
+      r.range = c->query.range;
+      break;
+    case QueryClass::kContains:
+      r.kind = RequestKind::kContains;
+      r.constraint = c->query.constraint;
+      break;
+    case QueryClass::kJoin:
+      r.kind = RequestKind::kJoin;
+      r.dataset2 = d2;
+      break;
+    case QueryClass::kDistance:
+      r.kind = RequestKind::kDistance;
+      r.point = c->query.probe.is_point() ? c->query.probe.point()
+                                          : c->query.probe.Bounds().Center();
+      c->query.probe = Geometry(r.point);
+      r.radius = c->query.radius;
+      break;
+    case QueryClass::kDistanceJoin:
+      r.kind = RequestKind::kDistanceJoin;
+      r.dataset2 = d2;
+      r.radius = c->query.radius;
+      break;
+    case QueryClass::kKnn:
+      r.kind = RequestKind::kKnn;
+      r.point = c->query.probe.point();
+      r.k = c->query.k;
+      break;
+    case QueryClass::kAggregation:
+      break;  // not served by the request front end
+  }
+  return r;
+}
+
+}  // namespace
 
 FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts) {
   FuzzLoopResult res;
@@ -741,49 +796,7 @@ FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts) {
       }
       continue;
     }
-    Request& r = s.req;
-    r.dataset = d1;
-    switch (s.c.query.cls) {
-      case QueryClass::kSelection:
-        r.kind = RequestKind::kSelection;
-        r.constraint = s.c.query.constraint;
-        break;
-      case QueryClass::kRange:
-        r.kind = RequestKind::kRange;
-        r.range = s.c.query.range;
-        break;
-      case QueryClass::kContains:
-        r.kind = RequestKind::kContains;
-        r.constraint = s.c.query.constraint;
-        break;
-      case QueryClass::kJoin:
-        r.kind = RequestKind::kJoin;
-        r.dataset2 = d2;
-        break;
-      case QueryClass::kDistance:
-        r.kind = RequestKind::kDistance;
-        // The wire request carries a point probe; degrade non-point
-        // probes to their bounding-box center and fix up the oracle's
-        // input to match what is actually asked.
-        r.point = s.c.query.probe.is_point()
-                      ? s.c.query.probe.point()
-                      : s.c.query.probe.Bounds().Center();
-        s.c.query.probe = Geometry(r.point);
-        r.radius = s.c.query.radius;
-        break;
-      case QueryClass::kDistanceJoin:
-        r.kind = RequestKind::kDistanceJoin;
-        r.dataset2 = d2;
-        r.radius = s.c.query.radius;
-        break;
-      case QueryClass::kKnn:
-        r.kind = RequestKind::kKnn;
-        r.point = s.c.query.probe.point();
-        r.k = s.c.query.k;
-        break;
-      case QueryClass::kAggregation:
-        break;  // excluded by `classes` above
-    }
+    s.req = BuildServiceRequest(&s.c, d1, d2);
   }
 
   // Fire all requests from `service_threads` caller threads.
@@ -827,6 +840,174 @@ FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts) {
     }
   }
   log("service mode: " + std::to_string(res.executed) + " requests, " +
+      std::to_string(res.overloaded) + " overloaded, " +
+      std::to_string(res.failing_seeds.size()) + " failures");
+  return res;
+}
+
+FuzzLoopResult BatchFuzzLoop(const FuzzLoopOptions& opts) {
+  FuzzLoopResult res;
+  const auto log = [&opts](const std::string& m) {
+    if (opts.log) opts.log(m);
+  };
+
+  SpadeConfig ecfg;
+  ecfg.canvas_resolution = 128;
+  ecfg.max_cell_bytes = 16 << 10;
+  ecfg.gpu_threads = 2;
+  ServiceConfig scfg;
+  scfg.workers =
+      std::max<size_t>(4, static_cast<size_t>(std::max(1, opts.service_threads)));
+  scfg.queue_capacity = std::max<size_t>(16, opts.iterations);
+  scfg.batch_enabled = true;
+  scfg.batch_window_ms = opts.batch_window_ms;
+  scfg.batch_max_members = 8;
+  SpadeService service(ecfg, scfg);
+
+  // The batchable classes plus kNN (which exercises the scheduler's
+  // fall-through to the solo path under concurrency).
+  GenOptions gen = opts.gen;
+  if (gen.classes.empty()) {
+    gen.classes = "selection,range,contains,distance,knn";
+  }
+  gen.with_failpoints = false;   // deterministic responses under concurrency
+  gen.with_cancellation = false; // schedules are injected below instead
+
+  // Consecutive cases form cohorts over ONE shared dataset, pinned to the
+  // leader's query class so the data kind fits every member. The last
+  // member repeats the leader's query verbatim — the guaranteed duplicate
+  // that exercises shared passes and the result cache.
+  constexpr size_t kCohort = 4;
+
+  struct Slot {
+    uint64_t seed = 0;
+    FuzzCase c;
+    Request req;
+    Response resp;
+    std::shared_ptr<CancelToken> token;  ///< set when cancelled mid-flight
+    bool skip = false;                   ///< cohort registration failed
+  };
+  std::vector<Slot> slots(opts.iterations);
+  for (size_t i = 0; i < opts.iterations; ++i) {
+    Slot& s = slots[i];
+    s.seed = CaseSeed(opts.seed, i);
+    const size_t leader = i - (i % kCohort);
+    GenOptions g = gen;
+    if (i != leader) g.classes = QueryClassName(slots[leader].c.query.cls);
+    s.c = GenerateCase(s.seed, g);
+    s.c.data2 = SpatialDataset{};  // batchable classes are single-dataset
+    const std::string dname = "d" + std::to_string(leader);
+    if (i == leader) {
+      Status st =
+          service.RegisterSource(dname, MakeInMemorySource(dname, s.c.data, ecfg));
+      if (!st.ok()) {
+        res.failing_seeds.push_back(s.seed);
+        if (res.first_detail.empty()) {
+          res.first_detail = "RegisterSource: " + st.ToString();
+        }
+        s.skip = true;
+        continue;
+      }
+    } else {
+      if (slots[leader].skip) {
+        s.skip = true;
+        continue;
+      }
+      // Run (and judge) the follower against the cohort's shared dataset.
+      s.c.data = slots[leader].c.data;
+      if (i % kCohort == kCohort - 1) s.c.query = slots[leader].c.query;
+    }
+    s.req = BuildServiceRequest(&s.c, dname, "");
+
+    // Cancellation / deadline schedules on a deterministic slice of the
+    // members: both may legitimately end a query early with a typed
+    // error, and neither may ever corrupt a batch-mate's answer.
+    if (s.seed % 11 == 3) {
+      s.req.timeout_ms = 0.25 * static_cast<double>(1 + s.seed % 8);
+    } else if (s.seed % 11 == 7) {
+      s.token = std::make_shared<CancelToken>();
+    }
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> callers;
+  const int nthreads = std::max(1, opts.service_threads);
+  callers.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    callers.emplace_back([&slots, &next, &service] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= slots.size()) return;
+        Slot& s = slots[i];
+        if (s.skip) continue;
+        if (s.token == nullptr) {
+          s.resp = service.Execute(s.req);
+          continue;
+        }
+        // Mid-flight cancellation: let the request reach the gather
+        // window (or execution), then pull the plug.
+        std::future<Response> fut = service.Submit(s.req, s.token);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(200 * (1 + s.seed % 10)));
+        s.token->Cancel("fuzz cancel");
+        s.resp = fut.get();
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  service.Shutdown();
+
+  for (Slot& s : slots) {
+    if (s.skip) continue;
+    ++res.executed;
+    const Status::Code code = s.resp.status.code();
+    if (code == Status::Code::kOverloaded) {
+      ++res.overloaded;
+      continue;
+    }
+    if (code == Status::Code::kCancelled ||
+        code == Status::Code::kDeadlineExceeded) {
+      ++res.faults;  // tolerated typed early exit
+      continue;
+    }
+    std::string detail;
+    if (!s.resp.status.ok()) {
+      detail = "service error: " + s.resp.status.ToString();
+    } else {
+      Answer engine;
+      engine.ids = s.resp.ids;
+      engine.pairs = s.resp.pairs;
+      engine.neighbors = s.resp.neighbors;
+      detail = CompareAnswers(s.c, engine, OracleAnswer(s.c));
+    }
+    if (detail.empty()) continue;
+    res.failing_seeds.push_back(s.seed);
+    if (res.first_detail.empty()) res.first_detail = detail;
+    log("BATCH MISMATCH seed=" + std::to_string(s.seed) + " class=" +
+        QueryClassName(s.c.query.cls) + ": " + detail);
+    if (!opts.corpus_dir.empty()) {
+      // A divergence that also fails solo is an engine bug — shrink it as
+      // usual. One that only reproduces under concurrent batching is
+      // saved verbatim, flagged in its note.
+      FuzzCase repro = s.c;
+      if (opts.shrink && RunCase(repro, opts.run).mismatch) {
+        repro = ShrinkCase(repro, opts.run);
+      } else {
+        repro.note = "batch-mode divergence (seed " + std::to_string(s.seed) +
+                     "; not solo-reproducible as saved)";
+      }
+      std::error_code ec;
+      std::filesystem::create_directories(opts.corpus_dir, ec);
+      const std::string path = opts.corpus_dir + "/batch_seed_" +
+                               std::to_string(s.seed) + ".case";
+      if (SaveCase(repro, path).ok()) {
+        res.corpus_paths.push_back(path);
+        log("repro written to " + path);
+      }
+    }
+  }
+  log("batch mode: " + std::to_string(res.executed) + " requests, " +
+      std::to_string(res.faults) + " tolerated faults, " +
       std::to_string(res.overloaded) + " overloaded, " +
       std::to_string(res.failing_seeds.size()) + " failures");
   return res;

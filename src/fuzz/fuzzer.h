@@ -67,6 +67,12 @@ struct FuzzLoopOptions {
   bool stop_on_failure = true;
   bool service_mode = false;  ///< drive SpadeService from many threads
   int service_threads = 4;
+  /// Drive a batching-enabled SpadeService: cohorts of cases share one
+  /// dataset (forcing rendezvous + shared canvas passes + result-cache
+  /// hits), a fraction carry deadlines or mid-flight cancellations, and
+  /// every OK response must still match its oracle exactly.
+  bool batch_mode = false;
+  double batch_window_ms = 2.0;  ///< gather window of the batch service
   std::function<void(const std::string&)> log;  ///< progress sink (may be {})
 };
 
@@ -94,6 +100,16 @@ uint64_t CaseSeed(uint64_t master_seed, size_t iteration);
 /// compare each response against its oracle. Exercises admission control,
 /// single-flight cell loads, and device arbitration under the sanitizers.
 FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts);
+
+/// The batch-differential loop: like ServiceFuzzLoop, but the service runs
+/// with the multi-query batch scheduler enabled and the workload is built
+/// to batch — consecutive cases form cohorts over ONE shared dataset (the
+/// last member repeats the leader's query verbatim, exercising the result
+/// cache), while some members carry tight deadlines or asynchronous
+/// cancellations. Cancelled / DeadlineExceeded responses are tolerated as
+/// typed faults; an OK response that differs from the oracle in any byte
+/// is a failure (written to the corpus, shrunk when solo-reproducible).
+FuzzLoopResult BatchFuzzLoop(const FuzzLoopOptions& opts);
 
 }  // namespace fuzz
 }  // namespace spade

@@ -134,6 +134,14 @@ SpadeService::SpadeService(SpadeConfig engine_config, ServiceConfig config)
       config_(config),
       device_slots_(config.device_slots > 0 ? config.device_slots : 1) {
   if (config_.workers == 0) config_.workers = 1;
+  if (config_.batch_enabled) {
+    batch::BatchConfig bc;
+    bc.window_ms = config_.batch_window_ms;
+    bc.max_members = config_.batch_max_members;
+    bc.cache_bytes = config_.batch_cache_bytes;
+    batch_ = std::make_unique<batch::BatchScheduler>(&engine_, &device_slots_,
+                                                     bc);
+  }
   SlotsTotalGauge().Set(
       static_cast<int64_t>(config_.device_slots > 0 ? config_.device_slots
                                                     : 1));
@@ -462,6 +470,15 @@ Response SpadeService::Run(Request& req, CancelToken* cancel) {
   opts.mercator = req.mercator;
   opts.cancel = cancel;
 
+  // Batched execution: batchable queries rendezvous in the scheduler and
+  // share rasterization passes (the scheduler arbitrates device slots
+  // itself — one slot per shared pass). Non-batchable kinds fall through
+  // to the solo path below.
+  if (batch_ != nullptr && batch_->Execute(req, *src, opts, &resp)) {
+    if (resp.status.ok()) obs::PublishQueryStats(resp.stats);
+    return resp;
+  }
+
   // Device arbitration: bound how many requests stream cells through the
   // simulated GPU at once, so their combined working sets respect the
   // budget that sub-cell streaming enforces per query.
@@ -571,7 +588,14 @@ ServiceStats SpadeService::Snapshot() const {
   return s;
 }
 
+void SpadeService::InvalidateResultCache(const std::string& dataset) {
+  if (batch_ == nullptr) return;
+  CellSource* src = FindSource(dataset);
+  if (src != nullptr) batch_->InvalidateSource(src->uid());
+}
+
 void SpadeService::Shutdown() {
+  if (batch_ != nullptr) batch_->Shutdown();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "batch/batch.h"
 #include "common/cancel.h"
 #include "common/latency_histogram.h"
 #include "common/semaphore.h"
@@ -78,6 +79,17 @@ struct ServiceConfig {
   double stuck_after_multiple = 3;
   /// Watchdog scan period.
   double watchdog_interval_seconds = 0.25;
+  /// Route batchable queries (selection / contains / range / distance)
+  /// through the multi-query batch scheduler: concurrent queries over the
+  /// same dataset rendezvous for a short gather window and share one
+  /// rasterization pass per touched cell (src/batch). Off by default.
+  bool batch_enabled = false;
+  /// Maximum batch gather window, milliseconds (adaptive below this).
+  double batch_window_ms = 2.0;
+  /// A batch closes early once this many members have gathered.
+  size_t batch_max_members = 8;
+  /// Byte budget of the per-cell result cache (0 disables caching).
+  size_t batch_cache_bytes = 32ull << 20;
 };
 
 /// \brief Aggregated service-level statistics.
@@ -121,6 +133,14 @@ class SpadeService {
 
   SpadeEngine& engine() { return engine_; }
   const ServiceConfig& config() const { return config_; }
+
+  /// The batch scheduler, or nullptr when batching is disabled.
+  batch::BatchScheduler* batcher() { return batch_.get(); }
+
+  /// Invalidation hook: drop every cached per-cell result of `dataset`
+  /// (call after reloading or mutating its backing storage). No-op when
+  /// batching is disabled or the dataset is unknown.
+  void InvalidateResultCache(const std::string& dataset);
 
   /// Register a dataset under `name`. Sources live for the service's
   /// lifetime (there is deliberately no unregister: queries hold raw
@@ -187,6 +207,7 @@ class SpadeService {
 
   SpadeEngine engine_;
   ServiceConfig config_;
+  std::unique_ptr<batch::BatchScheduler> batch_;  ///< null when disabled
 
   mutable std::mutex sources_mu_;
   std::map<std::string, std::unique_ptr<CellSource>> sources_;

@@ -1,0 +1,396 @@
+// Tests for the batched multi-query scheduler (src/batch): result
+// identity vs the solo path, gather-window timing vs deadlines,
+// cancel-one-member isolation, cost-model fallback to solo, result-cache
+// hits / LRU eviction / invalidation on failpoint-injected reloads, and
+// TSan-clean concurrent submission.
+#include "batch/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+
+namespace spade {
+namespace {
+
+// Sanitizer instrumentation slows the engine passes between cell loads
+// by up to ~10x; wall-clock bounds stay strict in plain builds only.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kTimingSlack = 10;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kTimingSlack = 10;
+#else
+constexpr double kTimingSlack = 1;
+#endif
+#else
+constexpr double kTimingSlack = 1;
+#endif
+
+MultiPolygon BoxConstraint(double x0, double y0, double x1, double y1) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(x0, y0, x1, y1)));
+  return mp;
+}
+
+Request SelectionReq(const std::string& name, const MultiPolygon& c) {
+  Request req;
+  req.kind = RequestKind::kSelection;
+  req.dataset = name;
+  req.constraint = c;
+  return req;
+}
+
+Request RangeReq(const std::string& name, const Box& box) {
+  Request req;
+  req.kind = RequestKind::kRange;
+  req.dataset = name;
+  req.range = box;
+  return req;
+}
+
+ServiceConfig BatchedConfig(double window_ms = 5.0) {
+  ServiceConfig sc;
+  sc.workers = 4;
+  sc.device_slots = 2;
+  sc.batch_enabled = true;
+  sc.batch_window_ms = window_ms;
+  return sc;
+}
+
+void RegisterStandardSources(SpadeService* service) {
+  const SpadeConfig& cfg = service->engine().config();
+  ASSERT_TRUE(service
+                  ->RegisterSource("boxes", MakeInMemorySource(
+                                                "boxes",
+                                                GenerateUniformBoxes(600, 7),
+                                                cfg))
+                  .ok());
+  ASSERT_TRUE(service
+                  ->RegisterSource("points", MakeInMemorySource(
+                                                 "points",
+                                                 GenerateUniformPoints(800, 9),
+                                                 cfg))
+                  .ok());
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name)->value();
+}
+
+/// The request mix every identity test compares against the solo path:
+/// all four batchable kinds plus a non-batchable kNN (exercising the
+/// fall-through to the solo path with batching enabled).
+std::vector<Request> MixedRequests() {
+  std::vector<Request> reqs;
+  reqs.push_back(SelectionReq("boxes", BoxConstraint(0.1, 0.1, 0.6, 0.7)));
+  reqs.push_back(SelectionReq("boxes", BoxConstraint(0.1, 0.1, 0.6, 0.7)));
+  Request contains = SelectionReq("boxes", BoxConstraint(0.2, 0.3, 0.9, 0.9));
+  contains.kind = RequestKind::kContains;
+  reqs.push_back(contains);
+  reqs.push_back(RangeReq("boxes", Box(0.4, 0.0, 0.8, 0.5)));
+  Request dist;
+  dist.kind = RequestKind::kDistance;
+  dist.dataset = "points";
+  dist.point = Vec2(0.5, 0.5);
+  dist.radius = 0.2;
+  reqs.push_back(dist);
+  Request knn;
+  knn.kind = RequestKind::kKnn;
+  knn.dataset = "points";
+  knn.point = Vec2(0.3, 0.3);
+  knn.k = 5;
+  reqs.push_back(knn);
+  return reqs;
+}
+
+TEST(Batch, SequentialResultsIdenticalToSolo) {
+  SpadeService solo({}, ServiceConfig{});
+  SpadeService batched({}, BatchedConfig());
+  RegisterStandardSources(&solo);
+  RegisterStandardSources(&batched);
+
+  for (const Request& req : MixedRequests()) {
+    Response a = solo.Execute(req);
+    Response b = batched.Execute(req);
+    ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+    ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+  }
+}
+
+TEST(Batch, ConcurrentSharedCellSubmitIsIdenticalAndShares) {
+  SpadeService solo({}, ServiceConfig{});
+  RegisterStandardSources(&solo);
+  // A long window so the concurrent duplicates below reliably gather.
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/50.0));
+  RegisterStandardSources(&batched);
+
+  // Solo reference answers.
+  const std::vector<Request> reqs = MixedRequests();
+  std::vector<Response> expected;
+  for (const Request& req : reqs) expected.push_back(solo.Execute(req));
+
+  const int64_t shared_before = CounterValue("spade_batch_shared_draws_total");
+  const int64_t batches_before = CounterValue("spade_batch_total");
+
+  // Fire every request several times concurrently; duplicates share cells.
+  constexpr int kRepeats = 4;
+  std::vector<std::future<Response>> futs;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const Request& req : reqs) futs.push_back(batched.Submit(req));
+  }
+  for (size_t i = 0; i < futs.size(); ++i) {
+    Response got = futs[i].get();
+    const Response& want = expected[i % reqs.size()];
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    EXPECT_EQ(want.ids, got.ids) << "request " << i;
+    EXPECT_EQ(want.neighbors, got.neighbors) << "request " << i;
+  }
+
+  EXPECT_GT(CounterValue("spade_batch_total"), batches_before);
+  // Duplicate selections over the same cells must have shared at least
+  // one dataset draw (saved passes are the whole point).
+  EXPECT_GT(CounterValue("spade_batch_shared_draws_total"), shared_before);
+}
+
+TEST(Batch, WindowWaitsAndAdaptsAndRespectsDeadlines) {
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/300.0));
+  RegisterStandardSources(&batched);
+  ASSERT_NE(batched.batcher(), nullptr);
+  EXPECT_DOUBLE_EQ(batched.batcher()->window_seconds(), 0.3);
+
+  // A lone request with no deadline gathers the full window before it
+  // executes (nobody else shows up).
+  Response lone =
+      batched.Execute(SelectionReq("boxes", BoxConstraint(0, 0, 0.5, 0.5)));
+  ASSERT_TRUE(lone.status.ok()) << lone.status.ToString();
+  EXPECT_GE(lone.total_seconds, 0.25);
+
+  // That group shared nothing, so the adaptive window halves.
+  EXPECT_LT(batched.batcher()->window_seconds(), 0.3);
+
+  // A tight deadline caps the gather window: despite the configured
+  // 300 ms window, this request must finish inside its 80 ms budget
+  // (scaled up under sanitizers, where execution itself is ~10x slower).
+  Request tight = SelectionReq("boxes", BoxConstraint(0, 0, 0.5, 0.5));
+  tight.timeout_ms = 80 * kTimingSlack;
+  Response fast = batched.Execute(tight);
+  ASSERT_TRUE(fast.status.ok()) << fast.status.ToString();
+  EXPECT_LT(fast.total_seconds, 0.08 * kTimingSlack);
+}
+
+TEST(Batch, CancelledMemberLeavesWithoutPoisoningTheBatch) {
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/250.0));
+  RegisterStandardSources(&batched);
+  SpadeService solo({}, ServiceConfig{});
+  RegisterStandardSources(&solo);
+
+  const Request req = SelectionReq("boxes", BoxConstraint(0.1, 0.1, 0.9, 0.9));
+  const Response want = solo.Execute(req);
+  ASSERT_TRUE(want.status.ok());
+
+  // Two members rendezvous (same dataset, same cells); one is cancelled
+  // while the group is still gathering.
+  auto doomed_token = std::make_shared<CancelToken>();
+  auto doomed = batched.Submit(req, doomed_token);
+  auto healthy = batched.Submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  doomed_token->Cancel("client went away");
+
+  Response cancelled = doomed.get();
+  Response ok = healthy.get();
+  EXPECT_EQ(cancelled.status.code(), Status::Code::kCancelled)
+      << cancelled.status.ToString();
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(want.ids, ok.ids);
+}
+
+TEST(Batch, DisjointQueriesFallBackToSoloExecution) {
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/50.0));
+  SpadeService solo({}, ServiceConfig{});
+  // A small max_cell_bytes forces a multi-cell grid, so opposite-corner
+  // queries genuinely touch disjoint cell sets.
+  for (SpadeService* s : {&batched, &solo}) {
+    ASSERT_TRUE(s->RegisterSource(
+                     "grid", std::make_unique<InMemorySource>(
+                                 "grid", GenerateUniformBoxes(4000, 7),
+                                 /*max_cell_bytes=*/16 * 1024))
+                    .ok());
+  }
+
+  // Queries over opposite corners touch disjoint cell sets: the cost
+  // model must run them solo (no shared draws), and results must match.
+  const Request a = RangeReq("grid", Box(0.0, 0.0, 0.12, 0.12));
+  const Request b = RangeReq("grid", Box(0.88, 0.88, 1.0, 1.0));
+  const Response want_a = solo.Execute(a);
+  const Response want_b = solo.Execute(b);
+
+  const int64_t shared_before = CounterValue("spade_batch_shared_draws_total");
+  auto fa = batched.Submit(a);
+  auto fb = batched.Submit(b);
+  Response ra = fa.get();
+  Response rb = fb.get();
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+  ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+  EXPECT_EQ(want_a.ids, ra.ids);
+  EXPECT_EQ(want_b.ids, rb.ids);
+  EXPECT_EQ(CounterValue("spade_batch_shared_draws_total"), shared_before);
+}
+
+/// An in-memory source whose loads go through a failpoint, so a test can
+/// inject "the backing storage was reloaded and now fails / changed".
+class FailpointSource : public CellSource {
+ public:
+  explicit FailpointSource(std::unique_ptr<InMemorySource> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const GridIndex& index() const override { return inner_->index(); }
+  size_t num_objects() const override { return inner_->num_objects(); }
+  GeomType primary_type() const override { return inner_->primary_type(); }
+
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override {
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    SPADE_FAILPOINT("test.cell_reload");
+    return inner_->LoadCell(cell, stats);
+  }
+
+  int64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<InMemorySource> inner_;
+  std::atomic<int64_t> loads_{0};
+};
+
+TEST(ResultCacheService, HitsSkipLoadsAndInvalidationDropsEntries) {
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/1.0));
+  auto owned = std::make_unique<FailpointSource>(MakeInMemorySource(
+      "boxes", GenerateUniformBoxes(400, 3), batched.engine().config()));
+  FailpointSource* src = owned.get();
+  ASSERT_TRUE(batched.RegisterSource("boxes", std::move(owned)).ok());
+  // Defeat the prepared-cell cache so every uncached query reloads — the
+  // result cache is then the only thing standing between a query and the
+  // (failpoint-guarded) storage.
+  batched.engine().preparer().set_budget_bytes(0);
+
+  const Request req = SelectionReq("boxes", BoxConstraint(0.2, 0.2, 0.7, 0.7));
+  Response first = batched.Execute(req);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_GT(batched.batcher()->cache().entries(), 0u);
+  ASSERT_GT(batched.batcher()->cache().bytes(), 0u);
+  const int64_t loads_after_first = src->loads();
+
+  // Second run: served from the result cache, no storage touched.
+  Response second = batched.Execute(req);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(first.ids, second.ids);
+  EXPECT_EQ(src->loads(), loads_after_first);
+
+  // Storage starts failing (reload-after-restart gone bad). The cache
+  // masks it — which is exactly why the invalidation hook must exist.
+  failpoint::Set("test.cell_reload", failpoint::Spec{});
+  Response masked = batched.Execute(req);
+  EXPECT_TRUE(masked.status.ok());
+  EXPECT_EQ(first.ids, masked.ids);
+
+  // Invalidate: entries drop, the next run really reloads and surfaces
+  // the injected fault — proof the stale entries are gone.
+  batched.InvalidateResultCache("boxes");
+  EXPECT_EQ(batched.batcher()->cache().entries(), 0u);
+  EXPECT_EQ(batched.batcher()->cache().bytes(), 0u);
+  Response unmasked = batched.Execute(req);
+  EXPECT_FALSE(unmasked.status.ok());
+
+  // Storage healthy again: the cache repopulates with correct results.
+  failpoint::Clear("test.cell_reload");
+  Response healed = batched.Execute(req);
+  ASSERT_TRUE(healed.status.ok()) << healed.status.ToString();
+  EXPECT_EQ(first.ids, healed.ids);
+  EXPECT_GT(batched.batcher()->cache().entries(), 0u);
+}
+
+TEST(ResultCacheUnit, LruEvictionByteAccountingAndSourceInvalidation) {
+  batch::ResultCache cache(/*budget_bytes=*/400);
+  const std::vector<uint32_t> ids{1, 2, 3, 4};  // 16 + 96 overhead = 112
+
+  cache.Insert(1, 0, 100, ids);
+  cache.Insert(1, 1, 100, ids);
+  cache.Insert(2, 0, 200, ids);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * 112u);
+
+  // Touch (1,0) so it is most-recently used, then overflow the budget:
+  // the least-recently-used entry (1,1) must be the victim.
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
+  EXPECT_EQ(out, ids);
+  cache.Insert(2, 1, 200, ids);  // 4 * 112 = 448 > 400 -> evict one
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_FALSE(cache.Lookup(1, 1, 100, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
+  EXPECT_TRUE(cache.Lookup(2, 0, 200, &out));
+
+  // Signature mismatch is a miss, not a wrong answer.
+  EXPECT_FALSE(cache.Lookup(1, 0, 101, &out));
+
+  // Invalidating source 2 leaves source 1 alone.
+  cache.InvalidateSource(2);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(Batch, ConcurrentMixedWorkloadManyThreads) {
+  SpadeService solo({}, ServiceConfig{});
+  RegisterStandardSources(&solo);
+  SpadeService batched({}, BatchedConfig(/*window_ms=*/2.0));
+  RegisterStandardSources(&batched);
+
+  const std::vector<Request> reqs = MixedRequests();
+  std::vector<Response> expected;
+  for (const Request& req : reqs) expected.push_back(solo.Execute(req));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % reqs.size();
+        Response got = batched.Execute(reqs[which]);
+        if (!got.status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (got.ids != expected[which].ids ||
+            got.neighbors != expected[which].neighbors) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace spade

@@ -55,6 +55,7 @@ struct ChaosOptions {
   uint16_t port = 0;          // 0 = derive from seed
   std::string server_log;     // "" = /dev/null
   double drain_budget = 5.0;  // seconds the server gets to drain
+  bool batch = false;         // run the server with --batch
 };
 
 struct ChaosStats {
@@ -112,7 +113,9 @@ int Usage() {
                "  --server-log=PATH  server stdout/stderr sink (default: "
                "/dev/null)\n"
                "  --drain-budget=S   seconds a SIGTERM'd server may take "
-               "(default 5)\n");
+               "(default 5)\n"
+               "  --batch            run the server with the multi-query\n"
+               "                     batch scheduler enabled\n");
   return 2;
 }
 
@@ -135,8 +138,9 @@ pid_t StartServer(const ChaosOptions& opts, uint16_t port) {
         opts.server_bin.c_str(), port_str.c_str(),
         "--workers", "3", "--queue", "16",
         "--max-timeout", "30000",
-        "--drain-budget", budget_str.c_str(),
-        nullptr};
+        "--drain-budget", budget_str.c_str()};
+    if (opts.batch) argv.push_back("--batch");
+    argv.push_back(nullptr);
     ::execv(opts.server_bin.c_str(),
             const_cast<char* const*>(argv.data()));
     std::fprintf(stderr, "execv %s: %s\n", opts.server_bin.c_str(),
@@ -237,6 +241,8 @@ int main(int argc, char** argv) {
       opts.server_log = v;
     } else if (ParseFlag(argv[i], "--drain-budget", &v)) {
       opts.drain_budget = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--batch", &v)) {
+      opts.batch = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return Usage();

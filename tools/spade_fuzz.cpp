@@ -55,8 +55,13 @@ int Usage() {
                "  --failpoints       arm a random fault schedule on ~1/6 "
                "cases\n"
                "  --service          drive SpadeService from many threads\n"
-               "  --threads=N        caller threads in --service mode "
-               "(default 4)\n"
+               "  --batch            drive a batching-enabled SpadeService:\n"
+               "                     cohorts share datasets, some members\n"
+               "                     carry deadlines or cancellations\n"
+               "  --batch-window=MS  gather window in --batch mode "
+               "(default 2)\n"
+               "  --threads=N        caller threads in --service/--batch "
+               "mode (default 4)\n"
                "  --corpus-dir=DIR   write shrunk repros here\n"
                "  --scratch-dir=DIR  spill dir for disk-backed cases\n"
                "  --replay=FILE      run one corpus case and exit\n"
@@ -94,6 +99,10 @@ int main(int argc, char** argv) {
       opts.gen.with_cancellation = true;
     } else if (ParseFlag(argv[i], "--service", &v)) {
       opts.service_mode = true;
+    } else if (ParseFlag(argv[i], "--batch", &v)) {
+      opts.batch_mode = true;
+    } else if (ParseFlag(argv[i], "--batch-window", &v)) {
+      opts.batch_window_ms = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--threads", &v)) {
       opts.service_threads = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--corpus-dir", &v)) {

@@ -82,12 +82,23 @@ int main(int argc, char** argv) {
       if (v != nullptr) cfg.drain_budget_seconds = std::strtod(v, nullptr);
     } else if (arg == "--no-profiles") {
       cfg.profile_queries = false;
+    } else if (arg == "--batch") {
+      cfg.batch_enabled = true;
+    } else if (arg == "--batch-window") {
+      const char* v = next();
+      if (v != nullptr) cfg.batch_window_ms = std::strtod(v, nullptr);
+    } else if (arg == "--batch-cache-mb") {
+      const char* v = next();
+      if (v != nullptr) {
+        cfg.batch_cache_bytes = std::strtoul(v, nullptr, 10) << 20;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: spade_server [port] [setup-script] "
           "[--workers N] [--queue N] [--slots N] "
           "[--default-timeout MS] [--max-timeout MS] [--drain-budget S] "
-          "[--slow-threshold SECONDS] [--no-profiles]\n");
+          "[--slow-threshold SECONDS] [--no-profiles] "
+          "[--batch] [--batch-window MS] [--batch-cache-mb N]\n");
       return 0;
     } else if (!arg.empty() && std::isdigit(static_cast<unsigned char>(arg[0]))) {
       port = static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
@@ -136,8 +147,9 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "spade_server listening on 127.0.0.1:%u "
-      "(workers=%zu queue=%zu device_slots=%zu)\n",
-      server.port(), cfg.workers, cfg.queue_capacity, cfg.device_slots);
+      "(workers=%zu queue=%zu device_slots=%zu batch=%s)\n",
+      server.port(), cfg.workers, cfg.queue_capacity, cfg.device_slots,
+      cfg.batch_enabled ? "on" : "off");
   std::fflush(stdout);
 
   // Block until SIGTERM/SIGINT, then drain gracefully and exit 0 — the

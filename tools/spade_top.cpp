@@ -157,6 +157,30 @@ std::string Render(const Scrape& cur, const Scrape* prev, double dt_seconds,
   os << "  tracer spans " << ValueOr(cur, "spade_tracer_spans", 0)
      << " dropped " << ValueOr(cur, "spade_tracer_dropped_spans", 0) << '\n';
 
+  const double batches = ValueOr(cur, "spade_batch_total", 0);
+  os << "batch ";
+  if (batches > 0) {
+    const double rhits = ValueOr(cur, "spade_result_cache_hits_total", 0);
+    const double rmisses = ValueOr(cur, "spade_result_cache_misses_total", 0);
+    os << batches << " groups, shared draws "
+       << ValueOr(cur, "spade_batch_shared_draws_total", 0)
+       << ", saved passes "
+       << ValueOr(cur, "spade_batch_saved_passes_total", 0)
+       << ", result cache ";
+    if (rhits + rmisses > 0) {
+      os << 100.0 * rhits / (rhits + rmisses) << "% hit";
+    } else {
+      os << "(cold)";
+    }
+    os << " (" << ValueOr(cur, "spade_result_cache_bytes", 0) / 1024.0
+       << " KiB resident, "
+       << ValueOr(cur, "spade_result_cache_evicted_bytes_total", 0) / 1024.0
+       << " KiB evicted)";
+  } else {
+    os << "(off)";
+  }
+  os << '\n';
+
   os << '\n' << slowlog_text << '\n';
   return os.str();
 }
