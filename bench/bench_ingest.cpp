@@ -1,0 +1,171 @@
+// Streaming-ingest benchmark: what does a live append stream cost the
+// read path? Phase 1 freezes a dataset inside an IngestSource and
+// measures snapshot-pinned range-query latency with no writers (the
+// baseline). Phase 2 runs the same query mix while a writer thread
+// appends batches at a fixed rate — every query pins a fresh epoch, so
+// each one pays for delta tails, version-keyed cache misses on the cells
+// the stream touches, and whatever merges trip mid-flight. The headline
+// number is the p95 ratio live/frozen; append latency itself is reported
+// alongside.
+//
+//   ./build/bench/bench_ingest [--json=BENCH_ingest.json]
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "ingest/ingest.h"
+
+namespace {
+
+using namespace spade;
+using namespace spade::bench;
+
+constexpr int kZoom = 4;
+const Box kExtent(0, 0, 1024, 1024);
+
+std::vector<Vec2> RandomBatch(PortableRng& rng, size_t n) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Vec2{rng.Uniform(0, 1024), rng.Uniform(0, 1024)});
+  }
+  return pts;
+}
+
+/// Run `queries` snapshot-pinned range selections, returning latencies.
+std::vector<double> QueryPhase(SpadeEngine& engine, ingest::IngestSource& src,
+                               size_t queries, uint64_t seed,
+                               double* total_seconds) {
+  PortableRng rng(seed);
+  std::vector<double> lat;
+  lat.reserve(queries);
+  Stopwatch phase;
+  for (size_t q = 0; q < queries; ++q) {
+    const double cx = rng.Uniform(64, 960), cy = rng.Uniform(64, 960);
+    const double half = rng.Uniform(16, 96);
+    const Box box(cx - half, cy - half, cx + half, cy + half);
+    auto snap = src.PinSnapshot();
+    Stopwatch sw;
+    auto r = engine.RangeSelection(*snap, box);
+    lat.push_back(sw.ElapsedSeconds());
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  *total_seconds = phase.ElapsedSeconds();
+  return lat;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParseArgs(argc, argv);
+  PrintHeader("Streaming ingest: query latency, frozen vs under live appends");
+
+  const size_t kRows = Scaled(50000);
+  const size_t kBatch = 50;
+  const size_t kQueries = Scaled(200);
+  const auto kAppendPeriod = std::chrono::milliseconds(10);  // ~5k rows/s
+
+  const std::string merge_dir =
+      (std::filesystem::temp_directory_path() / "spade_bench_ingest").string();
+  std::filesystem::remove_all(merge_dir);
+
+  ingest::IngestOptions opts;
+  opts.extent = kExtent;
+  opts.zoom = kZoom;
+  // Low enough that the fill and the live phase both trip real merges
+  // (~195 rows land per cell during the fill at the default scale).
+  opts.merge_threshold = 192;
+  opts.merge_dir = merge_dir;
+  auto made = ingest::MakeIngestSource("stream", opts);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  auto src = made.value();
+  SpadeEngine engine(BenchConfig());
+
+  // Fill via the real append path, timing each batch (cold appends).
+  PortableRng fill_rng(42);
+  std::vector<double> append_lat;
+  Stopwatch fill_sw;
+  for (size_t appended = 0; appended < kRows; appended += kBatch) {
+    auto batch = RandomBatch(fill_rng, kBatch);
+    Stopwatch sw;
+    auto r = src->Append(batch);
+    append_lat.push_back(sw.ElapsedSeconds());
+    if (!r.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double fill_seconds = fill_sw.ElapsedSeconds();
+  const auto fill_stats = src->GetStats();
+  std::printf("filled %zu rows in %zu-row batches: %.2fs (%.0f rows/s), "
+              "%llu merges\n",
+              src->num_objects(), kBatch, fill_seconds,
+              src->num_objects() / fill_seconds,
+              static_cast<unsigned long long>(fill_stats.merges));
+  Records().push_back(
+      MakeRecord("ingest_append", append_lat, fill_seconds, 0));
+
+  // Phase 1: frozen. Merge everything first so the baseline reads block
+  // files like a long-settled dataset.
+  if (auto st = src->ForceMerge(); !st.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  double frozen_total = 0;
+  auto frozen = QueryPhase(engine, *src, kQueries, 7, &frozen_total);
+  Records().push_back(
+      MakeRecord("ingest_query_frozen", frozen, frozen_total, 0));
+
+  // Phase 2: the same query mix with a writer appending at a fixed rate.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> live_rows{0};
+  std::thread writer([&] {
+    PortableRng rng(43);
+    auto next = std::chrono::steady_clock::now();
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto batch = RandomBatch(rng, kBatch);
+      if (src->Append(batch).ok()) {
+        live_rows.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+      next += kAppendPeriod;
+      std::this_thread::sleep_until(next);
+    }
+  });
+  double live_total = 0;
+  auto live = QueryPhase(engine, *src, kQueries, 7, &live_total);
+  stop.store(true);
+  writer.join();
+  Records().push_back(MakeRecord("ingest_query_live", live, live_total, 0));
+
+  const double append_rate = live_total > 0 ? live_rows.load() / live_total : 0;
+  PrintRow({"phase", "queries", "p50 ms", "p95 ms", "p99 ms", "mean ms"},
+           {24, 10, 10, 10, 10, 10});
+  auto row = [&](const char* name, const std::vector<double>& lat,
+                 double total) {
+    const BenchRecord r = MakeRecord(name, lat, total, 0);
+    PrintRow({name, FmtCount(lat.size()), Fmt(r.p50 * 1e3), Fmt(r.p95 * 1e3),
+              Fmt(r.p99 * 1e3), Fmt(r.mean * 1e3)},
+             {24, 10, 10, 10, 10, 10});
+    return r;
+  };
+  const BenchRecord rf = row("frozen", frozen, frozen_total);
+  const BenchRecord rl = row("under appends", live, live_total);
+  const double ratio = rf.p95 > 0 ? rl.p95 / rf.p95 : 0;
+  std::printf(
+      "\nappend rate during live phase: %.0f rows/s (%zu rows landed)\n"
+      "p95 degradation under appends: %.2fx (acceptance bound: 2x)\n",
+      append_rate, live_rows.load(), ratio);
+
+  WriteJsonIfRequested();
+  std::filesystem::remove_all(merge_dir);
+  return 0;
+}

@@ -129,6 +129,7 @@ struct BatchScheduler::Member {
   CellSource* src = nullptr;
   CancelToken* cancel = nullptr;
   uint64_t uid = 0;
+  uint64_t epoch = 0;  ///< snapshot epoch (0 for frozen sources)
 
   // Plan (built on the member's own thread before rendezvous).
   Canvas canvas;
@@ -176,7 +177,7 @@ BatchScheduler::~BatchScheduler() { Shutdown(); }
 void BatchScheduler::Shutdown() {
   std::lock_guard<std::mutex> lock(mu_);
   stopping_ = true;
-  for (auto& [uid, g] : open_) g->cv.notify_all();
+  for (auto& [key, g] : open_) g->cv.notify_all();
 }
 
 double BatchScheduler::window_seconds() const {
@@ -210,6 +211,7 @@ bool BatchScheduler::Execute(const Request& req, CellSource& src,
   m.src = &src;
   m.cancel = opts.cancel;
   m.uid = src.uid();
+  m.epoch = src.snapshot_epoch();
 
   SPADE_TRACE_SPAN_VAR(batch_span, "batch");
   if (m.cancel != nullptr) {
@@ -330,7 +332,8 @@ void BatchScheduler::Rendezvous(Member* m) {
         std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(cap_s));
 
-    auto it = open_.find(m->uid);
+    const auto group_key = std::make_pair(m->uid, m->epoch);
+    auto it = open_.find(group_key);
     if (it != open_.end()) {
       // Join the open group as a follower.
       g = it->second;
@@ -351,12 +354,12 @@ void BatchScheduler::Rendezvous(Member* m) {
     g = std::make_shared<Group>();
     g->members.push_back(m);
     g->close_at = now + cap;
-    open_.emplace(m->uid, g);
+    open_.emplace(group_key, g);
     while (!g->closed_by_size && !stopping_ &&
            std::chrono::steady_clock::now() < g->close_at) {
       g->cv.wait_until(lock, g->close_at);
     }
-    auto open_it = open_.find(m->uid);
+    auto open_it = open_.find(group_key);
     if (open_it != open_.end() && open_it->second == g) open_.erase(open_it);
 
     // Cost-model partition: a member joins the shared pass iff it shares
@@ -465,6 +468,10 @@ void BatchScheduler::ExecuteMembers(const std::vector<Member*>& members) {
   int64_t shared_draws = 0;
   int64_t saved_passes = 0;
   for (auto& [cell, cell_members] : by_cell) {
+    // Cache entries are keyed by the cell's content version so a result
+    // computed against an older epoch of a mutable (ingest) dataset can
+    // never satisfy a later query. Static sources always report 0.
+    const uint64_t cell_version = members[0]->src->cell_version(cell);
     // Cache probes and cooperative cancellation at the cell boundary: a
     // cancelled member leaves with its typed status; the others continue.
     std::vector<Member*> need;
@@ -478,7 +485,7 @@ void BatchScheduler::ExecuteMembers(const std::vector<Member*>& members) {
         }
       }
       std::vector<uint32_t> cached;
-      if (cache_.Lookup(uid, cell, m->signature, &cached)) {
+      if (cache_.Lookup(uid, cell, cell_version, m->signature, &cached)) {
         m->ids.insert(m->ids.end(), cached.begin(), cached.end());
         ++m->cache_hits;
         continue;
@@ -579,7 +586,7 @@ void BatchScheduler::ExecuteMembers(const std::vector<Member*>& members) {
         const bool tripped =
             m->cancel != nullptr && m->cancel->cancelled();
         if (!tripped && passes_r.value().size() == 1) {
-          cache_.Insert(uid, cell, m->signature, pass_ids[k]);
+          cache_.Insert(uid, cell, cell_version, m->signature, pass_ids[k]);
         }
         m->ids.insert(m->ids.end(), pass_ids[k].begin(), pass_ids[k].end());
       }

@@ -94,6 +94,12 @@ class BatchScheduler {
   /// (source contents replaced / reloaded).
   void InvalidateSource(uint64_t uid) { cache_.InvalidateSource(uid); }
 
+  /// Targeted invalidation: drop cached results of the named cells only
+  /// (the streaming-ingest append/merge hook).
+  void InvalidateCells(uint64_t uid, const std::vector<size_t>& cells) {
+    cache_.InvalidateCells(uid, cells);
+  }
+
   /// Stop gathering: open groups close immediately and future groups use
   /// a zero window (members still execute). Called on service shutdown.
   void Shutdown();
@@ -128,7 +134,10 @@ class BatchScheduler {
   ResultCache cache_;
 
   mutable std::mutex mu_;
-  std::map<uint64_t, std::shared_ptr<Group>> open_;  ///< by dataset uid
+  /// Open gather groups by (dataset uid, snapshot epoch): two queries over
+  /// the same mutable dataset pinned at different epochs must never share
+  /// a group — the shared pass loads cells through one member's source.
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<Group>> open_;
   bool stopping_ = false;
   /// Adaptive window, microseconds (guarded by mu_).
   int64_t window_us_ = 0;

@@ -1,5 +1,7 @@
 #include "batch/result_cache.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace spade {
@@ -26,14 +28,19 @@ obs::Gauge& CacheBytes() {
       obs::MetricsRegistry::Global().gauge("spade_result_cache_bytes");
   return *g;
 }
+obs::Counter& CacheInvalidations() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_result_cache_invalidations_total");
+  return *c;
+}
 
 }  // namespace
 
-bool ResultCache::Lookup(uint64_t uid, size_t cell, uint64_t signature,
-                         std::vector<uint32_t>* out) {
+bool ResultCache::Lookup(uint64_t uid, size_t cell, uint64_t version,
+                         uint64_t signature, std::vector<uint32_t>* out) {
   if (budget_ == 0) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(Key{uid, cell, signature});
+  auto it = entries_.find(Key{uid, cell, version, signature});
   if (it == entries_.end()) {
     CacheMisses().Add();
     return false;
@@ -44,13 +51,13 @@ bool ResultCache::Lookup(uint64_t uid, size_t cell, uint64_t signature,
   return true;
 }
 
-void ResultCache::Insert(uint64_t uid, size_t cell, uint64_t signature,
-                         const std::vector<uint32_t>& ids) {
+void ResultCache::Insert(uint64_t uid, size_t cell, uint64_t version,
+                         uint64_t signature, const std::vector<uint32_t>& ids) {
   if (budget_ == 0) return;
   const size_t cost = EntryBytes(ids);
   if (cost > budget_) return;
   std::lock_guard<std::mutex> lock(mu_);
-  const Key key{uid, cell, signature};
+  const Key key{uid, cell, version, signature};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     bytes_ -= it->second.bytes;
@@ -81,15 +88,39 @@ void ResultCache::EvictIfNeededLocked() {
 
 void ResultCache::InvalidateSource(uint64_t uid) {
   std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.uid == uid) {
       bytes_ -= it->second.bytes;
       lru_.erase(it->second.lru_it);
       it = entries_.erase(it);
+      ++dropped;
     } else {
       ++it;
     }
   }
+  if (dropped > 0) CacheInvalidations().Add(dropped);
+  CacheBytes().Set(static_cast<int64_t>(bytes_));
+}
+
+void ResultCache::InvalidateCells(uint64_t uid,
+                                  const std::vector<size_t>& cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool match = it->first.uid == uid &&
+                       std::find(cells.begin(), cells.end(), it->first.cell) !=
+                           cells.end();
+    if (match) {
+      bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) CacheInvalidations().Add(dropped);
   CacheBytes().Set(static_cast<int64_t>(bytes_));
 }
 

@@ -30,19 +30,28 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// Look up the per-cell ids for (uid, cell, signature). Returns true and
+  /// Look up the per-cell ids for (uid, cell, version, signature).
+  /// `version` is the cell's content version (CellSource::cell_version) at
+  /// lookup time — entries inserted against an older version can never
+  /// hit, so a slow query finishing after an append cannot poison later
+  /// ones even if its insert races the invalidation. Returns true and
   /// fills `*out` (sorted, deduped ids) on a hit.
-  bool Lookup(uint64_t uid, size_t cell, uint64_t signature,
+  bool Lookup(uint64_t uid, size_t cell, uint64_t version, uint64_t signature,
               std::vector<uint32_t>* out);
 
   /// Insert (or refresh) an entry. `ids` must be the complete, sorted,
   /// deduped per-cell result. No-op when the cache is disabled or the
   /// entry alone exceeds the budget.
-  void Insert(uint64_t uid, size_t cell, uint64_t signature,
+  void Insert(uint64_t uid, size_t cell, uint64_t version, uint64_t signature,
               const std::vector<uint32_t>& ids);
 
   /// Drop every entry of dataset `uid` (source replaced / cells reloaded).
   void InvalidateSource(uint64_t uid);
+
+  /// Drop every entry (any version, any signature) of the named cells of
+  /// dataset `uid` — the post-append / post-merge hygiene hook. Bumps
+  /// spade_result_cache_invalidations_total per dropped entry.
+  void InvalidateCells(uint64_t uid, const std::vector<size_t>& cells);
 
   /// Drop everything.
   void Clear();
@@ -54,10 +63,12 @@ class ResultCache {
   struct Key {
     uint64_t uid;
     size_t cell;
+    uint64_t version;
     uint64_t signature;
     bool operator<(const Key& o) const {
       if (uid != o.uid) return uid < o.uid;
       if (cell != o.cell) return cell < o.cell;
+      if (version != o.version) return version < o.version;
       return signature < o.signature;
     }
   };

@@ -42,6 +42,16 @@ constexpr const char* kHelp = R"(commands:
   knn <name> x y k [m]         k nearest neighbours
                                (query commands accept --trace-out=<file>.json
                                to export a Chrome/Perfetto trace of the run)
+  ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]
+                               create a streaming-ingest point dataset
+  ingest from <csv> as <name> [zoom]
+                               create one from a CSV (extent auto-scanned)
+                               and ingest the file's rows
+  ingest <name> x y [x y ...]  append a batch (seals one epoch)
+  ingest csv <name> <path>     tail a CSV: append lines added since the
+                               last `ingest csv` of that file
+  ingest status <name>         epoch / rows / merge accounting
+  ingest merge <name>          force-merge all delta buffers to blocks
   register <name>              store dataset as a SQL (id, wkt) table
   sql <statement>              run SQL against the catalog
   explain [--json] <query>     EXPLAIN ANALYZE: run the query, print its
@@ -134,6 +144,7 @@ Result<CellSource*> CliSession::FindSource(const std::string& name) {
     return Status::NotFound("no dataset named '" + name +
                             "' (see `list`, `gen`, `load`)");
   }
+  if (it->second.ingest != nullptr) return it->second.ingest.get();
   return it->second.source.get();
 }
 
@@ -382,10 +393,18 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
   if (cmd == "list") {
     std::ostringstream os;
     for (const auto& [name, ns] : sources_) {
-      os << name << ": " << ns.source->num_objects() << " objects, "
-         << ns.source->index().num_cells() << " cells, zoom "
-         << ns.source->index().zoom
-         << (ns.has_dataset ? " (memory)" : " (disk)") << '\n';
+      const CellSource* src =
+          ns.ingest != nullptr
+              ? static_cast<const CellSource*>(ns.ingest.get())
+              : ns.source.get();
+      os << name << ": " << src->num_objects() << " objects, "
+         << src->index().num_cells() << " cells, zoom " << src->index().zoom;
+      if (ns.ingest != nullptr) {
+        os << " (ingest, epoch " << ns.ingest->GetStats().epoch << ")";
+      } else {
+        os << (ns.has_dataset ? " (memory)" : " (disk)");
+      }
+      os << '\n';
     }
     if (sources_.empty()) return std::string("(no datasets)");
     std::string out = os.str();
@@ -516,6 +535,195 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
       os << ' ' << top[i].second << '=' << top[i].first;
     }
     return os.str();
+  }
+
+  if (cmd == "ingest") {
+    if (words.size() < 2) {
+      return Status::InvalidArgument(
+          "usage: ingest new|from|csv|status|merge ... "
+          "(or `ingest <name> x y [x y ...]` to append)");
+    }
+    const std::string& sub = words[1];
+    const auto find_ingest = [&](const std::string& name)
+        -> Result<std::shared_ptr<ingest::IngestSource>> {
+      auto it = sources_.find(name);
+      if (it == sources_.end() || it->second.ingest == nullptr) {
+        return Status::NotFound("no ingest dataset named '" + name +
+                                "' (see `ingest new` / `ingest from`)");
+      }
+      return it->second.ingest;
+    };
+    const auto register_ingest =
+        [&](const std::string& name,
+            const ingest::IngestOptions& opts) -> Result<std::string> {
+      if (sources_.count(name) > 0) {
+        return Status::InvalidArgument("dataset '" + name +
+                                       "' already exists");
+      }
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                             ingest::MakeIngestSource(name, opts));
+      tailers_[name] = std::make_unique<ingest::CsvTailer>(src);
+      NamedSource ns;
+      ns.ingest = std::move(src);
+      sources_[name] = std::move(ns);
+      std::ostringstream os;
+      os << name << ": ingest dataset over [" << opts.extent.min.x << ","
+         << opts.extent.min.y << "]..[" << opts.extent.max.x << ","
+         << opts.extent.max.y << "] zoom " << opts.zoom
+         << (opts.merge_dir.empty() ? " (in-memory)"
+                                    : " merging to " + opts.merge_dir);
+      return os.str();
+    };
+
+    if (sub == "new") {
+      if (words.size() < 7 || words.size() > 9) {
+        return Status::InvalidArgument(
+            "usage: ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]");
+      }
+      ingest::IngestOptions opts;
+      SPADE_ASSIGN_OR_RETURN(double x0, ToDouble(words[3]));
+      SPADE_ASSIGN_OR_RETURN(double y0, ToDouble(words[4]));
+      SPADE_ASSIGN_OR_RETURN(double x1, ToDouble(words[5]));
+      SPADE_ASSIGN_OR_RETURN(double y1, ToDouble(words[6]));
+      opts.extent = Box(x0, y0, x1, y1);
+      for (size_t i = 7; i < words.size(); ++i) {
+        if (words[i].rfind("dir=", 0) == 0) {
+          opts.merge_dir = words[i].substr(4);
+        } else {
+          SPADE_ASSIGN_OR_RETURN(double z, ToDouble(words[i]));
+          opts.zoom = static_cast<int>(z);
+        }
+      }
+      return register_ingest(words[2], opts);
+    }
+
+    if (sub == "from") {
+      if ((words.size() != 5 && words.size() != 6) || words[3] != "as") {
+        return Status::InvalidArgument(
+            "usage: ingest from <csv> as <name> [zoom]");
+      }
+      const std::string& path = words[2];
+      // One scan to learn the stream's extent (ingest grids are declared
+      // up front), then the tailer ingests the same rows as epoch 1.
+      std::ifstream in(path);
+      if (!in.is_open()) {
+        return Status::IOError("cannot open " + path);
+      }
+      CsvLoadOptions scan;
+      Box extent;
+      bool any = false, first = true;
+      std::string text_line;
+      while (std::getline(in, text_line)) {
+        Vec2 p;
+        if (ParseCsvPointLine(text_line, scan, &p)) {
+          if (!any) {
+            extent = Box(p.x, p.y, p.x, p.y);
+            any = true;
+          } else {
+            extent.Extend(p);
+          }
+        } else if (!first) {
+          // Malformed mid-file rows are the tailer's business (counted and
+          // limited there); the scan only needs the bounds.
+        }
+        first = false;
+      }
+      if (!any) {
+        return Status::InvalidArgument(path + ": no valid points");
+      }
+      // A degenerate axis (single point / collinear stream) cannot grid.
+      if (extent.max.x - extent.min.x <= 0) {
+        extent.min.x -= 0.5;
+        extent.max.x += 0.5;
+      }
+      if (extent.max.y - extent.min.y <= 0) {
+        extent.min.y -= 0.5;
+        extent.max.y += 0.5;
+      }
+      ingest::IngestOptions opts;
+      opts.extent = extent;
+      if (words.size() == 6) {
+        SPADE_ASSIGN_OR_RETURN(double z, ToDouble(words[5]));
+        opts.zoom = static_cast<int>(z);
+      }
+      SPADE_ASSIGN_OR_RETURN(std::string created,
+                             register_ingest(words[4], opts));
+      CsvLoadOptions csv;
+      size_t skipped = 0;
+      csv.skipped_rows = &skipped;
+      SPADE_ASSIGN_OR_RETURN(size_t n,
+                             tailers_[words[4]]->Tail(path, csv, nullptr));
+      std::ostringstream os;
+      os << created << "\ningested " << n << " rows from " << path;
+      if (skipped > 0) os << " (skipped " << skipped << " malformed)";
+      return os.str();
+    }
+
+    if (sub == "csv") {
+      if (words.size() != 4) {
+        return Status::InvalidArgument("usage: ingest csv <name> <path>");
+      }
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                             find_ingest(words[2]));
+      auto& tailer = tailers_[words[2]];
+      if (tailer == nullptr) {
+        tailer = std::make_unique<ingest::CsvTailer>(src);
+      }
+      CsvLoadOptions csv;
+      size_t skipped = 0;
+      csv.skipped_rows = &skipped;
+      SPADE_ASSIGN_OR_RETURN(size_t n, tailer->Tail(words[3], csv, nullptr));
+      std::ostringstream os;
+      os << "appended " << n << " rows from " << words[3];
+      if (skipped > 0) os << " (skipped " << skipped << " malformed)";
+      os << " epoch=" << src->GetStats().epoch;
+      return os.str();
+    }
+
+    if (sub == "status") {
+      if (words.size() != 3) {
+        return Status::InvalidArgument("usage: ingest status <name>");
+      }
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                             find_ingest(words[2]));
+      const ingest::IngestStats s = src->GetStats();
+      std::ostringstream os;
+      os << words[2] << ": epoch=" << s.epoch << " objects=" << s.num_objects
+         << " cells=" << s.num_cells << " unmerged=" << s.unmerged_rows
+         << " merged=" << s.merged_rows << " merges=" << s.merges
+         << " merge_failures=" << s.merge_failures
+         << " rejected=" << s.rejected_batches;
+      return os.str();
+    }
+
+    if (sub == "merge") {
+      if (words.size() != 3) {
+        return Status::InvalidArgument("usage: ingest merge <name>");
+      }
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                             find_ingest(words[2]));
+      SPADE_RETURN_NOT_OK(src->ForceMerge());
+      const ingest::IngestStats s = src->GetStats();
+      return words[2] + ": merged (merged_rows=" +
+             std::to_string(s.merged_rows) + ")";
+    }
+
+    // Append form: ingest <name> x y [x y ...]
+    if (words.size() < 4 || (words.size() - 2) % 2 != 0) {
+      return Status::InvalidArgument("usage: ingest <name> x y [x y ...]");
+    }
+    SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                           find_ingest(words[1]));
+    std::vector<Vec2> pts;
+    pts.reserve((words.size() - 2) / 2);
+    for (size_t i = 2; i + 1 < words.size(); i += 2) {
+      SPADE_ASSIGN_OR_RETURN(double x, ToDouble(words[i]));
+      SPADE_ASSIGN_OR_RETURN(double y, ToDouble(words[i + 1]));
+      pts.push_back({x, y});
+    }
+    SPADE_ASSIGN_OR_RETURN(uint64_t epoch, src->Append(pts, active_cancel_));
+    return "appended " + std::to_string(pts.size()) +
+           " epoch=" + std::to_string(epoch);
   }
 
   if (cmd == "register") {

@@ -10,6 +10,8 @@
 
 #include "common/latency_histogram.h"
 #include "engine/spade.h"
+#include "ingest/csv_tail.h"
+#include "ingest/ingest.h"
 #include "obs/profile.h"
 
 namespace spade {
@@ -48,6 +50,9 @@ class CliSession {
     // Kept when created in-process so datasets can be saved back out.
     SpatialDataset dataset;
     bool has_dataset = false;
+    // Set instead of `source` for streaming-ingest datasets (shared so a
+    // CsvTailer can hold it too).
+    std::shared_ptr<ingest::IngestSource> ingest;
   };
 
   Result<CellSource*> FindSource(const std::string& name);
@@ -57,6 +62,9 @@ class CliSession {
 
   SpadeEngine engine_;
   std::map<std::string, NamedSource> sources_;
+  /// One CSV tailer per ingest dataset (per-file offsets survive across
+  /// `ingest csv` commands, so repeated calls append only new lines).
+  std::map<std::string, std::unique_ptr<ingest::CsvTailer>> tailers_;
   QueryStats last_stats_;
   std::unique_ptr<obs::QueryProfile> last_profile_;
   RetryPolicy retry_policy_;  ///< applied to every disk-backed source

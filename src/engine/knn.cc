@@ -175,14 +175,10 @@ Result<KnnResult> SpadeEngine::KnnSelection(CellSource& data, const Vec2& p,
   std::vector<bool> selected(data.num_objects(), false);
   for (GeomId id : sel.ids) selected[id] = true;
   for (size_t c = 0; c < data.index().cells.size(); ++c) {
-    bool any = false;
-    for (GeomId id : data.index().cells[c].ids) {
-      if (selected[id]) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) continue;
+    // Conservative membership: sources whose index carries no id lists
+    // (ingest snapshots) answer true for populated cells; loaded rows are
+    // re-filtered by `selected` below either way.
+    if (!data.CellMayContain(c, selected)) continue;
     SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
                            data.LoadCell(c, &stats));
@@ -266,14 +262,7 @@ Result<JoinResult> SpadeEngine::KnnJoin(const std::vector<Vec2>& probes,
   std::vector<bool> want(data.num_objects(), false);
   for (GeomId id : matched) want[id] = true;
   for (size_t c = 0; c < data.index().cells.size(); ++c) {
-    bool any = false;
-    for (GeomId id : data.index().cells[c].ids) {
-      if (want[id]) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) continue;
+    if (!data.CellMayContain(c, want)) continue;
     SPADE_RETURN_IF_CANCELLED(opts.cancel);
     SPADE_ASSIGN_OR_RETURN(std::shared_ptr<const CellData> cd,
                            data.LoadCell(c, &stats));

@@ -1,5 +1,7 @@
 #include "engine/prepared.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -168,7 +170,8 @@ Result<std::shared_ptr<const PreparedCell>> CellPreparer::Get(
 Result<std::shared_ptr<const PreparedCell>> CellPreparer::GetImpl(
     CellSource& source, size_t cell, bool need_layers, QueryStats* stats,
     bool* cache_hit) {
-  const Key key = std::make_pair(source.uid(), cell);
+  const Key key =
+      std::make_tuple(source.uid(), cell, source.cell_version(cell));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = cache_.find(key);
@@ -253,6 +256,37 @@ void CellPreparer::Clear() {
   cache_.clear();
   lru_.clear();
   cached_bytes_ = 0;
+}
+
+void CellPreparer::InvalidateCells(uint64_t uid,
+                                   const std::vector<size_t>& cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const bool match =
+        std::get<0>(it->first) == uid &&
+        std::find(cells.begin(), cells.end(), std::get<1>(it->first)) !=
+            cells.end();
+    if (match) {
+      cached_bytes_ -= it->second.prep->index_bytes;
+      lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CellPreparer::InvalidateSource(uint64_t uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (std::get<0>(it->first) == uid) {
+      cached_bytes_ -= it->second.prep->index_bytes;
+      lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 size_t CellPreparer::size() const {

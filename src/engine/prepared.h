@@ -12,6 +12,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
+#include <vector>
 
 #include "canvas/layer_index.h"
 #include "common/config.h"
@@ -84,6 +86,14 @@ class CellPreparer {
   void Clear();
   size_t size() const;
 
+  /// Drop every cached entry (any version) of the named cells of source
+  /// `uid`. Mutable sources call this on append/merge: correctness is
+  /// already guaranteed by the version component of the cache key, so
+  /// invalidation is hygiene — it frees entries no snapshot can hit.
+  void InvalidateCells(uint64_t uid, const std::vector<size_t>& cells);
+  /// Drop every cached entry of source `uid`.
+  void InvalidateSource(uint64_t uid);
+
   /// Bound on cached index bytes; least-recently-used entries are evicted
   /// past it (rebuilding them later is correct, just slower).
   void set_budget_bytes(size_t bytes);
@@ -103,7 +113,11 @@ class CellPreparer {
   size_t inflight_waiters() const;
 
  private:
-  using Key = std::pair<uint64_t, size_t>;
+  /// (source uid, cell index, cell content version). Frozen sources are
+  /// always version 0; ingest snapshots report the epoch of the cell's
+  /// newest visible row, so entries for several epochs coexist and a
+  /// pinned query can never hit bytes from a later append.
+  using Key = std::tuple<uint64_t, size_t, uint64_t>;
 
   struct Entry {
     std::shared_ptr<const PreparedCell> prep;

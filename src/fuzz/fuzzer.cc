@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <future>
+#include <iomanip>
 #include <sstream>
 #include <thread>
 
@@ -13,6 +15,8 @@
 #include "common/rng.h"
 #include "engine/spade.h"
 #include "fuzz/oracle.h"
+#include "ingest/csv_tail.h"
+#include "ingest/ingest.h"
 #include "service/service.h"
 
 namespace spade {
@@ -647,6 +651,7 @@ uint64_t CaseSeed(uint64_t master_seed, size_t iteration) {
 }
 
 FuzzLoopResult FuzzLoop(const FuzzLoopOptions& opts) {
+  if (opts.ingest_mode) return IngestFuzzLoop(opts);
   if (opts.batch_mode) return BatchFuzzLoop(opts);
   if (opts.service_mode) return ServiceFuzzLoop(opts);
   FuzzLoopResult res;
@@ -1010,6 +1015,336 @@ FuzzLoopResult BatchFuzzLoop(const FuzzLoopOptions& opts) {
       std::to_string(res.faults) + " tolerated faults, " +
       std::to_string(res.overloaded) + " overloaded, " +
       std::to_string(res.failing_seeds.size()) + " failures");
+  return res;
+}
+
+FuzzLoopResult IngestFuzzLoop(const FuzzLoopOptions& opts) {
+  FuzzLoopResult res;
+  const auto log = [&opts](const std::string& m) {
+    if (opts.log) opts.log(m);
+  };
+
+  std::error_code ec;
+  std::string scratch = opts.run.scratch_dir;
+  if (scratch.empty()) {
+    scratch = std::filesystem::temp_directory_path(ec).string();
+  }
+  const std::string tag = std::to_string(opts.seed);
+  const std::string merge_dir = scratch + "/ingest_fuzz_merge_" + tag;
+  const std::string csv_path = scratch + "/ingest_fuzz_tail_" + tag + ".csv";
+  std::filesystem::remove_all(merge_dir, ec);
+  std::filesystem::remove(csv_path, ec);
+
+  SpadeConfig ecfg;
+  ecfg.canvas_resolution = 128;
+  ecfg.max_cell_bytes = 16 << 10;
+  ecfg.gpu_threads = 2;
+  SpadeEngine engine(ecfg);
+
+  ingest::IngestOptions iopts;
+  iopts.extent = Box(0, 0, 64, 64);
+  iopts.zoom = 3;
+  iopts.merge_threshold = 96;  // low: merges trip constantly under fuzz
+  iopts.merge_dir = merge_dir;
+  auto made = ingest::MakeIngestSource("fuzz_stream", iopts);
+  if (!made.ok()) {
+    res.first_detail = "MakeIngestSource: " + made.status().ToString();
+    res.failing_seeds.push_back(opts.seed);
+    return res;
+  }
+  auto src = made.value();
+  ingest::CsvTailer tailer(src);
+
+  // The oracle: rows in append order (GeomId == index) plus the visible
+  // prefix length after each sealed epoch. A snapshot pinned at epoch e
+  // must answer over exactly shadow[0, rows_at_epoch[e]).
+  std::vector<Vec2> shadow;
+  std::vector<size_t> rows_at_epoch{0};
+  bool merge_fp_armed = false;
+  bool csv_started = false;
+
+  auto random_points = [&](PortableRng& rng, size_t n) {
+    std::vector<Vec2> pts;
+    pts.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      pts.push_back(Vec2{rng.Uniform(0, 64), rng.Uniform(0, 64)});
+    }
+    return pts;
+  };
+  auto record_epoch = [&](uint64_t sealed, const std::vector<Vec2>& pts,
+                          std::string* detail) {
+    if (sealed != rows_at_epoch.size()) {
+      *detail = "append sealed epoch " + std::to_string(sealed) +
+                ", oracle expected " + std::to_string(rows_at_epoch.size());
+      return;
+    }
+    shadow.insert(shadow.end(), pts.begin(), pts.end());
+    rows_at_epoch.push_back(shadow.size());
+  };
+  // A rejected write must be invisible: same epoch, same row count.
+  auto check_unchanged = [&](const char* what, std::string* detail) {
+    if (src->snapshot_epoch() != rows_at_epoch.size() - 1 ||
+        src->num_objects() != shadow.size()) {
+      *detail = std::string(what) + " mutated the source: epoch " +
+                std::to_string(src->snapshot_epoch()) + "/" +
+                std::to_string(rows_at_epoch.size() - 1) + ", rows " +
+                std::to_string(src->num_objects()) + "/" +
+                std::to_string(shadow.size());
+    }
+  };
+
+  auto run_query = [&](PortableRng& rng) -> std::string {
+    auto snap = src->PinSnapshot();
+    // Half the queries race an append sealed AFTER the pin: the pinned
+    // epoch must keep answering as if the world had stopped.
+    if (rng.Chance(0.5)) {
+      auto pts = random_points(rng, 1 + static_cast<size_t>(rng.UniformInt(0, 19)));
+      auto r = src->Append(pts);
+      if (!r.ok()) return "racing append failed: " + r.status().ToString();
+      std::string detail;
+      record_epoch(r.value(), pts, &detail);
+      if (!detail.empty()) return detail;
+    }
+    const uint64_t e = snap->snapshot_epoch();
+    if (e >= rows_at_epoch.size()) {
+      return "snapshot pinned unknown epoch " + std::to_string(e);
+    }
+    const size_t prefix = rows_at_epoch[e];
+    if (snap->num_objects() != prefix) {
+      return "snapshot at epoch " + std::to_string(e) + " reports " +
+             std::to_string(snap->num_objects()) + " rows, oracle " +
+             std::to_string(prefix);
+    }
+    if (prefix == 0) return "";
+
+    if (rng.Chance(0.7)) {
+      double x0 = rng.Uniform(0, 64), x1 = rng.Uniform(0, 64);
+      double y0 = rng.Uniform(0, 64), y1 = rng.Uniform(0, 64);
+      const Box box(std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+                    std::max(y0, y1));
+      auto r = engine.RangeSelection(*snap, box);
+      if (!r.ok()) return "RangeSelection: " + r.status().ToString();
+      std::vector<GeomId> want;
+      for (size_t j = 0; j < prefix; ++j) {
+        if (shadow[j].x >= box.min.x && shadow[j].x <= box.max.x &&
+            shadow[j].y >= box.min.y && shadow[j].y <= box.max.y) {
+          want.push_back(static_cast<GeomId>(j));
+        }
+      }
+      return DiffIds(("range@epoch " + std::to_string(e)).c_str(),
+                     r.value().ids, want);
+    }
+
+    const Vec2 probe{rng.Uniform(0, 64), rng.Uniform(0, 64)};
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 8));
+    auto r = engine.KnnSelection(*snap, probe, k);
+    if (!r.ok()) return "KnnSelection: " + r.status().ToString();
+    std::vector<double> dists;
+    dists.reserve(prefix);
+    for (size_t j = 0; j < prefix; ++j) {
+      dists.push_back(std::hypot(shadow[j].x - probe.x, shadow[j].y - probe.y));
+    }
+    std::vector<double> sorted = dists;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t want_n = std::min(k, prefix);
+    const auto& got = r.value().neighbors;
+    if (got.size() != want_n) {
+      return "knn@epoch " + std::to_string(e) + ": engine returned " +
+             std::to_string(got.size()) + " neighbors, oracle " +
+             std::to_string(want_n);
+    }
+    for (size_t j = 0; j < want_n; ++j) {
+      const GeomId id = got[j].first;
+      if (id >= prefix) {
+        return "knn@epoch " + std::to_string(e) + ": neighbor id " +
+               std::to_string(id) + " from a later epoch (visible prefix " +
+               std::to_string(prefix) + ")";
+      }
+      if (std::abs(got[j].second - sorted[j]) > 1e-9 ||
+          std::abs(dists[id] - got[j].second) > 1e-9) {
+        return "knn@epoch " + std::to_string(e) + ": neighbor " +
+               std::to_string(j) + " distance " + std::to_string(got[j].second) +
+               ", oracle " + std::to_string(sorted[j]);
+      }
+    }
+    return "";
+  };
+
+  for (size_t i = 0; i < opts.iterations; ++i) {
+    const uint64_t seed = CaseSeed(opts.seed, i);
+    PortableRng rng(SplitMix64(seed));
+    std::string detail;
+    ++res.executed;
+
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {  // plain append
+        auto pts = random_points(
+            rng, 1 + static_cast<size_t>(rng.UniformInt(0, 39)));
+        auto r = src->Append(pts);
+        if (!r.ok()) {
+          detail = "append failed: " + r.status().ToString();
+        } else {
+          record_epoch(r.value(), pts, &detail);
+        }
+        break;
+      }
+      case 3: {  // mid-ingest cancellation: all-or-nothing
+        CancelToken token;
+        token.CancelAfterChecks(1);
+        auto r = src->Append(random_points(rng, 600), &token);
+        if (r.ok() || r.status().code() != Status::Code::kCancelled) {
+          detail = "cancelled append returned " +
+                   (r.ok() ? std::string("OK") : r.status().ToString());
+        } else {
+          ++res.faults;
+          check_unchanged("cancelled append", &detail);
+        }
+        break;
+      }
+      case 4: {  // out-of-extent point poisons the whole batch
+        auto pts = random_points(
+            rng, 1 + static_cast<size_t>(rng.UniformInt(0, 9)));
+        pts.insert(pts.begin() + rng.UniformInt(0, static_cast<int64_t>(
+                                                      pts.size())),
+                   Vec2{65.0, rng.Uniform(0, 64)});
+        auto r = src->Append(pts);
+        if (r.ok() || r.status().code() != Status::Code::kInvalidArgument) {
+          detail = "out-of-extent append returned " +
+                   (r.ok() ? std::string("OK") : r.status().ToString());
+        } else {
+          ++res.faults;
+          check_unchanged("rejected append", &detail);
+        }
+        break;
+      }
+      case 5: {  // toggle the merge failpoint (merges fail and retry)
+        if (merge_fp_armed) {
+          failpoint::Clear("ingest.merge");
+        } else {
+          failpoint::Spec spec;
+          spec.code = Status::Code::kIOError;
+          spec.probability = 0.5;
+          spec.seed = seed;
+          failpoint::Set("ingest.merge", spec);
+        }
+        merge_fp_armed = !merge_fp_armed;
+        break;
+      }
+      case 6: {  // forced merge; failures are tolerated only when injected
+        Status st = src->ForceMerge();
+        if (!st.ok()) {
+          if (merge_fp_armed) {
+            ++res.faults;
+          } else {
+            detail = "ForceMerge: " + st.ToString();
+          }
+        }
+        break;
+      }
+      case 7: {  // CSV tail with malformed rows sprinkled in
+        std::vector<Vec2> valid;
+        {
+          std::ofstream out(csv_path, std::ios::app);
+          // Round-trip exact doubles: the oracle stores the value written.
+          out << std::setprecision(17);
+          const size_t lines =
+              1 + static_cast<size_t>(rng.UniformInt(0, 9));
+          for (size_t j = 0; j < lines; ++j) {
+            // The first line ever written must parse (the tailer's header
+            // heuristic would otherwise swallow a malformed line 1).
+            if (csv_started && rng.Chance(0.25)) {
+              out << "bogus line " << rng.NextU64() << "\n";
+            } else {
+              const Vec2 p{rng.Uniform(0, 64), rng.Uniform(0, 64)};
+              out << p.x << "," << p.y << "\n";
+              valid.push_back(p);
+            }
+            csv_started = true;
+          }
+        }
+        auto r = tailer.Tail(csv_path);
+        if (!r.ok()) {
+          detail = "Tail: " + r.status().ToString();
+        } else if (r.value() != valid.size()) {
+          detail = "Tail appended " + std::to_string(r.value()) +
+                   " rows, wrote " + std::to_string(valid.size());
+        } else if (!valid.empty()) {
+          record_epoch(src->snapshot_epoch(), valid, &detail);
+        }
+        break;
+      }
+      default: {  // snapshot-pinned differential query
+        detail = run_query(rng);
+        break;
+      }
+    }
+
+    if (detail.empty() && src->num_objects() != shadow.size()) {
+      detail = "row-count drift: source " + std::to_string(src->num_objects()) +
+               ", oracle " + std::to_string(shadow.size());
+    }
+    if (!detail.empty()) {
+      res.failing_seeds.push_back(seed);
+      if (res.first_detail.empty()) res.first_detail = detail;
+      log("INGEST MISMATCH seed=" + std::to_string(seed) + " iteration=" +
+          std::to_string(i) + ": " + detail);
+      if (!opts.corpus_dir.empty()) {
+        // Ingest failures depend on the whole op interleaving, so the
+        // repro is the loop itself: record the exact rerun command.
+        std::filesystem::create_directories(opts.corpus_dir, ec);
+        const std::string path = opts.corpus_dir + "/ingest_seed_" +
+                                 std::to_string(seed) + ".txt";
+        std::ofstream out(path, std::ios::trunc);
+        out << "spade_fuzz --ingest --seed=" << opts.seed
+            << " --iterations=" << (i + 1) << "\n"
+            << "failing iteration: " << i << " (case seed " << seed << ")\n"
+            << detail << "\n";
+        if (out.good()) {
+          res.corpus_paths.push_back(path);
+          log("repro written to " + path);
+        }
+      }
+      if (opts.stop_on_failure) break;
+    }
+    if ((i + 1) % 200 == 0) {
+      log(std::to_string(i + 1) + "/" + std::to_string(opts.iterations) +
+          " ops, epoch " + std::to_string(src->snapshot_epoch()) + ", " +
+          std::to_string(shadow.size()) + " rows, " +
+          std::to_string(res.faults) + " tolerated faults, " +
+          std::to_string(res.failing_seeds.size()) + " failures");
+    }
+  }
+
+  failpoint::Clear("ingest.merge");
+  // Final sweep: the latest snapshot must hold exactly the oracle rows.
+  if (res.failing_seeds.empty() && !shadow.empty()) {
+    auto snap = src->PinSnapshot();
+    auto r = engine.RangeSelection(*snap, Box(0, 0, 64, 64));
+    std::string detail;
+    if (!r.ok()) {
+      detail = "final RangeSelection: " + r.status().ToString();
+    } else if (r.value().ids.size() != shadow.size()) {
+      detail = "final sweep returned " + std::to_string(r.value().ids.size()) +
+               " rows, oracle " + std::to_string(shadow.size());
+    }
+    if (!detail.empty()) {
+      res.failing_seeds.push_back(opts.seed);
+      res.first_detail = detail;
+      log("INGEST MISMATCH (final sweep): " + detail);
+    }
+  }
+  const auto stats = src->GetStats();
+  log("ingest mode: " + std::to_string(res.executed) + " ops, " +
+      std::to_string(shadow.size()) + " rows over " +
+      std::to_string(rows_at_epoch.size() - 1) + " epochs, " +
+      std::to_string(stats.merges) + " merges (" +
+      std::to_string(stats.merge_failures) + " injected failures), " +
+      std::to_string(res.faults) + " tolerated faults, " +
+      std::to_string(res.failing_seeds.size()) + " failures");
+  std::filesystem::remove_all(merge_dir, ec);
+  std::filesystem::remove(csv_path, ec);
   return res;
 }
 

@@ -73,6 +73,12 @@ struct FuzzLoopOptions {
   /// every OK response must still match its oracle exactly.
   bool batch_mode = false;
   double batch_window_ms = 2.0;  ///< gather window of the batch service
+  /// Drive a streaming IngestSource: interleave appends, cancelled
+  /// appends, CSV tails, forced merges (with the ingest.merge failpoint
+  /// randomly armed) and snapshot-pinned engine queries, each checked
+  /// exactly against a brute-force oracle over the rows appended at or
+  /// before its pinned epoch.
+  bool ingest_mode = false;
   std::function<void(const std::string&)> log;  ///< progress sink (may be {})
 };
 
@@ -110,6 +116,15 @@ FuzzLoopResult ServiceFuzzLoop(const FuzzLoopOptions& opts);
 /// typed faults; an OK response that differs from the oracle in any byte
 /// is a failure (written to the corpus, shrunk when solo-reproducible).
 FuzzLoopResult BatchFuzzLoop(const FuzzLoopOptions& opts);
+
+/// The ingest-differential loop: one mutable IngestSource, a deterministic
+/// interleaving of write-path operations (append batches, cancellations,
+/// out-of-extent rejections, CSV tails with malformed rows, threshold and
+/// forced merges under a randomly armed ingest.merge failpoint) and
+/// snapshot-pinned engine queries. Every query must match the brute-force
+/// oracle over EXACTLY the rows sealed at or before its pinned epoch;
+/// every rejected write must leave the source observably unchanged.
+FuzzLoopResult IngestFuzzLoop(const FuzzLoopOptions& opts);
 
 }  // namespace fuzz
 }  // namespace spade

@@ -1,0 +1,84 @@
+#include "ingest/csv_tail.h"
+
+#include <fstream>
+#include <vector>
+
+namespace spade {
+namespace ingest {
+
+Result<size_t> CsvTailer::Tail(const std::string& path,
+                               const CsvLoadOptions& options,
+                               CancelToken* cancel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  uint64_t offset = offsets_[path];
+  // A shrunk file was truncated or rotated: start over from the top.
+  if (offset > size) offset = 0;
+  if (offset == size) {
+    if (options.skipped_rows != nullptr) *options.skipped_rows = 0;
+    return static_cast<size_t>(0);
+  }
+
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string buf(size - offset, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (in.gcount() != static_cast<std::streamsize>(buf.size())) {
+    return Status::IOError("short read from " + path);
+  }
+
+  // Scan complete lines, tracking how many bytes a successful call will
+  // consume. The header heuristic only applies to the first line of the
+  // FILE (offset 0), mirroring LoadPointsCsv.
+  std::vector<Vec2> points;
+  size_t skipped = 0;
+  uint64_t consumed = 0;
+  bool first_of_file = offset == 0;
+  size_t start = 0;
+  while (start < buf.size()) {
+    const size_t nl = buf.find('\n', start);
+    if (nl == std::string::npos) break;  // partial trailing line: mid-write
+    const std::string line = buf.substr(start, nl - start);
+    start = nl + 1;
+    consumed = start;
+    if (line.empty() || line == "\r") continue;
+    Vec2 p;
+    if (!ParseCsvPointLine(line, options, &p)) {
+      if (!first_of_file) ++skipped;
+      first_of_file = false;
+      continue;
+    }
+    first_of_file = false;
+    points.push_back(p);
+    if (options.max_rows != 0 && points.size() >= options.max_rows) break;
+  }
+
+  if (options.skipped_rows != nullptr) *options.skipped_rows = skipped;
+  if (skipped > options.max_skipped_rows) {
+    return Status::InvalidArgument(
+        path + ": " + std::to_string(skipped) +
+        " malformed rows exceed max_skipped_rows=" +
+        std::to_string(options.max_skipped_rows));
+  }
+  if (points.empty()) {
+    // Nothing appendable, but the scanned lines are settled (headers,
+    // blanks, tolerated bad rows): don't re-scan them next call.
+    offsets_[path] = offset + consumed;
+    return static_cast<size_t>(0);
+  }
+
+  SPADE_ASSIGN_OR_RETURN(uint64_t epoch, source_->Append(points, cancel));
+  (void)epoch;
+  offsets_[path] = offset + consumed;
+  return points.size();
+}
+
+void CsvTailer::Reset(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offsets_.erase(path);
+}
+
+}  // namespace ingest
+}  // namespace spade

@@ -1,0 +1,52 @@
+// Bulk CSV tailing into an ingest source. A CsvTailer remembers a byte
+// offset per tailed file, so each Tail() call appends only the lines
+// written since the last one (the `tail -f` of ingest). Malformed rows
+// count, report, and respect limits exactly like the offline
+// LoadPointsCsv path: a non-numeric first line of the *file* is a header
+// (skipped, uncounted), later bad lines increment skipped_rows, and a
+// call whose batch exceeds max_skipped_rows fails with kInvalidArgument
+// and appends nothing — the offset does not advance, so the call is
+// atomic and retryable.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "ingest/ingest.h"
+#include "storage/io.h"
+
+namespace spade {
+namespace ingest {
+
+class CsvTailer {
+ public:
+  explicit CsvTailer(std::shared_ptr<IngestSource> source)
+      : source_(std::move(source)) {}
+
+  /// Append the complete lines of `path` written since the last Tail of
+  /// that path, as ONE ingest batch (one epoch). A trailing line without
+  /// a newline is assumed mid-write and left for the next call. Returns
+  /// the number of rows appended (0 when nothing new). On any failure —
+  /// skipped-row limit, extent violation, cancellation, failpoint — the
+  /// offset stays put and nothing is appended.
+  Result<size_t> Tail(const std::string& path,
+                      const CsvLoadOptions& options = {},
+                      CancelToken* cancel = nullptr);
+
+  /// Forget the remembered offset of `path` (re-ingest from the start).
+  void Reset(const std::string& path);
+
+  IngestSource* source() const { return source_.get(); }
+
+ private:
+  std::shared_ptr<IngestSource> source_;
+  std::mutex mu_;
+  std::map<std::string, uint64_t> offsets_;
+};
+
+}  // namespace ingest
+}  // namespace spade

@@ -1,0 +1,545 @@
+#include "ingest/ingest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+
+#include "common/failpoint.h"
+#include "common/mmap_file.h"
+#include "common/stopwatch.h"
+#include "geom/convex_hull.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/block.h"
+
+namespace spade {
+namespace ingest {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter* AppendsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_ingest_appends_total");
+  return c;
+}
+obs::Counter* RowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_ingest_rows_total");
+  return c;
+}
+obs::Counter* MergesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_ingest_merges_total");
+  return c;
+}
+obs::Counter* MergeFailuresCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter(
+      "spade_ingest_merge_failures_total");
+  return c;
+}
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("spade_ingest_rejected_total");
+  return c;
+}
+
+size_t PointRowBytes() {
+  static const size_t bytes = Geometry(Vec2{0, 0}).ByteSize();
+  return bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IngestSnapshot: an immutable epoch-pinned view of an IngestSource. It
+// shares the parent's uid — prepared-cell / result caches disambiguate by
+// cell_version — and pins the parent's published index, which stays alive
+// through the parent's index history.
+// ---------------------------------------------------------------------------
+
+class IngestSnapshot : public CellSource {
+ public:
+  IngestSnapshot(const IngestSource* parent, uint64_t epoch,
+                 size_t num_objects, std::shared_ptr<const GridIndex> index)
+      : CellSource(parent->uid()),
+        parent_(parent),
+        epoch_(epoch),
+        num_objects_(num_objects),
+        index_(std::move(index)) {}
+
+  const std::string& name() const override { return parent_->name_; }
+  const GridIndex& index() const override { return *index_; }
+  size_t num_objects() const override { return num_objects_; }
+  GeomType primary_type() const override { return GeomType::kPoint; }
+
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override {
+    return parent_->LoadCellAtEpoch(cell, epoch_, stats);
+  }
+
+  uint64_t cell_version(size_t cell) const override {
+    return parent_->CellVersionAtEpoch(cell, epoch_);
+  }
+
+  uint64_t snapshot_epoch() const override { return epoch_; }
+
+  bool CellMayContain(size_t cell,
+                      const std::vector<bool>& wanted) const override {
+    // Conservative: any visible row may be wanted. The engine re-filters
+    // loaded rows by id, so false positives only cost a cell load.
+    (void)wanted;
+    return parent_->CellVisibleAtEpoch(cell, epoch_);
+  }
+
+ private:
+  const IngestSource* parent_;
+  const uint64_t epoch_;
+  const size_t num_objects_;
+  const std::shared_ptr<const GridIndex> index_;
+};
+
+// ---------------------------------------------------------------------------
+// IngestSource
+// ---------------------------------------------------------------------------
+
+IngestSource::IngestSource(std::string name, const IngestOptions& options)
+    : name_(std::move(name)),
+      options_(options),
+      cell_w_(options.extent.Width() / (1 << options.zoom)),
+      cell_h_(options.extent.Height() / (1 << options.zoom)) {
+  auto idx = std::make_shared<GridIndex>();
+  idx->extent = options_.extent;
+  idx->zoom = options_.zoom;
+  index_ = std::move(idx);
+}
+
+const GridIndex& IngestSource::index() const {
+  // The raw source reads "latest"; published indexes are never destroyed
+  // (each publish is a full copy retained by the snapshots pinning it and
+  // by index_), so the reference stays valid for the source's lifetime.
+  std::lock_guard<std::mutex> lock(mu_);
+  return *index_;
+}
+
+size_t IngestSource::num_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_rows_;
+}
+
+uint64_t IngestSource::snapshot_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+Result<std::shared_ptr<const CellData>> IngestSource::LoadCell(
+    size_t cell, QueryStats* stats) {
+  return LoadCellAtEpoch(cell, std::numeric_limits<uint64_t>::max(), stats);
+}
+
+uint64_t IngestSource::cell_version(size_t cell) const {
+  return CellVersionAtEpoch(cell, std::numeric_limits<uint64_t>::max());
+}
+
+bool IngestSource::CellMayContain(size_t cell,
+                                  const std::vector<bool>& wanted) const {
+  (void)wanted;
+  return CellVisibleAtEpoch(cell, std::numeric_limits<uint64_t>::max());
+}
+
+std::string IngestSource::CellFilePath(size_t cell) const {
+  return options_.merge_dir + "/cell_" + std::to_string(cell) + ".blk";
+}
+
+size_t IngestSource::VisibleRows(const Cell& cell, uint64_t epoch) const {
+  return static_cast<size_t>(
+      std::upper_bound(cell.epochs.begin(), cell.epochs.end(), epoch) -
+      cell.epochs.begin());
+}
+
+uint64_t IngestSource::CellVersionAtEpoch(size_t cell, uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cell >= cells_.size()) return 0;
+  const Cell& c = cells_[cell];
+  const size_t k = VisibleRows(c, epoch);
+  return k == 0 ? 0 : c.epochs[k - 1];
+}
+
+bool IngestSource::CellVisibleAtEpoch(size_t cell, uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cell >= cells_.size()) return false;
+  const Cell& c = cells_[cell];
+  return !c.epochs.empty() && c.epochs.front() <= epoch;
+}
+
+Result<std::shared_ptr<const CellData>> IngestSource::LoadCellAtEpoch(
+    size_t cell, uint64_t epoch, QueryStats* stats) const {
+  Stopwatch sw;
+  auto data = std::make_shared<CellData>();
+  size_t from_file = 0;
+  std::vector<Geometry> tail;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cell >= cells_.size()) {
+      // A cell born after the pinned epoch: visible contents are empty.
+      // (The snapshot's index cannot name it, but defensive callers may.)
+      return std::shared_ptr<const CellData>(std::move(data));
+    }
+    const Cell& c = cells_[cell];
+    const size_t k = VisibleRows(c, epoch);
+    data->ids.assign(c.ids.begin(), c.ids.begin() + k);
+    data->bytes = k * c.row_bytes;
+    from_file = std::min(k, c.merged_rows);
+    // Delta tail [merged_rows, k) is copied under the lock — a concurrent
+    // merge may clear delta_pts the moment we release it.
+    tail.reserve(k > c.merged_rows ? k - c.merged_rows : 0);
+    for (size_t r = c.merged_rows; r < k; ++r) {
+      tail.emplace_back(c.delta_pts[r - c.merged_rows]);
+    }
+    if (from_file > 0) path = CellFilePath(cell);
+  }
+
+  if (from_file == 0) {
+    data->geoms = std::move(tail);
+  } else {
+    // Read the merged prefix outside the lock. Merges only append rows to
+    // the block file (atomic tmp+rename publish), so the file always holds
+    // at least `from_file` rows — a shorter read is corruption.
+    auto file = MmapFile::Open(path);
+    if (!file.ok()) return file.status();
+    std::vector<GeomId> file_ids;
+    std::vector<Geometry> file_geoms;
+    BlockReadInfo info;
+    const Status st = DeserializeBlock(file.value().data(),
+                                       file.value().size(), &file_ids,
+                                       &file_geoms, &info);
+    if (info.checksum_failed && stats != nullptr) stats->checksum_failures++;
+    if (!st.ok()) return st;
+    if (file_geoms.size() < from_file) {
+      return Status::IOError("merged block " + path + " truncated: " +
+                             std::to_string(file_geoms.size()) + " rows, need " +
+                             std::to_string(from_file));
+    }
+    data->geoms.reserve(from_file + tail.size());
+    for (size_t r = 0; r < from_file; ++r) {
+      data->geoms.push_back(std::move(file_geoms[r]));
+    }
+    for (auto& g : tail) data->geoms.push_back(std::move(g));
+  }
+
+  if (stats != nullptr) {
+    stats->io_seconds += sw.ElapsedSeconds();
+    stats->bytes_transferred += static_cast<int64_t>(data->bytes);
+  }
+  return std::shared_ptr<const CellData>(std::move(data));
+}
+
+Result<uint64_t> IngestSource::Append(const std::vector<Vec2>& points,
+                                      CancelToken* cancel) {
+  SPADE_TRACE_SPAN("ingest.append");
+  auto reject = [this](Status st) -> Result<uint64_t> {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected_batches;
+    }
+    RejectedCounter()->Add(1);
+    return st;
+  };
+
+  if (points.empty()) {
+    return reject(Status::InvalidArgument("empty append batch"));
+  }
+  {
+    Status fp = failpoint::AnyActive() ? failpoint::Check("ingest.append")
+                                       : Status::OK();
+    if (!fp.ok()) return reject(std::move(fp));
+  }
+
+  // Stage outside the lock: validate the extent, assign grid coordinates,
+  // honor cancellation. Nothing becomes visible until the batch seals.
+  const int res = 1 << options_.zoom;
+  std::vector<std::pair<int, int>> coords;
+  coords.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if ((i & 0xFF) == 0 && cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) return reject(std::move(st));
+    }
+    const Vec2& p = points[i];
+    if (p.x < options_.extent.min.x || p.x > options_.extent.max.x ||
+        p.y < options_.extent.min.y || p.y > options_.extent.max.y) {
+      return reject(Status::InvalidArgument(
+          "point (" + std::to_string(p.x) + ", " + std::to_string(p.y) +
+          ") outside ingest extent of '" + name_ + "'"));
+    }
+    const int cx = std::clamp(
+        static_cast<int>((p.x - options_.extent.min.x) / cell_w_), 0, res - 1);
+    const int cy = std::clamp(
+        static_cast<int>((p.y - options_.extent.min.y) / cell_h_), 0, res - 1);
+    coords.emplace_back(cx, cy);
+  }
+  if (cancel != nullptr) {
+    Status st = cancel->Check();
+    if (!st.ok()) return reject(std::move(st));
+  }
+
+  MutationEvent append_event;
+  MutationEvent merge_event;
+  bool merged_any = false;
+  uint64_t sealed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = ++epoch_;
+
+    // Route rows into cells, creating cells on first touch (appended at
+    // the end: indices are stable, older snapshots simply never see them).
+    std::shared_ptr<GridIndex> next_index;
+    auto mutable_index = [&]() -> GridIndex* {
+      if (next_index == nullptr) next_index = std::make_shared<GridIndex>(*index_);
+      return next_index.get();
+    };
+    std::vector<size_t> touched;
+    std::vector<std::vector<Vec2>> touched_pts;
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t ci;
+      auto it = cell_by_coord_.find(coords[i]);
+      if (it != cell_by_coord_.end()) {
+        ci = it->second;
+      } else {
+        ci = cells_.size();
+        cell_by_coord_.emplace(coords[i], ci);
+        cells_.emplace_back();
+        cells_.back().row_bytes = PointRowBytes();
+        GridCell gc;
+        gc.cx = coords[i].first;
+        gc.cy = coords[i].second;
+        mutable_index()->cells.push_back(std::move(gc));
+      }
+      Cell& c = cells_[ci];
+      c.epochs.push_back(sealed);
+      c.ids.push_back(static_cast<GeomId>(num_rows_++));
+      c.delta_pts.push_back(points[i]);
+      size_t slot = touched.size();
+      for (size_t t = 0; t < touched.size(); ++t) {
+        if (touched[t] == ci) {
+          slot = t;
+          break;
+        }
+      }
+      if (slot == touched.size()) {
+        touched.push_back(ci);
+        touched_pts.emplace_back();
+      }
+      touched_pts[slot].push_back(points[i]);
+    }
+
+    // Incremental index maintenance: extend each touched cell's bounding
+    // box and convex hull; publish a fresh index copy only if something
+    // actually grew (points inside existing hulls publish nothing).
+    for (size_t t = 0; t < touched.size(); ++t) {
+      const size_t ci = touched[t];
+      const GridCell& cur = (next_index != nullptr ? next_index->cells[ci]
+                                                   : index_->cells[ci]);
+      Box grown = cur.box;
+      for (const Vec2& p : touched_pts[t]) grown.Extend(p);
+      std::vector<Vec2> hull_pts = cur.bounding_poly.outer;
+      hull_pts.insert(hull_pts.end(), touched_pts[t].begin(),
+                      touched_pts[t].end());
+      std::vector<Vec2> hull = ConvexHull(std::move(hull_pts));
+      const bool box_changed = grown.min.x != cur.box.min.x ||
+                               grown.min.y != cur.box.min.y ||
+                               grown.max.x != cur.box.max.x ||
+                               grown.max.y != cur.box.max.y;
+      const bool hull_changed = hull != cur.bounding_poly.outer;
+      const size_t new_bytes = cells_[ci].ids.size() * cells_[ci].row_bytes;
+      if (box_changed || hull_changed || next_index != nullptr) {
+        GridCell& out = mutable_index()->cells[ci];
+        out.box = grown;
+        out.bounding_poly.outer = std::move(hull);
+        out.bytes = new_bytes;
+      }
+    }
+    if (next_index != nullptr) PublishIndexLocked(std::move(next_index));
+
+    stats_.epoch = epoch_;
+    append_event.kind = MutationEvent::Kind::kAppend;
+    append_event.uid = uid();
+    append_event.dataset = name_;
+    append_event.epoch = sealed;
+    append_event.cells = touched;
+
+    // Threshold-tripped merges, synchronously while the batch is hot. A
+    // failed merge is non-fatal: deltas stay buffered and the next trip
+    // retries.
+    if (options_.merge_threshold > 0 && !options_.merge_dir.empty()) {
+      for (size_t ci : touched) {
+        Cell& c = cells_[ci];
+        if (c.ids.size() - c.merged_rows < options_.merge_threshold) continue;
+        Status st = MergeCellLocked(ci);
+        if (st.ok()) {
+          merged_any = true;
+          merge_event.cells.push_back(ci);
+        } else {
+          ++stats_.merge_failures;
+          MergeFailuresCounter()->Add(1);
+        }
+      }
+    }
+    if (merged_any) {
+      merge_event.kind = MutationEvent::Kind::kMerge;
+      merge_event.uid = uid();
+      merge_event.dataset = name_;
+      merge_event.epoch = sealed;
+    }
+
+    // Observer fires under the lock, before the new epoch can be pinned —
+    // cache invalidation can never lag visibility.
+    if (observer_) {
+      observer_(append_event);
+      if (merged_any) observer_(merge_event);
+    }
+  }
+
+  AppendsCounter()->Add(1);
+  RowsCounter()->Add(static_cast<int64_t>(points.size()));
+  return sealed;
+}
+
+Status IngestSource::MergeCellLocked(size_t cell) {
+  SPADE_TRACE_SPAN("ingest.merge");
+  if (failpoint::AnyActive()) {
+    Status fp = failpoint::Check("ingest.merge");
+    if (!fp.ok()) return fp;
+  }
+  Cell& c = cells_[cell];
+  if (c.delta_pts.empty()) return Status::OK();
+
+  std::vector<Geometry> geoms;
+  geoms.reserve(c.ids.size());
+  if (c.merged_rows > 0) {
+    // Re-read the already merged prefix; the new file supersedes it.
+    auto file = MmapFile::Open(CellFilePath(cell));
+    if (!file.ok()) return file.status();
+    std::vector<GeomId> prev_ids;
+    BlockReadInfo info;
+    SPADE_RETURN_NOT_OK(DeserializeBlock(file.value().data(),
+                                         file.value().size(), &prev_ids,
+                                         &geoms, &info));
+    if (geoms.size() < c.merged_rows) {
+      return Status::IOError("merged block for cell " + std::to_string(cell) +
+                             " truncated");
+    }
+    geoms.resize(c.merged_rows);
+  }
+  for (const Vec2& p : c.delta_pts) geoms.emplace_back(p);
+
+  const std::string block = SerializeBlock(c.ids, geoms);
+  const std::string path = CellFilePath(cell);
+  const std::string tmp = path + ".tmp";
+  SPADE_RETURN_NOT_OK(WriteFile(tmp, block.data(), block.size()));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("rename " + tmp + ": " + ec.message());
+  }
+
+  c.merged_rows = c.ids.size();
+  c.delta_pts.clear();
+  c.delta_pts.shrink_to_fit();
+  ++stats_.merges;
+  MergesCounter()->Add(1);
+  return Status::OK();
+}
+
+Status IngestSource::ForceMerge() {
+  if (options_.merge_dir.empty()) {
+    return Status::InvalidArgument("ingest source '" + name_ +
+                                   "' has no merge directory");
+  }
+  MutationEvent event;
+  Status first_failure = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t ci = 0; ci < cells_.size(); ++ci) {
+      if (cells_[ci].delta_pts.empty()) continue;
+      Status st = MergeCellLocked(ci);
+      if (st.ok()) {
+        event.cells.push_back(ci);
+      } else {
+        ++stats_.merge_failures;
+        MergeFailuresCounter()->Add(1);
+        if (first_failure.ok()) first_failure = std::move(st);
+      }
+    }
+    if (!event.cells.empty() && observer_) {
+      event.kind = MutationEvent::Kind::kMerge;
+      event.uid = uid();
+      event.dataset = name_;
+      event.epoch = epoch_;
+      observer_(event);
+    }
+  }
+  return first_failure;
+}
+
+std::shared_ptr<CellSource> IngestSource::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<IngestSnapshot>(this, epoch_, num_rows_, index_);
+}
+
+void IngestSource::SetMutationObserver(
+    std::function<void(const MutationEvent&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(fn);
+}
+
+IngestStats IngestSource::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestStats out = stats_;
+  out.epoch = epoch_;
+  out.num_objects = num_rows_;
+  out.num_cells = cells_.size();
+  out.unmerged_rows = 0;
+  out.merged_rows = 0;
+  for (const Cell& c : cells_) {
+    out.unmerged_rows += c.ids.size() - c.merged_rows;
+    out.merged_rows += c.merged_rows;
+  }
+  return out;
+}
+
+void IngestSource::PublishIndexLocked(std::shared_ptr<GridIndex> next) {
+  // Retire the old copy into the history instead of destroying it: the raw
+  // source's index() hands out references whose lifetime callers cannot
+  // see, so every published index lives as long as the source. Publishes
+  // only happen when a hull/box grows or a cell appears, which tapers off
+  // fast on stationary streams.
+  index_history_.push_back(index_);
+  index_ = std::move(next);
+}
+
+Result<std::shared_ptr<IngestSource>> MakeIngestSource(
+    std::string name, const IngestOptions& options) {
+  if (options.extent.Empty() || options.extent.Width() <= 0 ||
+      options.extent.Height() <= 0) {
+    return Status::InvalidArgument("ingest extent must be non-degenerate");
+  }
+  if (options.zoom < 0 || options.zoom > 12) {
+    return Status::InvalidArgument("ingest zoom must be in [0, 12]");
+  }
+  if (!options.merge_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.merge_dir, ec);
+    if (ec) {
+      return Status::IOError("create_directories " + options.merge_dir + ": " +
+                             ec.message());
+    }
+  }
+  return std::make_shared<IngestSource>(std::move(name), options);
+}
+
+}  // namespace ingest
+}  // namespace spade

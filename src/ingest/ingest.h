@@ -1,0 +1,180 @@
+// Streaming ingest: the engine's first write path. An IngestSource is a
+// mutable point CellSource that accepts appended batches online, routes
+// them into per-grid-cell delta buffers, and merges each cell's deltas
+// into a checksummed block-format-v2 file when the cell's unmerged-row
+// count trips a threshold. The grid index is maintained incrementally
+// (per-cell bounding box + convex hull extension, new cells appended at
+// stable indices) — never rebuilt.
+//
+// Reads are snapshot consistent. Every append seals one *epoch*; a query
+// pins an epoch via PinSnapshot() at admission and sees exactly the rows
+// appended at or before it: frozen (merged) block prefixes plus the
+// in-memory deltas sealed at or before the pinned epoch. Cached
+// prepared-cell and batch results are keyed by cell_version(), which a
+// snapshot reports as the epoch of the cell's newest visible row — so
+// entries for several epochs coexist and an append can never cause a
+// stale hit (see docs/ingest.md).
+//
+// Failpoints: ingest.append (fails the batch before it seals),
+// ingest.merge (fails a merge before it writes — non-fatal: deltas stay
+// buffered and the merge retries at the next threshold trip), plus the
+// storage-layer io.write / io.read / block.deserialize sites which the
+// merge write and merged-block reads pass through naturally.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace spade {
+namespace ingest {
+
+/// \brief Creation-time knobs of an ingest source.
+struct IngestOptions {
+  /// Fixed spatial extent, declared up front (streams rarely know their
+  /// bounds, but a grid does): appends outside it are rejected with
+  /// kInvalidArgument and the whole batch is dropped atomically.
+  Box extent;
+  /// Fixed grid zoom: the grid is 2^zoom x 2^zoom over the extent. Cells
+  /// over the device budget are still fine — the engine's sub-cell
+  /// streaming (PlanCellPasses) bounds memory at query time.
+  int zoom = 4;
+  /// Unmerged rows per cell before a merge trips (0 = never merge).
+  size_t merge_threshold = 4096;
+  /// Directory for merged block files ("" = deltas stay in memory and
+  /// merges are disabled, like an InMemorySource that grows).
+  std::string merge_dir;
+};
+
+/// \brief One dataset mutation, delivered to the observer synchronously
+/// (under the source mutex, before the new epoch is pinnable) so cache
+/// invalidation can never lag visibility.
+struct MutationEvent {
+  enum class Kind { kAppend, kMerge };
+  Kind kind = Kind::kAppend;
+  uint64_t uid = 0;            ///< CellSource uid of the mutated source
+  std::string dataset;         ///< source name
+  uint64_t epoch = 0;          ///< epoch after the mutation
+  std::vector<size_t> cells;   ///< touched cell indices
+};
+
+/// \brief Point-in-time accounting of an ingest source.
+struct IngestStats {
+  uint64_t epoch = 0;          ///< sealed append batches
+  size_t num_objects = 0;      ///< total appended rows
+  size_t num_cells = 0;        ///< non-empty grid cells
+  size_t unmerged_rows = 0;    ///< rows still in delta buffers
+  size_t merged_rows = 0;      ///< rows persisted in block files
+  uint64_t merges = 0;         ///< completed merges
+  uint64_t merge_failures = 0; ///< failed (retried-later) merges
+  uint64_t rejected_batches = 0;  ///< appends refused (extent / parse)
+};
+
+/// \brief A mutable, append-only point dataset behind the CellSource
+/// interface. Thread safe: appends, merges, snapshot pins and snapshot
+/// reads may interleave freely from any threads.
+class IngestSource : public CellSource {
+ public:
+  IngestSource(std::string name, const IngestOptions& options);
+
+  // --- CellSource (reads the *latest* epoch; queries that need a stable
+  // view should run against PinSnapshot() instead) -------------------------
+  const std::string& name() const override { return name_; }
+  const GridIndex& index() const override;
+  size_t num_objects() const override;
+  GeomType primary_type() const override { return GeomType::kPoint; }
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override;
+  uint64_t cell_version(size_t cell) const override;
+  uint64_t snapshot_epoch() const override;
+  bool CellMayContain(size_t cell,
+                      const std::vector<bool>& wanted) const override;
+
+  // --- the write path ------------------------------------------------------
+  /// Append one batch of points, sealing one new epoch; returns the sealed
+  /// epoch. All-or-nothing: a point outside the extent, a tripped cancel
+  /// token, or an armed ingest.append failpoint rejects the whole batch
+  /// and leaves every observable property unchanged. Ids are assigned
+  /// densely in append order (row i of the stream is GeomId i).
+  Result<uint64_t> Append(const std::vector<Vec2>& points,
+                          CancelToken* cancel = nullptr);
+
+  /// Merge every cell with unmerged deltas now, regardless of threshold.
+  /// Returns the first merge failure (later cells are still attempted);
+  /// failed cells keep their deltas and retry on the next trip.
+  Status ForceMerge();
+
+  /// Pin the current epoch: the returned source is an immutable view that
+  /// sees exactly the rows sealed at or before it, shares this source's
+  /// uid (cache identity), and stays valid for concurrent appends/merges.
+  /// It must not outlive this IngestSource.
+  std::shared_ptr<CellSource> PinSnapshot() const;
+
+  /// Install the mutation observer (replaces any previous one). Called
+  /// under the source mutex for every sealed append and completed merge;
+  /// it must not call back into this source.
+  void SetMutationObserver(std::function<void(const MutationEvent&)> fn);
+
+  IngestStats GetStats() const;
+  const IngestOptions& options() const { return options_; }
+
+ private:
+  friend class IngestSnapshot;
+
+  /// One grid cell's rows, split into a merged (on-disk) prefix and an
+  /// in-memory delta tail. Row order is append order, so epochs ascend
+  /// and the rows visible at any epoch are a prefix.
+  struct Cell {
+    std::vector<uint64_t> epochs;  ///< per-row sealing epoch (ascending)
+    std::vector<GeomId> ids;       ///< per-row global id (append order)
+    std::vector<Vec2> delta_pts;   ///< points of rows [merged_rows, size)
+    size_t merged_rows = 0;        ///< prefix persisted in the block file
+    size_t row_bytes = 0;          ///< serialized size of one row (approx)
+  };
+
+  std::string CellFilePath(size_t cell) const;
+  /// Visible row count of `cell` at `epoch` (upper_bound over epochs).
+  size_t VisibleRows(const Cell& cell, uint64_t epoch) const;
+  /// Copy the rows of `cell` visible at `epoch` into `out`; rows in the
+  /// merged prefix are fetched from the block file (outside the lock).
+  Result<std::shared_ptr<const CellData>> LoadCellAtEpoch(
+      size_t cell, uint64_t epoch, QueryStats* stats) const;
+  uint64_t CellVersionAtEpoch(size_t cell, uint64_t epoch) const;
+  bool CellVisibleAtEpoch(size_t cell, uint64_t epoch) const;
+  /// Merge one cell's full row list into its block file. Caller holds mu_.
+  Status MergeCellLocked(size_t cell);
+  /// Publish a new GridIndex copy. Caller holds mu_.
+  void PublishIndexLocked(std::shared_ptr<GridIndex> next);
+
+  const std::string name_;
+  const IngestOptions options_;
+  const double cell_w_, cell_h_;  ///< grid cell size at the fixed zoom
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<Cell> cells_;                  ///< parallel to index cells
+  std::map<std::pair<int, int>, size_t> cell_by_coord_;
+  /// Copy-on-write published index: snapshots pin the shared_ptr; a new
+  /// copy is published only when a box/hull grows or a cell appears.
+  /// Retired copies are retained in index_history_ so the reference the
+  /// raw source's index() returns can never dangle.
+  std::shared_ptr<const GridIndex> index_;
+  std::vector<std::shared_ptr<const GridIndex>> index_history_;
+  std::function<void(const MutationEvent&)> observer_;
+  IngestStats stats_;
+};
+
+/// Create an ingest source or fail (bad extent / zoom, unwritable dir).
+Result<std::shared_ptr<IngestSource>> MakeIngestSource(
+    std::string name, const IngestOptions& options);
+
+}  // namespace ingest
+}  // namespace spade

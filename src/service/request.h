@@ -29,6 +29,7 @@ enum class RequestKind {
   kStats,         ///< service-level stats snapshot
   kMetrics,       ///< Prometheus-format metrics exposition
   kSlowlog,       ///< slow-query log snapshot / clear
+  kIngest,        ///< append points to a streaming-ingest dataset
 };
 
 /// \brief One query-service request.
@@ -59,6 +60,9 @@ struct Request {
   bool explain = false;
   bool json = false;  ///< JSON rendering for kSlowlog / explain
   std::string arg;    ///< kSlowlog sub-command ("clear") and spares
+
+  /// kIngest: the points to append (one sealed batch = one epoch).
+  std::vector<Vec2> points;
 };
 
 /// \brief Result of one service request.
@@ -78,6 +82,11 @@ struct Response {
   std::string request_id;  ///< the id this request ran under (echoed)
   /// Rendered plan profile (EXPLAIN ANALYZE); empty unless req.explain.
   std::string profile;
+
+  /// kIngest: the epoch the appended batch was sealed as. Every query
+  /// admitted after this response is visible sees the batch.
+  uint64_t epoch = 0;
+  bool has_epoch = false;
 };
 
 }  // namespace spade

@@ -12,8 +12,10 @@
 #include "common/failpoint.h"
 #include "datagen/registry.h"
 #include "engine/tuning.h"
+#include "ingest/ingest.h"
 #include "service/wire.h"
 #include "storage/dataset.h"
+#include "storage/io.h"
 
 namespace spade {
 
@@ -25,10 +27,13 @@ constexpr const char* kProtocolHelp =
   join <polys> <other> | distance <name> x y r [m] | djoin <l> <r> r [m]
   knn <name> x y k [m] | sql <statement> | stats | metrics
   explain [--json] <query> | slowlog [json|clear]
+  ingest <name> x y [x y ...]  (append one batch; answers appended N epoch=E)
   prefix any line with @<id> to tag it with a request id (echoed as `id`)
   prefix any line with timeout=<ms> to set an end-to-end deadline
 control:
   gen <kind> <n> as <name> | open <dir> as <name> | list
+  ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]
+  ingest csv <name> <path> | ingest status <name> | ingest merge <name>
   failpoint list|clear|<name> <action> | ping | help | quit)";
 
 Status WriteAll(int fd, const std::string& bytes) {
@@ -170,6 +175,16 @@ Result<std::string> SpadeServer::ExecuteLineWatched(const std::string& line,
   is >> cmd;
   if (cmd.empty()) return std::string();
   if (IsControlLine(cmd)) return HandleControl(line);
+  if (cmd == "ingest") {
+    // The `ingest` first word is shared between the append *query* form
+    // (`ingest <dataset> x y ...`) and four control verbs; peek the second
+    // word to route. The verbs are reserved dataset names.
+    std::string sub;
+    is >> sub;
+    if (sub == "new" || sub == "csv" || sub == "status" || sub == "merge") {
+      return HandleControl(line);
+    }
+  }
 
   SPADE_ASSIGN_OR_RETURN(Request req, wire::ParseRequestLine(line));
   auto token = std::make_shared<CancelToken>();
@@ -259,6 +274,116 @@ Result<std::string> SpadeServer::HandleControl(const std::string& line) {
     const size_t objects = disk->num_objects();
     SPADE_RETURN_NOT_OK(service_->RegisterSource(words[3], std::move(disk)));
     return words[3] + ": " + std::to_string(objects) + " objects (disk)";
+  }
+
+  if (cmd == "ingest") {
+    if (words.size() < 2) {
+      return Status::InvalidArgument(
+          "usage: ingest new|csv|status|merge ... (or the append form "
+          "`ingest <name> x y [x y ...]`)");
+    }
+    const std::string& sub = words[1];
+    if (sub == "new") {
+      // ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]
+      if (words.size() < 7 || words.size() > 9) {
+        return Status::InvalidArgument(
+            "usage: ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]");
+      }
+      const std::string& name = words[2];
+      if (name == "new" || name == "csv" || name == "status" ||
+          name == "merge") {
+        return Status::InvalidArgument(
+            "'" + name + "' is a reserved ingest verb, pick another name");
+      }
+      ingest::IngestOptions opts;
+      double coords[4];
+      for (int i = 0; i < 4; ++i) {
+        char* end = nullptr;
+        coords[i] = std::strtod(words[3 + i].c_str(), &end);
+        if (end == words[3 + i].c_str() || *end != '\0') {
+          return Status::InvalidArgument("expected a number, got '" +
+                                         words[3 + i] + "'");
+        }
+      }
+      opts.extent = Box(coords[0], coords[1], coords[2], coords[3]);
+      for (size_t i = 7; i < words.size(); ++i) {
+        if (words[i].rfind("dir=", 0) == 0) {
+          opts.merge_dir = words[i].substr(4);
+        } else {
+          char* end = nullptr;
+          const double z = std::strtod(words[i].c_str(), &end);
+          if (end == words[i].c_str() || *end != '\0') {
+            return Status::InvalidArgument("expected a zoom level, got '" +
+                                           words[i] + "'");
+          }
+          opts.zoom = static_cast<int>(z);
+        }
+      }
+      std::lock_guard<std::mutex> lock(control_mu_);
+      SPADE_ASSIGN_OR_RETURN(std::shared_ptr<ingest::IngestSource> src,
+                             ingest::MakeIngestSource(name, opts));
+      SPADE_RETURN_NOT_OK(service_->RegisterIngestSource(name, src));
+      return name + ": ingest dataset over [" + std::to_string(coords[0]) +
+             "," + std::to_string(coords[1]) + "]..[" +
+             std::to_string(coords[2]) + "," + std::to_string(coords[3]) +
+             "] zoom " + std::to_string(opts.zoom) +
+             (opts.merge_dir.empty() ? " (in-memory)"
+                                     : " merging to " + opts.merge_dir);
+    }
+    if (sub == "csv") {
+      if (words.size() != 4) {
+        return Status::InvalidArgument("usage: ingest csv <name> <path>");
+      }
+      const std::string& name = words[2];
+      std::shared_ptr<ingest::IngestSource> src =
+          service_->FindIngestSource(name);
+      if (src == nullptr) {
+        return Status::NotFound("no ingest dataset named '" + name + "'");
+      }
+      ingest::CsvTailer* tailer = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(control_mu_);
+        auto& slot = tailers_[name];
+        if (slot == nullptr) {
+          slot = std::make_unique<ingest::CsvTailer>(src);
+        }
+        tailer = slot.get();
+      }
+      CsvLoadOptions csv;
+      size_t skipped = 0;
+      csv.skipped_rows = &skipped;
+      SPADE_ASSIGN_OR_RETURN(size_t appended,
+                             tailer->Tail(words[3], csv, nullptr));
+      std::ostringstream os;
+      os << name << ": appended " << appended << " rows from " << words[3];
+      if (skipped > 0) os << " (skipped " << skipped << " malformed)";
+      os << " epoch=" << src->GetStats().epoch;
+      return os.str();
+    }
+    if (words.size() != 3) {
+      return Status::InvalidArgument("usage: ingest " + sub + " <name>");
+    }
+    const std::string& name = words[2];
+    std::shared_ptr<ingest::IngestSource> src =
+        service_->FindIngestSource(name);
+    if (src == nullptr) {
+      return Status::NotFound("no ingest dataset named '" + name + "'");
+    }
+    if (sub == "status") {
+      const ingest::IngestStats s = src->GetStats();
+      std::ostringstream os;
+      os << name << ": epoch=" << s.epoch << " objects=" << s.num_objects
+         << " cells=" << s.num_cells << " unmerged=" << s.unmerged_rows
+         << " merged=" << s.merged_rows << " merges=" << s.merges
+         << " merge_failures=" << s.merge_failures
+         << " rejected=" << s.rejected_batches;
+      return os.str();
+    }
+    // sub == "merge"
+    SPADE_RETURN_NOT_OK(src->ForceMerge());
+    const ingest::IngestStats s = src->GetStats();
+    return name + ": merged (epoch=" + std::to_string(s.epoch) +
+           " merged_rows=" + std::to_string(s.merged_rows) + ")";
   }
 
   if (cmd == "failpoint") {

@@ -7,10 +7,19 @@
 //   gen <kind> <n> as <name>     generate + register a synthetic dataset
 //   open <dir> as <name>         register a stored on-disk dataset
 //   list                         registered datasets
+//   ingest new <name> x0 y0 x1 y1 [zoom] [dir=<path>]
+//                                create a streaming-ingest dataset
+//   ingest csv <name> <path>     tail a CSV file into the dataset
+//   ingest status <name>         epoch / rows / merge accounting
+//   ingest merge <name>          force-merge all delta buffers
 //   failpoint ...                the CLI failpoint syntax (list/clear/set)
 //   ping                         liveness probe, answers "pong"
 //   help                         protocol summary
 //   quit                         close this connection
+//
+// (`ingest <name> x y [x y ...]` — the append form — is a *query* line:
+// it rides the admission queue like any request. The four control verbs
+// above are reserved; a dataset cannot be named new/csv/status/merge.)
 //
 // Concurrency model: one thread per connection; each blocks on its own
 // request's future while the service's worker pool overlaps execution
@@ -19,11 +28,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ingest/csv_tail.h"
 #include "service/service.h"
 
 namespace spade {
@@ -85,6 +97,9 @@ class SpadeServer {
   std::vector<std::thread> connection_threads_;
   std::vector<int> connection_fds_;
   std::mutex control_mu_;  ///< serializes dataset registration commands
+  /// One CSV tailer per ingest dataset (tracks per-file byte offsets so
+  /// repeated `ingest csv` calls append only the new complete lines).
+  std::map<std::string, std::unique_ptr<ingest::CsvTailer>> tailers_;
   std::atomic<int64_t> connections_accepted_{0};
 };
 

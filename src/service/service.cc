@@ -166,6 +166,10 @@ Status SpadeService::RegisterSource(std::string name,
     return Status::InvalidArgument("cannot register a null source");
   }
   std::lock_guard<std::mutex> lock(sources_mu_);
+  if (ingest_sources_.count(name) != 0) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' is already registered");
+  }
   auto [it, inserted] = sources_.emplace(std::move(name), std::move(source));
   if (!inserted) {
     return Status::InvalidArgument("dataset '" + it->first +
@@ -174,18 +178,59 @@ Status SpadeService::RegisterSource(std::string name,
   return Status::OK();
 }
 
+Status SpadeService::RegisterIngestSource(
+    std::string name, std::shared_ptr<ingest::IngestSource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("cannot register a null source");
+  }
+  // Per-dataset epoch gauge, resolved once (the observer fires on every
+  // append while the source's mutex is held — keep it cheap).
+  obs::Gauge* epoch_gauge = obs::MetricsRegistry::Global().labeled_gauge(
+      "spade_ingest_epoch", {{"dataset", name}});
+  {
+    std::lock_guard<std::mutex> lock(sources_mu_);
+    if (sources_.count(name) != 0 || ingest_sources_.count(name) != 0) {
+      return Status::InvalidArgument("dataset '" + name +
+                                     "' is already registered");
+    }
+    ingest_sources_.emplace(std::move(name), source);
+  }
+  // Mutation hook: fired under the source's mutex BEFORE the new epoch
+  // becomes pinnable, so a query that can see the new rows can never hit
+  // a cache entry computed without them. The version-keyed prepared-cell
+  // and result caches make this hygiene (memory reclaim + the
+  // invalidations counter) rather than a correctness requirement.
+  source->SetMutationObserver([this, epoch_gauge](
+                                  const ingest::MutationEvent& ev) {
+    engine_.preparer().InvalidateCells(ev.uid, ev.cells);
+    if (batch_ != nullptr) batch_->InvalidateCells(ev.uid, ev.cells);
+    epoch_gauge->Set(static_cast<int64_t>(ev.epoch));
+  });
+  return Status::OK();
+}
+
+std::shared_ptr<ingest::IngestSource> SpadeService::FindIngestSource(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(sources_mu_);
+  auto it = ingest_sources_.find(name);
+  return it == ingest_sources_.end() ? nullptr : it->second;
+}
+
 std::vector<std::string> SpadeService::SourceNames() const {
   std::lock_guard<std::mutex> lock(sources_mu_);
   std::vector<std::string> names;
-  names.reserve(sources_.size());
+  names.reserve(sources_.size() + ingest_sources_.size());
   for (const auto& [name, src] : sources_) names.push_back(name);
+  for (const auto& [name, src] : ingest_sources_) names.push_back(name);
   return names;
 }
 
 CellSource* SpadeService::FindSource(const std::string& name) const {
   std::lock_guard<std::mutex> lock(sources_mu_);
   auto it = sources_.find(name);
-  return it == sources_.end() ? nullptr : it->second.get();
+  if (it != sources_.end()) return it->second.get();
+  auto ing = ingest_sources_.find(name);
+  return ing == ingest_sources_.end() ? nullptr : ing->second.get();
 }
 
 std::future<Response> SpadeService::Submit(Request req,
@@ -212,6 +257,20 @@ std::future<Response> SpadeService::Submit(Request req,
   if (timeout > 0) job.cancel->SetTimeout(timeout);
   job.timeout_seconds = timeout;
   job.req = std::move(req);
+  // Snapshot pinning: a query over a streaming-ingest dataset fixes its
+  // visible epoch NOW, at admission — it sees exactly the append batches
+  // sealed before this point, regardless of queue wait or concurrent
+  // appends during execution.
+  if (IsEngineQuery(job.req.kind)) {
+    if (auto ing = FindIngestSource(job.req.dataset)) {
+      job.pinned = ing->PinSnapshot();
+    }
+    if (!job.req.dataset2.empty()) {
+      if (auto ing2 = FindIngestSource(job.req.dataset2)) {
+        job.pinned2 = ing2->PinSnapshot();
+      }
+    }
+  }
   std::future<Response> fut = job.promise.get_future();
 
   Status admit = Status::OK();
@@ -326,9 +385,9 @@ void SpadeService::WorkerLoop() {
         span.AddArg("kind", static_cast<int64_t>(job.req.kind));
         if (profile != nullptr) {
           obs::ProfileScope attach(profile.get());
-          resp = Run(job.req, job.cancel.get());
+          resp = Run(job);
         } else {
-          resp = Run(job.req, job.cancel.get());
+          resp = Run(job);
         }
       }
 
@@ -392,7 +451,9 @@ void SpadeService::WorkerLoop() {
   }
 }
 
-Response SpadeService::Run(Request& req, CancelToken* cancel) {
+Response SpadeService::Run(Job& job) {
+  Request& req = job.req;
+  CancelToken* cancel = job.cancel.get();
   Response resp;
 
   // Stats requests bypass the device entirely (they must stay responsive
@@ -450,7 +511,32 @@ Response SpadeService::Run(Request& req, CancelToken* cancel) {
     return resp;
   }
 
-  CellSource* src = FindSource(req.dataset);
+  if (req.kind == RequestKind::kIngest) {
+    // Appends ride the normal admission/deadline/cancellation rails but
+    // never need a device slot: they touch the ingest source's delta
+    // buffers (and possibly a merge), not the rasterizer.
+    std::shared_ptr<ingest::IngestSource> ing = FindIngestSource(req.dataset);
+    if (ing == nullptr) {
+      resp.status = Status::NotFound("no ingest dataset named '" +
+                                     req.dataset + "'");
+      return resp;
+    }
+    SPADE_TRACE_SPAN_VAR(span, "service.ingest");
+    span.AddArg("points", static_cast<int64_t>(req.points.size()));
+    auto epoch = ing->Append(req.points, cancel);
+    if (!epoch.ok()) {
+      resp.status = epoch.status();
+      return resp;
+    }
+    resp.epoch = epoch.value();
+    resp.has_epoch = true;
+    return resp;
+  }
+
+  // Queries over ingest datasets run against the snapshot pinned at
+  // admission; everything else resolves by name as before.
+  CellSource* src =
+      job.pinned != nullptr ? job.pinned.get() : FindSource(req.dataset);
   if (src == nullptr) {
     resp.status = Status::NotFound("no dataset named '" + req.dataset + "'");
     return resp;
@@ -458,7 +544,8 @@ Response SpadeService::Run(Request& req, CancelToken* cancel) {
   CellSource* other = nullptr;
   if (req.kind == RequestKind::kJoin ||
       req.kind == RequestKind::kDistanceJoin) {
-    other = FindSource(req.dataset2);
+    other = job.pinned2 != nullptr ? job.pinned2.get()
+                                   : FindSource(req.dataset2);
     if (other == nullptr) {
       resp.status =
           Status::NotFound("no dataset named '" + req.dataset2 + "'");
@@ -553,6 +640,7 @@ Response SpadeService::Run(Request& req, CancelToken* cancel) {
     case RequestKind::kStats:
     case RequestKind::kMetrics:
     case RequestKind::kSlowlog:
+    case RequestKind::kIngest:
       resp.status = Status::Internal("unreachable request kind");
       break;
   }

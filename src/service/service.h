@@ -39,6 +39,7 @@
 #include "common/semaphore.h"
 #include "common/stopwatch.h"
 #include "engine/spade.h"
+#include "ingest/ingest.h"
 #include "service/request.h"
 
 namespace spade {
@@ -146,6 +147,19 @@ class SpadeService {
   /// lifetime (there is deliberately no unregister: queries hold raw
   /// pointers while executing).
   Status RegisterSource(std::string name, std::unique_ptr<CellSource> source);
+
+  /// Register a streaming-ingest dataset. Same namespace as the static
+  /// sources; queries see it like any other dataset except that each
+  /// query pins a snapshot epoch at admission. The service wires the
+  /// source's mutation observer to the prepared-cell and batch result
+  /// caches (targeted invalidation of touched cells) and to the
+  /// spade_ingest_epoch{dataset=...} gauge.
+  Status RegisterIngestSource(std::string name,
+                              std::shared_ptr<ingest::IngestSource> source);
+  /// nullptr when `name` is not a registered ingest dataset.
+  std::shared_ptr<ingest::IngestSource> FindIngestSource(
+      const std::string& name) const;
+
   std::vector<std::string> SourceNames() const;
   /// nullptr when no source of that name is registered.
   CellSource* FindSource(const std::string& name) const;
@@ -189,6 +203,12 @@ class SpadeService {
     std::shared_ptr<CancelToken> cancel;  ///< deadline armed at admission
     double timeout_seconds = 0;           ///< effective deadline (0 = none)
     Stopwatch age;  ///< started at admission; read at dequeue + completion
+    /// Snapshot-consistent reads over mutable datasets: when the request
+    /// targets an ingest source, its epoch is pinned HERE, at admission —
+    /// the query sees exactly the batches sealed before this instant no
+    /// matter how long it queues or how many appends land meanwhile.
+    std::shared_ptr<CellSource> pinned;
+    std::shared_ptr<CellSource> pinned2;  ///< join other side
   };
 
   /// Watchdog bookkeeping for one executing request (stack-allocated in
@@ -203,7 +223,7 @@ class SpadeService {
 
   void WorkerLoop();
   void WatchdogLoop();
-  Response Run(Request& req, CancelToken* cancel);
+  Response Run(Job& job);
 
   SpadeEngine engine_;
   ServiceConfig config_;
@@ -211,6 +231,10 @@ class SpadeService {
 
   mutable std::mutex sources_mu_;
   std::map<std::string, std::unique_ptr<CellSource>> sources_;
+  /// Ingest datasets (shared_ptr: snapshots pinned by queued jobs keep
+  /// the parent alive through their raw back-pointers).
+  std::map<std::string, std::shared_ptr<ingest::IngestSource>>
+      ingest_sources_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -189,6 +189,22 @@ Result<Request> ParseRequestLine(const std::string& line) {
     req.mercator = words.size() > 4 && words[4] == "m";
     return req;
   }
+  if (cmd == "ingest") {
+    // Append form only: the server intercepts the `ingest new|csv|status|
+    // merge ...` control verbs before the protocol parser sees the line.
+    if (words.size() < 4 || (words.size() - 2) % 2 != 0) {
+      return Status::InvalidArgument("usage: ingest <name> x y [x y ...]");
+    }
+    req.kind = RequestKind::kIngest;
+    req.dataset = words[1];
+    req.points.reserve((words.size() - 2) / 2);
+    for (size_t i = 2; i + 1 < words.size(); i += 2) {
+      SPADE_ASSIGN_OR_RETURN(double x, ToDouble(words[i]));
+      SPADE_ASSIGN_OR_RETURN(double y, ToDouble(words[i + 1]));
+      req.points.push_back({x, y});
+    }
+    return req;
+  }
   if (cmd == "distance" || cmd == "knn") {
     if (words.size() < 5) {
       return Status::InvalidArgument("usage: " + cmd + " <name> x y " +
@@ -251,6 +267,12 @@ std::string FormatPayload(const Request& req, const Response& resp) {
       os << '\n';
       break;
     }
+    case RequestKind::kIngest: {
+      os << "appended " << req.points.size();
+      if (resp.has_epoch) os << " epoch=" << resp.epoch;
+      os << '\n';
+      break;
+    }
     case RequestKind::kSql:
     case RequestKind::kStats:
     case RequestKind::kMetrics:
@@ -304,6 +326,9 @@ std::string DescribeRequest(const Request& req) {
       break;
     case RequestKind::kSlowlog:
       os << "slowlog";
+      break;
+    case RequestKind::kIngest:
+      os << "ingest " << req.dataset << ' ' << req.points.size() << " points";
       break;
   }
   if (req.mercator && (req.kind == RequestKind::kDistance ||

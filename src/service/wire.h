@@ -9,6 +9,12 @@
 //   knn <name> x y k [m]           sql <statement>
 //   stats                          metrics
 //   explain [--json] <query>       slowlog [json|clear]
+//   ingest <name> x y [x y ...]
+//
+// `ingest <name> x y ...` appends one batch of points to a registered
+// streaming-ingest dataset and answers `appended N epoch=E`; the control
+// verbs (`ingest new|csv|status|merge ...`) are server-side commands, not
+// protocol requests.
 //
 // A line may start with `@<id>` to tag the request with a client-chosen
 // request id; the server echoes it in the payload's trailing `id` field

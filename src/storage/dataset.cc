@@ -16,6 +16,16 @@ CellSource::CellSource() {
   uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool CellSource::CellMayContain(size_t cell,
+                                const std::vector<bool>& wanted) const {
+  const GridIndex& idx = index();
+  if (cell >= idx.cells.size()) return false;
+  for (GeomId id : idx.cells[cell].ids) {
+    if (id < wanted.size() && wanted[id]) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // InMemorySource
 // ---------------------------------------------------------------------------

@@ -75,6 +75,34 @@ class CellSource {
   virtual Result<std::shared_ptr<const CellData>> LoadCell(
       size_t cell, QueryStats* stats) = 0;
 
+  /// Content version of one cell. Frozen sources are always version 0;
+  /// mutable sources (ingest snapshots) return a value that changes
+  /// whenever the cell's visible contents change, so the engine can key
+  /// prepared-cell and result caches by (uid, cell, version) and keep
+  /// entries for several snapshots alive side by side.
+  virtual uint64_t cell_version(size_t cell) const {
+    (void)cell;
+    return 0;
+  }
+
+  /// Epoch this source observes (0 for frozen sources). Two sources with
+  /// the same uid but different snapshot epochs must never share batched
+  /// canvas passes.
+  virtual uint64_t snapshot_epoch() const { return 0; }
+
+  /// Conservative membership test: may cell `cell` contain any object
+  /// whose id is set in `wanted`? False positives only cost a cell load
+  /// (loaded rows are re-filtered by id); false negatives would drop
+  /// results and are forbidden. The default scans the index's id lists.
+  virtual bool CellMayContain(size_t cell,
+                              const std::vector<bool>& wanted) const;
+
+ protected:
+  /// Adopt another source's uid: an ingest snapshot is a *view* of its
+  /// parent at a pinned epoch, and shares the parent's cache identity
+  /// (entries are disambiguated by cell_version).
+  explicit CellSource(uint64_t adopted_uid) : uid_(adopted_uid) {}
+
  private:
   uint64_t uid_;
 };

@@ -39,6 +39,21 @@ bool ParseDouble(const std::string& s, double* out) {
 
 }  // namespace
 
+bool ParseCsvPointLine(const std::string& line, const CsvLoadOptions& options,
+                       Vec2* out) {
+  std::vector<std::string> fields;
+  SplitLine(line, options.delim, &fields);
+  const int needed = std::max(options.x_col, options.y_col) + 1;
+  double x, y;
+  if (static_cast<int>(fields.size()) < needed ||
+      !ParseDouble(fields[options.x_col], &x) ||
+      !ParseDouble(fields[options.y_col], &y)) {
+    return false;
+  }
+  *out = Vec2{x, y};
+  return true;
+}
+
 Result<SpatialDataset> LoadPointsCsv(const std::string& path,
                                      const std::string& name,
                                      const CsvLoadOptions& options) {
@@ -47,24 +62,19 @@ Result<SpatialDataset> LoadPointsCsv(const std::string& path,
   SpatialDataset ds;
   ds.name = name;
   std::string line;
-  std::vector<std::string> fields;
-  const int needed = std::max(options.x_col, options.y_col) + 1;
   bool first = true;
   size_t skipped = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    SplitLine(line, options.delim, &fields);
-    double x, y;
-    if (static_cast<int>(fields.size()) < needed ||
-        !ParseDouble(fields[options.x_col], &x) ||
-        !ParseDouble(fields[options.y_col], &y)) {
+    Vec2 p;
+    if (!ParseCsvPointLine(line, options, &p)) {
       // A non-numeric first line is a header; later bad lines are counted.
       if (!first) ++skipped;
       first = false;
       continue;
     }
     first = false;
-    ds.geoms.emplace_back(Vec2{x, y});
+    ds.geoms.emplace_back(p);
     if (options.max_rows != 0 && ds.geoms.size() >= options.max_rows) break;
   }
   if (options.skipped_rows != nullptr) *options.skipped_rows = skipped;

@@ -31,6 +31,14 @@ Result<SpatialDataset> LoadPointsCsv(const std::string& path,
                                      const std::string& name,
                                      const CsvLoadOptions& options = {});
 
+/// Parse one CSV line into a point with exactly LoadPointsCsv's field
+/// rules (delimiter split, strtod with trailing whitespace/CR tolerance).
+/// Returns false when the line is malformed. Shared with the streaming
+/// ingest CSV tail so online appends count bad rows the same way offline
+/// loads do.
+bool ParseCsvPointLine(const std::string& line, const CsvLoadOptions& options,
+                       Vec2* out);
+
 /// Write a point dataset as "x,y" lines.
 Status SavePointsCsv(const SpatialDataset& dataset, const std::string& path);
 

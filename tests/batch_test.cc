@@ -326,30 +326,41 @@ TEST(ResultCacheUnit, LruEvictionByteAccountingAndSourceInvalidation) {
   batch::ResultCache cache(/*budget_bytes=*/400);
   const std::vector<uint32_t> ids{1, 2, 3, 4};  // 16 + 96 overhead = 112
 
-  cache.Insert(1, 0, 100, ids);
-  cache.Insert(1, 1, 100, ids);
-  cache.Insert(2, 0, 200, ids);
+  cache.Insert(1, 0, 0, 100, ids);
+  cache.Insert(1, 1, 0, 100, ids);
+  cache.Insert(2, 0, 0, 200, ids);
   EXPECT_EQ(cache.entries(), 3u);
   EXPECT_EQ(cache.bytes(), 3 * 112u);
 
   // Touch (1,0) so it is most-recently used, then overflow the budget:
   // the least-recently-used entry (1,1) must be the victim.
   std::vector<uint32_t> out;
-  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, 0, 100, &out));
   EXPECT_EQ(out, ids);
-  cache.Insert(2, 1, 200, ids);  // 4 * 112 = 448 > 400 -> evict one
+  cache.Insert(2, 1, 0, 200, ids);  // 4 * 112 = 448 > 400 -> evict one
   EXPECT_EQ(cache.entries(), 3u);
-  EXPECT_FALSE(cache.Lookup(1, 1, 100, &out));
-  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
-  EXPECT_TRUE(cache.Lookup(2, 0, 200, &out));
+  EXPECT_FALSE(cache.Lookup(1, 1, 0, 100, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, 0, 100, &out));
+  EXPECT_TRUE(cache.Lookup(2, 0, 0, 200, &out));
 
   // Signature mismatch is a miss, not a wrong answer.
-  EXPECT_FALSE(cache.Lookup(1, 0, 101, &out));
+  EXPECT_FALSE(cache.Lookup(1, 0, 0, 101, &out));
+
+  // A newer cell version is a miss even with identical signature: stale
+  // results inserted before an append can never be served afterwards.
+  EXPECT_FALSE(cache.Lookup(1, 0, 1, 100, &out));
+
+  // Targeted cell invalidation drops every version/signature of that cell
+  // of that dataset, and nothing else.
+  cache.InvalidateCells(2, {0});
+  EXPECT_FALSE(cache.Lookup(2, 0, 0, 200, &out));
+  EXPECT_TRUE(cache.Lookup(2, 1, 0, 200, &out));
 
   // Invalidating source 2 leaves source 1 alone.
   cache.InvalidateSource(2);
+  EXPECT_FALSE(cache.Lookup(2, 1, 0, 200, &out));
   EXPECT_EQ(cache.entries(), 1u);
-  EXPECT_TRUE(cache.Lookup(1, 0, 100, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, 0, 100, &out));
   cache.Clear();
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);

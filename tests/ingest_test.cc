@@ -1,0 +1,534 @@
+// Tests for the streaming-ingest subsystem: append/query equivalence
+// against brute force, snapshot isolation, threshold-tripped merges into
+// block-v2 files (and their failpoint-injected failures), incremental
+// index maintenance, CSV tailing with skipped-row accounting, append
+// atomicity under cancellation, and the service-level guarantee that a
+// batch result-cache hit can never serve stale post-append results.
+#include "ingest/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/spade.h"
+#include "ingest/csv_tail.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "storage/io.h"
+
+namespace spade {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+ingest::IngestOptions Opts(double x0, double y0, double x1, double y1,
+                           int zoom = 3) {
+  ingest::IngestOptions o;
+  o.extent = Box(x0, y0, x1, y1);
+  o.zoom = zoom;
+  return o;
+}
+
+std::vector<Vec2> RandomPoints(size_t n, uint64_t seed,
+                               const Box& extent = Box(0, 0, 10, 10)) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dx(extent.min.x, extent.max.x);
+  std::uniform_real_distribution<double> dy(extent.min.y, extent.max.y);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) pts.push_back(Vec2{dx(rng), dy(rng)});
+  return pts;
+}
+
+/// Ids of `pts` (GeomId == append index) inside `box`, sorted.
+std::vector<GeomId> BruteRange(const std::vector<Vec2>& pts, const Box& box) {
+  std::vector<GeomId> ids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].x >= box.min.x && pts[i].x <= box.max.x &&
+        pts[i].y >= box.min.y && pts[i].y <= box.max.y) {
+      ids.push_back(static_cast<GeomId>(i));
+    }
+  }
+  return ids;
+}
+
+TEST(Ingest, AppendThenRangeQueryMatchesBruteForce) {
+  auto made = ingest::MakeIngestSource("pts", Opts(0, 0, 10, 10));
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto src = made.value();
+
+  const auto pts = RandomPoints(700, 1);
+  auto epoch = src->Append(pts);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch.value(), 1u);
+  EXPECT_EQ(src->num_objects(), 700u);
+
+  SpadeEngine engine;
+  auto snap = src->PinSnapshot();
+  const Box probe(2.5, 1.5, 7.25, 8.75);
+  auto r = engine.RangeSelection(*snap, probe);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().ids, BruteRange(pts, probe));
+}
+
+TEST(Ingest, SnapshotIsolationAcrossAppends) {
+  auto src = ingest::MakeIngestSource("iso", Opts(0, 0, 10, 10)).value();
+  auto first = RandomPoints(200, 2);
+  ASSERT_TRUE(src->Append(first).ok());
+
+  auto old_snap = src->PinSnapshot();
+  EXPECT_EQ(old_snap->num_objects(), 200u);
+  EXPECT_EQ(old_snap->snapshot_epoch(), 1u);
+
+  auto second = RandomPoints(300, 3);
+  ASSERT_TRUE(src->Append(second).ok());
+  auto new_snap = src->PinSnapshot();
+
+  SpadeEngine engine;
+  const Box all(0, 0, 10, 10);
+  auto r_old = engine.RangeSelection(*old_snap, all);
+  ASSERT_TRUE(r_old.ok()) << r_old.status().ToString();
+  EXPECT_EQ(r_old.value().ids, BruteRange(first, all));
+
+  auto with_both = first;
+  with_both.insert(with_both.end(), second.begin(), second.end());
+  auto r_new = engine.RangeSelection(*new_snap, all);
+  ASSERT_TRUE(r_new.ok()) << r_new.status().ToString();
+  EXPECT_EQ(r_new.value().ids, BruteRange(with_both, all));
+
+  // The old snapshot still answers identically AFTER the new epoch ran
+  // through the (version-keyed) prepared-cell cache.
+  auto r_old2 = engine.RangeSelection(*old_snap, all);
+  ASSERT_TRUE(r_old2.ok());
+  EXPECT_EQ(r_old2.value().ids, BruteRange(first, all));
+}
+
+TEST(Ingest, MergeThresholdWritesBlockFilesAndQueriesStayExact) {
+  const std::string dir = TempDir("spade_ingest_merge");
+  auto opts = Opts(0, 0, 10, 10, /*zoom=*/1);  // 2x2 grid: merges trip fast
+  opts.merge_dir = dir;
+  opts.merge_threshold = 64;
+  auto src = ingest::MakeIngestSource("merged", opts).value();
+
+  std::vector<Vec2> all;
+  for (int b = 0; b < 10; ++b) {
+    auto batch = RandomPoints(50, 100 + b);
+    all.insert(all.end(), batch.begin(), batch.end());
+    ASSERT_TRUE(src->Append(batch).ok());
+  }
+  auto stats = src->GetStats();
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GT(stats.merged_rows, 0u);
+  EXPECT_EQ(stats.merged_rows + stats.unmerged_rows, 500u);
+
+  bool any_block = false;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".blk") any_block = true;
+  }
+  EXPECT_TRUE(any_block);
+
+  // Queries read merged prefixes from the block files + in-memory tails.
+  SpadeEngine engine;
+  auto snap = src->PinSnapshot();
+  const Box probe(1, 1, 9, 9);
+  auto r = engine.RangeSelection(*snap, probe);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().ids, BruteRange(all, probe));
+
+  // ForceMerge drains every delta buffer; results are unchanged.
+  ASSERT_TRUE(src->ForceMerge().ok());
+  EXPECT_EQ(src->GetStats().unmerged_rows, 0u);
+  auto snap2 = src->PinSnapshot();
+  auto r2 = engine.RangeSelection(*snap2, probe);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.value().ids, BruteRange(all, probe));
+  fs::remove_all(dir);
+}
+
+TEST(Ingest, MergeFailpointIsNonFatalAndRetries) {
+  const std::string dir = TempDir("spade_ingest_mergefp");
+  auto opts = Opts(0, 0, 10, 10, /*zoom=*/0);  // one cell: deterministic
+  opts.merge_dir = dir;
+  opts.merge_threshold = 32;
+  auto src = ingest::MakeIngestSource("flaky", opts).value();
+
+  failpoint::Spec spec;
+  spec.code = Status::Code::kIOError;
+  spec.max_fails = 1;
+  failpoint::Set("ingest.merge", spec);
+
+  // Trips the threshold; the injected failure leaves deltas buffered.
+  auto pts = RandomPoints(40, 7);
+  ASSERT_TRUE(src->Append(pts).ok());
+  auto stats = src->GetStats();
+  EXPECT_EQ(stats.merge_failures, 1u);
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(stats.unmerged_rows, 40u);
+
+  // Data stays fully queryable out of the delta buffers.
+  SpadeEngine engine;
+  auto snap = src->PinSnapshot();
+  auto r = engine.RangeSelection(*snap, Box(0, 0, 10, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), 40u);
+
+  // Failpoint exhausted: the next threshold trip merges everything.
+  auto more = RandomPoints(40, 8);
+  ASSERT_TRUE(src->Append(more).ok());
+  stats = src->GetStats();
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.unmerged_rows, 0u);
+  EXPECT_EQ(stats.merged_rows, 80u);
+  failpoint::ClearAll();
+  fs::remove_all(dir);
+}
+
+TEST(Ingest, PreparedCellCacheSeesFreshRowsAfterAppend) {
+  // The raw source reads "latest"; the preparer must key its cache by
+  // cell version so the second query can't be satisfied by the first
+  // query's prepared cell.
+  auto src = ingest::MakeIngestSource("fresh", Opts(0, 0, 10, 10)).value();
+  auto first = RandomPoints(150, 11);
+  ASSERT_TRUE(src->Append(first).ok());
+
+  SpadeEngine engine;
+  const Box all(0, 0, 10, 10);
+  auto r1 = engine.RangeSelection(*src, all);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().ids.size(), 150u);
+
+  auto second = RandomPoints(150, 12);
+  ASSERT_TRUE(src->Append(second).ok());
+  auto r2 = engine.RangeSelection(*src, all);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().ids.size(), 300u);
+}
+
+TEST(Ingest, IncrementalIndexGrowsBoxesHullsAndCells) {
+  auto src = ingest::MakeIngestSource("grow", Opts(0, 0, 16, 16, 2)).value();
+  // First batch confined to one corner cell (cells are 4x4).
+  ASSERT_TRUE(src->Append({{0.5, 0.5}, {1.0, 1.0}}).ok());
+  {
+    const GridIndex& idx = src->index();
+    ASSERT_EQ(idx.cells.size(), 1u);
+    EXPECT_DOUBLE_EQ(idx.cells[0].box.max.x, 1.0);
+  }
+  // Growing the same cell widens its box/hull in place (stable index).
+  ASSERT_TRUE(src->Append({{3.5, 2.5}}).ok());
+  {
+    const GridIndex& idx = src->index();
+    ASSERT_EQ(idx.cells.size(), 1u);
+    EXPECT_DOUBLE_EQ(idx.cells[0].box.max.x, 3.5);
+    EXPECT_GE(idx.cells[0].bounding_poly.outer.size(), 3u);
+  }
+
+  auto old_snap = src->PinSnapshot();
+  // A far-away point births a NEW cell, appended at a stable index.
+  ASSERT_TRUE(src->Append({{15.0, 15.0}}).ok());
+  EXPECT_EQ(src->index().cells.size(), 2u);
+  // The pinned snapshot's index predates the birth: still one cell.
+  EXPECT_EQ(old_snap->index().cells.size(), 1u);
+  EXPECT_EQ(old_snap->num_objects(), 3u);
+}
+
+TEST(Ingest, CancelledAppendIsAtomic) {
+  auto src = ingest::MakeIngestSource("cancel", Opts(0, 0, 10, 10)).value();
+  ASSERT_TRUE(src->Append(RandomPoints(50, 21)).ok());
+
+  CancelToken token;
+  token.CancelAfterChecks(1);
+  auto r = src->Append(RandomPoints(1000, 22), &token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCancelled);
+
+  EXPECT_EQ(src->num_objects(), 50u);
+  EXPECT_EQ(src->snapshot_epoch(), 1u);
+  EXPECT_EQ(src->GetStats().rejected_batches, 1u);
+}
+
+TEST(Ingest, OutOfExtentRejectsTheWholeBatch) {
+  auto src = ingest::MakeIngestSource("extent", Opts(0, 0, 10, 10)).value();
+  auto pts = RandomPoints(20, 31);
+  pts.push_back(Vec2{11.0, 5.0});  // one bad point poisons the batch
+  auto r = src->Append(pts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(src->num_objects(), 0u);
+  EXPECT_EQ(src->snapshot_epoch(), 0u);
+
+  EXPECT_FALSE(src->Append({}).ok());  // empty batches are rejected too
+  EXPECT_EQ(src->GetStats().rejected_batches, 2u);
+}
+
+TEST(Ingest, AppendFailpointRejectsBeforeSealing) {
+  auto src = ingest::MakeIngestSource("appfp", Opts(0, 0, 10, 10)).value();
+  failpoint::Spec spec;
+  spec.code = Status::Code::kIOError;
+  spec.max_fails = 1;
+  failpoint::Set("ingest.append", spec);
+  auto r = src->Append(RandomPoints(10, 41));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(src->num_objects(), 0u);
+  failpoint::ClearAll();
+  ASSERT_TRUE(src->Append(RandomPoints(10, 41)).ok());
+  EXPECT_EQ(src->num_objects(), 10u);
+}
+
+TEST(Ingest, KnnOverSnapshotMatchesBruteForce) {
+  auto src = ingest::MakeIngestSource("knn", Opts(0, 0, 10, 10)).value();
+  const auto pts = RandomPoints(400, 51);
+  ASSERT_TRUE(src->Append(pts).ok());
+
+  SpadeEngine engine;
+  auto snap = src->PinSnapshot();
+  const Vec2 probe{4.2, 6.1};
+  const size_t k = 7;
+  auto r = engine.KnnSelection(*snap, probe, k);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().neighbors.size(), k);
+
+  std::vector<double> dists;
+  for (const auto& p : pts) dists.push_back(std::hypot(p.x - probe.x, p.y - probe.y));
+  std::vector<double> sorted = dists;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(r.value().neighbors[i].second, sorted[i], 1e-9);
+  }
+}
+
+TEST(Ingest, ConcurrentAppendsAndSnapshotQueries) {
+  auto src = ingest::MakeIngestSource("soak", Opts(0, 0, 10, 10)).value();
+  SpadeEngine engine;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread appender([&] {
+    for (int b = 0; b < 60; ++b) {
+      if (!src->Append(RandomPoints(20, 1000 + b)).ok()) failures.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    // Every point lies in the extent, so a full-extent range selection
+    // over any snapshot must return exactly that snapshot's row count —
+    // a torn read (partial batch / mixed epochs) breaks the invariant.
+    while (!stop.load()) {
+      auto snap = src->PinSnapshot();
+      auto r = engine.RangeSelection(*snap, Box(0, 0, 10, 10));
+      if (!r.ok() || r.value().ids.size() != snap->num_objects()) {
+        failures.fetch_add(1);
+        break;
+      }
+    }
+  });
+  appender.join();
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(src->num_objects(), 1200u);
+}
+
+// --- CSV tailing -----------------------------------------------------------
+
+TEST(CsvTail, AppendsOnlyNewCompleteLinesAcrossCalls) {
+  const std::string path =
+      (fs::temp_directory_path() / "spade_ingest_tail.csv").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "x,y\n1.0,1.0\n2.0,2.0\n";
+  }
+  auto src = ingest::MakeIngestSource("tail", Opts(0, 0, 10, 10)).value();
+  ingest::CsvTailer tailer(src);
+
+  auto r1 = tailer.Tail(path);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1.value(), 2u);  // the header is recognized, not counted
+  EXPECT_EQ(src->snapshot_epoch(), 1u);
+
+  // Nothing new: no rows, no new epoch.
+  auto r2 = tailer.Tail(path);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), 0u);
+  EXPECT_EQ(src->snapshot_epoch(), 1u);
+
+  // Two appended lines plus one PARTIAL line (no newline): the partial
+  // stays unconsumed until its newline arrives.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "3.0,3.0\n4.0,4.0\n5.0";
+  }
+  auto r3 = tailer.Tail(path);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value(), 2u);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << ",5.0\n";
+  }
+  auto r4 = tailer.Tail(path);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4.value(), 1u);
+  EXPECT_EQ(src->num_objects(), 5u);
+  fs::remove(path);
+}
+
+TEST(CsvTail, CountsSkippedRowsLikeTheOfflineLoader) {
+  const std::string path =
+      (fs::temp_directory_path() / "spade_ingest_tail_skip.csv").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "x,y\n1,1\nnot-a-row\n2,2\n,\n3,3\n";
+  }
+  auto src = ingest::MakeIngestSource("skip", Opts(0, 0, 10, 10)).value();
+  ingest::CsvTailer tailer(src);
+  CsvLoadOptions opts;
+  size_t skipped = 0;
+  opts.skipped_rows = &skipped;
+  auto r = tailer.Tail(path, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 3u);
+  EXPECT_EQ(skipped, 2u);
+  fs::remove(path);
+}
+
+TEST(CsvTail, MaxSkippedRowsFailsAtomicallyWithoutAdvancing) {
+  const std::string path =
+      (fs::temp_directory_path() / "spade_ingest_tail_limit.csv").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "1,1\nbad\nworse\n2,2\n";
+  }
+  auto src = ingest::MakeIngestSource("limit", Opts(0, 0, 10, 10)).value();
+  ingest::CsvTailer tailer(src);
+
+  CsvLoadOptions strict;
+  strict.max_skipped_rows = 1;
+  size_t skipped = 0;
+  strict.skipped_rows = &skipped;
+  auto r = tailer.Tail(path, strict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(src->num_objects(), 0u);  // nothing was appended
+
+  // The failed call consumed nothing: a tolerant retry sees every line.
+  auto r2 = tailer.Tail(path);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.value(), 2u);
+  EXPECT_EQ(src->num_objects(), 2u);
+  fs::remove(path);
+}
+
+// --- service integration ---------------------------------------------------
+
+TEST(IngestService, BatchResultCacheNeverServesStaleRowsAfterAppend) {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_enabled = true;
+  cfg.batch_window_ms = 0.5;
+  SpadeService service({}, cfg);
+
+  auto src = ingest::MakeIngestSource("stream", Opts(0, 0, 10, 10)).value();
+  ASSERT_TRUE(service.RegisterIngestSource("stream", src).ok());
+  // Ingest names share the static-source namespace and lookup path.
+  ASSERT_FALSE(service.RegisterIngestSource("stream", src).ok());
+  ASSERT_NE(service.FindSource("stream"), nullptr);
+  ASSERT_NE(service.FindIngestSource("stream"), nullptr);
+
+  auto append_via_service = [&](const std::vector<Vec2>& pts,
+                                uint64_t want_epoch) {
+    Request req;
+    req.kind = RequestKind::kIngest;
+    req.dataset = "stream";
+    req.points = pts;
+    Response resp = service.Execute(std::move(req));
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    ASSERT_TRUE(resp.has_epoch);
+    EXPECT_EQ(resp.epoch, want_epoch);
+  };
+  auto range_count = [&]() -> size_t {
+    Request req;
+    req.kind = RequestKind::kRange;
+    req.dataset = "stream";
+    req.range = Box(0, 0, 10, 10);
+    Response resp = service.Execute(std::move(req));
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    return resp.ids.size();
+  };
+
+  auto* invalidations = obs::MetricsRegistry::Global().counter(
+      "spade_result_cache_invalidations_total");
+  const int64_t invalidations_before = invalidations->value();
+
+  append_via_service(RandomPoints(120, 61), 1);
+  EXPECT_EQ(range_count(), 120u);
+  // The second identical query may be served out of the result cache.
+  EXPECT_EQ(range_count(), 120u);
+
+  // THE regression this subsystem must never reintroduce: rows appended
+  // after a cached query must appear in the next query — a result-cache
+  // hit keyed without the cell version would keep answering 120.
+  append_via_service(RandomPoints(80, 62), 2);
+  EXPECT_EQ(range_count(), 200u);
+  append_via_service(RandomPoints(40, 63), 3);
+  EXPECT_EQ(range_count(), 240u);
+
+  // The mutation observer invalidated the touched cells' cached results.
+  EXPECT_GT(invalidations->value(), invalidations_before);
+
+  // Satellite metric: the per-dataset epoch gauge is exposed.
+  Request mreq;
+  mreq.kind = RequestKind::kMetrics;
+  Response mresp = service.Execute(std::move(mreq));
+  ASSERT_TRUE(mresp.status.ok());
+  EXPECT_NE(mresp.text.find("spade_ingest_epoch{dataset=\"stream\"} 3"),
+            std::string::npos)
+      << mresp.text;
+  service.Shutdown();
+}
+
+TEST(IngestService, QueriesPinTheEpochAtAdmission) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SpadeService service({}, cfg);
+  auto src = ingest::MakeIngestSource("pin", Opts(0, 0, 10, 10)).value();
+  ASSERT_TRUE(service.RegisterIngestSource("pin", src).ok());
+  ASSERT_TRUE(src->Append(RandomPoints(100, 71)).ok());
+
+  // Admit the query, THEN append: the pinned snapshot must not see the
+  // later epoch even though execution happens after it sealed. The single
+  // worker is first kept busy so the append provably lands while the
+  // query is still queued.
+  Request blocker;
+  blocker.kind = RequestKind::kSql;
+  blocker.sql = "SELECT 1";
+  auto f_blocker = service.Submit(std::move(blocker));
+
+  Request q;
+  q.kind = RequestKind::kRange;
+  q.dataset = "pin";
+  q.range = Box(0, 0, 10, 10);
+  auto f_query = service.Submit(std::move(q));
+  ASSERT_TRUE(src->Append(RandomPoints(100, 72)).ok());
+
+  f_blocker.get();
+  Response resp = f_query.get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.ids.size(), 100u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace spade

@@ -13,6 +13,13 @@
 //
 //   $ ./build/tools/spade_cli serve 7117 [setup-script]   # same as spade_server
 //   $ ./build/tools/spade_cli connect 127.0.0.1 7117      # remote REPL
+//
+// And one bootstraps a streaming-ingest session from a CSV of points:
+//
+//   $ ./build/tools/spade_cli ingest taxi.csv             # dataset `stream`
+//   spade> ingest status stream
+//   spade> ingest csv stream taxi.csv    # appends rows written since start
+//   spade> knn stream -73.98 40.75 10
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -107,6 +114,21 @@ int main(int argc, char** argv) {
 
   spade::CliSession session;
   bool any_error = false;
+
+  // `spade_cli ingest <csv>`: create ingest dataset `stream` from the
+  // file (extent auto-scanned), ingest its rows, then drop into the REPL
+  // — `ingest csv stream <csv>` appends whatever was written since.
+  if (argc > 2 && std::string(argv[1]) == "ingest") {
+    const std::string setup =
+        std::string("ingest from ") + argv[2] + " as stream";
+    auto r = session.Execute(setup);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r.value().c_str());
+    argc = 1;  // fall through to the interactive REPL below
+  }
 
   auto run_line = [&](const std::string& line, bool echo) {
     if (line.empty() || line[0] == '#') return true;

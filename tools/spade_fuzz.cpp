@@ -9,6 +9,7 @@
 //   spade_fuzz --seed=123456 --iterations=1          # exact replay
 //   spade_fuzz --replay=tests/corpus/foo.case        # corpus replay
 //   spade_fuzz --service --threads=8                 # concurrent mode
+//   spade_fuzz --ingest --iterations=1000            # streaming ingest
 //   spade_fuzz --inject-bug=drop-last                # harness self-test
 //
 // Exit status: 0 clean, 1 mismatch found, 2 usage / setup error.
@@ -60,6 +61,10 @@ int Usage() {
                "                     carry deadlines or cancellations\n"
                "  --batch-window=MS  gather window in --batch mode "
                "(default 2)\n"
+               "  --ingest           interleave streaming-ingest writes\n"
+               "                     (appends, CSV tails, merges, injected\n"
+               "                     merge failures, cancellations) with\n"
+               "                     snapshot-pinned differential queries\n"
                "  --threads=N        caller threads in --service/--batch "
                "mode (default 4)\n"
                "  --corpus-dir=DIR   write shrunk repros here\n"
@@ -101,6 +106,8 @@ int main(int argc, char** argv) {
       opts.service_mode = true;
     } else if (ParseFlag(argv[i], "--batch", &v)) {
       opts.batch_mode = true;
+    } else if (ParseFlag(argv[i], "--ingest", &v)) {
+      opts.ingest_mode = true;
     } else if (ParseFlag(argv[i], "--batch-window", &v)) {
       opts.batch_window_ms = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--threads", &v)) {

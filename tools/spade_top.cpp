@@ -181,6 +181,38 @@ std::string Render(const Scrape& cur, const Scrape* prev, double dt_seconds,
   }
   os << '\n';
 
+  const double appends = ValueOr(cur, "spade_ingest_appends_total", 0);
+  os << "ingest ";
+  if (appends > 0) {
+    os << appends << " appends, " << ValueOr(cur, "spade_ingest_rows_total", 0)
+       << " rows";
+    if (prev != nullptr && dt_seconds > 0) {
+      const double rps =
+          (ValueOr(cur, "spade_ingest_rows_total", 0) -
+           ValueOr(*prev, "spade_ingest_rows_total", 0)) /
+          dt_seconds;
+      os << " (" << (rps < 0 ? 0.0 : rps) << " rows/s)";
+    }
+    os << ", merges " << ValueOr(cur, "spade_ingest_merges_total", 0) << " ("
+       << ValueOr(cur, "spade_ingest_merge_failures_total", 0) << " failed), "
+       << "rejected " << ValueOr(cur, "spade_ingest_rejected_total", 0)
+       << ", cache invalidations "
+       << ValueOr(cur, "spade_result_cache_invalidations_total", 0);
+    // Per-dataset epoch gauges (spade_ingest_epoch{dataset="..."}).
+    const std::string kEpochPrefix = "spade_ingest_epoch{dataset=\"";
+    for (const auto& [name, value] : cur.values) {
+      if (name.rfind(kEpochPrefix, 0) != 0) continue;
+      const size_t end = name.find('"', kEpochPrefix.size());
+      if (end == std::string::npos) continue;
+      os << "\n  " << name.substr(kEpochPrefix.size(),
+                                  end - kEpochPrefix.size())
+         << " @ epoch " << value;
+    }
+  } else {
+    os << "(idle)";
+  }
+  os << '\n';
+
   os << '\n' << slowlog_text << '\n';
   return os.str();
 }
