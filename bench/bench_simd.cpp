@@ -1,0 +1,254 @@
+// SIMD tier ablation: the same fragment-bound workloads executed with the
+// pipeline pinned to the scalar kernel tier and with the full runtime
+// dispatch (CPUID-selected SSE2/AVX2). Results are bit-identical by
+// construction (tests/simd_kernel_test.cc); this measures the speedup.
+//
+//   bench_simd [--json=BENCH_simd.json]
+//
+// Scenario groups:
+//   kernel_*     tight loops over the dispatched kernels themselves
+//                (span fill, stream compaction, prefix scan, band extents)
+//   selection_*  / join_polypoly   end-to-end engine queries whose profile
+//                is dominated by fragment work (canvas build + row scans)
+//   selection_points               a canvas-light control expected within
+//                noise of scalar (documents where SIMD does not help)
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "canvas/canvas_builder.h"
+#include "common/simd.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "geom/predicates_batch.h"
+#include "geom/triangulate.h"
+#include "gfx/device.h"
+#include "gfx/scan.h"
+#include "gfx/simd_kernels.h"
+#include "gfx/texture.h"
+#include "gfx/viewport.h"
+
+namespace spade {
+namespace {
+
+/// Latency samples of `fn` run `iters` times under a pinned tier.
+template <typename F>
+bench::BenchRecord Measure(const std::string& name, simd::Tier tier,
+                           int iters, F&& fn) {
+  simd::TierOverrideForTesting pin(tier);
+  std::vector<double> lat;
+  lat.reserve(iters);
+  int64_t fragments = 0;
+  const double total = bench::TimeIt([&] {
+    for (int i = 0; i < iters; ++i) {
+      lat.push_back(bench::TimeIt([&] { fragments += fn(); }));
+    }
+  });
+  return bench::MakeRecord(name, lat, total, fragments);
+}
+
+/// Run a scenario under scalar and under the detected tier; print and
+/// record both plus the speedup.
+template <typename F>
+void Ablate(const std::string& name, int iters, F&& fn) {
+  const bench::BenchRecord scalar =
+      Measure(name + "_scalar", simd::Tier::kScalar, iters, fn);
+  const bench::BenchRecord simd =
+      Measure(name + "_simd", simd::DetectedTier(), iters, fn);
+  bench::Records().push_back(scalar);
+  bench::Records().push_back(simd);
+  const double speedup = simd.mean > 0 ? scalar.mean / simd.mean : 0;
+  bench::PrintRow({name, bench::Fmt(scalar.mean * 1e3),
+                   bench::Fmt(simd.mean * 1e3), bench::Fmt(speedup, 2) + "x"},
+                  {28, 14, 14, 10});
+}
+
+// --- kernel microbenchmarks -------------------------------------------------
+
+void KernelScenarios() {
+  bench::PrintHeader("SIMD kernel ablation (ms per iteration)");
+  bench::PrintRow({"kernel", "scalar", "simd", "speedup"}, {28, 14, 14, 10});
+
+  // Working set sized like the real fragment pipeline touches it: kernels
+  // run over row spans (<= canvas width) of a texture plane that stays
+  // cache-resident across a pass, not over one cold multi-MB sweep.
+  const size_t n = 16 << 10;  // one L2-resident plane tile
+  const int reps = static_cast<int>(bench::Scaled(256));
+  std::vector<uint32_t> src(n);
+  for (size_t i = 0; i < n; ++i) {
+    src[i] = (i * 2654435761u) % 3 == 0 ? kTexNull : static_cast<uint32_t>(i);
+  }
+  std::vector<uint32_t> out32(n);
+  std::vector<uint64_t> out64(n);
+
+  Ablate("kernel_fill", 30, [&] {
+    const auto& k = gfx_simd::Active();
+    for (int r = 0; r < reps; ++r) k.fill_u32(out32.data(), n, 42);
+    return static_cast<int64_t>(n) * reps;
+  });
+  Ablate("kernel_compact", 30, [&] {
+    const auto& k = gfx_simd::Active();
+    int64_t kept = 0;
+    for (int r = 0; r < reps; ++r) {
+      kept += k.compact_neq_u32(src.data(), n, kTexNull, out32.data(), n);
+    }
+    return kept;
+  });
+  Ablate("kernel_row_indices", 30, [&] {
+    const auto& k = gfx_simd::Active();
+    int64_t kept = 0;
+    for (int r = 0; r < reps; ++r) {
+      kept += k.indices_neq_u32(src.data(), n, kTexNull, 0, out32.data(), n);
+    }
+    return kept;
+  });
+  Ablate("kernel_prefix_scan", 30, [&] {
+    const auto& k = gfx_simd::Active();
+    int64_t total = 0;
+    for (int r = 0; r < reps; ++r) {
+      total += k.exclusive_prefix_u32(src.data(), out64.data(), n);
+    }
+    return total;
+  });
+
+  // Band extents: the per-scanline edge-function evaluation.
+  const Vec2 tri[3] = {{0.3, 0.1}, {900.7, 350.2}, {420.1, 980.9}};
+  Ablate("kernel_band_extents", 40, [&] {
+    double xmin, xmax;
+    int64_t hits = 0;
+    for (int y = 0; y < 1024; ++y) {
+      hits += gfx_simd::Active().band_x_range(tri, y, y + 1.0, &xmin, &xmax);
+    }
+    return hits;
+  });
+
+  // Batch point-in-triangle / point-segment-distance (exact tests), sized
+  // like a dense boundary bucket (the SoA blocks the canvas packs).
+  const size_t m = 4096;
+  const int breps = static_cast<int>(bench::Scaled(64));
+  std::vector<double> ax(m), ay(m), bx(m), by(m), cx(m), cy(m), dist(m);
+  std::vector<uint8_t> inside(m);
+  for (size_t i = 0; i < m; ++i) {
+    const double t = static_cast<double>(i) / m;
+    ax[i] = t;
+    ay[i] = 1 - t;
+    bx[i] = t + 0.5;
+    by[i] = t * t;
+    cx[i] = 1 - t * t;
+    cy[i] = t + 0.25;
+  }
+  Ablate("kernel_point_in_tris", 40, [&] {
+    for (int r = 0; r < breps; ++r) {
+      PointInTrianglesBatch(ax.data(), ay.data(), bx.data(), by.data(),
+                            cx.data(), cy.data(), m, {0.5, 0.5},
+                            inside.data());
+    }
+    return static_cast<int64_t>(m) * breps;
+  });
+  Ablate("kernel_point_seg_dist", 40, [&] {
+    for (int r = 0; r < breps; ++r) {
+      PointSegmentDistancesBatch({0.5, 0.5}, ax.data(), ay.data(), bx.data(),
+                                 by.data(), m, dist.data());
+    }
+    return static_cast<int64_t>(m) * breps;
+  });
+}
+
+// --- end-to-end engine scenarios --------------------------------------------
+
+void EngineScenarios() {
+  bench::PrintHeader("SIMD end-to-end ablation (ms per query)");
+  bench::PrintRow({"scenario", "scalar", "simd", "speedup"}, {28, 14, 14, 10});
+
+  // The polygon canvas build itself (interior span fills, conservative
+  // boundary pass, bucket row scans) — the pipeline stage the
+  // vectorization targets, with no triangulation or index work in the
+  // timed region. Two shapes of the same pass structure:
+  //   parcels   short perimeters, large interiors at high resolution —
+  //             fill/row-scan (fragment) bound, where the kernels run
+  //   countries boundary-heavy — the scalar conservative pass dominates
+  //             (Amdahl), documenting where vectorization cannot help
+  auto canvas_build = [](const std::string& name, SpatialDataset data,
+                         int resolution, int iters) {
+    GfxDevice device;
+    const Viewport vp(data.Bounds(), resolution, resolution);
+    CanvasBuilder builder(&device, vp);
+    std::vector<GeomId> ids;
+    std::vector<const MultiPolygon*> polys;
+    std::vector<Triangulation> tri_storage;
+    tri_storage.reserve(data.size());
+    std::vector<const Triangulation*> tris;
+    for (size_t i = 0; i < data.size(); ++i) {
+      ids.push_back(static_cast<GeomId>(i));
+      polys.push_back(&data.geoms[i].polygon());
+      tri_storage.push_back(Triangulate(data.geoms[i].polygon()));
+    }
+    for (const auto& t : tri_storage) tris.push_back(&t);
+    Ablate(name, iters, [&] {
+      Canvas c = builder.BuildPolygonCanvas(ids, polys, tris);
+      return static_cast<int64_t>(c.texture().width());
+    });
+  };
+  canvas_build("canvas_build_parcels", GenerateParcels(256, 17), 2048, 10);
+  canvas_build("canvas_build_countries", CountryLikePolygons(3), 1024, 10);
+
+  // Fragment-bound: selection over polygon data (canvas build = interior
+  // span fills + boundary buckets + row scans dominates).
+  {
+    SpadeEngine engine(bench::BenchConfig());
+    SpatialDataset buildings =
+        BuildingLikePolygons(bench::Scaled(30000), 11);
+    auto src = MakeInMemorySource("buildings", buildings, engine.config());
+    (void)engine.WarmIndexes(*src, false);
+    const Box window{{0.05, 0.05}, {0.95, 0.95}};
+    Ablate("selection_buildings", 8, [&] {
+      auto r = engine.RangeSelection(*src, window);
+      return r.ok() ? r.value().stats.fragments : 0;
+    });
+  }
+
+  // Fragment-bound: polygon x polygon join (TestPolygon row scans +
+  // MatchTriangle over boundary buckets).
+  {
+    SpadeEngine engine(bench::BenchConfig());
+    SpatialDataset counties = CountyLikePolygons(7);
+    SpatialDataset zipcodes = ZipcodeLikePolygons(8);
+    auto asrc = MakeInMemorySource("counties", counties, engine.config());
+    auto bsrc = MakeInMemorySource("zipcodes", zipcodes, engine.config());
+    (void)engine.WarmIndexes(*asrc, true);
+    (void)engine.WarmIndexes(*bsrc, false);
+    Ablate("join_polypoly", 4, [&] {
+      auto r = engine.SpatialJoin(*asrc, *bsrc);
+      return r.ok() ? r.value().stats.fragments : 0;
+    });
+  }
+
+  // Canvas-light control: point selection over a small window — dominated
+  // by index filtering and readback, expected within noise of scalar.
+  {
+    SpadeEngine engine(bench::BenchConfig());
+    SpatialDataset pts = GenerateUniformPoints(bench::Scaled(200000), 5);
+    auto src = MakeInMemorySource("pts", pts, engine.config());
+    (void)engine.WarmIndexes(*src, false);
+    const Box window{{0.4, 0.4}, {0.6, 0.6}};
+    Ablate("selection_points", 12, [&] {
+      auto r = engine.RangeSelection(*src, window);
+      return r.ok() ? r.value().stats.fragments : 0;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace spade
+
+int main(int argc, char** argv) {
+  using namespace spade;
+  bench::ParseArgs(argc, argv);
+  std::printf("detected tier: %s (%d x 32-bit lanes)\n",
+              simd::TierName(simd::DetectedTier()),
+              simd::TierLanes32(simd::DetectedTier()));
+  KernelScenarios();
+  EngineScenarios();
+  bench::WriteJsonIfRequested();
+  return 0;
+}

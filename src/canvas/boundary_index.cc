@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/predicates.h"
+#include "geom/predicates_batch.h"
 
 namespace spade {
 
@@ -35,10 +36,28 @@ void BoundaryIndex::MatchPoint(uint32_t bucket, const Vec2& p,
                                std::vector<GeomId>* owners) const {
   const auto& ids = bucket_tris_[bucket];
   CountTests(static_cast<int64_t>(ids.size()));
-  for (uint32_t ti : ids) {
-    const TriEntry& e = tris_[ti];
-    if (PointInTriangle(e.tri.a, e.tri.b, e.tri.c, p)) {
-      owners->push_back(e.owner);
+  // Pack the bucket's triangles into SoA coordinate blocks and run the
+  // lane-parallel containment kernel (bit-identical to the scalar
+  // PointInTriangle at every tier). Dense buckets — sub-pixel polygons,
+  // vertex clusters — are where this pays; blocks keep the stack bounded.
+  constexpr size_t kBlock = 64;
+  double ax[kBlock], ay[kBlock], bx[kBlock], by[kBlock], cx[kBlock],
+      cy[kBlock];
+  uint8_t inside[kBlock];
+  for (size_t base = 0; base < ids.size(); base += kBlock) {
+    const size_t m = std::min(kBlock, ids.size() - base);
+    for (size_t i = 0; i < m; ++i) {
+      const Triangle& t = tris_[ids[base + i]].tri;
+      ax[i] = t.a.x;
+      ay[i] = t.a.y;
+      bx[i] = t.b.x;
+      by[i] = t.b.y;
+      cx[i] = t.c.x;
+      cy[i] = t.c.y;
+    }
+    PointInTrianglesBatch(ax, ay, bx, by, cx, cy, m, p, inside);
+    for (size_t i = 0; i < m; ++i) {
+      if (inside[i]) owners->push_back(tris_[ids[base + i]].owner);
     }
   }
 }

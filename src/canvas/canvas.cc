@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "geom/predicates.h"
+#include "geom/predicates_batch.h"
 #include "gfx/rasterizer.h"
+#include "gfx/simd_kernels.h"
 
 namespace spade {
 
@@ -48,16 +50,32 @@ void Canvas::TestSegment(const Vec2& a, const Vec2& b,
 void Canvas::TestPolygon(const Triangulation& tri,
                          std::vector<GeomId>* owners) const {
   const size_t from = owners->size();
+  const auto& kernels = gfx_simd::Active();
+  // Row-scan buffer for boundary-pixel x coordinates within a span.
+  std::vector<uint32_t> xbuf(vp_.width());
   for (const Triangle& t : tri.triangles) {
-    RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/true,
-                      [&](int x, int y) {
-                        const uint32_t bucket = tex_->Get(x, y, kVb);
-                        if (bucket != kTexNull) {
-                          bindex_.MatchTriangle(bucket, t, owners);
-                        }
-                        const GeomId owner = tex_->Get(x, y, kV0);
-                        if (owner != kTexNull) owners->push_back(owner);
-                      });
+    RasterizeTriangleSpans(
+        vp_, t.a, t.b, t.c, /*conservative=*/true,
+        [&](int y, int px0, int px1) {
+          const size_t len = static_cast<size_t>(px1 - px0 + 1);
+          // Boundary pixels in the span: lane-parallel scan of the vb row.
+          const uint32_t* vb = tex_->Row(y, kVb);
+          const size_t nb =
+              kernels.indices_neq_u32(vb + px0, len, kTexNull,
+                                      static_cast<uint32_t>(px0), xbuf.data(),
+                                      xbuf.size());
+          for (size_t j = 0; j < nb; ++j) {
+            bindex_.MatchTriangle(vb[xbuf[j]], t, owners);
+          }
+          // Interior pixels: their owner values compact straight into the
+          // result (deduped below, so ordering vs. the matches is free).
+          const uint32_t* v0 = tex_->Row(y, kV0);
+          const size_t cur = owners->size();
+          owners->resize(cur + len);
+          const size_t np = kernels.compact_neq_u32(
+              v0 + px0, len, kTexNull, owners->data() + cur, len);
+          owners->resize(cur + np);
+        });
   }
   DedupOwners(owners, from);
 }
@@ -72,11 +90,27 @@ void Canvas::TestPointDistance(const Vec2& p,
   if (bucket != kTexNull) {
     const auto& segs = bindex_.bucket_segments(bucket);
     bindex_.CountTests(static_cast<int64_t>(segs.size()));
-    for (uint32_t si : segs) {
-      const auto& e = bindex_.segment(si);
-      const double r =
-          e.owner < owner_radius_.size() ? owner_radius_[e.owner] : 0.0;
-      if (PointSegmentDistance(p, e.a, e.b) <= r) owners->push_back(e.owner);
+    // Lane-parallel point-to-segment distances over SoA blocks of the
+    // bucket (bit-identical to the scalar predicate at every tier); the
+    // per-owner radius compare stays scalar since radii vary per lane.
+    constexpr size_t kBlock = 64;
+    double ax[kBlock], ay[kBlock], bx[kBlock], by[kBlock], dist[kBlock];
+    for (size_t base = 0; base < segs.size(); base += kBlock) {
+      const size_t m = std::min(kBlock, segs.size() - base);
+      for (size_t i = 0; i < m; ++i) {
+        const auto& e = bindex_.segment(segs[base + i]);
+        ax[i] = e.a.x;
+        ay[i] = e.a.y;
+        bx[i] = e.b.x;
+        by[i] = e.b.y;
+      }
+      PointSegmentDistancesBatch(p, ax, ay, bx, by, m, dist);
+      for (size_t i = 0; i < m; ++i) {
+        const GeomId owner = bindex_.segment(segs[base + i]).owner;
+        const double r =
+            owner < owner_radius_.size() ? owner_radius_[owner] : 0.0;
+        if (dist[i] <= r) owners->push_back(owner);
+      }
     }
     // Triangles of buffered polygons: containment means distance zero.
     bindex_.MatchPoint(bucket, p, owners);

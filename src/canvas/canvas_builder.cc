@@ -5,6 +5,7 @@
 
 #include "geom/predicates.h"
 #include "gfx/rasterizer.h"
+#include "gfx/simd_kernels.h"
 #include "obs/trace.h"
 
 namespace spade {
@@ -79,18 +80,23 @@ Canvas CanvasBuilder::BuildPolygonCanvas(
   std::vector<std::pair<uint32_t, uint32_t>> ranges(n);
   for (size_t i = 0; i < n; ++i) ranges[i] = bi.AddPolygon(ids[i], *tris[i]);
 
-  // Pass 1: interior fill (default rasterization of the triangles).
+  // Pass 1: interior fill (default rasterization of the triangles). Spans
+  // blend through the SIMD fill kernel — the single hottest loop of a
+  // selection query (~68M fragments, BENCH_explain.json).
+  const auto& kernels = gfx_simd::Active();
   {
     SPADE_TRACE_SPAN("gfx.rasterize.interior");
     device_->DrawParallel(n, [&](size_t b, size_t e) {
       size_t frags = 0;
       for (size_t i = b; i < e; ++i) {
+        const uint32_t id = ids[i];
         for (const Triangle& t : tris[i]->triangles) {
-          frags += RasterizeTriangle(vp_, t.a, t.b, t.c,
-                                     /*conservative=*/false,
-                                     [&](int x, int y) {
-                                       tex.AtomicStore(x, y, kV0, ids[i]);
-                                     });
+          frags += RasterizeTriangleSpans(
+              vp_, t.a, t.b, t.c, /*conservative=*/false,
+              [&](int y, int px0, int px1) {
+                kernels.fill_u32(tex.Row(y, kV0) + px0,
+                                 static_cast<size_t>(px1 - px0 + 1), id);
+              });
         }
       }
       return frags;
@@ -136,16 +142,22 @@ Canvas CanvasBuilder::BuildPolygonCanvas(
     SPADE_TRACE_SPAN("gfx.rasterize.buckets");
     device_->DrawParallel(n, [&](size_t b, size_t e) {
       std::vector<std::pair<uint64_t, uint32_t>> local;
+      // Per-worker scratch for bucketed-pixel x coordinates within a span.
+      std::vector<uint32_t> xbuf(vp_.width());
       size_t frags = 0;
       for (size_t i = b; i < e; ++i) {
         const uint32_t first = ranges[i].first;
         const auto& tlist = tris[i]->triangles;
         for (size_t t = 0; t < tlist.size(); ++t) {
-          frags += RasterizeTriangle(
+          frags += RasterizeTriangleSpans(
               vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
-              [&](int x, int y) {
-                if (tex.Get(x, y, kVb) != kTexNull) {
-                  local.emplace_back(PixelKey(x, y),
+              [&](int y, int px0, int px1) {
+                const uint32_t* vb = tex.Row(y, kVb);
+                const size_t nb = kernels.indices_neq_u32(
+                    vb + px0, static_cast<size_t>(px1 - px0 + 1), kTexNull,
+                    static_cast<uint32_t>(px0), xbuf.data(), xbuf.size());
+                for (size_t j = 0; j < nb; ++j) {
+                  local.emplace_back(PixelKey(static_cast<int>(xbuf[j]), y),
                                      first + static_cast<uint32_t>(t));
                 }
               });
@@ -339,15 +351,19 @@ Canvas CanvasBuilder::BuildDistanceCanvasGeometries(
     }
   }
 
-  // Pass 1: polygon interiors (default rasterization).
+  // Pass 1: polygon interiors (default rasterization, span fills).
+  const auto& kernels = gfx_simd::Active();
   device_->DrawParallel(n, [&](size_t b, size_t e) {
     size_t frags = 0;
     for (size_t i = b; i < e; ++i) {
+      const uint32_t id = ids[i];
       for (const Triangle& t : tri_storage[i].triangles) {
-        frags += RasterizeTriangle(vp_, t.a, t.b, t.c, /*conservative=*/false,
-                                   [&](int x, int y) {
-                                     tex.AtomicStore(x, y, kV0, ids[i]);
-                                   });
+        frags += RasterizeTriangleSpans(
+            vp_, t.a, t.b, t.c, /*conservative=*/false,
+            [&](int y, int px0, int px1) {
+              kernels.fill_u32(tex.Row(y, kV0) + px0,
+                               static_cast<size_t>(px1 - px0 + 1), id);
+            });
       }
     }
     return frags;
@@ -434,16 +450,22 @@ Canvas CanvasBuilder::BuildDistanceCanvasGeometries(
   PairCollector tri_pairs;
   device_->DrawParallel(n, [&](size_t b, size_t e) {
     std::vector<std::pair<uint64_t, uint32_t>> local;
+    std::vector<uint32_t> xbuf(vp_.width());
     size_t frags = 0;
     for (size_t i = b; i < e; ++i) {
       const auto& tlist = tri_storage[i].triangles;
       for (size_t t = 0; t < tlist.size(); ++t) {
-        frags += RasterizeTriangle(
+        frags += RasterizeTriangleSpans(
             vp_, tlist[t].a, tlist[t].b, tlist[t].c, /*conservative=*/true,
-            [&](int x, int y) {
-              if (tex.Get(x, y, kVb) != kTexNull) {
-                local.emplace_back(PixelKey(x, y),
-                                   tri_ranges[i].first + static_cast<uint32_t>(t));
+            [&](int y, int px0, int px1) {
+              const uint32_t* vb = tex.Row(y, kVb);
+              const size_t nb = kernels.indices_neq_u32(
+                  vb + px0, static_cast<size_t>(px1 - px0 + 1), kTexNull,
+                  static_cast<uint32_t>(px0), xbuf.data(), xbuf.size());
+              for (size_t j = 0; j < nb; ++j) {
+                local.emplace_back(
+                    PixelKey(static_cast<int>(xbuf[j]), y),
+                    tri_ranges[i].first + static_cast<uint32_t>(t));
               }
             });
       }

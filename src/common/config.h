@@ -42,6 +42,13 @@ struct SpadeConfig {
   /// implementation (Section 5.4).
   size_t max_map_canvas_elems = 1ull << 22;
 
+  /// Pin the fragment pipeline to the scalar SIMD tier (same effect as the
+  /// SPADE_FORCE_SCALAR environment variable). The scalar kernels are the
+  /// oracles the vector tiers are differentially tested against; results
+  /// are bit-identical either way, so this is a debugging/benchmark knob,
+  /// not a correctness one. Process-wide: applies to every engine.
+  bool force_scalar = false;
+
   /// Derived: effective per-cell byte bound.
   size_t EffectiveCellBytes() const {
     return max_cell_bytes != 0 ? max_cell_bytes : device_memory_budget / 4;

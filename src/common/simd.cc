@@ -1,0 +1,129 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace spade {
+namespace simd {
+
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define SPADE_SIMD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPADE_SIMD_TSAN 1
+#endif
+#endif
+
+/// Build + CPU capability probe. AVX2 kernels exist only when the build
+/// could compile them: CMake defines SPADE_BUILD_AVX2 tree-wide when the
+/// compiler accepts -mavx2, and the *_avx2.cc TUs compile empty otherwise.
+bool BuildHasAvx2() {
+#if defined(SPADE_BUILD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Tier ProbeTier() {
+#if defined(SPADE_SIMD_TSAN)
+  // Vectorized texture fills bypass std::atomic_ref; under TSan only the
+  // scalar twins (which use atomic_ref) are race-annotated correctly.
+  return Tier::kScalar;
+#elif defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (BuildHasAvx2() && __builtin_cpu_supports("avx2")) return Tier::kAVX2;
+#endif
+  return Tier::kSSE2;  // SSE2 is the x86-64 baseline
+#else
+  return Tier::kScalar;
+#endif
+}
+
+/// Env cap: -1 = not yet read; otherwise a Tier value.
+std::atomic<int> g_env_cap{-1};
+/// SetMaxTier cap (config knob); starts unlimited.
+std::atomic<int> g_max_tier{static_cast<int>(Tier::kAVX2)};
+/// Test override: -1 = none, otherwise an exact Tier to pin.
+std::atomic<int> g_override{-1};
+
+int ReadEnvCap() {
+  const char* force = std::getenv("SPADE_FORCE_SCALAR");
+  if (force != nullptr && *force != '\0' && std::strcmp(force, "0") != 0) {
+    return static_cast<int>(Tier::kScalar);
+  }
+  const char* tier = std::getenv("SPADE_SIMD");
+  if (tier != nullptr) {
+    if (std::strcmp(tier, "scalar") == 0) return static_cast<int>(Tier::kScalar);
+    if (std::strcmp(tier, "sse2") == 0) return static_cast<int>(Tier::kSSE2);
+    if (std::strcmp(tier, "avx2") == 0) return static_cast<int>(Tier::kAVX2);
+  }
+  return static_cast<int>(Tier::kAVX2);  // no cap
+}
+
+int EnvCap() {
+  int cap = g_env_cap.load(std::memory_order_relaxed);
+  if (cap < 0) {
+    cap = ReadEnvCap();
+    g_env_cap.store(cap, std::memory_order_relaxed);
+  }
+  return cap;
+}
+
+}  // namespace
+
+Tier DetectedTier() {
+  static const Tier tier = ProbeTier();
+  return tier;
+}
+
+Tier ActiveTier() {
+  const int detected = static_cast<int>(DetectedTier());
+  const int pinned = g_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<Tier>(std::min(pinned, detected));
+  const int cap = std::min(EnvCap(), g_max_tier.load(std::memory_order_relaxed));
+  return static_cast<Tier>(std::min(detected, cap));
+}
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSSE2: return "sse2";
+    case Tier::kAVX2: return "avx2";
+  }
+  return "scalar";
+}
+
+int TierLanes32(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return 1;
+    case Tier::kSSE2: return 4;
+    case Tier::kAVX2: return 8;
+  }
+  return 1;
+}
+
+bool ForcedScalarByEnv() { return EnvCap() == static_cast<int>(Tier::kScalar); }
+
+void SetMaxTier(Tier t) {
+  g_max_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+TierOverrideForTesting::TierOverrideForTesting(Tier t)
+    : previous_(g_override.exchange(static_cast<int>(t),
+                                    std::memory_order_relaxed)) {}
+
+TierOverrideForTesting::~TierOverrideForTesting() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+void ReinitFromEnvForTesting() {
+  g_env_cap.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace spade

@@ -1,0 +1,74 @@
+// Runtime SIMD dispatch tiers for the software graphics pipeline and the
+// exact-test kernels (ROADMAP item 1, techniques from "SIMD-ified R-tree
+// Query Processing and Optimization").
+//
+// Three tiers: kScalar (portable, the in-tree oracle every vectorized
+// kernel is differential-tested against), kSSE2 (x86-64 baseline, 2-wide
+// double / 4-wide u32 lanes), kAVX2 (4-wide double / 8-wide u32 lanes,
+// selected by CPUID at runtime). Every vectorized kernel keeps its scalar
+// twin compiled and dispatchable, so:
+//   * SPADE_FORCE_SCALAR=1 (env) or SpadeConfig::force_scalar pins the
+//     scalar tier for debugging and differential runs,
+//   * SPADE_SIMD=scalar|sse2|avx2 caps the tier (CI runs the full suite
+//     per tier),
+//   * sanitizer=thread builds always run scalar (vector stores to shared
+//     textures would be reported as races; the scalar twins go through
+//     std::atomic_ref).
+// Kernels must produce bit-identical outputs across tiers — integer math
+// is trivially exact, FP kernels use identical per-lane operation order
+// (no FMA contraction: AVX2 TUs are compiled without -mfma), and sign-of-
+// determinant predicates use a floating-point filter with a scalar
+// fallback on uncertainty. tests/simd_kernel_test.cc enforces this.
+#pragma once
+
+namespace spade {
+namespace simd {
+
+enum class Tier : int { kScalar = 0, kSSE2 = 1, kAVX2 = 2 };
+
+/// Best tier this build + CPU supports, ignoring env/config overrides.
+Tier DetectedTier();
+
+/// Tier kernels actually dispatch to: DetectedTier() capped by the
+/// SPADE_SIMD / SPADE_FORCE_SCALAR environment, SetMaxTier, and any
+/// active TierOverrideForTesting (innermost wins).
+Tier ActiveTier();
+
+/// "scalar", "sse2", "avx2".
+const char* TierName(Tier t);
+inline const char* ActiveTierName() { return TierName(ActiveTier()); }
+
+/// 32-bit lanes processed per vector op at a tier (1 / 4 / 8). The EXPLAIN
+/// ANALYZE `simd_lanes` span arg and spade_simd_lanes gauge report this.
+int TierLanes32(Tier t);
+inline int ActiveLanes32() { return TierLanes32(ActiveTier()); }
+
+/// True when the environment requested the scalar tier
+/// (SPADE_FORCE_SCALAR set to anything but "0"/"", or SPADE_SIMD=scalar).
+bool ForcedScalarByEnv();
+
+/// Process-wide cap below the detected tier (SpadeConfig::force_scalar
+/// funnels through here). Raising the cap back up is allowed but never
+/// above DetectedTier().
+void SetMaxTier(Tier t);
+
+/// \brief RAII pin of ActiveTier() to an exact tier (clamped to
+/// DetectedTier()); restores the previous pin on destruction. The
+/// differential tests run every kernel once per available tier with this.
+class TierOverrideForTesting {
+ public:
+  explicit TierOverrideForTesting(Tier t);
+  ~TierOverrideForTesting();
+  TierOverrideForTesting(const TierOverrideForTesting&) = delete;
+  TierOverrideForTesting& operator=(const TierOverrideForTesting&) = delete;
+
+ private:
+  int previous_;  ///< previous override (-1 = none)
+};
+
+/// Re-read SPADE_FORCE_SCALAR / SPADE_SIMD (tests setenv() then call this;
+/// normal code never needs it — the env is read once, lazily).
+void ReinitFromEnvForTesting();
+
+}  // namespace simd
+}  // namespace spade

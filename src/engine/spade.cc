@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "engine/exec.h"
 #include "engine/optimizer.h"
@@ -69,6 +70,7 @@ Result<std::vector<std::shared_ptr<const PreparedCell>>> PlanCellPasses(
 SpadeEngine::SpadeEngine(SpadeConfig config)
     : config_(config), device_(config.gpu_threads) {
   device_.set_memory_budget(config.device_memory_budget);
+  if (config_.force_scalar) simd::SetMaxTier(simd::Tier::kScalar);
 }
 
 Viewport SpadeEngine::MakeViewport(const Box& box) const {

@@ -1,0 +1,62 @@
+// Scalar twins and tier dispatch for the batch predicates; the AVX2 lanes
+// live in predicates_batch_avx2.cc. The SSE2 tier runs the scalar twins:
+// with only two double lanes there is no profitable layout for the
+// three-determinant triangle test, and keeping the FP kernels to exactly
+// two implementations (scalar oracle + AVX2) keeps the differential-test
+// matrix honest.
+#include "geom/predicates_batch.h"
+
+#include "common/simd.h"
+#include "geom/predicates.h"
+
+namespace spade {
+
+namespace {
+
+void PointInTrianglesScalar(const double* ax, const double* ay,
+                            const double* bx, const double* by,
+                            const double* cx, const double* cy, size_t n,
+                            const Vec2& p, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = PointInTriangle({ax[i], ay[i]}, {bx[i], by[i]}, {cx[i], cy[i]}, p)
+                 ? 1
+                 : 0;
+  }
+}
+
+void PointSegmentDistancesScalar(const Vec2& p, const double* ax,
+                                 const double* ay, const double* bx,
+                                 const double* by, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = PointSegmentDistance(p, {ax[i], ay[i]}, {bx[i], by[i]});
+  }
+}
+
+}  // namespace
+
+void PointInTrianglesBatch(const double* ax, const double* ay,
+                           const double* bx, const double* by,
+                           const double* cx, const double* cy, size_t n,
+                           const Vec2& p, uint8_t* out) {
+  if (simd::ActiveTier() == simd::Tier::kAVX2) {
+    if (auto* fn = geom_simd_detail::Avx2PointInTriangles()) {
+      fn(ax, ay, bx, by, cx, cy, n, p, out);
+      return;
+    }
+  }
+  PointInTrianglesScalar(ax, ay, bx, by, cx, cy, n, p, out);
+}
+
+void PointSegmentDistancesBatch(const Vec2& p, const double* ax,
+                                const double* ay, const double* bx,
+                                const double* by, size_t n, double* out) {
+  if (simd::ActiveTier() == simd::Tier::kAVX2) {
+    if (auto* fn = geom_simd_detail::Avx2PointSegmentDistances()) {
+      fn(p, ax, ay, bx, by, n, out);
+      return;
+    }
+  }
+  PointSegmentDistancesScalar(p, ax, ay, bx, by, n, out);
+}
+
+}  // namespace spade

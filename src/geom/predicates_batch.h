@@ -1,0 +1,49 @@
+// Lane-parallel batch forms of the exact tests the boundary index runs per
+// boundary pixel (ROADMAP item 1): point-in-triangle and point-to-segment
+// distance over structure-of-arrays coordinate batches.
+//
+// Both are bit-identical to their scalar predicates at every dispatch tier
+// (common/simd.h). PointSegmentDistancesBatch performs the exact per-lane
+// operation sequence of PointSegmentDistance (no FMA contraction).
+// PointInTrianglesBatch evaluates the three orientation determinants in
+// double with a Shewchuk-style floating-point error filter; any lane whose
+// determinant signs the filter cannot certify falls back to the scalar
+// long-double PointInTriangle, so the batch answer always equals the scalar
+// one. tests/simd_kernel_test.cc differential-tests both over adversarial
+// (near-degenerate, denormal, huge) inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/vec2.h"
+
+namespace spade {
+
+/// out[i] = PointInTriangle({ax[i],ay[i]}, {bx[i],by[i]}, {cx[i],cy[i]}, p)
+/// for i in [0, n), as 0/1 bytes.
+void PointInTrianglesBatch(const double* ax, const double* ay,
+                           const double* bx, const double* by,
+                           const double* cx, const double* cy, size_t n,
+                           const Vec2& p, uint8_t* out);
+
+/// out[i] = PointSegmentDistance(p, {ax[i],ay[i]}, {bx[i],by[i]}) for i in
+/// [0, n), bit-identical to the scalar predicate.
+void PointSegmentDistancesBatch(const Vec2& p, const double* ax,
+                                const double* ay, const double* bx,
+                                const double* by, size_t n, double* out);
+
+namespace geom_simd_detail {
+using PointInTrianglesFn = void (*)(const double*, const double*,
+                                    const double*, const double*,
+                                    const double*, const double*, size_t,
+                                    const Vec2&, uint8_t*);
+using PointSegmentDistancesFn = void (*)(const Vec2&, const double*,
+                                         const double*, const double*,
+                                         const double*, size_t, double*);
+/// Defined in predicates_batch_avx2.cc; null when the build lacks -mavx2.
+PointInTrianglesFn Avx2PointInTriangles();
+PointSegmentDistancesFn Avx2PointSegmentDistances();
+}  // namespace geom_simd_detail
+
+}  // namespace spade

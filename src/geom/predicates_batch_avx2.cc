@@ -1,0 +1,180 @@
+// AVX2 lanes for the batch predicates: 4 triangles / 4 segments per vector,
+// one query point broadcast across lanes. Compiled with -mavx2 and
+// deliberately without -mfma (contraction would change rounding and break
+// bit-identity with the scalar predicates).
+//
+// Point-in-triangle runs the three orientation determinants in double
+// behind a Shewchuk-style floating-point filter. A determinant sign is
+// certain when |det| > ccwerrboundA * (|detleft| + |detright|) and the
+// magnitudes sit safely inside the normal range (no overflow to infinity,
+// no underflow past what the error analysis covers); every other lane falls
+// back to the scalar long-double predicate, which is the repo's oracle.
+#include "geom/predicates_batch.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace spade {
+namespace geom_simd_detail {
+namespace {
+
+constexpr double kEps = 1.1102230246251565e-16;  // 2^-53
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEps) * kEps;
+// Magnitude window where the filter's analysis holds: products stay normal
+// (no underflow denormal loss) and sums stay finite.
+constexpr double kMagMin = 1e-292;
+constexpr double kMagMax = 1e300;
+
+inline __m256d Abs(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+/// Determinant of one orientation test for 4 lanes: sign masks for
+/// det < 0 / det > 0 and a "sign is certain" mask.
+struct OrientLanes {
+  __m256d neg;
+  __m256d pos;
+  __m256d certain;
+};
+
+inline OrientLanes OrientFiltered(__m256d ux, __m256d uy, __m256d vx,
+                                  __m256d vy, __m256d px, __m256d py) {
+  const __m256d acx = _mm256_sub_pd(ux, px);
+  const __m256d bcx = _mm256_sub_pd(vx, px);
+  const __m256d acy = _mm256_sub_pd(uy, py);
+  const __m256d bcy = _mm256_sub_pd(vy, py);
+  const __m256d detl = _mm256_mul_pd(acx, bcy);
+  const __m256d detr = _mm256_mul_pd(acy, bcx);
+  const __m256d det = _mm256_sub_pd(detl, detr);
+  const __m256d mag = _mm256_add_pd(Abs(detl), Abs(detr));
+  const __m256d err = _mm256_mul_pd(_mm256_set1_pd(kCcwErrBoundA), mag);
+  const __m256d zero = _mm256_setzero_pd();
+  OrientLanes r;
+  r.certain = _mm256_and_pd(
+      _mm256_cmp_pd(Abs(det), err, _CMP_GT_OQ),
+      _mm256_and_pd(_mm256_cmp_pd(mag, _mm256_set1_pd(kMagMin), _CMP_GT_OQ),
+                    _mm256_cmp_pd(mag, _mm256_set1_pd(kMagMax), _CMP_LT_OQ)));
+  r.neg = _mm256_cmp_pd(det, zero, _CMP_LT_OQ);
+  r.pos = _mm256_cmp_pd(det, zero, _CMP_GT_OQ);
+  return r;
+}
+
+void PointInTrianglesAvx2(const double* ax, const double* ay,
+                          const double* bx, const double* by,
+                          const double* cx, const double* cy, size_t n,
+                          const Vec2& p, uint8_t* out) {
+  const __m256d px = _mm256_set1_pd(p.x);
+  const __m256d py = _mm256_set1_pd(p.y);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vax = _mm256_loadu_pd(ax + i);
+    const __m256d vay = _mm256_loadu_pd(ay + i);
+    const __m256d vbx = _mm256_loadu_pd(bx + i);
+    const __m256d vby = _mm256_loadu_pd(by + i);
+    const __m256d vcx = _mm256_loadu_pd(cx + i);
+    const __m256d vcy = _mm256_loadu_pd(cy + i);
+    const OrientLanes d1 = OrientFiltered(vax, vay, vbx, vby, px, py);
+    const OrientLanes d2 = OrientFiltered(vbx, vby, vcx, vcy, px, py);
+    const OrientLanes d3 = OrientFiltered(vcx, vcy, vax, vay, px, py);
+    const __m256d certain =
+        _mm256_and_pd(d1.certain, _mm256_and_pd(d2.certain, d3.certain));
+    const __m256d has_neg =
+        _mm256_or_pd(d1.neg, _mm256_or_pd(d2.neg, d3.neg));
+    const __m256d has_pos =
+        _mm256_or_pd(d1.pos, _mm256_or_pd(d2.pos, d3.pos));
+    const int straddle = _mm256_movemask_pd(_mm256_and_pd(has_neg, has_pos));
+    const int ok = _mm256_movemask_pd(certain);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (ok & (1 << lane)) {
+        out[i + lane] = (straddle & (1 << lane)) ? 0 : 1;
+      } else {
+        out[i + lane] =
+            PointInTriangle({ax[i + lane], ay[i + lane]},
+                            {bx[i + lane], by[i + lane]},
+                            {cx[i + lane], cy[i + lane]}, p)
+                ? 1
+                : 0;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = PointInTriangle({ax[i], ay[i]}, {bx[i], by[i]}, {cx[i], cy[i]}, p)
+                 ? 1
+                 : 0;
+  }
+}
+
+void PointSegmentDistancesAvx2(const Vec2& p, const double* ax,
+                               const double* ay, const double* bx,
+                               const double* by, size_t n, double* out) {
+  const __m256d px = _mm256_set1_pd(p.x);
+  const __m256d py = _mm256_set1_pd(p.y);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vax = _mm256_loadu_pd(ax + i);
+    const __m256d vay = _mm256_loadu_pd(ay + i);
+    const __m256d vbx = _mm256_loadu_pd(bx + i);
+    const __m256d vby = _mm256_loadu_pd(by + i);
+    // Exact operation order of the scalar PointSegmentDistance.
+    const __m256d abx = _mm256_sub_pd(vbx, vax);
+    const __m256d aby = _mm256_sub_pd(vby, vay);
+    const __m256d len2 = _mm256_add_pd(_mm256_mul_pd(abx, abx),
+                                       _mm256_mul_pd(aby, aby));
+    const __m256d pax = _mm256_sub_pd(px, vax);
+    const __m256d pay = _mm256_sub_pd(py, vay);
+    const __m256d dot = _mm256_add_pd(_mm256_mul_pd(pax, abx),
+                                      _mm256_mul_pd(pay, aby));
+    // std::clamp(t, 0, 1) semantics, including NaN propagation: max/min
+    // with the constant as the first source returns the second (t-derived)
+    // operand on NaN, matching the scalar comparisons.
+    const __m256d t = _mm256_min_pd(
+        one, _mm256_max_pd(zero, _mm256_div_pd(dot, len2)));
+    const __m256d qx = _mm256_add_pd(vax, _mm256_mul_pd(abx, t));
+    const __m256d qy = _mm256_add_pd(vay, _mm256_mul_pd(aby, t));
+    const __m256d dx = _mm256_sub_pd(px, qx);
+    const __m256d dy = _mm256_sub_pd(py, qy);
+    __m256d result = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    // Degenerate segments (len2 == 0): distance to the endpoint a. The
+    // second sqrt only runs when such a lane exists (rare), and the blend
+    // leaves non-degenerate lanes untouched, so outputs are unchanged.
+    const __m256d degen = _mm256_cmp_pd(len2, zero, _CMP_EQ_OQ);
+    if (_mm256_movemask_pd(degen) != 0) {
+      const __m256d dpt = _mm256_sqrt_pd(
+          _mm256_add_pd(_mm256_mul_pd(pax, pax), _mm256_mul_pd(pay, pay)));
+      result = _mm256_blendv_pd(result, dpt, degen);
+    }
+    _mm256_storeu_pd(out + i, result);
+  }
+  for (; i < n; ++i) {
+    out[i] = PointSegmentDistance(p, {ax[i], ay[i]}, {bx[i], by[i]});
+  }
+}
+
+}  // namespace
+
+PointInTrianglesFn Avx2PointInTriangles() { return PointInTrianglesAvx2; }
+PointSegmentDistancesFn Avx2PointSegmentDistances() {
+  return PointSegmentDistancesAvx2;
+}
+
+}  // namespace geom_simd_detail
+}  // namespace spade
+
+#else  // !__AVX2__
+
+namespace spade {
+namespace geom_simd_detail {
+PointInTrianglesFn Avx2PointInTriangles() { return nullptr; }
+PointSegmentDistancesFn Avx2PointSegmentDistances() { return nullptr; }
+}  // namespace geom_simd_detail
+}  // namespace spade
+
+#endif  // __AVX2__

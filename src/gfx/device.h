@@ -13,6 +13,7 @@
 #include "common/cancel.h"
 #include "common/config.h"
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -106,6 +107,7 @@ class GfxDevice {
     fragments_.fetch_add(frags, std::memory_order_relaxed);
     span.AddArg("primitives", static_cast<int64_t>(n));
     span.AddArg("fragments", frags);
+    span.AddArg("simd_lanes", static_cast<int64_t>(simd::ActiveLanes32()));
   }
 
  private:

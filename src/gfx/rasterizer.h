@@ -10,6 +10,7 @@
 
 #include "geom/predicates.h"
 #include "geom/vec2.h"
+#include "gfx/simd_kernels.h"
 #include "gfx/viewport.h"
 
 namespace spade {
@@ -114,21 +115,40 @@ size_t RasterizeSegmentConservative(const Viewport& vp, const Vec2& wa,
     ++count;
   };
 
-  const int x0 = std::clamp(static_cast<int>(std::floor(a.x)), 0, vp.width() - 1);
-  const int x1 = std::clamp(static_cast<int>(std::floor(b.x)), 0, vp.width() - 1);
+  // Rows of the closed span [ylo, yhi]. A span bottoming out exactly on a
+  // pixel-grid line also touches the closed square of the row below — the
+  // same on-grid-line rule RasterizeTriangle applies to band extents; until
+  // this audit the slab walk missed that row (and the analogous column),
+  // dropping corner-touching pixels for grid-aligned (snapped) segments.
+  auto emit_rows = [&](int cx, double ylo, double yhi) {
+    int r0 = static_cast<int>(std::floor(ylo));
+    if (ylo == r0) --r0;
+    r0 = std::clamp(r0, 0, vp.height() - 1);
+    const int r1 =
+        std::clamp(static_cast<int>(std::floor(yhi)), 0, vp.height() - 1);
+    for (int y = r0; y <= r1; ++y) emit_clamped(cx, y);
+  };
 
   if (a.x == b.x) {
-    // Vertical (or degenerate) segment: one column.
+    // Vertical (or degenerate) segment. On a pixel-grid line it touches the
+    // closed squares of both adjacent columns.
     const double ylo = std::min(a.y, b.y), yhi = std::max(a.y, b.y);
-    const int r0 = std::clamp(static_cast<int>(std::floor(ylo)), 0, vp.height() - 1);
-    const int r1 = std::clamp(static_cast<int>(std::floor(yhi)), 0, vp.height() - 1);
-    for (int y = r0; y <= r1; ++y) emit_clamped(x0, y);
+    const int xv = static_cast<int>(std::floor(a.x));
+    const int c0 = std::clamp(a.x == xv ? xv - 1 : xv, 0, vp.width() - 1);
+    const int c1 = std::clamp(xv, 0, vp.width() - 1);
+    for (int cx = c0; cx <= c1; ++cx) emit_rows(cx, ylo, yhi);
     return count;
   }
 
   // Column-slab walk: for each pixel column the segment crosses, emit the
   // rows spanned by the segment within that column. A pixel is emitted iff
-  // the segment touches its closed square, i.e. exactly conservative.
+  // the segment touches its closed square, i.e. exactly conservative. A
+  // segment starting exactly on a vertical grid line also touches the
+  // column to its left (closed-square rule on x).
+  int x0 = static_cast<int>(std::floor(a.x));
+  if (a.x == x0) --x0;
+  x0 = std::clamp(x0, 0, vp.width() - 1);
+  const int x1 = std::clamp(static_cast<int>(std::floor(b.x)), 0, vp.width() - 1);
   const double inv_dx = 1.0 / (b.x - a.x);
   for (int cx = x0; cx <= x1; ++cx) {
     const double sx0 = std::max(a.x, static_cast<double>(cx));
@@ -137,10 +157,7 @@ size_t RasterizeSegmentConservative(const Viewport& vp, const Vec2& wa,
     const double t1 = (sx1 - a.x) * inv_dx;
     const double ya = a.y + t0 * (b.y - a.y);
     const double yb = a.y + t1 * (b.y - a.y);
-    const double ylo = std::min(ya, yb), yhi = std::max(ya, yb);
-    const int r0 = std::clamp(static_cast<int>(std::floor(ylo)), 0, vp.height() - 1);
-    const int r1 = std::clamp(static_cast<int>(std::floor(yhi)), 0, vp.height() - 1);
-    for (int y = r0; y <= r1; ++y) emit_clamped(cx, y);
+    emit_rows(cx, std::min(ya, yb), std::max(ya, yb));
   }
   return count;
 }
@@ -180,23 +197,26 @@ inline bool TriangleBandXRange(const Vec2& a, const Vec2& b, const Vec2& c,
 
 }  // namespace gfx_internal
 
-/// Rasterize a triangle. In default mode a fragment is emitted when the
-/// pixel center lies inside the triangle; in conservative mode when the
-/// pixel square is touched at all. Scanline implementation: per pixel row,
-/// the triangle's x-extent within the row (a band for conservative mode, a
-/// center line for default mode) is computed analytically, so the cost is
-/// O(rows + emitted fragments). Returns fragments emitted.
-template <typename Emit>
-size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
-                         const Vec2& wc, bool conservative, Emit&& emit) {
+/// Rasterize a triangle into row spans. In default mode a span covers the
+/// pixels whose center lies inside the triangle; in conservative mode the
+/// pixels whose square is touched at all. Scanline implementation: per
+/// pixel row, the triangle's x-extent within the row (a band for
+/// conservative mode, a center line for default mode) is computed
+/// analytically — lane-parallel over the three edges on the AVX2 tier — so
+/// the cost is O(rows + emitted fragments). emit_span(y, px0, px1) receives
+/// each non-empty closed pixel range; fragment counts are the summed span
+/// lengths, identical to per-pixel emission. Returns fragments emitted.
+template <typename EmitSpan>
+size_t RasterizeTriangleSpans(const Viewport& vp, const Vec2& wa,
+                              const Vec2& wb, const Vec2& wc,
+                              bool conservative, EmitSpan&& emit_span) {
   // Work in continuous pixel coordinates.
-  const Vec2 a = vp.ToPixelFSnapped(wa);
-  const Vec2 b = vp.ToPixelFSnapped(wb);
-  const Vec2 c = vp.ToPixelFSnapped(wc);
+  const Vec2 v[3] = {vp.ToPixelFSnapped(wa), vp.ToPixelFSnapped(wb),
+                     vp.ToPixelFSnapped(wc)};
   Box bbox;
-  bbox.Extend(a);
-  bbox.Extend(b);
-  bbox.Extend(c);
+  bbox.Extend(v[0]);
+  bbox.Extend(v[1]);
+  bbox.Extend(v[2]);
   int y0 = static_cast<int>(std::floor(bbox.min.y));
   // A triangle starting exactly on a pixel-grid line also touches the
   // closed square of the row below (conservative semantics); without this
@@ -206,37 +226,42 @@ size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
   y0 = std::max(0, y0);
   const int y1 =
       std::min(vp.height() - 1, static_cast<int>(std::floor(bbox.max.y)));
+  const auto& kernels = gfx_simd::Active();
   size_t count = 0;
   for (int y = y0; y <= y1; ++y) {
     double xmin, xmax;
     int px0, px1;
     if (conservative) {
-      if (!gfx_internal::TriangleBandXRange(a, b, c, y, y + 1.0, &xmin,
-                                            &xmax)) {
-        continue;
-      }
+      if (!kernels.band_x_range(v, y, y + 1.0, &xmin, &xmax)) continue;
       px0 = static_cast<int>(std::floor(xmin));
       // Same closed-square rule on x: an extent starting exactly on a
       // pixel-grid line touches the column to its left too.
       if (xmin == px0) --px0;
       px1 = static_cast<int>(std::floor(xmax));
     } else {
-      if (!gfx_internal::TriangleBandXRange(a, b, c, y + 0.5, y + 0.5, &xmin,
-                                            &xmax)) {
-        continue;
-      }
+      if (!kernels.band_x_range(v, y + 0.5, y + 0.5, &xmin, &xmax)) continue;
       // Pixel centers x+0.5 within [xmin, xmax].
       px0 = static_cast<int>(std::ceil(xmin - 0.5));
       px1 = static_cast<int>(std::floor(xmax - 0.5));
     }
     px0 = std::max(px0, 0);
     px1 = std::min(px1, vp.width() - 1);
-    for (int x = px0; x <= px1; ++x) {
-      emit(x, y);
-      ++count;
-    }
+    if (px0 > px1) continue;
+    emit_span(y, px0, px1);
+    count += static_cast<size_t>(px1 - px0 + 1);
   }
   return count;
+}
+
+/// Per-pixel wrapper over RasterizeTriangleSpans (same semantics and
+/// fragment counts). Returns fragments emitted.
+template <typename Emit>
+size_t RasterizeTriangle(const Viewport& vp, const Vec2& wa, const Vec2& wb,
+                         const Vec2& wc, bool conservative, Emit&& emit) {
+  return RasterizeTriangleSpans(vp, wa, wb, wc, conservative,
+                                [&](int y, int px0, int px1) {
+                                  for (int x = px0; x <= px1; ++x) emit(x, y);
+                                });
 }
 
 /// Rasterize an axis-aligned world rectangle (used for rectangular range

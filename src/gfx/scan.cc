@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/cancel.h"
+#include "gfx/simd_kernels.h"
 #include "obs/trace.h"
 
 namespace spade {
@@ -20,7 +21,9 @@ bool ScanCancelled(CancelToken* cancel) {
 // Chunk the input so each worker scans a contiguous block; phase 1 computes
 // per-chunk sums, a serial pass scans the (tiny) chunk-sum array, phase 2
 // rewrites each chunk with its base offset — the classic work-efficient
-// GPU scan layout.
+// GPU scan layout. The per-chunk inner loops run through the active SIMD
+// tier's kernels (gfx_simd); all of them are integer math, so every tier
+// produces bit-identical output.
 struct ChunkPlan {
   size_t chunk_size;
   size_t num_chunks;
@@ -33,6 +36,46 @@ ChunkPlan PlanChunks(size_t n, size_t workers) {
   return plan;
 }
 
+std::vector<uint32_t> CompactNonNullSpan(const uint32_t* in, size_t n,
+                                         ThreadPool* pool) {
+  SPADE_TRACE_SPAN("gfx.scan");
+  if (n == 0) return {};
+  const ChunkPlan plan = PlanChunks(n, pool->num_threads());
+  CancelToken* cancel = CancelScope::Current();
+  const auto& kernels = gfx_simd::Active();
+
+  std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      chunk_counts[c] = kernels.count_neq_u32(in + lo, hi - lo, kTexNull);
+    }
+  });
+
+  uint64_t total = 0;
+  std::vector<uint64_t> chunk_base(plan.num_chunks, 0);
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    chunk_base[c] = total;
+    total += chunk_counts[c];
+  }
+
+  std::vector<uint32_t> out(total);
+  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
+    if (ScanCancelled(cancel)) return;
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t lo = c * plan.chunk_size;
+      const size_t hi = std::min(n, lo + plan.chunk_size);
+      // Each chunk's exact output count is known, so the vector compaction
+      // can overstore safely inside its own region only.
+      kernels.compact_neq_u32(in + lo, hi - lo, kTexNull,
+                              out.data() + chunk_base[c], chunk_counts[c]);
+    }
+  });
+  return out;
+}
+
 }  // namespace
 
 std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
@@ -43,6 +86,7 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
   if (n == 0) return out;
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
   CancelToken* cancel = CancelScope::Current();
+  const auto& kernels = gfx_simd::Active();
 
   std::vector<uint64_t> chunk_sums(plan.num_chunks, 0);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
@@ -50,12 +94,8 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
-      uint64_t sum = 0;
-      for (size_t i = lo; i < hi; ++i) {
-        out[i] = sum;  // local exclusive prefix
-        sum += in[i];
-      }
-      chunk_sums[c] = sum;
+      chunk_sums[c] =
+          kernels.exclusive_prefix_u32(in.data() + lo, out.data() + lo, hi - lo);
     }
   });
 
@@ -73,7 +113,7 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
-      for (size_t i = lo; i < hi; ++i) out[i] += chunk_base[c];
+      kernels.add_u64(out.data() + lo, hi - lo, chunk_base[c]);
     }
   });
   return out;
@@ -81,44 +121,7 @@ std::vector<uint64_t> ParallelExclusiveScan(const std::vector<uint32_t>& in,
 
 std::vector<uint32_t> CompactNonNull(const std::vector<uint32_t>& in,
                                      ThreadPool* pool) {
-  SPADE_TRACE_SPAN("gfx.scan");
-  const size_t n = in.size();
-  if (n == 0) return {};
-  const ChunkPlan plan = PlanChunks(n, pool->num_threads());
-  CancelToken* cancel = CancelScope::Current();
-
-  std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
-  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
-    if (ScanCancelled(cancel)) return;
-    for (size_t c = cb; c < ce; ++c) {
-      const size_t lo = c * plan.chunk_size;
-      const size_t hi = std::min(n, lo + plan.chunk_size);
-      uint64_t count = 0;
-      for (size_t i = lo; i < hi; ++i) count += (in[i] != kTexNull);
-      chunk_counts[c] = count;
-    }
-  });
-
-  uint64_t total = 0;
-  std::vector<uint64_t> chunk_base(plan.num_chunks, 0);
-  for (size_t c = 0; c < plan.num_chunks; ++c) {
-    chunk_base[c] = total;
-    total += chunk_counts[c];
-  }
-
-  std::vector<uint32_t> out(total);
-  pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
-    if (ScanCancelled(cancel)) return;
-    for (size_t c = cb; c < ce; ++c) {
-      const size_t lo = c * plan.chunk_size;
-      const size_t hi = std::min(n, lo + plan.chunk_size);
-      size_t w = chunk_base[c];
-      for (size_t i = lo; i < hi; ++i) {
-        if (in[i] != kTexNull) out[w++] = in[i];
-      }
-    }
-  });
-  return out;
+  return CompactNonNullSpan(in.data(), in.size(), pool);
 }
 
 std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
@@ -128,6 +131,7 @@ std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
   if (n == 0) return {};
   const ChunkPlan plan = PlanChunks(n, pool->num_threads());
   CancelToken* cancel = CancelScope::Current();
+  const auto& kernels = gfx_simd::Active();
 
   std::vector<uint64_t> chunk_counts(plan.num_chunks, 0);
   pool->ParallelFor(plan.num_chunks, [&](size_t cb, size_t ce) {
@@ -135,9 +139,8 @@ std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
     for (size_t c = cb; c < ce; ++c) {
       const size_t lo = c * plan.chunk_size;
       const size_t hi = std::min(n, lo + plan.chunk_size);
-      uint64_t count = 0;
-      for (size_t i = lo; i < hi; ++i) count += (in[i] != kTexNull64);
-      chunk_counts[c] = count;
+      chunk_counts[c] =
+          kernels.count_neq_u64(in.data() + lo, hi - lo, kTexNull64);
     }
   });
 
@@ -165,16 +168,10 @@ std::vector<uint64_t> CompactNonNull64(const std::vector<uint64_t>& in,
 
 std::vector<uint32_t> CompactTextureChannel(const Texture& tex, int channel,
                                             ThreadPool* pool) {
+  // Planar texture layout: the channel is one contiguous plane, so the
+  // compaction streams it directly — no per-pixel Get() copy pass.
   const size_t pixels = static_cast<size_t>(tex.width()) * tex.height();
-  std::vector<uint32_t> values(pixels);
-  pool->ParallelFor(pixels, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const int x = static_cast<int>(i % tex.width());
-      const int y = static_cast<int>(i / tex.width());
-      values[i] = tex.Get(x, y, channel);
-    }
-  });
-  return CompactNonNull(values, pool);
+  return CompactNonNullSpan(tex.Plane(channel), pixels, pool);
 }
 
 }  // namespace spade

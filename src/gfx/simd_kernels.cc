@@ -1,0 +1,212 @@
+// Scalar and SSE2 kernel tables plus tier selection. The AVX2 table lives
+// in simd_kernels_avx2.cc (compiled with -mavx2 when available).
+//
+// SSE2 is the x86-64 baseline, so its kernels are guarded only by __SSE2__
+// and need no special compile flags. The SSE2 tier vectorizes the 32/64-bit
+// integer kernels (4-wide u32 / 2-wide u64); the floating-point band kernel
+// stays scalar at that tier — only AVX2 has enough double lanes (4) to hold
+// all three triangle edges. Stream compaction needs pshufb (SSSE3), so the
+// SSE2 table keeps the scalar compaction twins too.
+#include "gfx/simd_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "gfx/rasterizer.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace spade {
+namespace gfx_simd {
+
+namespace {
+
+// --- scalar twins (the differential-test oracles) --------------------------
+
+void FillU32Scalar(uint32_t* dst, size_t n, uint32_t value) {
+  for (size_t i = 0; i < n; ++i) {
+    std::atomic_ref<uint32_t>(dst[i]).store(value, std::memory_order_relaxed);
+  }
+}
+
+uint64_t ExclusivePrefixU32Scalar(const uint32_t* in, uint64_t* out,
+                                  size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = sum;
+    sum += in[i];
+  }
+  return sum;
+}
+
+void AddU64Scalar(uint64_t* dst, size_t n, uint64_t base) {
+  for (size_t i = 0; i < n; ++i) dst[i] += base;
+}
+
+uint64_t CountNeqU32Scalar(const uint32_t* src, size_t n, uint32_t sentinel) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (src[i] != sentinel);
+  return count;
+}
+
+uint64_t CountNeqU64Scalar(const uint64_t* src, size_t n, uint64_t sentinel) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += (src[i] != sentinel);
+  return count;
+}
+
+size_t CompactNeqU32Scalar(const uint32_t* src, size_t n, uint32_t sentinel,
+                           uint32_t* out, size_t /*out_capacity*/) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (src[i] != sentinel) out[w++] = src[i];
+  }
+  return w;
+}
+
+size_t IndicesNeqU32Scalar(const uint32_t* src, size_t n, uint32_t sentinel,
+                           uint32_t base, uint32_t* out,
+                           size_t /*out_capacity*/) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (src[i] != sentinel) out[w++] = base + static_cast<uint32_t>(i);
+  }
+  return w;
+}
+
+bool BandXRangeScalar(const Vec2* v, double ylo, double yhi, double* xmin,
+                      double* xmax) {
+  return gfx_internal::TriangleBandXRange(v[0], v[1], v[2], ylo, yhi, xmin,
+                                          xmax);
+}
+
+constexpr Kernels kScalarKernels = {
+    FillU32Scalar,       ExclusivePrefixU32Scalar, AddU64Scalar,
+    CountNeqU32Scalar,   CountNeqU64Scalar,        CompactNeqU32Scalar,
+    IndicesNeqU32Scalar, BandXRangeScalar,
+};
+
+// --- SSE2 ------------------------------------------------------------------
+
+#if defined(__SSE2__)
+
+void FillU32Sse2(uint32_t* dst, size_t n, uint32_t value) {
+  const __m128i v = _mm_set1_epi32(static_cast<int>(value));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = value;
+}
+
+uint64_t ExclusivePrefixU32Sse2(const uint32_t* in, uint64_t* out, size_t n) {
+  uint64_t run = 0;
+  size_t i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 2 <= n; i += 2) {
+    // Widen 2 x u32 -> 2 x u64 lanes, in-register inclusive prefix, then
+    // exclusive = inclusive - v. Unsigned wraparound math: exact at any
+    // association, so bit-identical to the scalar twin.
+    const __m128i v32 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i v = _mm_unpacklo_epi32(v32, zero);
+    const __m128i incl = _mm_add_epi64(v, _mm_slli_si128(v, 8));
+    const __m128i excl = _mm_sub_epi64(incl, v);
+    const __m128i res = _mm_add_epi64(excl, _mm_set1_epi64x(static_cast<long long>(run)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), res);
+    run += static_cast<uint64_t>(_mm_cvtsi128_si64(_mm_srli_si128(incl, 8)));
+  }
+  for (; i < n; ++i) {
+    out[i] = run;
+    run += in[i];
+  }
+  return run;
+}
+
+void AddU64Sse2(uint64_t* dst, size_t n, uint64_t base) {
+  const __m128i b = _mm_set1_epi64x(static_cast<long long>(base));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i* p = reinterpret_cast<__m128i*>(dst + i);
+    _mm_storeu_si128(p, _mm_add_epi64(_mm_loadu_si128(p), b));
+  }
+  for (; i < n; ++i) dst[i] += base;
+}
+
+uint64_t CountNeqU32Sse2(const uint32_t* src, size_t n, uint32_t sentinel) {
+  const __m128i s = _mm_set1_epi32(static_cast<int>(sentinel));
+  uint64_t neq = 0;
+  size_t i = 0;
+  while (i + 4 <= n) {
+    // Accumulate equality hits in 32-bit lanes (cmpeq yields -1), flushing
+    // well before any lane could overflow.
+    const size_t block = std::min((n - i) / 4, size_t{1} << 20) * 4;
+    __m128i acc = _mm_setzero_si128();
+    for (const size_t end = i + block; i < end; i += 4) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      acc = _mm_sub_epi32(acc, _mm_cmpeq_epi32(v, s));
+    }
+    alignas(16) uint32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    const uint64_t eq =
+        static_cast<uint64_t>(lanes[0]) + lanes[1] + lanes[2] + lanes[3];
+    neq += block - eq;
+  }
+  for (; i < n; ++i) neq += (src[i] != sentinel);
+  return neq;
+}
+
+uint64_t CountNeqU64Sse2(const uint64_t* src, size_t n, uint64_t sentinel) {
+  const __m128i s = _mm_set1_epi64x(static_cast<long long>(sentinel));
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // SSE2 has no cmpeq_epi64: compare the two 32-bit halves and AND the
+    // per-half results (equal iff both halves equal).
+    const __m128i eq32 = _mm_cmpeq_epi32(v, s);
+    const __m128i eq64 =
+        _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    acc = _mm_sub_epi64(acc, eq64);  // eq64 lanes are 0 or -1 per u64
+  }
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  uint64_t neq = i - (lanes[0] + lanes[1]);
+  for (; i < n; ++i) neq += (src[i] != sentinel);
+  return neq;
+}
+
+constexpr Kernels kSse2Kernels = {
+    FillU32Sse2,         ExclusivePrefixU32Sse2, AddU64Sse2,
+    CountNeqU32Sse2,     CountNeqU64Sse2,        CompactNeqU32Scalar,
+    IndicesNeqU32Scalar, BandXRangeScalar,
+};
+
+#endif  // __SSE2__
+
+}  // namespace
+
+const Kernels& KernelsForTier(simd::Tier t) {
+  switch (t) {
+    case simd::Tier::kAVX2: {
+      const Kernels* avx2 = detail::Avx2Kernels();
+      if (avx2 != nullptr) return *avx2;
+      [[fallthrough]];
+    }
+    case simd::Tier::kSSE2:
+#if defined(__SSE2__)
+      return kSse2Kernels;
+#else
+      return kScalarKernels;
+#endif
+    case simd::Tier::kScalar:
+      return kScalarKernels;
+  }
+  return kScalarKernels;
+}
+
+}  // namespace gfx_simd
+}  // namespace spade

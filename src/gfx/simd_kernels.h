@@ -1,0 +1,80 @@
+// Tier-dispatched kernels for the fragment hot path (ROADMAP item 1):
+// span fills (blending), the parallel scan / stream compaction inner loops,
+// canvas row scans, and the lane-parallel triangle band-extent ("edge
+// function") evaluation used by the scanline rasterizer.
+//
+// Every kernel has a scalar twin in the same table slot; the active table is
+// selected at runtime via simd::ActiveTier() (CPUID + env/config caps, see
+// common/simd.h). All kernels are bit-identical across tiers for finite
+// inputs: integer kernels by construction, band_x_range by performing the
+// exact per-lane operation sequence of the scalar TriangleBandXRange (no FMA
+// contraction; min/max reductions over doubles are order-independent up to
+// the sign of zero). tests/simd_kernel_test.cc differential-tests each slot
+// against the scalar twin over adversarial inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+#include "geom/vec2.h"
+
+namespace spade {
+namespace gfx_simd {
+
+struct Kernels {
+  /// Store `value` into dst[0..n). The scalar twin stores through
+  /// std::atomic_ref (relaxed) so TSan builds — which always dispatch the
+  /// scalar tier — see properly annotated same-value-class racy stamping;
+  /// the vector tiers use raw 32-bit stores (atomic per element on x86).
+  void (*fill_u32)(uint32_t* dst, size_t n, uint32_t value);
+
+  /// Local exclusive prefix sum: out[i] = sum(in[0..i)); returns sum(in).
+  uint64_t (*exclusive_prefix_u32)(const uint32_t* in, uint64_t* out,
+                                   size_t n);
+
+  /// dst[i] += base for i in [0, n).
+  void (*add_u64)(uint64_t* dst, size_t n, uint64_t base);
+
+  /// Number of elements != sentinel.
+  uint64_t (*count_neq_u32)(const uint32_t* src, size_t n, uint32_t sentinel);
+  uint64_t (*count_neq_u64)(const uint64_t* src, size_t n, uint64_t sentinel);
+
+  /// Order-preserving compaction of values != sentinel; returns the count.
+  /// `out_capacity` is the number of values the caller guarantees writable
+  /// at `out` (>= the final count); the vector tiers overstore whole
+  /// registers only while they stay inside that bound, so parallel chunks
+  /// compacting into adjacent regions never touch a neighbor's output.
+  size_t (*compact_neq_u32)(const uint32_t* src, size_t n, uint32_t sentinel,
+                            uint32_t* out, size_t out_capacity);
+
+  /// Writes base + i for every src[i] != sentinel (order-preserving);
+  /// returns the count. The canvas row-scan primitive: src is a row span of
+  /// a texture channel, base the span's first x coordinate. Same
+  /// out_capacity contract as compact_neq_u32.
+  size_t (*indices_neq_u32)(const uint32_t* src, size_t n, uint32_t sentinel,
+                            uint32_t base, uint32_t* out,
+                            size_t out_capacity);
+
+  /// X-extent of triangle {v[0],v[1],v[2]} within the closed horizontal
+  /// band [ylo, yhi]; false when disjoint. Semantically identical to
+  /// gfx_internal::TriangleBandXRange (the scalar twin calls it directly).
+  bool (*band_x_range)(const Vec2* v, double ylo, double yhi, double* xmin,
+                       double* xmax);
+};
+
+/// Kernel table for a tier (requesting a tier above the build's capability
+/// falls back to the best available table).
+const Kernels& KernelsForTier(simd::Tier t);
+
+/// Table for simd::ActiveTier(). Hot loops should fetch this once per pass,
+/// not per span.
+inline const Kernels& Active() { return KernelsForTier(simd::ActiveTier()); }
+
+namespace detail {
+/// Defined in simd_kernels_avx2.cc; null when the build lacks -mavx2.
+const Kernels* Avx2Kernels();
+}  // namespace detail
+
+}  // namespace gfx_simd
+}  // namespace spade

@@ -1,0 +1,307 @@
+// AVX2 kernel table: 8-wide u32 / 4-wide u64 integer kernels, pshufb-LUT
+// stream compaction, and the 4-wide-double triangle band-extent kernel (all
+// three triangle edges evaluated lane-parallel).
+//
+// This TU is compiled with -mavx2 (and deliberately without -mfma: FMA
+// contraction would change rounding and break bit-identity with the scalar
+// twins). When the toolchain lacks -mavx2 the file compiles to a null table
+// and runtime dispatch stops at SSE2.
+#include "gfx/simd_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spade {
+namespace gfx_simd {
+namespace {
+
+void FillU32Avx2(uint32_t* dst, size_t n, uint32_t value) {
+  const __m256i v = _mm256_set1_epi32(static_cast<int>(value));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = value;
+}
+
+/// Inclusive prefix of 4 u64 lanes: in-lane 64-bit shift plus one
+/// cross-lane broadcast. Unsigned math: exact at any association,
+/// bit-identical to scalar.
+inline __m256i InclusivePrefix4(__m256i v) {
+  __m256i incl = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+  const __m256i carry =
+      _mm256_permute4x64_epi64(incl, _MM_SHUFFLE(1, 1, 1, 1));
+  return _mm256_add_epi64(
+      incl, _mm256_blend_epi32(_mm256_setzero_si256(), carry, 0xF0));
+}
+
+inline __m256i BroadcastLane3(__m256i v) {
+  return _mm256_permute4x64_epi64(v, _MM_SHUFFLE(3, 3, 3, 3));
+}
+
+uint64_t ExclusivePrefixU32Avx2(const uint32_t* in, uint64_t* out, size_t n) {
+  // 8 elements per iteration keeps the loop-carried dependency to a single
+  // vector add of `vrun` — the per-half prefixes depend only on this
+  // iteration's load, so the serial chain is 1 cycle per 8 elements.
+  __m256i vrun = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v32));
+    const __m256i hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v32, 1));
+    const __m256i incl_lo = InclusivePrefix4(lo);
+    const __m256i incl_hi =
+        _mm256_add_epi64(InclusivePrefix4(hi), BroadcastLane3(incl_lo));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_add_epi64(_mm256_sub_epi64(incl_lo, lo), vrun));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i + 4),
+        _mm256_add_epi64(_mm256_sub_epi64(incl_hi, hi), vrun));
+    vrun = _mm256_add_epi64(vrun, BroadcastLane3(incl_hi));
+  }
+  uint64_t run = static_cast<uint64_t>(_mm256_extract_epi64(vrun, 0));
+  for (; i < n; ++i) {
+    out[i] = run;
+    run += in[i];
+  }
+  return run;
+}
+
+void AddU64Avx2(uint64_t* dst, size_t n, uint64_t base) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(base));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i* p = reinterpret_cast<__m256i*>(dst + i);
+    _mm256_storeu_si256(p, _mm256_add_epi64(_mm256_loadu_si256(p), b));
+  }
+  for (; i < n; ++i) dst[i] += base;
+}
+
+uint64_t CountNeqU32Avx2(const uint32_t* src, size_t n, uint32_t sentinel) {
+  const __m256i s = _mm256_set1_epi32(static_cast<int>(sentinel));
+  uint64_t neq = 0;
+  size_t i = 0;
+  while (i + 8 <= n) {
+    // 32-bit lane accumulators (cmpeq yields -1), flushed well before any
+    // lane could overflow.
+    const size_t block = std::min((n - i) / 8, size_t{1} << 20) * 8;
+    __m256i acc = _mm256_setzero_si256();
+    for (const size_t end = i + block; i < end; i += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      acc = _mm256_sub_epi32(acc, _mm256_cmpeq_epi32(v, s));
+    }
+    alignas(32) uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t eq = 0;
+    for (const uint32_t lane : lanes) eq += lane;
+    neq += block - eq;
+  }
+  for (; i < n; ++i) neq += (src[i] != sentinel);
+  return neq;
+}
+
+uint64_t CountNeqU64Avx2(const uint64_t* src, size_t n, uint64_t sentinel) {
+  const __m256i s = _mm256_set1_epi64x(static_cast<long long>(sentinel));
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_sub_epi64(acc, _mm256_cmpeq_epi64(v, s));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t neq = i - (lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) neq += (src[i] != sentinel);
+  return neq;
+}
+
+/// pshufb control bytes compacting the kept 32-bit lanes of a 128-bit
+/// vector, indexed by the 4-bit keep mask.
+struct CompactLut {
+  alignas(16) uint8_t ctrl[16][16];
+  uint8_t count[16];
+};
+
+const CompactLut& Lut4() {
+  static const CompactLut lut = [] {
+    CompactLut l{};
+    for (int mask = 0; mask < 16; ++mask) {
+      int w = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if (mask & (1 << lane)) {
+          for (int byte = 0; byte < 4; ++byte) {
+            l.ctrl[mask][w * 4 + byte] = static_cast<uint8_t>(lane * 4 + byte);
+          }
+          ++w;
+        }
+      }
+      l.count[mask] = static_cast<uint8_t>(w);
+      for (int byte = w * 4; byte < 16; ++byte) {
+        l.ctrl[mask][byte] = 0x80;  // zero the tail (never read back)
+      }
+    }
+    return l;
+  }();
+  return lut;
+}
+
+/// Compact the lanes of `v` selected by `keep4` (4-bit mask) to the front
+/// and store them at out; returns the number stored. Overstores up to 16
+/// bytes, so callers must bound-check before using it near the end.
+inline size_t CompactStore4(__m128i v, int keep4, uint32_t* out) {
+  const CompactLut& lut = Lut4();
+  const __m128i ctrl = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(lut.ctrl[keep4]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), _mm_shuffle_epi8(v, ctrl));
+  return lut.count[keep4];
+}
+
+size_t CompactNeqU32Avx2(const uint32_t* src, size_t n, uint32_t sentinel,
+                         uint32_t* out, size_t out_capacity) {
+  const __m128i s = _mm_set1_epi32(static_cast<int>(sentinel));
+  size_t i = 0, w = 0;
+  // The compact-store writes a full 16 bytes; stay 4 lanes inside the
+  // caller's writable region so the overstore never leaves it.
+  while (i + 4 <= n && w + 4 <= out_capacity) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const int keep =
+        (~_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, s)))) & 0xF;
+    w += CompactStore4(v, keep, out + w);
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    if (src[i] != sentinel) out[w++] = src[i];
+  }
+  return w;
+}
+
+size_t IndicesNeqU32Avx2(const uint32_t* src, size_t n, uint32_t sentinel,
+                         uint32_t base, uint32_t* out, size_t out_capacity) {
+  const __m128i s = _mm_set1_epi32(static_cast<int>(sentinel));
+  const __m128i four = _mm_set1_epi32(4);
+  // Running index vector, stepped by 4 — no per-iteration broadcast.
+  __m128i idx = _mm_add_epi32(_mm_set1_epi32(static_cast<int>(base)),
+                              _mm_setr_epi32(0, 1, 2, 3));
+  size_t i = 0, w = 0;
+  while (i + 4 <= n && w + 4 <= out_capacity) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const int keep =
+        (~_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, s)))) & 0xF;
+    w += CompactStore4(idx, keep, out + w);
+    idx = _mm_add_epi32(idx, four);
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    if (src[i] != sentinel) out[w++] = base + static_cast<uint32_t>(i);
+  }
+  return w;
+}
+
+/// Lane-parallel TriangleBandXRange: lane k holds edge (v[k], v[(k+1)%3]);
+/// lane 3 is dead. Per-lane arithmetic performs the exact operation
+/// sequence of the scalar loop — t = (yline - p.y) / dy then
+/// x = p.x + t * (q.x - p.x) — and the min/max reduction is seeded with the
+/// scalar accumulator's init values, so the result is bit-identical to the
+/// scalar twin for every input (NaN candidate lanes are masked out of the
+/// reduction, matching std::min/std::max's keep-accumulator NaN behavior).
+bool BandXRangeAvx2(const Vec2* v, double ylo, double yhi, double* xmin,
+                    double* xmax) {
+  const __m256d px = _mm256_setr_pd(v[0].x, v[1].x, v[2].x, v[2].x);
+  const __m256d py = _mm256_setr_pd(v[0].y, v[1].y, v[2].y, v[2].y);
+  const __m256d qx = _mm256_setr_pd(v[1].x, v[2].x, v[0].x, v[2].x);
+  const __m256d qy = _mm256_setr_pd(v[1].y, v[2].y, v[0].y, v[2].y);
+  const __m256d lane_live = _mm256_castsi256_pd(
+      _mm256_setr_epi64x(-1, -1, -1, 0));
+  const __m256d vlo = _mm256_set1_pd(ylo);
+  const __m256d vhi = _mm256_set1_pd(yhi);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+
+  // Vertices inside the band contribute p.x.
+  const __m256d vert_mask = _mm256_and_pd(
+      _mm256_and_pd(_mm256_cmp_pd(py, vlo, _CMP_GE_OQ),
+                    _mm256_cmp_pd(py, vhi, _CMP_LE_OQ)),
+      lane_live);
+
+  // Band-line crossings: t in [0, 1] along each edge with dy != 0.
+  const __m256d dy = _mm256_sub_pd(qy, py);
+  const __m256d dy_nz =
+      _mm256_and_pd(_mm256_cmp_pd(dy, zero, _CMP_NEQ_UQ), lane_live);
+  const __m256d dx = _mm256_sub_pd(qx, px);
+
+  const __m256d t_lo = _mm256_div_pd(_mm256_sub_pd(vlo, py), dy);
+  const __m256d lo_mask = _mm256_and_pd(
+      _mm256_and_pd(_mm256_cmp_pd(t_lo, zero, _CMP_GE_OQ),
+                    _mm256_cmp_pd(t_lo, one, _CMP_LE_OQ)),
+      dy_nz);
+  const __m256d x_lo = _mm256_add_pd(px, _mm256_mul_pd(t_lo, dx));
+
+  const __m256d t_hi = _mm256_div_pd(_mm256_sub_pd(vhi, py), dy);
+  const __m256d hi_mask = _mm256_and_pd(
+      _mm256_and_pd(_mm256_cmp_pd(t_hi, zero, _CMP_GE_OQ),
+                    _mm256_cmp_pd(t_hi, one, _CMP_LE_OQ)),
+      dy_nz);
+  const __m256d x_hi = _mm256_add_pd(px, _mm256_mul_pd(t_hi, dx));
+
+  const bool any =
+      _mm256_movemask_pd(_mm256_or_pd(vert_mask,
+                                      _mm256_or_pd(lo_mask, hi_mask))) != 0;
+
+  // Reduce, ignoring NaN candidates like the scalar accumulator does.
+  const __m256d pinf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256d ninf = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  __m256d vmin = _mm256_set1_pd(std::numeric_limits<double>::max());
+  __m256d vmax = _mm256_set1_pd(std::numeric_limits<double>::lowest());
+  const __m256d cands[3] = {px, x_lo, x_hi};
+  const __m256d masks[3] = {vert_mask, lo_mask, hi_mask};
+  for (int k = 0; k < 3; ++k) {
+    const __m256d not_nan = _mm256_cmp_pd(cands[k], cands[k], _CMP_ORD_Q);
+    const __m256d use = _mm256_and_pd(masks[k], not_nan);
+    vmin = _mm256_min_pd(vmin, _mm256_blendv_pd(pinf, cands[k], use));
+    vmax = _mm256_max_pd(vmax, _mm256_blendv_pd(ninf, cands[k], use));
+  }
+  alignas(32) double mins[4], maxs[4];
+  _mm256_store_pd(mins, vmin);
+  _mm256_store_pd(maxs, vmax);
+  *xmin = std::min(std::min(mins[0], mins[1]), std::min(mins[2], mins[3]));
+  *xmax = std::max(std::max(maxs[0], maxs[1]), std::max(maxs[2], maxs[3]));
+  return any;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    FillU32Avx2,       ExclusivePrefixU32Avx2, AddU64Avx2,
+    CountNeqU32Avx2,   CountNeqU64Avx2,        CompactNeqU32Avx2,
+    IndicesNeqU32Avx2, BandXRangeAvx2,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* Avx2Kernels() { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace gfx_simd
+}  // namespace spade
+
+#else  // !__AVX2__
+
+namespace spade {
+namespace gfx_simd {
+namespace detail {
+const Kernels* Avx2Kernels() { return nullptr; }
+}  // namespace detail
+}  // namespace gfx_simd
+}  // namespace spade
+
+#endif  // __AVX2__

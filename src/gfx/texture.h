@@ -1,11 +1,19 @@
 // GPU texture emulation: a W x H image with four 32-bit channels per pixel
 // (the [r,g,b,a] channels of Section 2.2), plus the atomic write operations
 // the fragment stage and blending units need.
+//
+// Storage is planar (channel-major, SoA): each channel is a contiguous
+// W x H plane and each pixel row of a channel is a contiguous span. That is
+// what makes the fragment hot path vectorizable — interior fills blend whole
+// row spans with one SIMD fill, canvas tests scan row spans lane-parallel,
+// and scan/compact passes stream a channel plane without a gather.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "gfx/simd_kernels.h"
 
 namespace spade {
 
@@ -75,6 +83,24 @@ class Texture {
     }
   }
 
+  /// Contiguous row span of one channel (planar layout); x in [0, width).
+  const uint32_t* Row(int y, int c) const { return &data_[Index(0, y, c)]; }
+  uint32_t* Row(int y, int c) { return &data_[Index(0, y, c)]; }
+
+  /// Contiguous width*height plane of one channel.
+  const uint32_t* Plane(int c) const {
+    return &data_[static_cast<size_t>(c) * height_ * width_];
+  }
+
+  /// Store `v` into channel c of row y for x in [x0, x1] (closed), through
+  /// the active SIMD tier's fill kernel. Racy like AtomicStore — all
+  /// writers must write the same value class — and safe under TSan because
+  /// TSan builds pin the scalar tier, whose fill twin uses std::atomic_ref.
+  void FillRowSpan(int x0, int x1, int y, int c, uint32_t v) {
+    if (x1 < x0) return;
+    gfx_simd::Active().fill_u32(&data_[Index(x0, y, c)], x1 - x0 + 1, v);
+  }
+
   const uint32_t* raw() const { return data_.data(); }
   size_t size_values() const { return data_.size(); }
   /// Device-memory footprint in bytes.
@@ -84,7 +110,7 @@ class Texture {
 
  private:
   size_t Index(int x, int y, int c) const {
-    return (static_cast<size_t>(y) * width_ + x) * kChannels + c;
+    return (static_cast<size_t>(c) * height_ + y) * width_ + x;
   }
   std::atomic_ref<uint32_t> AtomicRef(int x, int y, int c) {
     return std::atomic_ref<uint32_t>(data_[Index(x, y, c)]);

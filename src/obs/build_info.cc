@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,7 +36,8 @@ const char* BuildSanitizer() { return SPADE_BUILD_SANITIZER; }
 
 std::string BuildInfoString() {
   return std::string("spade ") + BuildVersion() + " (" + BuildCommit() +
-         ", sanitizer=" + BuildSanitizer() + ")";
+         ", sanitizer=" + BuildSanitizer() +
+         ", simd=" + simd::ActiveTierName() + ")";
 }
 
 void UpdateProcessMetrics() {
@@ -48,16 +50,21 @@ void UpdateProcessMetrics() {
     reg.SetHelp("spade_tracer_spans", "Spans currently held by the ring");
     reg.SetHelp("spade_tracer_dropped_spans",
                 "Spans overwritten by the ring since the last clear");
+    reg.SetHelp("spade_simd_lanes",
+                "32-bit lanes per vector op of the active SIMD tier");
     return reg.labeled_gauge("spade_build_info",
                              {{"version", BuildVersion()},
                               {"commit", BuildCommit()},
-                              {"sanitizer", BuildSanitizer()}});
+                              {"sanitizer", BuildSanitizer()},
+                              {"simd", simd::ActiveTierName()}});
   }();
   static Gauge* start_time = reg.gauge("spade_process_start_time_seconds");
   static Gauge* tracer_spans = reg.gauge("spade_tracer_spans");
   static Gauge* tracer_dropped = reg.gauge("spade_tracer_dropped_spans");
+  static Gauge* simd_lanes = reg.gauge("spade_simd_lanes");
 
   build_info->Set(1);
+  simd_lanes->Set(static_cast<int64_t>(simd::ActiveLanes32()));
   start_time->Set(kProcessStartUnixSeconds);
   tracer_spans->Set(static_cast<int64_t>(Tracer::Global().size()));
   tracer_dropped->Set(Tracer::Global().dropped());

@@ -116,6 +116,91 @@ TEST(RasterizerEdge, SegmentThroughPixelCorners) {
   }
 }
 
+TEST(RasterizerEdge, HorizontalSegmentOnRowBoundaryTouchesBothRows) {
+  // A horizontal segment lying exactly on the shared edge of rows 2 and 3
+  // touches the closed pixel squares of both; conservative rasterization
+  // must emit both, or exact tests whose geometry sits on grid lines would
+  // miss their rendezvous pixels.
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  PixelSet got;
+  RasterizeSegmentConservative(vp, {1.5, 3.0}, {5.5, 3.0},
+                               [&](int x, int y) { got.insert({x, y}); });
+  for (int x = 1; x <= 5; ++x) {
+    EXPECT_TRUE(got.count({x, 2})) << "row below at x=" << x;
+    EXPECT_TRUE(got.count({x, 3})) << "row above at x=" << x;
+  }
+  for (auto [x, y] : got) {
+    EXPECT_TRUE(SegmentIntersectsBox(vp.PixelBox(x, y), {1.5, 3.0},
+                                     {5.5, 3.0}))
+        << x << "," << y;
+  }
+}
+
+TEST(RasterizerEdge, VerticalSegmentOnColumnBoundaryTouchesBothColumns) {
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  PixelSet got;
+  RasterizeSegmentConservative(vp, {3.0, 1.5}, {3.0, 5.5},
+                               [&](int x, int y) { got.insert({x, y}); });
+  for (int y = 1; y <= 5; ++y) {
+    EXPECT_TRUE(got.count({2, y})) << "column left at y=" << y;
+    EXPECT_TRUE(got.count({3, y})) << "column right at y=" << y;
+  }
+  for (auto [x, y] : got) {
+    EXPECT_TRUE(SegmentIntersectsBox(vp.PixelBox(x, y), {3.0, 1.5},
+                                     {3.0, 5.5}))
+        << x << "," << y;
+  }
+}
+
+TEST(RasterizerEdge, SegmentStartingOnColumnBoundaryTouchesLeftPixel) {
+  // The first sample column of a left-to-right segment starting exactly on
+  // a column boundary: the start point touches the pixel to its left too.
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  PixelSet got;
+  RasterizeSegmentConservative(vp, {3.0, 2.5}, {6.3, 2.5},
+                               [&](int x, int y) { got.insert({x, y}); });
+  EXPECT_TRUE(got.count({2, 2})) << "pixel left of the start point";
+  EXPECT_TRUE(got.count({3, 2}));
+  EXPECT_TRUE(got.count({6, 2}));
+  for (auto [x, y] : got) {
+    EXPECT_TRUE(SegmentIntersectsBox(vp.PixelBox(x, y), {3.0, 2.5},
+                                     {6.3, 2.5}))
+        << x << "," << y;
+  }
+}
+
+TEST(RasterizerEdge, SegmentEmissionNeverExceedsTouchedSet) {
+  // Property sweep with grid-snapped endpoints: every emitted pixel's
+  // closed square really intersects the segment (no phantom emissions from
+  // the on-grid-line handling), and the floor pixel of interior samples is
+  // always present.
+  const Viewport vp(Box(0, 0, 8, 8), 8, 8);
+  Rng rng(911);
+  for (int i = 0; i < 200; ++i) {
+    Vec2 a{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    Vec2 b{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    if (rng.UniformInt(0, 1)) a.x = std::floor(a.x);
+    if (rng.UniformInt(0, 1)) a.y = std::floor(a.y);
+    if (rng.UniformInt(0, 1)) b.x = std::floor(b.x);
+    if (rng.UniformInt(0, 1)) b.y = std::floor(b.y);
+    PixelSet got;
+    RasterizeSegmentConservative(vp, a, b,
+                                 [&](int x, int y) { got.insert({x, y}); });
+    for (auto [x, y] : got) {
+      EXPECT_TRUE(SegmentIntersectsBox(vp.PixelBox(x, y), a, b))
+          << "(" << a.x << "," << a.y << ")-(" << b.x << "," << b.y << ") @ "
+          << x << "," << y;
+    }
+    for (double t = 1.0 / 64; t < 1.0; t += 1.0 / 64) {
+      const Vec2 q = a + (b - a) * t;
+      auto [x, y] = vp.ToPixel(q);
+      if (vp.Contains(q)) {
+        EXPECT_TRUE(got.count({x, y})) << q.x << "," << q.y;
+      }
+    }
+  }
+}
+
 TEST(RasterizerEdge, NonSquareViewport) {
   const Viewport vp(Box(0, 0, 100, 10), 200, 20);  // anisotropic pixels? no:
   // pixel = 0.5 x 0.5 world units in both axes here.

@@ -219,9 +219,10 @@ TEST(BuildInfo, ProcessMetricsExposeBuildAndStartTime) {
   const std::string series = std::string("spade_build_info{version=\"") +
                              obs::BuildVersion() + "\",commit=\"" +
                              obs::BuildCommit() + "\",sanitizer=\"" +
-                             obs::BuildSanitizer() + "\"} 1";
+                             obs::BuildSanitizer() + "\",simd=\"";
   EXPECT_NE(text.find(series), std::string::npos) << text;
   EXPECT_NE(text.find("spade_process_start_time_seconds"), std::string::npos);
+  EXPECT_NE(text.find("spade_simd_lanes"), std::string::npos);
   EXPECT_NE(text.find("spade_tracer_spans"), std::string::npos);
   EXPECT_NE(text.find("spade_tracer_dropped_spans"), std::string::npos);
 

@@ -1,0 +1,443 @@
+// Differential tests for every vectorized kernel in the fragment pipeline:
+// each SIMD tier must produce bit-identical output to its scalar twin (the
+// oracle) over adversarial inputs — non-multiple-of-lane-width tails,
+// all/none-sentinel runs, u64-overflowing sums, pixel-grid-aligned edges,
+// degenerate and sliver triangles, denormal / overflow-adjacent magnitudes,
+// and NaN-adjacent floats. This is the proof obligation that lets the rest
+// of the suite (and the fuzzer) treat the tier choice as unobservable.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/simd.h"
+#include "geom/predicates.h"
+#include "geom/predicates_batch.h"
+#include "gfx/rasterizer.h"
+#include "gfx/scan.h"
+#include "gfx/simd_kernels.h"
+#include "gfx/texture.h"
+#include "test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::Rng;
+
+std::vector<simd::Tier> VectorTiers() {
+  std::vector<simd::Tier> tiers;
+  if (simd::DetectedTier() >= simd::Tier::kSSE2) {
+    tiers.push_back(simd::Tier::kSSE2);
+  }
+  if (simd::DetectedTier() >= simd::Tier::kAVX2) {
+    tiers.push_back(simd::Tier::kAVX2);
+  }
+  return tiers;
+}
+
+const gfx_simd::Kernels& Scalar() {
+  return gfx_simd::KernelsForTier(simd::Tier::kScalar);
+}
+
+/// Sizes chosen to straddle every lane width (4- and 8-wide) and its tails.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63,
+                         64, 65, 100, 1021};
+
+/// Bitwise double comparison: distinguishes +0/-0 and compares NaN payloads.
+void ExpectSameBits(double a, double b, const char* what) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  EXPECT_EQ(ab, bb) << what << ": " << a << " vs " << b;
+}
+
+std::vector<uint32_t> RandomU32(Rng* rng, size_t n, bool with_sentinel) {
+  std::vector<uint32_t> v(n);
+  for (auto& x : v) {
+    const int r = rng->UniformInt(0, 3);
+    if (with_sentinel && r == 0) {
+      x = kTexNull;
+    } else if (r == 1) {
+      x = 0xFFFFFFFFu - (kTexNull == 0xFFFFFFFFu ? 1 : 0);
+    } else {
+      x = static_cast<uint32_t>(rng->gen()());
+      if (with_sentinel == false && x == kTexNull) x = 0;
+    }
+  }
+  return v;
+}
+
+// --- integer kernels -------------------------------------------------------
+
+TEST(SimdKernels, FillU32MatchesScalarAndStaysInBounds) {
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (size_t n : kSizes) {
+      // Canary padding on both sides: a fill must touch exactly [8, 8+n).
+      std::vector<uint32_t> buf(n + 16, 0xCAFEBABEu);
+      k.fill_u32(buf.data() + 8, n, 0x12345678u);
+      for (size_t i = 0; i < buf.size(); ++i) {
+        const bool inside = i >= 8 && i < 8 + n;
+        EXPECT_EQ(buf[i], inside ? 0x12345678u : 0xCAFEBABEu)
+            << simd::TierName(tier) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ExclusivePrefixU32MatchesScalar) {
+  Rng rng(11);
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (size_t n : kSizes) {
+      std::vector<uint32_t> in(n);
+      for (auto& x : in) {
+        // Mostly-max values force the running sum past 2^32 quickly, so
+        // any 32-bit accumulation in a lane would be caught.
+        x = rng.UniformInt(0, 1) ? 0xFFFFFFFFu
+                                 : static_cast<uint32_t>(rng.gen()());
+      }
+      std::vector<uint64_t> want(n, 0), got(n, 0);
+      const uint64_t want_total =
+          Scalar().exclusive_prefix_u32(in.data(), want.data(), n);
+      const uint64_t got_total =
+          k.exclusive_prefix_u32(in.data(), got.data(), n);
+      EXPECT_EQ(got_total, want_total) << simd::TierName(tier) << " n=" << n;
+      EXPECT_EQ(got, want) << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, AddU64MatchesScalar) {
+  Rng rng(12);
+  // Bases chosen to wrap around 2^64 mid-array.
+  const uint64_t bases[] = {0, 1, 0x8000000000000000ull,
+                            0xFFFFFFFFFFFFFFF0ull};
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (size_t n : kSizes) {
+      for (uint64_t base : bases) {
+        std::vector<uint64_t> want(n), got(n);
+        for (size_t i = 0; i < n; ++i) want[i] = got[i] = rng.gen()();
+        Scalar().add_u64(want.data(), n, base);
+        k.add_u64(got.data(), n, base);
+        EXPECT_EQ(got, want) << simd::TierName(tier) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CountNeqMatchesScalar) {
+  Rng rng(13);
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (size_t n : kSizes) {
+      const auto in32 = RandomU32(&rng, n, /*with_sentinel=*/true);
+      EXPECT_EQ(k.count_neq_u32(in32.data(), n, kTexNull),
+                Scalar().count_neq_u32(in32.data(), n, kTexNull))
+          << simd::TierName(tier) << " n=" << n;
+      // All-sentinel and no-sentinel runs.
+      const std::vector<uint32_t> all(n, kTexNull);
+      const std::vector<uint32_t> none(n, 7);
+      EXPECT_EQ(k.count_neq_u32(all.data(), n, kTexNull), 0u);
+      EXPECT_EQ(k.count_neq_u32(none.data(), n, kTexNull), n);
+
+      std::vector<uint64_t> in64(n);
+      for (auto& x : in64) x = rng.UniformInt(0, 1) ? kTexNull64 : rng.gen()();
+      EXPECT_EQ(k.count_neq_u64(in64.data(), n, kTexNull64),
+                Scalar().count_neq_u64(in64.data(), n, kTexNull64))
+          << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, CompactAndIndicesMatchScalar) {
+  Rng rng(14);
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (size_t n : kSizes) {
+      const auto in = RandomU32(&rng, n, /*with_sentinel=*/true);
+      const size_t count = Scalar().count_neq_u32(in.data(), n, kTexNull);
+
+      // Loose capacity (n) and exact capacity (count): the latter forces
+      // the vector tiers onto their tail path near the end, which is the
+      // contract parallel compaction relies on to not cross chunk bounds.
+      for (size_t cap : {n, count}) {
+        std::vector<uint32_t> want(cap + 8, 0xDEADBEEFu);
+        std::vector<uint32_t> got(cap + 8, 0xDEADBEEFu);
+        const size_t wn =
+            Scalar().compact_neq_u32(in.data(), n, kTexNull, want.data(), cap);
+        const size_t gn =
+            k.compact_neq_u32(in.data(), n, kTexNull, got.data(), cap);
+        ASSERT_EQ(gn, wn) << simd::TierName(tier) << " n=" << n;
+        EXPECT_EQ(0, std::memcmp(got.data(), want.data(), wn * 4));
+        // Nothing past the declared capacity may be touched.
+        for (size_t i = cap; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], 0xDEADBEEFu)
+              << simd::TierName(tier) << " overstore past capacity at " << i;
+        }
+
+        std::fill(want.begin(), want.end(), 0xDEADBEEFu);
+        std::fill(got.begin(), got.end(), 0xDEADBEEFu);
+        const uint32_t base = 12345;
+        const size_t wi = Scalar().indices_neq_u32(in.data(), n, kTexNull,
+                                                   base, want.data(), cap);
+        const size_t gi =
+            k.indices_neq_u32(in.data(), n, kTexNull, base, got.data(), cap);
+        ASSERT_EQ(gi, wi) << simd::TierName(tier) << " n=" << n;
+        EXPECT_EQ(0, std::memcmp(got.data(), want.data(), wi * 4));
+        for (size_t i = cap; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], 0xDEADBEEFu)
+              << simd::TierName(tier) << " overstore past capacity at " << i;
+        }
+      }
+    }
+  }
+}
+
+// --- band extents (the rasterizer's edge-function kernel) ------------------
+
+void CheckBand(const gfx_simd::Kernels& k, const char* tier, const Vec2* v,
+               double ylo, double yhi) {
+  double wmin = 0, wmax = 0, gmin = 0, gmax = 0;
+  const bool want = Scalar().band_x_range(v, ylo, yhi, &wmin, &wmax);
+  const bool got = k.band_x_range(v, ylo, yhi, &gmin, &gmax);
+  ASSERT_EQ(got, want) << tier << " band [" << ylo << "," << yhi << "]";
+  if (want) {
+    ExpectSameBits(gmin, wmin, "xmin");
+    ExpectSameBits(gmax, wmax, "xmax");
+  }
+}
+
+TEST(SimdKernels, BandXRangeMatchesScalarOnAdversarialTriangles) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double denorm = 5e-324;
+  struct Case {
+    Vec2 v[3];
+    double ylo, yhi;
+  };
+  const Case cases[] = {
+      // Pixel-grid-aligned: vertices and edges exactly on band lines.
+      {{{0, 0}, {4, 0}, {2, 3}}, 0.0, 1.0},
+      {{{0, 1}, {4, 1}, {2, 1}}, 1.0, 2.0},   // horizontal degenerate on ylo
+      {{{1, 2}, {3, 2}, {2, 5}}, 2.0, 2.0},   // zero-height band on a vertex
+      {{{0, 0}, {0, 4}, {0, 2}}, 1.0, 2.0},   // vertical degenerate segment
+      {{{2, 2}, {2, 2}, {2, 2}}, 2.0, 3.0},   // point triangle on the line
+      {{{2, 2}, {2, 2}, {2, 2}}, 2.5, 3.0},   // point triangle off the band
+      // Sliver: 1e-12 tall, straddling a band line.
+      {{{0, 1.0 - 5e-13}, {8, 1.0 + 5e-13}, {4, 1.0}}, 1.0, 2.0},
+      // Negative zero coordinates.
+      {{{-0.0, -0.0}, {4, -0.0}, {2, 3}}, -0.0, 1.0},
+      // Denormal and huge magnitudes (intermediate t can overflow).
+      {{{denorm, denorm}, {1, denorm}, {0.5, 1}}, 0.0, 1.0},
+      {{{-1e155, -1e155}, {1e155, -1e155}, {0, 1e155}}, -1.0, 1.0},
+      // Band entirely above / below the triangle.
+      {{{0, 0}, {4, 0}, {2, 3}}, 10.0, 11.0},
+      {{{0, 0}, {4, 0}, {2, 3}}, -2.0, -1.0},
+      // Infinite band line against a finite triangle.
+      {{{0, 0}, {4, 0}, {2, 3}}, -inf, inf},
+  };
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (const Case& c : cases) {
+      CheckBand(k, simd::TierName(tier), c.v, c.ylo, c.yhi);
+    }
+  }
+}
+
+TEST(SimdKernels, BandXRangeMatchesScalarOnRandomTriangles) {
+  Rng rng(15);
+  for (simd::Tier tier : VectorTiers()) {
+    const auto& k = gfx_simd::KernelsForTier(tier);
+    for (int i = 0; i < 2000; ++i) {
+      Vec2 v[3];
+      for (auto& p : v) {
+        // Half the coordinates snap to the integer grid, so edges land
+        // exactly on scanline boundaries — the historical hazard zone.
+        p.x = rng.Uniform(-8, 8);
+        p.y = rng.Uniform(-8, 8);
+        if (rng.UniformInt(0, 1)) p.x = std::floor(p.x);
+        if (rng.UniformInt(0, 1)) p.y = std::floor(p.y);
+      }
+      const double ylo = std::floor(rng.Uniform(-8, 8));
+      CheckBand(k, simd::TierName(tier), v, ylo, ylo + 1.0);
+    }
+  }
+}
+
+TEST(SimdKernels, TriangleSpansIdenticalAcrossTiers) {
+  Rng rng(16);
+  const Viewport vp(Box(0, 0, 16, 16), 16, 16);
+  for (int i = 0; i < 400; ++i) {
+    Vec2 v[3];
+    for (auto& p : v) {
+      p.x = rng.Uniform(-2, 18);
+      p.y = rng.Uniform(-2, 18);
+      if (rng.UniformInt(0, 2) == 0) p.x = std::floor(p.x);
+      if (rng.UniformInt(0, 2) == 0) p.y = std::floor(p.y);
+    }
+    for (bool conservative : {false, true}) {
+      std::vector<std::array<int, 3>> want;
+      size_t want_frags;
+      {
+        simd::TierOverrideForTesting pin(simd::Tier::kScalar);
+        want_frags = RasterizeTriangleSpans(
+            vp, v[0], v[1], v[2], conservative, [&](int y, int x0, int x1) {
+              want.push_back({y, x0, x1});
+            });
+      }
+      for (simd::Tier tier : VectorTiers()) {
+        simd::TierOverrideForTesting pin(tier);
+        std::vector<std::array<int, 3>> got;
+        const size_t got_frags = RasterizeTriangleSpans(
+            vp, v[0], v[1], v[2], conservative, [&](int y, int x0, int x1) {
+              got.push_back({y, x0, x1});
+            });
+        EXPECT_EQ(got_frags, want_frags) << simd::TierName(tier);
+        EXPECT_EQ(got, want) << simd::TierName(tier);
+      }
+    }
+  }
+}
+
+// --- geometry batch predicates ---------------------------------------------
+
+void CheckTriangleBatch(const std::vector<double>& ax,
+                        const std::vector<double>& ay,
+                        const std::vector<double>& bx,
+                        const std::vector<double>& by,
+                        const std::vector<double>& cx,
+                        const std::vector<double>& cy, const Vec2& p) {
+  const size_t n = ax.size();
+  std::vector<uint8_t> want(n, 0xAA), got(n, 0xAA);
+  {
+    simd::TierOverrideForTesting pin(simd::Tier::kScalar);
+    PointInTrianglesBatch(ax.data(), ay.data(), bx.data(), by.data(),
+                          cx.data(), cy.data(), n, p, want.data());
+  }
+  for (simd::Tier tier : VectorTiers()) {
+    simd::TierOverrideForTesting pin(tier);
+    std::fill(got.begin(), got.end(), 0xAA);
+    PointInTrianglesBatch(ax.data(), ay.data(), bx.data(), by.data(),
+                          cx.data(), cy.data(), n, p, got.data());
+    EXPECT_EQ(got, want) << simd::TierName(tier) << " p=(" << p.x << ","
+                         << p.y << ")";
+  }
+}
+
+TEST(SimdKernels, PointInTrianglesBatchMatchesScalar) {
+  Rng rng(17);
+  // Random triangles with grid snapping, every tail length 1..9, and the
+  // query point sometimes placed exactly on a vertex or an edge midpoint
+  // (both orientations then have an exactly-zero determinant, which the
+  // FP filter must flag as uncertain and resolve via the scalar oracle).
+  for (size_t n = 1; n <= 9; ++n) {
+    for (int rep = 0; rep < 60; ++rep) {
+      std::vector<double> ax(n), ay(n), bx(n), by(n), cx(n), cy(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto coord = [&] {
+          double c = rng.Uniform(-4, 4);
+          return rng.UniformInt(0, 1) ? std::floor(c) : c;
+        };
+        ax[i] = coord();
+        ay[i] = coord();
+        bx[i] = coord();
+        by[i] = coord();
+        cx[i] = coord();
+        cy[i] = coord();
+      }
+      Vec2 p{rng.Uniform(-4, 4), rng.Uniform(-4, 4)};
+      const int mode = rng.UniformInt(0, 3);
+      if (mode == 1) {
+        p = {ax[0], ay[0]};  // exactly a vertex
+      } else if (mode == 2) {
+        p = {(ax[0] + bx[0]) / 2, (ay[0] + by[0]) / 2};  // ~on an edge
+      }
+      CheckTriangleBatch(ax, ay, bx, by, cx, cy, p);
+    }
+  }
+}
+
+TEST(SimdKernels, PointInTrianglesBatchExtremeMagnitudes) {
+  // Magnitudes where the AVX2 filter's error analysis breaks down: the
+  // determinant products overflow to infinity or underflow to denormals.
+  // Every such lane must take the scalar fallback and agree exactly.
+  const double big = 1e200, tiny = 1e-160, denorm = 1e-310;
+  std::vector<double> ax = {big, -big, tiny, denorm, 1.0};
+  std::vector<double> ay = {big, big, tiny, denorm, 2.0};
+  std::vector<double> bx = {-big, big, -tiny, -denorm, 3.0};
+  std::vector<double> by = {big, -big, tiny, denorm, 2.0};
+  std::vector<double> cx = {0.0, 0.0, 0.0, 0.0, 2.0};
+  std::vector<double> cy = {-big, -big, -tiny, -denorm, 4.0};
+  for (const Vec2& p : {Vec2{0, 0}, Vec2{big / 2, 0}, Vec2{tiny, tiny},
+                        Vec2{2.0, 2.5}}) {
+    CheckTriangleBatch(ax, ay, bx, by, cx, cy, p);
+  }
+}
+
+TEST(SimdKernels, PointSegmentDistancesBatchMatchesScalar) {
+  Rng rng(18);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (size_t n = 1; n <= 9; ++n) {
+    for (int rep = 0; rep < 60; ++rep) {
+      std::vector<double> ax(n), ay(n), bx(n), by(n);
+      for (size_t i = 0; i < n; ++i) {
+        ax[i] = rng.Uniform(-4, 4);
+        ay[i] = rng.Uniform(-4, 4);
+        if (rng.UniformInt(0, 4) == 0) {
+          bx[i] = ax[i];  // degenerate: zero-length segment
+          by[i] = ay[i];
+        } else {
+          bx[i] = rng.Uniform(-4, 4);
+          by[i] = rng.Uniform(-4, 4);
+        }
+      }
+      Vec2 p{rng.Uniform(-4, 4), rng.Uniform(-4, 4)};
+      const int mode = rng.UniformInt(0, 3);
+      if (mode == 1) p = {ax[0], ay[0]};              // on an endpoint
+      if (mode == 2 && n > 1) p = {bx[1], by[1]};
+      std::vector<double> want(n), got(n);
+      {
+        simd::TierOverrideForTesting pin(simd::Tier::kScalar);
+        PointSegmentDistancesBatch(p, ax.data(), ay.data(), bx.data(),
+                                   by.data(), n, want.data());
+      }
+      for (simd::Tier tier : VectorTiers()) {
+        simd::TierOverrideForTesting pin(tier);
+        PointSegmentDistancesBatch(p, ax.data(), ay.data(), bx.data(),
+                                   by.data(), n, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          ExpectSameBits(got[i], want[i], simd::TierName(tier));
+        }
+      }
+    }
+  }
+  // NaN- and infinity-adjacent coordinates flow through the exact scalar
+  // operation sequence, so even non-finite results must agree bit-for-bit.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> ax = {nan, 0.0, inf, 1e308, -1e308};
+  std::vector<double> ay = {0.0, nan, 0.0, 1e308, 0.0};
+  std::vector<double> bx = {1.0, 1.0, -inf, -1e308, -1e308};
+  std::vector<double> by = {1.0, 1.0, 1.0, 0.0, 0.0};
+  std::vector<double> want(ax.size()), got(ax.size());
+  const Vec2 p{0.25, 0.5};
+  {
+    simd::TierOverrideForTesting pin(simd::Tier::kScalar);
+    PointSegmentDistancesBatch(p, ax.data(), ay.data(), bx.data(), by.data(),
+                               ax.size(), want.data());
+  }
+  for (simd::Tier tier : VectorTiers()) {
+    simd::TierOverrideForTesting pin(tier);
+    PointSegmentDistancesBatch(p, ax.data(), ay.data(), bx.data(), by.data(),
+                               ax.size(), got.data());
+    for (size_t i = 0; i < ax.size(); ++i) {
+      ExpectSameBits(got[i], want[i], simd::TierName(tier));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spade

@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <string>
 
+#include "common/simd.h"
 #include "fuzz/fuzzer.h"
 
 namespace {
@@ -74,6 +75,9 @@ int Usage() {
                "\n"
                "  --cancellation     arm random cancellation points and\n"
                "                     deadlines on ~1 in 6 cases\n"
+               "  --force-scalar     pin the fragment pipeline to the scalar\n"
+               "                     SIMD tier (differential vs. vector runs)"
+               "\n"
                "  --no-shrink        report failures unminimized\n"
                "  --no-metamorphic   skip metamorphic variants\n"
                "  --keep-going       continue past the first failure\n");
@@ -128,6 +132,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown --inject-bug kind '%s'\n", v.c_str());
         return Usage();
       }
+    } else if (ParseFlag(argv[i], "--force-scalar", &v)) {
+      spade::simd::SetMaxTier(spade::simd::Tier::kScalar);
     } else if (ParseFlag(argv[i], "--no-shrink", &v)) {
       opts.shrink = false;
     } else if (ParseFlag(argv[i], "--no-metamorphic", &v)) {
