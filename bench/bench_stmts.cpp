@@ -1,0 +1,166 @@
+// Telemetry-overhead benchmark: the same closed-loop service workload as
+// bench_service, run with workload telemetry (statement store + flight
+// recorder tail sampling) fully enabled and fully disabled. The delta is
+// the always-on cost of per-query fingerprinting, statement aggregation,
+// and span capture for tail sampling — it must sit within run-to-run noise
+// for the enabled-by-default posture to be honest.
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "datagen/realdata.h"
+#include "datagen/spider.h"
+#include "engine/tuning.h"
+#include "obs/recorder.h"
+#include "obs/statements.h"
+#include "service/service.h"
+
+using namespace spade;
+using namespace spade::bench;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  int64_t completed = 0;
+  ServiceStats stats;
+};
+
+RunResult RunWorkload(bool telemetry, int clients, int rounds) {
+  // A fresh store/recorder per run: the service constructor applies the
+  // per-config global state, and cross-run leftovers would skew nothing
+  // but the honest thing is an empty table either way.
+  obs::StatementStore::Global().Clear();
+  obs::FlightRecorder::Global().Clear();
+
+  ServiceConfig sc;
+  sc.workers = 4;
+  sc.device_slots = 2;
+  sc.queue_capacity = 256;
+  if (!telemetry) {
+    sc.statements_capacity = 0;  // disables fingerprinting + aggregation
+    sc.recorder_bytes = 0;       // disables span capture + tail sampling
+  }
+  SpadeService service(BenchConfig(), sc);
+
+  SpadeConfig cfg = BenchConfig();
+  (void)service.RegisterSource(
+      "pts", MakeTunedInMemorySource(
+                 "pts", GenerateUniformPoints(Scaled(200000), 11), cfg));
+  (void)service.RegisterSource(
+      "hoods",
+      MakeTunedInMemorySource("hoods", NeighborhoodLikePolygons(12), cfg));
+
+  std::vector<Request> mix;
+  {
+    Request r;
+    r.kind = RequestKind::kRange;
+    r.dataset = "pts";
+    r.range = Box(0.2, 0.2, 0.7, 0.7);
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kKnn;
+    r.dataset = "pts";
+    r.point = {0.5, 0.5};
+    r.k = 10;
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kJoin;
+    r.dataset = "hoods";
+    r.dataset2 = "pts";
+    mix.push_back(r);
+  }
+  {
+    Request r;
+    r.kind = RequestKind::kDistance;
+    r.dataset = "pts";
+    r.point = {0.4, 0.6};
+    r.radius = 0.1;
+    mix.push_back(r);
+  }
+  for (const Request& req : mix) (void)service.Execute(req);
+
+  std::atomic<int64_t> completed{0};
+  RunResult out;
+  out.seconds = TimeIt([&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < rounds; ++round) {
+          Response r = service.Execute(mix[(t + round) % mix.size()]);
+          if (r.status.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+  out.completed = completed.load();
+  out.stats = service.Snapshot();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  const int clients = 8;
+  const int rounds = 6;
+  const int reps = 3;
+  PrintHeader("Workload telemetry overhead: closed-loop clients=" +
+              std::to_string(clients) + ", rounds=" + std::to_string(rounds) +
+              ", workers=4, slots=2");
+  const std::vector<int> widths = {10, 5, 10, 11, 11, 11, 13, 8};
+  PrintRow({"telemetry", "rep", "req/s", "p50(s)", "p95(s)", "p99(s)",
+            "fingerprints", "traces"},
+           widths);
+
+  // Interleave the configurations so machine drift (thermal, page cache)
+  // lands on both sides evenly; report every rep, keep the best per side
+  // for the headline comparison (closed-loop best-of is the standard way
+  // to compare fixed workloads).
+  double best_on = 0, best_off = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool telemetry : {false, true}) {
+      RunResult r = RunWorkload(telemetry, clients, rounds);
+      const double rps = r.seconds > 0 ? r.completed / r.seconds : 0;
+      if (telemetry) {
+        if (rps > best_on) best_on = rps;
+      } else {
+        if (rps > best_off) best_off = rps;
+      }
+      PrintRow({telemetry ? "on" : "off", FmtCount(rep), Fmt(rps, 1),
+                Fmt(r.stats.latency_p50), Fmt(r.stats.latency_p95),
+                Fmt(r.stats.latency_p99),
+                FmtCount(obs::StatementStore::Global().size()),
+                FmtCount(obs::FlightRecorder::Global().size())},
+               widths);
+      BenchRecord rec;
+      rec.name = std::string("stmts_") + (telemetry ? "on" : "off") + "_rep" +
+                 std::to_string(rep);
+      rec.samples = r.completed;
+      rec.p50 = r.stats.latency_p50;
+      rec.p95 = r.stats.latency_p95;
+      rec.p99 = r.stats.latency_p99;
+      rec.mean = r.stats.latency_mean;
+      rec.throughput = rps;
+      Records().push_back(rec);
+    }
+  }
+
+  const double overhead =
+      best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0;
+  std::printf(
+      "\nBest-of-%d throughput: telemetry off %.1f req/s, on %.1f req/s "
+      "(delta %+.1f%%).\nExpected shape: the delta stays within run-to-run "
+      "noise — fingerprinting is\none FNV pass over the parsed request and "
+      "span capture copies PODs the\nprofiler already walks.\n",
+      reps, best_off, best_on, overhead);
+  WriteJsonIfRequested();
+  return 0;
+}

@@ -16,11 +16,12 @@ cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" \
   -DSPADE_SANITIZE=thread
 cmake --build "$ROOT/$BUILD_DIR" -j "$(nproc)" \
   --target concurrency_test service_test server_test prepared_test obs_test \
-  profile_test robustness_test batch_test ingest_test simd_kernel_test
+  profile_test robustness_test batch_test ingest_test simd_kernel_test \
+  telemetry_test
 
 # halt_on_error makes any detected race fail the run outright.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 cd "$ROOT/$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)" \
-  -R '(Concurrency|SingleFlight|Admission|Service|Server|Wire|CellPreparer|MetricsRegistry|Tracer|QueryProfile|SlowLog|CancelToken|Deadline|Shedding|Drain|Watchdog|SignalStorm|Batch|ResultCache|Ingest|CsvTail|SimdKernels)'
+  -R '(Concurrency|SingleFlight|Admission|Service|Server|Wire|CellPreparer|MetricsRegistry|Tracer|QueryProfile|SlowLog|CancelToken|Deadline|Shedding|Drain|Watchdog|SignalStorm|Batch|ResultCache|Ingest|CsvTail|SimdKernels|StatementStore|StatementFingerprint|FlightRecorder|StructuredLog|TelemetryService)'

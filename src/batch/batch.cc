@@ -121,6 +121,10 @@ bool CellsIntersect(const std::vector<size_t>& a, const std::vector<size_t>& b) 
 
 }  // namespace
 
+uint64_t QueryShapeSignature(const Request& req, bool mercator) {
+  return ShapeSignature(req, mercator);
+}
+
 /// One admitted query inside the scheduler. Lives on its caller's stack:
 /// the member stays blocked in Rendezvous() until `released`, so pointers
 /// to it held by the group/leader stay valid.

@@ -44,6 +44,13 @@
 namespace spade {
 namespace batch {
 
+/// Query-shape signature: FNV-1a over everything that determines the
+/// per-cell result set of a batchable request (kind, projection, constraint
+/// geometry bits). The result cache keys on it; the statement store mixes
+/// in dataset names on top (see wire::StatementFingerprint). Stable across
+/// processes — it hashes only values, never pointers.
+uint64_t QueryShapeSignature(const Request& req, bool mercator);
+
 /// \brief Sizing knobs of the batch scheduler.
 struct BatchConfig {
   /// Maximum gather window in milliseconds. The effective window adapts:

@@ -8,8 +8,11 @@
 #include "common/stopwatch.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/slowlog.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
+#include "service/wire.h"
 #include "datagen/realdata.h"
 #include "datagen/spider.h"
 #include "engine/tuning.h"
@@ -59,6 +62,11 @@ constexpr const char* kHelp = R"(commands:
                                pass/fragment counts) instead of the result
   slowlog [json|clear]         slow-query log (worst queries + profiles)
   slowlog threshold <seconds>  always capture queries slower than this
+  statements [json|clear]      per-fingerprint workload statistics
+                               (calls, typed errors, latency percentiles,
+                               passes/fragments/cache hits per query shape)
+  trace [<request-id>|list]    retained flight-recorder trace (Chrome JSON);
+                               session queries get ids q1, q2, ...
   stats                        breakdown of the last query
   metrics                      Prometheus-format metrics snapshot
   retry <attempts> [base_ms]   I/O retry policy for disk-backed datasets
@@ -132,6 +140,22 @@ bool IsQueryCommand(const std::string& cmd) {
   return cmd == "select" || cmd == "contains" || cmd == "range" ||
          cmd == "join" || cmd == "distance" || cmd == "djoin" ||
          cmd == "agg" || cmd == "knn" || cmd == "sql";
+}
+
+/// FNV-1a over the normalized (whitespace-collapsed) command words — the
+/// statement fingerprint of CLI-only commands the wire grammar cannot
+/// parse (`agg`). Never zero (zero means "no fingerprint").
+uint64_t TextFingerprint(const std::vector<std::string>& words) {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& w : words) {
+    for (char c : w) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0x20;
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace
@@ -232,6 +256,11 @@ Result<std::string> CliSession::Execute(const std::string& line) {
       query.pop_back();
     }
     profile->query = query;
+    // Session-local id so `trace q<N>` can retrieve this run's spans.
+    profile->request_id = "q" + std::to_string(++query_seq_);
+    if (obs::FlightRecorder::Global().enabled()) {
+      profile->EnableSpanCapture(4096);
+    }
   }
 
   obs::Tracer& tracer = obs::Tracer::Global();
@@ -276,10 +305,45 @@ Result<std::string> CliSession::Execute(const std::string& line) {
   if (profile != nullptr) {
     profile->stats = last_stats_;
     profile->total_seconds = elapsed;
+    if (!r.ok()) profile->error = r.status().ToString();
     if (r.ok()) {
       obs::SlowQueryLog::Global().Record("", profile->query, elapsed,
                                          /*queue_wait_seconds=*/0.0,
                                          profile.get());
+    }
+    // Workload telemetry for the direct shell path, so `statements` and
+    // `trace` answer here exactly like against a server. Commands the wire
+    // grammar shares with the protocol get the same fingerprint a server
+    // would compute; CLI-only ones (`agg`) hash their normalized text.
+    if (obs::StatementStore::Global().enabled()) {
+      obs::StatementUpdate u;
+      auto parsed = wire::ParseRequestLine(profile->query);
+      if (parsed.ok()) {
+        u.fingerprint = wire::StatementFingerprint(parsed.value());
+        u.kind = wire::RequestKindToken(parsed.value().kind);
+        u.dataset = parsed.value().dataset;
+        u.shape = wire::DescribeRequest(parsed.value());
+      } else {
+        u.fingerprint = TextFingerprint(words);
+        u.kind = words[0] == "agg" ? "agg" : "query";
+        u.dataset = words.size() > 1 ? words[1] : "";
+        u.shape = profile->query;
+      }
+      u.outcome = obs::OutcomeForStatus(r.ok() ? Status::OK() : r.status());
+      u.seconds = elapsed;
+      if (r.ok()) {
+        u.render_passes = last_stats_.render_passes;
+        u.fragments = last_stats_.fragments;
+        u.cells = last_stats_.cells_processed;
+      }
+      u.cache_hits =
+          profile->SumArg("cache_hit") + profile->SumArg("cache_hits");
+      obs::StatementStore::Global().Record(u);
+    }
+    if (profile->span_capture_enabled()) {
+      obs::FlightRecorder::Global().Offer(
+          profile->request_id, profile->query, elapsed, profile->error,
+          profile->TakeCapturedSpans(), profile->truncated_spans());
     }
     last_profile_ = std::move(profile);
     if (explain && r.ok()) {
@@ -792,6 +856,35 @@ Result<std::string> CliSession::ExecuteCommand(const std::string& line) {
     }
     return Status::InvalidArgument(
         "usage: slowlog [json|clear|threshold <seconds>]");
+  }
+
+  if (cmd == "statements") {
+    obs::StatementStore& store = obs::StatementStore::Global();
+    if (words.size() == 1) return store.ToText();
+    if (words.size() == 2 && words[1] == "json") return store.ToJson();
+    if (words.size() == 2 && words[1] == "clear") {
+      store.Clear();
+      return std::string("statements cleared");
+    }
+    return Status::InvalidArgument("usage: statements [json|clear]");
+  }
+
+  if (cmd == "trace") {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (words.size() == 1 || (words.size() == 2 && words[1] == "list")) {
+      return recorder.ToText();
+    }
+    if (words.size() == 2) {
+      std::string json;
+      if (!recorder.TraceChromeJson(words[1], &json)) {
+        return Status::NotFound(
+            "no retained trace for request id '" + words[1] +
+            "' (tail sampling keeps slow/errored/1-in-N queries; see "
+            "`trace list`)");
+      }
+      return json;
+    }
+    return Status::InvalidArgument("usage: trace [<request-id>|list]");
   }
 
   if (cmd == "timeout") {

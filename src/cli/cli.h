@@ -76,6 +76,9 @@ class CliSession {
   /// Token of the query command currently executing (set by Execute
   /// around ExecuteCommand, which threads it into QueryOptions).
   CancelToken* active_cancel_ = nullptr;
+  /// Session-local request ids ("q1", "q2", ...) so `trace <id>` works
+  /// against the flight recorder from the shell too.
+  uint64_t query_seq_ = 0;
 };
 
 }  // namespace spade

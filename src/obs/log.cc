@@ -1,0 +1,294 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+Counter& LinesCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp("spade_log_lines_total",
+                                      "Structured log lines emitted");
+    return MetricsRegistry::Global().counter("spade_log_lines_total");
+  }();
+  return *c;
+}
+
+Counter& SuppressedCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_log_suppressed_total",
+        "Structured log lines dropped by the repeated-message rate limit");
+    return MetricsRegistry::Global().counter("spade_log_suppressed_total");
+  }();
+  return *c;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "2026-08-08T12:34:56.789Z" — UTC wall clock with millisecond precision.
+void AppendTimestamp(std::string* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int64_t ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms < 0 ? 0 : ms));
+  out->append(buf);
+}
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseLogFormat(const std::string& text, LogFormat* out) {
+  if (text == "text") {
+    *out = LogFormat::kText;
+  } else if (text == "json") {
+    *out = LogFormat::kJson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AppendJsonQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+LogField F(const char* key, const std::string& value) {
+  return LogField{key, value, true};
+}
+LogField F(const char* key, const char* value) {
+  return LogField{key, value != nullptr ? value : "", true};
+}
+LogField F(const char* key, double value) {
+  return LogField{key, FormatDouble(value), false};
+}
+LogField F(const char* key, int64_t value) {
+  return LogField{key, std::to_string(value), false};
+}
+LogField F(const char* key, uint64_t value) {
+  return LogField{key, std::to_string(value), false};
+}
+LogField F(const char* key, int value) {
+  return LogField{key, std::to_string(value), false};
+}
+LogField F(const char* key, bool value) {
+  return LogField{key, value ? "true" : "false", false};
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked: usable during shutdown
+  return *logger;
+}
+
+void Logger::SetWriterForTest(std::function<void(const std::string&)> writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_ = std::move(writer);
+}
+
+void Logger::SetRateLimitForTest(int burst, double window_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  burst_ = burst < 1 ? 1 : burst;
+  window_seconds_ = window_seconds;
+  buckets_.clear();
+}
+
+void Logger::Write(LogLevel level, const char* component, const char* message,
+                   std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  if (component == nullptr) component = "";
+  if (message == nullptr) message = "";
+
+  int64_t suppressed_prior = 0;
+  std::function<void(const std::string&)> writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string key;
+    key.reserve(64);
+    key.append(component);
+    key.push_back('\0');
+    key.append(message);
+    // Bound the bucket map: the keys are (component, message) literal pairs,
+    // but a runaway caller with dynamic messages must not leak memory.
+    if (buckets_.size() > 512 && buckets_.find(key) == buckets_.end()) {
+      buckets_.clear();
+    }
+    Bucket& b = buckets_[key];
+    const double now = MonotonicSeconds();
+    if (now - b.window_start > window_seconds_) {
+      b.window_start = now;
+      b.emitted = 0;
+    }
+    if (b.emitted >= burst_) {
+      ++b.suppressed;
+      SuppressedCounter().Add();
+      return;
+    }
+    ++b.emitted;
+    suppressed_prior = b.suppressed;
+    b.suppressed = 0;
+    writer = writer_;
+  }
+
+  const uint64_t req = Tracer::thread_request_id();
+  std::string line;
+  line.reserve(160);
+  if (format() == LogFormat::kJson) {
+    line.append("{\"ts\":\"");
+    AppendTimestamp(&line);
+    line.append("\",\"level\":\"");
+    line.append(LogLevelName(level));
+    line.append("\",\"component\":");
+    AppendJsonQuoted(&line, component);
+    line.append(",\"msg\":");
+    AppendJsonQuoted(&line, message);
+    if (req != 0) {
+      line.append(",\"req\":");
+      line.append(std::to_string(req));
+    }
+    for (const LogField& f : fields) {
+      line.push_back(',');
+      AppendJsonQuoted(&line, f.key);
+      line.push_back(':');
+      if (f.quoted) {
+        AppendJsonQuoted(&line, f.value);
+      } else {
+        line.append(f.value);
+      }
+    }
+    if (suppressed_prior > 0) {
+      line.append(",\"suppressed\":");
+      line.append(std::to_string(suppressed_prior));
+    }
+    line.push_back('}');
+  } else {
+    AppendTimestamp(&line);
+    line.push_back(' ');
+    line.append(LogLevelName(level));
+    line.append(" [");
+    line.append(component);
+    line.append("] ");
+    line.append(message);
+    if (req != 0) {
+      line.append(" req=");
+      line.append(std::to_string(req));
+    }
+    for (const LogField& f : fields) {
+      line.push_back(' ');
+      line.append(f.key);
+      line.push_back('=');
+      if (f.quoted &&
+          (f.value.empty() ||
+           f.value.find_first_of(" \t\n\"\\") != std::string::npos)) {
+        AppendJsonQuoted(&line, f.value);
+      } else {
+        line.append(f.value);
+      }
+    }
+    if (suppressed_prior > 0) {
+      line.append(" suppressed=");
+      line.append(std::to_string(suppressed_prior));
+    }
+  }
+
+  LinesCounter().Add();
+  if (writer) {
+    writer(line);
+    return;
+  }
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+void Log(LogLevel level, const char* component, const char* message,
+         std::initializer_list<LogField> fields) {
+  Logger::Global().Write(level, component, message, fields);
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,140 @@
+#pragma once
+
+// Structured, leveled logging for SPADE daemons and tools.
+//
+// Log lines are key=value text (human default) or single-line JSON objects
+// (machine default, one object per line), selected process-wide. Every line
+// carries a UTC timestamp, level, component, message, and — when the calling
+// thread is inside a RequestIdScope — the active request id, so server logs
+// correlate with traces, the slow-query log, and the statement store.
+//
+// Repeated messages are rate limited per (component, message) pair: after a
+// burst of identical lines within a window, further lines are suppressed and
+// counted; the next emitted line carries a `suppressed` field with the count.
+// This keeps a wedged watchdog or a flapping peer from flooding stderr.
+//
+// The logger is intentionally tiny: no dependencies beyond the C++ standard
+// library, one mutex on the emit path, and an atomic level check so disabled
+// levels cost a single load.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace spade {
+namespace obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat : int { kText = 0, kJson = 1 };
+
+/// Stable lowercase token for a level ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// Parse "debug|info|warn|error" (case-sensitive). Returns false on junk.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Parse "text|json" (case-sensitive). Returns false on junk.
+bool ParseLogFormat(const std::string& text, LogFormat* out);
+
+/// Append the JSON string literal encoding of `s`, surrounding quotes
+/// included. Escapes quotes, backslashes, and control characters; any other
+/// byte (including non-ASCII UTF-8) passes through untouched.
+void AppendJsonQuoted(std::string* out, const std::string& s);
+
+/// One typed field on a log line. Build with the F() overloads below; the
+/// value is pre-rendered so the emit path is a straight concatenation.
+struct LogField {
+  const char* key = "";
+  std::string value;
+  bool quoted = true;  ///< string value (quote + escape) vs raw JSON literal
+};
+
+LogField F(const char* key, const std::string& value);
+LogField F(const char* key, const char* value);
+LogField F(const char* key, double value);
+LogField F(const char* key, int64_t value);
+LogField F(const char* key, uint64_t value);
+LogField F(const char* key, int value);
+LogField F(const char* key, bool value);
+
+class Logger {
+ public:
+  /// Process-wide logger. Leaked on purpose so worker threads may log
+  /// during static destruction (same idiom as MetricsRegistry).
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void SetFormat(LogFormat format) {
+    format_.store(static_cast<int>(format), std::memory_order_relaxed);
+  }
+  LogFormat format() const {
+    return static_cast<LogFormat>(format_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirect emitted lines (without trailing newline) to `writer`; pass
+  /// nullptr to restore the default stderr sink.
+  void SetWriterForTest(std::function<void(const std::string&)> writer);
+
+  /// Override the per-(component, message) rate limit. Defaults: a burst of
+  /// 8 lines per 10-second window.
+  void SetRateLimitForTest(int burst, double window_seconds);
+
+  void Write(LogLevel level, const char* component, const char* message,
+             std::initializer_list<LogField> fields);
+
+ private:
+  Logger() = default;
+
+  struct Bucket {
+    double window_start = 0;  ///< monotonic seconds
+    int emitted = 0;
+    int64_t suppressed = 0;
+  };
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<int> format_{static_cast<int>(LogFormat::kText)};
+  std::mutex mu_;
+  std::function<void(const std::string&)> writer_;  // guarded by mu_
+  std::map<std::string, Bucket> buckets_;           // guarded by mu_
+  int burst_ = 8;                                   // guarded by mu_
+  double window_seconds_ = 10.0;                    // guarded by mu_
+};
+
+/// Emit one log line through the global logger. Disabled levels return after
+/// one atomic load, before any field is rendered — but note the F() calls in
+/// the argument list still run; keep expensive field construction behind an
+/// explicit Enabled() check if it matters.
+void Log(LogLevel level, const char* component, const char* message,
+         std::initializer_list<LogField> fields = {});
+
+inline void LogDebug(const char* component, const char* message,
+                     std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kDebug, component, message, fields);
+}
+inline void LogInfo(const char* component, const char* message,
+                    std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kInfo, component, message, fields);
+}
+inline void LogWarn(const char* component, const char* message,
+                    std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kWarn, component, message, fields);
+}
+inline void LogError(const char* component, const char* message,
+                     std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -133,6 +133,13 @@ void QueryProfile::OnSpanBegin(const char* name) {
 }
 
 void QueryProfile::OnSpanEnd(const TraceEvent& ev) {
+  if (capture_max_ > 0) {
+    if (captured_.size() < capture_max_) {
+      captured_.push_back(ev);
+    } else {
+      ++truncated_spans_;
+    }
+  }
   if (stack_.size() <= 1) return;  // unbalanced End (attachment mid-span)
   ProfileNode* node = stack_.back();
   stack_.pop_back();
@@ -142,6 +149,31 @@ void QueryProfile::OnSpanEnd(const TraceEvent& ev) {
     if (IsIdentifierArg(ev.args[i].first)) continue;
     node->AddArg(ev.args[i].first, ev.args[i].second);
   }
+}
+
+void QueryProfile::EnableSpanCapture(size_t max_spans) {
+  capture_max_ = max_spans;
+  if (max_spans > 0) captured_.reserve(std::min<size_t>(max_spans, 256));
+}
+
+std::vector<TraceEvent> QueryProfile::TakeCapturedSpans() {
+  std::vector<TraceEvent> out;
+  out.swap(captured_);
+  return out;
+}
+
+namespace {
+int64_t SumArgRecursive(const ProfileNode& node, const char* key) {
+  int64_t total = node.ArgOr(key, 0);
+  for (const auto& child : node.children) {
+    total += SumArgRecursive(*child, key);
+  }
+  return total;
+}
+}  // namespace
+
+int64_t QueryProfile::SumArg(const char* key) const {
+  return SumArgRecursive(root_, key);
 }
 
 const ProfileNode* QueryProfile::plan() const {

@@ -61,6 +61,21 @@ class QueryProfile {
   const ProfileNode& root() const { return root_; }
   const ProfileNode* plan() const;
 
+  /// Flight-recorder support: when enabled, every completed span is also
+  /// copied verbatim (up to `max_spans`; overflow is counted, not stored)
+  /// so the tail sampler can retain the raw span tree of a slow or errored
+  /// query. Off by default — EXPLAIN and the slowlog only need the
+  /// aggregated tree.
+  void EnableSpanCapture(size_t max_spans);
+  bool span_capture_enabled() const { return capture_max_ > 0; }
+  /// Move the captured spans out (leaves the capture empty but enabled).
+  std::vector<TraceEvent> TakeCapturedSpans();
+  int64_t truncated_spans() const { return truncated_spans_; }
+
+  /// Sum of a numeric span arg over the whole plan tree (e.g. "cache_hit"
+  /// → result-cache hits inside this query); 0 when absent.
+  int64_t SumArg(const char* key) const;
+
   /// Aligned human-readable tree + stats, the EXPLAIN ANALYZE text form.
   std::string ToText() const;
   /// The same tree as JSON: {query, request_id, total_seconds, stats,
@@ -80,6 +95,9 @@ class QueryProfile {
  private:
   ProfileNode root_;
   std::vector<ProfileNode*> stack_;  ///< current open-span path; [0]=&root_
+  size_t capture_max_ = 0;           ///< 0 = span capture disabled
+  std::vector<TraceEvent> captured_;
+  int64_t truncated_spans_ = 0;
 };
 
 /// \brief RAII thread-local attachment; restores the previous profile on

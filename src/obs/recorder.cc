@@ -1,0 +1,313 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+Gauge& BytesGauge() {
+  static Gauge* g = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_recorder_bytes",
+        "Bytes of span trees retained by the flight recorder");
+    return MetricsRegistry::Global().gauge("spade_recorder_bytes");
+  }();
+  return *g;
+}
+
+Gauge& TracesGauge() {
+  static Gauge* g = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_recorder_traces",
+        "Traces currently retained by the flight recorder");
+    return MetricsRegistry::Global().gauge("spade_recorder_traces");
+  }();
+  return *g;
+}
+
+Counter& KeptCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_recorder_kept_total",
+        "Offered traces the tail sampler decided to retain");
+    return MetricsRegistry::Global().counter("spade_recorder_kept_total");
+  }();
+  return *c;
+}
+
+Counter& DroppedCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_recorder_dropped_total",
+        "Offered traces the tail sampler discarded (not slow, not errored, "
+        "not sampled, or oversized)");
+    return MetricsRegistry::Global().counter("spade_recorder_dropped_total");
+  }();
+  return *c;
+}
+
+Counter& EvictedCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_recorder_evicted_total",
+        "Retained traces evicted FIFO to stay inside the byte budget");
+    return MetricsRegistry::Global().counter("spade_recorder_evicted_total");
+  }();
+  return *c;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+}  // namespace
+
+const char* RetainReasonName(RetainReason reason) {
+  switch (reason) {
+    case RetainReason::kSlow:
+      return "slow";
+    case RetainReason::kError:
+      return "error";
+    case RetainReason::kSampled:
+      return "sampled";
+  }
+  return "sampled";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked
+  return *recorder;
+}
+
+void FlightRecorder::Configure(size_t budget_bytes, int64_t sample_every,
+                               double slow_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget_bytes;
+  sample_every_ = sample_every < 0 ? 0 : sample_every;
+  slow_seconds_ = slow_seconds;
+  while (bytes_ > budget_bytes_ && !traces_.empty()) {
+    bytes_ -= traces_.front().bytes;
+    traces_.pop_front();
+    ++evicted_;
+    EvictedCounter().Add();
+  }
+  if (budget_bytes_ == 0) {
+    bytes_ = 0;
+    traces_.clear();
+  }
+  UpdateGauges();
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_ > 0;
+}
+
+size_t FlightRecorder::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+int64_t FlightRecorder::sample_every() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_every_;
+}
+
+double FlightRecorder::slow_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_seconds_;
+}
+
+size_t FlightRecorder::AccountedBytes(const RetainedTrace& t) {
+  // Flat struct + span payload + string payloads; the constant covers
+  // deque/string bookkeeping so the accounting errs high, never low.
+  return sizeof(RetainedTrace) + t.spans.size() * sizeof(TraceEvent) +
+         t.request_id.size() + t.query.size() + t.error.size() + 64;
+}
+
+void FlightRecorder::UpdateGauges() {
+  BytesGauge().Set(static_cast<int64_t>(bytes_));
+  TracesGauge().Set(static_cast<int64_t>(traces_.size()));
+}
+
+void FlightRecorder::Offer(const std::string& request_id,
+                           const std::string& query, double seconds,
+                           const std::string& error,
+                           std::vector<TraceEvent> spans,
+                           int64_t truncated_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_bytes_ == 0) return;
+  ++offers_;
+  RetainReason reason;
+  if (!error.empty()) {
+    reason = RetainReason::kError;
+  } else if (seconds >= slow_seconds_) {
+    reason = RetainReason::kSlow;
+  } else if (sample_every_ > 0 && (offers_ % sample_every_) == 1 % sample_every_) {
+    reason = RetainReason::kSampled;
+  } else {
+    ++dropped_;
+    DroppedCounter().Add();
+    return;
+  }
+
+  RetainedTrace t;
+  t.request_id = request_id;
+  t.query = query;
+  t.error = error;
+  t.seconds = seconds;
+  t.reason = reason;
+  t.sequence = next_sequence_++;
+  t.truncated_spans = truncated_spans;
+  t.spans = std::move(spans);
+  t.bytes = AccountedBytes(t);
+  if (t.bytes > budget_bytes_) {
+    // One trace bigger than the whole budget can never fit.
+    ++dropped_;
+    DroppedCounter().Add();
+    return;
+  }
+  bytes_ += t.bytes;
+  traces_.push_back(std::move(t));
+  switch (reason) {
+    case RetainReason::kSlow:
+      ++kept_slow_;
+      break;
+    case RetainReason::kError:
+      ++kept_error_;
+      break;
+    case RetainReason::kSampled:
+      ++kept_sampled_;
+      break;
+  }
+  KeptCounter().Add();
+  while (bytes_ > budget_bytes_ && traces_.size() > 1) {
+    bytes_ -= traces_.front().bytes;
+    traces_.pop_front();
+    ++evicted_;
+    EvictedCounter().Add();
+  }
+  UpdateGauges();
+}
+
+bool FlightRecorder::TraceChromeJson(const std::string& request_id,
+                                     std::string* out) const {
+  std::vector<TraceEvent> spans;
+  std::string other;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const RetainedTrace* found = nullptr;
+    for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+      if (it->request_id == request_id) {
+        found = &*it;
+        break;
+      }
+    }
+    if (found == nullptr) return false;
+    spans = found->spans;
+    other.reserve(128 + found->query.size());
+    other.append("\"request_id\":");
+    AppendJsonQuoted(&other, found->request_id);
+    other.append(",\"query\":");
+    AppendJsonQuoted(&other, found->query);
+    other.append(",\"seconds\":");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", found->seconds);
+    other.append(buf);
+    other.append(",\"reason\":\"");
+    other.append(RetainReasonName(found->reason));
+    other.append("\",\"error\":");
+    AppendJsonQuoted(&other, found->error);
+    other.append(",\"truncated_spans\":");
+    other.append(std::to_string(found->truncated_spans));
+  }
+  *out = ChromeJsonFromEvents(std::move(spans), other);
+  return true;
+}
+
+std::string FlightRecorder::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(128 + traces_.size() * 96);
+  out.append("recorder: ");
+  out.append(std::to_string(traces_.size()));
+  out.append(traces_.size() == 1 ? " trace, " : " traces, ");
+  out.append(std::to_string(bytes_));
+  out.append(" bytes (budget ");
+  out.append(std::to_string(budget_bytes_));
+  out.append("), kept slow=");
+  out.append(std::to_string(kept_slow_));
+  out.append(" error=");
+  out.append(std::to_string(kept_error_));
+  out.append(" sampled=");
+  out.append(std::to_string(kept_sampled_));
+  out.append(", dropped ");
+  out.append(std::to_string(dropped_));
+  out.append(", evicted ");
+  out.append(std::to_string(evicted_));
+  size_t rank = 0;
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    out.push_back('\n');
+    out.append(std::to_string(++rank));
+    out.append(". ");
+    out.append(it->request_id.empty() ? "-" : it->request_id);
+    out.push_back(' ');
+    out.append(FormatSeconds(it->seconds));
+    out.push_back(' ');
+    out.append(RetainReasonName(it->reason));
+    out.push_back(' ');
+    out.append(std::to_string(it->spans.size()));
+    out.append(" spans | ");
+    out.append(it->query);
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  bytes_ = 0;
+  offers_ = 0;
+  dropped_ = 0;
+  evicted_ = 0;
+  kept_slow_ = 0;
+  kept_error_ = 0;
+  kept_sampled_ = 0;
+  UpdateGauges();
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+size_t FlightRecorder::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t FlightRecorder::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offers_;
+}
+
+int64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int64_t FlightRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+}  // namespace obs
+}  // namespace spade

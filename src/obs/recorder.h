@@ -1,0 +1,108 @@
+#pragma once
+
+// Tail-sampled flight recorder: keeps the full span tree of the queries an
+// operator will actually ask about — the slow tail, the errors, and a 1-in-N
+// background sample — under a hard byte budget, retrievable live over the
+// wire as `trace <request-id>` (Chrome trace-event JSON).
+//
+// The decision is made at query *completion* (tail sampling): the service
+// captures spans for every profiled query (cheap — the profiler already
+// walks each span) and Offer()s them with the final latency and status; the
+// recorder keeps the trace iff the query was slow (>= slow_seconds), ended
+// in an error, or hits the 1-in-N sample arm. Retained traces are accounted
+// by size and evicted FIFO (oldest first) whenever the total would exceed
+// the budget, so memory is bounded no matter the span volume; a single
+// trace larger than the whole budget is dropped outright.
+//
+// Span storage is the tracer's POD TraceEvent: names and arg keys are
+// static string literals by contract (SPADE_TRACE_SPAN sites), so copies
+// are shallow and safe to hold indefinitely.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace spade {
+namespace obs {
+
+enum class RetainReason { kSlow, kError, kSampled };
+
+const char* RetainReasonName(RetainReason reason);
+
+struct RetainedTrace {
+  std::string request_id;
+  std::string query;  ///< canonical query text
+  std::string error;  ///< empty on success
+  double seconds = 0;
+  RetainReason reason = RetainReason::kSampled;
+  int64_t sequence = 0;  ///< monotonically increasing retain order
+  size_t bytes = 0;      ///< accounted size of this trace
+  int64_t truncated_spans = 0;  ///< spans dropped by the per-query cap
+  std::vector<TraceEvent> spans;
+};
+
+class FlightRecorder {
+ public:
+  /// Process-wide recorder; leaked like the other obs singletons.
+  static FlightRecorder& Global();
+
+  /// `budget_bytes` == 0 disables retention entirely (Offer becomes a
+  /// near-no-op). `sample_every` == 0 disables the 1-in-N arm; N >= 1 keeps
+  /// the 1st, N+1st, ... offer, so the first query of a fresh process is
+  /// always retrievable. `slow_seconds` is the always-keep latency floor.
+  void Configure(size_t budget_bytes, int64_t sample_every,
+                 double slow_seconds);
+
+  bool enabled() const;
+  size_t budget_bytes() const;
+  int64_t sample_every() const;
+  double slow_seconds() const;
+
+  /// Tail-sampling decision point; call once per completed query with its
+  /// captured spans (may be empty — error traces keep their metadata even
+  /// when span capture was off).
+  void Offer(const std::string& request_id, const std::string& query,
+             double seconds, const std::string& error,
+             std::vector<TraceEvent> spans, int64_t truncated_spans = 0);
+
+  /// Chrome trace-event JSON for the newest retained trace with this
+  /// request id; false when none is retained.
+  bool TraceChromeJson(const std::string& request_id, std::string* out) const;
+
+  /// Human-readable index (newest first) — the `trace list` payload.
+  std::string ToText() const;
+
+  void Clear();
+
+  size_t size() const;
+  size_t bytes() const;
+  int64_t offered() const;
+  int64_t dropped() const;
+  int64_t evicted() const;
+
+ private:
+  FlightRecorder() = default;
+  static size_t AccountedBytes(const RetainedTrace& t);
+  void UpdateGauges();  // requires mu_
+
+  mutable std::mutex mu_;
+  std::deque<RetainedTrace> traces_;  // FIFO, oldest at front
+  size_t budget_bytes_ = 8u << 20;
+  int64_t sample_every_ = 64;
+  double slow_seconds_ = 0.25;
+  size_t bytes_ = 0;
+  int64_t next_sequence_ = 1;
+  int64_t offers_ = 0;
+  int64_t dropped_ = 0;
+  int64_t evicted_ = 0;
+  int64_t kept_slow_ = 0;
+  int64_t kept_error_ = 0;
+  int64_t kept_sampled_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,391 @@
+#include "obs/statements.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/log.h"
+
+namespace spade {
+namespace obs {
+
+namespace {
+
+Counter& RecordedCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_statements_recorded_total",
+        "Query observations recorded by the statement store");
+    return MetricsRegistry::Global().counter("spade_statements_recorded_total");
+  }();
+  return *c;
+}
+
+Counter& EvictedCounter() {
+  static Counter* c = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_statements_evicted_total",
+        "Statement-store fingerprints evicted at capacity");
+    return MetricsRegistry::Global().counter("spade_statements_evicted_total");
+  }();
+  return *c;
+}
+
+Gauge& EntriesGauge() {
+  static Gauge* g = [] {
+    MetricsRegistry::Global().SetHelp(
+        "spade_statements_entries",
+        "Distinct query fingerprints tracked by the statement store");
+    return MetricsRegistry::Global().gauge("spade_statements_entries");
+  }();
+  return *g;
+}
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  }
+  return buf;
+}
+
+std::string FormatJsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+StatementOutcome OutcomeForStatus(const Status& status, bool was_shed) {
+  if (status.ok()) return StatementOutcome::kOk;
+  switch (status.code()) {
+    case Status::Code::kCancelled:
+      return StatementOutcome::kCancelled;
+    case Status::Code::kDeadlineExceeded:
+      return StatementOutcome::kDeadline;
+    case Status::Code::kOverloaded:
+      return StatementOutcome::kShed;
+    default:
+      return was_shed ? StatementOutcome::kShed : StatementOutcome::kError;
+  }
+}
+
+const char* StatementOutcomeName(StatementOutcome outcome) {
+  switch (outcome) {
+    case StatementOutcome::kOk:
+      return "ok";
+    case StatementOutcome::kCancelled:
+      return "cancelled";
+    case StatementOutcome::kDeadline:
+      return "deadline";
+    case StatementOutcome::kShed:
+      return "shed";
+    case StatementOutcome::kError:
+      return "error";
+  }
+  return "error";
+}
+
+StatementStore& StatementStore::Global() {
+  static StatementStore* store = new StatementStore();  // leaked on purpose
+  return *store;
+}
+
+void StatementStore::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (entries_.size() > capacity_) {
+    auto cheapest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) {
+          return a->total_seconds < b->total_seconds;
+        });
+    entries_.erase(cheapest);
+    ++evicted_;
+    EvictedCounter().Add();
+  }
+  EntriesGauge().Set(static_cast<int64_t>(entries_.size()));
+}
+
+void StatementStore::Record(const StatementUpdate& update) {
+  if (!enabled() || update.fingerprint == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = nullptr;
+  for (const auto& e : entries_) {
+    if (e->fingerprint == update.fingerprint) {
+      entry = e.get();
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    if (entries_.size() >= capacity_) {
+      auto cheapest = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const std::unique_ptr<Entry>& a,
+             const std::unique_ptr<Entry>& b) {
+            return a->total_seconds < b->total_seconds;
+          });
+      entries_.erase(cheapest);
+      ++evicted_;
+      EvictedCounter().Add();
+    }
+    entries_.push_back(std::unique_ptr<Entry>(new Entry()));
+    entry = entries_.back().get();
+    entry->fingerprint = update.fingerprint;
+    entry->kind = update.kind != nullptr ? update.kind : "";
+    entry->dataset = update.dataset;
+    entry->shape = update.shape;
+  }
+  ++entry->calls;
+  switch (update.outcome) {
+    case StatementOutcome::kOk:
+      ++entry->ok;
+      break;
+    case StatementOutcome::kCancelled:
+      ++entry->cancelled;
+      break;
+    case StatementOutcome::kDeadline:
+      ++entry->deadline;
+      break;
+    case StatementOutcome::kShed:
+      ++entry->shed;
+      break;
+    case StatementOutcome::kError:
+      ++entry->errors;
+      break;
+  }
+  entry->total_seconds += update.seconds;
+  entry->total_queue_wait_seconds += update.queue_wait_seconds;
+  entry->latency.Record(update.seconds);
+  entry->queue_wait.Record(update.queue_wait_seconds);
+  entry->render_passes += update.render_passes;
+  entry->fragments += update.fragments;
+  entry->cells += update.cells;
+  entry->cache_hits += update.cache_hits;
+  entry->results += update.results;
+  ++recorded_;
+  RecordedCounter().Add();
+  EntriesGauge().Set(static_cast<int64_t>(entries_.size()));
+}
+
+StatementSnapshot StatementStore::MakeSnapshot(const Entry& e) const {
+  StatementSnapshot s;
+  s.fingerprint = e.fingerprint;
+  s.kind = e.kind;
+  s.dataset = e.dataset;
+  s.shape = e.shape;
+  s.calls = e.calls;
+  s.ok = e.ok;
+  s.cancelled = e.cancelled;
+  s.deadline = e.deadline;
+  s.shed = e.shed;
+  s.errors = e.errors;
+  s.total_seconds = e.total_seconds;
+  s.total_queue_wait_seconds = e.total_queue_wait_seconds;
+  s.p50_seconds = e.latency.Percentile(0.50);
+  s.p95_seconds = e.latency.Percentile(0.95);
+  s.p99_seconds = e.latency.Percentile(0.99);
+  s.queue_wait_p95_seconds = e.queue_wait.Percentile(0.95);
+  s.render_passes = e.render_passes;
+  s.fragments = e.fragments;
+  s.cells = e.cells;
+  s.cache_hits = e.cache_hits;
+  s.results = e.results;
+  return s;
+}
+
+std::vector<StatementSnapshot> StatementStore::Snapshot() const {
+  std::vector<StatementSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(MakeSnapshot(*e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatementSnapshot& a, const StatementSnapshot& b) {
+              if (a.total_seconds != b.total_seconds) {
+                return a.total_seconds > b.total_seconds;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+void StatementStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  recorded_ = 0;
+  evicted_ = 0;
+  EntriesGauge().Set(0);
+}
+
+size_t StatementStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t StatementStore::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int64_t StatementStore::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t StatementStore::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::string StatementStore::ToText() const {
+  size_t cap;
+  int64_t rec, evi;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cap = capacity_;
+    rec = recorded_;
+    evi = evicted_;
+  }
+  const std::vector<StatementSnapshot> snaps = Snapshot();
+  std::string out;
+  out.reserve(128 + snaps.size() * 192);
+  out.append("statements: ");
+  out.append(std::to_string(snaps.size()));
+  out.append(snaps.size() == 1 ? " fingerprint" : " fingerprints");
+  out.append(" (capacity ");
+  out.append(std::to_string(cap));
+  out.append(", recorded ");
+  out.append(std::to_string(rec));
+  out.append(", evicted ");
+  out.append(std::to_string(evi));
+  out.append(")");
+  size_t rank = 0;
+  for (const StatementSnapshot& s : snaps) {
+    out.push_back('\n');
+    out.append(std::to_string(++rank));
+    out.append(". ");
+    out.append(HexFingerprint(s.fingerprint));
+    out.push_back(' ');
+    out.append(s.kind);
+    out.append(" calls=");
+    out.append(std::to_string(s.calls));
+    out.append(" ok=");
+    out.append(std::to_string(s.ok));
+    out.append(" cancelled=");
+    out.append(std::to_string(s.cancelled));
+    out.append(" deadline=");
+    out.append(std::to_string(s.deadline));
+    out.append(" shed=");
+    out.append(std::to_string(s.shed));
+    out.append(" errors=");
+    out.append(std::to_string(s.errors));
+    out.append(" total=");
+    out.append(FormatSeconds(s.total_seconds));
+    out.append(" p50=");
+    out.append(FormatSeconds(s.p50_seconds));
+    out.append(" p95=");
+    out.append(FormatSeconds(s.p95_seconds));
+    out.append(" p99=");
+    out.append(FormatSeconds(s.p99_seconds));
+    out.append(" wait_p95=");
+    out.append(FormatSeconds(s.queue_wait_p95_seconds));
+    out.append(" passes=");
+    out.append(std::to_string(s.render_passes));
+    out.append(" frags=");
+    out.append(std::to_string(s.fragments));
+    out.append(" cells=");
+    out.append(std::to_string(s.cells));
+    out.append(" hits=");
+    out.append(std::to_string(s.cache_hits));
+    out.append(" results=");
+    out.append(std::to_string(s.results));
+    out.append(" | ");
+    out.append(s.shape);
+  }
+  return out;
+}
+
+std::string StatementStore::ToJson() const {
+  size_t cap;
+  int64_t rec, evi;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cap = capacity_;
+    rec = recorded_;
+    evi = evicted_;
+  }
+  const std::vector<StatementSnapshot> snaps = Snapshot();
+  std::string out;
+  out.reserve(128 + snaps.size() * 384);
+  out.append("{\"capacity\":");
+  out.append(std::to_string(cap));
+  out.append(",\"recorded\":");
+  out.append(std::to_string(rec));
+  out.append(",\"evicted\":");
+  out.append(std::to_string(evi));
+  out.append(",\"entries\":[");
+  bool first = true;
+  for (const StatementSnapshot& s : snaps) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"fingerprint\":\"");
+    out.append(HexFingerprint(s.fingerprint));
+    out.append("\",\"kind\":");
+    AppendJsonQuoted(&out, s.kind);
+    out.append(",\"dataset\":");
+    AppendJsonQuoted(&out, s.dataset);
+    out.append(",\"shape\":");
+    AppendJsonQuoted(&out, s.shape);
+    out.append(",\"calls\":");
+    out.append(std::to_string(s.calls));
+    out.append(",\"ok\":");
+    out.append(std::to_string(s.ok));
+    out.append(",\"cancelled\":");
+    out.append(std::to_string(s.cancelled));
+    out.append(",\"deadline\":");
+    out.append(std::to_string(s.deadline));
+    out.append(",\"shed\":");
+    out.append(std::to_string(s.shed));
+    out.append(",\"errors\":");
+    out.append(std::to_string(s.errors));
+    out.append(",\"total_seconds\":");
+    out.append(FormatJsonDouble(s.total_seconds));
+    out.append(",\"queue_wait_seconds\":");
+    out.append(FormatJsonDouble(s.total_queue_wait_seconds));
+    out.append(",\"p50_seconds\":");
+    out.append(FormatJsonDouble(s.p50_seconds));
+    out.append(",\"p95_seconds\":");
+    out.append(FormatJsonDouble(s.p95_seconds));
+    out.append(",\"p99_seconds\":");
+    out.append(FormatJsonDouble(s.p99_seconds));
+    out.append(",\"queue_wait_p95_seconds\":");
+    out.append(FormatJsonDouble(s.queue_wait_p95_seconds));
+    out.append(",\"render_passes\":");
+    out.append(std::to_string(s.render_passes));
+    out.append(",\"fragments\":");
+    out.append(std::to_string(s.fragments));
+    out.append(",\"cells\":");
+    out.append(std::to_string(s.cells));
+    out.append(",\"cache_hits\":");
+    out.append(std::to_string(s.cache_hits));
+    out.append(",\"results\":");
+    out.append(std::to_string(s.results));
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spade

@@ -1,0 +1,157 @@
+#pragma once
+
+// Query-fingerprint statistics store (pg_stat_statements for the canvas
+// model).
+//
+// Every completed (or rejected) query is normalized to a 64-bit shape
+// fingerprint — query class + datasets + constraint signature, computed by
+// the caller (see wire::StatementFingerprint) so this layer stays free of
+// service/batch dependencies — and aggregated per fingerprint: call and
+// typed-error counts (cancelled / deadline / shed), latency and queue-wait
+// histograms, and canvas cost counters (render passes, fragments, cells,
+// result-cache hits) lifted from QueryProfile / QueryStats.
+//
+// The table is fixed-capacity: when a new fingerprint arrives at capacity
+// the entry with the smallest total execution time is evicted and counted,
+// so the hot shapes survive and the bookkeeping is honest about what was
+// dropped. All methods are thread-safe behind one mutex; Record() does a
+// hash-map probe plus two histogram increments, cheap next to any query.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace spade {
+namespace obs {
+
+enum class StatementOutcome { kOk, kCancelled, kDeadline, kShed, kError };
+
+/// Map a completion status onto an outcome bucket. `was_shed` marks
+/// admission-time load-shedding rejections (Overloaded), which are counted
+/// separately from in-flight errors.
+StatementOutcome OutcomeForStatus(const Status& status, bool was_shed = false);
+
+const char* StatementOutcomeName(StatementOutcome outcome);
+
+/// One observation delivered to the store.
+struct StatementUpdate {
+  uint64_t fingerprint = 0;   ///< 0 is invalid; callers must pre-compute
+  const char* kind = "";      ///< static token ("select", "range", ...)
+  std::string dataset;        ///< primary dataset ("a+b" style for joins ok)
+  std::string shape;          ///< canonical one-line query description
+  StatementOutcome outcome = StatementOutcome::kOk;
+  double seconds = 0;             ///< end-to-end execution seconds
+  double queue_wait_seconds = 0;  ///< admission-queue wait
+  int64_t render_passes = 0;
+  int64_t fragments = 0;
+  int64_t cells = 0;
+  int64_t cache_hits = 0;  ///< result-cache hits inside this query
+  int64_t results = 0;     ///< rows/ids/pairs returned
+};
+
+/// Point-in-time copy of one aggregate, for rendering and tests.
+struct StatementSnapshot {
+  uint64_t fingerprint = 0;
+  std::string kind;
+  std::string dataset;
+  std::string shape;
+  int64_t calls = 0;
+  int64_t ok = 0;
+  int64_t cancelled = 0;
+  int64_t deadline = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  double total_seconds = 0;
+  double total_queue_wait_seconds = 0;
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+  double queue_wait_p95_seconds = 0;
+  int64_t render_passes = 0;
+  int64_t fragments = 0;
+  int64_t cells = 0;
+  int64_t cache_hits = 0;
+  int64_t results = 0;
+};
+
+class StatementStore {
+ public:
+  /// Process-wide store; leaked like the other obs singletons so worker
+  /// threads may record during shutdown.
+  static StatementStore& Global();
+
+  /// Fast global kill switch (one relaxed load on the Record path); callers
+  /// that pay to compute fingerprints should check enabled() first.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Distinct fingerprints retained; beyond it the cheapest entry (smallest
+  /// total_seconds) is evicted. Clamped to >= 1.
+  void SetCapacity(size_t capacity);
+
+  void Record(const StatementUpdate& update);
+
+  /// Aggregates sorted by total_seconds descending.
+  std::vector<StatementSnapshot> Snapshot() const;
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const;
+  int64_t recorded() const;
+  int64_t evicted() const;
+
+  /// Human-readable table (header line + one line per fingerprint, hottest
+  /// first) — the `statements` wire/CLI payload.
+  std::string ToText() const;
+
+  /// Machine-readable payload for `statements json`; single line, all
+  /// strings JSON-escaped.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    const char* kind = "";
+    std::string dataset;
+    std::string shape;
+    int64_t calls = 0;
+    int64_t ok = 0;
+    int64_t cancelled = 0;
+    int64_t deadline = 0;
+    int64_t shed = 0;
+    int64_t errors = 0;
+    double total_seconds = 0;
+    double total_queue_wait_seconds = 0;
+    Histogram latency{1e-6};
+    Histogram queue_wait{1e-6};
+    int64_t render_passes = 0;
+    int64_t fragments = 0;
+    int64_t cells = 0;
+    int64_t cache_hits = 0;
+    int64_t results = 0;
+  };
+
+  StatementStore() = default;
+  StatementSnapshot MakeSnapshot(const Entry& e) const;
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  // Entries hold non-movable histograms, hence unique_ptr. n is small
+  // (default 256), so linear scans for eviction are fine.
+  std::vector<std::unique_ptr<Entry>> entries_;
+  size_t capacity_ = 256;
+  int64_t recorded_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spade

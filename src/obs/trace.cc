@@ -121,8 +121,8 @@ void Tracer::SetThreadRequestId(uint64_t id) { tl_request_id = id; }
 
 uint64_t Tracer::thread_request_id() { return tl_request_id; }
 
-std::string Tracer::ToChromeJson() const {
-  std::vector<TraceEvent> events = Snapshot();
+std::string ChromeJsonFromEvents(std::vector<TraceEvent> events,
+                                 const std::string& other_data_json) {
   // Stable presentation: order by (tid, start) so a diff of two exports of
   // the same run is meaningful. Perfetto orders by timestamp anyway.
   std::stable_sort(events.begin(), events.end(),
@@ -131,7 +131,11 @@ std::string Tracer::ToChromeJson() const {
                      return a.ts_us < b.ts_us;
                    });
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",";
+  if (!other_data_json.empty()) {
+    os << "\"otherData\":{" << other_data_json << "},";
+  }
+  os << "\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) os << ',';
@@ -151,6 +155,8 @@ std::string Tracer::ToChromeJson() const {
   os << "]}";
   return os.str();
 }
+
+std::string Tracer::ToChromeJson() const { return ChromeJsonFromEvents(Snapshot()); }
 
 Status Tracer::WriteChromeJson(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -107,6 +107,7 @@ class Tracer {
 
   /// Render every recorded span as Chrome trace-event JSON
   /// (chrome://tracing and https://ui.perfetto.dev load it directly).
+  /// Equivalent to ChromeJsonFromEvents(Snapshot()).
   std::string ToChromeJson() const;
 
   /// ToChromeJson() into a file.
@@ -128,6 +129,15 @@ class Tracer {
   int64_t dropped_ = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
+
+/// Render an arbitrary span list as Chrome trace-event JSON (the same
+/// format ToChromeJson emits). `other_data_json`, when non-empty, must be a
+/// pre-rendered JSON object body ("key":value pairs, no braces) and is
+/// attached as the export's top-level "otherData" object — the slot the
+/// Chrome format reserves for trace metadata. The flight recorder uses this
+/// to stamp retained traces with request id, query text, and retain reason.
+std::string ChromeJsonFromEvents(std::vector<TraceEvent> events,
+                                 const std::string& other_data_json = "");
 
 /// \brief RAII span: records itself into the global tracer on destruction
 /// and, when a QueryProfile is attached to the thread, into its plan tree.

@@ -30,6 +30,8 @@ enum class RequestKind {
   kMetrics,       ///< Prometheus-format metrics exposition
   kSlowlog,       ///< slow-query log snapshot / clear
   kIngest,        ///< append points to a streaming-ingest dataset
+  kStatements,    ///< query-fingerprint statistics snapshot / clear
+  kTrace,         ///< retained flight-recorder trace fetch / list
 };
 
 /// \brief One query-service request.

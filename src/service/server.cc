@@ -27,6 +27,8 @@ constexpr const char* kProtocolHelp =
   join <polys> <other> | distance <name> x y r [m] | djoin <l> <r> r [m]
   knn <name> x y k [m] | sql <statement> | stats | metrics
   explain [--json] <query> | slowlog [json|clear]
+  statements [json|clear]  (per-fingerprint workload statistics)
+  trace [<request-id>|list]  (retained flight-recorder trace, Chrome JSON)
   ingest <name> x y [x y ...]  (append one batch; answers appended N epoch=E)
   prefix any line with @<id> to tag it with a request id (echoed as `id`)
   prefix any line with timeout=<ms> to set an end-to-end deadline

@@ -1,13 +1,15 @@
 #include "service/service.h"
 
-#include <cstdio>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "obs/build_info.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/slowlog.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
 #include "service/wire.h"
 #include "storage/sql.h"
@@ -148,6 +150,15 @@ SpadeService::SpadeService(SpadeConfig engine_config, ServiceConfig config)
   if (config_.slow_query_seconds > 0) {
     obs::SlowQueryLog::Global().SetThreshold(config_.slow_query_seconds);
   }
+  // Workload telemetry is process-global, configured by the owning service
+  // (same contract as the slow-query log threshold above).
+  obs::StatementStore::Global().SetEnabled(config_.statements_capacity > 0);
+  if (config_.statements_capacity > 0) {
+    obs::StatementStore::Global().SetCapacity(config_.statements_capacity);
+  }
+  obs::FlightRecorder::Global().Configure(config_.recorder_bytes,
+                                          config_.recorder_sample_every,
+                                          config_.recorder_slow_seconds);
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -270,6 +281,12 @@ std::future<Response> SpadeService::Submit(Request req,
         job.pinned2 = ing2->PinSnapshot();
       }
     }
+    // Fingerprint at admission, while the parsed request is in hand, so
+    // shed/rejected queries are attributed to their shape too. Gated on
+    // the store so disabling telemetry removes the hashing cost entirely.
+    if (obs::StatementStore::Global().enabled()) {
+      job.fingerprint = wire::StatementFingerprint(job.req);
+    }
   }
   std::future<Response> fut = job.promise.get_future();
 
@@ -319,6 +336,15 @@ std::future<Response> SpadeService::Submit(Request req,
       shed_.fetch_add(1, std::memory_order_relaxed);
       ShedCounter().Add(1);
     }
+    if (job.fingerprint != 0) {
+      obs::StatementUpdate u;
+      u.fingerprint = job.fingerprint;
+      u.kind = wire::RequestKindToken(job.req.kind);
+      u.dataset = job.req.dataset;
+      u.shape = wire::DescribeRequest(job.req);
+      u.outcome = obs::OutcomeForStatus(admit, was_shed);
+      obs::StatementStore::Global().Record(u);
+    }
     Response resp;
     resp.status = admit;
     resp.request_id = job.req.request_id;
@@ -356,6 +382,11 @@ void SpadeService::WorkerLoop() {
       profile = std::make_unique<obs::QueryProfile>();
       profile->query = wire::DescribeRequest(job.req);
       profile->request_id = job.req.request_id;
+      // Tail sampling needs the raw spans, not just the aggregated tree;
+      // the keep/drop decision happens after completion, in Offer().
+      if (obs::FlightRecorder::Global().enabled()) {
+        profile->EnableSpanCapture(config_.recorder_max_spans);
+      }
     }
 
     // The deadline may already have passed while the job sat in the
@@ -430,6 +461,33 @@ void SpadeService::WorkerLoop() {
                                            resp.total_seconds, wait,
                                            profile.get(), profile->error);
       }
+      if (profile->span_capture_enabled()) {
+        obs::FlightRecorder::Global().Offer(
+            job.req.request_id, profile->query, resp.total_seconds,
+            profile->error, profile->TakeCapturedSpans(),
+            profile->truncated_spans());
+      }
+    }
+    if (job.fingerprint != 0) {
+      obs::StatementUpdate u;
+      u.fingerprint = job.fingerprint;
+      u.kind = wire::RequestKindToken(job.req.kind);
+      u.dataset = job.req.dataset;
+      u.shape = profile != nullptr ? profile->query
+                                   : wire::DescribeRequest(job.req);
+      u.outcome = obs::OutcomeForStatus(resp.status);
+      u.seconds = resp.total_seconds;
+      u.queue_wait_seconds = wait;
+      u.render_passes = resp.stats.render_passes;
+      u.fragments = resp.stats.fragments;
+      u.cells = resp.stats.cells_processed;
+      u.results = static_cast<int64_t>(resp.ids.size() + resp.pairs.size() +
+                                       resp.neighbors.size());
+      if (profile != nullptr) {
+        u.cache_hits =
+            profile->SumArg("cache_hit") + profile->SumArg("cache_hits");
+      }
+      obs::StatementStore::Global().Record(u);
     }
     latency_hist_.Record(resp.total_seconds);
     static obs::Histogram* latency_metric =
@@ -495,6 +553,35 @@ Response SpadeService::Run(Job& job) {
     } else {
       resp.text = req.json ? log.ToJson() : log.ToText();
     }
+    return resp;
+  }
+  if (req.kind == RequestKind::kStatements) {
+    // Off-device like kStats/kSlowlog: workload stats must stay readable
+    // exactly when the workload is saturating the device.
+    obs::StatementStore& store = obs::StatementStore::Global();
+    if (req.arg == "clear") {
+      store.Clear();
+      resp.text = "statements cleared";
+    } else {
+      resp.text = req.json ? store.ToJson() : store.ToText();
+    }
+    return resp;
+  }
+  if (req.kind == RequestKind::kTrace) {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (req.arg.empty()) {
+      resp.text = recorder.ToText();
+      return resp;
+    }
+    std::string json;
+    if (!recorder.TraceChromeJson(req.arg, &json)) {
+      resp.status = Status::NotFound(
+          "no retained trace for request id '" + req.arg +
+          "' (tail sampling keeps slow/errored/1-in-N queries; see "
+          "`trace list`)");
+      return resp;
+    }
+    resp.text = std::move(json);
     return resp;
   }
   if (req.kind == RequestKind::kSql) {
@@ -640,6 +727,8 @@ Response SpadeService::Run(Job& job) {
     case RequestKind::kStats:
     case RequestKind::kMetrics:
     case RequestKind::kSlowlog:
+    case RequestKind::kStatements:
+    case RequestKind::kTrace:
     case RequestKind::kIngest:
       resp.status = Status::Internal("unreachable request kind");
       break;
@@ -710,6 +799,8 @@ DrainResult SpadeService::Drain(double budget_seconds) {
   DrainResult result;
   Stopwatch clock;
   const int64_t completed_before = completed_.load(std::memory_order_relaxed);
+  obs::LogInfo("service", "drain started",
+               {obs::F("budget_seconds", budget_seconds)});
 
   std::deque<Job> leftovers;
   {
@@ -776,6 +867,10 @@ DrainResult SpadeService::Drain(double budget_seconds) {
       completed_.load(std::memory_order_relaxed) - completed_before;
   result.seconds = clock.ElapsedSeconds();
   DrainSecondsHistogram().Record(result.seconds);
+  obs::LogInfo("service", "drain finished",
+               {obs::F("finished", result.finished),
+                obs::F("cancelled", result.cancelled),
+                obs::F("seconds", result.seconds)});
   return result;
 }
 
@@ -798,11 +893,11 @@ void SpadeService::WatchdogLoop() {
         q->flagged_stuck = true;
         stuck_.fetch_add(1, std::memory_order_relaxed);
         StuckCounter().Add(1);
-        std::fprintf(stderr,
-                     "[spade] watchdog: query %s stuck: running %.3fs "
-                     "against a %.3fs deadline (over %.0fx)\n",
-                     q->request_id.c_str(), elapsed, q->timeout_seconds,
-                     config_.stuck_after_multiple);
+        obs::LogWarn("service", "stuck query",
+                     {obs::F("request_id", q->request_id),
+                      obs::F("running_seconds", elapsed),
+                      obs::F("deadline_seconds", q->timeout_seconds),
+                      obs::F("multiple", config_.stuck_after_multiple)});
       }
     }
   }

@@ -91,6 +91,25 @@ struct ServiceConfig {
   size_t batch_max_members = 8;
   /// Byte budget of the per-cell result cache (0 disables caching).
   size_t batch_cache_bytes = 32ull << 20;
+  /// Workload telemetry (src/obs/statements, src/obs/recorder). Both stores
+  /// are process-global; constructing a service (re)configures them, the
+  /// same contract SlowQueryLog already follows.
+  ///
+  /// Distinct query fingerprints the statement store keeps (the cheapest
+  /// entry by total time is evicted beyond this); 0 disables statement
+  /// recording entirely, including fingerprint computation at admission.
+  size_t statements_capacity = 256;
+  /// Flight-recorder byte budget for retained span trees; 0 disables
+  /// tail-sampled trace retention (and per-query span capture).
+  size_t recorder_bytes = 8ull << 20;
+  /// Keep every Nth completed query's trace regardless of latency (the
+  /// tail sampler's background arm; the 1st offer is always in the arm, so
+  /// a fresh server's first query is retrievable). 0 disables the arm.
+  int64_t recorder_sample_every = 64;
+  /// Queries at or above this latency always retain their trace.
+  double recorder_slow_seconds = 0.25;
+  /// Per-query span-capture cap feeding the recorder (overflow counted).
+  size_t recorder_max_spans = 4096;
 };
 
 /// \brief Aggregated service-level statistics.
@@ -209,6 +228,10 @@ class SpadeService {
     /// matter how long it queues or how many appends land meanwhile.
     std::shared_ptr<CellSource> pinned;
     std::shared_ptr<CellSource> pinned2;  ///< join other side
+    /// Statement-store fingerprint, computed at admission while the parsed
+    /// request is at hand; 0 when statement recording is off or the kind
+    /// is not an engine query.
+    uint64_t fingerprint = 0;
   };
 
   /// Watchdog bookkeeping for one executing request (stack-allocated in

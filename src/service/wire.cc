@@ -1,8 +1,10 @@
 #include "service/wire.h"
 
+#include <cstring>
 #include <sstream>
 #include <vector>
 
+#include "batch/batch.h"
 #include "geom/wkt.h"
 
 namespace spade {
@@ -138,6 +140,28 @@ Result<Request> ParseRequestLine(const std::string& line) {
     }
     return req;
   }
+  if (cmd == "statements") {
+    req.kind = RequestKind::kStatements;
+    if (words.size() > 1) {
+      if (words[1] == "json") {
+        req.json = true;
+      } else if (words[1] == "clear") {
+        req.arg = "clear";
+      } else {
+        return Status::InvalidArgument("usage: statements [json|clear]");
+      }
+    }
+    return req;
+  }
+  if (cmd == "trace") {
+    req.kind = RequestKind::kTrace;
+    if (words.size() > 2) {
+      return Status::InvalidArgument("usage: trace [<request-id>|list]");
+    }
+    // Bare `trace` and `trace list` both list; anything else is an id.
+    if (words.size() == 2 && words[1] != "list") req.arg = words[1];
+    return req;
+  }
   if (cmd == "sql") {
     req.kind = RequestKind::kSql;
     req.sql = Rest(line, 1);
@@ -235,6 +259,10 @@ std::string FormatPayload(const Request& req, const Response& resp) {
   // clients can feed the payload straight into a JSON parser.
   if (req.explain) return resp.profile;
   if (req.kind == RequestKind::kSlowlog && req.json) return resp.text;
+  if (req.kind == RequestKind::kStatements && req.json) return resp.text;
+  // `trace <id>` returns the Chrome-JSON document itself; `trace list` is
+  // a normal text payload with the took/id trailer.
+  if (req.kind == RequestKind::kTrace && !req.arg.empty()) return resp.text;
   std::ostringstream os;
   switch (req.kind) {
     case RequestKind::kSelection:
@@ -277,6 +305,8 @@ std::string FormatPayload(const Request& req, const Response& resp) {
     case RequestKind::kStats:
     case RequestKind::kMetrics:
     case RequestKind::kSlowlog:
+    case RequestKind::kStatements:
+    case RequestKind::kTrace:
       os << resp.text << '\n';
       break;
   }
@@ -326,6 +356,13 @@ std::string DescribeRequest(const Request& req) {
       break;
     case RequestKind::kSlowlog:
       os << "slowlog";
+      break;
+    case RequestKind::kStatements:
+      os << "statements";
+      break;
+    case RequestKind::kTrace:
+      os << "trace";
+      if (!req.arg.empty()) os << ' ' << req.arg;
       break;
     case RequestKind::kIngest:
       os << "ingest " << req.dataset << ' ' << req.points.size() << " points";
@@ -380,6 +417,71 @@ Status MakeStatus(const std::string& token, std::string message) {
     return Status::DeadlineExceeded(std::move(message));
   }
   return Status::Internal(std::move(message));
+}
+
+const char* RequestKindToken(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSelection:
+      return "select";
+    case RequestKind::kContains:
+      return "contains";
+    case RequestKind::kRange:
+      return "range";
+    case RequestKind::kJoin:
+      return "join";
+    case RequestKind::kDistance:
+      return "distance";
+    case RequestKind::kDistanceJoin:
+      return "djoin";
+    case RequestKind::kKnn:
+      return "knn";
+    case RequestKind::kSql:
+      return "sql";
+    case RequestKind::kStats:
+      return "stats";
+    case RequestKind::kMetrics:
+      return "metrics";
+    case RequestKind::kSlowlog:
+      return "slowlog";
+    case RequestKind::kIngest:
+      return "ingest";
+    case RequestKind::kStatements:
+      return "statements";
+    case RequestKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+uint64_t StatementFingerprint(const Request& req) {
+  // Start from the batch result cache's shape signature (kind, projection,
+  // constraint geometry) and mix in the fields it deliberately omits —
+  // dataset names, kNN k, join radius — so two shapes against different
+  // datasets get distinct fingerprints. Pure FNV-1a over values: stable
+  // across runs and processes.
+  uint64_t h = batch::QueryShapeSignature(req, req.mercator);
+  const auto mix_byte = [&h](uint64_t b) {
+    h ^= b & 0xFF;
+    h *= 1099511628211ull;
+  };
+  const auto mix_string = [&](const std::string& s) {
+    mix_byte(0x1F);  // separator so ("ab","c") != ("a","bc")
+    for (char c : s) mix_byte(static_cast<unsigned char>(c));
+  };
+  mix_string(req.dataset);
+  mix_string(req.dataset2);
+  if (req.kind == RequestKind::kKnn) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<uint64_t>(req.k) >> (i * 8));
+    }
+  }
+  if (req.kind == RequestKind::kDistanceJoin) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(req.radius), "double must be 64-bit");
+    std::memcpy(&bits, &req.radius, sizeof(bits));
+    for (int i = 0; i < 8; ++i) mix_byte(bits >> (i * 8));
+  }
+  return h;
 }
 
 }  // namespace wire

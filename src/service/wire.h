@@ -9,6 +9,7 @@
 //   knn <name> x y k [m]           sql <statement>
 //   stats                          metrics
 //   explain [--json] <query>       slowlog [json|clear]
+//   statements [json|clear]        trace [<request-id>|list]
 //   ingest <name> x y [x y ...]
 //
 // `ingest <name> x y ...` appends one batch of points to a registered
@@ -51,9 +52,9 @@ namespace wire {
 Result<Request> ParseRequestLine(const std::string& line);
 
 /// Render a successful response's payload: line-oriented and stable, so
-/// clients and tests can parse counts and ids back out. EXPLAIN and
-/// `slowlog json` payloads are the raw rendering (no took/id trailer), so
-/// clients can parse them directly.
+/// clients and tests can parse counts and ids back out. EXPLAIN,
+/// `slowlog json`, `statements json`, and `trace <id>` payloads are the
+/// raw rendering (no took/id trailer), so clients can parse them directly.
 std::string FormatPayload(const Request& req, const Response& resp);
 
 /// Canonical one-line description of a request, used as the `query` field
@@ -68,6 +69,17 @@ std::string FrameError(const Status& status);
 /// Status code <-> wire token (lowercase, e.g. kOverloaded <-> "overloaded").
 const char* CodeToken(Status::Code code);
 Status MakeStatus(const std::string& token, std::string message);
+
+/// Stable lowercase token for a request kind ("select", "range", ...),
+/// matching the wire command word.
+const char* RequestKindToken(RequestKind kind);
+
+/// Workload-statement fingerprint: the batch result cache's shape signature
+/// (query class + projection + constraint geometry) mixed with the dataset
+/// names, kNN k, and distance-join radius. Two textually different queries
+/// with the same shape against the same datasets collide on purpose; the
+/// same shape against different datasets does not. Stable across processes.
+uint64_t StatementFingerprint(const Request& req);
 
 }  // namespace wire
 }  // namespace spade

@@ -1,0 +1,1173 @@
+// Tests for the workload-telemetry layer: the query-fingerprint statement
+// store (aggregation, outcome buckets, eviction accounting, hostile-string
+// JSON), the tail-sampled flight recorder (keep reasons, hard byte budget,
+// Chrome JSON export), the structured logger (formats, level gate, request
+// correlation, rate limiting), fingerprint stability across the wire
+// grammar, end-to-end statement capture through the service (including the
+// deadline / shed outcome paths and the `statements` / `trace` verbs), and
+// a golden test over the full Prometheus metric-family exposition.
+//
+// The store, recorder, and logger are process-wide singletons; every test
+// that touches one resets it first and restores defaults after, so the
+// suite is order-independent (ctest runs each test in its own process, but
+// running the binary directly must pass too). The golden-families suite is
+// declared first so a direct run still sees a fresh metrics registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/spider.h"
+#include "engine/tuning.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/statements.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace spade {
+namespace {
+
+// --- shared helpers -------------------------------------------------------
+
+/// Strict JSON parser that also collects every decoded string (keys and
+/// values), so hostile content can be asserted to round-trip
+/// byte-identically. Deliberately independent of the checker in
+/// obs_test.cc: a shared validator could share a blind spot.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string text) : s_(std::move(text)) {}
+
+  bool Validate() {
+    pos_ = 0;
+    strings_.clear();
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  /// True when some decoded string equals `want` exactly (byte compare).
+  bool HasString(const std::string& want) const {
+    return std::find(strings_.begin(), strings_.end(), want) !=
+           strings_.end();
+  }
+
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat('}');
+    }
+  }
+
+  bool ParseArray() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat(']');
+    }
+  }
+
+  bool ParseString() {
+    if (!Eat('"')) return false;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        strings_.push_back(out);
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control byte: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Decode to UTF-8 (the encoder only emits \u00XX for control
+            // bytes, but accept the full BMP for strictness).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Eat('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::strtod(s_.c_str() + start, &end);
+    return end == s_.c_str() + pos_;
+  }
+
+  std::string s_;
+  size_t pos_ = 0;
+  std::vector<std::string> strings_;
+};
+
+/// A string exercising every escaping hazard at once: quotes, backslash,
+/// newline, tab, a raw control byte, and non-ASCII UTF-8.
+std::string HostileString() {
+  std::string s = "range \"ds\\one\"\n\tp99≈3.14µs ";
+  s += '\x01';
+  return s;
+}
+
+/// Delays every cell load so deadlines land mid-query (same technique as
+/// robustness_test.cc).
+class SlowSource : public CellSource {
+ public:
+  SlowSource(std::unique_ptr<CellSource> inner, std::chrono::milliseconds d)
+      : inner_(std::move(inner)), delay_(d) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const GridIndex& index() const override { return inner_->index(); }
+  size_t num_objects() const override { return inner_->num_objects(); }
+  GeomType primary_type() const override { return inner_->primary_type(); }
+
+  Result<std::shared_ptr<const CellData>> LoadCell(
+      size_t cell, QueryStats* stats) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->LoadCell(cell, stats);
+  }
+
+ private:
+  std::unique_ptr<CellSource> inner_;
+  std::chrono::milliseconds delay_;
+};
+
+Request RangeReq(const std::string& name, const Box& box) {
+  Request req;
+  req.kind = RequestKind::kRange;
+  req.dataset = name;
+  req.range = box;
+  return req;
+}
+
+MultiPolygon BoxConstraint(double x0, double y0, double x1, double y1) {
+  MultiPolygon mp;
+  mp.parts.push_back(Polygon::FromBox(Box(x0, y0, x1, y1)));
+  return mp;
+}
+
+/// Reset the statement store to a known state for one test.
+void FreshStore(size_t capacity = 256) {
+  obs::StatementStore& store = obs::StatementStore::Global();
+  store.SetEnabled(true);
+  store.SetCapacity(capacity);
+  store.Clear();
+}
+
+/// Reset the flight recorder to a known state for one test.
+void FreshRecorder(size_t budget, int64_t sample_every, double slow_seconds) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Configure(budget, sample_every, slow_seconds);
+  rec.Clear();
+}
+
+obs::StatementUpdate Update(uint64_t fp, const char* kind, double seconds,
+                            obs::StatementOutcome outcome =
+                                obs::StatementOutcome::kOk) {
+  obs::StatementUpdate u;
+  u.fingerprint = fp;
+  u.kind = kind;
+  u.dataset = "pts";
+  u.shape = std::string(kind) + " pts";
+  u.outcome = outcome;
+  u.seconds = seconds;
+  return u;
+}
+
+/// A synthetic span list (names are literals, per the tracer contract).
+std::vector<obs::TraceEvent> MakeSpans(size_t n) {
+  std::vector<obs::TraceEvent> spans;
+  spans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    obs::TraceEvent ev;
+    ev.name = "engine.cell_pass";
+    ev.tid = 1;
+    ev.ts_us = static_cast<int64_t>(i) * 10;
+    ev.dur_us = 7;
+    ev.depth = 1;
+    ev.num_args = 1;
+    ev.args[0] = {"cells", static_cast<int64_t>(i)};
+    spans.push_back(ev);
+  }
+  return spans;
+}
+
+// --- golden metric families ----------------------------------------------
+//
+// Drives one deterministic scenario across every telemetry surface — engine
+// queries through the service (ok / deadline / rejected), canvas-model
+// selection, the statement store, the flight recorder, the slow-query log,
+// the structured logger, and the process metrics — then asserts the exact
+// set of metric families in the Prometheus exposition. A new metric family
+// is a contract change: it must be added here (and to
+// docs/observability.md) deliberately, never by accident.
+
+std::vector<std::string> MetricFamilies(const std::string& prometheus_text) {
+  std::vector<std::string> families;
+  std::istringstream is(prometheus_text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const size_t sp = line.find(' ', 7);
+    families.push_back(line.substr(7, sp == std::string::npos
+                                          ? std::string::npos
+                                          : sp - 7));
+  }
+  std::sort(families.begin(), families.end());
+  return families;
+}
+
+TEST(TelemetryGolden, MetricFamilyNamesAreStable) {
+  obs::UpdateProcessMetrics();
+
+  // One structured log line (registers the log counters); swallowed.
+  obs::Logger::Global().SetWriterForTest([](const std::string&) {});
+  obs::LogError("test", "golden scenario", {obs::F("step", int64_t{1})});
+  obs::Logger::Global().SetWriterForTest(nullptr);
+
+  FreshStore();
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.recorder_sample_every = 1;  // retain the first trace deterministically
+  SpadeConfig ecfg;
+  ecfg.max_cell_bytes = 16 << 10;
+  auto service = std::make_unique<SpadeService>(ecfg, sc);
+  auto pts = MakeInMemorySource("pts", GenerateUniformPoints(20000, 9),
+                                service->engine().config());
+  auto slow = std::make_unique<SlowSource>(std::move(pts),
+                                           std::chrono::milliseconds(25));
+  ASSERT_TRUE(service->RegisterSource("pts", std::move(slow)).ok());
+  ASSERT_TRUE(service
+                  ->RegisterSource("fast",
+                                   MakeTunedInMemorySource(
+                                       "fast", GenerateUniformPoints(2000, 4),
+                                       service->engine().config()))
+                  .ok());
+
+  // Ok queries (twice: the second hits the prepared-cell cache), one
+  // canvas-model selection, one mid-query deadline, one typed rejection.
+  Response ok1 = service->Execute(RangeReq("fast", Box(0, 0, 1, 1)));
+  ASSERT_TRUE(ok1.status.ok()) << ok1.status.ToString();
+  Response ok2 = service->Execute(RangeReq("fast", Box(0, 0, 1, 1)));
+  ASSERT_TRUE(ok2.status.ok()) << ok2.status.ToString();
+  Request sel;
+  sel.kind = RequestKind::kSelection;
+  sel.dataset = "fast";
+  sel.constraint = BoxConstraint(0.2, 0.2, 0.8, 0.8);
+  Response selr = service->Execute(sel);
+  ASSERT_TRUE(selr.status.ok()) << selr.status.ToString();
+
+  Request hurried = RangeReq("pts", Box(0, 0, 1, 1));
+  hurried.timeout_ms = 100;
+  Response dl = service->Execute(hurried);
+  ASSERT_EQ(dl.status.code(), Status::Code::kDeadlineExceeded)
+      << dl.status.ToString();
+
+  ASSERT_TRUE(failpoint::Configure("service.enqueue=fail(overloaded,1)").ok());
+  Response rej = service->Execute(RangeReq("fast", Box(0, 0, 1, 1)));
+  failpoint::ClearAll();
+  ASSERT_EQ(rej.status.code(), Status::Code::kOverloaded);
+
+  // The introspection verbs; kMetrics also exports the service-level
+  // request gauges into the registry.
+  Request stmts;
+  stmts.kind = RequestKind::kStatements;
+  EXPECT_TRUE(service->Execute(stmts).status.ok());
+  Request metrics;
+  metrics.kind = RequestKind::kMetrics;
+  EXPECT_TRUE(service->Execute(metrics).status.ok());
+  service.reset();
+
+  // Deterministic triggers for the accounting counters that only register
+  // on their first event: a statement-store eviction, a flight-recorder
+  // eviction and oversize drop, and a rate-limited log line.
+  obs::StatementStore::Global().SetCapacity(1);
+  obs::StatementStore::Global().SetCapacity(256);
+  obs::FlightRecorder::Global().Configure(1024, 1, 0.0);
+  obs::FlightRecorder::Global().Offer("big", "join a b", 1.0, "",
+                                      MakeSpans(1000));
+  obs::FlightRecorder::Global().Configure(8 << 20, 64, 0.25);
+  obs::Logger::Global().SetWriterForTest([](const std::string&) {});
+  obs::Logger::Global().SetRateLimitForTest(1, 1e9);
+  obs::LogError("test", "suppressed twin");
+  obs::LogError("test", "suppressed twin");
+  obs::Logger::Global().SetRateLimitForTest(8, 10.0);
+  obs::Logger::Global().SetWriterForTest(nullptr);
+
+  const std::vector<std::string> expected = {
+      // clang-format off
+      "spade_build_info",
+      "spade_bytes_transferred_total",
+      "spade_cell_cache_hits_total",
+      "spade_cell_cache_misses_total",
+      "spade_cell_loads_total",
+      "spade_cells_processed_total",
+      "spade_checksum_failures_total",
+      "spade_exact_tests_total",
+      "spade_fragments_total",
+      "spade_io_retries_total",
+      "spade_log_lines_total",
+      "spade_log_suppressed_total",
+      "spade_process_start_time_seconds",
+      "spade_queries_total",
+      "spade_query_deadline_exceeded_total",
+      "spade_query_seconds",
+      "spade_recorder_bytes",
+      "spade_recorder_dropped_total",
+      "spade_recorder_evicted_total",
+      "spade_recorder_kept_total",
+      "spade_recorder_traces",
+      "spade_render_passes_total",
+      "spade_service_device_slots",
+      "spade_service_device_slots_busy",
+      "spade_service_latency_seconds",
+      "spade_service_queue_depth",
+      "spade_service_queue_wait_seconds",
+      "spade_service_requests_accepted",
+      "spade_service_requests_completed",
+      "spade_service_requests_failed",
+      "spade_service_requests_rejected",
+      "spade_simd_lanes",
+      "spade_stage_cpu_seconds",
+      "spade_stage_gpu_seconds",
+      "spade_stage_io_seconds",
+      "spade_stage_polygon_seconds",
+      "spade_statements_entries",
+      "spade_statements_evicted_total",
+      "spade_statements_recorded_total",
+      "spade_subcell_splits_total",
+      "spade_tracer_dropped_spans",
+      "spade_tracer_spans",
+      // clang-format on
+  };
+  const std::vector<std::string> actual =
+      MetricFamilies(obs::MetricsRegistry::Global().PrometheusText());
+  std::string joined;
+  for (const auto& f : actual) joined += "      \"" + f + "\",\n";
+  EXPECT_EQ(actual, expected) << "actual families:\n" << joined;
+}
+
+// --- statement store ------------------------------------------------------
+
+TEST(StatementStore, AggregatesPerFingerprintSortedByTotalTime) {
+  FreshStore();
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  obs::StatementUpdate hot = Update(0xA1, "range", 0.200);
+  hot.queue_wait_seconds = 0.010;
+  hot.render_passes = 3;
+  hot.fragments = 1000;
+  hot.cells = 4;
+  hot.cache_hits = 2;
+  hot.results = 50;
+  store.Record(hot);
+  hot.seconds = 0.100;
+  store.Record(hot);
+  store.Record(Update(0xB2, "knn", 0.050));
+
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.recorded(), 3);
+  EXPECT_EQ(store.evicted(), 0);
+
+  const auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Hottest (by total execution time) first.
+  EXPECT_EQ(snap[0].fingerprint, 0xA1u);
+  EXPECT_EQ(snap[0].kind, "range");
+  EXPECT_EQ(snap[0].calls, 2);
+  EXPECT_EQ(snap[0].ok, 2);
+  EXPECT_DOUBLE_EQ(snap[0].total_seconds, 0.300);
+  EXPECT_DOUBLE_EQ(snap[0].total_queue_wait_seconds, 0.020);
+  EXPECT_EQ(snap[0].render_passes, 6);
+  EXPECT_EQ(snap[0].fragments, 2000);
+  EXPECT_EQ(snap[0].cells, 8);
+  EXPECT_EQ(snap[0].cache_hits, 4);
+  EXPECT_EQ(snap[0].results, 100);
+  // Bucketed percentiles: positive, ordered, and an upper bound on the
+  // recorded latencies (the histogram promises <= 2x).
+  EXPECT_GT(snap[0].p50_seconds, 0);
+  EXPECT_LE(snap[0].p50_seconds, snap[0].p95_seconds);
+  EXPECT_LE(snap[0].p95_seconds, snap[0].p99_seconds);
+  EXPECT_GE(snap[0].p99_seconds, 0.200);
+  EXPECT_EQ(snap[1].fingerprint, 0xB2u);
+}
+
+TEST(StatementStore, OutcomeBucketsFollowTypedStatuses) {
+  FreshStore();
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  EXPECT_EQ(obs::OutcomeForStatus(Status::OK()), obs::StatementOutcome::kOk);
+  EXPECT_EQ(obs::OutcomeForStatus(Status::Cancelled("x")),
+            obs::StatementOutcome::kCancelled);
+  EXPECT_EQ(obs::OutcomeForStatus(Status::DeadlineExceeded("x")),
+            obs::StatementOutcome::kDeadline);
+  EXPECT_EQ(obs::OutcomeForStatus(Status::Overloaded("x")),
+            obs::StatementOutcome::kShed);
+  EXPECT_EQ(obs::OutcomeForStatus(Status::InvalidArgument("x")),
+            obs::StatementOutcome::kError);
+  EXPECT_EQ(obs::OutcomeForStatus(Status::InvalidArgument("x"),
+                                  /*was_shed=*/true),
+            obs::StatementOutcome::kShed);
+
+  store.Record(Update(0xC3, "range", 0.01, obs::StatementOutcome::kOk));
+  store.Record(Update(0xC3, "range", 0.01, obs::StatementOutcome::kCancelled));
+  store.Record(Update(0xC3, "range", 0.01, obs::StatementOutcome::kDeadline));
+  store.Record(Update(0xC3, "range", 0.0, obs::StatementOutcome::kShed));
+  store.Record(Update(0xC3, "range", 0.01, obs::StatementOutcome::kError));
+
+  const auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].calls, 5);
+  EXPECT_EQ(snap[0].ok, 1);
+  EXPECT_EQ(snap[0].cancelled, 1);
+  EXPECT_EQ(snap[0].deadline, 1);
+  EXPECT_EQ(snap[0].shed, 1);
+  EXPECT_EQ(snap[0].errors, 1);
+}
+
+TEST(StatementStore, EvictsCheapestFingerprintAtCapacity) {
+  FreshStore(2);
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  store.Record(Update(0x01, "range", 1.0));
+  store.Record(Update(0x02, "knn", 0.1));  // cheapest: first out
+  store.Record(Update(0x03, "join", 0.5));
+
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.recorded(), 3);
+  EXPECT_EQ(store.evicted(), 1);
+  const auto snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].fingerprint, 0x01u);
+  EXPECT_EQ(snap[1].fingerprint, 0x03u);
+
+  // A returning evicted fingerprint starts a fresh entry (and evicts the
+  // now-cheapest survivor), keeping the accounting honest.
+  store.Record(Update(0x02, "knn", 2.0));
+  EXPECT_EQ(store.evicted(), 2);
+  const auto snap2 = store.Snapshot();
+  ASSERT_EQ(snap2.size(), 2u);
+  EXPECT_EQ(snap2[0].fingerprint, 0x02u);
+  EXPECT_EQ(snap2[0].calls, 1);  // history died with the eviction
+
+  // Shrinking capacity evicts down, cheapest first.
+  store.SetCapacity(1);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.evicted(), 3);
+  EXPECT_EQ(store.Snapshot()[0].fingerprint, 0x02u);
+}
+
+TEST(StatementStore, DisableDropsRecordsAndClearResets) {
+  FreshStore();
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  store.SetEnabled(false);
+  EXPECT_FALSE(store.enabled());
+  store.Record(Update(0x11, "range", 0.1));
+  EXPECT_EQ(store.size(), 0u);
+
+  store.SetEnabled(true);
+  store.Record(Update(0x11, "range", 0.1));
+  store.Record(Update(0x11, "range", 0.0));  // zero fingerprint guard below
+  obs::StatementUpdate zero;
+  store.Record(zero);  // fingerprint 0 is invalid: ignored
+  EXPECT_EQ(store.size(), 1u);
+
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.recorded(), 0);
+  EXPECT_EQ(store.evicted(), 0);
+  EXPECT_TRUE(store.Snapshot().empty());
+}
+
+TEST(StatementStore, TextAndJsonSurviveHostileShapes) {
+  FreshStore();
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  obs::StatementUpdate u = Update(0xFEED, "range", 0.123);
+  u.dataset = "data\"set\nwith\ttabs";
+  u.shape = HostileString();
+  store.Record(u);
+
+  const std::string text = store.ToText();
+  EXPECT_NE(text.find("statements:"), std::string::npos);
+  EXPECT_NE(text.find("000000000000feed"), std::string::npos);
+
+  const std::string json = store.ToJson();
+  JsonScanner scanner(json);
+  ASSERT_TRUE(scanner.Validate()) << json;
+  // Byte-identical round trip of the hostile strings.
+  EXPECT_TRUE(scanner.HasString(HostileString())) << json;
+  EXPECT_TRUE(scanner.HasString("data\"set\nwith\ttabs")) << json;
+  EXPECT_TRUE(scanner.HasString("000000000000feed")) << json;
+
+  // Empty store renders valid JSON too.
+  store.Clear();
+  JsonScanner empty(store.ToJson());
+  EXPECT_TRUE(empty.Validate());
+}
+
+TEST(StatementStore, ConcurrentRecordersAndReadersStayConsistent) {
+  FreshStore(8);
+  obs::StatementStore& store = obs::StatementStore::Global();
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)store.Snapshot();
+      (void)store.ToJson();
+      (void)store.size();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        // 16 fingerprints over capacity 8: constant eviction churn.
+        store.Record(Update(0x100 + (i % 16), "range",
+                            0.001 * (w + 1)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_LE(store.size(), 8u);
+  // Every record was counted exactly once, through all the churn.
+  EXPECT_EQ(store.recorded(), kWriters * kPerWriter);
+  EXPECT_GT(store.evicted(), 0);
+  JsonScanner scanner(store.ToJson());
+  EXPECT_TRUE(scanner.Validate());
+}
+
+// --- fingerprint stability ------------------------------------------------
+
+TEST(StatementFingerprint, StableAcrossParsesAndSensitiveToShape) {
+  const auto fp = [](const std::string& line) {
+    auto req = wire::ParseRequestLine(line);
+    EXPECT_TRUE(req.ok()) << line;
+    return wire::StatementFingerprint(req.value());
+  };
+
+  // Same line, parsed twice: identical fingerprint (stable across runs —
+  // FNV-1a over the canonical shape, no pointers, no ordering hazards).
+  EXPECT_EQ(fp("range pts 0 0 1 1"), fp("range pts 0 0 1 1"));
+  // Request ids and deadlines are per-call attributes, not shape.
+  EXPECT_EQ(fp("range pts 0 0 1 1"), fp("@q9 timeout=250 range pts 0 0 1 1"));
+
+  // Every shape dimension moves the fingerprint.
+  EXPECT_NE(fp("range pts 0 0 1 1"), fp("range pts 0 0 1 2"));
+  EXPECT_NE(fp("range pts 0 0 1 1"), fp("range other 0 0 1 1"));
+  EXPECT_NE(fp("knn pts 0.5 0.5 3"), fp("knn pts 0.5 0.5 4"));
+  EXPECT_NE(fp("distance pts 0.5 0.5 0.1"), fp("distance pts 0.5 0.5 0.2"));
+  EXPECT_NE(fp("join a b"), fp("join a c"));
+  EXPECT_NE(fp("join a b"), fp("djoin a b 0.1"));  // kind moves it too
+
+  // Fingerprints are never zero (0 is the "not computed" sentinel).
+  EXPECT_NE(fp("range pts 0 0 1 1"), 0u);
+}
+
+// --- flight recorder ------------------------------------------------------
+
+TEST(FlightRecorder, KeepsSlowErroredAndSampledQueries) {
+  FreshRecorder(1 << 20, /*sample_every=*/4, /*slow_seconds=*/0.25);
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  ASSERT_TRUE(rec.enabled());
+
+  // Offer #1 hits the sample arm (the first offer is always retained, so
+  // a fresh server's first query is retrievable).
+  rec.Offer("q1", "range pts 0 0 1 1", 0.001, "", MakeSpans(3));
+  // #2..#4: fast, ok, off the arm — dropped.
+  rec.Offer("q2", "range pts 0 0 1 1", 0.001, "", MakeSpans(3));
+  rec.Offer("q3", "range pts 0 0 1 1", 0.001, "", MakeSpans(3));
+  rec.Offer("q4", "range pts 0 0 1 1", 0.001, "", MakeSpans(3));
+  // #5: slow — kept even though off the arm.
+  rec.Offer("q5", "join a b", 0.900, "", MakeSpans(5));
+  // #6: errored — kept, spans may be empty.
+  rec.Offer("q6", "knn pts 0.5 0.5 3", 0.002,
+            "deadline exceeded: budget 0.1s", {});
+
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.offered(), 6);
+  EXPECT_EQ(rec.dropped(), 3);
+  EXPECT_EQ(rec.evicted(), 0);
+
+  const std::string list = rec.ToText();
+  EXPECT_NE(list.find("q1"), std::string::npos);
+  EXPECT_NE(list.find("q5"), std::string::npos);
+  EXPECT_NE(list.find("q6"), std::string::npos);
+  EXPECT_NE(list.find("slow"), std::string::npos);
+  EXPECT_NE(list.find("error"), std::string::npos);
+  EXPECT_NE(list.find("sampled"), std::string::npos);
+  EXPECT_EQ(list.find("q2"), std::string::npos);
+}
+
+TEST(FlightRecorder, ByteBudgetEvictsOldestAndDropsOversize) {
+  // Budget sized to hold roughly two retained traces of 100 spans.
+  const size_t per_trace =
+      sizeof(obs::RetainedTrace) + 100 * sizeof(obs::TraceEvent) + 256;
+  FreshRecorder(2 * per_trace + per_trace / 2, /*sample_every=*/1,
+                /*slow_seconds=*/1e9);
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+
+  for (int i = 0; i < 10; ++i) {
+    rec.Offer("q" + std::to_string(i), "range pts 0 0 1 1", 0.001, "",
+              MakeSpans(100));
+    // The hard invariant, checked at every step: never over budget.
+    EXPECT_LE(rec.bytes(), rec.budget_bytes());
+  }
+  EXPECT_GT(rec.evicted(), 0);
+  EXPECT_GE(rec.size(), 1u);
+  // Newest survives; the oldest were evicted FIFO.
+  std::string json;
+  EXPECT_TRUE(rec.TraceChromeJson("q9", &json));
+  EXPECT_FALSE(rec.TraceChromeJson("q0", &json));
+
+  // A single trace larger than the whole budget is dropped outright, not
+  // retained in violation of the budget.
+  const int64_t dropped_before = rec.dropped();
+  rec.Offer("huge", "join a b", 0.001, "", MakeSpans(100000));
+  EXPECT_EQ(rec.dropped(), dropped_before + 1);
+  EXPECT_FALSE(rec.TraceChromeJson("huge", &json));
+  EXPECT_LE(rec.bytes(), rec.budget_bytes());
+
+  // Shrinking the budget through Configure evicts down immediately; zero
+  // disables and clears.
+  rec.Configure(1, 1, 1e9);
+  EXPECT_LE(rec.bytes(), 1u);
+  rec.Configure(0, 1, 1e9);
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.size(), 0u);
+  rec.Offer("q", "range pts 0 0 1 1", 0.001, "", MakeSpans(1));
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(FlightRecorder, ChromeJsonIsWellFormedWithHostileMetadata) {
+  FreshRecorder(1 << 20, 1, 1e9);
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+
+  rec.Offer("req\"7\"", HostileString(), 0.042, "error: \"quoted\"\ncause",
+            MakeSpans(4), /*truncated_spans=*/2);
+
+  std::string json;
+  ASSERT_TRUE(rec.TraceChromeJson("req\"7\"", &json));
+  JsonScanner scanner(json);
+  ASSERT_TRUE(scanner.Validate()) << json;
+  // The otherData metadata round-trips byte-identically.
+  EXPECT_TRUE(scanner.HasString(HostileString())) << json;
+  EXPECT_TRUE(scanner.HasString("req\"7\"")) << json;
+  EXPECT_TRUE(scanner.HasString("error: \"quoted\"\ncause")) << json;
+  // Chrome trace-event envelope.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("engine.cell_pass"), std::string::npos);
+
+  EXPECT_FALSE(rec.TraceChromeJson("no such id", &json));
+}
+
+TEST(FlightRecorder, ConcurrentOffersNeverExceedBudget) {
+  const size_t budget = 64 << 10;
+  FreshRecorder(budget, 1, 0.0);  // keep everything: maximum churn
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> over_budget{false};
+  std::thread reader([&] {
+    std::string json;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (rec.bytes() > budget) over_budget.store(true);
+      (void)rec.ToText();
+      (void)rec.TraceChromeJson("w0-17", &json);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 200; ++i) {
+        rec.Offer("w" + std::to_string(w) + "-" + std::to_string(i),
+                  "range pts 0 0 1 1", 0.5, "", MakeSpans(20));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_FALSE(over_budget.load());
+  EXPECT_LE(rec.bytes(), budget);
+  EXPECT_EQ(rec.offered(), 4 * 200);
+  EXPECT_GT(rec.evicted(), 0);
+}
+
+// --- structured logger ----------------------------------------------------
+
+/// Captures emitted lines for one test and restores every logger default
+/// (writer, level, format, rate limit) on destruction.
+class LogCapture {
+ public:
+  LogCapture(obs::LogLevel level, obs::LogFormat format) {
+    obs::Logger& log = obs::Logger::Global();
+    log.SetLevel(level);
+    log.SetFormat(format);
+    log.SetRateLimitForTest(1 << 20, 1e9);  // effectively off by default
+    log.SetWriterForTest([this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  ~LogCapture() {
+    obs::Logger& log = obs::Logger::Global();
+    log.SetWriterForTest(nullptr);
+    log.SetLevel(obs::LogLevel::kWarn);
+    log.SetFormat(obs::LogFormat::kText);
+    log.SetRateLimitForTest(8, 10.0);
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(StructuredLog, JsonLinesEscapeHostileContentAndParse) {
+  LogCapture capture(obs::LogLevel::kDebug, obs::LogFormat::kJson);
+
+  obs::LogInfo("svc", "hostile content ahead",
+               {obs::F("query", HostileString()),
+                obs::F("count", int64_t{42}),
+                obs::F("ratio", 0.25),
+                obs::F("flag", true)});
+  obs::LogError("svc", "plain");
+
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    JsonScanner scanner(line);
+    EXPECT_TRUE(scanner.Validate()) << line;
+  }
+  JsonScanner first(lines[0]);
+  ASSERT_TRUE(first.Validate());
+  EXPECT_TRUE(first.HasString("hostile content ahead"));
+  EXPECT_TRUE(first.HasString(HostileString())) << lines[0];
+  EXPECT_TRUE(first.HasString("info"));
+  EXPECT_TRUE(first.HasString("svc"));
+  EXPECT_NE(lines[0].find("\"count\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"flag\":true"), std::string::npos);
+}
+
+TEST(StructuredLog, TextFormatLevelGateAndFieldRendering) {
+  LogCapture capture(obs::LogLevel::kWarn, obs::LogFormat::kText);
+
+  obs::LogDebug("svc", "below the gate");
+  obs::LogInfo("svc", "below the gate");
+  obs::LogWarn("svc", "at the gate", {obs::F("key", "simple")});
+  obs::LogError("svc", "above the gate",
+                {obs::F("path", "with space \"and quotes\"")});
+
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("[svc]"), std::string::npos);
+  EXPECT_NE(lines[0].find("at the gate"), std::string::npos);
+  EXPECT_NE(lines[0].find("key=simple"), std::string::npos);
+  // Values with spaces or quotes are JSON-quoted so the text line stays
+  // machine-splittable on spaces.
+  EXPECT_NE(lines[1].find("path=\"with space \\\"and quotes\\\"\""),
+            std::string::npos)
+      << lines[1];
+
+  EXPECT_FALSE(obs::Logger::Global().Enabled(obs::LogLevel::kDebug));
+  EXPECT_TRUE(obs::Logger::Global().Enabled(obs::LogLevel::kError));
+}
+
+TEST(StructuredLog, RequestIdCorrelatesLogLinesWithTraces) {
+  LogCapture capture(obs::LogLevel::kInfo, obs::LogFormat::kJson);
+
+  obs::LogInfo("svc", "outside any request");
+  {
+    obs::RequestIdScope rid(4217);
+    obs::LogInfo("svc", "inside the request");
+  }
+
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("\"req\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"req\":4217"), std::string::npos) << lines[1];
+}
+
+TEST(StructuredLog, RateLimitSuppressesRepeatsAndReportsTheCount) {
+  LogCapture capture(obs::LogLevel::kInfo, obs::LogFormat::kJson);
+  obs::Logger::Global().SetRateLimitForTest(2, 0.05);
+
+  for (int i = 0; i < 7; ++i) obs::LogWarn("svc", "flapping peer");
+  // A different (component, message) pair is not affected.
+  obs::LogWarn("svc", "unrelated message");
+
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 3u);
+
+  // After the window rolls over, the next line carries the count of what
+  // was suppressed in between.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  obs::LogWarn("svc", "flapping peer");
+  lines = capture.lines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[3].find("\"suppressed\":5"), std::string::npos) << lines[3];
+  JsonScanner scanner(lines[3]);
+  EXPECT_TRUE(scanner.Validate());
+}
+
+TEST(StructuredLog, ParseHelpersAcceptTokensAndRejectJunk) {
+  obs::LogLevel level;
+  EXPECT_TRUE(obs::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(obs::ParseLogLevel("", &level));
+
+  obs::LogFormat format;
+  EXPECT_TRUE(obs::ParseLogFormat("json", &format));
+  EXPECT_EQ(format, obs::LogFormat::kJson);
+  EXPECT_TRUE(obs::ParseLogFormat("text", &format));
+  EXPECT_EQ(format, obs::LogFormat::kText);
+  EXPECT_FALSE(obs::ParseLogFormat("yaml", &format));
+
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kWarn), "warn");
+}
+
+TEST(StructuredLog, ConcurrentWritersEmitWholeValidLines) {
+  LogCapture capture(obs::LogLevel::kInfo, obs::LogFormat::kJson);
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([w] {
+      for (int i = 0; i < 100; ++i) {
+        obs::LogInfo("stress", "concurrent line",
+                     {obs::F("writer", int64_t{w}), obs::F("i", int64_t{i})});
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  const auto lines = capture.lines();
+  EXPECT_EQ(lines.size(), 400u);
+  for (const auto& line : lines) {
+    JsonScanner scanner(line);
+    ASSERT_TRUE(scanner.Validate()) << line;
+  }
+}
+
+// --- service integration --------------------------------------------------
+
+TEST(TelemetryService, StatementsAggregateAcrossQueryPaths) {
+  FreshStore();
+  FreshRecorder(8 << 20, 64, 0.25);
+  ServiceConfig sc;
+  sc.workers = 2;
+  SpadeService service({}, sc);
+  ASSERT_TRUE(service
+                  .RegisterSource("pts", MakeTunedInMemorySource(
+                                             "pts",
+                                             GenerateUniformPoints(2000, 4),
+                                             service.engine().config()))
+                  .ok());
+
+  // The same shape twice plus a different shape, via both Submit paths.
+  ASSERT_TRUE(service.Execute(RangeReq("pts", Box(0, 0, 1, 1))).status.ok());
+  ASSERT_TRUE(service.Execute(RangeReq("pts", Box(0, 0, 1, 1))).status.ok());
+  Request knn;
+  knn.kind = RequestKind::kKnn;
+  knn.dataset = "pts";
+  knn.point = {0.5, 0.5};
+  knn.k = 3;
+  Response knn_resp = service.Submit(knn).get();
+  ASSERT_TRUE(knn_resp.status.ok()) << knn_resp.status.ToString();
+
+  const auto snap = obs::StatementStore::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  int64_t calls = 0;
+  bool saw_range = false, saw_knn = false;
+  for (const auto& s : snap) {
+    calls += s.calls;
+    if (s.kind == "range") {
+      saw_range = true;
+      EXPECT_EQ(s.calls, 2);
+      EXPECT_EQ(s.ok, 2);
+      EXPECT_EQ(s.dataset, "pts");
+      EXPECT_GT(s.results, 0);
+      EXPECT_GT(s.cells, 0);
+      EXPECT_GT(s.total_seconds, 0);
+    } else if (s.kind == "knn") {
+      saw_knn = true;
+      EXPECT_EQ(s.calls, 1);
+    }
+    EXPECT_NE(s.fingerprint, 0u);
+  }
+  EXPECT_TRUE(saw_range);
+  EXPECT_TRUE(saw_knn);
+  EXPECT_EQ(calls, 3);
+
+  // The wire verbs serve the same store: text, json, clear.
+  Request stmts;
+  stmts.kind = RequestKind::kStatements;
+  Response text = service.Execute(stmts);
+  ASSERT_TRUE(text.status.ok());
+  EXPECT_NE(text.text.find("statements: 2 fingerprints"), std::string::npos)
+      << text.text;
+  EXPECT_NE(text.text.find("range"), std::string::npos);
+
+  stmts.json = true;
+  Response json = service.Execute(stmts);
+  ASSERT_TRUE(json.status.ok());
+  JsonScanner scanner(json.text);
+  EXPECT_TRUE(scanner.Validate()) << json.text;
+
+  stmts.json = false;
+  stmts.arg = "clear";
+  ASSERT_TRUE(service.Execute(stmts).status.ok());
+  EXPECT_EQ(obs::StatementStore::Global().size(), 0u);
+}
+
+TEST(TelemetryService, DeadlineAndRejectionOutcomesLandInTheStore) {
+  FreshStore();
+  ServiceConfig sc;
+  sc.workers = 1;
+  SpadeConfig ecfg;
+  ecfg.max_cell_bytes = 16 << 10;
+  SpadeService service(ecfg, sc);
+  auto tuned = MakeInMemorySource("pts", GenerateUniformPoints(20000, 9),
+                                  service.engine().config());
+  ASSERT_TRUE(service
+                  .RegisterSource("pts",
+                                  std::make_unique<SlowSource>(
+                                      std::move(tuned),
+                                      std::chrono::milliseconds(25)))
+                  .ok());
+
+  // Mid-query deadline: typed outcome, not a generic error.
+  Request hurried = RangeReq("pts", Box(0, 0, 1, 1));
+  hurried.timeout_ms = 100;
+  Response dl = service.Execute(hurried);
+  ASSERT_EQ(dl.status.code(), Status::Code::kDeadlineExceeded)
+      << dl.status.ToString();
+
+  // Typed admission rejection (failpoint): recorded as shed, with the
+  // fingerprint computed at admission so the shape is still attributed.
+  ASSERT_TRUE(failpoint::Configure("service.enqueue=fail(overloaded,1)").ok());
+  Response rej = service.Execute(RangeReq("pts", Box(0, 0, 1, 1)));
+  failpoint::ClearAll();
+  ASSERT_EQ(rej.status.code(), Status::Code::kOverloaded);
+
+  const auto snap = obs::StatementStore::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);  // same shape: one fingerprint, two outcomes
+  EXPECT_EQ(snap[0].calls, 2);
+  EXPECT_EQ(snap[0].deadline, 1);
+  EXPECT_EQ(snap[0].shed, 1);
+  EXPECT_EQ(snap[0].ok, 0);
+}
+
+TEST(TelemetryService, TraceVerbServesRetainedChromeJson) {
+  FreshStore();
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.recorder_sample_every = 1;  // retain every query
+  SpadeService service({}, sc);
+  obs::FlightRecorder::Global().Clear();
+  ASSERT_TRUE(service
+                  .RegisterSource("pts", MakeTunedInMemorySource(
+                                             "pts",
+                                             GenerateUniformPoints(2000, 4),
+                                             service.engine().config()))
+                  .ok());
+
+  Request req = RangeReq("pts", Box(0, 0, 1, 1));
+  req.request_id = "r1";
+  Response resp = service.Execute(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+
+  // `trace list` names the retained trace...
+  Request list;
+  list.kind = RequestKind::kTrace;
+  Response index = service.Execute(list);
+  ASSERT_TRUE(index.status.ok());
+  EXPECT_NE(index.text.find("r1"), std::string::npos) << index.text;
+
+  // ...and `trace r1` serves loadable Chrome JSON with real spans.
+  Request fetch;
+  fetch.kind = RequestKind::kTrace;
+  fetch.arg = "r1";
+  Response trace = service.Execute(fetch);
+  ASSERT_TRUE(trace.status.ok()) << trace.status.ToString();
+  JsonScanner scanner(trace.text);
+  ASSERT_TRUE(scanner.Validate()) << trace.text;
+  EXPECT_TRUE(scanner.HasString("r1"));
+  EXPECT_NE(trace.text.find("\"traceEvents\""), std::string::npos);
+  // The profile scope closes before the service.request span does, so the
+  // retained spans start at the engine root.
+  EXPECT_NE(trace.text.find("engine.range"), std::string::npos)
+      << "retained spans must include the engine query root: " << trace.text;
+
+  // A miss is typed NotFound with a hint, not an empty payload.
+  fetch.arg = "never-ran";
+  Response miss = service.Execute(fetch);
+  EXPECT_EQ(miss.status.code(), Status::Code::kNotFound);
+  EXPECT_NE(miss.status.message().find("trace list"), std::string::npos);
+}
+
+TEST(TelemetryService, WireGrammarParsesTelemetryVerbs) {
+  auto stmts = wire::ParseRequestLine("statements");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts.value().kind, RequestKind::kStatements);
+  EXPECT_FALSE(stmts.value().json);
+
+  auto stmts_json = wire::ParseRequestLine("statements json");
+  ASSERT_TRUE(stmts_json.ok());
+  EXPECT_TRUE(stmts_json.value().json);
+
+  auto stmts_clear = wire::ParseRequestLine("statements clear");
+  ASSERT_TRUE(stmts_clear.ok());
+  EXPECT_EQ(stmts_clear.value().arg, "clear");
+
+  EXPECT_FALSE(wire::ParseRequestLine("statements bogus").ok());
+
+  auto list = wire::ParseRequestLine("trace list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().kind, RequestKind::kTrace);
+  EXPECT_TRUE(list.value().arg.empty());
+
+  auto fetch = wire::ParseRequestLine("trace q17");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().arg, "q17");
+
+  EXPECT_FALSE(wire::ParseRequestLine("trace q17 extra").ok());
+}
+
+}  // namespace
+}  // namespace spade

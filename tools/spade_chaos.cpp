@@ -8,6 +8,9 @@
 //   * clients that connect, fire a query, and vanish mid-flight (the
 //     server must cancel the orphaned request, not hang a worker)
 //   * failpoint schedules armed and cleared while queries run
+//   * observability verbs (stats, statements, trace list, metrics) that
+//     must answer ok under load, with the flight recorder provably inside
+//     its memory budget (the spade_recorder_bytes gauge)
 //   * SIGTERM mid-soak: the server must drain and exit 0 within the
 //     budget, then a fresh instance must come up on the same port
 //
@@ -351,9 +354,32 @@ int main(int argc, char** argv) {
       failpoint_armed = !failpoint_armed;
     } else if (roll < 0.24) {
       // --- introspection must keep working under load -------------------
-      auto r = client.Call("stats");
-      if (!r.ok()) return Fail("stats failed: %s",
-                               r.status().ToString().c_str());
+      // Rotate through the read-only observability verbs; all must answer
+      // ok no matter what the soak has done to the server so far.
+      for (const char* verb : {"stats", "statements", "trace list"}) {
+        auto r = client.Call(verb);
+        if (!r.ok()) {
+          return Fail("%s failed: %s", verb, r.status().ToString().c_str());
+        }
+      }
+      // The flight recorder's hard memory budget is an invariant, not a
+      // hint: scrape its gauge and fail the soak if retained traces ever
+      // exceed the default 8 MiB budget.
+      auto m = client.Call("metrics");
+      if (!m.ok()) return Fail("metrics failed: %s",
+                               m.status().ToString().c_str());
+      const std::string& text = m.value();
+      const size_t pos = text.find("\nspade_recorder_bytes ");
+      if (pos != std::string::npos) {
+        const double bytes =
+            std::strtod(text.c_str() + pos +
+                            std::strlen("\nspade_recorder_bytes "),
+                        nullptr);
+        if (bytes > 8.0 * 1024 * 1024) {
+          return Fail("flight recorder over budget: %.0f bytes > 8 MiB",
+                      bytes);
+        }
+      }
     } else {
       // --- a query with a random (often hostile) deadline ---------------
       const std::string q = RandomQuery(rng);

@@ -10,10 +10,16 @@
 // --default-timeout MS / --max-timeout MS set the per-request deadline
 // policy; --drain-budget S bounds the graceful drain; --slow-threshold S
 // always captures queries slower than S seconds in the slow-query log;
-// --no-profiles disables per-query plan profiling; SPADE_FAILPOINTS in
-// the environment arms failpoints before serving. Clients can scrape the
-// `metrics` wire request for Prometheus-format text (see
-// docs/observability.md for the metric catalog).
+// --no-profiles disables per-query plan profiling; --statements N sizes
+// the query-fingerprint statistics store (0 disables it); --recorder-mb N
+// budgets the tail-sampled flight recorder (0 disables it) and
+// --recorder-sample N sets its keep-every-Nth arm; --log-level
+// debug|info|warn|error and --log-format text|json shape the structured
+// diagnostics on stderr. Every --flag also accepts the --flag=value form.
+// SPADE_FAILPOINTS in the environment arms failpoints before serving.
+// Clients can scrape the `metrics` wire request for Prometheus-format
+// text, `statements [json]` for workload statistics, and `trace <id>` for
+// retained traces (see docs/observability.md).
 //
 // SIGTERM / SIGINT trigger a graceful drain: the listener closes,
 // in-flight queries get the drain budget to finish (then are cancelled
@@ -28,6 +34,7 @@
 
 #include <unistd.h>
 
+#include "obs/log.h"
 #include "service/server.h"
 
 namespace {
@@ -49,10 +56,26 @@ int main(int argc, char** argv) {
   uint16_t port = 7117;
   std::string script;
   spade::ServiceConfig cfg;
+  // The server is an operator-facing daemon: structured diagnostics at
+  // info by default (libraries embedding the service default to warn).
+  spade::obs::LogLevel log_level = spade::obs::LogLevel::kInfo;
+  spade::obs::LogFormat log_format = spade::obs::LogFormat::kText;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--workers") {
@@ -92,13 +115,47 @@ int main(int argc, char** argv) {
       if (v != nullptr) {
         cfg.batch_cache_bytes = std::strtoul(v, nullptr, 10) << 20;
       }
+    } else if (arg == "--statements") {
+      const char* v = next();
+      if (v != nullptr) cfg.statements_capacity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--recorder-mb") {
+      const char* v = next();
+      if (v != nullptr) {
+        cfg.recorder_bytes =
+            static_cast<size_t>(std::strtoul(v, nullptr, 10)) << 20;
+      }
+    } else if (arg == "--recorder-sample") {
+      const char* v = next();
+      if (v != nullptr) {
+        cfg.recorder_sample_every = std::strtol(v, nullptr, 10);
+      }
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr || !spade::obs::ParseLogLevel(v, &log_level)) {
+        spade::obs::LogError(
+            "server", "bad --log-level value",
+            {spade::obs::F("value", v != nullptr ? v : "(missing)"),
+             spade::obs::F("expected", "debug|info|warn|error")});
+        return 1;
+      }
+    } else if (arg == "--log-format") {
+      const char* v = next();
+      if (v == nullptr || !spade::obs::ParseLogFormat(v, &log_format)) {
+        spade::obs::LogError(
+            "server", "bad --log-format value",
+            {spade::obs::F("value", v != nullptr ? v : "(missing)"),
+             spade::obs::F("expected", "text|json")});
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: spade_server [port] [setup-script] "
           "[--workers N] [--queue N] [--slots N] "
           "[--default-timeout MS] [--max-timeout MS] [--drain-budget S] "
           "[--slow-threshold SECONDS] [--no-profiles] "
-          "[--batch] [--batch-window MS] [--batch-cache-mb N]\n");
+          "[--batch] [--batch-window MS] [--batch-cache-mb N] "
+          "[--statements N] [--recorder-mb N] [--recorder-sample N] "
+          "[--log-level debug|info|warn|error] [--log-format text|json]\n");
       return 0;
     } else if (!arg.empty() && std::isdigit(static_cast<unsigned char>(arg[0]))) {
       port = static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
@@ -107,13 +164,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  spade::obs::Logger::Global().SetLevel(log_level);
+  spade::obs::Logger::Global().SetFormat(log_format);
+
   spade::SpadeService service({}, cfg);
   spade::SpadeServer server(&service);
 
   if (!script.empty()) {
     std::ifstream in(script);
     if (!in.is_open()) {
-      std::fprintf(stderr, "cannot open setup script %s\n", script.c_str());
+      spade::obs::LogError("server", "cannot open setup script",
+                           {spade::obs::F("script", script)});
       return 1;
     }
     std::string line;
@@ -123,15 +184,18 @@ int main(int argc, char** argv) {
       if (r.ok()) {
         std::printf("setup> %s\n%s\n", line.c_str(), r.value().c_str());
       } else {
-        std::fprintf(stderr, "setup> %s\nerror: %s\n", line.c_str(),
-                     r.status().ToString().c_str());
+        spade::obs::LogError("server", "setup script line failed",
+                             {spade::obs::F("script", script),
+                              spade::obs::F("line", line),
+                              spade::obs::F("error", r.status().ToString())});
         return 1;
       }
     }
   }
 
   if (::pipe(g_signal_pipe) != 0) {
-    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    spade::obs::LogError("server", "cannot create signal pipe",
+                         {spade::obs::F("errno", std::strerror(errno))});
     return 1;
   }
   struct sigaction sa{};
@@ -142,15 +206,29 @@ int main(int argc, char** argv) {
 
   auto st = server.Start(port);
   if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    spade::obs::LogError("server", "cannot start listener",
+                         {spade::obs::F("port", static_cast<int64_t>(port)),
+                          spade::obs::F("error", st.ToString())});
     return 1;
   }
+  // The stdout banner is part of the tool's contract (scripts and the
+  // chaos harness wait for it); the structured line carries the same facts
+  // for log pipelines.
   std::printf(
       "spade_server listening on 127.0.0.1:%u "
       "(workers=%zu queue=%zu device_slots=%zu batch=%s)\n",
       server.port(), cfg.workers, cfg.queue_capacity, cfg.device_slots,
       cfg.batch_enabled ? "on" : "off");
   std::fflush(stdout);
+  spade::obs::LogInfo(
+      "server", "listening",
+      {spade::obs::F("port", static_cast<int64_t>(server.port())),
+       spade::obs::F("workers", static_cast<int64_t>(cfg.workers)),
+       spade::obs::F("queue", static_cast<int64_t>(cfg.queue_capacity)),
+       spade::obs::F("device_slots", static_cast<int64_t>(cfg.device_slots)),
+       spade::obs::F("batch", cfg.batch_enabled),
+       spade::obs::F("statements", static_cast<int64_t>(cfg.statements_capacity)),
+       spade::obs::F("recorder_bytes", static_cast<int64_t>(cfg.recorder_bytes))});
 
   // Block until SIGTERM/SIGINT, then drain gracefully and exit 0 — the
   // contract a supervisor (systemd, k8s) relies on for rolling restarts.

@@ -1,8 +1,9 @@
 // spade_top: a live one-screen view of a running spade_server, in the
 // spirit of `top`. Connects to the wire protocol, scrapes the `metrics`
-// (Prometheus text) and `slowlog` requests every interval, and renders
-// qps, latency percentiles, queue depth, device-slot occupancy, cache hit
-// rate, and the current worst queries.
+// (Prometheus text), `slowlog`, and `statements` requests every interval,
+// and renders qps, latency percentiles, queue depth, device-slot
+// occupancy, cache hit rate, the current worst queries, and the top query
+// fingerprints by total time.
 //
 //   $ ./build/tools/spade_top 127.0.0.1 7117
 //   $ ./build/tools/spade_top --once            # one plain-text snapshot
@@ -105,6 +106,7 @@ std::string Seconds(double v) {
 
 std::string Render(const Scrape& cur, const Scrape* prev, double dt_seconds,
                    const std::string& slowlog_text,
+                   const std::string& statements_text,
                    const std::string& endpoint) {
   std::ostringstream os;
   os << "spade_top — " << endpoint;
@@ -213,13 +215,15 @@ std::string Render(const Scrape& cur, const Scrape* prev, double dt_seconds,
   }
   os << '\n';
 
+  os << '\n' << statements_text << '\n';
   os << '\n' << slowlog_text << '\n';
   return os.str();
 }
 
-/// The slowlog payload minus its `took ...` accounting trailer, truncated
-/// to the header + `max_entries` worst queries (one screen).
-std::string TrimSlowlog(const std::string& payload, size_t max_entries) {
+/// A text payload (slowlog, statements) minus its `took ...` accounting
+/// trailer, truncated to the header + `max_entries` lines (one screen).
+/// Both payloads are already sorted worst-first by the server.
+std::string TrimPayload(const std::string& payload, size_t max_entries) {
   std::istringstream is(payload);
   std::ostringstream os;
   std::string line;
@@ -263,31 +267,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string endpoint = host + ":" + std::to_string(port);
+  // Every failure path is the same one-line contract: a single
+  // `spade_top: error: ...` on stderr and a non-zero exit, so scripts and
+  // CI health checks can alert on the tool without parsing a screen.
+  auto fail = [&](const std::string& what,
+                  const spade::Status& status) -> int {
+    std::fprintf(stderr, "spade_top: error: %s %s: %s\n", what.c_str(),
+                 endpoint.c_str(), status.ToString().c_str());
+    return 1;
+  };
+
   spade::SpadeClient client;
   auto st = client.Connect(host, port);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const std::string endpoint = host + ":" + std::to_string(port);
+  if (!st.ok()) return fail("cannot connect to", st);
 
   Scrape prev;
   bool have_prev = false;
   for (;;) {
     auto metrics = client.Call("metrics");
-    if (!metrics.ok()) {
-      std::fprintf(stderr, "error: %s\n", metrics.status().ToString().c_str());
-      return 1;
-    }
+    if (!metrics.ok()) return fail("metrics scrape failed on", metrics.status());
     auto slowlog = client.Call("slowlog");
-    if (!slowlog.ok()) {
-      std::fprintf(stderr, "error: %s\n", slowlog.status().ToString().c_str());
-      return 1;
+    if (!slowlog.ok()) return fail("slowlog scrape failed on", slowlog.status());
+    auto statements = client.Call("statements");
+    if (!statements.ok()) {
+      return fail("statements scrape failed on", statements.status());
     }
     const Scrape cur = ParseMetrics(metrics.value());
     const std::string screen =
         Render(cur, have_prev ? &prev : nullptr, interval,
-               TrimSlowlog(slowlog.value(), 8), endpoint);
+               TrimPayload(slowlog.value(), 8),
+               TrimPayload(statements.value(), 8), endpoint);
     if (once) {
       std::fputs(screen.c_str(), stdout);
       return 0;
